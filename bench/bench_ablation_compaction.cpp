@@ -1,0 +1,51 @@
+// Ablation (extension): storage-aware schedule compaction before mapping.
+//
+// Delaying operations within their slack closes producer-consumer gaps, so
+// in situ storages hold products for less time and the valve matrix packs
+// tighter.  This bench compares synthesis on the raw policy schedule vs the
+// compacted one for every benchmark.
+#include <iostream>
+
+#include "assay/benchmarks.hpp"
+#include "sched/compaction.hpp"
+#include "synth/synthesis.hpp"
+#include "util/table.hpp"
+
+using namespace fsyn;
+
+int main() {
+  std::cout << "== Ablation: storage-aware schedule compaction ==\n\n";
+  TextTable table;
+  table.set_header({"case", "schedule", "storage time", "chip", "vs_1max", "#v", "T(s)"});
+  table.set_alignment({Align::kLeft, Align::kLeft});
+
+  for (const auto& name : assay::extended_benchmark_names()) {
+    const auto g = assay::make_benchmark(name);
+    const auto policy = sched::make_policy(g, 1);
+    const sched::Schedule raw = sched::schedule_with_policy(g, policy);
+    const sched::Schedule compacted = sched::compact_schedule(raw, policy);
+
+    for (const bool use_compacted : {false, true}) {
+      const sched::Schedule& schedule = use_compacted ? compacted : raw;
+      try {
+        const auto r = synth::synthesize(g, schedule);
+        table.add_row({name, use_compacted ? "compacted" : "raw",
+                       std::to_string(sched::total_storage_time(schedule)),
+                       std::to_string(r.chip_width) + "x" + std::to_string(r.chip_height),
+                       std::to_string(r.vs1_max) + "(" + std::to_string(r.vs1_pump) + ")",
+                       std::to_string(r.valve_count),
+                       std::to_string(static_cast<int>(r.runtime_seconds * 10) / 10.0)});
+      } catch (const Error&) {
+        table.add_row({name, use_compacted ? "compacted" : "raw",
+                       std::to_string(sched::total_storage_time(schedule)), "infeasible", "-",
+                       "-", "-"});
+      }
+    }
+    table.add_separator();
+  }
+  std::cout << table.to_string();
+  std::cout << "\ncompaction reduces in-situ storage waiting (often to a fraction of the\n"
+               "raw schedule), which lets the same assay fit a smaller matrix with\n"
+               "fewer implemented valves.\n";
+  return 0;
+}

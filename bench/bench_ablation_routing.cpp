@@ -1,0 +1,66 @@
+// Ablation: routing-convenient mapping (paper Section 3.4, Eq. 13-16).
+//
+// The distance-d constraints force sequential devices to be neighbours so
+// product transfers are trivial.  Dropping them frees the mapper but makes
+// transfers long; this bench quantifies the transfer-length difference.
+#include <algorithm>
+#include <iostream>
+
+#include "assay/benchmarks.hpp"
+#include "sched/list_scheduler.hpp"
+#include "synth/synthesis.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace fsyn;
+
+namespace {
+
+struct TransferStats {
+  int count = 0;
+  int total = 0;
+  int longest = 0;
+};
+
+TransferStats transfer_stats(const synth::SynthesisResult& r) {
+  TransferStats stats;
+  for (const route::RoutedPath& path : r.routing.paths) {
+    if (path.kind != route::TransportKind::kTransfer) continue;
+    ++stats.count;
+    stats.total += path.length();
+    stats.longest = std::max(stats.longest, path.length());
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Ablation: routing-convenient mapping (Eq. 13-16) ==\n\n";
+  TextTable table;
+  table.set_header({"case", "constraints", "vs_1max", "#transfers", "avg len", "max len"});
+  table.set_alignment({Align::kLeft, Align::kLeft});
+
+  for (const auto& name : assay::benchmark_names()) {
+    const auto g = assay::make_benchmark(name);
+    const auto schedule = sched::schedule_with_policy(g, sched::make_policy(g, 1));
+    for (const bool convenient : {true, false}) {
+      synth::SynthesisOptions options;
+      options.routing_convenient = convenient;
+      const auto r = synth::synthesize(g, schedule, options);
+      const TransferStats stats = transfer_stats(r);
+      table.add_row({name, convenient ? "on (paper)" : "off",
+                     std::to_string(r.vs1_max) + "(" + std::to_string(r.vs1_pump) + ")",
+                     std::to_string(stats.count),
+                     stats.count ? format_fixed(static_cast<double>(stats.total) / stats.count, 1)
+                                 : "-",
+                     std::to_string(stats.longest)});
+    }
+    table.add_separator();
+  }
+  std::cout << table.to_string();
+  std::cout << "\nwith the constraints on, sequential devices sit within distance d = 2,\n"
+               "so product transfers stay short ('we only need trivial routings between\n"
+               "devices', Section 4).\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces the motivating example of Figures 2 and 3: two mixing
+// operations on (a) a traditional dedicated ring mixer with fixed valve
+// roles and (b) a rectangular mixer with the valve-role-changing concept.
+//
+// Paper: the dedicated mixer reaches 80 actuations on its three pump valves
+// (Fig. 2(f)); role changing reduces the largest count to 48 with one valve
+// fewer (Fig. 3(b)) — "the service life of this mixer is nearly doubled".
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+constexpr int kPumpPerOp = 40;  // after [9], as in the paper
+
+/// Fig. 2: 9 valves — 3 dedicated pump valves, 6 dedicated control valves.
+/// Per operation the two I/O junction valves cycle for fill AND drain
+/// (4 actuations) and the four guard valves cycle once (2 actuations).
+struct DedicatedMixer {
+  std::vector<int> actuations = std::vector<int>(9, 0);
+
+  void run_mix() {
+    for (int pump = 0; pump < 3; ++pump) actuations[static_cast<std::size_t>(pump)] += kPumpPerOp;
+    actuations[3] += 4;  // inlet junction
+    actuations[4] += 4;  // outlet junction
+    for (int guard = 5; guard < 9; ++guard) actuations[static_cast<std::size_t>(guard)] += 2;
+  }
+};
+
+/// Fig. 3: 8 valves around a rectangular ring; roles rotate between
+/// operations, so each operation pumps with a different triple and the
+/// remaining valves serve as control valves (2 actuations each).
+struct RoleChangingMixer {
+  std::vector<int> actuations = std::vector<int>(8, 0);
+
+  void run_mix(int op_index) {
+    const int base = op_index % 2 == 0 ? 0 : 4;  // opposite sides alternate
+    for (int k = 0; k < 3; ++k) {
+      actuations[static_cast<std::size_t>(base + k)] += kPumpPerOp;
+    }
+    for (int v = 0; v < 8; ++v) {
+      if (v < base || v >= base + 3) actuations[static_cast<std::size_t>(v)] += 2;
+    }
+  }
+};
+
+int max_of(const std::vector<int>& xs) { return *std::max_element(xs.begin(), xs.end()); }
+
+}  // namespace
+
+int main() {
+  std::cout << "== Fig. 2 / Fig. 3: why valve-role changing matters ==\n\n";
+
+  DedicatedMixer dedicated;
+  RoleChangingMixer dynamic;
+  fsyn::TextTable table;
+  table.set_header({"ops executed", "dedicated mixer max (9 valves)",
+                    "role-changing max (8 valves)", "reduction"});
+  for (int op = 0; op < 6; ++op) {
+    dedicated.run_mix();
+    dynamic.run_mix(op);
+    const int dmax = max_of(dedicated.actuations);
+    const int rmax = max_of(dynamic.actuations);
+    table.add_row({std::to_string(op + 1), std::to_string(dmax), std::to_string(rmax),
+                   fsyn::format_percent(1.0 - static_cast<double>(rmax) / dmax)});
+  }
+  std::cout << table.to_string() << '\n';
+
+  // The paper's headline numbers after two operations.
+  DedicatedMixer d2;
+  RoleChangingMixer r2;
+  d2.run_mix();
+  d2.run_mix();
+  r2.run_mix(0);
+  r2.run_mix(1);
+  std::cout << "after 2 ops: dedicated max = " << max_of(d2.actuations)
+            << " (paper Fig. 2(f): 80), role-changing max = " << max_of(r2.actuations)
+            << " (paper Fig. 3(b): 48)\n";
+  fsyn::require(max_of(d2.actuations) == 80, "dedicated mixer must reach 80 after 2 ops");
+  fsyn::require(max_of(r2.actuations) <= 48, "role changing must stay at or below 48");
+  std::cout << "per-valve counts, dedicated:    ";
+  for (const int v : d2.actuations) std::cout << v << ' ';
+  std::cout << "\nper-valve counts, role-change:  ";
+  for (const int v : r2.actuations) std::cout << v << ' ';
+  std::cout << "\n\nrole changing nearly doubles the mixer's service life while using one "
+               "valve fewer.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces Fig. 5: dynamic mixers of different orientations (2x4 / 4x2)
+// sharing the same chip area at different times with completely different
+// pump valves, and demonstrates the effect on a real mapped assay.
+#include <iostream>
+#include <set>
+
+#include "arch/device_types.hpp"
+#include "assay/parser.hpp"
+#include "sched/list_scheduler.hpp"
+#include "synth/heuristic_mapper.hpp"
+#include "util/error.hpp"
+
+using namespace fsyn;
+
+int main() {
+  std::cout << "== Fig. 5: dynamic mixers sharing area with disjoint pump valves ==\n\n";
+
+  // (b)/(c): the two volume-8 orientations sharing the same region.  In
+  // this reproduction's cell-centered geometry the two rings share only the
+  // 2x2 corner cells (the paper's channel-centered drawing shares none);
+  // the load on the shared cells is still halved versus a dedicated mixer,
+  // and the mapping constraints guarantee a valve never pumps for two
+  // operations *simultaneously*.
+  const arch::DeviceInstance horizontal{arch::DeviceType{4, 2}, Point{0, 0}};
+  const arch::DeviceInstance vertical{arch::DeviceType{2, 4}, Point{0, 0}};
+  std::cout << "4x2 mixer at (0,0) pump valves:";
+  for (const Point& p : horizontal.pump_cells()) std::cout << ' ' << p;
+  std::cout << "\n2x4 mixer at (0,0) pump valves:";
+  for (const Point& p : vertical.pump_cells()) std::cout << ' ' << p;
+  std::cout << '\n';
+  const auto ring_h = horizontal.pump_cells();
+  const auto ring_v = vertical.pump_cells();
+  std::set<Point> shared;
+  for (const Point& p : ring_h) {
+    if (std::find(ring_v.begin(), ring_v.end(), p) != ring_v.end()) shared.insert(p);
+  }
+  std::cout << "footprints overlap: " << std::boolalpha
+            << horizontal.footprint().overlaps(vertical.footprint()) << ", shared pump valves: "
+            << shared.size() << " of " << ring_h.size() + ring_v.size() - shared.size() << '\n';
+  require(horizontal.footprint().overlaps(vertical.footprint()),
+          "Fig. 5(d) requires overlapping footprints");
+  require(shared.size() <= 4, "orientations may share at most the 2x2 corner");
+
+  // Now on a real assay: two sequential volume-8 mixes mapped onto a tiny
+  // matrix; the mapper reuses the area with disjoint pump rings, so no
+  // valve pumps for both operations.
+  const auto g = assay::parse_assay(R"(
+assay fig5
+input  i1
+input  i2
+mix    first  volume 8 duration 6 from i1 i2
+mix    second volume 8 duration 6 from first
+)");
+  const auto schedule = sched::schedule_asap(g);
+  auto problem = synth::MappingProblem::build(g, schedule, arch::Architecture(6, 6));
+  const auto outcome = synth::map_heuristic(problem);
+  require(outcome.has_value(), "fig5 mapping failed");
+  const auto& placement = outcome->placement;
+  std::cout << "\nmapped assay on a 6x6 matrix:\n";
+  for (int i = 0; i < problem.task_count(); ++i) {
+    std::cout << "  " << problem.task(i).name << " -> "
+              << placement[static_cast<std::size_t>(i)].type.width << "x"
+              << placement[static_cast<std::size_t>(i)].type.height << " at "
+              << placement[static_cast<std::size_t>(i)].origin << '\n';
+  }
+  std::cout << "max pump load: " << outcome->max_pump_load
+            << " (both operations together would be 80 on a dedicated mixer)\n";
+  require(outcome->max_pump_load == 40, "disjoint rings must keep the max at 40");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces Fig. 9: the scheduling result of case PCR (policy p1 input)
+// with 3 tu transport delay, drawn as a Gantt chart.
+//
+// Paper milestones: o3/o4 end at 3 tu, o6 runs 6..12, o2 ends at 12,
+// o1 at 15, o5 runs 18..22, o7 runs 25..29; storages s6/s5/s7 appear at
+// 3/15/15 tu (product-arrival windows).
+#include <iostream>
+
+#include "assay/benchmarks.hpp"
+#include "sched/gantt.hpp"
+#include "sched/list_scheduler.hpp"
+#include "util/error.hpp"
+
+using namespace fsyn;
+
+int main() {
+  const auto g = assay::make_pcr();
+  const auto schedule = sched::schedule_asap(g);
+
+  std::cout << "== Fig. 9: scheduling result of case PCR (transport delay 3 tu) ==\n\n";
+  std::cout << sched::render_gantt(schedule) << '\n';
+  std::cout << "legend: '=' operation executing, '.' product(s) waiting in the\n"
+               "in situ on-chip storage of the consuming operation (s5/s6/s7).\n\n";
+
+  struct Milestone {
+    const char* name;
+    int start;
+    int end;
+  };
+  constexpr Milestone kPaper[] = {{"o1", 0, 15}, {"o2", 0, 12}, {"o3", 0, 3}, {"o4", 0, 3},
+                                  {"o5", 18, 22}, {"o6", 6, 12}, {"o7", 25, 29}};
+  bool all_match = true;
+  for (const Milestone& m : kPaper) {
+    for (const assay::Operation& op : g.operations()) {
+      if (op.name != m.name) continue;
+      const bool match =
+          schedule.start_of(op.id) == m.start && schedule.end_of(op.id) == m.end;
+      std::cout << m.name << ": ours [" << schedule.start_of(op.id) << ", "
+                << schedule.end_of(op.id) << ")  paper [" << m.start << ", " << m.end << ") "
+                << (match ? "MATCH" : "MISMATCH") << '\n';
+      all_match &= match;
+    }
+  }
+  require(all_match, "the PCR schedule must reproduce Fig. 9 exactly");
+  std::cout << "\nmakespan: " << schedule.makespan() << " tu (paper: 29 tu)\n";
+  return 0;
+}

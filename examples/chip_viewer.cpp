@@ -1,0 +1,61 @@
+// Visual walk-through of a synthesized chip: Gantt chart, Fig.-10 style
+// snapshots of cumulative valve actuations at every event time, and an SVG
+// rendering written next to the binary.
+//
+//   $ ./examples/chip_viewer [benchmark] [policy-increments] [out.svg]
+//
+// Useful for eyeballing how dynamic devices form, store products in situ,
+// turn into mixers and release their valves for later operations.
+#include <iostream>
+
+#include "assay/benchmarks.hpp"
+#include "report/svg_export.hpp"
+#include "sched/gantt.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "synth/synthesis.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fsyn;
+  const std::string name = argc > 1 ? argv[1] : "pcr";
+  const int increments = argc > 2 ? parse_int(argv[2]) : 0;
+
+  assay::SequencingGraph graph;
+  try {
+    graph = assay::make_benchmark(name);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\nknown benchmarks:";
+    for (const auto& n : assay::benchmark_names()) std::cerr << ' ' << n;
+    std::cerr << '\n';
+    return 1;
+  }
+
+  const sched::Schedule schedule =
+      sched::schedule_with_policy(graph, sched::make_policy(graph, increments));
+  std::cout << "== " << name << " p" << (increments + 1) << " ==\n\n"
+            << sched::render_gantt(schedule) << '\n';
+
+  const synth::SynthesisResult result = synth::synthesize(graph, schedule);
+  auto problem = synth::MappingProblem::build(
+      graph, schedule, arch::Architecture(result.chip_width, result.chip_height));
+  sim::ChipSimulator simulator(problem, result.placement, result.routing,
+                               sim::Setting::kConservative);
+
+  const auto times = simulator.interesting_times();
+  // Cap the walk-through for the big dilution cases.
+  const std::size_t step = times.size() > 8 ? times.size() / 8 : 1;
+  for (std::size_t i = 0; i < times.size(); i += step) {
+    std::cout << simulator.snapshot_at(times[i]).render() << '\n';
+  }
+
+  std::cout << "final metrics: vs1 " << result.vs1_max << " (" << result.vs1_pump
+            << " peristalsis), vs2 " << result.vs2_max << ", #v " << result.valve_count
+            << " on a " << result.chip_width << "x" << result.chip_height << " matrix\n";
+
+  const std::string svg_path = argc > 3 ? argv[3] : name + "_chip.svg";
+  report::write_chip_svg(svg_path, problem, result.placement, result.routing,
+                         result.ledger_setting1);
+  std::cout << "SVG rendering written to " << svg_path << '\n';
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Chip lifecycle demo: run the assay until valves wear out, mark the dead
+// valves, and re-synthesize the remaining chip.
+//
+//   $ ./examples/fault_recovery [benchmark]
+//
+// Demonstrates the operational payoff of the valve-centered architecture:
+// a traditional chip is scrap when its first pump valve dies; the valve
+// matrix re-maps the assay around the casualties and keeps working.
+#include <algorithm>
+#include <iostream>
+
+#include "assay/benchmarks.hpp"
+#include "sched/list_scheduler.hpp"
+#include "synth/synthesis.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fsyn;
+  const std::string name = argc > 1 ? argv[1] : "pcr";
+  constexpr int kEndurance = 5000;  // actuations before a valve dies [4]
+
+  assay::SequencingGraph graph;
+  try {
+    graph = assay::make_benchmark(name);
+  } catch (const Error& e) {
+    std::cerr << e.what() << '\n';
+    return 1;
+  }
+  const sched::Schedule schedule =
+      sched::schedule_with_policy(graph, sched::make_policy(graph, 0));
+
+  // Generation 0: fresh chip (fixed matrix so wear coordinates persist).
+  synth::SynthesisOptions options;
+  const auto fresh = synth::synthesize(graph, schedule, options);
+  const int grid = fresh.chip_width;
+  options.grid_size = grid;
+  options.max_chip_growth = 0;  // the physical chip cannot grow
+
+  std::cout << "== fault recovery lifecycle for '" << name << "' on a " << grid << "x"
+            << grid << " matrix ==\n\n";
+  TextTable table;
+  table.set_header({"generation", "dead valves", "runs survived", "vs_1max", "#v"});
+  table.set_alignment({Align::kRight});
+
+  std::vector<Point> dead;
+  Grid<int> wear(grid, grid, 0);
+  int generation = 0;
+  long total_runs = 0;
+  while (generation < 6) {
+    synth::SynthesisOptions gen_options = options;
+    gen_options.dead_valves = dead;
+    gen_options.heuristic.greedy_retries = 30;
+    synth::SynthesisResult result;
+    try {
+      result = synth::synthesize(graph, schedule, gen_options);
+    } catch (const Error&) {
+      std::cout << "generation " << generation << ": no feasible re-mapping with "
+                << dead.size() << " dead valves — chip retired.\n\n";
+      break;
+    }
+
+    // Run assays until the most-worn valve (wear + per-run load) dies.
+    const Grid<int> per_run = result.ledger_setting1.total();
+    int runs = std::numeric_limits<int>::max();
+    per_run.for_each([&](const Point& p, const int& load) {
+      if (load > 0) runs = std::min(runs, (kEndurance - wear.at(p)) / load);
+    });
+    runs = std::max(runs, 0);
+    total_runs += runs;
+    table.add_row({std::to_string(generation), std::to_string(dead.size()),
+                   std::to_string(runs),
+                   std::to_string(result.vs1_max) + "(" + std::to_string(result.vs1_pump) + ")",
+                   std::to_string(result.valve_count)});
+
+    // Apply the wear of those runs; valves at/over endurance die.
+    per_run.for_each([&](const Point& p, const int& load) {
+      wear.at(p) += load * (runs + 1);  // the (runs+1)-th run kills the weakest
+      if (load > 0 && wear.at(p) >= kEndurance &&
+          std::find(dead.begin(), dead.end(), p) == dead.end()) {
+        dead.push_back(p);
+      }
+    });
+    ++generation;
+  }
+
+  std::cout << table.to_string();
+  std::cout << "\ntotal assay executions across all generations: " << total_runs << '\n';
+  std::cout << "a traditional chip stops at generation 0 (its pump valves are fixed),\n"
+               "the valve matrix keeps re-mapping around the worn-out cells.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Demonstrates the paper's fifth contribution: support for assays whose
+// mixes use different volumes and input proportions on the same dynamic
+// architecture — no dedicated 1:3 mixer needs to be built next to the 1:1
+// mixer, because device ports can be chosen freely from the ring valves.
+//
+//   $ ./examples/mixing_ratios
+//
+// Builds a gradient-preparation assay (1:1, 1:3 and 3:1 mixes of the same
+// two stocks), verifies the exact product concentrations, and synthesizes
+// everything onto one valve matrix.
+#include <iostream>
+
+#include "assay/concentration.hpp"
+#include "assay/parser.hpp"
+#include "sched/list_scheduler.hpp"
+#include "synth/synthesis.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace fsyn;
+  const assay::SequencingGraph graph = assay::parse_assay(R"(
+assay gradient
+input  stock
+input  buf_a
+input  buf_b
+input  buf_c
+# Three target concentrations prepared with different ratios and volumes.
+mix    c50 volume 6  duration 5 from stock:1 buf_a:1
+mix    c25 volume 8  duration 5 from stock:1 buf_b:3
+mix    c75 volume 8  duration 5 from stock:3 buf_c:1
+# Interpolate between two of them (Ren-style) for a fourth point.
+mix    c375 volume 10 duration 6 from c25 c50
+detect read duration 4 from c375
+)");
+
+  std::cout << "== concentrations (exact rationals) ==\n";
+  TextTable table;
+  table.set_header({"product", "stock share", "as double"});
+  table.set_alignment({Align::kLeft, Align::kLeft});
+  const auto mixtures = assay::compute_mixtures(graph);
+  for (const assay::Operation& op : graph.operations()) {
+    if (op.kind != assay::OpKind::kMix) continue;
+    const assay::Ratio share = assay::concentration_of(graph, op.id, "stock");
+    table.add_row({op.name,
+                   std::to_string(share.numerator()) + "/" + std::to_string(share.denominator()),
+                   format_fixed(share.to_double(), 4)});
+  }
+  std::cout << table.to_string() << '\n';
+
+  const sched::Schedule schedule = sched::schedule_asap(graph);
+  const synth::SynthesisResult result = synth::synthesize(graph, schedule);
+  std::cout << "all four ratios synthesized on one " << result.chip_width << "x"
+            << result.chip_height << " matrix, " << result.valve_count << " valves, max "
+            << result.vs1_max << " actuations.\n";
+  std::cout << "a traditional design would instantiate a dedicated mixer per "
+               "ratio/port layout (paper Section 1, last contribution).\n";
+  return 0;
+}

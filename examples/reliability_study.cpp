@@ -1,0 +1,77 @@
+// Chip-lifetime study: how many assay repetitions survive before the first
+// valve wears out?
+//
+//   $ ./examples/reliability_study [benchmark]
+//
+// Valves on flow-based chips endure only a few thousand actuations [4]; the
+// chip dies with its first worn-out valve.  This example converts the
+// max-actuation metrics into "assay runs until wear-out" for the
+// traditional design and for dynamic-device mapping under every policy.
+#include <iostream>
+
+#include "assay/benchmarks.hpp"
+#include "baseline/traditional.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/wear_model.hpp"
+#include "synth/synthesis.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fsyn;
+  const std::string name = argc > 1 ? argv[1] : "pcr";
+  constexpr int kValveEndurance = 5000;  // actuations before wear-out [4]
+
+  assay::SequencingGraph graph;
+  try {
+    graph = assay::make_benchmark(name);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\nknown benchmarks:";
+    for (const auto& n : assay::benchmark_names()) std::cerr << ' ' << n;
+    std::cerr << '\n';
+    return 1;
+  }
+
+  std::cout << "== chip lifetime for '" << name << "' (valve endurance "
+            << kValveEndurance << " actuations) ==\n\n";
+  TextTable table;
+  table.set_header({"policy", "traditional runs", "ours (setting 1)", "ours (setting 2)",
+                    "lifetime gain"});
+  table.set_alignment({Align::kLeft});
+
+  for (int increments = 0; increments < 3; ++increments) {
+    const sched::Policy policy = sched::make_policy(graph, increments);
+    const sched::Schedule schedule = sched::schedule_with_policy(graph, policy);
+    const auto traditional = baseline::build_traditional(graph, policy, schedule);
+    const auto ours = synth::synthesize(graph, schedule);
+
+    const int runs_traditional = kValveEndurance / traditional.max_valve_actuations;
+    const int runs_setting1 = kValveEndurance / ours.vs1_max;
+    const int runs_setting2 = kValveEndurance / ours.vs2_max;
+    table.add_row({"p" + std::to_string(increments + 1), std::to_string(runs_traditional),
+                   std::to_string(runs_setting1), std::to_string(runs_setting2),
+                   format_fixed(static_cast<double>(runs_setting2) / runs_traditional, 1) + "x"});
+  }
+  std::cout << table.to_string();
+
+  // Monte-Carlo refinement for p1: valve endurance varies between devices,
+  // so the realistic lifetime is a distribution, not one number.
+  const sched::Policy p1 = sched::make_policy(graph, 0);
+  const sched::Schedule schedule = sched::schedule_with_policy(graph, p1);
+  const auto ours = synth::synthesize(graph, schedule);
+  sim::WearModel wear;
+  wear.endurance_mean = kValveEndurance;
+  Rng rng(2026);
+  const sim::LifetimeEstimate mc =
+      sim::monte_carlo_lifetime(ours.ledger_setting2, rng, wear);
+  std::cout << "\nMonte-Carlo (p1, setting 2, " << mc.trials << " sampled chips, endurance "
+            << wear.endurance_mean << " +/- " << wear.endurance_stddev << "):\n"
+            << "  expected runs until first valve failure: " << format_fixed(mc.mean_runs, 1)
+            << "\n  pessimistic (p10): " << format_fixed(mc.p10_runs, 1)
+            << "   optimistic (p90): " << format_fixed(mc.p90_runs, 1) << '\n';
+
+  std::cout << "\nvalve-role changing spreads peristaltic wear across the matrix, which\n"
+               "is exactly the paper's motivation: the service life is set by the\n"
+               "busiest valve, not the average one.\n";
+  return 0;
+}

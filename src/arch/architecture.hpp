@@ -1,0 +1,68 @@
+// The valve-centered architecture (paper Section 3.1).
+//
+// A rectangular matrix of virtual valves, after the programmable valve
+// matrix of Fidalgo & Maerkl [9].  Every component — dynamic mixers, in situ
+// storages and flow channels — is formed out of these valves; virtual valves
+// that are never actuated are removed from the manufactured design at the
+// end of synthesis (Algorithm 1, L20).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/device_types.hpp"
+#include "assay/sequencing_graph.hpp"
+#include "geom/grid.hpp"
+#include "sched/schedule.hpp"
+
+namespace fsyn::arch {
+
+/// A chip port connected to an off-chip sample pump or waste sink
+/// (paper Section 3.5).  Ports sit on edge cells of the valve matrix.
+struct ChipPort {
+  std::string name;
+  Point cell;
+  bool is_input = true;
+};
+
+class Architecture {
+ public:
+  /// Builds a width x height virtual valve matrix with the default port
+  /// configuration of the paper's experiments: two input ports and one
+  /// output port on the right edge (Fig. 10).
+  Architecture(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  Rect bounds() const { return Rect{0, 0, width_, height_}; }
+  int virtual_valve_count() const { return width_ * height_; }
+
+  const std::vector<ChipPort>& ports() const { return ports_; }
+  const ChipPort& input_port(int index) const;
+  const ChipPort& output_port() const;
+
+  /// Replaces the default ports; each must sit on an edge cell.
+  void set_ports(std::vector<ChipPort> ports);
+
+  /// True when the device footprint lies fully inside the matrix.
+  bool fits(const DeviceInstance& device) const {
+    return bounds().contains(device.footprint());
+  }
+
+  /// All origins at which `type` fits, row-major.
+  std::vector<Point> placements_for(const DeviceType& type) const;
+
+  /// Sizes a square matrix for the given scheduled assay: enough area for
+  /// the maximum concurrent device demand (footprints plus wall spacing),
+  /// with a floor of 8x8.  `slack` scales the demand (default 1.6 leaves
+  /// room for routing and storage overlap).
+  static Architecture sized_for(const assay::SequencingGraph& graph,
+                                const sched::Schedule& schedule, double slack = 1.6);
+
+ private:
+  int width_;
+  int height_;
+  std::vector<ChipPort> ports_;
+};
+
+}  // namespace fsyn::arch

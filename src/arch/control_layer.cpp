@@ -1,0 +1,181 @@
+#include "arch/control_layer.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace fsyn::arch {
+
+namespace {
+
+int distance_to_boundary(const Point& p, int width, int height) {
+  return std::min(std::min(p.x, width - 1 - p.x), std::min(p.y, height - 1 - p.y));
+}
+
+/// Cheapest rectilinear path from any cell of `sources` to a cell where
+/// `is_target` holds; `usage` marks cells of other nets (penalized).
+std::vector<Point> cheapest_path(const std::set<Point>& sources,
+                                 const std::function<bool(const Point&)>& is_target,
+                                 const Grid<int>& usage, double crossing_penalty) {
+  const int width = usage.width();
+  const int height = usage.height();
+  const double inf = std::numeric_limits<double>::infinity();
+  Grid<double> dist(width, height, inf);
+  Grid<Point> prev(width, height, Point{-1, -1});
+  using Entry = std::pair<double, Point>;
+  auto cmp = [](const Entry& a, const Entry& b) {
+    return a.first != b.first
+               ? a.first > b.first
+               : std::tie(a.second.x, a.second.y) > std::tie(b.second.x, b.second.y);
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> queue(cmp);
+  for (const Point& s : sources) {
+    dist.at(s) = 0.0;
+    queue.push({0.0, s});
+  }
+  while (!queue.empty()) {
+    const auto [d, cell] = queue.top();
+    queue.pop();
+    if (d > dist.at(cell)) continue;
+    if (is_target(cell)) {
+      std::vector<Point> path;
+      for (Point c = cell; c.x >= 0; c = prev.at(c)) path.push_back(c);
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    for (const Point& next : orthogonal_neighbours(cell)) {
+      if (!usage.in_bounds(next)) continue;
+      const double step = 1.0 + (usage.at(next) > 0 ? crossing_penalty : 0.0);
+      if (dist.at(cell) + step < dist.at(next)) {
+        dist.at(next) = dist.at(cell) + step;
+        prev.at(next) = cell;
+        queue.push({dist.at(next), next});
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+ControlLayerPlan plan_control_layer(const std::vector<std::vector<Point>>& pin_groups,
+                                    int width, int height,
+                                    const ControlLayerOptions& options) {
+  check_input(width >= 2 && height >= 2, "control layer needs a real grid");
+  for (const auto& group : pin_groups) {
+    check_input(!group.empty(), "empty pin group");
+    for (const Point& valve : group) {
+      check_input(valve.x >= 0 && valve.x < width && valve.y >= 0 && valve.y < height,
+                  "valve outside the matrix");
+    }
+  }
+
+  // Big nets first: they have the least routing freedom.
+  std::vector<std::size_t> order(pin_groups.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return pin_groups[a].size() > pin_groups[b].size();
+  });
+
+  ControlLayerPlan plan;
+  Grid<int> usage(width, height, 0);
+
+  for (const std::size_t group_index : order) {
+    const std::vector<Point>& valves = pin_groups[group_index];
+    ControlNet net;
+    net.pin = static_cast<int>(plan.nets.size());
+    net.valves = valves;
+
+    // Seed with the valve closest to the boundary (cheapest escape later).
+    std::vector<Point> pending = valves;
+    std::sort(pending.begin(), pending.end(), [&](const Point& a, const Point& b) {
+      const int da = distance_to_boundary(a, width, height);
+      const int db = distance_to_boundary(b, width, height);
+      return da != db ? da < db : std::tie(a.x, a.y) < std::tie(b.x, b.y);
+    });
+    std::set<Point> tree{pending.front()};
+    pending.erase(pending.begin());
+
+    // Greedy Steiner growth: attach each remaining valve via the cheapest
+    // path from the current tree.
+    while (!pending.empty()) {
+      std::set<Point> remaining(pending.begin(), pending.end());
+      const std::vector<Point> path = cheapest_path(
+          tree, [&](const Point& p) { return remaining.contains(p); }, usage,
+          options.crossing_penalty);
+      require(!path.empty(), "control net could not reach one of its valves");
+      for (const Point& cell : path) tree.insert(cell);
+      pending.erase(std::find(pending.begin(), pending.end(), path.back()));
+    }
+
+    // Escape to the chip boundary.
+    const auto on_boundary = [&](const Point& p) {
+      return p.x == 0 || p.x == width - 1 || p.y == 0 || p.y == height - 1;
+    };
+    const bool already_escaped = std::any_of(tree.begin(), tree.end(), on_boundary);
+    if (already_escaped) {
+      for (const Point& cell : tree) {
+        if (on_boundary(cell)) {
+          net.escape = cell;
+          break;
+        }
+      }
+    } else {
+      const std::vector<Point> path =
+          cheapest_path(tree, on_boundary, usage, options.crossing_penalty);
+      require(!path.empty(), "control net could not escape to the boundary");
+      for (const Point& cell : path) tree.insert(cell);
+      net.escape = path.back();
+    }
+
+    net.channel.assign(tree.begin(), tree.end());
+    for (const Point& cell : net.channel) usage.at(cell) += 1;
+    plan.total_length += net.length();
+    plan.nets.push_back(std::move(net));
+  }
+
+  for (const int count : usage) {
+    if (count > 1) plan.crossings += count - 1;
+  }
+  return plan;
+}
+
+void validate_control_layer(const ControlLayerPlan& plan, int width, int height) {
+  for (const ControlNet& net : plan.nets) {
+    require(!net.channel.empty(), "empty control net");
+    const std::set<Point> channel(net.channel.begin(), net.channel.end());
+    require(channel.size() == net.channel.size(), "duplicate cells in a control net");
+    for (const Point& cell : channel) {
+      require(cell.x >= 0 && cell.x < width && cell.y >= 0 && cell.y < height,
+              "control channel leaves the chip");
+    }
+    for (const Point& valve : net.valves) {
+      require(channel.contains(valve), "control net misses one of its valves");
+    }
+    require(channel.contains(net.escape), "control net misses its escape cell");
+    require(net.escape.x == 0 || net.escape.x == width - 1 || net.escape.y == 0 ||
+                net.escape.y == height - 1,
+            "escape cell is not on the boundary");
+
+    // Connectivity: BFS within the channel reaches every cell.
+    std::set<Point> visited;
+    std::queue<Point> queue;
+    queue.push(net.channel.front());
+    visited.insert(net.channel.front());
+    while (!queue.empty()) {
+      const Point cell = queue.front();
+      queue.pop();
+      for (const Point& next : orthogonal_neighbours(cell)) {
+        if (channel.contains(next) && visited.insert(next).second) queue.push(next);
+      }
+    }
+    require(visited.size() == channel.size(), "control net is disconnected");
+  }
+}
+
+}  // namespace fsyn::arch

@@ -1,0 +1,62 @@
+// Control-layer synthesis (extension).
+//
+// Every actuated valve needs a pressure line in the control layer from an
+// off-chip pin at the chip boundary to the valve's membrane.  Valves with
+// identical actuation schedules share one pin (sim/control_program.hpp);
+// this module plans the control-layer geometry for those pin groups:
+//
+//  * each pin group becomes a rectilinear net: a greedy Steiner tree that
+//    connects all its valves and escapes to the nearest chip edge,
+//  * nets are planned in decreasing group size; cells already used by
+//    other nets cost extra, so crossings (which a single-layer fabrication
+//    cannot build) are minimized and counted honestly.
+//
+// The result quantifies the *control* cost of a synthesized chip: pins,
+// total channel length, and residual crossings that would need a second
+// control layer.  This mirrors the follow-up work on control-layer design
+// for flow-based biochips and rounds out the chip model of this repo.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/grid.hpp"
+#include "geom/point.hpp"
+
+namespace fsyn::arch {
+
+/// One pressure net: a pin at the chip boundary driving several valves.
+struct ControlNet {
+  int pin = -1;                  ///< pin index (escape order)
+  Point escape;                  ///< boundary cell where the line leaves the chip
+  std::vector<Point> valves;     ///< valves driven by this pin
+  std::vector<Point> channel;    ///< all control-layer cells of the net (tree)
+
+  int length() const { return static_cast<int>(channel.size()); }
+};
+
+struct ControlLayerPlan {
+  std::vector<ControlNet> nets;
+  int total_length = 0;
+  /// Control-layer cells used by more than one net: each needs a crossover
+  /// (a second control layer or a tunnel) to fabricate.
+  int crossings = 0;
+};
+
+struct ControlLayerOptions {
+  /// Extra cost for entering a cell already occupied by another net.
+  double crossing_penalty = 12.0;
+};
+
+/// Plans control-layer channels for pin groups of valves.  Each inner
+/// vector is one pin's valve set (e.g. from grouping a ControlProgram's
+/// identical schedules); all valves must lie inside width x height.
+ControlLayerPlan plan_control_layer(const std::vector<std::vector<Point>>& pin_groups,
+                                    int width, int height,
+                                    const ControlLayerOptions& options = {});
+
+/// Validates a plan: every net's channel is a connected tree containing
+/// all its valves and its boundary escape.  Throws fsyn::LogicError.
+void validate_control_layer(const ControlLayerPlan& plan, int width, int height);
+
+}  // namespace fsyn::arch

@@ -1,0 +1,42 @@
+#include "arch/device_types.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace fsyn::arch {
+
+std::vector<DeviceType> device_types_for_volume(int volume) {
+  check_input(volume >= 4 && volume % 2 == 0,
+              "device volume must be an even number >= 4, got " + std::to_string(volume));
+  // 2(w+h)-4 == volume  =>  w+h == volume/2 + 2.
+  const int half_perimeter = volume / 2 + 2;
+  std::vector<DeviceType> types;
+  for (int width = 2; width <= half_perimeter - 2; ++width) {
+    const int height = half_perimeter - width;
+    types.push_back(DeviceType{width, height});
+  }
+  // Squarer shapes first (fewer placement conflicts), then wide before tall.
+  std::sort(types.begin(), types.end(), [](const DeviceType& a, const DeviceType& b) {
+    const int da = std::abs(a.width - a.height);
+    const int db = std::abs(b.width - b.height);
+    if (da != db) return da < db;
+    return a.width > b.width;
+  });
+  return types;
+}
+
+std::vector<DeviceType> device_types_for_volumes(const std::vector<int>& volumes) {
+  std::set<int> seen;
+  std::vector<DeviceType> all;
+  for (const int volume : volumes) {
+    if (!seen.insert(volume).second) continue;
+    const auto types = device_types_for_volume(volume);
+    all.insert(all.end(), types.begin(), types.end());
+  }
+  return all;
+}
+
+}  // namespace fsyn::arch

@@ -1,0 +1,65 @@
+// Dynamic device shapes (paper Section 3.1 / Fig. 5, Fig. 6).
+//
+// A dynamic mixer of width w and height h uses the perimeter ring of its
+// w x h footprint as the circulation channel; all 2(w+h)-4 ring valves act
+// as pump valves, and the ring length is the device's volume in cells.
+// For volume 8 this yields the paper's three types: 2x4, 4x2 and 3x3.
+#pragma once
+
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+
+namespace fsyn::arch {
+
+struct DeviceType {
+  int width = 0;
+  int height = 0;
+
+  friend auto operator<=>(const DeviceType&, const DeviceType&) = default;
+
+  /// Ring length = payload volume in cells.
+  int volume() const { return 2 * (width + height) - 4; }
+  /// Number of valves acting as pump valves (= the whole ring).
+  int pump_valve_count() const { return volume(); }
+  /// Smaller of the two dimensions; the paper's routing-convenience
+  /// distance d is the minimum over all devices of this value.
+  int min_dimension() const { return width < height ? width : height; }
+};
+
+/// All w x h shapes with ring length == `volume` (w,h >= 2), ordered with
+/// the squarer shapes first.  E.g. volume 8 -> {3x3, 2x4, 4x2}.
+/// Throws fsyn::Error when `volume` is odd or < 4.
+std::vector<DeviceType> device_types_for_volume(int volume);
+
+/// Union of device types over several volumes, deduplicated.
+std::vector<DeviceType> device_types_for_volumes(const std::vector<int>& volumes);
+
+/// A placed dynamic device: a shape at a grid origin (left-bottom corner,
+/// as the paper's selection variable s_{x,y,k,i}).
+struct DeviceInstance {
+  DeviceType type;
+  Point origin;
+
+  friend auto operator<=>(const DeviceInstance&, const DeviceInstance&) = default;
+
+  /// Cells of the device body.
+  Rect footprint() const { return Rect{origin.x, origin.y, type.width, type.height}; }
+
+  /// The circulation ring = temporary pump valves (paper Section 3.2).
+  std::vector<Point> pump_cells() const { return footprint().ring_cells(); }
+
+  /// Interior cells enclosed by the ring (unused while mixing; they stay
+  /// closed).  Empty for 2-wide shapes.
+  std::vector<Point> interior_cells() const {
+    if (type.width <= 2 || type.height <= 2) return {};
+    return Rect{origin.x + 1, origin.y + 1, type.width - 2, type.height - 2}.cells();
+  }
+
+  /// Candidate port locations: any ring cell may serve as a port thanks to
+  /// the valve-role-changing concept (paper Section 1, last bullet).
+  std::vector<Point> port_candidates() const { return pump_cells(); }
+};
+
+}  // namespace fsyn::arch

@@ -1,0 +1,289 @@
+#include "assay/benchmarks.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace fsyn::assay {
+
+namespace {
+
+/// Checks a finished benchmark against the paper's Table-1 head counts.
+void assert_counts(const SequencingGraph& g, int total_ops, int mixing_ops,
+                   const std::map<int, int>& volume_histogram) {
+  g.validate();
+  require(g.size() == total_ops, "benchmark op count drifted from Table 1");
+  require(g.mixing_count() == mixing_ops, "benchmark mixing count drifted from Table 1");
+  std::map<int, int> histogram;
+  for (const Operation& op : g.operations()) {
+    if (op.kind == OpKind::kMix) ++histogram[op.volume];
+  }
+  require(histogram == volume_histogram, "benchmark volume multiset drifted from Table 1");
+}
+
+/// Deterministic duration cycle for benchmarks without published timings.
+int cycle_duration(int index) {
+  static constexpr int kCycle[] = {6, 5, 7, 4, 8};
+  return kCycle[index % 5];
+}
+
+Operation make_input(const std::string& name) {
+  Operation op;
+  op.kind = OpKind::kInput;
+  op.name = name;
+  return op;
+}
+
+Operation make_mix(const std::string& name, std::vector<OpId> parents, int volume,
+                   int duration) {
+  Operation op;
+  op.kind = OpKind::kMix;
+  op.name = name;
+  op.parents = std::move(parents);
+  op.volume = volume;
+  op.duration = duration;
+  return op;
+}
+
+Operation make_detect(const std::string& name, OpId parent, int duration = 4) {
+  Operation op;
+  op.kind = OpKind::kDetect;
+  op.name = name;
+  op.parents = {parent};
+  op.duration = duration;
+  op.volume = 4;  // detection chamber: smallest dynamic device, no pumping
+  return op;
+}
+
+}  // namespace
+
+SequencingGraph make_pcr() {
+  SequencingGraph g("pcr");
+  // Eight reagents feed the binary mixing tree of Fig. 9:
+  //   o5 <- o1, o2;  o6 <- o3, o4;  o7 <- o5, o6.
+  // Durations chosen so ASAP scheduling with 3 tu transport reproduces the
+  // Gantt chart exactly (o3/o4 end at 3, o6 runs 6..12, o2 ends at 12,
+  // o1 at 15, o5 runs 18..22, o7 runs 25..29).
+  std::vector<OpId> in;
+  for (int i = 1; i <= 8; ++i) in.push_back(g.add_operation(make_input("i" + std::to_string(i))));
+  const OpId o1 = g.add_operation(make_mix("o1", {in[0], in[1]}, 8, 15));
+  const OpId o2 = g.add_operation(make_mix("o2", {in[2], in[3]}, 8, 12));
+  const OpId o3 = g.add_operation(make_mix("o3", {in[4], in[5]}, 8, 3));
+  const OpId o4 = g.add_operation(make_mix("o4", {in[6], in[7]}, 8, 3));
+  const OpId o5 = g.add_operation(make_mix("o5", {o1, o2}, 10, 4));
+  const OpId o6 = g.add_operation(make_mix("o6", {o3, o4}, 10, 6));
+  g.add_operation(make_mix("o7", {o5, o6}, 4, 4));
+  assert_counts(g, 15, 7, {{4, 1}, {8, 4}, {10, 2}});
+  return g;
+}
+
+SequencingGraph make_mixing_tree() {
+  SequencingGraph g("mixing_tree");
+  // A 19-leaf mixing tree: repeatedly mix the two oldest unconsumed
+  // products, which yields a left-leaning reduction tree of 18 mixes.
+  // Volumes are drawn from the Table-1 multiset 2x4, 4x6, 5x8, 7x10,
+  // ordered so that late (high-fan-in) mixes tend to be larger.
+  static constexpr int kVolumes[18] = {6, 8, 6, 8, 6, 8, 6, 8, 8,
+                                       10, 10, 10, 10, 10, 10, 10, 4, 4};
+  std::vector<OpId> pending;
+  for (int i = 1; i <= 19; ++i) {
+    pending.push_back(g.add_operation(make_input("r" + std::to_string(i))));
+  }
+  int mix_index = 0;
+  while (pending.size() > 1) {
+    const OpId a = pending[0];
+    const OpId b = pending[1];
+    pending.erase(pending.begin(), pending.begin() + 2);
+    const OpId m = g.add_operation(make_mix("m" + std::to_string(mix_index + 1), {a, b},
+                                            kVolumes[mix_index], cycle_duration(mix_index)));
+    pending.push_back(m);
+    ++mix_index;
+  }
+  assert_counts(g, 37, 18, {{4, 2}, {6, 4}, {8, 5}, {10, 7}});
+  return g;
+}
+
+SequencingGraph make_interpolating_dilution() {
+  SequencingGraph g("interpolating_dilution");
+  // Interpolating mixing architecture after Ren et al. [11]: 16 seed mixes
+  // of fresh sample/buffer pairs, then a reduction cascade (8 + 4 + 2 + 1)
+  // producing coarse concentrations, plus 4 interpolation mixes between
+  // neighbouring cascade products whose concentrations are read out.
+  static constexpr int kVolumes[35] = {
+      // 16 seed mixes
+      6, 6, 6, 6, 6, 6, 6, 6, 8, 8, 8, 8, 8, 8, 8, 8,
+      // 8 + 4 + 2 + 1 cascade
+      10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 6, 4, 4,
+      // 4 interpolation mixes
+      8, 4, 4, 4};
+  int mix_index = 0;
+  auto next_mix = [&](std::vector<OpId> parents) {
+    const int volume = kVolumes[mix_index];
+    const OpId id = g.add_operation(make_mix("d" + std::to_string(mix_index + 1),
+                                             std::move(parents), volume,
+                                             cycle_duration(mix_index)));
+    ++mix_index;
+    return id;
+  };
+
+  std::vector<OpId> level;
+  for (int i = 0; i < 16; ++i) {
+    const OpId s = g.add_operation(make_input("s" + std::to_string(i + 1)));
+    const OpId b = g.add_operation(make_input("b" + std::to_string(i + 1)));
+    level.push_back(next_mix({s, b}));
+  }
+  std::vector<OpId> second_level;
+  while (level.size() > 1) {
+    std::vector<OpId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(next_mix({level[i], level[i + 1]}));
+    }
+    if (second_level.empty()) second_level = next;
+    level = std::move(next);
+  }
+  // Interpolate between neighbouring second-level concentrations and detect.
+  std::vector<OpId> interpolated;
+  for (int i = 0; i < 4; ++i) {
+    interpolated.push_back(next_mix({second_level[static_cast<std::size_t>(i)],
+                                     second_level[static_cast<std::size_t>(i) + 1]}));
+  }
+  for (int i = 0; i < 4; ++i) {
+    g.add_operation(make_detect("read" + std::to_string(i + 1),
+                                interpolated[static_cast<std::size_t>(i)]));
+  }
+  assert_counts(g, 71, 35, {{4, 5}, {6, 9}, {8, 9}, {10, 12}});
+  return g;
+}
+
+SequencingGraph make_exponential_dilution() {
+  SequencingGraph g("exponential_dilution");
+  // Serial exponential dilution [12]: five chains; every step mixes the
+  // previous product 1:1 with fresh buffer, halving the concentration.
+  // Four chain ends are detected.  Chain lengths 10+10+9+9+9 = 47 mixes.
+  static constexpr int kChainLength[5] = {10, 10, 9, 9, 9};
+  static constexpr int kVolumes[47] = {
+      // chain 1 (10)
+      10, 8, 6, 6, 8, 10, 6, 8, 10, 4,
+      // chain 2 (10)
+      10, 8, 6, 6, 8, 10, 6, 8, 10, 4,
+      // chain 3 (9)
+      10, 8, 6, 6, 8, 10, 6, 8, 4,
+      // chain 4 (9)
+      10, 8, 6, 6, 8, 10, 6, 8, 4,
+      // chain 5 (9)
+      10, 6, 6, 6, 8, 10, 4, 4, 6};
+  int mix_index = 0;
+  for (int chain = 0; chain < 5; ++chain) {
+    OpId current =
+        g.add_operation(make_input("sample" + std::to_string(chain + 1)));
+    for (int step = 0; step < kChainLength[chain]; ++step) {
+      const OpId buffer = g.add_operation(make_input(
+          "buf" + std::to_string(chain + 1) + "_" + std::to_string(step + 1)));
+      Operation mix = make_mix("e" + std::to_string(mix_index + 1), {current, buffer},
+                               kVolumes[mix_index], cycle_duration(mix_index));
+      mix.ratio = {1, 1};  // exact 1:1 serial dilution
+      current = g.add_operation(std::move(mix));
+      ++mix_index;
+    }
+    if (chain < 4) {
+      g.add_operation(make_detect("read" + std::to_string(chain + 1), current));
+    }
+  }
+  assert_counts(g, 103, 47, {{4, 6}, {6, 16}, {8, 13}, {10, 12}});
+  return g;
+}
+
+SequencingGraph make_protein_assay() {
+  SequencingGraph g("protein");
+  // Binary dilution tree of depth 3: the sample is diluted 1:1 with buffer,
+  // and every dilution product feeds two further dilutions, yielding the
+  // 8 concentrations of the classic protein benchmark.  Each leaf dilution
+  // is then mixed 1:1 with Bradford reagent and read optically.
+  const OpId sample = g.add_operation(make_input("sample"));
+  int buffers = 0, mix_index = 0;
+  auto dilute = [&](OpId parent, int volume) {
+    const OpId buffer = g.add_operation(make_input("buf" + std::to_string(++buffers)));
+    ++mix_index;
+    Operation mix = make_mix("dlt" + std::to_string(mix_index), {parent, buffer}, volume,
+                             cycle_duration(mix_index));
+    mix.ratio = {1, 1};
+    return g.add_operation(std::move(mix));
+  };
+
+  std::vector<OpId> level{dilute(sample, 10)};
+  for (int depth = 0; depth < 2; ++depth) {
+    std::vector<OpId> next;
+    for (const OpId node : level) {
+      next.push_back(dilute(node, depth == 0 ? 8 : 6));
+      next.push_back(dilute(node, depth == 0 ? 8 : 6));
+    }
+    level = std::move(next);
+  }
+  // 8 leaf dilutions of the last level... depth covers 1 + 2 + 4 = 7 mixes;
+  // mix each of the 4 level-2 products with reagent twice (split readout).
+  int reagents = 0;
+  for (const OpId node : level) {
+    for (int split = 0; split < 2; ++split) {
+      const OpId reagent = g.add_operation(make_input("rgt" + std::to_string(++reagents)));
+      ++mix_index;
+      Operation mix = make_mix("assay" + std::to_string(mix_index - 7), {node, reagent}, 4,
+                               cycle_duration(mix_index));
+      const OpId stained = g.add_operation(std::move(mix));
+      g.add_operation(make_detect("od" + std::to_string(reagents), stained));
+    }
+  }
+  g.validate();
+  require(g.size() == 39 && g.mixing_count() == 15, "protein benchmark drifted");
+  return g;
+}
+
+SequencingGraph make_invitro() {
+  SequencingGraph g("invitro");
+  // 3 physiological samples x 3 enzymatic assays; every pair is mixed and
+  // its product detected (Su & Chakrabarty's in-vitro benchmark family).
+  std::vector<OpId> samples, reagents;
+  for (int s = 1; s <= 3; ++s) {
+    samples.push_back(g.add_operation(make_input("S" + std::to_string(s))));
+  }
+  for (int a = 1; a <= 3; ++a) {
+    reagents.push_back(g.add_operation(make_input("R" + std::to_string(a))));
+  }
+  static constexpr int kVolumes[9] = {8, 6, 8, 6, 8, 6, 8, 6, 4};
+  int index = 0;
+  for (std::size_t s = 0; s < samples.size(); ++s) {
+    for (std::size_t a = 0; a < reagents.size(); ++a) {
+      const std::string tag = std::to_string(s + 1) + std::to_string(a + 1);
+      const OpId mixed = g.add_operation(make_mix("m" + tag, {samples[s], reagents[a]},
+                                                  kVolumes[index], cycle_duration(index)));
+      ++index;
+      g.add_operation(make_detect("d" + tag, mixed));
+    }
+  }
+  g.validate();
+  require(g.size() == 24 && g.mixing_count() == 9, "invitro benchmark drifted");
+  return g;
+}
+
+std::vector<std::string> benchmark_names() {
+  return {"pcr", "mixing_tree", "interpolating_dilution", "exponential_dilution"};
+}
+
+std::vector<std::string> extended_benchmark_names() {
+  auto names = benchmark_names();
+  names.push_back("protein");
+  names.push_back("invitro");
+  return names;
+}
+
+SequencingGraph make_benchmark(const std::string& name) {
+  if (name == "pcr") return make_pcr();
+  if (name == "mixing_tree") return make_mixing_tree();
+  if (name == "interpolating_dilution") return make_interpolating_dilution();
+  if (name == "exponential_dilution") return make_exponential_dilution();
+  if (name == "protein") return make_protein_assay();
+  if (name == "invitro") return make_invitro();
+  throw Error("unknown benchmark '" + name + "'");
+}
+
+}  // namespace fsyn::assay

@@ -1,0 +1,57 @@
+// The four test cases of the paper's evaluation (Section 4), reconstructed
+// from laboratory protocols [11][12] and the data in Table 1.
+//
+// The paper gives, per case, the total and mixing operation counts and — via
+// the #m4-6-8-10 column — the exact multiset of mixing volumes.  The DAG
+// structures follow the cited protocols: a binary mixing tree for PCR
+// (matching Fig. 9), a larger mixing tree, an interpolating dilution network
+// (Ren et al.) and serial exponential-dilution chains.  Durations are not
+// printed in the paper; the PCR durations are chosen so that an ASAP
+// schedule with 3 tu transport delay reproduces Fig. 9 exactly, the others
+// use a fixed deterministic cycle (see DESIGN.md §3.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "assay/sequencing_graph.hpp"
+
+namespace fsyn::assay {
+
+/// Transport delay used throughout the paper's experiments (Fig. 9).
+inline constexpr int kTransportDelay = 3;
+
+/// Polymerase chain reaction mixing stage: 15 ops, 7 mixes (Fig. 9).
+SequencingGraph make_pcr();
+
+/// General sample-preparation mixing tree: 37 ops, 18 mixes.
+SequencingGraph make_mixing_tree();
+
+/// Interpolating dilution network [11]: 71 ops, 35 mixes.
+SequencingGraph make_interpolating_dilution();
+
+/// Exponential dilution chains [12]: 103 ops, 47 mixes.
+SequencingGraph make_exponential_dilution();
+
+/// Names accepted by make_benchmark, in the paper's Table-1 order.
+std::vector<std::string> benchmark_names();
+
+// ---- additional laboratory protocols beyond the paper's four ----
+
+/// Colorimetric protein assay (after Su & Chakrabarty's classic DMFB
+/// benchmark): a binary dilution tree of the sample, each dilution mixed
+/// with Bradford reagent and read optically.  39 ops, 15 mixes.
+SequencingGraph make_protein_assay();
+
+/// In-vitro diagnostics: 3 physiological samples x 3 enzymatic assays,
+/// every pair mixed and detected.  24 ops, 9 mixes.
+SequencingGraph make_invitro();
+
+/// The paper's four benchmarks plus the additional protocols.
+std::vector<std::string> extended_benchmark_names();
+
+/// Builds a benchmark by name (any of extended_benchmark_names());
+/// throws fsyn::Error for unknown names.
+SequencingGraph make_benchmark(const std::string& name);
+
+}  // namespace fsyn::assay

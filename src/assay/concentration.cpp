@@ -1,0 +1,85 @@
+#include "assay/concentration.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace fsyn::assay {
+
+Ratio::Ratio(std::int64_t numerator, std::int64_t denominator)
+    : numerator_(numerator), denominator_(denominator) {
+  check_input(denominator != 0, "ratio with zero denominator");
+  check_input(numerator >= 0 && denominator > 0, "ratios must be non-negative");
+  const std::int64_t g = std::gcd(numerator_, denominator_);
+  if (g > 1) {
+    numerator_ /= g;
+    denominator_ /= g;
+  }
+  if (numerator_ == 0) denominator_ = 1;
+}
+
+Ratio Ratio::operator+(const Ratio& other) const {
+  // Reduce via the gcd of denominators first to delay overflow.
+  const std::int64_t g = std::gcd(denominator_, other.denominator_);
+  const std::int64_t scale = other.denominator_ / g;
+  return Ratio(numerator_ * scale + other.numerator_ * (denominator_ / g),
+               denominator_ * scale);
+}
+
+Ratio Ratio::operator*(const Ratio& other) const {
+  // Cross-reduce before multiplying.
+  const std::int64_t g1 = std::gcd(numerator_, other.denominator_);
+  const std::int64_t g2 = std::gcd(other.numerator_, denominator_);
+  return Ratio((numerator_ / g1) * (other.numerator_ / g2),
+               (denominator_ / g2) * (other.denominator_ / g1));
+}
+
+std::vector<Mixture> compute_mixtures(const SequencingGraph& graph) {
+  std::vector<Mixture> mixtures(static_cast<std::size_t>(graph.size()));
+  for (const OpId id : graph.topological_order()) {
+    const Operation& op = graph.op(id);
+    Mixture& mixture = mixtures[static_cast<std::size_t>(id.index)];
+    switch (op.kind) {
+      case OpKind::kInput:
+        mixture[op.name] = Ratio::one();
+        break;
+      case OpKind::kDetect:
+      case OpKind::kOutput:
+        mixture = mixtures[static_cast<std::size_t>(op.parents.at(0).index)];
+        break;
+      case OpKind::kMix: {
+        std::int64_t total_parts = 0;
+        if (op.ratio.empty()) {
+          total_parts = static_cast<std::int64_t>(op.parents.size());
+        } else {
+          for (const int part : op.ratio) total_parts += part;
+        }
+        require(total_parts > 0, "mix with zero total ratio parts");
+        for (std::size_t p = 0; p < op.parents.size(); ++p) {
+          const std::int64_t parts = op.ratio.empty() ? 1 : op.ratio[p];
+          const Ratio weight(parts, total_parts);
+          for (const auto& [fluid, share] :
+               mixtures[static_cast<std::size_t>(op.parents[p].index)]) {
+            Mixture::iterator it = mixture.find(fluid);
+            if (it == mixture.end()) {
+              mixture[fluid] = share * weight;
+            } else {
+              it->second = it->second + share * weight;
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+  return mixtures;
+}
+
+Ratio concentration_of(const SequencingGraph& graph, OpId op, const std::string& fluid) {
+  const auto mixtures = compute_mixtures(graph);
+  const Mixture& mixture = mixtures.at(static_cast<std::size_t>(op.index));
+  const auto it = mixture.find(fluid);
+  return it == mixture.end() ? Ratio::zero() : it->second;
+}
+
+}  // namespace fsyn::assay

@@ -1,0 +1,56 @@
+// Concentration tracking through a sequencing graph.
+//
+// The paper's benchmarks are dilution protocols: every mixing operation
+// combines its parents in a given ratio, so each operation's product has a
+// well-defined concentration of every input fluid.  This module computes
+// those concentrations exactly (as rationals), which lets tests assert the
+// defining properties of the reconstructed benchmarks — serial 1:1 dilution
+// halves the sample concentration per stage [12], and the interpolating
+// architecture [11] produces the averages of neighbouring concentrations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "assay/sequencing_graph.hpp"
+
+namespace fsyn::assay {
+
+/// An exact non-negative rational with small enough terms for assay maths.
+class Ratio {
+ public:
+  Ratio() = default;
+  Ratio(std::int64_t numerator, std::int64_t denominator);
+
+  static Ratio zero() { return Ratio(); }
+  static Ratio one() { return Ratio(1, 1); }
+
+  std::int64_t numerator() const { return numerator_; }
+  std::int64_t denominator() const { return denominator_; }
+  double to_double() const { return static_cast<double>(numerator_) / denominator_; }
+
+  Ratio operator+(const Ratio& other) const;
+  Ratio operator*(const Ratio& other) const;
+  friend bool operator==(const Ratio&, const Ratio&) = default;
+
+ private:
+  std::int64_t numerator_ = 0;
+  std::int64_t denominator_ = 1;
+};
+
+/// Concentration of each input fluid (by input operation name) in a
+/// product; entries always sum to 1 for reachable products.
+using Mixture = std::map<std::string, Ratio>;
+
+/// Computes the mixture of every operation's product.  Input operations are
+/// pure (concentration 1 of themselves); a mix combines parents weighted by
+/// its ratio (equal parts when unspecified); detect passes its parent
+/// through unchanged.
+std::vector<Mixture> compute_mixtures(const SequencingGraph& graph);
+
+/// Concentration of `fluid` in the product of `op` (zero when absent).
+Ratio concentration_of(const SequencingGraph& graph, OpId op, const std::string& fluid);
+
+}  // namespace fsyn::assay

@@ -1,0 +1,46 @@
+// Bioassay operations.
+//
+// A bioassay is a DAG of operations (the paper's "sequencing graph", input
+// #1 of the problem formulation).  Mixing operations carry a volume in cells
+// of the valve grid (4, 6, 8 or 10 in the paper's benchmarks) and a mixing
+// ratio over their parents; transport edges are implied by the parent lists.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fsyn::assay {
+
+/// Index of an operation inside its SequencingGraph.
+struct OpId {
+  int index = -1;
+  friend auto operator<=>(const OpId&, const OpId&) = default;
+  bool valid() const { return index >= 0; }
+};
+
+enum class OpKind {
+  kInput,   ///< fluid dispensed from a chip port
+  kMix,     ///< peristaltic mixing of the parents' products
+  kDetect,  ///< optical detection; occupies a device, no peristalsis
+  kOutput   ///< product routed to a waste/collection port
+};
+
+const char* to_string(OpKind kind);
+
+struct Operation {
+  OpId id;
+  std::string name;
+  OpKind kind = OpKind::kMix;
+  /// Parents whose products this operation consumes (empty for inputs).
+  std::vector<OpId> parents;
+  /// For kMix: parts of each parent in the mixture, aligned with `parents`
+  /// (e.g. {1, 3} for a 1:3 mix).  Empty means equal parts.
+  std::vector<int> ratio;
+  /// Device volume in grid cells (4/6/8/10 for the paper's mixers).
+  /// Inputs and outputs use 0 (they occupy no device).
+  int volume = 0;
+  /// Execution time in time units, excluding transport.
+  int duration = 0;
+};
+
+}  // namespace fsyn::assay

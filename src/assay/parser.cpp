@@ -1,0 +1,183 @@
+#include "assay/parser.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace fsyn::assay {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  SequencingGraph run() {
+    SequencingGraph graph;
+    bool named = false;
+    int line_number = 0;
+    std::istringstream stream{std::string(text_)};
+    std::string raw;
+    while (std::getline(stream, raw)) {
+      ++line_number;
+      line_ = line_number;
+      std::string_view line = raw;
+      if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+        line = line.substr(0, hash);
+      }
+      const auto tokens = split_whitespace(line);
+      if (tokens.empty()) continue;
+      const std::string& keyword = tokens[0];
+      if (keyword == "assay") {
+        fail_unless(tokens.size() == 2, "expected: assay <name>");
+        fail_unless(!named, "duplicate 'assay' line");
+        graph = SequencingGraph(tokens[1]);
+        named = true;
+      } else if (keyword == "input") {
+        fail_unless(tokens.size() == 2, "expected: input <name>");
+        Operation op;
+        op.kind = OpKind::kInput;
+        op.name = tokens[1];
+        add(graph, std::move(op));
+      } else if (keyword == "mix") {
+        parse_mix(graph, tokens);
+      } else if (keyword == "detect") {
+        parse_detect(graph, tokens);
+      } else if (keyword == "output") {
+        fail_unless(tokens.size() == 4 && tokens[2] == "from",
+                    "expected: output <name> from <parent>");
+        Operation op;
+        op.kind = OpKind::kOutput;
+        op.name = tokens[1];
+        op.parents.push_back(lookup(tokens[3]));
+        add(graph, std::move(op));
+      } else {
+        fail("unknown keyword '" + keyword + "'");
+      }
+    }
+    graph.validate();
+    return graph;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw Error("assay parse error at line " + std::to_string(line_) + ": " + message);
+  }
+  void fail_unless(bool ok, const std::string& message) const {
+    if (!ok) fail(message);
+  }
+
+  OpId lookup(const std::string& name) const {
+    const auto it = by_name_.find(name);
+    fail_unless(it != by_name_.end(), "unknown operation '" + name + "'");
+    return it->second;
+  }
+
+  void add(SequencingGraph& graph, Operation op) {
+    fail_unless(!by_name_.contains(op.name), "duplicate operation '" + op.name + "'");
+    const std::string name = op.name;
+    try {
+      by_name_[name] = graph.add_operation(std::move(op));
+    } catch (const Error& e) {
+      fail(e.what());
+    }
+  }
+
+  void parse_mix(SequencingGraph& graph, const std::vector<std::string>& tokens) {
+    // mix <name> volume <v> duration <d> from <parent>[:<parts>] ...
+    fail_unless(tokens.size() >= 8 && tokens[2] == "volume" && tokens[4] == "duration" &&
+                    tokens[6] == "from",
+                "expected: mix <name> volume <v> duration <d> from <parent>[:parts] ...");
+    Operation op;
+    op.kind = OpKind::kMix;
+    op.name = tokens[1];
+    op.volume = parse_number(tokens[3]);
+    op.duration = parse_number(tokens[5]);
+    bool any_ratio = false;
+    for (std::size_t i = 7; i < tokens.size(); ++i) {
+      const auto colon = tokens[i].find(':');
+      if (colon == std::string::npos) {
+        op.parents.push_back(lookup(tokens[i]));
+        op.ratio.push_back(1);
+      } else {
+        op.parents.push_back(lookup(tokens[i].substr(0, colon)));
+        op.ratio.push_back(parse_number(tokens[i].substr(colon + 1)));
+        any_ratio = true;
+      }
+    }
+    if (!any_ratio) op.ratio.clear();  // equal parts, keep the graph minimal
+    add(graph, std::move(op));
+  }
+
+  void parse_detect(SequencingGraph& graph, const std::vector<std::string>& tokens) {
+    // detect <name> duration <d> from <parent>
+    fail_unless(tokens.size() == 6 && tokens[2] == "duration" && tokens[4] == "from",
+                "expected: detect <name> duration <d> from <parent>");
+    Operation op;
+    op.kind = OpKind::kDetect;
+    op.name = tokens[1];
+    op.duration = parse_number(tokens[3]);
+    op.volume = 4;  // detection chamber: smallest dynamic device
+    op.parents.push_back(lookup(tokens[5]));
+    add(graph, std::move(op));
+  }
+
+  int parse_number(const std::string& token) const {
+    try {
+      return parse_int(token);
+    } catch (const Error& e) {
+      fail(e.what());
+    }
+  }
+
+  std::string_view text_;
+  int line_ = 0;
+  std::map<std::string, OpId> by_name_;
+};
+
+}  // namespace
+
+SequencingGraph parse_assay(std::string_view text) { return Parser(text).run(); }
+
+SequencingGraph load_assay_file(const std::string& path) {
+  std::ifstream file(path);
+  check_input(file.good(), "cannot open assay file '" + path + "'");
+  std::ostringstream content;
+  content << file.rdbuf();
+  return parse_assay(content.str());
+}
+
+std::string to_assay_text(const SequencingGraph& graph) {
+  std::ostringstream os;
+  os << "assay " << graph.name() << '\n';
+  for (const Operation& op : graph.operations()) {
+    switch (op.kind) {
+      case OpKind::kInput:
+        os << "input  " << op.name << '\n';
+        break;
+      case OpKind::kMix: {
+        os << "mix    " << op.name << " volume " << op.volume << " duration " << op.duration
+           << " from";
+        for (std::size_t i = 0; i < op.parents.size(); ++i) {
+          os << ' ' << graph.op(op.parents[i]).name;
+          if (!op.ratio.empty()) os << ':' << op.ratio[i];
+        }
+        os << '\n';
+        break;
+      }
+      case OpKind::kDetect:
+        os << "detect " << op.name << " duration " << op.duration << " from "
+           << graph.op(op.parents[0]).name << '\n';
+        break;
+      case OpKind::kOutput:
+        os << "output " << op.name << " from " << graph.op(op.parents[0]).name << '\n';
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace fsyn::assay

@@ -1,0 +1,37 @@
+// Text format for bioassay sequencing graphs.
+//
+// Grammar (line oriented, '#' starts a comment):
+//
+//   assay <name>
+//   input  <op-name>
+//   mix    <op-name> volume <v> duration <d> from <parent>[:<parts>] ...
+//   detect <op-name> duration <d> from <parent>
+//   output <op-name> from <parent>
+//
+// Example (a 1:3 dilution followed by detection):
+//
+//   assay dilution-demo
+//   input  sample
+//   input  buffer
+//   mix    dilute volume 8 duration 6 from sample:1 buffer:3
+//   detect read duration 4 from dilute
+//   output waste from read
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "assay/sequencing_graph.hpp"
+
+namespace fsyn::assay {
+
+/// Parses the DSL; throws fsyn::Error with a line number on bad input.
+SequencingGraph parse_assay(std::string_view text);
+
+/// Loads and parses an assay file.
+SequencingGraph load_assay_file(const std::string& path);
+
+/// Serializes a graph back to the DSL (round-trips through parse_assay).
+std::string to_assay_text(const SequencingGraph& graph);
+
+}  // namespace fsyn::assay

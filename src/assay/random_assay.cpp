@@ -1,0 +1,63 @@
+#include "assay/random_assay.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fsyn::assay {
+
+SequencingGraph make_random_assay(Rng& rng, const RandomAssayOptions& options) {
+  check_input(options.mixing_ops >= 1, "need at least one mixing op");
+  SequencingGraph graph("random");
+  static constexpr int kVolumes[] = {4, 6, 8, 10};
+
+  int inputs = 0;
+  auto fresh_input = [&]() {
+    Operation op;
+    op.kind = OpKind::kInput;
+    op.name = "in" + std::to_string(++inputs);
+    return graph.add_operation(std::move(op));
+  };
+
+  // Products not yet consumed; consuming from the front keeps the DAG wide,
+  // from the back keeps it deep — the rng decides.
+  std::vector<OpId> open_products;
+  for (int m = 0; m < options.mixing_ops; ++m) {
+    Operation mix;
+    mix.kind = OpKind::kMix;
+    mix.name = "mix" + std::to_string(m + 1);
+    mix.volume = kVolumes[rng.next_below(4)];
+    mix.duration = rng.next_int(3, 9);
+    for (int parent = 0; parent < 2; ++parent) {
+      const bool reuse = !open_products.empty() && rng.next_bool(options.reuse_probability);
+      if (reuse) {
+        const std::size_t pick = rng.next_below(open_products.size());
+        mix.parents.push_back(open_products[pick]);
+        open_products.erase(open_products.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else {
+        mix.parents.push_back(fresh_input());
+      }
+    }
+    if (rng.next_bool(options.skewed_ratio_probability)) {
+      mix.ratio = rng.next_bool(0.5) ? std::vector<int>{1, 3} : std::vector<int>{3, 1};
+    }
+    open_products.push_back(graph.add_operation(std::move(mix)));
+  }
+
+  // Optional detects on terminal products.
+  for (const OpId product : std::vector<OpId>(open_products)) {
+    if (!rng.next_bool(options.detect_probability)) continue;
+    Operation detect;
+    detect.kind = OpKind::kDetect;
+    detect.name = "read_" + graph.op(product).name;
+    detect.parents = {product};
+    detect.duration = rng.next_int(2, 5);
+    detect.volume = 4;
+    graph.add_operation(std::move(detect));
+  }
+
+  graph.validate();
+  return graph;
+}
+
+}  // namespace fsyn::assay

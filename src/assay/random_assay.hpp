@@ -1,0 +1,28 @@
+// Random bioassay generator for property/fuzz testing and scaling studies.
+//
+// Generates structurally valid sequencing graphs: a DAG of mixing
+// operations over fresh inputs and earlier products, with optional detects,
+// volumes from the paper's set {4, 6, 8, 10} and randomized ratios.  Every
+// graph passes SequencingGraph::validate() by construction.
+#pragma once
+
+#include "assay/sequencing_graph.hpp"
+#include "util/rng.hpp"
+
+namespace fsyn::assay {
+
+struct RandomAssayOptions {
+  int mixing_ops = 10;
+  /// Probability that a mix consumes an earlier product (vs a fresh input)
+  /// for each of its two parents; higher = deeper graphs.
+  double reuse_probability = 0.5;
+  /// Probability of a detect op on an otherwise-terminal product.
+  double detect_probability = 0.2;
+  /// Probability that a mix uses a non-equal ratio (1:3 or 3:1).
+  double skewed_ratio_probability = 0.25;
+};
+
+/// Generates a random assay; deterministic in (rng state, options).
+SequencingGraph make_random_assay(Rng& rng, const RandomAssayOptions& options = {});
+
+}  // namespace fsyn::assay

@@ -1,0 +1,98 @@
+#include "assay/sequencing_graph.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace fsyn::assay {
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput:  return "input";
+    case OpKind::kMix:    return "mix";
+    case OpKind::kDetect: return "detect";
+    case OpKind::kOutput: return "output";
+  }
+  return "?";
+}
+
+OpId SequencingGraph::add_operation(Operation op) {
+  const OpId id{size()};
+  for (const OpId parent : op.parents) {
+    check_input(parent.index >= 0 && parent.index < size(),
+                "operation '" + op.name + "' references an unknown parent");
+  }
+  op.id = id;
+  if (op.name.empty()) op.name = "op" + std::to_string(id.index);
+  operations_.push_back(std::move(op));
+  children_.emplace_back();
+  for (const OpId parent : operations_.back().parents) {
+    children_[static_cast<std::size_t>(parent.index)].push_back(id);
+  }
+  return id;
+}
+
+const Operation& SequencingGraph::op(OpId id) const {
+  require(id.index >= 0 && id.index < size(), "bad OpId");
+  return operations_[static_cast<std::size_t>(id.index)];
+}
+
+const std::vector<OpId>& SequencingGraph::children(OpId id) const {
+  require(id.index >= 0 && id.index < size(), "bad OpId");
+  return children_[static_cast<std::size_t>(id.index)];
+}
+
+std::vector<OpId> SequencingGraph::topological_order() const {
+  // Operations are append-only and parents must pre-exist, so insertion
+  // order is already topological.
+  std::vector<OpId> order;
+  order.reserve(static_cast<std::size_t>(size()));
+  for (int i = 0; i < size(); ++i) order.push_back(OpId{i});
+  return order;
+}
+
+int SequencingGraph::count(OpKind kind) const {
+  return static_cast<int>(std::count_if(operations_.begin(), operations_.end(),
+                                        [&](const Operation& op) { return op.kind == kind; }));
+}
+
+std::vector<int> SequencingGraph::mixing_volumes() const {
+  std::set<int> volumes;
+  for (const Operation& op : operations_) {
+    if (op.kind == OpKind::kMix) volumes.insert(op.volume);
+  }
+  return {volumes.begin(), volumes.end()};
+}
+
+void SequencingGraph::validate() const {
+  std::set<std::string> names;
+  for (const Operation& op : operations_) {
+    check_input(names.insert(op.name).second, "duplicate operation name '" + op.name + "'");
+    switch (op.kind) {
+      case OpKind::kInput:
+        check_input(op.parents.empty(), "input '" + op.name + "' must have no parents");
+        break;
+      case OpKind::kMix:
+        check_input(!op.parents.empty(), "mix '" + op.name + "' needs at least one parent");
+        check_input(op.volume > 0 && op.volume % 2 == 0,
+                    "mix '" + op.name + "' needs a positive even volume");
+        check_input(op.ratio.empty() || op.ratio.size() == op.parents.size(),
+                    "mix '" + op.name + "' ratio length must match parents");
+        for (const int part : op.ratio) {
+          check_input(part > 0, "mix '" + op.name + "' ratio parts must be positive");
+        }
+        check_input(op.duration > 0, "mix '" + op.name + "' needs a positive duration");
+        break;
+      case OpKind::kDetect:
+        check_input(op.parents.size() == 1, "detect '" + op.name + "' needs exactly one parent");
+        check_input(op.duration > 0, "detect '" + op.name + "' needs a positive duration");
+        break;
+      case OpKind::kOutput:
+        check_input(op.parents.size() == 1, "output '" + op.name + "' needs exactly one parent");
+        break;
+    }
+  }
+}
+
+}  // namespace fsyn::assay

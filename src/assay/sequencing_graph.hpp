@@ -1,0 +1,50 @@
+// The bioassay sequencing graph (paper input #1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "assay/operation.hpp"
+
+namespace fsyn::assay {
+
+class SequencingGraph {
+ public:
+  explicit SequencingGraph(std::string name = "assay") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Appends an operation; parents must already exist.  Returns its id.
+  OpId add_operation(Operation op);
+
+  int size() const { return static_cast<int>(operations_.size()); }
+  const Operation& op(OpId id) const;
+  const std::vector<Operation>& operations() const { return operations_; }
+
+  /// Children (consumers) of `id`.
+  const std::vector<OpId>& children(OpId id) const;
+
+  /// Operation ids in a topological order (parents before children).
+  std::vector<OpId> topological_order() const;
+
+  /// Number of operations of the given kind.
+  int count(OpKind kind) const;
+
+  /// Mixing-operation count, the paper's parenthesized `#op` figure.
+  int mixing_count() const { return count(OpKind::kMix); }
+
+  /// Distinct mixing volumes in ascending order.
+  std::vector<int> mixing_volumes() const;
+
+  /// Throws fsyn::Error when the graph violates a structural rule:
+  /// inputs must have no parents, mixes >= 1 parent, detect/output exactly
+  /// one parent; mix volumes positive and even; ratio lengths match parents.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Operation> operations_;
+  std::vector<std::vector<OpId>> children_;
+};
+
+}  // namespace fsyn::assay

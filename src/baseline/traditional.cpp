@@ -1,0 +1,121 @@
+#include "baseline/traditional.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace fsyn::baseline {
+
+using assay::OpId;
+using assay::OpKind;
+using assay::Operation;
+using assay::SequencingGraph;
+
+std::string TraditionalDesign::binding_string(const std::vector<int>& volumes) const {
+  std::vector<std::string> parts;
+  for (const int volume : volumes) {
+    std::vector<int> loads;
+    for (const MixerInstance& mixer : mixers) {
+      if (mixer.volume == volume) loads.push_back(static_cast<int>(mixer.bound_ops.size()));
+    }
+    if (loads.empty()) {
+      parts.push_back("0");
+    } else if (loads.size() == 1) {
+      parts.push_back(std::to_string(loads[0]));
+    } else {
+      std::sort(loads.rbegin(), loads.rend());
+      std::vector<std::string> texts;
+      for (const int load : loads) texts.push_back(std::to_string(load));
+      parts.push_back("(" + join(texts, ",") + ")");
+    }
+  }
+  return join(parts, "-");
+}
+
+int peak_storage_demand(const SequencingGraph& graph, const sched::Schedule& schedule) {
+  // A product occupies a storage cell from its arrival at the storage until
+  // its consumer starts (then it is transported onward).  Products consumed
+  // immediately (consumer starts exactly at arrival) never enter storage.
+  struct Interval {
+    int from;
+    int to;
+  };
+  std::vector<Interval> intervals;
+  for (const Operation& op : graph.operations()) {
+    for (const OpId parent : op.parents) {
+      const Operation& producer = graph.op(parent);
+      if (producer.kind != OpKind::kMix && producer.kind != OpKind::kDetect) continue;
+      const int arrival = schedule.arrival_from(parent);
+      const int consumed = schedule.start_of(op.id);
+      if (consumed > arrival) intervals.push_back({arrival, consumed});
+    }
+  }
+  int peak = 0;
+  for (const Interval& probe : intervals) {
+    int concurrent = 0;
+    for (const Interval& other : intervals) {
+      if (other.from < probe.to && probe.from < other.to) ++concurrent;
+    }
+    peak = std::max(peak, concurrent);
+  }
+  return peak;
+}
+
+TraditionalDesign build_traditional(const SequencingGraph& graph, const sched::Policy& policy,
+                                    const sched::Schedule& schedule,
+                                    const ValveCostModel& model) {
+  TraditionalDesign design;
+  design.model = model;
+
+  // Instantiate dedicated mixers per the policy.
+  for (const auto& [volume, count] : policy.mixers_per_volume) {
+    for (int i = 0; i < count; ++i) {
+      design.mixers.push_back(MixerInstance{volume, i, {}});
+    }
+  }
+  design.detectors = policy.detectors;
+
+  // Optimal binding: round-robin the ops of each size class over its
+  // mixers, which spreads them as evenly as possible (paper Section 4).
+  for (const auto& [volume, count] : policy.mixers_per_volume) {
+    std::vector<MixerInstance*> pool;
+    for (MixerInstance& mixer : design.mixers) {
+      if (mixer.volume == volume) pool.push_back(&mixer);
+    }
+    int next = 0;
+    for (const Operation& op : graph.operations()) {
+      if (op.kind != OpKind::kMix || op.volume != volume) continue;
+      pool[static_cast<std::size_t>(next)]->bound_ops.push_back(op.id);
+      next = (next + 1) % static_cast<int>(pool.size());
+    }
+  }
+
+  design.storage_cells = peak_storage_demand(graph, schedule);
+
+  // Valve inventory.
+  int valves = 0;
+  for (const MixerInstance& mixer : design.mixers) valves += model.mixer_valves(mixer.volume);
+  valves += design.detectors * model.detector_valves;
+  if (design.storage_cells > 0) {
+    valves += design.storage_cells * model.valves_per_storage_cell + model.storage_overhead_valves;
+  }
+  valves += (static_cast<int>(design.mixers.size()) + design.detectors +
+             (design.storage_cells > 0 ? 1 : 0)) *
+            model.routing_valves_per_device;
+  valves += model.port_count * model.routing_valves_per_port;
+  design.total_valves = valves;
+
+  // Actuation: every op bound to a mixer actuates each of its pump valves
+  // `pump_actuations_per_mix` times; the most-loaded mixer sets the chip's
+  // largest valve actuation count (control valves trail far behind).
+  for (const MixerInstance& mixer : design.mixers) {
+    design.max_ops_on_one_mixer =
+        std::max(design.max_ops_on_one_mixer, static_cast<int>(mixer.bound_ops.size()));
+  }
+  design.max_valve_actuations = design.max_ops_on_one_mixer * model.pump_actuations_per_mix;
+
+  return design;
+}
+
+}  // namespace fsyn::baseline

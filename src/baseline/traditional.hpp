@@ -1,0 +1,95 @@
+// Traditional flow-based biochip designs (the comparison side of Table 1).
+//
+// A traditional design instantiates dedicated devices: one mixer per policy
+// slot (volumes 4/6/8/10 as in the paper's experiments, Fig. 2-style ring
+// mixers with 3 pump valves), dedicated detectors, and one dedicated storage
+// whose cell count is the largest number of simultaneously stored products.
+// Operations are bound to mixers of exactly their volume with the paper's
+// "optimal binding": ops of each size class spread as evenly as possible, so
+// the most-loaded pump valve count is minimized.
+//
+// The paper does not publish a closed-form valve count for these designs;
+// `ValveCostModel` documents the model used here (DESIGN.md §3.3).  Both
+// sides of every comparison in this repository are counted with the same
+// conventions.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "assay/sequencing_graph.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/schedule.hpp"
+
+namespace fsyn::baseline {
+
+/// Valve bookkeeping for dedicated devices.
+struct ValveCostModel {
+  /// Pump valves forming a mixer's peristaltic pump (Fig. 2: 3).
+  int pump_valves_per_mixer = 3;
+  /// Control valves of the smallest (volume-4) ring mixer (Fig. 2: 6).
+  int control_valves_per_mixer = 6;
+  /// Extra control valves per 2 cells of volume above 4 (longer ring needs
+  /// more taps), so a volume-v mixer has 9 + (v-4)/2 valves.
+  int extra_control_valves_per_volume_step = 1;
+  /// Valves of a dedicated detection chamber (2 isolation + access).
+  int detector_valves = 4;
+  /// Valves isolating one storage cell (a 2x2 chamber ring, after [12]).
+  int valves_per_storage_cell = 8;
+  /// Storage access multiplexer valves.
+  int storage_overhead_valves = 2;
+  /// Bus-connection valves per device (device <-> routing network).
+  int routing_valves_per_device = 2;
+  /// Valves at each chip port.
+  int routing_valves_per_port = 1;
+  int port_count = 3;  // in / in / out as in Fig. 10
+
+  /// Pump-valve actuations per mixing operation (paper, after [9]: 40).
+  int pump_actuations_per_mix = 40;
+  /// Control-valve actuations per fill/drain/transport event (open+close).
+  int control_actuations_per_transport = 2;
+
+  /// Total valves of a dedicated mixer of the given volume.
+  int mixer_valves(int volume) const {
+    return pump_valves_per_mixer + control_valves_per_mixer +
+           extra_control_valves_per_volume_step * (volume - 4) / 2;
+  }
+};
+
+/// One dedicated mixer and the operations bound to it.
+struct MixerInstance {
+  int volume = 0;
+  int index_in_class = 0;
+  std::vector<assay::OpId> bound_ops;
+};
+
+struct TraditionalDesign {
+  ValveCostModel model;
+  std::vector<MixerInstance> mixers;
+  int detectors = 0;
+  int storage_cells = 0;
+  int total_valves = 0;
+
+  /// Largest per-valve actuation count; pump valves of the most-loaded
+  /// mixer dominate (the paper's vs_tmax column).
+  int max_valve_actuations = 0;
+  /// Operations bound to the most-loaded mixer.
+  int max_ops_on_one_mixer = 0;
+
+  /// Formats the paper's #m column for this binding, e.g. "1-0-(2,2)-2".
+  std::string binding_string(const std::vector<int>& volumes) const;
+};
+
+/// Builds the traditional design for a scheduled assay under `policy`.
+TraditionalDesign build_traditional(const assay::SequencingGraph& graph,
+                                    const sched::Policy& policy,
+                                    const sched::Schedule& schedule,
+                                    const ValveCostModel& model = {});
+
+/// Largest number of simultaneously stored products in `schedule`
+/// (a device product waits in storage from its arrival until its consumer
+/// starts).  Defines the dedicated storage size.
+int peak_storage_demand(const assay::SequencingGraph& graph, const sched::Schedule& schedule);
+
+}  // namespace fsyn::baseline

@@ -1,0 +1,82 @@
+// Dense 2D array addressed by grid Points.
+//
+// Used for the virtual-valve matrix, routing cost maps and actuation
+// ledgers.  Row-major storage, bounds-checked access in terms of the chip
+// outline.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+#include "util/error.hpp"
+
+namespace fsyn {
+
+template <typename T>
+class Grid {
+ public:
+  Grid() = default;
+
+  Grid(int width, int height, T fill = T{})
+      : width_(width), height_(height),
+        cells_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height), fill) {
+    check_input(width > 0 && height > 0, "grid dimensions must be positive");
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  Rect bounds() const { return Rect{0, 0, width_, height_}; }
+
+  bool in_bounds(const Point& p) const {
+    return p.x >= 0 && p.x < width_ && p.y >= 0 && p.y < height_;
+  }
+
+  T& at(const Point& p) {
+    require(in_bounds(p), "grid access out of bounds");
+    return cells_[index(p)];
+  }
+  const T& at(const Point& p) const {
+    require(in_bounds(p), "grid access out of bounds");
+    return cells_[index(p)];
+  }
+
+  T& at(int x, int y) { return at(Point{x, y}); }
+  const T& at(int x, int y) const { return at(Point{x, y}); }
+
+  void fill(const T& value) { std::fill(cells_.begin(), cells_.end(), value); }
+
+  /// Applies `fn(point, value)` to every cell, row-major bottom-up.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (int y = 0; y < height_; ++y) {
+      for (int x = 0; x < width_; ++x) {
+        fn(Point{x, y}, cells_[index(Point{x, y})]);
+      }
+    }
+  }
+
+  auto begin() { return cells_.begin(); }
+  auto end() { return cells_.end(); }
+  auto begin() const { return cells_.begin(); }
+  auto end() const { return cells_.end(); }
+
+ private:
+  std::size_t index(const Point& p) const {
+    return static_cast<std::size_t>(p.y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(p.x);
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<T> cells_;
+};
+
+/// The four orthogonal neighbours of `p` (routing moves are Manhattan).
+inline std::array<Point, 4> orthogonal_neighbours(const Point& p) {
+  return {Point{p.x + 1, p.y}, Point{p.x - 1, p.y}, Point{p.x, p.y + 1}, Point{p.x, p.y - 1}};
+}
+
+}  // namespace fsyn

@@ -1,0 +1,44 @@
+// Integer grid points.  The valve-centered architecture is a regular grid of
+// virtual valves; every valve, device corner and routing node is addressed by
+// a `Point` in cell coordinates (x to the right, y upward, as in Fig. 5(a)
+// of the paper).
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdlib>
+#include <functional>
+#include <ostream>
+
+namespace fsyn {
+
+struct Point {
+  int x = 0;
+  int y = 0;
+
+  friend auto operator<=>(const Point&, const Point&) = default;
+
+  Point operator+(const Point& other) const { return {x + other.x, y + other.y}; }
+  Point operator-(const Point& other) const { return {x - other.x, y - other.y}; }
+};
+
+/// Manhattan distance between two grid points.
+inline int manhattan_distance(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ',' << p.y << ')';
+}
+
+struct PointHash {
+  std::size_t operator()(const Point& p) const noexcept {
+    // Two 32-bit halves packed into one 64-bit word; distinct points within
+    // any realistic chip never collide.
+    const auto ux = static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.x));
+    const auto uy = static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.y));
+    return std::hash<std::uint64_t>{}((ux << 32) | uy);
+  }
+};
+
+}  // namespace fsyn

@@ -1,0 +1,242 @@
+#include "ilp/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "ilp/presolve.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace fsyn::ilp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const Model& model, const MilpOptions& options,
+                 const std::vector<double>* presolved_lower = nullptr,
+                 const std::vector<double>* presolved_upper = nullptr)
+      : model_(model), options_(options), start_(Clock::now()) {
+    lower_.reserve(static_cast<std::size_t>(model.variable_count()));
+    upper_.reserve(static_cast<std::size_t>(model.variable_count()));
+    for (int j = 0; j < model.variable_count(); ++j) {
+      const Variable& v = model.variable(VarId{j});
+      double lo = presolved_lower ? (*presolved_lower)[static_cast<std::size_t>(j)] : v.lower;
+      double hi = presolved_upper ? (*presolved_upper)[static_cast<std::size_t>(j)] : v.upper;
+      // Integer variables get their bounds pre-rounded inward so the LP
+      // relaxation never explores fractional slivers outside them.
+      if (v.type != VarType::kContinuous) {
+        lo = std::isfinite(lo) ? std::ceil(lo - 1e-9) : lo;
+        hi = std::isfinite(hi) ? std::floor(hi + 1e-9) : hi;
+      }
+      lower_.push_back(lo);
+      upper_.push_back(hi);
+    }
+  }
+
+  MilpResult run() {
+    if (options_.initial_incumbent) {
+      require(model_.is_feasible(*options_.initial_incumbent, 1e-5),
+              "warm-start incumbent is not feasible");
+      incumbent_ = *options_.initial_incumbent;
+      incumbent_score_ = min_score(model_.objective_value(*incumbent_));
+    }
+
+    root_bound_score_ = -kInfinity;
+    const NodeOutcome outcome = explore(0);
+
+    MilpResult result;
+    result.nodes = nodes_;
+    result.lp_iterations = lp_iterations_;
+    if (outcome == NodeOutcome::kUnbounded && !incumbent_.has_value()) {
+      result.status = MilpStatus::kUnbounded;
+      return result;
+    }
+    if (incumbent_.has_value()) {
+      result.values = *incumbent_;
+      result.objective = model_.objective_value(*incumbent_);
+      result.status = limit_hit_ ? MilpStatus::kFeasible : MilpStatus::kOptimal;
+      result.best_bound = limit_hit_ ? user_value(root_bound_score_) : result.objective;
+    } else {
+      result.status = limit_hit_ ? MilpStatus::kLimit : MilpStatus::kInfeasible;
+      result.best_bound = user_value(root_bound_score_);
+    }
+    return result;
+  }
+
+ private:
+  enum class NodeOutcome { kDone, kUnbounded };
+
+  /// Converts a user-sense objective into an always-minimized score.
+  double min_score(double user_objective) const {
+    return model_.objective_sign() * (user_objective - model_.objective_constant());
+  }
+  double user_value(double score) const {
+    return model_.objective_sign() * score + model_.objective_constant();
+  }
+
+  bool limits_exceeded() {
+    if (nodes_ >= options_.max_nodes) return true;
+    if (options_.time_limit_seconds > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double>(Clock::now() - start_).count();
+      if (elapsed > options_.time_limit_seconds) return true;
+    }
+    return false;
+  }
+
+  /// Picks the integer variable whose LP value is most fractional
+  /// (fractional part closest to 0.5); -1 when the point is integral.
+  int most_fractional(const std::vector<double>& values) const {
+    int best = -1;
+    double best_distance_to_half = 1.0;
+    for (int j = 0; j < model_.variable_count(); ++j) {
+      if (model_.variable(VarId{j}).type == VarType::kContinuous) continue;
+      const double v = values[static_cast<std::size_t>(j)];
+      const double frac = std::abs(v - std::round(v));
+      if (frac <= options_.integrality_tolerance) continue;
+      const double distance_to_half = std::abs(frac - 0.5);
+      if (best == -1 || distance_to_half < best_distance_to_half) {
+        best = j;
+        best_distance_to_half = distance_to_half;
+      }
+    }
+    return best;
+  }
+
+  /// Rounds the LP point and adopts it as incumbent when feasible.
+  void try_rounding(const std::vector<double>& lp_values) {
+    std::vector<double> rounded = lp_values;
+    for (int j = 0; j < model_.variable_count(); ++j) {
+      if (model_.variable(VarId{j}).type == VarType::kContinuous) continue;
+      double v = std::round(rounded[static_cast<std::size_t>(j)]);
+      v = std::clamp(v, lower_[static_cast<std::size_t>(j)], upper_[static_cast<std::size_t>(j)]);
+      rounded[static_cast<std::size_t>(j)] = v;
+    }
+    if (model_.is_feasible(rounded)) {
+      offer_incumbent(std::move(rounded));
+    }
+  }
+
+  void offer_incumbent(std::vector<double> point) {
+    const double score = min_score(model_.objective_value(point));
+    if (!incumbent_.has_value() || score < incumbent_score_) {
+      incumbent_ = std::move(point);
+      incumbent_score_ = score;
+      log_debug("milp: new incumbent ", user_value(score), " after ", nodes_, " nodes");
+    }
+  }
+
+  NodeOutcome explore(int depth) {
+    if (limits_exceeded()) {
+      limit_hit_ = true;
+      return NodeOutcome::kDone;
+    }
+    ++nodes_;
+
+    const LpResult lp = solve_lp(model_, options_.lp, &lower_, &upper_);
+    lp_iterations_ += lp.iterations;
+    if (lp.status == LpStatus::kInfeasible) return NodeOutcome::kDone;
+    if (lp.status == LpStatus::kUnbounded) return NodeOutcome::kUnbounded;
+    if (lp.status == LpStatus::kIterationLimit) {
+      limit_hit_ = true;
+      return NodeOutcome::kDone;
+    }
+
+    const double node_score = min_score(lp.objective);
+    if (depth == 0) root_bound_score_ = node_score;
+    if (incumbent_.has_value() &&
+        node_score >= incumbent_score_ - options_.absolute_gap) {
+      return NodeOutcome::kDone;  // cannot improve enough
+    }
+
+    const int branch_var = most_fractional(lp.values);
+    if (branch_var == -1) {
+      // LP solution is already integral: snap and adopt.
+      std::vector<double> snapped = lp.values;
+      for (int j = 0; j < model_.variable_count(); ++j) {
+        if (model_.variable(VarId{j}).type == VarType::kContinuous) continue;
+        snapped[static_cast<std::size_t>(j)] = std::round(snapped[static_cast<std::size_t>(j)]);
+      }
+      if (model_.is_feasible(snapped)) {
+        offer_incumbent(std::move(snapped));
+      }
+      return NodeOutcome::kDone;
+    }
+
+    try_rounding(lp.values);
+    if (incumbent_.has_value() &&
+        node_score >= incumbent_score_ - options_.absolute_gap) {
+      return NodeOutcome::kDone;
+    }
+
+    const std::size_t v = static_cast<std::size_t>(branch_var);
+    const double value = lp.values[v];
+    const double floor_v = std::floor(value + options_.integrality_tolerance);
+    const double saved_lower = lower_[v];
+    const double saved_upper = upper_[v];
+
+    // Dive toward the nearer integer first.
+    const bool down_first = (value - floor_v) <= 0.5;
+    for (int pass = 0; pass < 2; ++pass) {
+      const bool down = (pass == 0) == down_first;
+      if (down) {
+        upper_[v] = std::min(saved_upper, floor_v);
+        lower_[v] = saved_lower;
+      } else {
+        lower_[v] = std::max(saved_lower, floor_v + 1.0);
+        upper_[v] = saved_upper;
+      }
+      if (lower_[v] <= upper_[v]) {
+        const NodeOutcome outcome = explore(depth + 1);
+        if (outcome == NodeOutcome::kUnbounded) {
+          lower_[v] = saved_lower;
+          upper_[v] = saved_upper;
+          return outcome;
+        }
+      }
+      lower_[v] = saved_lower;
+      upper_[v] = saved_upper;
+      if (limit_hit_) break;
+    }
+    return NodeOutcome::kDone;
+  }
+
+  const Model& model_;
+  const MilpOptions& options_;
+  Clock::time_point start_;
+
+  std::vector<double> lower_, upper_;  // current node bound box
+  std::optional<std::vector<double>> incumbent_;
+  double incumbent_score_ = kInfinity;
+  double root_bound_score_ = -kInfinity;
+  long nodes_ = 0;
+  int lp_iterations_ = 0;
+  bool limit_hit_ = false;
+};
+
+}  // namespace
+
+MilpResult solve_milp(const Model& model, const MilpOptions& options) {
+  if (options.presolve) {
+    const PresolveResult reduced = presolve(model);
+    if (reduced.status == PresolveStatus::kInfeasible) {
+      MilpResult result;
+      result.status = MilpStatus::kInfeasible;
+      return result;
+    }
+    if (reduced.tightenings > 0) {
+      log_debug("milp presolve: ", reduced.tightenings, " bound tightenings, ",
+                reduced.fixed_variables, " variables fixed");
+      BranchAndBound solver(model, options, &reduced.lower, &reduced.upper);
+      return solver.run();
+    }
+  }
+  BranchAndBound solver(model, options);
+  return solver.run();
+}
+
+}  // namespace fsyn::ilp

@@ -1,0 +1,52 @@
+// Exact MILP solver: depth-first branch & bound over the bounded-variable
+// simplex relaxation (simplex.hpp).
+//
+// Features mirrored from production solvers because the mapping engine needs
+// them: warm starts (an initial incumbent from the heuristic mapper), node
+// and wall-clock limits with best-found reporting, a rounding primal
+// heuristic at every node, and most-fractional branching with
+// nearest-integer-first diving.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ilp/model.hpp"
+#include "ilp/simplex.hpp"
+
+namespace fsyn::ilp {
+
+enum class MilpStatus {
+  kOptimal,     ///< proven optimal incumbent
+  kFeasible,    ///< limit hit; best incumbent returned
+  kInfeasible,  ///< no integer point exists
+  kUnbounded,   ///< LP relaxation unbounded
+  kLimit        ///< limit hit before any incumbent was found
+};
+
+struct MilpResult {
+  MilpStatus status = MilpStatus::kLimit;
+  std::vector<double> values;  ///< incumbent (model order); empty if none
+  double objective = 0.0;      ///< incumbent objective, user sense
+  double best_bound = 0.0;     ///< proven bound on the optimum, user sense
+  long nodes = 0;
+  int lp_iterations = 0;
+};
+
+struct MilpOptions {
+  long max_nodes = 2'000'000;
+  double time_limit_seconds = 0.0;  ///< 0 = unlimited
+  double integrality_tolerance = 1e-6;
+  /// Stop when |incumbent - bound| <= gap (absolute, user sense).  The
+  /// mapping objectives are integral, so 1 - 1e-6 proves optimality.
+  double absolute_gap = 1.0 - 1e-6;
+  /// Run bound-propagation presolve before the search (presolve.hpp).
+  bool presolve = true;
+  LpOptions lp;
+  /// Optional warm-start point; must be feasible for the model.
+  std::optional<std::vector<double>> initial_incumbent;
+};
+
+MilpResult solve_milp(const Model& model, const MilpOptions& options = {});
+
+}  // namespace fsyn::ilp

@@ -1,0 +1,182 @@
+#include "ilp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace fsyn::ilp {
+
+namespace {
+
+/// Folds duplicate variable terms and returns them ordered by index.
+std::vector<LinearExpr::Term> fold_terms(const LinearExpr& expr, int variable_count) {
+  std::map<int, double> folded;
+  for (const auto& term : expr.terms()) {
+    check_input(term.var.index >= 0 && term.var.index < variable_count,
+                "constraint references unknown variable");
+    folded[term.var.index] += term.coeff;
+  }
+  std::vector<LinearExpr::Term> out;
+  out.reserve(folded.size());
+  for (const auto& [index, coeff] : folded) {
+    if (coeff != 0.0) out.push_back({VarId{index}, coeff});
+  }
+  return out;
+}
+
+}  // namespace
+
+VarId Model::add_variable(double lower, double upper, VarType type, std::string name) {
+  check_input(lower <= upper, "variable lower bound exceeds upper bound");
+  if (type == VarType::kBinary) {
+    check_input(lower >= 0.0 && upper <= 1.0, "binary variable bounds must lie in [0,1]");
+  }
+  Variable v;
+  v.lower = lower;
+  v.upper = upper;
+  v.type = type;
+  v.name = std::move(name);
+  variables_.push_back(std::move(v));
+  objective_.push_back(0.0);
+  return VarId{variable_count() - 1};
+}
+
+void Model::add_constraint(const LinearExpr& expr, Relation relation, double rhs,
+                           std::string name) {
+  Constraint c;
+  c.terms = fold_terms(expr, variable_count());
+  c.relation = relation;
+  c.rhs = rhs - expr.constant();
+  c.name = std::move(name);
+  constraints_.push_back(std::move(c));
+}
+
+void Model::set_objective(const LinearExpr& expr, Sense sense) {
+  sense_ = sense;
+  std::fill(objective_.begin(), objective_.end(), 0.0);
+  const double sign = sense == Sense::kMinimize ? 1.0 : -1.0;
+  for (const auto& term : fold_terms(expr, variable_count())) {
+    objective_[static_cast<std::size_t>(term.var.index)] = sign * term.coeff;
+  }
+  objective_constant_ = expr.constant();
+}
+
+bool Model::has_integer_variables() const {
+  return std::any_of(variables_.begin(), variables_.end(), [](const Variable& v) {
+    return v.type != VarType::kContinuous;
+  });
+}
+
+double Model::objective_value(const std::vector<double>& point) const {
+  require(static_cast<int>(point.size()) == variable_count(), "point size mismatch");
+  double value = 0.0;
+  for (int i = 0; i < variable_count(); ++i) {
+    value += objective_[static_cast<std::size_t>(i)] * point[static_cast<std::size_t>(i)];
+  }
+  return objective_sign() * value + objective_constant_;
+}
+
+std::string Model::to_lp_string() const {
+  std::ostringstream os;
+  auto var_name = [&](int index) {
+    const Variable& v = variables_[static_cast<std::size_t>(index)];
+    return v.name.empty() ? "x" + std::to_string(index) : v.name;
+  };
+  auto emit_terms = [&](std::ostringstream& line, const std::vector<LinearExpr::Term>& terms) {
+    bool first = true;
+    for (const auto& term : terms) {
+      if (term.coeff >= 0 && !first) line << " + ";
+      if (term.coeff < 0) line << (first ? "- " : " - ");
+      const double mag = std::abs(term.coeff);
+      if (mag != 1.0) line << mag << ' ';
+      line << var_name(term.var.index);
+      first = false;
+    }
+    if (first) line << "0";
+  };
+
+  os << (sense_ == Sense::kMinimize ? "Minimize" : "Maximize") << "\n obj: ";
+  std::vector<LinearExpr::Term> objective_terms;
+  const double sign = objective_sign();
+  for (int j = 0; j < variable_count(); ++j) {
+    const double coeff = sign * objective_[static_cast<std::size_t>(j)];
+    if (coeff != 0.0) objective_terms.push_back({VarId{j}, coeff});
+  }
+  emit_terms(os, objective_terms);
+  os << "\nSubject To\n";
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    const Constraint& c = constraints_[i];
+    os << ' ' << (c.name.empty() ? "c" + std::to_string(i) : c.name) << ": ";
+    emit_terms(os, c.terms);
+    switch (c.relation) {
+      case Relation::kLessEqual: os << " <= "; break;
+      case Relation::kGreaterEqual: os << " >= "; break;
+      case Relation::kEqual: os << " = "; break;
+    }
+    os << c.rhs << '\n';
+  }
+  os << "Bounds\n";
+  for (int j = 0; j < variable_count(); ++j) {
+    const Variable& v = variables_[static_cast<std::size_t>(j)];
+    os << ' ';
+    if (std::isfinite(v.lower)) os << v.lower << " <= ";
+    else os << "-inf <= ";
+    os << var_name(j);
+    if (std::isfinite(v.upper)) os << " <= " << v.upper;
+    os << '\n';
+  }
+  bool any_general = false, any_binary = false;
+  for (const Variable& v : variables_) {
+    any_general |= v.type == VarType::kInteger;
+    any_binary |= v.type == VarType::kBinary;
+  }
+  if (any_general) {
+    os << "General\n";
+    for (int j = 0; j < variable_count(); ++j) {
+      if (variables_[static_cast<std::size_t>(j)].type == VarType::kInteger) {
+        os << ' ' << var_name(j) << '\n';
+      }
+    }
+  }
+  if (any_binary) {
+    os << "Binary\n";
+    for (int j = 0; j < variable_count(); ++j) {
+      if (variables_[static_cast<std::size_t>(j)].type == VarType::kBinary) {
+        os << ' ' << var_name(j) << '\n';
+      }
+    }
+  }
+  os << "End\n";
+  return os.str();
+}
+
+bool Model::is_feasible(const std::vector<double>& point, double tolerance) const {
+  if (static_cast<int>(point.size()) != variable_count()) return false;
+  for (int i = 0; i < variable_count(); ++i) {
+    const Variable& v = variables_[static_cast<std::size_t>(i)];
+    const double x = point[static_cast<std::size_t>(i)];
+    if (x < v.lower - tolerance || x > v.upper + tolerance) return false;
+    if (v.type != VarType::kContinuous && std::abs(x - std::round(x)) > tolerance) return false;
+  }
+  for (const Constraint& c : constraints_) {
+    double lhs = 0.0;
+    for (const auto& term : c.terms) {
+      lhs += term.coeff * point[static_cast<std::size_t>(term.var.index)];
+    }
+    switch (c.relation) {
+      case Relation::kLessEqual:
+        if (lhs > c.rhs + tolerance) return false;
+        break;
+      case Relation::kGreaterEqual:
+        if (lhs < c.rhs - tolerance) return false;
+        break;
+      case Relation::kEqual:
+        if (std::abs(lhs - c.rhs) > tolerance) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace fsyn::ilp

@@ -1,0 +1,153 @@
+// Linear / mixed-integer model container.
+//
+// This is the interface the dynamic-device mapping engine programs against
+// (the paper uses Gurobi; this reproduction ships its own solver).  A model
+// is a set of bounded variables, linear constraints and a linear objective.
+// `fsyn::ilp::solve_milp` (branch_and_bound.hpp) solves it exactly;
+// `fsyn::ilp::solve_lp` (simplex.hpp) solves its continuous relaxation.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fsyn::ilp {
+
+/// Identifies a variable inside one Model.
+struct VarId {
+  int index = -1;
+  friend auto operator<=>(const VarId&, const VarId&) = default;
+};
+
+enum class VarType { kContinuous, kInteger, kBinary };
+
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+enum class Sense { kMinimize, kMaximize };
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// A linear expression sum(coeff_i * var_i) + constant.  Terms may repeat a
+/// variable; Model::add_constraint folds duplicates.
+class LinearExpr {
+ public:
+  LinearExpr() = default;
+  /*implicit*/ LinearExpr(double constant) : constant_(constant) {}
+  /*implicit*/ LinearExpr(VarId var) { terms_.push_back({var, 1.0}); }
+
+  LinearExpr& add_term(VarId var, double coeff) {
+    terms_.push_back({var, coeff});
+    return *this;
+  }
+  LinearExpr& add_constant(double value) {
+    constant_ += value;
+    return *this;
+  }
+
+  LinearExpr& operator+=(const LinearExpr& other) {
+    terms_.insert(terms_.end(), other.terms_.begin(), other.terms_.end());
+    constant_ += other.constant_;
+    return *this;
+  }
+
+  struct Term {
+    VarId var;
+    double coeff;
+  };
+
+  const std::vector<Term>& terms() const { return terms_; }
+  double constant() const { return constant_; }
+
+ private:
+  std::vector<Term> terms_;
+  double constant_ = 0.0;
+};
+
+inline LinearExpr operator*(double coeff, VarId var) {
+  LinearExpr e;
+  e.add_term(var, coeff);
+  return e;
+}
+
+inline LinearExpr operator+(LinearExpr lhs, const LinearExpr& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+/// One stored constraint row with duplicate terms folded.
+struct Constraint {
+  std::vector<LinearExpr::Term> terms;  ///< one entry per distinct variable
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+  std::string name;
+};
+
+struct Variable {
+  double lower = 0.0;
+  double upper = kInfinity;
+  VarType type = VarType::kContinuous;
+  std::string name;
+};
+
+class Model {
+ public:
+  VarId add_variable(double lower, double upper, VarType type, std::string name = "");
+
+  /// Convenience wrappers.
+  VarId add_binary(std::string name = "") { return add_variable(0.0, 1.0, VarType::kBinary, std::move(name)); }
+  VarId add_integer(double lower, double upper, std::string name = "") {
+    return add_variable(lower, upper, VarType::kInteger, std::move(name));
+  }
+  VarId add_continuous(double lower, double upper, std::string name = "") {
+    return add_variable(lower, upper, VarType::kContinuous, std::move(name));
+  }
+
+  /// Adds `expr (relation) rhs`; the expression's constant is moved to the
+  /// right-hand side.  Duplicate variable terms are folded.
+  void add_constraint(const LinearExpr& expr, Relation relation, double rhs,
+                      std::string name = "");
+
+  void set_objective(const LinearExpr& expr, Sense sense);
+
+  int variable_count() const { return static_cast<int>(variables_.size()); }
+  int constraint_count() const { return static_cast<int>(constraints_.size()); }
+
+  const Variable& variable(VarId id) const {
+    require(id.index >= 0 && id.index < variable_count(), "bad VarId");
+    return variables_[static_cast<std::size_t>(id.index)];
+  }
+  const std::vector<Variable>& variables() const { return variables_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  /// Dense objective coefficient vector (folded), in minimize sense.
+  /// For a maximize model the coefficients are negated, so every solver can
+  /// uniformly minimize; `objective_sign()` restores the reported value.
+  const std::vector<double>& minimize_objective() const { return objective_; }
+  double objective_sign() const { return sense_ == Sense::kMinimize ? 1.0 : -1.0; }
+  double objective_constant() const { return objective_constant_; }
+
+  bool has_integer_variables() const;
+
+  /// Evaluates the (user-sense) objective at a point.
+  double objective_value(const std::vector<double>& point) const;
+
+  /// True when `point` satisfies all bounds, constraints and integrality
+  /// within `tolerance`.  Used by tests and by the heuristic mapper to share
+  /// the exact feasibility predicate with the ILP.
+  bool is_feasible(const std::vector<double>& point, double tolerance = 1e-6) const;
+
+  /// Dumps the model in CPLEX LP format (readable by any MILP solver),
+  /// for debugging and for cross-checking against external tools.
+  std::string to_lp_string() const;
+
+ private:
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+  std::vector<double> objective_;  ///< minimize-sense dense coefficients
+  double objective_constant_ = 0.0;
+  Sense sense_ = Sense::kMinimize;
+};
+
+}  // namespace fsyn::ilp

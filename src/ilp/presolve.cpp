@@ -1,0 +1,107 @@
+#include "ilp/presolve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fsyn::ilp {
+
+namespace {
+
+/// One directed inequality sum(a_j x_j) <= b (equalities contribute two).
+struct Row {
+  std::vector<LinearExpr::Term> terms;
+  double rhs;
+};
+
+/// Minimum activity of a row given bounds, excluding term `skip`.
+double min_activity_without(const Row& row, std::size_t skip,
+                            const std::vector<double>& lower,
+                            const std::vector<double>& upper) {
+  double activity = 0.0;
+  for (std::size_t k = 0; k < row.terms.size(); ++k) {
+    if (k == skip) continue;
+    const auto& term = row.terms[k];
+    const double bound = term.coeff > 0 ? lower[static_cast<std::size_t>(term.var.index)]
+                                        : upper[static_cast<std::size_t>(term.var.index)];
+    activity += term.coeff * bound;
+  }
+  return activity;
+}
+
+}  // namespace
+
+PresolveResult presolve(const Model& model, const PresolveOptions& options) {
+  PresolveResult result;
+  result.lower.reserve(static_cast<std::size_t>(model.variable_count()));
+  result.upper.reserve(static_cast<std::size_t>(model.variable_count()));
+  for (const Variable& v : model.variables()) {
+    result.lower.push_back(v.lower);
+    result.upper.push_back(v.upper);
+  }
+
+  // Normalize: every constraint becomes one or two <= rows.
+  std::vector<Row> rows;
+  for (const Constraint& c : model.constraints()) {
+    if (c.relation == Relation::kLessEqual || c.relation == Relation::kEqual) {
+      rows.push_back(Row{c.terms, c.rhs});
+    }
+    if (c.relation == Relation::kGreaterEqual || c.relation == Relation::kEqual) {
+      Row flipped{c.terms, -c.rhs};
+      for (auto& term : flipped.terms) term.coeff = -term.coeff;
+      rows.push_back(std::move(flipped));
+    }
+  }
+
+  const double tol = options.tolerance;
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool changed = false;
+    for (const Row& row : rows) {
+      for (std::size_t k = 0; k < row.terms.size(); ++k) {
+        const auto& term = row.terms[k];
+        const std::size_t j = static_cast<std::size_t>(term.var.index);
+        const double others = min_activity_without(row, k, result.lower, result.upper);
+        if (!std::isfinite(others)) continue;  // no implied bound available
+        const double residual = row.rhs - others;
+        // a_j * x_j <= residual.
+        if (term.coeff > 0) {
+          double implied = residual / term.coeff;
+          if (model.variable(term.var).type != VarType::kContinuous) {
+            implied = std::floor(implied + tol);
+          }
+          if (implied < result.upper[j] - tol) {
+            result.upper[j] = implied;
+            ++result.tightenings;
+            changed = true;
+          }
+        } else {
+          double implied = residual / term.coeff;  // negative coeff: lower bound
+          if (model.variable(term.var).type != VarType::kContinuous) {
+            implied = std::ceil(implied - tol);
+          }
+          if (implied > result.lower[j] + tol) {
+            result.lower[j] = implied;
+            ++result.tightenings;
+            changed = true;
+          }
+        }
+        if (result.lower[j] > result.upper[j] + tol) {
+          result.status = PresolveStatus::kInfeasible;
+          return result;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  for (int j = 0; j < model.variable_count(); ++j) {
+    if (std::abs(result.lower[static_cast<std::size_t>(j)] -
+                 result.upper[static_cast<std::size_t>(j)]) <= tol) {
+      ++result.fixed_variables;
+    }
+  }
+  return result;
+}
+
+}  // namespace fsyn::ilp

@@ -1,0 +1,377 @@
+#include "ilp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace fsyn::ilp {
+
+namespace {
+
+/// Dense bounded-variable simplex working state.
+///
+/// Columns are laid out as [structural | slack | artificial].  The tableau
+/// `T` always equals B^{-1} A for the current basis; basic values `xb` and
+/// nonbasic rest values `x` are maintained incrementally across pivots.
+class SimplexTableau {
+ public:
+  SimplexTableau(const Model& model, const LpOptions& options,
+                 const std::vector<double>* lower_override,
+                 const std::vector<double>* upper_override)
+      : options_(options) {
+    const int n_struct = model.variable_count();
+    const int m = model.constraint_count();
+    rows_ = m;
+
+    // ---- column bounds and phase-2 costs for structural variables ----
+    for (int j = 0; j < n_struct; ++j) {
+      const Variable& v = model.variable(VarId{j});
+      const double lo = lower_override ? (*lower_override)[static_cast<std::size_t>(j)] : v.lower;
+      const double hi = upper_override ? (*upper_override)[static_cast<std::size_t>(j)] : v.upper;
+      check_input(std::isfinite(lo) || std::isfinite(hi),
+                  "simplex requires each variable to have a finite bound");
+      lower_.push_back(lo);
+      upper_.push_back(hi);
+      cost_.push_back(model.minimize_objective()[static_cast<std::size_t>(j)]);
+    }
+
+    // ---- slack columns (one per inequality row) ----
+    std::vector<int> slack_of(static_cast<std::size_t>(m), -1);
+    for (int i = 0; i < m; ++i) {
+      if (model.constraints()[static_cast<std::size_t>(i)].relation != Relation::kEqual) {
+        slack_of[static_cast<std::size_t>(i)] = add_column(0.0, kInfinity, 0.0);
+      }
+    }
+    const int n_real = columns();
+
+    // ---- assemble rows; scale each so the Phase-1 artificial is >= 0 ----
+    matrix_.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(n_real + m), 0.0);
+    width_ = n_real + m;
+    rhs_.assign(static_cast<std::size_t>(m), 0.0);
+
+    // Nonbasic rest point: each real column sits at its finite bound.
+    x_.assign(static_cast<std::size_t>(width_), 0.0);
+    at_upper_.assign(static_cast<std::size_t>(width_), false);
+    for (int j = 0; j < n_real; ++j) {
+      if (std::isfinite(lower_[static_cast<std::size_t>(j)])) {
+        x_[static_cast<std::size_t>(j)] = lower_[static_cast<std::size_t>(j)];
+      } else {
+        x_[static_cast<std::size_t>(j)] = upper_[static_cast<std::size_t>(j)];
+        at_upper_[static_cast<std::size_t>(j)] = true;
+      }
+    }
+
+    basis_.assign(static_cast<std::size_t>(m), -1);
+    xb_.assign(static_cast<std::size_t>(m), 0.0);
+    for (int i = 0; i < m; ++i) {
+      const Constraint& c = model.constraints()[static_cast<std::size_t>(i)];
+      double* row = row_ptr(i);
+      for (const auto& term : c.terms) {
+        row[term.var.index] += term.coeff;
+      }
+      if (c.relation == Relation::kLessEqual) {
+        row[slack_of[static_cast<std::size_t>(i)]] = 1.0;
+      } else if (c.relation == Relation::kGreaterEqual) {
+        row[slack_of[static_cast<std::size_t>(i)]] = -1.0;
+      }
+      rhs_[static_cast<std::size_t>(i)] = c.rhs;
+
+      double residual = rhs_[static_cast<std::size_t>(i)];
+      for (int j = 0; j < n_real; ++j) residual -= row[j] * x_[static_cast<std::size_t>(j)];
+      if (residual < 0.0) {
+        for (int j = 0; j < n_real; ++j) row[j] = -row[j];
+        rhs_[static_cast<std::size_t>(i)] = -rhs_[static_cast<std::size_t>(i)];
+        residual = -residual;
+      }
+      // Artificial column: +1 in its own row, basic with value `residual`.
+      const int art = add_column(0.0, kInfinity, 0.0);
+      row[art] = 1.0;
+      basis_[static_cast<std::size_t>(i)] = art;
+      xb_[static_cast<std::size_t>(i)] = residual;
+      x_[static_cast<std::size_t>(art)] = 0.0;
+    }
+    first_artificial_ = n_real;
+    require(columns() == width_, "column layout mismatch");
+  }
+
+  /// Runs Phase 1 then Phase 2; extracts the structural solution.
+  LpResult solve(const Model& model) {
+    LpResult result;
+
+    // Phase 1: minimize the sum of artificials.
+    std::vector<double> phase1_cost(static_cast<std::size_t>(width_), 0.0);
+    for (int j = first_artificial_; j < width_; ++j) phase1_cost[static_cast<std::size_t>(j)] = 1.0;
+    const LpStatus phase1 = optimize(phase1_cost, &result.iterations);
+    if (phase1 == LpStatus::kIterationLimit) {
+      result.status = LpStatus::kIterationLimit;
+      return result;
+    }
+    double artificial_sum = 0.0;
+    for (int i = 0; i < rows_; ++i) {
+      if (basis_[static_cast<std::size_t>(i)] >= first_artificial_) {
+        artificial_sum += xb_[static_cast<std::size_t>(i)];
+      }
+    }
+    if (artificial_sum > 1e-6) {
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+    // Freeze artificials at zero for Phase 2.
+    for (int j = first_artificial_; j < width_; ++j) {
+      lower_[static_cast<std::size_t>(j)] = 0.0;
+      upper_[static_cast<std::size_t>(j)] = 0.0;
+      if (basis_index_of(j) < 0) {
+        x_[static_cast<std::size_t>(j)] = 0.0;
+        at_upper_[static_cast<std::size_t>(j)] = false;
+      }
+    }
+
+    // Phase 2: the real objective (zero on slack and artificial columns).
+    std::vector<double> phase2_cost(static_cast<std::size_t>(width_), 0.0);
+    std::copy(cost_.begin(), cost_.end(), phase2_cost.begin());
+    const LpStatus phase2 = optimize(phase2_cost, &result.iterations);
+    if (phase2 != LpStatus::kOptimal) {
+      result.status = phase2;
+      return result;
+    }
+
+    result.status = LpStatus::kOptimal;
+    result.values.assign(static_cast<std::size_t>(model.variable_count()), 0.0);
+    for (int j = 0; j < model.variable_count(); ++j) {
+      result.values[static_cast<std::size_t>(j)] = x_[static_cast<std::size_t>(j)];
+    }
+    for (int i = 0; i < rows_; ++i) {
+      const int j = basis_[static_cast<std::size_t>(i)];
+      if (j < model.variable_count()) {
+        result.values[static_cast<std::size_t>(j)] = xb_[static_cast<std::size_t>(i)];
+      }
+    }
+    // Clamp tiny numerical excursions back into the bound box.
+    for (int j = 0; j < model.variable_count(); ++j) {
+      double& v = result.values[static_cast<std::size_t>(j)];
+      const double lo = lower_[static_cast<std::size_t>(j)];
+      const double hi = upper_[static_cast<std::size_t>(j)];
+      v = std::clamp(v, lo, std::isfinite(hi) ? hi : v);
+    }
+    result.objective = model.objective_value(result.values);
+    return result;
+  }
+
+ private:
+  int columns() const { return static_cast<int>(lower_.size()); }
+
+  int add_column(double lo, double hi, double cost) {
+    lower_.push_back(lo);
+    upper_.push_back(hi);
+    cost_.push_back(cost);
+    return columns() - 1;
+  }
+
+  double* row_ptr(int i) {
+    return matrix_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(width_);
+  }
+  const double* row_ptr(int i) const {
+    return matrix_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(width_);
+  }
+
+  int basis_index_of(int column) const {
+    for (int i = 0; i < rows_; ++i) {
+      if (basis_[static_cast<std::size_t>(i)] == column) return i;
+    }
+    return -1;
+  }
+
+  bool is_basic(int column) const { return basis_index_of(column) >= 0; }
+
+  /// Primal simplex loop with Dantzig pricing and a Bland fallback that
+  /// kicks in after a run of degenerate pivots (anti-cycling).
+  LpStatus optimize(const std::vector<double>& cost, int* iteration_counter) {
+    const double tol = options_.tolerance;
+    int degenerate_streak = 0;
+    bool bland = false;
+
+    std::vector<bool> basic(static_cast<std::size_t>(width_), false);
+    for (int i = 0; i < rows_; ++i) basic[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] = true;
+
+    std::vector<double> reduced(static_cast<std::size_t>(width_), 0.0);
+    for (int iter = 0; iter < options_.max_iterations; ++iter, ++*iteration_counter) {
+      // Reduced costs d = c - c_B' T  (T is already B^{-1}A).
+      std::fill(reduced.begin(), reduced.end(), 0.0);
+      for (int i = 0; i < rows_; ++i) {
+        const double cb = cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+        if (cb == 0.0) continue;
+        const double* row = row_ptr(i);
+        for (int j = 0; j < width_; ++j) reduced[static_cast<std::size_t>(j)] += cb * row[j];
+      }
+
+      // Entering column: improves the objective while moving off its bound.
+      int entering = -1;
+      double entering_dir = 0.0;
+      double best_violation = tol;
+      for (int j = 0; j < width_; ++j) {
+        if (basic[static_cast<std::size_t>(j)]) continue;
+        const double lo = lower_[static_cast<std::size_t>(j)];
+        const double hi = upper_[static_cast<std::size_t>(j)];
+        if (hi - lo < tol) continue;  // fixed column can never improve
+        const double d = cost[static_cast<std::size_t>(j)] - reduced[static_cast<std::size_t>(j)];
+        double violation = 0.0;
+        double dir = 0.0;
+        if (!at_upper_[static_cast<std::size_t>(j)] && d < -tol) {
+          violation = -d;
+          dir = 1.0;
+        } else if (at_upper_[static_cast<std::size_t>(j)] && d > tol) {
+          violation = d;
+          dir = -1.0;
+        } else {
+          continue;
+        }
+        if (bland) {  // first eligible index
+          entering = j;
+          entering_dir = dir;
+          break;
+        }
+        if (violation > best_violation) {
+          best_violation = violation;
+          entering = j;
+          entering_dir = dir;
+        }
+      }
+      if (entering == -1) return LpStatus::kOptimal;
+
+      // Ratio test: how far can the entering variable move?
+      const double own_span = upper_[static_cast<std::size_t>(entering)] -
+                              lower_[static_cast<std::size_t>(entering)];
+      double best_t = own_span;  // may be +inf
+      int leaving_row = -1;      // -1 means bound flip
+      double best_pivot_mag = 0.0;
+      for (int i = 0; i < rows_; ++i) {
+        const double g = row_ptr(i)[entering] * entering_dir;
+        const int bvar = basis_[static_cast<std::size_t>(i)];
+        double limit = kInfinity;
+        if (g > tol) {
+          const double lo = lower_[static_cast<std::size_t>(bvar)];
+          limit = std::isfinite(lo) ? (xb_[static_cast<std::size_t>(i)] - lo) / g : kInfinity;
+        } else if (g < -tol) {
+          const double hi = upper_[static_cast<std::size_t>(bvar)];
+          limit = std::isfinite(hi) ? (hi - xb_[static_cast<std::size_t>(i)]) / (-g) : kInfinity;
+        } else {
+          continue;
+        }
+        limit = std::max(limit, 0.0);
+        const double mag = std::abs(row_ptr(i)[entering]);
+        const bool strictly_better = limit < best_t - tol;
+        const bool tie = limit < best_t + tol;
+        if (strictly_better || (tie && leaving_row >= 0 &&
+                                (bland ? bvar < basis_[static_cast<std::size_t>(leaving_row)]
+                                       : mag > best_pivot_mag))) {
+          best_t = std::min(best_t, limit);
+          leaving_row = i;
+          best_pivot_mag = mag;
+        }
+      }
+
+      if (!std::isfinite(best_t)) return LpStatus::kUnbounded;
+
+      if (best_t < tol) {
+        ++degenerate_streak;
+        if (degenerate_streak > 64) bland = true;
+      } else {
+        degenerate_streak = 0;
+      }
+
+      // Apply the move to the basic values.
+      const double delta = entering_dir * best_t;
+      for (int i = 0; i < rows_; ++i) {
+        xb_[static_cast<std::size_t>(i)] -= row_ptr(i)[entering] * delta;
+      }
+
+      if (leaving_row < 0 || own_span <= best_t) {
+        // The entering variable reached its opposite bound first: bound flip,
+        // no basis change.
+        at_upper_[static_cast<std::size_t>(entering)] = entering_dir > 0.0;
+        x_[static_cast<std::size_t>(entering)] =
+            at_upper_[static_cast<std::size_t>(entering)]
+                ? upper_[static_cast<std::size_t>(entering)]
+                : lower_[static_cast<std::size_t>(entering)];
+        continue;
+      }
+
+      // Pivot: entering becomes basic in `leaving_row`.
+      const int leaving = basis_[static_cast<std::size_t>(leaving_row)];
+      const double g = row_ptr(leaving_row)[entering] * entering_dir;
+      at_upper_[static_cast<std::size_t>(leaving)] = g < 0.0;  // hit its upper bound
+      x_[static_cast<std::size_t>(leaving)] = at_upper_[static_cast<std::size_t>(leaving)]
+                                                  ? upper_[static_cast<std::size_t>(leaving)]
+                                                  : lower_[static_cast<std::size_t>(leaving)];
+      basic[static_cast<std::size_t>(leaving)] = false;
+      basic[static_cast<std::size_t>(entering)] = true;
+
+      const double entering_value =
+          (at_upper_[static_cast<std::size_t>(entering)] ? upper_[static_cast<std::size_t>(entering)]
+                                                         : lower_[static_cast<std::size_t>(entering)]) +
+          delta;
+      basis_[static_cast<std::size_t>(leaving_row)] = entering;
+
+      // Gaussian elimination on the entering column.
+      double* pivot_row = row_ptr(leaving_row);
+      const double pivot = pivot_row[entering];
+      require(std::abs(pivot) > tol, "zero pivot in simplex");
+      for (int j = 0; j < width_; ++j) pivot_row[j] /= pivot;
+      for (int i = 0; i < rows_; ++i) {
+        if (i == leaving_row) continue;
+        double* row = row_ptr(i);
+        const double factor = row[entering];
+        if (factor == 0.0) continue;
+        for (int j = 0; j < width_; ++j) row[j] -= factor * pivot_row[j];
+      }
+      xb_[static_cast<std::size_t>(leaving_row)] = entering_value;
+    }
+    return LpStatus::kIterationLimit;
+  }
+
+  LpOptions options_;
+  int rows_ = 0;
+  int width_ = 0;             ///< total columns incl. slack + artificial
+  int first_artificial_ = 0;  ///< first artificial column index
+  std::vector<double> matrix_;
+  std::vector<double> rhs_;
+  std::vector<double> lower_, upper_, cost_;
+  std::vector<double> x_;      ///< rest values of nonbasic columns
+  std::vector<bool> at_upper_;
+  std::vector<int> basis_;     ///< basic column per row
+  std::vector<double> xb_;     ///< value of the basic variable per row
+};
+
+}  // namespace
+
+LpResult solve_lp(const Model& model, const LpOptions& options,
+                  const std::vector<double>* lower_override,
+                  const std::vector<double>* upper_override) {
+  if (lower_override) {
+    require(static_cast<int>(lower_override->size()) == model.variable_count(),
+            "lower_override size mismatch");
+  }
+  if (upper_override) {
+    require(static_cast<int>(upper_override->size()) == model.variable_count(),
+            "upper_override size mismatch");
+  }
+  // A bound box that is empty in any coordinate is trivially infeasible.
+  for (int j = 0; j < model.variable_count(); ++j) {
+    const double lo = lower_override ? (*lower_override)[static_cast<std::size_t>(j)]
+                                     : model.variable(VarId{j}).lower;
+    const double hi = upper_override ? (*upper_override)[static_cast<std::size_t>(j)]
+                                     : model.variable(VarId{j}).upper;
+    if (lo > hi) {
+      LpResult r;
+      r.status = LpStatus::kInfeasible;
+      return r;
+    }
+  }
+  SimplexTableau tableau(model, options, lower_override, upper_override);
+  return tableau.solve(model);
+}
+
+}  // namespace fsyn::ilp

@@ -1,0 +1,47 @@
+// Two-phase primal simplex for LPs with bounded variables.
+//
+// This is the workhorse under the branch-and-bound MILP solver that replaces
+// Gurobi in this reproduction.  It implements the textbook bounded-variable
+// tableau method: nonbasic variables rest at one of their finite bounds, the
+// ratio test allows bound flips, and Phase 1 drives artificial variables to
+// zero before Phase 2 optimizes the true objective.
+//
+// The implementation is dense and favours clarity and numerical robustness
+// (Bland's anti-cycling fallback, explicit tolerances) over speed; the
+// mapping ILPs it must solve have at most a few thousand columns.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ilp/model.hpp"
+
+namespace fsyn::ilp {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpResult {
+  LpStatus status = LpStatus::kIterationLimit;
+  /// Structural variable values (model order); empty unless kOptimal.
+  std::vector<double> values;
+  /// Objective in the model's user sense; meaningful only when kOptimal.
+  double objective = 0.0;
+  int iterations = 0;
+};
+
+struct LpOptions {
+  int max_iterations = 50000;
+  double tolerance = 1e-9;
+};
+
+/// Solves the continuous relaxation of `model` (integrality dropped).
+///
+/// When `lower_override` / `upper_override` are provided they replace the
+/// model's variable bounds — this is how branch and bound tightens bounds
+/// per node without copying the model.  All variables must have a finite
+/// lower or finite upper bound (true for every model this library builds).
+LpResult solve_lp(const Model& model, const LpOptions& options = {},
+                  const std::vector<double>* lower_override = nullptr,
+                  const std::vector<double>* upper_override = nullptr);
+
+}  // namespace fsyn::ilp

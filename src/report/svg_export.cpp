@@ -1,0 +1,111 @@
+#include "report/svg_export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fsyn::report {
+
+namespace {
+
+/// Linear white->red ramp for the actuation heat map.
+std::string heat_color(int value, int max_value) {
+  if (value <= 0 || max_value <= 0) return "#f4f4f4";
+  const double t = std::min(1.0, static_cast<double>(value) / max_value);
+  const int red = 255;
+  const int other = static_cast<int>(235.0 * (1.0 - t));
+  std::ostringstream os;
+  os << "rgb(" << red << ',' << other << ',' << other << ')';
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_chip_svg(const synth::MappingProblem& problem,
+                            const synth::Placement& placement,
+                            const route::RoutingResult& routing,
+                            const sim::ActuationLedger& ledger, const SvgOptions& options) {
+  const int cell = options.cell_pixels;
+  const int width = problem.chip().width();
+  const int height = problem.chip().height();
+  const Grid<int> totals = ledger.total();
+  const int max_total = *std::max_element(totals.begin(), totals.end());
+
+  // SVG y grows downward; chip y grows upward.
+  auto px = [&](int x) { return x * cell; };
+  auto py = [&](int y) { return (height - 1 - y) * cell; };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns='http://www.w3.org/2000/svg' width='" << width * cell << "' height='"
+      << height * cell << "' viewBox='0 0 " << width * cell << ' ' << height * cell << "'>\n";
+  svg << "<rect width='100%' height='100%' fill='#ffffff'/>\n";
+
+  // Heat map of per-valve actuations ('.' cells stay light grey = removed).
+  if (options.draw_heatmap) {
+    totals.for_each([&](const Point& p, const int& value) {
+      svg << "<rect x='" << px(p.x) << "' y='" << py(p.y) << "' width='" << cell
+          << "' height='" << cell << "' fill='" << heat_color(value, max_total)
+          << "' stroke='#cccccc' stroke-width='1'/>\n";
+      if (options.draw_labels && value > 0) {
+        svg << "<text x='" << px(p.x) + cell / 2 << "' y='" << py(p.y) + cell / 2 + 4
+            << "' font-size='" << cell / 3 << "' text-anchor='middle' fill='#333333'>"
+            << value << "</text>\n";
+      }
+    });
+  }
+
+  // Device footprints (outline) and pump rings (dots on ring cells).
+  for (int i = 0; i < problem.task_count(); ++i) {
+    const auto& device = placement[static_cast<std::size_t>(i)];
+    const Rect fp = device.footprint();
+    svg << "<rect x='" << px(fp.left()) << "' y='" << py(fp.top() - 1) << "' width='"
+        << fp.width * cell << "' height='" << fp.height * cell
+        << "' fill='none' stroke='#2060c0' stroke-width='2'/>\n";
+    if (options.draw_labels) {
+      svg << "<text x='" << px(fp.left()) + 3 << "' y='" << py(fp.top() - 1) + cell / 3
+          << "' font-size='" << cell / 3 << "' fill='#2060c0'>" << problem.task(i).name
+          << "</text>\n";
+    }
+  }
+
+  // Routed paths as polylines through cell centres.
+  if (options.draw_paths) {
+    for (const auto& path : routing.paths) {
+      if (path.cells.size() < 2) continue;
+      svg << "<polyline fill='none' stroke='#10a050' stroke-width='2' stroke-opacity='0.6' "
+             "points='";
+      for (const Point& p : path.cells) {
+        svg << px(p.x) + cell / 2 << ',' << py(p.y) + cell / 2 << ' ';
+      }
+      svg << "'/>\n";
+    }
+  }
+
+  // Chip ports.
+  for (const auto& port : problem.chip().ports()) {
+    svg << "<circle cx='" << px(port.cell.x) + cell / 2 << "' cy='" << py(port.cell.y) + cell / 2
+        << "' r='" << cell / 4 << "' fill='" << (port.is_input ? "#10a050" : "#c03030")
+        << "'/>\n";
+    if (options.draw_labels) {
+      svg << "<text x='" << px(port.cell.x) + cell / 2 << "' y='" << py(port.cell.y) + cell / 5
+          << "' font-size='" << cell / 3 << "' text-anchor='middle' fill='#000000'>"
+          << port.name << "</text>\n";
+    }
+  }
+
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void write_chip_svg(const std::string& path, const synth::MappingProblem& problem,
+                    const synth::Placement& placement, const route::RoutingResult& routing,
+                    const sim::ActuationLedger& ledger, const SvgOptions& options) {
+  std::ofstream file(path);
+  check_input(file.good(), "cannot open '" + path + "' for writing");
+  file << render_chip_svg(problem, placement, routing, ledger, options);
+  check_input(file.good(), "failed while writing '" + path + "'");
+}
+
+}  // namespace fsyn::report

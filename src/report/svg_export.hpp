@@ -1,0 +1,35 @@
+// SVG rendering of a synthesized chip — placement footprints, pump rings,
+// routed paths, chip ports and a per-valve actuation heat map.
+//
+// Lets a user open the synthesis result in any browser; the equivalent of
+// the paper's Fig. 10, but vector and colour-coded.
+#pragma once
+
+#include <string>
+
+#include "route/router.hpp"
+#include "sim/actuation.hpp"
+#include "synth/mapping_problem.hpp"
+
+namespace fsyn::report {
+
+struct SvgOptions {
+  int cell_pixels = 36;
+  bool draw_paths = true;
+  bool draw_heatmap = true;
+  bool draw_labels = true;
+};
+
+/// Renders the full synthesis result as a standalone SVG document.
+std::string render_chip_svg(const synth::MappingProblem& problem,
+                            const synth::Placement& placement,
+                            const route::RoutingResult& routing,
+                            const sim::ActuationLedger& ledger, const SvgOptions& options = {});
+
+/// Renders and writes to `path`; throws fsyn::Error when the file cannot
+/// be written.
+void write_chip_svg(const std::string& path, const synth::MappingProblem& problem,
+                    const synth::Placement& placement, const route::RoutingResult& routing,
+                    const sim::ActuationLedger& ledger, const SvgOptions& options = {});
+
+}  // namespace fsyn::report

@@ -1,0 +1,84 @@
+#include "route/contamination.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace fsyn::route {
+
+std::string path_fluid(const synth::MappingProblem& problem, const RoutedPath& path) {
+  switch (path.kind) {
+    case TransportKind::kFill: {
+      // The fill label is "fill <input> -> <task>"; the input name is the
+      // authoritative fluid id, recover it from the graph for robustness.
+      const auto& graph = problem.graph();
+      const auto& op = graph.op(problem.task(path.task).op);
+      for (const auto parent : op.parents) {
+        const auto& producer = graph.op(parent);
+        if (producer.kind == assay::OpKind::kInput &&
+            path.label.find(' ' + producer.name + ' ') != std::string::npos) {
+          return producer.name;
+        }
+      }
+      return path.label;  // unique fallback, still a stable id
+    }
+    case TransportKind::kTransfer:
+      return "product:" + problem.task(path.source_task).name;
+    case TransportKind::kDrain:
+      return "product:" + problem.task(path.task).name;
+  }
+  return path.label;
+}
+
+WashPlan plan_washes(const synth::MappingProblem& problem, const RoutingResult& routing) {
+  require(routing.success, "cannot analyse a failed routing");
+
+  struct Traversal {
+    int time;
+    int path_index;
+  };
+  std::map<Point, std::vector<Traversal>> traversals;
+  for (std::size_t p = 0; p < routing.paths.size(); ++p) {
+    for (const Point& cell : routing.paths[p].cells) {
+      traversals[cell].push_back({routing.paths[p].time, static_cast<int>(p)});
+    }
+  }
+
+  // For every cell, each fluid change between consecutive traversals
+  // requires the cell to be washed before the later path runs.
+  std::map<int, Wash> by_later_path;  // one wash record per contaminated path
+  for (auto& [cell, list] : traversals) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const Traversal& a, const Traversal& b) { return a.time < b.time; });
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      const RoutedPath& earlier = routing.paths[static_cast<std::size_t>(list[i - 1].path_index)];
+      const RoutedPath& later = routing.paths[static_cast<std::size_t>(list[i].path_index)];
+      const std::string residue = path_fluid(problem, earlier);
+      const std::string incoming = path_fluid(problem, later);
+      if (residue == incoming) continue;
+      Wash& wash = by_later_path[list[i].path_index];
+      wash.before_path = list[i].path_index;
+      wash.incoming_fluid = incoming;
+      wash.residue_fluid = residue;  // last residue wins per cell; fine for counting
+      wash.cells.push_back(cell);
+    }
+  }
+
+  WashPlan plan;
+  for (auto& [path_index, wash] : by_later_path) {
+    plan.total_washed_cells += static_cast<int>(wash.cells.size());
+    plan.washes.push_back(std::move(wash));
+  }
+  return plan;
+}
+
+Grid<int> WashPlan::extra_control(int width, int height) const {
+  Grid<int> extra(width, height, 0);
+  for (const Wash& wash : washes) {
+    for (const Point& cell : wash.cells) extra.at(cell) += 2;
+  }
+  return extra;
+}
+
+}  // namespace fsyn::route

@@ -1,0 +1,46 @@
+// Cross-contamination analysis and wash planning.
+//
+// The paper's conclusion notes that it assumes sample flows can be
+// manipulated freely and that restricting this is future work.  This module
+// implements that restriction's bookkeeping: when two transports carrying
+// *different* fluids traverse the same valve cell, the later one is
+// contaminated unless a wash flushes the shared cells in between.
+//
+// `plan_washes` derives the minimal per-cell wash requirements from a
+// routing result: for every cell, the chronological sequence of traversing
+// paths is scanned, and each change of carried fluid demands a wash of that
+// cell.  Washes are grouped per (earlier path, later path) pair, and their
+// extra control actuations (+2 per washed cell, open+close of the flush
+// flow) can be added to the reliability accounting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "route/router.hpp"
+
+namespace fsyn::route {
+
+struct Wash {
+  int before_path = -1;           ///< index into RoutingResult::paths
+  std::string incoming_fluid;     ///< fluid about to traverse
+  std::string residue_fluid;      ///< fluid left by the earlier traversal
+  std::vector<Point> cells;       ///< cells that must be flushed
+};
+
+struct WashPlan {
+  std::vector<Wash> washes;
+  int total_washed_cells = 0;
+
+  /// Extra control actuations caused by washing (+2 per washed cell).
+  Grid<int> extra_control(int width, int height) const;
+};
+
+/// The fluid a path carries: the producing operation's product for
+/// transfers/drains, the input fluid's name for fills.
+std::string path_fluid(const synth::MappingProblem& problem, const RoutedPath& path);
+
+/// Scans the routing result and plans all required washes.
+WashPlan plan_washes(const synth::MappingProblem& problem, const RoutingResult& routing);
+
+}  // namespace fsyn::route

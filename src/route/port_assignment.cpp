@@ -1,0 +1,96 @@
+#include "route/port_assignment.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fsyn::route {
+
+using assay::OpId;
+using assay::OpKind;
+using assay::Operation;
+
+PortAssignment assign_ports(const synth::MappingProblem& problem,
+                            const synth::Placement& placement,
+                            const PortAssignmentOptions& options) {
+  const auto& graph = problem.graph();
+  const auto& chip = problem.chip();
+
+  std::vector<Point> input_ports;
+  for (const auto& port : chip.ports()) {
+    if (port.is_input) input_ports.push_back(port.cell);
+  }
+  check_input(!input_ports.empty(), "chip has no input ports");
+
+  // Distance of serving fluid f from port p: sum over the fluid's fills of
+  // the Manhattan distance from the port to the consuming device's nearest
+  // ring cell.
+  std::vector<const Operation*> fluids;
+  for (const Operation& op : graph.operations()) {
+    if (op.kind == OpKind::kInput) fluids.push_back(&op);
+  }
+  check_input(!fluids.empty(), "assay has no input fluids");
+
+  std::vector<std::vector<double>> cost(
+      fluids.size(), std::vector<double>(input_ports.size(), 0.0));
+  for (std::size_t f = 0; f < fluids.size(); ++f) {
+    for (const OpId consumer : graph.children(fluids[f]->id)) {
+      const int task = problem.task_of(consumer);
+      if (task < 0) continue;
+      const auto ring = placement[static_cast<std::size_t>(task)].pump_cells();
+      for (std::size_t p = 0; p < input_ports.size(); ++p) {
+        int best = std::numeric_limits<int>::max();
+        for (const Point& cell : ring) {
+          best = std::min(best, manhattan_distance(input_ports[p], cell));
+        }
+        cost[f][p] += best;
+      }
+    }
+  }
+
+  // MILP: y_{f,p} binary, one port per fluid, per-port capacity.
+  const int capacity =
+      options.capacity > 0
+          ? options.capacity
+          : static_cast<int>((fluids.size() + input_ports.size() - 1) / input_ports.size());
+  ilp::Model model;
+  std::vector<std::vector<ilp::VarId>> y(fluids.size());
+  ilp::LinearExpr objective;
+  for (std::size_t f = 0; f < fluids.size(); ++f) {
+    ilp::LinearExpr one_port;
+    for (std::size_t p = 0; p < input_ports.size(); ++p) {
+      y[f].push_back(model.add_binary(fluids[f]->name + "@" + std::to_string(p)));
+      one_port.add_term(y[f][p], 1.0);
+      objective.add_term(y[f][p], cost[f][p]);
+    }
+    model.add_constraint(one_port, ilp::Relation::kEqual, 1.0);
+  }
+  for (std::size_t p = 0; p < input_ports.size(); ++p) {
+    ilp::LinearExpr load;
+    for (std::size_t f = 0; f < fluids.size(); ++f) load.add_term(y[f][p], 1.0);
+    model.add_constraint(load, ilp::Relation::kLessEqual, capacity);
+  }
+  model.set_objective(objective, ilp::Sense::kMinimize);
+
+  ilp::MilpOptions milp_options;
+  milp_options.time_limit_seconds = options.time_limit_seconds;
+  const ilp::MilpResult solved = ilp::solve_milp(model, milp_options);
+  check_input(!solved.values.empty(), "port assignment has no feasible solution");
+
+  PortAssignment assignment;
+  assignment.status = solved.status;
+  assignment.total_distance = solved.objective;
+  for (std::size_t f = 0; f < fluids.size(); ++f) {
+    for (std::size_t p = 0; p < input_ports.size(); ++p) {
+      if (solved.values[static_cast<std::size_t>(y[f][p].index)] > 0.5) {
+        assignment.port_of_fluid[fluids[f]->name] = static_cast<int>(p);
+      }
+    }
+  }
+  require(assignment.port_of_fluid.size() == fluids.size(),
+          "port assignment left a fluid unassigned");
+  return assignment;
+}
+
+}  // namespace fsyn::route

@@ -1,0 +1,41 @@
+// Input-port assignment (extension).
+//
+// The router by default lets every fill start at whichever input port is
+// closest — physically that means different reagents enter through the
+// same port, which contaminates the port manifold.  This module assigns
+// every input fluid to exactly one input port, minimizing the total
+// estimated fill distance under a balance constraint (no port serves more
+// than its fair share of fluids), as a small MILP solved by the in-tree
+// branch & bound.  The resulting map plugs into RouterOptions so fills
+// start only at their fluid's port.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ilp/branch_and_bound.hpp"
+#include "synth/mapping_problem.hpp"
+
+namespace fsyn::route {
+
+struct PortAssignment {
+  /// Input-operation name -> index into the chip's *input* ports (the
+  /// order input ports appear in Architecture::ports()).
+  std::map<std::string, int> port_of_fluid;
+  double total_distance = 0.0;
+  ilp::MilpStatus status = ilp::MilpStatus::kLimit;
+};
+
+struct PortAssignmentOptions {
+  /// Max fluids per port; 0 = balanced automatically (ceil(F / P)).
+  int capacity = 0;
+  double time_limit_seconds = 10.0;
+};
+
+/// Assigns every input fluid of the assay to an input port, minimizing the
+/// summed Manhattan distance from the port to the consuming devices.
+PortAssignment assign_ports(const synth::MappingProblem& problem,
+                            const synth::Placement& placement,
+                            const PortAssignmentOptions& options = {});
+
+}  // namespace fsyn::route

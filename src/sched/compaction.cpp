@@ -1,0 +1,117 @@
+#include "sched/compaction.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fsyn::sched {
+
+using assay::OpId;
+using assay::OpKind;
+using assay::Operation;
+
+long total_storage_time(const Schedule& schedule) {
+  // Mirrors MappingTask::storage_from: fluids from chip ports stream in at
+  // fill time, so only device products (mix/detect parents) wait in situ.
+  long total = 0;
+  const auto& graph = *schedule.graph;
+  for (const Operation& op : graph.operations()) {
+    if (op.kind != OpKind::kMix && op.kind != OpKind::kDetect) continue;
+    int first_arrival = schedule.start_of(op.id);
+    for (const OpId parent : op.parents) {
+      const Operation& producer = graph.op(parent);
+      if (producer.kind != OpKind::kMix && producer.kind != OpKind::kDetect) continue;
+      first_arrival = std::min(first_arrival, schedule.arrival_from(parent));
+    }
+    total += schedule.start_of(op.id) - first_arrival;
+  }
+  return total;
+}
+
+namespace {
+
+/// True when starting `op` at `start` keeps a device slot free under the
+/// policy (counting every other op of the same resource class whose
+/// occupancy window [start, end + transport) overlaps).
+bool slot_available(const Schedule& schedule, const Policy& policy, const Operation& op,
+                    int start) {
+  const auto& graph = *schedule.graph;
+  const int occupancy_end = start + op.duration + schedule.transport_delay;
+  int limit = 0;
+  if (op.kind == OpKind::kMix) {
+    const auto it = policy.mixers_per_volume.find(op.volume);
+    require(it != policy.mixers_per_volume.end(), "policy lacks the op's mixer class");
+    limit = it->second;
+  } else {
+    limit = policy.detectors;
+  }
+
+  int concurrent = 1;  // the op itself
+  for (const Operation& other : graph.operations()) {
+    if (other.id == op.id) continue;
+    const bool same_class = (op.kind == OpKind::kMix && other.kind == OpKind::kMix &&
+                             other.volume == op.volume) ||
+                            (op.kind == OpKind::kDetect && other.kind == OpKind::kDetect);
+    if (!same_class) continue;
+    const int other_start = schedule.start_of(other.id);
+    const int other_end = schedule.end_of(other.id) + schedule.transport_delay;
+    if (other_start < occupancy_end && start < other_end) ++concurrent;
+  }
+  return concurrent <= limit;
+}
+
+}  // namespace
+
+Schedule compact_schedule(const Schedule& schedule, const Policy& policy) {
+  require(schedule.graph != nullptr, "schedule has no graph");
+  const auto& graph = *schedule.graph;
+  Schedule compacted = schedule;
+
+  const auto order = graph.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Operation& op = graph.op(*it);
+    if (op.kind != OpKind::kMix && op.kind != OpKind::kDetect) continue;
+
+    // Latest start that keeps every consumer's start reachable (its
+    // product must arrive transport tu before the consumer begins).
+    // Operations without device consumers keep their time (their product
+    // leaves through a port; moving them would change the makespan).
+    int latest = compacted.start_of(op.id);
+    bool bounded = false;
+    for (const OpId child : graph.children(op.id)) {
+      const int bound =
+          compacted.start_of(child) - compacted.transport_delay - op.duration;
+      latest = bounded ? std::min(latest, bound) : bound;
+      bounded = true;
+    }
+    if (!bounded || latest <= compacted.start_of(op.id)) continue;
+
+    // Delaying the op shrinks its consumers' storage windows but grows its
+    // own (its parents' products wait longer), so evaluate every feasible
+    // candidate and keep the start with the smallest total storage time;
+    // ties keep the earlier start (idempotence).
+    const int original_start = compacted.start_of(op.id);
+    int best_start = original_start;
+    long best_total = total_storage_time(compacted);
+    for (int candidate = latest; candidate > original_start; --candidate) {
+      if (!slot_available(compacted, policy, op, candidate)) continue;
+      compacted.start[static_cast<std::size_t>(op.id.index)] = candidate;
+      compacted.end[static_cast<std::size_t>(op.id.index)] = candidate + op.duration;
+      const long total = total_storage_time(compacted);
+      if (total < best_total) {
+        best_total = total;
+        best_start = candidate;
+      }
+    }
+    compacted.start[static_cast<std::size_t>(op.id.index)] = best_start;
+    compacted.end[static_cast<std::size_t>(op.id.index)] = best_start + op.duration;
+  }
+
+  compacted.validate();
+  require(compacted.makespan() <= schedule.makespan(), "compaction grew the makespan");
+  require(total_storage_time(compacted) <= total_storage_time(schedule),
+          "compaction increased storage time");
+  return compacted;
+}
+
+}  // namespace fsyn::sched

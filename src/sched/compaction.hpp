@@ -1,0 +1,30 @@
+// Storage-aware schedule compaction (extension).
+//
+// The in situ storage of an operation opens when its first parent product
+// arrives and closes when the operation starts; every tu in between is
+// occupied chip area.  Delaying operations as late as the schedule allows
+// (without moving the makespan or violating precedence and device
+// capacity) closes the gap between producers and consumers, shrinking the
+// total storage time and with it the valve matrix the mapper needs.
+//
+// `compact_schedule` is a latest-start pass in reverse topological order:
+// each mix/detect operation is delayed to the latest start that keeps all
+// its consumers reachable and a device slot available.  The result is
+// validated and never has a larger makespan or total storage time than the
+// input.
+#pragma once
+
+#include "sched/list_scheduler.hpp"
+
+namespace fsyn::sched {
+
+/// Total over all operations of (start - first product arrival): the
+/// chip-area-time spent waiting in in-situ storages.
+long total_storage_time(const Schedule& schedule);
+
+/// Delays operations within their slack to minimize storage waiting while
+/// preserving the makespan, precedence+transport, and the policy's device
+/// capacity.  Returns the compacted schedule.
+Schedule compact_schedule(const Schedule& schedule, const Policy& policy);
+
+}  // namespace fsyn::sched

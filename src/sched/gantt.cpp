@@ -1,0 +1,56 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fsyn::sched {
+
+std::string render_gantt(const Schedule& schedule) {
+  require(schedule.graph != nullptr, "schedule has no graph");
+  const assay::SequencingGraph& graph = *schedule.graph;
+  const int horizon = schedule.makespan();
+
+  std::size_t label_width = 4;
+  for (const assay::Operation& op : graph.operations()) {
+    if (op.kind == assay::OpKind::kMix || op.kind == assay::OpKind::kDetect) {
+      label_width = std::max(label_width, op.name.size() + 1);
+    }
+  }
+
+  std::ostringstream os;
+  // Time axis with a tick every 5 tu.
+  os << std::string(label_width, ' ');
+  for (int t = 0; t <= horizon; ++t) {
+    if (t % 5 == 0) {
+      const std::string tick = std::to_string(t);
+      os << tick;
+      t += static_cast<int>(tick.size()) - 1;
+    } else {
+      os << ' ';
+    }
+  }
+  os << " tu\n";
+
+  for (const assay::Operation& op : graph.operations()) {
+    if (op.kind != assay::OpKind::kMix && op.kind != assay::OpKind::kDetect) continue;
+    os << op.name << std::string(label_width - op.name.size(), ' ');
+    const int storage_from = schedule.earliest_product_arrival(op.id);
+    const int start = schedule.start_of(op.id);
+    const int end = schedule.end_of(op.id);
+    for (int t = 0; t <= horizon; ++t) {
+      if (t >= start && t < end) {
+        os << '=';
+      } else if (t >= storage_from && t < start) {
+        os << '.';
+      } else {
+        os << ' ';
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace fsyn::sched

@@ -1,0 +1,16 @@
+// ASCII Gantt chart of a schedule (the paper's Fig. 9).
+//
+// One row per mix/detect operation.  '=' spans the operation's execution,
+// '.' spans the in-situ storage window before it (products already arrived,
+// operation not yet started), mirroring the s5/s6/s7 bars of Fig. 9.
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+
+namespace fsyn::sched {
+
+std::string render_gantt(const Schedule& schedule);
+
+}  // namespace fsyn::sched

@@ -1,0 +1,42 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace fsyn::sched {
+
+int Schedule::makespan() const {
+  require(graph != nullptr, "schedule has no graph");
+  return end.empty() ? 0 : *std::max_element(end.begin(), end.end());
+}
+
+int Schedule::earliest_product_arrival(assay::OpId id) const {
+  require(graph != nullptr, "schedule has no graph");
+  const assay::Operation& op = graph->op(id);
+  if (op.parents.empty()) return start_of(id);
+  int earliest = std::numeric_limits<int>::max();
+  for (const assay::OpId parent : op.parents) {
+    earliest = std::min(earliest, arrival_from(parent));
+  }
+  return earliest;
+}
+
+void Schedule::validate() const {
+  require(graph != nullptr, "schedule has no graph");
+  require(static_cast<int>(start.size()) == graph->size() &&
+              static_cast<int>(end.size()) == graph->size(),
+          "schedule size mismatch");
+  for (const assay::Operation& op : graph->operations()) {
+    require(end_of(op.id) == start_of(op.id) + op.duration,
+            "schedule end != start + duration for '" + op.name + "'");
+    require(start_of(op.id) >= 0, "negative start time for '" + op.name + "'");
+    for (const assay::OpId parent : op.parents) {
+      require(start_of(op.id) >= arrival_from(parent),
+              "operation '" + op.name + "' starts before its parent product arrives");
+    }
+  }
+}
+
+}  // namespace fsyn::sched

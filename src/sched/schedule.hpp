@@ -1,0 +1,46 @@
+// Bioassay scheduling result (paper input #2): a start time per operation.
+#pragma once
+
+#include <vector>
+
+#include "assay/sequencing_graph.hpp"
+
+namespace fsyn::sched {
+
+/// Start/end times (in time units, tu) for every operation of a graph.
+/// Transport of a product from a parent device to a child device costs
+/// `transport_delay` tu, as in the paper's PCR example (3 tu, Fig. 9).
+struct Schedule {
+  const assay::SequencingGraph* graph = nullptr;
+  int transport_delay = 0;
+  std::vector<int> start;  ///< indexed by OpId
+  std::vector<int> end;    ///< start + duration
+
+  int start_of(assay::OpId id) const { return start[static_cast<std::size_t>(id.index)]; }
+  int end_of(assay::OpId id) const { return end[static_cast<std::size_t>(id.index)]; }
+
+  /// Time at which the product of `parent` arrives at a consumer's device.
+  /// Transport delay applies only to products leaving a device (mix/detect);
+  /// fluids from chip ports (inputs) flow in during the fill phase (Fig. 9:
+  /// the leaf mixes start at 0).
+  int arrival_from(assay::OpId parent) const {
+    const assay::Operation& op = graph->op(parent);
+    const bool occupies_device =
+        op.kind == assay::OpKind::kMix || op.kind == assay::OpKind::kDetect;
+    return end_of(parent) + (occupies_device ? transport_delay : 0);
+  }
+
+  /// Completion time of the whole assay.
+  int makespan() const;
+
+  /// Earliest arrival of any parent product at operation `id`'s device
+  /// (min over parents of parent end + transport).  For operations without
+  /// parents this is the operation's own start time.
+  int earliest_product_arrival(assay::OpId id) const;
+
+  /// Throws fsyn::LogicError when precedence+transport is violated, i.e.
+  /// some operation starts before a parent product can have arrived.
+  void validate() const;
+};
+
+}  // namespace fsyn::sched

@@ -1,0 +1,51 @@
+#include "sim/actuation.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fsyn::sim {
+
+Grid<int> ActuationLedger::total() const {
+  Grid<int> sum(pump.width(), pump.height(), 0);
+  sum.for_each([&](const Point& p, const int&) { sum.at(p) = pump.at(p) + control.at(p); });
+  return sum;
+}
+
+int ActuationLedger::max_pump() const { return *std::max_element(pump.begin(), pump.end()); }
+
+int ActuationLedger::max_total() const {
+  const Grid<int> sum = total();
+  return *std::max_element(sum.begin(), sum.end());
+}
+
+int ActuationLedger::actuated_valve_count() const {
+  int count = 0;
+  const Grid<int> sum = total();
+  for (const int v : sum) count += v > 0;
+  return count;
+}
+
+long ActuationLedger::total_pump_actuations() const {
+  long sum = 0;
+  for (const int v : pump) sum += v;
+  return sum;
+}
+
+ActuationLedger account(const synth::MappingProblem& problem,
+                        const synth::Placement& placement,
+                        const route::RoutingResult& routing, Setting setting) {
+  require(routing.success, "cannot account a failed routing");
+  ActuationLedger ledger;
+  ledger.pump = setting == Setting::kConservative ? problem.pump_loads(placement)
+                                                  : problem.pump_loads_setting2(placement);
+  ledger.control = Grid<int>(problem.chip().width(), problem.chip().height(), 0);
+  for (const route::RoutedPath& path : routing.paths) {
+    for (const Point& cell : path.cells) {
+      ledger.control.at(cell) += kControlActuationsPerTransport;
+    }
+  }
+  return ledger;
+}
+
+}  // namespace fsyn::sim

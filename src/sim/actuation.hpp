@@ -1,0 +1,46 @@
+// Valve actuation accounting (paper Section 4 and Fig. 10).
+//
+// Two actuation classes are tracked per virtual valve:
+//   * pump:    peristaltic actuations while the valve is part of a dynamic
+//              mixer's circulation ring (p_i per mixing operation);
+//   * control: open+close pairs for every transport whose routing path
+//              passes over the valve (fills, transfers, drains).
+// Virtual valves with zero total actuations are removed from the final
+// design (Algorithm 1 L20) and appear as "functionless walls" in Fig. 10;
+// the number of remaining valves is the paper's #v column.
+#pragma once
+
+#include "geom/grid.hpp"
+#include "route/router.hpp"
+#include "synth/mapping_problem.hpp"
+
+namespace fsyn::sim {
+
+/// The paper's two experimental settings (Section 4).
+enum class Setting {
+  kConservative,  ///< setting 1: every pump valve actuated 40x per mix
+  kRescaled       ///< setting 2: total pump work = dedicated mixer's 120
+};
+
+/// Control actuations per transport on each path cell (open, then close).
+inline constexpr int kControlActuationsPerTransport = 2;
+
+struct ActuationLedger {
+  Grid<int> pump;
+  Grid<int> control;
+
+  Grid<int> total() const;
+  int max_pump() const;
+  int max_total() const;
+  /// Valves kept after removing never-actuated virtual valves (#v).
+  int actuated_valve_count() const;
+  /// Sum of pump actuations over all valves (conservation checks).
+  long total_pump_actuations() const;
+};
+
+/// Accounts a complete synthesis (placement + routing) in the given setting.
+ActuationLedger account(const synth::MappingProblem& problem,
+                        const synth::Placement& placement,
+                        const route::RoutingResult& routing, Setting setting);
+
+}  // namespace fsyn::sim

@@ -1,0 +1,99 @@
+#include "sim/control_program.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fsyn::sim {
+
+Grid<int> ControlProgram::replay(int width, int height) const {
+  Grid<int> totals(width, height, 0);
+  for (const ValveEvent& event : events) {
+    totals.at(event.valve) += event.count;
+  }
+  return totals;
+}
+
+int ControlProgram::distinct_valves() const {
+  std::set<Point> valves;
+  for (const ValveEvent& event : events) valves.insert(event.valve);
+  return static_cast<int>(valves.size());
+}
+
+std::string ControlProgram::to_text() const {
+  std::ostringstream os;
+  for (const ValveEvent& event : events) {
+    os << "t=" << event.time << "\tvalve " << event.valve << '\t'
+       << (event.action == ValveAction::kPumpBurst ? "pump x" : "cycle x") << event.count
+       << '\t' << event.cause << '\n';
+  }
+  return os.str();
+}
+
+ControlProgram compile_control_program(const synth::MappingProblem& problem,
+                                       const synth::Placement& placement,
+                                       const route::RoutingResult& routing,
+                                       Setting setting) {
+  require(routing.success, "cannot compile a failed routing");
+  ControlProgram program;
+
+  // Peristalsis bursts: the whole ring of a mixing task pumps at start.
+  for (int i = 0; i < problem.task_count(); ++i) {
+    const synth::MappingTask& task = problem.task(i);
+    if (!task.is_mix) continue;
+    const auto ring = placement[static_cast<std::size_t>(i)].pump_cells();
+    const int per_valve =
+        setting == Setting::kConservative
+            ? task.pump_actuations
+            : (synth::kDedicatedPumpWorkPerMix + static_cast<int>(ring.size()) - 1) /
+                  static_cast<int>(ring.size());
+    for (const Point& valve : ring) {
+      program.events.push_back(
+          ValveEvent{task.start, valve, ValveAction::kPumpBurst, per_valve, task.name});
+    }
+  }
+
+  // Transport gating: every path cell cycles open/close once per transport.
+  for (const route::RoutedPath& path : routing.paths) {
+    for (const Point& valve : path.cells) {
+      program.events.push_back(ValveEvent{path.time, valve, ValveAction::kOpenClose,
+                                          kControlActuationsPerTransport, path.label});
+    }
+  }
+
+  std::sort(program.events.begin(), program.events.end(),
+            [](const ValveEvent& a, const ValveEvent& b) {
+              return std::tie(a.time, a.valve.y, a.valve.x, a.cause) <
+                     std::tie(b.time, b.valve.y, b.valve.x, b.cause);
+            });
+  return program;
+}
+
+std::vector<std::vector<Point>> control_pin_groups(const ControlProgram& program) {
+  // Key each valve by its full event schedule; identical schedules can be
+  // tee'd off one pressure line without changing chip behaviour.
+  std::map<Point, std::string> schedule_of;
+  for (const ValveEvent& event : program.events) {
+    std::ostringstream key;
+    key << event.time << '/' << static_cast<int>(event.action) << '/' << event.count << ';';
+    schedule_of[event.valve] += key.str();
+  }
+  std::map<std::string, std::vector<Point>> by_schedule;
+  for (const auto& [valve, schedule] : schedule_of) by_schedule[schedule].push_back(valve);
+
+  std::vector<std::vector<Point>> groups;
+  groups.reserve(by_schedule.size());
+  for (auto& [schedule, valves] : by_schedule) groups.push_back(std::move(valves));
+  std::stable_sort(groups.begin(), groups.end(),
+                   [](const auto& a, const auto& b) { return a.size() > b.size(); });
+  return groups;
+}
+
+int shared_control_pins(const ControlProgram& program) {
+  return static_cast<int>(control_pin_groups(program).size());
+}
+
+}  // namespace fsyn::sim

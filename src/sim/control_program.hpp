@@ -1,0 +1,63 @@
+// Control-program generation: the valve actuation sequence a pressure
+// controller would execute to run the synthesized assay.
+//
+// This is the executable counterpart of the actuation ledger: a time-sorted
+// list of valve events (peristalsis bursts on device rings, open/close
+// pairs along routing paths).  Replaying the program must reproduce the
+// ledger exactly — that round-trip is the module's core invariant and is
+// property-tested.  The program also determines which valves need their own
+// control pin (see pin sharing below).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/actuation.hpp"
+
+namespace fsyn::sim {
+
+enum class ValveAction {
+  kOpenClose,   ///< one control cycle (transport gating): 2 actuations
+  kPumpBurst    ///< peristaltic burst of `count` actuations
+};
+
+struct ValveEvent {
+  int time = 0;           ///< tu at which the event fires
+  Point valve;
+  ValveAction action = ValveAction::kOpenClose;
+  int count = 2;          ///< actuations contributed by this event
+  std::string cause;      ///< operation or transport label (for debugging)
+};
+
+struct ControlProgram {
+  std::vector<ValveEvent> events;  ///< sorted by (time, valve)
+
+  /// Total actuations per valve when the program is replayed.
+  Grid<int> replay(int width, int height) const;
+
+  /// Number of distinct valves the program ever actuates (= #v).
+  int distinct_valves() const;
+
+  /// Human-readable listing (one line per event).
+  std::string to_text() const;
+};
+
+/// Compiles the synthesis result into a control program in the given
+/// setting.  Replaying it equals the ActuationLedger's total grid.
+ControlProgram compile_control_program(const synth::MappingProblem& problem,
+                                       const synth::Placement& placement,
+                                       const route::RoutingResult& routing,
+                                       Setting setting = Setting::kConservative);
+
+/// Control-pin sharing: valves whose event schedules are identical (same
+/// times, same actions) can be driven by one off-chip pressure line.
+/// Returns one valve group per required pin, largest groups first.  This
+/// is the standard pin-count optimization for flow-based chips and one of
+/// this reproduction's extensions beyond the paper; the groups feed
+/// arch::plan_control_layer.
+std::vector<std::vector<Point>> control_pin_groups(const ControlProgram& program);
+
+/// Number of control pins required (= control_pin_groups().size()).
+int shared_control_pins(const ControlProgram& program);
+
+}  // namespace fsyn::sim

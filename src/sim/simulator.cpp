@@ -1,0 +1,141 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fsyn::sim {
+
+using synth::MappingTask;
+
+ChipSimulator::ChipSimulator(const synth::MappingProblem& problem,
+                             const synth::Placement& placement,
+                             const route::RoutingResult& routing, Setting setting)
+    : problem_(problem), placement_(placement), routing_(routing), setting_(setting) {
+  require(routing.success, "cannot simulate a failed routing");
+  problem.validate_placement(placement);
+}
+
+Snapshot ChipSimulator::snapshot_at(int time) const {
+  Snapshot snap;
+  snap.time = time;
+  snap.cumulative = Grid<int>(problem_.chip().width(), problem_.chip().height(), 0);
+
+  // Pump actuations are charged when the mixing operation starts (the
+  // circulation runs for the whole duration; Fig. 10 shows the full 40 on a
+  // running mixer's ring).
+  for (int i = 0; i < problem_.task_count(); ++i) {
+    const MappingTask& task = problem_.task(i);
+    if (!task.is_mix || task.start > time) continue;
+    const auto ring = placement_[static_cast<std::size_t>(i)].pump_cells();
+    const int per_valve =
+        setting_ == Setting::kConservative
+            ? task.pump_actuations
+            : (synth::kDedicatedPumpWorkPerMix + static_cast<int>(ring.size()) - 1) /
+                  static_cast<int>(ring.size());
+    for (const Point& cell : ring) snap.cumulative.at(cell) += per_valve;
+  }
+  for (const route::RoutedPath& path : routing_.paths) {
+    if (path.time > time) continue;
+    for (const Point& cell : path.cells) {
+      snap.cumulative.at(cell) += kControlActuationsPerTransport;
+    }
+  }
+
+  for (int i = 0; i < problem_.task_count(); ++i) {
+    const MappingTask& task = problem_.task(i);
+    std::ostringstream label;
+    const Rect fp = placement_[static_cast<std::size_t>(i)].footprint();
+    if (time >= task.start && time < task.release) {
+      label << (task.is_mix ? "mixer " : "detector ") << task.name << " at " << fp;
+    } else if (time >= task.storage_from && time < task.start) {
+      label << "storage s(" << task.name << ") at " << fp;
+    } else {
+      continue;
+    }
+    snap.live.push_back(label.str());
+  }
+  return snap;
+}
+
+std::string Snapshot::render() const {
+  // Column width fits the largest count; zeros print as '.' so the
+  // functionless-wall pattern of Fig. 10 is visible.
+  int max_value = 0;
+  for (const int v : cumulative) max_value = std::max(max_value, v);
+  const int width = std::max(2, static_cast<int>(std::to_string(max_value).size()) + 1);
+
+  std::ostringstream os;
+  os << "t = " << time << " tu\n";
+  for (int y = cumulative.height() - 1; y >= 0; --y) {
+    for (int x = 0; x < cumulative.width(); ++x) {
+      const int v = cumulative.at(x, y);
+      const std::string text = v == 0 ? "." : std::to_string(v);
+      os << std::string(static_cast<std::size_t>(width) - text.size(), ' ') << text;
+    }
+    os << '\n';
+  }
+  for (const std::string& entry : live) os << "  " << entry << '\n';
+  return os.str();
+}
+
+std::vector<int> ChipSimulator::interesting_times() const {
+  std::set<int> times;
+  for (int i = 0; i < problem_.task_count(); ++i) {
+    const MappingTask& task = problem_.task(i);
+    times.insert(task.storage_from);
+    times.insert(task.start);
+    times.insert(task.release);
+  }
+  for (const route::RoutedPath& path : routing_.paths) times.insert(path.time);
+  return {times.begin(), times.end()};
+}
+
+ActuationLedger ChipSimulator::verify() const {
+  // Invariant: a valve never pumps for two operations at the same time,
+  // and unrelated concurrent devices never share footprint cells.  This is
+  // re-derived from raw schedule data, independent of pair_feasible.
+  for (int a = 0; a < problem_.task_count(); ++a) {
+    for (int b = a + 1; b < problem_.task_count(); ++b) {
+      const MappingTask& ta = problem_.task(a);
+      const MappingTask& tb = problem_.task(b);
+      // Device-phase windows [start, release) intersecting?
+      const bool device_overlap =
+          std::max(ta.start, tb.start) < std::min(ta.release, tb.release);
+      if (!device_overlap) continue;
+      const Rect fa = placement_[static_cast<std::size_t>(a)].footprint();
+      const Rect fb = placement_[static_cast<std::size_t>(b)].footprint();
+      require(!fa.overlaps(fb), "simulator: devices '" + ta.name + "' and '" + tb.name +
+                                    "' are live simultaneously and overlap");
+      // No shared pump valves while both circulate.
+      if (ta.is_mix && tb.is_mix) {
+        const auto ring_a = placement_[static_cast<std::size_t>(a)].pump_cells();
+        const auto ring_b = placement_[static_cast<std::size_t>(b)].pump_cells();
+        for (const Point& cell : ring_a) {
+          require(std::find(ring_b.begin(), ring_b.end(), cell) == ring_b.end(),
+                  "simulator: valve pumps for two operations at once");
+        }
+      }
+    }
+  }
+
+  // The final snapshot must reconcile with the ledger.
+  const ActuationLedger ledger = account(problem_, placement_, routing_, setting_);
+  int horizon = 0;
+  for (int i = 0; i < problem_.task_count(); ++i) {
+    horizon = std::max(horizon, problem_.task(i).release);
+  }
+  for (const route::RoutedPath& path : routing_.paths) horizon = std::max(horizon, path.time);
+  const Snapshot final_state = snapshot_at(horizon);
+  const Grid<int> expected = ledger.total();
+  bool equal = true;
+  expected.for_each([&](const Point& p, const int& v) {
+    if (final_state.cumulative.at(p) != v) equal = false;
+  });
+  require(equal, "simulator: final snapshot disagrees with the actuation ledger");
+  return ledger;
+}
+
+}  // namespace fsyn::sim

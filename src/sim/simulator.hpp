@@ -1,0 +1,51 @@
+// Chip execution simulator: replays a synthesized assay over time and
+// renders Fig.-10-style snapshots of cumulative valve actuations.
+//
+// The simulator is also the independent auditor of the synthesis invariants:
+// it re-derives device/storage lifetimes from the schedule and checks, per
+// time unit, that no valve pumps for two operations simultaneously, that
+// concurrent unrelated devices never share cells, and that cumulative
+// actuation totals reconcile with the ActuationLedger.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/actuation.hpp"
+
+namespace fsyn::sim {
+
+struct Snapshot {
+  int time = 0;
+  Grid<int> cumulative;            ///< actuations up to and including `time`
+  std::vector<std::string> live;   ///< human-readable live devices/storages
+
+  /// ASCII rendering: one number per valve ('.' = still zero, i.e. a
+  /// functionless wall if it stays zero to the end).
+  std::string render() const;
+};
+
+class ChipSimulator {
+ public:
+  ChipSimulator(const synth::MappingProblem& problem, const synth::Placement& placement,
+                const route::RoutingResult& routing, Setting setting = Setting::kConservative);
+
+  /// Cumulative actuation state after all events with time <= t.
+  Snapshot snapshot_at(int time) const;
+
+  /// Event times worth looking at (device formations, transports, ends) —
+  /// the moments Fig. 10 freezes.
+  std::vector<int> interesting_times() const;
+
+  /// Replays the whole assay and cross-checks the invariants; throws
+  /// fsyn::LogicError on any violation.  Returns the final ledger.
+  ActuationLedger verify() const;
+
+ private:
+  const synth::MappingProblem& problem_;
+  const synth::Placement& placement_;
+  const route::RoutingResult& routing_;
+  Setting setting_;
+};
+
+}  // namespace fsyn::sim

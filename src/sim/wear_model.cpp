@@ -1,0 +1,68 @@
+#include "sim/wear_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace fsyn::sim {
+
+namespace {
+
+/// Standard normal via Box-Muller on the deterministic Rng.
+double sample_normal(Rng& rng) {
+  // Guard against log(0).
+  double u1 = rng.next_double();
+  while (u1 <= 1e-12) u1 = rng.next_double();
+  const double u2 = rng.next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+}  // namespace
+
+int deterministic_lifetime(const ActuationLedger& ledger, const WearModel& model) {
+  check_input(model.endurance_mean > 0.0, "endurance must be positive");
+  const int busiest = ledger.max_total();
+  require(busiest > 0, "ledger with no actuations has no lifetime to estimate");
+  return static_cast<int>(model.endurance_mean / busiest);
+}
+
+LifetimeEstimate monte_carlo_lifetime(const ActuationLedger& ledger, Rng& rng,
+                                      const WearModel& model, int trials) {
+  check_input(trials > 0, "need at least one trial");
+  check_input(model.endurance_mean > 0.0 && model.endurance_stddev >= 0.0,
+              "invalid wear model");
+
+  // Per-run actuations of every implemented valve.
+  std::vector<int> per_run;
+  const Grid<int> totals = ledger.total();
+  for (const int v : totals) {
+    if (v > 0) per_run.push_back(v);
+  }
+  require(!per_run.empty(), "ledger with no actuations has no lifetime to estimate");
+
+  std::vector<double> lifetimes;
+  lifetimes.reserve(static_cast<std::size_t>(trials));
+  for (int trial = 0; trial < trials; ++trial) {
+    double chip_runs = std::numeric_limits<double>::infinity();
+    for (const int load : per_run) {
+      double endurance = model.endurance_mean + model.endurance_stddev * sample_normal(rng);
+      endurance = std::max(endurance, 1.0);  // truncate: a valve survives >= 1 actuation
+      chip_runs = std::min(chip_runs, endurance / load);
+    }
+    lifetimes.push_back(std::floor(chip_runs));
+  }
+  std::sort(lifetimes.begin(), lifetimes.end());
+
+  LifetimeEstimate estimate;
+  estimate.trials = trials;
+  double sum = 0.0;
+  for (const double runs : lifetimes) sum += runs;
+  estimate.mean_runs = sum / trials;
+  estimate.p10_runs = lifetimes[static_cast<std::size_t>(trials / 10)];
+  estimate.p90_runs = lifetimes[static_cast<std::size_t>(trials * 9 / 10)];
+  return estimate;
+}
+
+}  // namespace fsyn::sim

@@ -1,0 +1,48 @@
+// Valve wear and chip lifetime estimation.
+//
+// The paper's motivation: PDMS valves actuate reliably only a few thousand
+// times [4] and the chip fails with its first worn-out valve.  Given an
+// actuation ledger (actuations per valve per assay execution), this module
+// estimates chip lifetime in two ways:
+//
+//  * deterministic: every valve endures exactly `endurance_mean`
+//    actuations, lifetime = floor(min over valves of endurance / per-run);
+//  * Monte-Carlo: each valve's endurance is drawn from a normal
+//    distribution (truncated at > 0); repeated sampling yields the
+//    distribution of "assay runs until first valve failure", which is what
+//    a lab actually cares about.
+//
+// Used by examples/reliability_study and property-tested for monotonicity:
+// lower max actuations can never shorten expected lifetime.
+#pragma once
+
+#include <vector>
+
+#include "sim/actuation.hpp"
+#include "util/rng.hpp"
+
+namespace fsyn::sim {
+
+struct WearModel {
+  double endurance_mean = 5000.0;   ///< actuations to failure, mean [4]
+  double endurance_stddev = 500.0;  ///< device variability
+};
+
+/// Deterministic lifetime: complete assay executions before the busiest
+/// valve exceeds the mean endurance.
+int deterministic_lifetime(const ActuationLedger& ledger, const WearModel& model = {});
+
+struct LifetimeEstimate {
+  double mean_runs = 0.0;    ///< expected assay runs until first failure
+  double p10_runs = 0.0;     ///< 10th percentile (pessimistic)
+  double p90_runs = 0.0;     ///< 90th percentile (optimistic)
+  int trials = 0;
+};
+
+/// Monte-Carlo lifetime over `trials` sampled chips.  Deterministic in the
+/// rng seed.  Valves with zero actuations never fail (they are removed
+/// from the manufactured chip anyway).
+LifetimeEstimate monte_carlo_lifetime(const ActuationLedger& ledger, Rng& rng,
+                                      const WearModel& model = {}, int trials = 2000);
+
+}  // namespace fsyn::sim

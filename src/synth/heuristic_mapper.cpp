@@ -1,0 +1,295 @@
+#include "synth/heuristic_mapper.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace fsyn::synth {
+
+namespace {
+
+using arch::DeviceInstance;
+using arch::DeviceType;
+
+/// Annealing cost: lexicographic (max load, sum of squared loads) folded
+/// into one number.  The squared term is what lets the search walk across
+/// plateaus of equal max load toward better-balanced states.
+struct Cost {
+  long max_load = 0;
+  long sum_squares = 0;
+
+  /// The max term dominates any realistic squared-load delta (one mixing
+  /// operation shifts sum_squares by ~1e4, max steps by >= 40*1e4), giving
+  /// near-lexicographic behaviour while keeping deltas on a scale the
+  /// annealing temperature can work with.
+  double scalar() const {
+    return static_cast<double>(max_load) * 1e4 + static_cast<double>(sum_squares);
+  }
+};
+
+class Mapper {
+ public:
+  Mapper(const MappingProblem& problem, const HeuristicOptions& options)
+      : problem_(problem), options_(options), rng_(options.seed),
+        loads_(problem.chip().width(), problem.chip().height(), 0),
+        candidate_cache_(static_cast<std::size_t>(problem.task_count())) {}
+
+  std::optional<MappingOutcome> run() {
+    bool constructed = greedy_construct();
+    for (int retry = 0; !constructed && retry < options_.greedy_retries; ++retry) {
+      // Randomized restarts: grow the tie-break noise so successive
+      // attempts explore genuinely different layouts.
+      noise_ = 400.0 * (retry + 1);
+      loads_.fill(0);
+      constructed = greedy_construct();
+    }
+    noise_ = 0.0;
+    if (!constructed) return std::nullopt;
+    anneal();
+    problem_.validate_placement(placement_);
+
+    MappingOutcome outcome;
+    outcome.placement = placement_;
+    outcome.max_pump_load = problem_.max_pump_load(placement_);
+    outcome.max_pump_load_setting2 = problem_.max_pump_load_setting2(placement_);
+    outcome.moves_tried = moves_tried_;
+    outcome.moves_accepted = moves_accepted_;
+    return outcome;
+  }
+
+ private:
+  /// Admissible instances for a task (delegates to the problem so the
+  /// heuristic and the ILP share one candidate space), cached per task.
+  const std::vector<DeviceInstance>& candidates(const MappingTask& task) {
+    auto& slot = candidate_cache_[static_cast<std::size_t>(task.index)];
+    if (slot.empty()) slot = problem_.candidates_for(task.index);
+    return slot;
+  }
+
+  /// Returns -1 when feasible, else the index of a placed task that
+  /// conflicts with `device` (used to pick backtracking victims).
+  int first_conflict(int task_index, const DeviceInstance& device,
+                     const std::vector<bool>& placed) const {
+    for (int other = 0; other < problem_.task_count(); ++other) {
+      if (other == task_index || !placed[static_cast<std::size_t>(other)]) continue;
+      if (!problem_.pair_feasible(task_index, device, other,
+                                  placement_[static_cast<std::size_t>(other)])) {
+        return other;
+      }
+    }
+    return -1;
+  }
+
+  bool feasible_against_placed(int task_index, const DeviceInstance& device,
+                               const std::vector<bool>& placed) const {
+    return first_conflict(task_index, device, placed) == -1;
+  }
+
+  void apply_load(const DeviceInstance& device, int pump_actuations, int sign) {
+    if (pump_actuations == 0) return;
+    for (const Point& cell : device.pump_cells()) {
+      loads_.at(cell) += sign * pump_actuations;
+    }
+  }
+
+  Cost current_cost() const {
+    Cost cost;
+    for (const int load : loads_) {
+      cost.max_load = std::max(cost.max_load, static_cast<long>(load));
+      cost.sum_squares += static_cast<long>(load) * load;
+    }
+    return cost;
+  }
+
+  /// Greedy with backtracking: place tasks in occupancy order, each at the
+  /// position that minimizes (resulting max ring load, added squared load,
+  /// distance to parents/co-parents).  When a task has no feasible
+  /// position, the placed task that blocks the most of its candidates is
+  /// ripped up and re-queued (bounded by `backtrack_budget`).
+  bool greedy_construct() {
+    placement_.assign(static_cast<std::size_t>(problem_.task_count()),
+                      DeviceInstance{DeviceType{2, 2}, Point{0, 0}});
+    std::vector<bool> placed(static_cast<std::size_t>(problem_.task_count()), false);
+
+    std::vector<int> order(static_cast<std::size_t>(problem_.task_count()));
+    std::iota(order.begin(), order.end(), 0);
+    auto occupancy_before = [&](int a, int b) {
+      const MappingTask& ta = problem_.task(a);
+      const MappingTask& tb = problem_.task(b);
+      if (ta.occupancy_begin() != tb.occupancy_begin()) {
+        return ta.occupancy_begin() < tb.occupancy_begin();
+      }
+      return ta.start != tb.start ? ta.start < tb.start : a < b;
+    };
+    std::sort(order.begin(), order.end(), occupancy_before);
+
+    // Instances a (task) may not take again after being ripped up for it —
+    // prevents rip-up/re-place cycles within one construction.
+    std::vector<std::vector<DeviceInstance>> banned(
+        static_cast<std::size_t>(problem_.task_count()));
+    int backtrack_budget = 40 * problem_.task_count();
+
+    std::deque<int> pending(order.begin(), order.end());
+    while (!pending.empty()) {
+      const int i = pending.front();
+      pending.pop_front();
+      const MappingTask& task = problem_.task(i);
+      bool found = false;
+      double best_score = 0.0;
+      DeviceInstance best{DeviceType{2, 2}, Point{0, 0}};
+
+      std::vector<int> conflict_votes(static_cast<std::size_t>(problem_.task_count()), 0);
+      for (const DeviceInstance& candidate : candidates(task)) {
+        const auto& ban_list = banned[static_cast<std::size_t>(i)];
+        if (std::find(ban_list.begin(), ban_list.end(), candidate) != ban_list.end()) continue;
+        const int conflict = first_conflict(i, candidate, placed);
+        if (conflict >= 0) {
+          ++conflict_votes[static_cast<std::size_t>(conflict)];
+          continue;
+        }
+        long new_max = 0, added_sq = 0;
+        for (const Point& cell : candidate.pump_cells()) {
+          const long before = loads_.at(cell);
+          const long after = before + task.pump_actuations;
+          new_max = std::max(new_max, after);
+          added_sq += after * after - before * before;
+        }
+        // Stay close to placed parents/children (routing convenience) and
+        // to co-parents: their common child must later fit within the
+        // routing distance of both.
+        long gap_score = 0;
+        for (int other = 0; other < problem_.task_count(); ++other) {
+          if (!placed[static_cast<std::size_t>(other)]) continue;
+          const int gap = candidate.footprint().chebyshev_gap(
+              placement_[static_cast<std::size_t>(other)].footprint());
+          if (problem_.parent_child(i, other)) {
+            gap_score += 2 * gap;
+          } else if (problem_.co_parents(i, other)) {
+            gap_score += std::max(0, gap - problem_.routing_distance());
+          }
+        }
+        // Load balance dominates; proximity breaks ties; `noise_` (set on
+        // randomized restarts) perturbs choices to escape dead-end layouts.
+        const double score = static_cast<double>(new_max) * 1e9 +
+                             static_cast<double>(added_sq) * 10.0 +
+                             static_cast<double>(gap_score) * 200.0 +
+                             (noise_ > 0.0 ? rng_.next_double() * noise_ : 0.0);
+        if (!found || score < best_score) {
+          found = true;
+          best = candidate;
+          best_score = score;
+        }
+      }
+      if (!found) {
+        // Backtrack: rip up the placed task blocking the most candidates.
+        int victim = -1;
+        for (int other = 0; other < problem_.task_count(); ++other) {
+          if (conflict_votes[static_cast<std::size_t>(other)] == 0) continue;
+          if (victim == -1 || conflict_votes[static_cast<std::size_t>(other)] >
+                                  conflict_votes[static_cast<std::size_t>(victim)]) {
+            victim = other;
+          }
+        }
+        if (victim < 0 || --backtrack_budget < 0) {
+          log_info("greedy mapper: no feasible position for task '", task.name, "' on ",
+                   problem_.chip().width(), "x", problem_.chip().height(), " chip",
+                   victim < 0 ? "" : " (backtrack budget exhausted)");
+          return false;
+        }
+        apply_load(placement_[static_cast<std::size_t>(victim)],
+                   problem_.task(victim).pump_actuations, -1);
+        placed[static_cast<std::size_t>(victim)] = false;
+        banned[static_cast<std::size_t>(victim)].push_back(
+            placement_[static_cast<std::size_t>(victim)]);
+        // Retry the stuck task first, then the victim.
+        pending.push_front(victim);
+        pending.push_front(i);
+        continue;
+      }
+      placement_[static_cast<std::size_t>(i)] = best;
+      placed[static_cast<std::size_t>(i)] = true;
+      apply_load(best, task.pump_actuations, +1);
+    }
+    return true;
+  }
+
+  /// Simulated annealing over single-task relocations.
+  void anneal() {
+    if (options_.sa_iterations <= 0 || problem_.task_count() < 2) return;
+    std::vector<bool> all_placed(static_cast<std::size_t>(problem_.task_count()), true);
+
+    Cost cost = current_cost();
+    Placement best_placement = placement_;
+    Cost best_cost = cost;
+
+    const double t0 = options_.initial_temperature;
+    const double t1 = std::max(options_.final_temperature, 1e-3);
+    const double decay = std::pow(t1 / t0, 1.0 / options_.sa_iterations);
+    double temperature = t0;
+
+    for (int iter = 0; iter < options_.sa_iterations; ++iter, temperature *= decay) {
+      const int i = static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(problem_.task_count())));
+      const MappingTask& task = problem_.task(i);
+
+      // Propose a random admissible instance for task i.
+      const auto& pool = candidates(task);
+      if (pool.empty()) continue;
+      const DeviceInstance proposal = pool[rng_.next_below(pool.size())];
+      ++moves_tried_;
+      if (proposal == placement_[static_cast<std::size_t>(i)]) continue;
+
+      const DeviceInstance old = placement_[static_cast<std::size_t>(i)];
+      // pair checks skip task i itself, so no tentative assignment needed.
+      if (!feasible_against_placed(i, proposal, all_placed)) continue;
+
+      apply_load(old, task.pump_actuations, -1);
+      apply_load(proposal, task.pump_actuations, +1);
+      const Cost new_cost = current_cost();
+      const double delta = new_cost.scalar() - cost.scalar();
+      if (delta <= 0.0 || rng_.next_double() < std::exp(-delta / temperature)) {
+        placement_[static_cast<std::size_t>(i)] = proposal;
+        cost = new_cost;
+        ++moves_accepted_;
+        if (cost.scalar() < best_cost.scalar()) {
+          best_cost = cost;
+          best_placement = placement_;
+        }
+      } else {
+        apply_load(proposal, task.pump_actuations, -1);
+        apply_load(old, task.pump_actuations, +1);
+      }
+    }
+
+    placement_ = best_placement;
+    // Rebuild loads for the final placement.
+    loads_.fill(0);
+    for (int i = 0; i < problem_.task_count(); ++i) {
+      apply_load(placement_[static_cast<std::size_t>(i)], problem_.task(i).pump_actuations, +1);
+    }
+  }
+
+  const MappingProblem& problem_;
+  HeuristicOptions options_;
+  Rng rng_;
+  Grid<int> loads_;
+  Placement placement_;
+  std::vector<std::vector<DeviceInstance>> candidate_cache_;
+  double noise_ = 0.0;
+  long moves_tried_ = 0;
+  long moves_accepted_ = 0;
+};
+
+}  // namespace
+
+std::optional<MappingOutcome> map_heuristic(const MappingProblem& problem,
+                                            const HeuristicOptions& options) {
+  Mapper mapper(problem, options);
+  return mapper.run();
+}
+
+}  // namespace fsyn::synth

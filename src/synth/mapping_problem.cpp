@@ -1,0 +1,286 @@
+#include "synth/mapping_problem.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace fsyn::synth {
+
+using arch::DeviceInstance;
+using assay::OpId;
+using assay::OpKind;
+using assay::Operation;
+
+MappingProblem MappingProblem::build(const assay::SequencingGraph& graph,
+                                     const sched::Schedule& schedule,
+                                     arch::Architecture chip) {
+  require(schedule.graph == &graph, "schedule belongs to a different graph");
+  MappingProblem problem;
+  problem.graph_ = &graph;
+  problem.schedule_ = &schedule;
+  problem.chip_ = std::move(chip);
+  problem.task_of_.assign(static_cast<std::size_t>(graph.size()), -1);
+
+  for (const Operation& op : graph.operations()) {
+    if (op.kind != OpKind::kMix && op.kind != OpKind::kDetect) continue;
+    MappingTask task;
+    task.index = problem.task_count();
+    task.op = op.id;
+    task.name = op.name;
+    task.is_mix = op.kind == OpKind::kMix;
+    task.volume = op.volume;
+    task.pump_actuations = task.is_mix ? kPumpActuationsPerMix : 0;
+    task.start = schedule.start_of(op.id);
+    task.release = schedule.end_of(op.id) + schedule.transport_delay;
+
+    // The in situ storage opens when the first *device* product arrives;
+    // fluids from chip ports stream in at fill time and need no storage.
+    int first_arrival = task.start;
+    for (const OpId parent : op.parents) {
+      const Operation& producer = graph.op(parent);
+      if (producer.kind != OpKind::kMix && producer.kind != OpKind::kDetect) continue;
+      first_arrival = std::min(first_arrival, schedule.arrival_from(parent));
+    }
+    task.storage_from = first_arrival;
+
+    for (const arch::DeviceType& type : arch::device_types_for_volume(op.volume)) {
+      if (!problem.chip_.placements_for(type).empty()) task.types.push_back(type);
+    }
+    check_input(!task.types.empty(),
+                "no device type of volume " + std::to_string(op.volume) + " fits the chip");
+
+    problem.task_of_[static_cast<std::size_t>(op.id.index)] = task.index;
+    problem.tasks_.push_back(std::move(task));
+  }
+  check_input(!problem.tasks_.empty(), "assay has no mappable operations");
+
+  int d = std::numeric_limits<int>::max();
+  for (const MappingTask& task : problem.tasks_) {
+    for (const arch::DeviceType& type : task.types) {
+      d = std::min(d, type.min_dimension());
+    }
+  }
+  problem.routing_distance_ = d;
+
+  // Precompute the pairwise relations pair_feasible consults per candidate.
+  const std::size_t n = static_cast<std::size_t>(problem.task_count());
+  problem.parent_child_cache_.assign(n * n, 0);
+  problem.co_parents_cache_.assign(n * n, 0);
+  problem.time_overlap_cache_.assign(n * n, 0);
+  problem.forbidden_cache_.assign(n * n, 0);
+  for (int a = 0; a < problem.task_count(); ++a) {
+    for (int b = 0; b < problem.task_count(); ++b) {
+      problem.parent_child_cache_[problem.pair_index(a, b)] =
+          problem.compute_parent_child(a, b);
+      problem.co_parents_cache_[problem.pair_index(a, b)] = problem.compute_co_parents(a, b);
+      const MappingTask& ta = problem.task(a);
+      const MappingTask& tb = problem.task(b);
+      problem.time_overlap_cache_[problem.pair_index(a, b)] =
+          ta.occupancy_begin() < tb.release && tb.occupancy_begin() < ta.release;
+    }
+  }
+  return problem;
+}
+
+void MappingProblem::set_dead_valves(std::vector<Point> dead) {
+  for (const Point& cell : dead) {
+    check_input(chip_.bounds().contains(cell), "dead valve outside the matrix");
+  }
+  dead_ = std::move(dead);
+}
+
+bool MappingProblem::is_dead(const Point& cell) const {
+  return std::find(dead_.begin(), dead_.end(), cell) != dead_.end();
+}
+
+bool MappingProblem::placement_allowed(int task_index, const DeviceInstance& device) const {
+  if (!chip_.fits(device)) return false;
+  const MappingTask& t = task(task_index);
+  if (std::find(t.types.begin(), t.types.end(), device.type) == t.types.end()) return false;
+  const Rect footprint = device.footprint();
+  for (const arch::ChipPort& port : chip_.ports()) {
+    if (footprint.contains(port.cell)) return false;
+  }
+  for (const Point& cell : dead_) {
+    if (footprint.contains(cell)) return false;
+  }
+  return true;
+}
+
+std::vector<DeviceInstance> MappingProblem::candidates_for(int task_index) const {
+  std::vector<DeviceInstance> out;
+  for (const arch::DeviceType& type : task(task_index).types) {
+    for (const Point& origin : chip_.placements_for(type)) {
+      const DeviceInstance instance{type, origin};
+      if (placement_allowed(task_index, instance)) out.push_back(instance);
+    }
+  }
+  return out;
+}
+
+bool MappingProblem::compute_parent_child(int a, int b) const {
+  const Operation& op_a = graph_->op(task(a).op);
+  const Operation& op_b = graph_->op(task(b).op);
+  const auto is_parent_of = [&](const Operation& parent, const Operation& child) {
+    return std::find(child.parents.begin(), child.parents.end(), parent.id) !=
+           child.parents.end();
+  };
+  return is_parent_of(op_a, op_b) || is_parent_of(op_b, op_a);
+}
+
+bool MappingProblem::compute_co_parents(int a, int b) const {
+  for (const assay::OpId child_a : graph_->children(task(a).op)) {
+    for (const assay::OpId child_b : graph_->children(task(b).op)) {
+      if (child_a == child_b) return true;
+    }
+  }
+  return false;
+}
+
+bool MappingProblem::parent_child(int a, int b) const {
+  return parent_child_cache_[pair_index(a, b)] != 0;
+}
+
+bool MappingProblem::co_parents(int a, int b) const {
+  return co_parents_cache_[pair_index(a, b)] != 0;
+}
+
+bool MappingProblem::time_overlap(int a, int b) const {
+  return time_overlap_cache_[pair_index(a, b)] != 0;
+}
+
+void MappingProblem::forbid_storage_overlap(int a, int b) {
+  if (a > b) std::swap(a, b);
+  if (!storage_overlap_forbidden(a, b)) {
+    forbidden_.push_back({a, b});
+    forbidden_cache_[pair_index(a, b)] = 1;
+    forbidden_cache_[pair_index(b, a)] = 1;
+  }
+}
+
+bool MappingProblem::storage_overlap_forbidden(int a, int b) const {
+  return forbidden_cache_[pair_index(a, b)] != 0;
+}
+
+int MappingProblem::storage_occupied_before(int child, int t) const {
+  const Operation& op = graph_->op(task(child).op);
+  const int volume = task(child).volume;
+  int ratio_sum = 0;
+  if (!op.ratio.empty()) {
+    for (const int part : op.ratio) ratio_sum += part;
+  } else {
+    ratio_sum = static_cast<int>(op.parents.size());
+  }
+  if (ratio_sum == 0) return 0;
+
+  int occupied = 0;
+  for (std::size_t i = 0; i < op.parents.size(); ++i) {
+    const Operation& producer = graph_->op(op.parents[i]);
+    if (producer.kind != OpKind::kMix && producer.kind != OpKind::kDetect) continue;
+    if (schedule_->arrival_from(producer.id) >= t) continue;
+    const int part = op.ratio.empty() ? 1 : op.ratio[i];
+    // Ceil: a partially filled cell is unavailable.
+    occupied += (volume * part + ratio_sum - 1) / ratio_sum;
+  }
+  return std::min(occupied, volume);
+}
+
+bool MappingProblem::storage_overlap_fits(int parent, const DeviceInstance& dp, int child,
+                                          const DeviceInstance& dc) const {
+  // Cells of the child storage blocked by the live parent device.
+  const Rect parent_footprint = dp.footprint();
+  int blocked = 0;
+  for (const Point& cell : dc.pump_cells()) {
+    if (parent_footprint.contains(cell)) ++blocked;
+  }
+  if (blocked == 0) return true;
+  // Worst case is just before the parent device releases: every earlier
+  // product is already resident in the storage.
+  const int occupied = storage_occupied_before(child, task(parent).release);
+  return blocked <= task(child).volume - occupied;
+}
+
+bool MappingProblem::pair_feasible(int a, const DeviceInstance& da, int b,
+                                   const DeviceInstance& db) const {
+  const int gap = da.footprint().chebyshev_gap(db.footprint());
+  const bool related = parent_child(a, b);
+
+  // Routing-convenient mapping (Eq. 13-16): sequential devices stay within
+  // distance d so the connecting channel is trivial.
+  if (related && routing_convenient_ && gap > routing_distance_) return false;
+
+  if (!time_overlap(a, b)) return true;
+
+  if (related && allow_storage_overlap_ && !storage_overlap_forbidden(a, b)) {
+    if (!da.footprint().overlaps(db.footprint())) return true;
+    // In situ storage overlap (Eq. 12): only the child's storage may absorb
+    // the overlap, and only within its free space (Algorithm 1 L6).
+    const bool a_is_parent = task(a).start <= task(b).start;
+    const int parent = a_is_parent ? a : b;
+    const int child = a_is_parent ? b : a;
+    const DeviceInstance& dparent = a_is_parent ? da : db;
+    const DeviceInstance& dchild = a_is_parent ? db : da;
+    return storage_overlap_fits(parent, dparent, child, dchild);
+  }
+
+  // Unrelated concurrent devices (or forbidden pairs) keep a wall between
+  // their footprints (Eq. 3-8 use the wall coordinates b_le/b_ri/...).
+  return gap >= 1;
+}
+
+void MappingProblem::validate_placement(const Placement& placement) const {
+  require(static_cast<int>(placement.size()) == task_count(), "placement size mismatch");
+  for (int i = 0; i < task_count(); ++i) {
+    const DeviceInstance& device = placement[static_cast<std::size_t>(i)];
+    require(placement_allowed(i, device),
+            "task '" + task(i).name + "' placed illegally (outside the chip, wrong "
+            "volume, or covering a chip port)");
+  }
+  for (int a = 0; a < task_count(); ++a) {
+    for (int b = a + 1; b < task_count(); ++b) {
+      require(pair_feasible(a, placement[static_cast<std::size_t>(a)], b,
+                            placement[static_cast<std::size_t>(b)]),
+              "placement violates pair constraints: '" + task(a).name + "' vs '" +
+                  task(b).name + "'");
+    }
+  }
+}
+
+Grid<int> MappingProblem::pump_loads(const Placement& placement) const {
+  Grid<int> loads(chip_.width(), chip_.height(), 0);
+  for (int i = 0; i < task_count(); ++i) {
+    const MappingTask& t = task(i);
+    if (t.pump_actuations == 0) continue;
+    for (const Point& cell : placement[static_cast<std::size_t>(i)].pump_cells()) {
+      loads.at(cell) += t.pump_actuations;
+    }
+  }
+  return loads;
+}
+
+int MappingProblem::max_pump_load(const Placement& placement) const {
+  const Grid<int> loads = pump_loads(placement);
+  return *std::max_element(loads.begin(), loads.end());
+}
+
+Grid<int> MappingProblem::pump_loads_setting2(const Placement& placement) const {
+  Grid<int> loads(chip_.width(), chip_.height(), 0);
+  for (int i = 0; i < task_count(); ++i) {
+    const MappingTask& t = task(i);
+    if (!t.is_mix) continue;
+    const int ring = static_cast<int>(placement[static_cast<std::size_t>(i)].pump_cells().size());
+    const int per_valve = (kDedicatedPumpWorkPerMix + ring - 1) / ring;
+    for (const Point& cell : placement[static_cast<std::size_t>(i)].pump_cells()) {
+      loads.at(cell) += per_valve;
+    }
+  }
+  return loads;
+}
+
+int MappingProblem::max_pump_load_setting2(const Placement& placement) const {
+  const Grid<int> loads = pump_loads_setting2(placement);
+  return *std::max_element(loads.begin(), loads.end());
+}
+
+}  // namespace fsyn::synth

@@ -1,0 +1,47 @@
+// Error-handling primitives shared by every flowsynth module.
+//
+// The library throws `fsyn::Error` for all recoverable failures (bad input,
+// infeasible models, malformed assay files).  Internal invariant violations
+// use `fsyn::require` which throws `fsyn::LogicError` carrying the source
+// location; these indicate bugs, not user mistakes.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace fsyn {
+
+/// Base class for all recoverable flowsynth errors (bad user input,
+/// infeasible synthesis instances, parse failures, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an internal invariant is violated; always a library bug.
+class LogicError : public std::logic_error {
+ public:
+  explicit LogicError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Throws LogicError with source location when `condition` is false.
+/// Used for internal invariants that must hold regardless of user input.
+inline void require(bool condition, std::string_view message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw LogicError(std::string(loc.file_name()) + ":" +
+                     std::to_string(loc.line()) + ": invariant violated: " +
+                     std::string(message));
+  }
+}
+
+/// Throws Error when `condition` is false.  Used to validate user input.
+inline void check_input(bool condition, std::string_view message) {
+  if (!condition) {
+    throw Error("invalid input: " + std::string(message));
+  }
+}
+
+}  // namespace fsyn

@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// Synthesis runs can take minutes on the large dilution benchmarks; the
+// mapper and router use this logger to report progress.  The default level
+// is `kWarn` so tests and benchmarks stay quiet unless something is wrong.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace fsyn {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emits `message` to stderr when `level` passes the global threshold.
+void log_message(LogLevel level, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() <= LogLevel::kDebug) log_message(LogLevel::kDebug, detail::concat(args...));
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() <= LogLevel::kInfo) log_message(LogLevel::kInfo, detail::concat(args...));
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() <= LogLevel::kWarn) log_message(LogLevel::kWarn, detail::concat(args...));
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  if (log_level() <= LogLevel::kError) log_message(LogLevel::kError, detail::concat(args...));
+}
+
+}  // namespace fsyn

@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generator.
+//
+// All stochastic components (the simulated-annealing mapper, the property
+// tests, the workload generators) take an explicit `Rng` so every run is
+// reproducible from a seed.  The engine is splitmix64-seeded xoshiro256**,
+// which is tiny, fast, and has no global state.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace fsyn {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound); bound must be positive.
+  std::uint64_t next_below(std::uint64_t bound) {
+    require(bound > 0, "Rng::next_below bound must be positive");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit =
+        std::numeric_limits<std::uint64_t>::max() - std::numeric_limits<std::uint64_t>::max() % bound;
+    std::uint64_t value = next_u64();
+    while (value >= limit) value = next_u64();
+    return value % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int next_int(int lo, int hi) {
+    require(lo <= hi, "Rng::next_int empty range");
+    return lo + static_cast<int>(next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace fsyn

@@ -1,0 +1,87 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace fsyn {
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  while (begin < text.size() && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  std::size_t end = text.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      fields.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+std::vector<std::string> split_whitespace(std::string_view text) {
+  std::vector<std::string> fields;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    std::size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) fields.emplace_back(text.substr(start, i - start));
+  }
+  return fields;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+int parse_int(std::string_view text) {
+  text = trim(text);
+  int value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  check_input(ec == std::errc() && ptr == text.data() + text.size(),
+              "malformed integer '" + std::string(text) + "'");
+  return value;
+}
+
+double parse_double(std::string_view text) {
+  text = trim(text);
+  check_input(!text.empty(), "empty number");
+  std::string buffer(text);
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  check_input(end == buffer.c_str() + buffer.size(),
+              "malformed number '" + buffer + "'");
+  return value;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string format_fixed(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", digits, value);
+  return buffer;
+}
+
+std::string format_percent(double fraction, int digits) {
+  return format_fixed(fraction * 100.0, digits) + "%";
+}
+
+}  // namespace fsyn

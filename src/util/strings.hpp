@@ -1,0 +1,37 @@
+// Small string utilities used by the assay DSL parser and the reporters.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fsyn {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits on runs of whitespace, dropping empty fields.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+/// True when `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Parses a non-negative integer; throws fsyn::Error on malformed input.
+int parse_int(std::string_view text);
+
+/// Parses a double; throws fsyn::Error on malformed input.
+double parse_double(std::string_view text);
+
+/// Joins the elements with `sep` between them.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string format_fixed(double value, int digits);
+
+/// Formats `fraction` (e.g. 0.7297) as a percentage string "72.97%".
+std::string format_percent(double fraction, int digits = 2);
+
+}  // namespace fsyn

@@ -1,0 +1,85 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fsyn {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  check_input(!header.empty(), "table header must not be empty");
+  header_ = std::move(header);
+}
+
+void TextTable::set_alignment(std::vector<Align> alignment) {
+  alignment_ = std::move(alignment);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  require(!header_.empty(), "set_header must be called before add_row");
+  check_input(row.size() == header_.size(), "table row width mismatch");
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string TextTable::to_string() const {
+  require(!header_.empty(), "cannot render a table without a header");
+  const std::size_t columns = header_.size();
+  std::vector<std::size_t> width(columns);
+  for (std::size_t c = 0; c < columns; ++c) width[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < columns; ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  auto align_of = [&](std::size_t c) {
+    return c < alignment_.size() ? alignment_[c] : Align::kRight;
+  };
+  auto emit_cell = [&](std::ostringstream& os, const std::string& text, std::size_t c) {
+    const std::size_t pad = width[c] - text.size();
+    if (align_of(c) == Align::kLeft) {
+      os << text << std::string(pad, ' ');
+    } else {
+      os << std::string(pad, ' ') << text;
+    }
+  };
+  auto emit_rule = [&](std::ostringstream& os) {
+    os << '+';
+    for (std::size_t c = 0; c < columns; ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  emit_rule(os);
+  os << '|';
+  for (std::size_t c = 0; c < columns; ++c) {
+    os << ' ';
+    emit_cell(os, header_[c], c);
+    os << " |";
+  }
+  os << '\n';
+  emit_rule(os);
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      emit_rule(os);
+      continue;
+    }
+    os << '|';
+    for (std::size_t c = 0; c < columns; ++c) {
+      os << ' ';
+      emit_cell(os, row.cells[c], c);
+      os << " |";
+    }
+    os << '\n';
+  }
+  emit_rule(os);
+  return os.str();
+}
+
+}  // namespace fsyn

@@ -1,0 +1,43 @@
+// ASCII table printer used to reproduce the paper's Table 1 and the
+// ablation reports.  Columns are sized to the widest cell; alignment is
+// per-column.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fsyn {
+
+enum class Align { kLeft, kRight };
+
+class TextTable {
+ public:
+  /// Declares the header row; the number of columns is fixed from here on.
+  void set_header(std::vector<std::string> header);
+
+  /// Sets per-column alignment; defaults to right-aligned.
+  void set_alignment(std::vector<Align> alignment);
+
+  /// Appends a data row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  /// Renders the table with column borders.
+  std::string to_string() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Align> alignment_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace fsyn

@@ -1,0 +1,149 @@
+// Tests for the valve-centered architecture: device type enumeration
+// (paper Section 3.1), instance geometry (Fig. 5/6), placements and chip
+// sizing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/architecture.hpp"
+#include "arch/device_types.hpp"
+#include "assay/benchmarks.hpp"
+#include "sched/list_scheduler.hpp"
+#include "util/error.hpp"
+
+namespace fsyn::arch {
+namespace {
+
+TEST(DeviceTypes, Volume8GivesThePaperThreeTypes) {
+  // Paper Section 3.2: type 1 is 3x3, type 2 is 2x4, type 3 is 4x2.
+  const auto types = device_types_for_volume(8);
+  const std::set<DeviceType> expected{{3, 3}, {2, 4}, {4, 2}};
+  EXPECT_EQ(std::set<DeviceType>(types.begin(), types.end()), expected);
+  EXPECT_EQ(types.front(), (DeviceType{3, 3}));  // squarest first
+}
+
+class DeviceVolume : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeviceVolume, AllTypesHaveMatchingRingLength) {
+  const int volume = GetParam();
+  const auto types = device_types_for_volume(volume);
+  EXPECT_FALSE(types.empty());
+  for (const DeviceType& t : types) {
+    EXPECT_EQ(t.volume(), volume) << t.width << "x" << t.height;
+    EXPECT_EQ(t.pump_valve_count(), volume);
+    EXPECT_GE(t.width, 2);
+    EXPECT_GE(t.height, 2);
+    // The instance ring must physically contain `volume` cells.
+    const DeviceInstance inst{t, Point{0, 0}};
+    EXPECT_EQ(static_cast<int>(inst.pump_cells().size()), volume);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperVolumes, DeviceVolume, ::testing::Values(4, 6, 8, 10, 12, 16));
+
+TEST(DeviceTypes, CountsPerVolumeMatchGeometry) {
+  EXPECT_EQ(device_types_for_volume(4).size(), 1u);   // 2x2
+  EXPECT_EQ(device_types_for_volume(6).size(), 2u);   // 2x3, 3x2
+  EXPECT_EQ(device_types_for_volume(8).size(), 3u);   // 2x4, 4x2, 3x3
+  EXPECT_EQ(device_types_for_volume(10).size(), 4u);  // 2x5, 5x2, 3x4, 4x3
+}
+
+TEST(DeviceTypes, RejectsInvalidVolume) {
+  EXPECT_THROW(device_types_for_volume(7), Error);
+  EXPECT_THROW(device_types_for_volume(2), Error);
+  EXPECT_THROW(device_types_for_volume(0), Error);
+}
+
+TEST(DeviceTypes, DeduplicatedUnion) {
+  const auto all = device_types_for_volumes({8, 8, 4});
+  EXPECT_EQ(all.size(), 4u);  // 3 types for 8 + 1 for 4
+}
+
+TEST(DeviceInstance, FootprintAndInterior) {
+  const DeviceInstance inst{DeviceType{3, 3}, Point{2, 1}};
+  EXPECT_EQ(inst.footprint(), (Rect{2, 1, 3, 3}));
+  const auto interior = inst.interior_cells();
+  ASSERT_EQ(interior.size(), 1u);
+  EXPECT_EQ(interior[0], (Point{3, 2}));
+  EXPECT_EQ(DeviceInstance({2, 4}, Point{0, 0}).interior_cells().size(), 0u);
+}
+
+// Fig. 5(d): a 2x4 and a 4x2 mixer can share the same area with completely
+// different pump valves only where the rings do not intersect; verify ring
+// disjointness logic on the paper's own example region.
+TEST(DeviceInstance, Fig5OverlappingOrientations) {
+  const DeviceInstance horizontal{DeviceType{4, 2}, Point{0, 0}};
+  const DeviceInstance vertical{DeviceType{2, 4}, Point{0, 0}};
+  const auto ring_h = horizontal.pump_cells();
+  const auto ring_v = vertical.pump_cells();
+  EXPECT_EQ(ring_h.size(), 8u);
+  EXPECT_EQ(ring_v.size(), 8u);
+  // They overlap in area...
+  EXPECT_TRUE(horizontal.footprint().overlaps(vertical.footprint()));
+  // ...and share exactly the 2x2 corner cells.
+  std::set<Point> shared;
+  for (const Point& p : ring_h) {
+    if (std::find(ring_v.begin(), ring_v.end(), p) != ring_v.end()) shared.insert(p);
+  }
+  EXPECT_EQ(shared, (std::set<Point>{{0, 0}, {1, 0}, {0, 1}, {1, 1}}));
+}
+
+TEST(Architecture, DefaultPortsOnRightEdge) {
+  const Architecture chip(9, 9);
+  EXPECT_EQ(chip.virtual_valve_count(), 81);
+  ASSERT_EQ(chip.ports().size(), 3u);
+  EXPECT_TRUE(chip.input_port(0).is_input);
+  EXPECT_TRUE(chip.input_port(1).is_input);
+  EXPECT_FALSE(chip.output_port().is_input);
+  for (const ChipPort& port : chip.ports()) {
+    EXPECT_EQ(port.cell.x, 8);  // right edge
+  }
+}
+
+TEST(Architecture, SetPortsValidatesEdges) {
+  Architecture chip(8, 8);
+  EXPECT_THROW(chip.set_ports({ChipPort{"bad", Point{3, 3}, true}}), Error);
+  EXPECT_THROW(chip.set_ports({ChipPort{"oob", Point{9, 0}, true}}), Error);
+  EXPECT_NO_THROW(chip.set_ports({ChipPort{"in", Point{0, 5}, true},
+                                  ChipPort{"out", Point{7, 2}, false}}));
+  EXPECT_THROW(chip.input_port(1), Error);
+}
+
+TEST(Architecture, PlacementsCoverAllValidOrigins) {
+  const Architecture chip(6, 5);
+  const auto origins = chip.placements_for(DeviceType{3, 2});
+  EXPECT_EQ(origins.size(), static_cast<std::size_t>((6 - 3 + 1) * (5 - 2 + 1)));
+  for (const Point& o : origins) {
+    EXPECT_TRUE(chip.fits(DeviceInstance{DeviceType{3, 2}, o}));
+  }
+  EXPECT_FALSE(chip.fits(DeviceInstance{DeviceType{3, 2}, Point{4, 0}}));
+  EXPECT_FALSE(chip.fits(DeviceInstance{DeviceType{3, 2}, Point{0, 4}}));
+}
+
+TEST(Architecture, TooSmallMatrixRejected) {
+  EXPECT_THROW(Architecture(3, 8), Error);
+  EXPECT_THROW(Architecture(8, 2), Error);
+}
+
+TEST(Architecture, SizedForBenchmarksIsReasonable) {
+  for (const auto& name : assay::benchmark_names()) {
+    const auto g = assay::make_benchmark(name);
+    const auto s = sched::schedule_asap(g);
+    const Architecture chip = Architecture::sized_for(g, s);
+    EXPECT_GE(chip.width(), 8) << name;
+    EXPECT_LE(chip.width(), 40) << name;
+    EXPECT_EQ(chip.width(), chip.height()) << name;
+  }
+}
+
+TEST(Architecture, SizedForGrowsWithConcurrency) {
+  const auto g = assay::make_interpolating_dilution();
+  // ASAP runs everything concurrently; a tight policy serializes heavily.
+  const Architecture wide = Architecture::sized_for(g, sched::schedule_asap(g));
+  const Architecture narrow = Architecture::sized_for(
+      g, sched::schedule_with_policy(g, sched::make_policy(g, 0)));
+  EXPECT_GE(wide.width(), narrow.width());
+}
+
+}  // namespace
+}  // namespace fsyn::arch

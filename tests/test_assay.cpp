@@ -1,0 +1,208 @@
+// Tests for the assay module: graph construction/validation, the DSL
+// parser round-trip, and the Table-1 head counts of all four benchmarks.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "assay/benchmarks.hpp"
+#include "assay/parser.hpp"
+#include "assay/sequencing_graph.hpp"
+#include "util/error.hpp"
+
+namespace fsyn::assay {
+namespace {
+
+Operation input_op(const std::string& name) {
+  Operation op;
+  op.kind = OpKind::kInput;
+  op.name = name;
+  return op;
+}
+
+TEST(SequencingGraph, AddAndQuery) {
+  SequencingGraph g("demo");
+  const OpId a = g.add_operation(input_op("a"));
+  const OpId b = g.add_operation(input_op("b"));
+  Operation mix;
+  mix.kind = OpKind::kMix;
+  mix.name = "m";
+  mix.parents = {a, b};
+  mix.volume = 8;
+  mix.duration = 6;
+  const OpId m = g.add_operation(std::move(mix));
+
+  EXPECT_EQ(g.size(), 3);
+  EXPECT_EQ(g.mixing_count(), 1);
+  EXPECT_EQ(g.op(m).parents.size(), 2u);
+  ASSERT_EQ(g.children(a).size(), 1u);
+  EXPECT_EQ(g.children(a)[0], m);
+  EXPECT_TRUE(g.children(m).empty());
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(SequencingGraph, UnknownParentRejected) {
+  SequencingGraph g;
+  Operation mix;
+  mix.kind = OpKind::kMix;
+  mix.parents = {OpId{5}};
+  mix.volume = 8;
+  mix.duration = 1;
+  EXPECT_THROW(g.add_operation(std::move(mix)), Error);
+}
+
+TEST(SequencingGraph, ValidationCatchesBadOps) {
+  {
+    SequencingGraph g;
+    Operation mix;  // mix with no parents
+    mix.kind = OpKind::kMix;
+    mix.name = "m";
+    mix.volume = 8;
+    mix.duration = 3;
+    g.add_operation(std::move(mix));
+    EXPECT_THROW(g.validate(), Error);
+  }
+  {
+    SequencingGraph g;
+    const OpId a = g.add_operation(input_op("a"));
+    Operation mix;  // odd volume
+    mix.kind = OpKind::kMix;
+    mix.name = "m";
+    mix.parents = {a};
+    mix.volume = 7;
+    mix.duration = 3;
+    g.add_operation(std::move(mix));
+    EXPECT_THROW(g.validate(), Error);
+  }
+  {
+    SequencingGraph g;
+    const OpId a = g.add_operation(input_op("a"));
+    Operation mix;  // ratio length mismatch
+    mix.kind = OpKind::kMix;
+    mix.name = "m";
+    mix.parents = {a};
+    mix.ratio = {1, 3};
+    mix.volume = 8;
+    mix.duration = 3;
+    g.add_operation(std::move(mix));
+    EXPECT_THROW(g.validate(), Error);
+  }
+}
+
+TEST(SequencingGraph, TopologicalOrderRespectsParents) {
+  const SequencingGraph g = make_pcr();
+  const auto order = g.topological_order();
+  std::map<int, int> position;
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i].index] = static_cast<int>(i);
+  for (const Operation& op : g.operations()) {
+    for (const OpId parent : op.parents) {
+      EXPECT_LT(position[parent.index], position[op.id.index]);
+    }
+  }
+}
+
+TEST(Parser, ParsesFullExample) {
+  const SequencingGraph g = parse_assay(R"(
+# 1:3 dilution demo
+assay dilution-demo
+input  sample
+input  buffer
+mix    dilute volume 8 duration 6 from sample:1 buffer:3
+detect read duration 4 from dilute
+output waste from read
+)");
+  EXPECT_EQ(g.name(), "dilution-demo");
+  EXPECT_EQ(g.size(), 5);
+  EXPECT_EQ(g.mixing_count(), 1);
+  const Operation& mix = g.op(OpId{2});
+  EXPECT_EQ(mix.volume, 8);
+  EXPECT_EQ(mix.duration, 6);
+  ASSERT_EQ(mix.ratio.size(), 2u);
+  EXPECT_EQ(mix.ratio[0], 1);
+  EXPECT_EQ(mix.ratio[1], 3);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_assay("assay x\nmix broken volume 8\n");
+    FAIL() << "must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsUnknownParentAndDuplicates) {
+  EXPECT_THROW(parse_assay("mix m volume 8 duration 3 from ghost\n"), Error);
+  EXPECT_THROW(parse_assay("input a\ninput a\n"), Error);
+  EXPECT_THROW(parse_assay("frobnicate x\n"), Error);
+}
+
+TEST(Parser, RoundTripsThroughText) {
+  for (const std::string& name : benchmark_names()) {
+    const SequencingGraph original = make_benchmark(name);
+    const SequencingGraph reparsed = parse_assay(to_assay_text(original));
+    ASSERT_EQ(reparsed.size(), original.size()) << name;
+    for (int i = 0; i < original.size(); ++i) {
+      const Operation& a = original.op(OpId{i});
+      const Operation& b = reparsed.op(OpId{i});
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.kind, b.kind);
+      EXPECT_EQ(a.parents, b.parents);
+      EXPECT_EQ(a.volume, b.volume) << name << " op " << a.name;
+      EXPECT_EQ(a.duration, b.duration);
+    }
+  }
+}
+
+// ---- Table-1 head counts: #op (total and mixing) per benchmark ----
+
+struct BenchmarkSpec {
+  const char* name;
+  int total_ops;
+  int mixing_ops;
+  std::map<int, int> volumes;
+};
+
+class BenchmarkCounts : public ::testing::TestWithParam<BenchmarkSpec> {};
+
+TEST_P(BenchmarkCounts, MatchesTable1) {
+  const BenchmarkSpec& spec = GetParam();
+  const SequencingGraph g = make_benchmark(spec.name);
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_EQ(g.size(), spec.total_ops);
+  EXPECT_EQ(g.mixing_count(), spec.mixing_ops);
+  std::map<int, int> histogram;
+  for (const Operation& op : g.operations()) {
+    if (op.kind == OpKind::kMix) ++histogram[op.volume];
+  }
+  EXPECT_EQ(histogram, spec.volumes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, BenchmarkCounts,
+    ::testing::Values(
+        BenchmarkSpec{"pcr", 15, 7, {{4, 1}, {8, 4}, {10, 2}}},
+        BenchmarkSpec{"mixing_tree", 37, 18, {{4, 2}, {6, 4}, {8, 5}, {10, 7}}},
+        BenchmarkSpec{"interpolating_dilution", 71, 35, {{4, 5}, {6, 9}, {8, 9}, {10, 12}}},
+        BenchmarkSpec{"exponential_dilution", 103, 47, {{4, 6}, {6, 16}, {8, 13}, {10, 12}}}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(Benchmarks, UnknownNameThrows) { EXPECT_THROW(make_benchmark("nope"), Error); }
+
+TEST(Benchmarks, PcrTreeMatchesFig9Structure) {
+  const SequencingGraph g = make_pcr();
+  auto find = [&](const std::string& name) -> const Operation& {
+    for (const Operation& op : g.operations()) {
+      if (op.name == name) return op;
+    }
+    throw Error("missing op " + name);
+  };
+  const Operation& o5 = find("o5");
+  const Operation& o6 = find("o6");
+  const Operation& o7 = find("o7");
+  EXPECT_EQ(o5.parents, (std::vector<OpId>{find("o1").id, find("o2").id}));
+  EXPECT_EQ(o6.parents, (std::vector<OpId>{find("o3").id, find("o4").id}));
+  EXPECT_EQ(o7.parents, (std::vector<OpId>{o5.id, o6.id}));
+}
+
+}  // namespace
+}  // namespace fsyn::assay

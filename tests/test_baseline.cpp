@@ -1,0 +1,147 @@
+// Tests for the traditional-design baseline: optimal binding, valve
+// inventory, storage sizing and the vs_tmax values of Table 1.
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.hpp"
+#include "baseline/traditional.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace fsyn::baseline {
+namespace {
+
+using assay::OpKind;
+
+TEST(ValveCostModel, MixerValvesMatchFig2) {
+  const ValveCostModel model;
+  // Fig. 2's smallest ring mixer has 9 valves (3 pump + 6 control).
+  EXPECT_EQ(model.mixer_valves(4), 9);
+  EXPECT_EQ(model.mixer_valves(6), 10);
+  EXPECT_EQ(model.mixer_valves(8), 11);
+  EXPECT_EQ(model.mixer_valves(10), 12);
+}
+
+TEST(Traditional, PcrP1MatchesTable1) {
+  const auto g = assay::make_pcr();
+  const auto policy = sched::make_policy(g, 0);
+  const auto schedule = sched::schedule_with_policy(g, policy);
+  const TraditionalDesign design = build_traditional(g, policy, schedule);
+
+  // Table 1 row 1: #m = 1-0-4-2, vs_tmax = 160 (4 ops x 40 on the size-8
+  // mixer).
+  EXPECT_EQ(design.binding_string({4, 6, 8, 10}), "1-0-4-2");
+  EXPECT_EQ(design.max_ops_on_one_mixer, 4);
+  EXPECT_EQ(design.max_valve_actuations, 160);
+  EXPECT_EQ(design.mixers.size(), 3u);
+  EXPECT_EQ(design.detectors, 0);
+}
+
+TEST(Traditional, PcrPoliciesReduceVsTmax) {
+  const auto g = assay::make_pcr();
+  // Table 1: vs_tmax = 160, 80, 80 for p1, p2, p3.
+  const int expected[] = {160, 80, 80};
+  for (int p = 0; p < 3; ++p) {
+    const auto policy = sched::make_policy(g, p);
+    const auto schedule = sched::schedule_with_policy(g, policy);
+    const TraditionalDesign design = build_traditional(g, policy, schedule);
+    EXPECT_EQ(design.max_valve_actuations, expected[p]) << "policy p" << (p + 1);
+  }
+}
+
+TEST(Traditional, VsTmaxForAllBenchmarksP1) {
+  // Table 1 p1 column: PCR 160, Mixing Tree 280, Interpolating 360 (p1 has
+  // one increment), Exponential 320 (p1 has three increments).
+  struct Spec {
+    const char* name;
+    int increments;
+    int vs_tmax;
+  };
+  const Spec specs[] = {{"pcr", 0, 160},
+                        {"mixing_tree", 0, 280},
+                        {"interpolating_dilution", 1, 360},
+                        {"exponential_dilution", 3, 320}};
+  for (const Spec& spec : specs) {
+    const auto g = assay::make_benchmark(spec.name);
+    const auto policy = sched::make_policy(g, spec.increments);
+    const auto schedule = sched::schedule_with_policy(g, policy);
+    EXPECT_EQ(build_traditional(g, policy, schedule).max_valve_actuations, spec.vs_tmax)
+        << spec.name;
+  }
+}
+
+TEST(Traditional, BindingIsBalanced) {
+  // Optimal binding spreads ops of one size class as evenly as possible:
+  // loads differ by at most 1.
+  const auto g = assay::make_exponential_dilution();
+  const auto policy = sched::make_policy(g, 5);
+  const auto schedule = sched::schedule_with_policy(g, policy);
+  const TraditionalDesign design = build_traditional(g, policy, schedule);
+  for (int volume : {4, 6, 8, 10}) {
+    int lo = std::numeric_limits<int>::max(), hi = 0;
+    for (const MixerInstance& mixer : design.mixers) {
+      if (mixer.volume != volume) continue;
+      lo = std::min(lo, static_cast<int>(mixer.bound_ops.size()));
+      hi = std::max(hi, static_cast<int>(mixer.bound_ops.size()));
+    }
+    if (hi > 0) EXPECT_LE(hi - lo, 1) << "volume " << volume;
+  }
+}
+
+TEST(Traditional, EveryMixOpBoundExactlyOnce) {
+  const auto g = assay::make_mixing_tree();
+  const auto policy = sched::make_policy(g, 2);
+  const auto schedule = sched::schedule_with_policy(g, policy);
+  const TraditionalDesign design = build_traditional(g, policy, schedule);
+  std::vector<int> bound(static_cast<std::size_t>(g.size()), 0);
+  for (const MixerInstance& mixer : design.mixers) {
+    for (const assay::OpId op : mixer.bound_ops) {
+      EXPECT_EQ(g.op(op).volume, mixer.volume);
+      ++bound[static_cast<std::size_t>(op.index)];
+    }
+  }
+  for (const assay::Operation& op : g.operations()) {
+    EXPECT_EQ(bound[static_cast<std::size_t>(op.id.index)], op.kind == OpKind::kMix ? 1 : 0)
+        << op.name;
+  }
+}
+
+TEST(Traditional, MorePoliciesMoreMixerValves) {
+  // The paper: introducing more mixers enlarges the number of (mixer)
+  // valves.  The dedicated storage may shrink at the same time — more
+  // mixers mean less waiting — so only the mixer component is monotone.
+  for (const auto& name : assay::benchmark_names()) {
+    const auto g = assay::make_benchmark(name);
+    int previous = 0;
+    for (int p = 0; p < 3; ++p) {
+      const auto policy = sched::make_policy(g, p);
+      const auto schedule = sched::schedule_with_policy(g, policy);
+      const TraditionalDesign design = build_traditional(g, policy, schedule);
+      EXPECT_GT(design.total_valves, 0);
+      int mixer_valves = 0;
+      for (const MixerInstance& mixer : design.mixers) {
+        mixer_valves += design.model.mixer_valves(mixer.volume);
+      }
+      EXPECT_GT(mixer_valves, previous) << name;
+      previous = mixer_valves;
+    }
+  }
+}
+
+TEST(Traditional, PeakStorageDemand) {
+  const auto g = assay::make_pcr();
+  const auto schedule = sched::schedule_asap(g);
+  // ASAP PCR: o2's product waits 15..18 for o5; o6's waits 15..25 for o7;
+  // o5's arrives at 25 exactly when o7 starts.  Peak concurrent = 2
+  // (o2-product and o6-product during 15..18).
+  EXPECT_EQ(peak_storage_demand(g, schedule), 2);
+}
+
+TEST(Traditional, StorageSizedByPolicySchedule) {
+  // Tight policies serialize ops, so more products wait simultaneously.
+  const auto g = assay::make_interpolating_dilution();
+  const auto tight = sched::schedule_with_policy(g, sched::make_policy(g, 1));
+  const auto asap = sched::schedule_asap(g);
+  EXPECT_GE(peak_storage_demand(g, tight), peak_storage_demand(g, asap));
+}
+
+}  // namespace
+}  // namespace fsyn::baseline

@@ -1,0 +1,106 @@
+// Tests for storage-aware schedule compaction.
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.hpp"
+#include "assay/parser.hpp"
+#include "sched/compaction.hpp"
+#include "synth/synthesis.hpp"
+
+namespace fsyn::sched {
+namespace {
+
+TEST(Compaction, TotalStorageTimeOfPcrAsap) {
+  const auto g = assay::make_pcr();
+  const Schedule s = schedule_asap(g);
+  // From Fig. 9: o5 waits 18-15 = 3 (o2's product), o7 waits 25-15 = 10
+  // (o6's product); all other ops start at their first arrival.
+  EXPECT_EQ(total_storage_time(s), 13);
+}
+
+TEST(Compaction, DelaysProducersTowardConsumers) {
+  // a finishes long before b is consumed together with it; compaction
+  // pushes a (and nothing else) later.
+  const auto g = assay::parse_assay(R"(
+assay gap
+input i1
+input i2
+input i3
+input i4
+mix quick volume 8 duration 2 from i1 i2
+mix slow volume 8 duration 12 from i3 i4
+mix join volume 10 duration 4 from quick slow
+)");
+  const Policy policy = make_policy(g, 1);  // enough mixers to keep ASAP shape
+  const Schedule original = schedule_asap(g);
+  const Schedule compacted = compact_schedule(original, policy);
+
+  EXPECT_EQ(compacted.makespan(), original.makespan());
+  EXPECT_LT(total_storage_time(compacted), total_storage_time(original));
+  // 'join' starts at 15; 'quick' can start as late as 15 - 3 - 2 = 10.
+  int quick_start = -1, join_start = -1;
+  for (const auto& op : g.operations()) {
+    if (op.name == "quick") quick_start = compacted.start_of(op.id);
+    if (op.name == "join") join_start = compacted.start_of(op.id);
+  }
+  EXPECT_EQ(join_start, 15);
+  EXPECT_EQ(quick_start, 10);
+  EXPECT_EQ(total_storage_time(compacted), 0);
+}
+
+TEST(Compaction, PreservesValidityOnAllBenchmarks) {
+  for (const auto& name : assay::extended_benchmark_names()) {
+    const auto g = assay::make_benchmark(name);
+    for (int increments : {0, 2}) {
+      const Policy policy = make_policy(g, increments);
+      const Schedule original = schedule_with_policy(g, policy);
+      const Schedule compacted = compact_schedule(original, policy);
+      EXPECT_NO_THROW(compacted.validate()) << name;
+      EXPECT_EQ(compacted.makespan(), original.makespan()) << name;
+      EXPECT_LE(total_storage_time(compacted), total_storage_time(original)) << name;
+    }
+  }
+}
+
+TEST(Compaction, RespectsDeviceCapacity) {
+  // One mixer of each size: delaying must never double-book it.
+  const auto g = assay::make_pcr();
+  const Policy policy = make_policy(g, 0);
+  const Schedule compacted = compact_schedule(schedule_with_policy(g, policy), policy);
+  std::vector<std::pair<int, int>> windows;
+  for (const auto& op : g.operations()) {
+    if (op.kind == assay::OpKind::kMix && op.volume == 8) {
+      windows.push_back({compacted.start_of(op.id),
+                         compacted.end_of(op.id) + compacted.transport_delay});
+    }
+  }
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    for (std::size_t j = i + 1; j < windows.size(); ++j) {
+      const bool disjoint =
+          windows[i].second <= windows[j].first || windows[j].second <= windows[i].first;
+      EXPECT_TRUE(disjoint);
+    }
+  }
+}
+
+TEST(Compaction, IdempotentOnCompactedSchedules) {
+  const auto g = assay::make_mixing_tree();
+  const Policy policy = make_policy(g, 1);
+  const Schedule once = compact_schedule(schedule_with_policy(g, policy), policy);
+  const Schedule twice = compact_schedule(once, policy);
+  EXPECT_EQ(once.start, twice.start);
+}
+
+TEST(Compaction, ShrinksTheRequiredChip) {
+  // Less storage waiting means less concurrent area demand; the compacted
+  // schedule never needs a bigger matrix.
+  const auto g = assay::make_interpolating_dilution();
+  const Policy policy = make_policy(g, 1);
+  const Schedule original = schedule_with_policy(g, policy);
+  const Schedule compacted = compact_schedule(original, policy);
+  const int side_original = arch::Architecture::sized_for(g, original, 1.0).width();
+  const int side_compacted = arch::Architecture::sized_for(g, compacted, 1.0).width();
+  EXPECT_LE(side_compacted, side_original);
+}
+
+}  // namespace
+}  // namespace fsyn::sched

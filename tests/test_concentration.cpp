@@ -1,0 +1,132 @@
+// Tests for exact concentration tracking: rational arithmetic, mixture
+// computation, and the defining properties of the reconstructed dilution
+// benchmarks (serial halving, interpolation of neighbours).
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.hpp"
+#include "assay/concentration.hpp"
+#include "assay/parser.hpp"
+#include "util/error.hpp"
+
+namespace fsyn::assay {
+namespace {
+
+TEST(Ratio, NormalizesAndCompares) {
+  EXPECT_EQ(Ratio(2, 4), Ratio(1, 2));
+  EXPECT_EQ(Ratio(0, 7), Ratio::zero());
+  EXPECT_EQ(Ratio(5, 5), Ratio::one());
+  EXPECT_THROW(Ratio(1, 0), Error);
+  EXPECT_THROW(Ratio(-1, 2), Error);
+}
+
+TEST(Ratio, Arithmetic) {
+  EXPECT_EQ(Ratio(1, 2) + Ratio(1, 3), Ratio(5, 6));
+  EXPECT_EQ(Ratio(1, 2) * Ratio(2, 3), Ratio(1, 3));
+  EXPECT_EQ(Ratio(3, 4) * Ratio::zero(), Ratio::zero());
+  EXPECT_DOUBLE_EQ(Ratio(1, 4).to_double(), 0.25);
+}
+
+TEST(Ratio, DeepProductsStayExact) {
+  // (1/2)^20 survives without overflow thanks to cross-reduction.
+  Ratio r = Ratio::one();
+  for (int i = 0; i < 20; ++i) r = r * Ratio(1, 2);
+  EXPECT_EQ(r, Ratio(1, 1 << 20));
+}
+
+TEST(Mixtures, OneToThreeDilution) {
+  const SequencingGraph g = parse_assay(R"(
+assay demo
+input  sample
+input  buffer
+mix    dilute volume 8 duration 6 from sample:1 buffer:3
+detect read duration 4 from dilute
+)");
+  EXPECT_EQ(concentration_of(g, OpId{2}, "sample"), Ratio(1, 4));
+  EXPECT_EQ(concentration_of(g, OpId{2}, "buffer"), Ratio(3, 4));
+  // Detect passes the mixture through.
+  EXPECT_EQ(concentration_of(g, OpId{3}, "sample"), Ratio(1, 4));
+  // Unknown fluids are zero.
+  EXPECT_EQ(concentration_of(g, OpId{2}, "ghost"), Ratio::zero());
+}
+
+TEST(Mixtures, SumToOneOnEveryBenchmark) {
+  for (const auto& name : benchmark_names()) {
+    const SequencingGraph g = make_benchmark(name);
+    const auto mixtures = compute_mixtures(g);
+    for (const Operation& op : g.operations()) {
+      Ratio sum = Ratio::zero();
+      for (const auto& [fluid, share] : mixtures[static_cast<std::size_t>(op.id.index)]) {
+        sum = sum + share;
+      }
+      EXPECT_EQ(sum, Ratio::one()) << name << " op " << op.name;
+    }
+  }
+}
+
+TEST(Mixtures, ExponentialDilutionHalvesPerStage) {
+  // The defining property of the reconstructed benchmark [12]: along each
+  // chain, the initial sample's concentration is (1/2)^k after k stages.
+  const SequencingGraph g = make_exponential_dilution();
+  const auto mixtures = compute_mixtures(g);
+  int verified_chains = 0;
+  for (const Operation& op : g.operations()) {
+    if (op.kind != OpKind::kInput || op.name.find("sample") != 0) continue;
+    // Walk this chain via the sample's concentration.
+    OpId current = op.id;
+    int stage = 0;
+    while (true) {
+      OpId next{-1};
+      for (const OpId child : g.children(current)) {
+        if (g.op(child).kind == OpKind::kMix) next = child;
+      }
+      if (!next.valid()) break;
+      ++stage;
+      const auto& mixture = mixtures[static_cast<std::size_t>(next.index)];
+      const auto it = mixture.find(op.name);
+      ASSERT_NE(it, mixture.end());
+      EXPECT_EQ(it->second, Ratio(1, 1LL << stage))
+          << op.name << " stage " << stage;
+      current = next;
+    }
+    EXPECT_GE(stage, 9) << op.name;
+    ++verified_chains;
+  }
+  EXPECT_EQ(verified_chains, 5);
+}
+
+TEST(Mixtures, InterpolatingDilutionAveragesNeighbours) {
+  // Every cascade mix combines its two parents 1:1, so the sample share of
+  // a mix is the average of its parents' sample shares.
+  const SequencingGraph g = make_interpolating_dilution();
+  const auto mixtures = compute_mixtures(g);
+  for (const Operation& op : g.operations()) {
+    if (op.kind != OpKind::kMix || op.parents.size() != 2 || !op.ratio.empty()) continue;
+    for (const auto& [fluid, share] : mixtures[static_cast<std::size_t>(op.id.index)]) {
+      const auto& ma = mixtures[static_cast<std::size_t>(op.parents[0].index)];
+      const auto& mb = mixtures[static_cast<std::size_t>(op.parents[1].index)];
+      const Ratio a = ma.contains(fluid) ? ma.at(fluid) : Ratio::zero();
+      const Ratio b = mb.contains(fluid) ? mb.at(fluid) : Ratio::zero();
+      EXPECT_EQ(share, (a + b) * Ratio(1, 2)) << op.name << " fluid " << fluid;
+    }
+  }
+}
+
+TEST(Mixtures, PcrCombinesAllEightReagents) {
+  const SequencingGraph g = make_pcr();
+  const auto mixtures = compute_mixtures(g);
+  // o7 (the root) contains all 8 reagents, each at 1/8 for the balanced
+  // binary tree with equal parts.
+  const Operation* root = nullptr;
+  for (const Operation& op : g.operations()) {
+    if (op.name == "o7") root = &op;
+  }
+  ASSERT_NE(root, nullptr);
+  const auto& mixture = mixtures[static_cast<std::size_t>(root->id.index)];
+  EXPECT_EQ(mixture.size(), 8u);
+  for (const auto& [fluid, share] : mixture) {
+    EXPECT_EQ(share, Ratio(1, 8)) << fluid;
+  }
+}
+
+}  // namespace
+}  // namespace fsyn::assay

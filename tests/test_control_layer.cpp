@@ -1,0 +1,128 @@
+// Tests for control-layer synthesis: net connectivity, escapes, crossing
+// accounting, determinism and the end-to-end path from a synthesized chip's
+// control program to a validated control-layer plan.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "arch/control_layer.hpp"
+#include "assay/benchmarks.hpp"
+#include "route/router.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/control_program.hpp"
+#include "synth/heuristic_mapper.hpp"
+
+namespace fsyn::arch {
+namespace {
+
+TEST(ControlLayer, SingleValveNetEscapesStraight) {
+  const ControlLayerPlan plan = plan_control_layer({{Point{3, 3}}}, 8, 8);
+  ASSERT_EQ(plan.nets.size(), 1u);
+  const ControlNet& net = plan.nets[0];
+  EXPECT_EQ(net.valves, (std::vector<Point>{{3, 3}}));
+  // Manhattan escape: 3 steps to the nearest edge + the valve cell itself.
+  EXPECT_EQ(net.length(), 4);
+  EXPECT_EQ(plan.crossings, 0);
+  validate_control_layer(plan, 8, 8);
+}
+
+TEST(ControlLayer, BoundaryValveIsItsOwnEscape) {
+  const ControlLayerPlan plan = plan_control_layer({{Point{0, 5}}}, 8, 8);
+  ASSERT_EQ(plan.nets.size(), 1u);
+  EXPECT_EQ(plan.nets[0].escape, (Point{0, 5}));
+  EXPECT_EQ(plan.nets[0].length(), 1);
+}
+
+TEST(ControlLayer, MultiValveNetIsASingleTree) {
+  const std::vector<Point> valves{{2, 2}, {2, 5}, {5, 2}};
+  const ControlLayerPlan plan = plan_control_layer({valves}, 8, 8);
+  ASSERT_EQ(plan.nets.size(), 1u);
+  validate_control_layer(plan, 8, 8);
+  for (const Point& valve : valves) {
+    EXPECT_NE(std::find(plan.nets[0].channel.begin(), plan.nets[0].channel.end(), valve),
+              plan.nets[0].channel.end());
+  }
+  // A tree with 3 leaves + escape should be far smaller than 3 separate
+  // escapes (sharing trunk cells).
+  EXPECT_LT(plan.nets[0].length(), 3 * 8);
+}
+
+TEST(ControlLayer, DisjointNetsAvoidEachOther) {
+  // Two nets side by side: with the crossing penalty they route disjoint.
+  const ControlLayerPlan plan =
+      plan_control_layer({{Point{2, 4}}, {Point{4, 4}}}, 9, 9);
+  EXPECT_EQ(plan.crossings, 0);
+  std::set<Point> first(plan.nets[0].channel.begin(), plan.nets[0].channel.end());
+  for (const Point& cell : plan.nets[1].channel) {
+    EXPECT_FALSE(first.contains(cell));
+  }
+}
+
+TEST(ControlLayer, CrossingsAreCountedWhenUnavoidable) {
+  // A ring of valves enclosing a centre valve on a tiny grid: the centre
+  // net must cross the ring net.
+  std::vector<Point> ring;
+  for (const Point& p : Rect{1, 1, 3, 3}.ring_cells()) ring.push_back(p);
+  const ControlLayerPlan plan = plan_control_layer({ring, {Point{2, 2}}}, 5, 5);
+  validate_control_layer(plan, 5, 5);
+  EXPECT_GE(plan.crossings, 1);
+}
+
+TEST(ControlLayer, DeterministicAndTotalsConsistent) {
+  const std::vector<std::vector<Point>> groups{{{1, 1}, {1, 3}}, {{6, 6}}, {{3, 6}, {6, 3}}};
+  const ControlLayerPlan a = plan_control_layer(groups, 9, 9);
+  const ControlLayerPlan b = plan_control_layer(groups, 9, 9);
+  ASSERT_EQ(a.nets.size(), b.nets.size());
+  int total = 0;
+  for (std::size_t i = 0; i < a.nets.size(); ++i) {
+    EXPECT_EQ(a.nets[i].channel, b.nets[i].channel);
+    total += a.nets[i].length();
+  }
+  EXPECT_EQ(a.total_length, total);
+}
+
+TEST(ControlLayer, RejectsBadInput) {
+  EXPECT_THROW(plan_control_layer({{Point{9, 0}}}, 8, 8), Error);
+  EXPECT_THROW(plan_control_layer({{}}, 8, 8), Error);
+  EXPECT_THROW(plan_control_layer({}, 1, 8), Error);
+}
+
+TEST(ControlLayer, EndToEndFromSynthesizedPcr) {
+  struct Fixture {
+    assay::SequencingGraph graph{"empty"};
+    sched::Schedule schedule;
+    synth::MappingProblem problem;
+  };
+  auto fx = std::make_unique<Fixture>();
+  fx->graph = assay::make_pcr();
+  fx->schedule = sched::schedule_asap(fx->graph);
+  fx->problem = synth::MappingProblem::build(fx->graph, fx->schedule, Architecture(11, 11));
+  const auto mapping = synth::map_heuristic(fx->problem);
+  ASSERT_TRUE(mapping.has_value());
+  const auto routing = route::route_all(fx->problem, mapping->placement);
+  ASSERT_TRUE(routing.success);
+
+  const auto program =
+      sim::compile_control_program(fx->problem, mapping->placement, routing);
+  const auto groups = sim::control_pin_groups(program);
+  ASSERT_FALSE(groups.empty());
+  // Groups cover every actuated valve exactly once.
+  std::set<Point> covered;
+  for (const auto& group : groups) {
+    for (const Point& valve : group) EXPECT_TRUE(covered.insert(valve).second);
+  }
+  EXPECT_EQ(static_cast<int>(covered.size()), program.distinct_valves());
+  // Largest-first ordering.
+  for (std::size_t i = 1; i < groups.size(); ++i) {
+    EXPECT_GE(groups[i - 1].size(), groups[i].size());
+  }
+
+  const ControlLayerPlan plan = plan_control_layer(groups, 11, 11);
+  validate_control_layer(plan, 11, 11);
+  EXPECT_EQ(plan.nets.size(), groups.size());
+  EXPECT_GT(plan.total_length, 0);
+}
+
+}  // namespace
+}  // namespace fsyn::arch

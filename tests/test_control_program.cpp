@@ -1,0 +1,143 @@
+// Tests for control-program compilation, replay equivalence, pin sharing
+// and the SVG export.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+
+#include "assay/benchmarks.hpp"
+#include "report/svg_export.hpp"
+#include "route/router.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/control_program.hpp"
+#include "synth/heuristic_mapper.hpp"
+
+namespace fsyn::sim {
+namespace {
+
+struct Fixture {
+  assay::SequencingGraph graph{"empty"};
+  sched::Schedule schedule;
+  synth::MappingProblem problem;
+  synth::Placement placement;
+  route::RoutingResult routing;
+};
+
+std::unique_ptr<Fixture> make_fixture() {
+  auto out = std::make_unique<Fixture>();
+  out->graph = assay::make_pcr();
+  out->schedule = sched::schedule_asap(out->graph);
+  out->problem =
+      synth::MappingProblem::build(out->graph, out->schedule, arch::Architecture(11, 11));
+  const auto mapping = synth::map_heuristic(out->problem);
+  if (!mapping.has_value()) throw Error("fixture mapping failed");
+  out->placement = mapping->placement;
+  out->routing = route::route_all(out->problem, out->placement);
+  if (!out->routing.success) throw Error("fixture routing failed");
+  return out;
+}
+
+TEST(ControlProgram, ReplayEqualsLedgerBothSettings) {
+  const auto fx = make_fixture();
+  for (const Setting setting : {Setting::kConservative, Setting::kRescaled}) {
+    const ActuationLedger ledger = account(fx->problem, fx->placement, fx->routing, setting);
+    const ControlProgram program =
+        compile_control_program(fx->problem, fx->placement, fx->routing, setting);
+    const Grid<int> replayed = program.replay(11, 11);
+    const Grid<int> expected = ledger.total();
+    expected.for_each([&](const Point& p, const int& v) {
+      EXPECT_EQ(replayed.at(p), v) << "at " << p;
+    });
+    EXPECT_EQ(program.distinct_valves(), ledger.actuated_valve_count());
+  }
+}
+
+TEST(ControlProgram, EventsAreChronological) {
+  const auto fx = make_fixture();
+  const ControlProgram program =
+      compile_control_program(fx->problem, fx->placement, fx->routing);
+  ASSERT_FALSE(program.events.empty());
+  for (std::size_t i = 1; i < program.events.size(); ++i) {
+    EXPECT_LE(program.events[i - 1].time, program.events[i].time);
+  }
+}
+
+TEST(ControlProgram, PumpBurstsOnlyOnMixRings) {
+  const auto fx = make_fixture();
+  const ControlProgram program =
+      compile_control_program(fx->problem, fx->placement, fx->routing);
+  int bursts = 0;
+  for (const ValveEvent& event : program.events) {
+    if (event.action != ValveAction::kPumpBurst) continue;
+    ++bursts;
+    EXPECT_EQ(event.count, 40);
+    // Every burst's valve must lie on the ring of the named operation.
+    bool on_some_ring = false;
+    for (int i = 0; i < fx->problem.task_count(); ++i) {
+      if (fx->problem.task(i).name != event.cause) continue;
+      const auto ring = fx->placement[static_cast<std::size_t>(i)].pump_cells();
+      on_some_ring = std::find(ring.begin(), ring.end(), event.valve) != ring.end();
+    }
+    EXPECT_TRUE(on_some_ring) << event.cause;
+  }
+  // 7 mixes with rings of 8/8/8/8/10/10/4 valves = 56 burst events.
+  EXPECT_EQ(bursts, 56);
+}
+
+TEST(ControlProgram, TextListingMentionsOperations) {
+  const auto fx = make_fixture();
+  const ControlProgram program =
+      compile_control_program(fx->problem, fx->placement, fx->routing);
+  const std::string text = program.to_text();
+  EXPECT_NE(text.find("pump x40"), std::string::npos);
+  EXPECT_NE(text.find("cycle x2"), std::string::npos);
+  EXPECT_NE(text.find("o7"), std::string::npos);
+}
+
+TEST(ControlProgram, PinSharingNeverExceedsValveCount) {
+  const auto fx = make_fixture();
+  const ControlProgram program =
+      compile_control_program(fx->problem, fx->placement, fx->routing);
+  const int pins = shared_control_pins(program);
+  EXPECT_GT(pins, 0);
+  EXPECT_LE(pins, program.distinct_valves());
+}
+
+TEST(SvgExport, ContainsDevicesPathsAndPorts) {
+  const auto fx = make_fixture();
+  const ActuationLedger ledger =
+      account(fx->problem, fx->placement, fx->routing, Setting::kConservative);
+  const std::string svg =
+      report::render_chip_svg(fx->problem, fx->placement, fx->routing, ledger);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("polyline"), std::string::npos);   // routed paths
+  EXPECT_NE(svg.find("o1"), std::string::npos);         // device label
+  EXPECT_NE(svg.find("out"), std::string::npos);        // port label
+  // One outline rect per task plus one background + heatmap cells.
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  EXPECT_GE(rects, static_cast<std::size_t>(fx->problem.task_count()) + 1);
+}
+
+TEST(SvgExport, WriteFileRoundTrips) {
+  const auto fx = make_fixture();
+  const ActuationLedger ledger =
+      account(fx->problem, fx->placement, fx->routing, Setting::kConservative);
+  const std::string path = ::testing::TempDir() + "/chip.svg";
+  report::write_chip_svg(path, fx->problem, fx->placement, fx->routing, ledger);
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string first_line;
+  std::getline(file, first_line);
+  EXPECT_NE(first_line.find("<svg"), std::string::npos);
+  EXPECT_THROW(report::write_chip_svg("/nonexistent-dir/chip.svg", fx->problem, fx->placement,
+                                      fx->routing, ledger),
+               Error);
+}
+
+}  // namespace
+}  // namespace fsyn::sim

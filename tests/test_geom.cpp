@@ -1,0 +1,163 @@
+// Unit and property tests for geometry: points, rects, rings, grids.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geom/grid.hpp"
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+#include "util/rng.hpp"
+
+namespace fsyn {
+namespace {
+
+TEST(Point, ArithmeticAndDistance) {
+  const Point a{1, 2}, b{4, -2};
+  EXPECT_EQ(a + b, (Point{5, 0}));
+  EXPECT_EQ(b - a, (Point{3, -4}));
+  EXPECT_EQ(manhattan_distance(a, b), 7);
+  EXPECT_EQ(manhattan_distance(a, a), 0);
+}
+
+TEST(Rect, AccessorsAndContainment) {
+  const Rect r{2, 3, 4, 2};  // covers x in [2,6), y in [3,5)
+  EXPECT_EQ(r.left(), 2);
+  EXPECT_EQ(r.right(), 6);
+  EXPECT_EQ(r.bottom(), 3);
+  EXPECT_EQ(r.top(), 5);
+  EXPECT_EQ(r.area(), 8);
+  EXPECT_TRUE(r.contains(Point{2, 3}));
+  EXPECT_TRUE(r.contains(Point{5, 4}));
+  EXPECT_FALSE(r.contains(Point{6, 4}));
+  EXPECT_FALSE(r.contains(Point{2, 5}));
+}
+
+TEST(Rect, OverlapIsSymmetricAndEdgeTouchingDoesNotOverlap) {
+  const Rect a{0, 0, 2, 2}, b{2, 0, 2, 2}, c{1, 1, 2, 2};
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_FALSE(b.overlaps(a));
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(c.overlaps(a));
+}
+
+TEST(Rect, IntersectionMatchesOverlap) {
+  const Rect a{0, 0, 3, 3}, b{2, 2, 3, 3};
+  const Rect i = a.intersection(b);
+  EXPECT_EQ(i, (Rect{2, 2, 1, 1}));
+  EXPECT_TRUE(a.intersection(Rect{5, 5, 1, 1}).empty());
+}
+
+TEST(Rect, ChebyshevGap) {
+  const Rect a{0, 0, 2, 2};
+  EXPECT_EQ(a.chebyshev_gap(Rect{2, 0, 2, 2}), 0);  // touching
+  EXPECT_EQ(a.chebyshev_gap(Rect{4, 0, 2, 2}), 2);
+  EXPECT_EQ(a.chebyshev_gap(Rect{4, 4, 2, 2}), 2);
+  EXPECT_EQ(a.chebyshev_gap(Rect{1, 1, 2, 2}), 0);  // overlapping
+}
+
+TEST(Rect, CellsEnumeratesArea) {
+  const Rect r{1, 1, 3, 2};
+  const auto cells = r.cells();
+  EXPECT_EQ(static_cast<int>(cells.size()), r.area());
+  const std::set<Point> unique(cells.begin(), cells.end());
+  EXPECT_EQ(unique.size(), cells.size());
+  for (const Point& p : cells) EXPECT_TRUE(r.contains(p));
+}
+
+// Property: a w x h ring has exactly 2(w+h)-4 distinct cells, all on the
+// boundary, and consecutive ring cells are orthogonal neighbours (the
+// circulation flow of a dynamic mixer must be a connected cycle).
+class RingProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RingProperty, RingIsAConnectedBoundaryCycle) {
+  const auto [w, h] = GetParam();
+  const Rect r{3, 5, w, h};
+  const auto ring = r.ring_cells();
+  ASSERT_EQ(static_cast<int>(ring.size()), 2 * (w + h) - 4);
+  const std::set<Point> unique(ring.begin(), ring.end());
+  EXPECT_EQ(unique.size(), ring.size());
+  for (const Point& p : ring) {
+    EXPECT_TRUE(r.contains(p));
+    const bool on_boundary = p.x == r.left() || p.x == r.right() - 1 ||
+                             p.y == r.bottom() || p.y == r.top() - 1;
+    EXPECT_TRUE(on_boundary);
+  }
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const Point& a = ring[i];
+    const Point& b = ring[(i + 1) % ring.size()];
+    EXPECT_EQ(manhattan_distance(a, b), 1)
+        << "ring cells " << i << " and " << (i + 1) % ring.size() << " not adjacent";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDeviceShapes, RingProperty,
+                         ::testing::Values(std::pair{2, 2}, std::pair{2, 3}, std::pair{3, 2},
+                                           std::pair{2, 4}, std::pair{4, 2}, std::pair{3, 3},
+                                           std::pair{2, 5}, std::pair{5, 2}, std::pair{3, 4},
+                                           std::pair{4, 3}, std::pair{4, 4}, std::pair{6, 5}));
+
+TEST(Rect, DegenerateRingEqualsCells) {
+  const Rect line{0, 0, 1, 4};
+  EXPECT_EQ(line.ring_cells(), line.cells());
+  const Rect row{2, 2, 5, 1};
+  EXPECT_EQ(row.ring_cells(), row.cells());
+}
+
+TEST(Rect, InflatedGrowsEachSide) {
+  const Rect r{2, 2, 2, 3};
+  EXPECT_EQ(r.inflated(1), (Rect{1, 1, 4, 5}));
+  EXPECT_EQ(r.inflated(0), r);
+}
+
+// Property: two rects overlap iff their intersection is non-empty, and the
+// chebyshev gap is zero iff the 1-inflated rects overlap or they touch.
+TEST(RectProperty, OverlapConsistentWithIntersection) {
+  Rng rng(2015);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Rect a{rng.next_int(-5, 5), rng.next_int(-5, 5), rng.next_int(1, 6), rng.next_int(1, 6)};
+    const Rect b{rng.next_int(-5, 5), rng.next_int(-5, 5), rng.next_int(1, 6), rng.next_int(1, 6)};
+    EXPECT_EQ(a.overlaps(b), !a.intersection(b).empty());
+    EXPECT_EQ(a.overlaps(b), b.overlaps(a));
+    if (a.overlaps(b)) {
+      EXPECT_EQ(a.chebyshev_gap(b), 0);
+      EXPECT_EQ(a.intersection(b).area(), b.intersection(a).area());
+    }
+  }
+}
+
+TEST(Grid, StoreAndRetrieve) {
+  Grid<int> g(4, 3, -1);
+  EXPECT_EQ(g.width(), 4);
+  EXPECT_EQ(g.height(), 3);
+  EXPECT_EQ(g.at(0, 0), -1);
+  g.at(2, 1) = 42;
+  EXPECT_EQ(g.at(Point{2, 1}), 42);
+  EXPECT_EQ(g.bounds(), (Rect{0, 0, 4, 3}));
+}
+
+TEST(Grid, OutOfBoundsAccessThrows) {
+  Grid<int> g(2, 2);
+  EXPECT_THROW(g.at(2, 0), LogicError);
+  EXPECT_THROW(g.at(-1, 0), LogicError);
+  EXPECT_THROW(g.at(0, 2), LogicError);
+  EXPECT_FALSE(g.in_bounds(Point{0, -1}));
+}
+
+TEST(Grid, ForEachVisitsEveryCellOnce) {
+  Grid<int> g(3, 5, 0);
+  int visits = 0;
+  g.for_each([&](const Point& p, int) {
+    EXPECT_TRUE(g.in_bounds(p));
+    ++visits;
+  });
+  EXPECT_EQ(visits, 15);
+}
+
+TEST(Grid, OrthogonalNeighbours) {
+  const auto n = orthogonal_neighbours(Point{1, 1});
+  const std::set<Point> expected{{2, 1}, {0, 1}, {1, 2}, {1, 0}};
+  EXPECT_EQ(std::set<Point>(n.begin(), n.end()), expected);
+}
+
+}  // namespace
+}  // namespace fsyn

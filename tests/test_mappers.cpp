@@ -1,0 +1,227 @@
+// Tests for both dynamic-device mappers.
+//
+// The heuristic mapper must produce valid placements on every benchmark and
+// every policy; the exact ILP mapper must match known optima on small
+// crafted instances and never lose to the heuristic (it is seeded with the
+// heuristic's placement).
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.hpp"
+#include "sched/list_scheduler.hpp"
+#include "synth/heuristic_mapper.hpp"
+#include "synth/ilp_mapper.hpp"
+
+namespace fsyn::synth {
+namespace {
+
+using arch::DeviceInstance;
+using assay::OpId;
+using assay::OpKind;
+using assay::Operation;
+using assay::SequencingGraph;
+
+Operation input_op(const std::string& name) {
+  Operation op;
+  op.kind = OpKind::kInput;
+  op.name = name;
+  return op;
+}
+
+Operation mix_op(const std::string& name, std::vector<OpId> parents, int volume,
+                 int duration) {
+  Operation op;
+  op.kind = OpKind::kMix;
+  op.name = name;
+  op.parents = std::move(parents);
+  op.volume = volume;
+  op.duration = duration;
+  return op;
+}
+
+SequencingGraph two_concurrent_mixes() {
+  SequencingGraph g("two");
+  std::vector<OpId> in;
+  for (int i = 0; i < 4; ++i) in.push_back(g.add_operation(input_op("i" + std::to_string(i))));
+  g.add_operation(mix_op("a", {in[0], in[1]}, 8, 6));
+  g.add_operation(mix_op("b", {in[2], in[3]}, 8, 6));
+  g.validate();
+  return g;
+}
+
+TEST(HeuristicMapper, TwoConcurrentMixesGetDisjointRings) {
+  const auto g = two_concurrent_mixes();
+  const auto schedule = sched::schedule_asap(g);
+  auto problem = MappingProblem::build(g, schedule, arch::Architecture(9, 9));
+  const auto outcome = map_heuristic(problem);
+  ASSERT_TRUE(outcome.has_value());
+  problem.validate_placement(outcome->placement);
+  // Enough room: each valve pumps for exactly one operation.
+  EXPECT_EQ(outcome->max_pump_load, kPumpActuationsPerMix);
+  EXPECT_EQ(outcome->max_pump_load_setting2, 15);  // ceil(120/8)
+}
+
+TEST(HeuristicMapper, DeterministicForFixedSeed) {
+  const auto g = assay::make_pcr();
+  const auto schedule = sched::schedule_asap(g);
+  auto problem = MappingProblem::build(g, schedule, arch::Architecture(10, 10));
+  HeuristicOptions options;
+  options.seed = 7;
+  const auto first = map_heuristic(problem, options);
+  const auto second = map_heuristic(problem, options);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->placement, second->placement);
+  EXPECT_EQ(first->max_pump_load, second->max_pump_load);
+}
+
+TEST(HeuristicMapper, AnnealingNeverWorseThanGreedy) {
+  const auto g = assay::make_mixing_tree();
+  const auto schedule = sched::schedule_with_policy(g, sched::make_policy(g, 0));
+  auto problem = MappingProblem::build(g, schedule, arch::Architecture(12, 12));
+  HeuristicOptions greedy_only;
+  greedy_only.sa_iterations = 0;
+  const auto greedy = map_heuristic(problem, greedy_only);
+  const auto annealed = map_heuristic(problem);
+  ASSERT_TRUE(greedy.has_value());
+  ASSERT_TRUE(annealed.has_value());
+  EXPECT_LE(annealed->max_pump_load, greedy->max_pump_load);
+}
+
+TEST(HeuristicMapper, ReturnsNulloptOnImpossiblyTightChip) {
+  // 8x8 minus port cells cannot hold 8 concurrent volume-10 devices.
+  SequencingGraph g("tight");
+  std::vector<OpId> in;
+  for (int i = 0; i < 16; ++i) in.push_back(g.add_operation(input_op("i" + std::to_string(i))));
+  for (int m = 0; m < 8; ++m) {
+    g.add_operation(mix_op("m" + std::to_string(m), {in[2 * m], in[2 * m + 1]}, 10, 6));
+  }
+  g.validate();
+  const auto schedule = sched::schedule_asap(g);
+  auto problem = MappingProblem::build(g, schedule, arch::Architecture(8, 8));
+  HeuristicOptions options;
+  options.greedy_retries = 2;
+  EXPECT_FALSE(map_heuristic(problem, options).has_value());
+}
+
+TEST(HeuristicMapper, WorksOnEveryBenchmarkAndPolicy) {
+  for (const auto& name : assay::benchmark_names()) {
+    const auto g = assay::make_benchmark(name);
+    for (int increments : {0, 2}) {
+      const auto schedule = sched::schedule_with_policy(g, sched::make_policy(g, increments));
+      // Generous chip so construction always succeeds.
+      const int side = arch::Architecture::sized_for(g, schedule, 1.2).width();
+      auto problem = MappingProblem::build(g, schedule, arch::Architecture(side, side));
+      HeuristicOptions options;
+      options.sa_iterations = 4000;  // keep the test fast
+      const auto outcome = map_heuristic(problem, options);
+      ASSERT_TRUE(outcome.has_value()) << name << " inc=" << increments;
+      problem.validate_placement(outcome->placement);
+      EXPECT_GE(outcome->max_pump_load, kPumpActuationsPerMix);
+    }
+  }
+}
+
+TEST(HeuristicMapper, RespectsAblationFlags) {
+  const auto g = assay::make_pcr();
+  const auto schedule = sched::schedule_with_policy(g, sched::make_policy(g, 0));
+  auto problem = MappingProblem::build(g, schedule, arch::Architecture(12, 12));
+  problem.set_allow_storage_overlap(false);
+  problem.set_routing_convenient(true);
+  const auto outcome = map_heuristic(problem);
+  ASSERT_TRUE(outcome.has_value());
+  // With storage overlap disabled, no two parent/child footprints overlap.
+  for (int a = 0; a < problem.task_count(); ++a) {
+    for (int b = a + 1; b < problem.task_count(); ++b) {
+      if (!problem.time_overlap(a, b)) continue;
+      EXPECT_FALSE(outcome->placement[static_cast<std::size_t>(a)].footprint().overlaps(
+          outcome->placement[static_cast<std::size_t>(b)].footprint()));
+    }
+  }
+}
+
+// ------------------------------------------------------------- ILP mapper
+
+TEST(IlpMapper, SingleMixOptimumIs40) {
+  SequencingGraph g("one");
+  const OpId i1 = g.add_operation(input_op("i1"));
+  const OpId i2 = g.add_operation(input_op("i2"));
+  g.add_operation(mix_op("a", {i1, i2}, 8, 6));
+  g.validate();
+  const auto schedule = sched::schedule_asap(g);
+  auto problem = MappingProblem::build(g, schedule, arch::Architecture(6, 6));
+  const auto outcome = map_ilp(problem);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->status, ilp::MilpStatus::kOptimal);
+  EXPECT_EQ(outcome->max_pump_load, kPumpActuationsPerMix);
+  problem.validate_placement(outcome->placement);
+}
+
+TEST(IlpMapper, TwoConcurrentMixesOptimal) {
+  const auto g = two_concurrent_mixes();
+  const auto schedule = sched::schedule_asap(g);
+  auto problem = MappingProblem::build(g, schedule, arch::Architecture(7, 7));
+  IlpMapperOptions options;
+  options.time_limit_seconds = 60.0;
+  const auto outcome = map_ilp(problem, options);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->status, ilp::MilpStatus::kOptimal);
+  EXPECT_EQ(outcome->max_pump_load, kPumpActuationsPerMix);
+  problem.validate_placement(outcome->placement);
+}
+
+TEST(IlpMapper, WarmStartBoundsTheSearch) {
+  const auto g = two_concurrent_mixes();
+  const auto schedule = sched::schedule_asap(g);
+  auto problem = MappingProblem::build(g, schedule, arch::Architecture(7, 7));
+  const auto warm = map_heuristic(problem);
+  ASSERT_TRUE(warm.has_value());
+  IlpMapperOptions options;
+  options.warm_start = warm->placement;
+  options.time_limit_seconds = 60.0;
+  const auto outcome = map_ilp(problem, options);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_LE(outcome->max_pump_load, warm->max_pump_load);
+  problem.validate_placement(outcome->placement);
+}
+
+TEST(IlpMapper, MatchesHeuristicOnSmallChainWithinLimits) {
+  // a -> b chain on a small chip: both mappers should reach 40 (the two
+  // rings never pump simultaneously but the ILP still must coordinate the
+  // storage overlap and routing convenience).
+  SequencingGraph g("chain");
+  const OpId i1 = g.add_operation(input_op("i1"));
+  const OpId i2 = g.add_operation(input_op("i2"));
+  const OpId a = g.add_operation(mix_op("a", {i1, i2}, 8, 6));
+  g.add_operation(mix_op("b", {a}, 8, 6));
+  g.validate();
+  const auto schedule = sched::schedule_asap(g);
+  auto problem = MappingProblem::build(g, schedule, arch::Architecture(7, 7));
+  const auto heuristic = map_heuristic(problem);
+  ASSERT_TRUE(heuristic.has_value());
+  IlpMapperOptions options;
+  options.warm_start = heuristic->placement;
+  options.time_limit_seconds = 60.0;
+  const auto exact = map_ilp(problem, options);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->max_pump_load, kPumpActuationsPerMix);
+  EXPECT_EQ(heuristic->max_pump_load, kPumpActuationsPerMix);
+}
+
+TEST(IlpMapper, InfeasibleWhenChipCannotHoldConcurrentDevices) {
+  // Two concurrent volume-10 devices need more than a 5x5 matrix once the
+  // wall gap and port cells are excluded.
+  SequencingGraph g("no-fit");
+  std::vector<OpId> in;
+  for (int i = 0; i < 4; ++i) in.push_back(g.add_operation(input_op("i" + std::to_string(i))));
+  g.add_operation(mix_op("a", {in[0], in[1]}, 10, 6));
+  g.add_operation(mix_op("b", {in[2], in[3]}, 10, 6));
+  g.validate();
+  const auto schedule = sched::schedule_asap(g);
+  auto problem = MappingProblem::build(g, schedule, arch::Architecture(5, 5));
+  IlpMapperOptions options;
+  options.time_limit_seconds = 30.0;
+  EXPECT_FALSE(map_ilp(problem, options).has_value());
+}
+
+}  // namespace
+}  // namespace fsyn::synth

@@ -1,0 +1,119 @@
+// Property/fuzz tests: random assays through the entire pipeline.
+//
+// For every randomly generated assay, every stage either succeeds with all
+// invariants intact (validated placement, legal routing, reconciled
+// simulator) or fails with a clean fsyn::Error — never a crash, never a
+// silent inconsistency.
+#include <gtest/gtest.h>
+
+#include "assay/concentration.hpp"
+#include "assay/parser.hpp"
+#include "assay/random_assay.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/control_program.hpp"
+#include "sim/simulator.hpp"
+#include "synth/synthesis.hpp"
+#include "util/rng.hpp"
+
+namespace fsyn {
+namespace {
+
+class PipelineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineFuzz, RandomAssayRunsCleanly) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  assay::RandomAssayOptions gen;
+  gen.mixing_ops = rng.next_int(3, 14);
+  gen.reuse_probability = rng.next_double();
+  gen.detect_probability = rng.next_double() * 0.4;
+  const assay::SequencingGraph graph = assay::make_random_assay(rng, gen);
+
+  // Structural sanity.
+  ASSERT_NO_THROW(graph.validate());
+  EXPECT_EQ(graph.mixing_count(), gen.mixing_ops);
+
+  // Concentrations always sum to one.
+  const auto mixtures = assay::compute_mixtures(graph);
+  for (const auto& mixture : mixtures) {
+    assay::Ratio sum = assay::Ratio::zero();
+    for (const auto& [fluid, share] : mixture) sum = sum + share;
+    EXPECT_EQ(sum, assay::Ratio::one());
+  }
+
+  // The DSL round-trips.
+  const assay::SequencingGraph reparsed = assay::parse_assay(to_assay_text(graph));
+  EXPECT_EQ(reparsed.size(), graph.size());
+
+  // Scheduling under a random policy.
+  const int increments = rng.next_int(0, 2);
+  const sched::Schedule schedule =
+      sched::schedule_with_policy(graph, sched::make_policy(graph, increments));
+  ASSERT_NO_THROW(schedule.validate());
+
+  // Full synthesis with a small effort budget.
+  synth::SynthesisOptions options;
+  options.heuristic.sa_iterations = 1500;
+  options.heuristic.seed = rng.next_u64();
+  options.chip_sweep = 0;
+  synth::SynthesisResult result;
+  try {
+    result = synth::synthesize(graph, schedule, options);
+  } catch (const Error&) {
+    return;  // clean refusal (chip growth exhausted) is acceptable
+  }
+
+  // Invariants on success.
+  EXPECT_GE(result.vs1_max, result.vs1_pump);
+  EXPECT_GT(result.valve_count, 0);
+  EXPECT_TRUE(result.routing.success);
+
+  auto problem = synth::MappingProblem::build(
+      graph, schedule, arch::Architecture(result.chip_width, result.chip_height));
+  EXPECT_NO_THROW(problem.validate_placement(result.placement));
+  EXPECT_NO_THROW(route::validate_routing(problem, result.placement, result.routing));
+
+  // Simulator audit and control-program round trip.
+  sim::ChipSimulator simulator(problem, result.placement, result.routing,
+                               sim::Setting::kConservative);
+  const sim::ActuationLedger ledger = simulator.verify();
+  const sim::ControlProgram program = sim::compile_control_program(
+      problem, result.placement, result.routing, sim::Setting::kConservative);
+  const Grid<int> replayed = program.replay(result.chip_width, result.chip_height);
+  const Grid<int> expected = ledger.total();
+  bool equal = true;
+  expected.for_each([&](const Point& p, const int& v) {
+    if (replayed.at(p) != v) equal = false;
+  });
+  EXPECT_TRUE(equal) << "control program replay must equal the ledger";
+  EXPECT_EQ(program.distinct_valves(), ledger.actuated_valve_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz, ::testing::Range(0, 25));
+
+TEST(RandomAssay, DeterministicPerSeed) {
+  Rng a(5), b(5);
+  const auto ga = assay::make_random_assay(a);
+  const auto gb = assay::make_random_assay(b);
+  EXPECT_EQ(to_assay_text(ga), to_assay_text(gb));
+}
+
+TEST(RandomAssay, RespectsOptionKnobs) {
+  Rng rng(11);
+  assay::RandomAssayOptions opts;
+  opts.mixing_ops = 20;
+  opts.reuse_probability = 0.0;  // every mix uses fresh inputs
+  opts.detect_probability = 0.0;
+  const auto g = assay::make_random_assay(rng, opts);
+  EXPECT_EQ(g.mixing_count(), 20);
+  EXPECT_EQ(g.count(assay::OpKind::kInput), 40);
+  EXPECT_EQ(g.count(assay::OpKind::kDetect), 0);
+  for (const auto& op : g.operations()) {
+    if (op.kind != assay::OpKind::kMix) continue;
+    for (const auto parent : op.parents) {
+      EXPECT_EQ(g.op(parent).kind, assay::OpKind::kInput);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fsyn

@@ -1,0 +1,115 @@
+// Tests for ILP presolve: implied-bound propagation, integer rounding,
+// infeasibility detection, and equivalence of solve_milp with and without
+// presolve on randomized models.
+#include <gtest/gtest.h>
+
+#include "ilp/branch_and_bound.hpp"
+#include "ilp/presolve.hpp"
+#include "util/rng.hpp"
+
+namespace fsyn::ilp {
+namespace {
+
+TEST(Presolve, TightensSimpleUpperBound) {
+  // x + y <= 4 with y >= 3  =>  x <= 1.
+  Model m;
+  const VarId x = m.add_continuous(0, 100, "x");
+  const VarId y = m.add_continuous(3, 100, "y");
+  m.add_constraint(1.0 * x + 1.0 * y, Relation::kLessEqual, 4.0);
+  const PresolveResult r = presolve(m);
+  EXPECT_EQ(r.status, PresolveStatus::kOk);
+  EXPECT_NEAR(r.upper[static_cast<std::size_t>(x.index)], 1.0, 1e-9);
+  EXPECT_NEAR(r.upper[static_cast<std::size_t>(y.index)], 4.0, 1e-9);
+  EXPECT_GE(r.tightenings, 2);
+}
+
+TEST(Presolve, IntegerBoundsRoundInward) {
+  // 2x <= 7 with x integer  =>  x <= 3 (not 3.5).
+  Model m;
+  const VarId x = m.add_integer(0, 100, "x");
+  m.add_constraint(2.0 * x, Relation::kLessEqual, 7.0);
+  const PresolveResult r = presolve(m);
+  EXPECT_NEAR(r.upper[static_cast<std::size_t>(x.index)], 3.0, 1e-9);
+}
+
+TEST(Presolve, GreaterEqualTightensLowerBound) {
+  // x + y >= 8 with y <= 2  =>  x >= 6.
+  Model m;
+  const VarId x = m.add_continuous(0, 100, "x");
+  m.add_continuous(0, 2, "y");
+  LinearExpr e = 1.0 * x;
+  e.add_term(VarId{1}, 1.0);
+  m.add_constraint(e, Relation::kGreaterEqual, 8.0);
+  const PresolveResult r = presolve(m);
+  EXPECT_NEAR(r.lower[0], 6.0, 1e-9);
+}
+
+TEST(Presolve, PropagatesAcrossRounds) {
+  // Chain: x <= 3 implies y <= 3 implies z <= 3 over two rows.
+  Model m;
+  const VarId x = m.add_continuous(0, 3, "x");
+  const VarId y = m.add_continuous(0, 100, "y");
+  const VarId z = m.add_continuous(0, 100, "z");
+  m.add_constraint(1.0 * y + (-1.0) * x, Relation::kLessEqual, 0.0);  // y <= x
+  m.add_constraint(1.0 * z + (-1.0) * y, Relation::kLessEqual, 0.0);  // z <= y
+  const PresolveResult r = presolve(m);
+  EXPECT_NEAR(r.upper[static_cast<std::size_t>(y.index)], 3.0, 1e-9);
+  EXPECT_NEAR(r.upper[static_cast<std::size_t>(z.index)], 3.0, 1e-9);
+}
+
+TEST(Presolve, DetectsInfeasibility) {
+  // x >= 5 and x <= 2 via rows.
+  Model m;
+  const VarId x = m.add_continuous(0, 100, "x");
+  m.add_constraint(1.0 * x, Relation::kGreaterEqual, 5.0);
+  m.add_constraint(1.0 * x, Relation::kLessEqual, 2.0);
+  EXPECT_EQ(presolve(m).status, PresolveStatus::kInfeasible);
+}
+
+TEST(Presolve, FixesBinariesFromAssignmentRows) {
+  // a + b = 2 over binaries fixes both to 1.
+  Model m;
+  const VarId a = m.add_binary("a");
+  const VarId b = m.add_binary("b");
+  m.add_constraint(1.0 * a + 1.0 * b, Relation::kEqual, 2.0);
+  const PresolveResult r = presolve(m);
+  EXPECT_EQ(r.status, PresolveStatus::kOk);
+  EXPECT_NEAR(r.lower[static_cast<std::size_t>(a.index)], 1.0, 1e-9);
+  EXPECT_NEAR(r.lower[static_cast<std::size_t>(b.index)], 1.0, 1e-9);
+  EXPECT_EQ(r.fixed_variables, 2);
+}
+
+TEST(Presolve, LeavesFeasibleRegionIntact) {
+  // Presolve must never cut off integer-feasible points: on random models,
+  // solve_milp with and without presolve agree.
+  Rng rng(314);
+  for (int trial = 0; trial < 30; ++trial) {
+    Model m;
+    const int n = rng.next_int(3, 8);
+    std::vector<VarId> vars;
+    for (int j = 0; j < n; ++j) vars.push_back(m.add_binary());
+    const int rows = rng.next_int(1, 4);
+    for (int i = 0; i < rows; ++i) {
+      LinearExpr e;
+      for (int j = 0; j < n; ++j) e.add_term(vars[static_cast<std::size_t>(j)], rng.next_int(-3, 3));
+      m.add_constraint(e, rng.next_bool(0.7) ? Relation::kLessEqual : Relation::kGreaterEqual,
+                       rng.next_int(-2, 5));
+    }
+    LinearExpr obj;
+    for (int j = 0; j < n; ++j) obj.add_term(vars[static_cast<std::size_t>(j)], rng.next_int(-5, 5));
+    m.set_objective(obj, Sense::kMaximize);
+
+    MilpOptions with, without;
+    with.presolve = true;
+    without.presolve = false;
+    const MilpResult a = solve_milp(m, with);
+    const MilpResult b = solve_milp(m, without);
+    ASSERT_EQ(a.status, b.status) << "trial " << trial;
+    if (a.status == MilpStatus::kOptimal) {
+      EXPECT_NEAR(a.objective, b.objective, 1e-6) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fsyn::ilp

@@ -1,0 +1,91 @@
+// Tests for the Table-1 reporting pipeline: row metrics, improvement
+// arithmetic and the formatted table.
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.hpp"
+#include "report/table1.hpp"
+
+namespace fsyn::report {
+namespace {
+
+synth::SynthesisOptions fast_options() {
+  synth::SynthesisOptions options;
+  options.heuristic.sa_iterations = 4000;
+  options.chip_sweep = 1;
+  return options;
+}
+
+TEST(Table1Row, ImprovementArithmetic) {
+  Table1Row row;
+  row.vs_tmax = 160;
+  row.vs1_max = 45;
+  row.vs2_max = 35;
+  row.traditional_valves = 83;
+  row.our_valves = 71;
+  EXPECT_NEAR(row.improvement1(), 0.71875, 1e-9);
+  EXPECT_NEAR(row.improvement2(), 0.78125, 1e-9);
+  EXPECT_NEAR(row.valve_improvement(), 1.0 - 71.0 / 83.0, 1e-9);
+}
+
+TEST(Table1Row, ZeroBaselineGivesZeroImprovement) {
+  Table1Row row;
+  EXPECT_EQ(row.improvement1(), 0.0);
+  EXPECT_EQ(row.valve_improvement(), 0.0);
+}
+
+TEST(RunCase, PcrP1ReproducesTable1Row) {
+  const auto g = assay::make_pcr();
+  const Table1Row row = run_case(g, 0, "p1", fast_options());
+  EXPECT_EQ(row.case_name, "pcr");
+  EXPECT_EQ(row.total_ops, 15);
+  EXPECT_EQ(row.mixing_ops, 7);
+  EXPECT_EQ(row.device_count, 3);
+  EXPECT_EQ(row.binding, "1-0-4-2");
+  EXPECT_EQ(row.vs_tmax, 160);
+  EXPECT_EQ(row.vs1_pump, 40);
+  EXPECT_EQ(row.vs2_pump, 30);
+  EXPECT_GT(row.improvement1(), 0.6);   // paper: 71.88%
+  EXPECT_GT(row.improvement2(), 0.7);   // paper: 78.13%
+  EXPECT_GT(row.runtime_seconds, 0.0);
+}
+
+TEST(RunCase, PolicyLabelAndIncrementsFlowThrough) {
+  const auto g = assay::make_pcr();
+  const Table1Row p2 = run_case(g, 1, "p2", fast_options());
+  EXPECT_EQ(p2.policy_label, "p2");
+  EXPECT_EQ(p2.binding, "1-0-(2,2)-2");
+  EXPECT_EQ(p2.vs_tmax, 80);
+  EXPECT_EQ(p2.device_count, 4);
+}
+
+TEST(FormatTable, ContainsHeaderRowsAndAverage) {
+  std::vector<Table1Row> rows(2);
+  rows[0].case_name = "pcr";
+  rows[0].total_ops = 15;
+  rows[0].mixing_ops = 7;
+  rows[0].policy_label = "p1";
+  rows[0].binding = "1-0-4-2";
+  rows[0].vs_tmax = 160;
+  rows[0].vs1_max = 45;
+  rows[0].vs1_pump = 40;
+  rows[0].vs2_max = 35;
+  rows[0].vs2_pump = 30;
+  rows[0].traditional_valves = 83;
+  rows[0].our_valves = 71;
+  rows[1] = rows[0];
+  rows[1].case_name = "mixing_tree";
+  const std::string text = format_table(rows);
+  EXPECT_NE(text.find("vs_tmax"), std::string::npos);
+  EXPECT_NE(text.find("15(7)"), std::string::npos);
+  EXPECT_NE(text.find("45(40)"), std::string::npos);
+  EXPECT_NE(text.find("71.88%"), std::string::npos);
+  EXPECT_NE(text.find("average"), std::string::npos);
+}
+
+TEST(FormatTable, EmptyRowsStillRender) {
+  const std::string text = format_table({});
+  EXPECT_NE(text.find("average"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fsyn::report

@@ -1,0 +1,212 @@
+// Tests for the router: path legality, storage pass-through with the
+// free-space rule, rip-up & re-route, congestion avoidance, and the
+// independent routing validator.
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.hpp"
+#include "route/router.hpp"
+#include "sched/list_scheduler.hpp"
+#include "synth/heuristic_mapper.hpp"
+
+namespace fsyn::route {
+namespace {
+
+using arch::DeviceInstance;
+using arch::DeviceType;
+using assay::OpId;
+using assay::OpKind;
+using assay::Operation;
+using assay::SequencingGraph;
+using synth::MappingProblem;
+using synth::Placement;
+
+Operation input_op(const std::string& name) {
+  Operation op;
+  op.kind = OpKind::kInput;
+  op.name = name;
+  return op;
+}
+
+Operation mix_op(const std::string& name, std::vector<OpId> parents, int volume,
+                 int duration) {
+  Operation op;
+  op.kind = OpKind::kMix;
+  op.name = name;
+  op.parents = std::move(parents);
+  op.volume = volume;
+  op.duration = duration;
+  return op;
+}
+
+struct Chain {
+  SequencingGraph graph{"chain"};
+  OpId a, b;
+
+  Chain() {
+    const OpId i1 = graph.add_operation(input_op("i1"));
+    const OpId i2 = graph.add_operation(input_op("i2"));
+    a = graph.add_operation(mix_op("a", {i1, i2}, 8, 6));
+    b = graph.add_operation(mix_op("b", {a}, 8, 6));
+    graph.validate();
+  }
+};
+
+TEST(Router, RoutesFillsTransfersAndDrains) {
+  Chain fx;
+  const auto schedule = sched::schedule_asap(fx.graph);
+  auto problem = MappingProblem::build(fx.graph, schedule, arch::Architecture(10, 10));
+  const auto mapping = synth::map_heuristic(problem);
+  ASSERT_TRUE(mapping.has_value());
+
+  const RoutingResult routing = route_all(problem, mapping->placement);
+  ASSERT_TRUE(routing.success);
+  validate_routing(problem, mapping->placement, routing);
+
+  int fills = 0, transfers = 0, drains = 0;
+  for (const RoutedPath& path : routing.paths) {
+    switch (path.kind) {
+      case TransportKind::kFill: ++fills; break;
+      case TransportKind::kTransfer: ++transfers; break;
+      case TransportKind::kDrain: ++drains; break;
+    }
+  }
+  EXPECT_EQ(fills, 2);      // i1, i2 -> a
+  EXPECT_EQ(transfers, 1);  // a -> b
+  EXPECT_EQ(drains, 1);     // b -> out
+}
+
+TEST(Router, PathsAreSortedChronologically) {
+  Chain fx;
+  const auto schedule = sched::schedule_asap(fx.graph);
+  auto problem = MappingProblem::build(fx.graph, schedule, arch::Architecture(10, 10));
+  const auto mapping = synth::map_heuristic(problem);
+  ASSERT_TRUE(mapping.has_value());
+  const RoutingResult routing = route_all(problem, mapping->placement);
+  ASSERT_TRUE(routing.success);
+  for (std::size_t i = 1; i < routing.paths.size(); ++i) {
+    EXPECT_LE(routing.paths[i - 1].time, routing.paths[i].time);
+  }
+}
+
+TEST(Router, TransferTimeIsProductArrival) {
+  Chain fx;
+  const auto schedule = sched::schedule_asap(fx.graph);
+  auto problem = MappingProblem::build(fx.graph, schedule, arch::Architecture(10, 10));
+  const auto mapping = synth::map_heuristic(problem);
+  ASSERT_TRUE(mapping.has_value());
+  const RoutingResult routing = route_all(problem, mapping->placement);
+  ASSERT_TRUE(routing.success);
+  for (const RoutedPath& path : routing.paths) {
+    if (path.kind != TransportKind::kTransfer) continue;
+    EXPECT_EQ(path.time, schedule.arrival_from(fx.a));
+  }
+}
+
+TEST(Router, OverlappingStorageGivesTrivialTransfer) {
+  // Place b's storage overlapping a's device: the product transfer should
+  // degenerate to a single shared cell (Fig. 7: sc becomes dc in place).
+  Chain fx;
+  const auto schedule = sched::schedule_asap(fx.graph);
+  auto problem = MappingProblem::build(fx.graph, schedule, arch::Architecture(10, 10));
+  Placement placement(2, DeviceInstance{DeviceType{2, 4}, Point{0, 0}});
+  placement[static_cast<std::size_t>(problem.task_of(fx.a))] = {DeviceType{2, 4}, Point{2, 2}};
+  placement[static_cast<std::size_t>(problem.task_of(fx.b))] = {DeviceType{2, 4}, Point{2, 2}};
+  problem.validate_placement(placement);
+  const RoutingResult routing = route_all(problem, placement);
+  ASSERT_TRUE(routing.success);
+  for (const RoutedPath& path : routing.paths) {
+    if (path.kind == TransportKind::kTransfer) EXPECT_EQ(path.length(), 1);
+  }
+}
+
+TEST(Router, AllBenchmarksRouteAfterMapping) {
+  for (const auto& name : assay::benchmark_names()) {
+    const auto g = assay::make_benchmark(name);
+    const auto schedule = sched::schedule_with_policy(g, sched::make_policy(g, 1));
+    const int side = arch::Architecture::sized_for(g, schedule, 1.0).width();
+    auto problem = MappingProblem::build(g, schedule, arch::Architecture(side, side));
+    synth::HeuristicOptions options;
+    options.sa_iterations = 4000;
+    const auto mapping = synth::map_heuristic(problem, options);
+    ASSERT_TRUE(mapping.has_value()) << name;
+    const RoutingResult routing = route_all(problem, mapping->placement);
+    ASSERT_TRUE(routing.success) << name << ": " << routing.failure;
+    validate_routing(problem, mapping->placement, routing);
+    EXPECT_GT(routing.total_cells, 0) << name;
+  }
+}
+
+TEST(Router, ValidatorRejectsCorruptedPaths) {
+  Chain fx;
+  const auto schedule = sched::schedule_asap(fx.graph);
+  auto problem = MappingProblem::build(fx.graph, schedule, arch::Architecture(10, 10));
+  const auto mapping = synth::map_heuristic(problem);
+  ASSERT_TRUE(mapping.has_value());
+  RoutingResult routing = route_all(problem, mapping->placement);
+  ASSERT_TRUE(routing.success);
+
+  {
+    RoutingResult broken = routing;
+    // Disconnect the first multi-cell path.
+    for (RoutedPath& path : broken.paths) {
+      if (path.cells.size() >= 3) {
+        path.cells.erase(path.cells.begin() + 1);
+        break;
+      }
+    }
+    EXPECT_THROW(validate_routing(problem, mapping->placement, broken), LogicError);
+  }
+  {
+    RoutingResult broken = routing;
+    broken.paths.front().cells = {Point{-1, 0}};
+    EXPECT_THROW(validate_routing(problem, mapping->placement, broken), LogicError);
+  }
+  {
+    RoutingResult failed;
+    failed.success = false;
+    EXPECT_THROW(validate_routing(problem, mapping->placement, failed), LogicError);
+  }
+}
+
+TEST(Router, CongestionPenaltyDiscouragesSharedCellsAtSameTime) {
+  // Two concurrent fills from the same ports: with a strong penalty the
+  // two paths should overlap less than with none.
+  SequencingGraph g("parallel");
+  std::vector<OpId> in;
+  for (int i = 0; i < 4; ++i) in.push_back(g.add_operation(input_op("i" + std::to_string(i))));
+  g.add_operation(mix_op("a", {in[0], in[1]}, 8, 6));
+  g.add_operation(mix_op("b", {in[2], in[3]}, 8, 6));
+  g.validate();
+  const auto schedule = sched::schedule_asap(g);
+  auto problem = MappingProblem::build(g, schedule, arch::Architecture(12, 12));
+  const auto mapping = synth::map_heuristic(problem);
+  ASSERT_TRUE(mapping.has_value());
+
+  auto shared_cells = [&](const RoutingResult& routing) {
+    int shared = 0;
+    for (std::size_t i = 0; i < routing.paths.size(); ++i) {
+      for (std::size_t j = i + 1; j < routing.paths.size(); ++j) {
+        const auto& pa = routing.paths[i];
+        const auto& pb = routing.paths[j];
+        if (pa.time != pb.time) continue;
+        for (const Point& cell : pa.cells) {
+          shared += std::count(pb.cells.begin(), pb.cells.end(), cell);
+        }
+      }
+    }
+    return shared;
+  };
+
+  RouterOptions none;
+  none.congestion_penalty = 0.0;
+  RouterOptions strong;
+  strong.congestion_penalty = 50.0;
+  const RoutingResult loose = route_all(problem, mapping->placement, none);
+  const RoutingResult tight = route_all(problem, mapping->placement, strong);
+  ASSERT_TRUE(loose.success);
+  ASSERT_TRUE(tight.success);
+  EXPECT_LE(shared_cells(tight), shared_cells(loose));
+}
+
+}  // namespace
+}  // namespace fsyn::route

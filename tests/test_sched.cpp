@@ -1,0 +1,188 @@
+// Tests for scheduling: ASAP (must reproduce the paper's Fig. 9 PCR Gantt),
+// policy generation (must reproduce the #m / #d patterns of Table 1) and
+// resource-constrained list scheduling invariants.
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.hpp"
+#include "sched/gantt.hpp"
+#include "sched/list_scheduler.hpp"
+#include "util/error.hpp"
+
+namespace fsyn::sched {
+namespace {
+
+using assay::OpId;
+using assay::OpKind;
+
+int start_of(const Schedule& s, const std::string& name) {
+  for (const auto& op : s.graph->operations()) {
+    if (op.name == name) return s.start_of(op.id);
+  }
+  throw Error("missing op " + name);
+}
+int end_of(const Schedule& s, const std::string& name) {
+  for (const auto& op : s.graph->operations()) {
+    if (op.name == name) return s.end_of(op.id);
+  }
+  throw Error("missing op " + name);
+}
+
+// Fig. 9: o3/o4 end at 3, o6 runs 6..12, o2 ends at 12, o1 at 15,
+// o5 runs 18..22, o7 runs 25..29.
+TEST(AsapSchedule, ReproducesFig9ForPcr) {
+  const auto g = assay::make_pcr();
+  const Schedule s = schedule_asap(g);
+  EXPECT_EQ(end_of(s, "o3"), 3);
+  EXPECT_EQ(end_of(s, "o4"), 3);
+  EXPECT_EQ(start_of(s, "o6"), 6);
+  EXPECT_EQ(end_of(s, "o6"), 12);
+  EXPECT_EQ(end_of(s, "o2"), 12);
+  EXPECT_EQ(end_of(s, "o1"), 15);
+  EXPECT_EQ(start_of(s, "o5"), 18);
+  EXPECT_EQ(end_of(s, "o5"), 22);
+  EXPECT_EQ(start_of(s, "o7"), 25);
+  EXPECT_EQ(end_of(s, "o7"), 29);
+  EXPECT_EQ(s.makespan(), 29);
+}
+
+TEST(AsapSchedule, StorageWindowsMatchFig9) {
+  const auto g = assay::make_pcr();
+  const Schedule s = schedule_asap(g);
+  // s6 collects o3/o4 products from 3+3=6 == o6 start (no storage wait);
+  // s5 exists from o2's product arrival (12+3=15) until o5 starts at 18;
+  // s7 exists from o5's... o6 ends 12, arrival 15; o5 ends 22, arrival 25.
+  const OpId o5 = s.graph->operations()[12].id;  // 8 inputs + o1..o4 -> index 12
+  const OpId o7 = s.graph->operations()[14].id;
+  EXPECT_EQ(s.graph->op(o5).name, "o5");
+  EXPECT_EQ(s.graph->op(o7).name, "o7");
+  EXPECT_EQ(s.earliest_product_arrival(o5), 15);
+  EXPECT_EQ(s.earliest_product_arrival(o7), 15);
+}
+
+TEST(AsapSchedule, ValidatesOnAllBenchmarks) {
+  for (const auto& name : assay::benchmark_names()) {
+    const auto g = assay::make_benchmark(name);
+    const Schedule s = schedule_asap(g);
+    EXPECT_NO_THROW(s.validate()) << name;
+    EXPECT_GT(s.makespan(), 0) << name;
+  }
+}
+
+TEST(Policy, BalancedLoad) {
+  EXPECT_EQ(Policy::balanced_load(4, 1), 4);
+  EXPECT_EQ(Policy::balanced_load(4, 2), 2);
+  EXPECT_EQ(Policy::balanced_load(5, 2), 3);
+  EXPECT_EQ(Policy::balanced_load(0, 3), 0);
+  EXPECT_THROW(Policy::balanced_load(1, 0), LogicError);
+}
+
+// Table 1 policy patterns.  PCR p1..p3 use 0..2 increments; Interp p1..p3
+// use 1..3; Exponential p1..p3 use 3..5 (see DESIGN.md §3.2).
+TEST(Policy, PcrMatchesTable1) {
+  const auto g = assay::make_pcr();
+  const Policy p1 = make_policy(g, 0);
+  EXPECT_EQ(p1.mixers_per_volume, (std::map<int, int>{{4, 1}, {8, 1}, {10, 1}}));
+  EXPECT_EQ(p1.device_count(), 3);  // #d = 3, PCR has no detect ops
+  const Policy p2 = make_policy(g, 1);
+  EXPECT_EQ(p2.mixers_per_volume, (std::map<int, int>{{4, 1}, {8, 2}, {10, 1}}));
+  EXPECT_EQ(p2.device_count(), 4);
+  const Policy p3 = make_policy(g, 2);
+  EXPECT_EQ(p3.mixers_per_volume, (std::map<int, int>{{4, 1}, {8, 3}, {10, 2}}));
+  EXPECT_EQ(p3.device_count(), 6);
+}
+
+TEST(Policy, MixingTreeMatchesTable1) {
+  const auto g = assay::make_mixing_tree();
+  EXPECT_EQ(make_policy(g, 0).mixers_per_volume,
+            (std::map<int, int>{{4, 1}, {6, 1}, {8, 1}, {10, 1}}));
+  EXPECT_EQ(make_policy(g, 1).mixers_per_volume,
+            (std::map<int, int>{{4, 1}, {6, 1}, {8, 1}, {10, 2}}));
+  EXPECT_EQ(make_policy(g, 2).mixers_per_volume,
+            (std::map<int, int>{{4, 1}, {6, 1}, {8, 2}, {10, 2}}));
+}
+
+TEST(Policy, InterpolatingDilutionMatchesTable1) {
+  const auto g = assay::make_interpolating_dilution();
+  EXPECT_EQ(make_policy(g, 1).mixers_per_volume,
+            (std::map<int, int>{{4, 1}, {6, 1}, {8, 1}, {10, 2}}));
+  EXPECT_EQ(make_policy(g, 2).mixers_per_volume,
+            (std::map<int, int>{{4, 1}, {6, 2}, {8, 2}, {10, 2}}));
+  EXPECT_EQ(make_policy(g, 3).mixers_per_volume,
+            (std::map<int, int>{{4, 1}, {6, 2}, {8, 2}, {10, 3}}));
+}
+
+TEST(Policy, ExponentialDilutionMatchesTable1) {
+  const auto g = assay::make_exponential_dilution();
+  EXPECT_EQ(make_policy(g, 3).mixers_per_volume,
+            (std::map<int, int>{{4, 1}, {6, 2}, {8, 2}, {10, 2}}));
+  EXPECT_EQ(make_policy(g, 4).mixers_per_volume,
+            (std::map<int, int>{{4, 1}, {6, 3}, {8, 2}, {10, 2}}));
+  EXPECT_EQ(make_policy(g, 5).mixers_per_volume,
+            (std::map<int, int>{{4, 1}, {6, 3}, {8, 3}, {10, 2}}));
+}
+
+TEST(Policy, FormatBindingMatchesPaperNotation) {
+  const auto g = assay::make_pcr();
+  const std::map<int, int> ops{{4, 1}, {8, 4}, {10, 2}};
+  const std::vector<int> volumes{4, 6, 8, 10};
+  EXPECT_EQ(make_policy(g, 0).format_binding(ops, volumes), "1-0-4-2");
+  EXPECT_EQ(make_policy(g, 1).format_binding(ops, volumes), "1-0-(2,2)-2");
+  EXPECT_EQ(make_policy(g, 2).format_binding(ops, volumes), "1-0-(2,1,1)-(1,1)");
+}
+
+TEST(ListScheduler, RespectsResourceLimits) {
+  const auto g = assay::make_pcr();
+  const Policy p1 = make_policy(g, 0);  // single size-8 mixer
+  const Schedule s = schedule_with_policy(g, p1);
+  s.validate();
+  // o1..o4 all need the one size-8 mixer: no two of them may overlap.
+  std::vector<std::pair<int, int>> intervals;
+  for (const auto& op : g.operations()) {
+    if (op.kind == OpKind::kMix && op.volume == 8) {
+      intervals.push_back({s.start_of(op.id), s.end_of(op.id)});
+    }
+  }
+  ASSERT_EQ(intervals.size(), 4u);
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    for (std::size_t j = i + 1; j < intervals.size(); ++j) {
+      const bool disjoint = intervals[i].second <= intervals[j].first ||
+                            intervals[j].second <= intervals[i].first;
+      EXPECT_TRUE(disjoint) << "size-8 ops overlap on the single mixer";
+    }
+  }
+}
+
+TEST(ListScheduler, MorePolicyMixersNeverSlower) {
+  for (const auto& name : assay::benchmark_names()) {
+    const auto g = assay::make_benchmark(name);
+    int previous = std::numeric_limits<int>::max();
+    for (int increments = 0; increments < 4; ++increments) {
+      const Schedule s = schedule_with_policy(g, make_policy(g, increments));
+      s.validate();
+      EXPECT_LE(s.makespan(), previous) << name << " increments=" << increments;
+      previous = s.makespan();
+    }
+  }
+}
+
+TEST(ListScheduler, PolicyWithoutRequiredMixerThrows) {
+  const auto g = assay::make_pcr();
+  Policy broken;
+  broken.mixers_per_volume = {{4, 1}};  // missing volumes 8 and 10
+  EXPECT_THROW(schedule_with_policy(g, broken), Error);
+}
+
+TEST(Gantt, RendersBarsForPcr) {
+  const auto g = assay::make_pcr();
+  const Schedule s = schedule_asap(g);
+  const std::string chart = render_gantt(s);
+  // One row per mix op, bars proportional to duration.
+  EXPECT_NE(chart.find("o1"), std::string::npos);
+  EXPECT_NE(chart.find("o7"), std::string::npos);
+  EXPECT_NE(chart.find("==="), std::string::npos);
+  EXPECT_NE(chart.find("..."), std::string::npos);  // storage window (s5/s7)
+  EXPECT_NE(chart.find("tu"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fsyn::sched

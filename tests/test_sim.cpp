@@ -1,0 +1,170 @@
+// Tests for actuation accounting and the chip simulator: conservation,
+// setting-2 rescaling, valve-removal counting, snapshots and the
+// independent invariant audit.
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.hpp"
+#include "route/router.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "synth/heuristic_mapper.hpp"
+
+namespace fsyn::sim {
+namespace {
+
+using route::RoutingResult;
+using synth::MappingProblem;
+
+struct Synthesized {
+  assay::SequencingGraph graph{"empty"};
+  sched::Schedule schedule;
+  MappingProblem problem;
+  synth::Placement placement;
+  route::RoutingResult routing;
+};
+
+/// Heap-allocated so `problem`'s pointers into graph/schedule stay valid
+/// regardless of how the fixture is handed around.
+std::unique_ptr<Synthesized> synthesize_pcr() {
+  auto out = std::make_unique<Synthesized>();
+  out->graph = assay::make_pcr();
+  out->schedule = sched::schedule_asap(out->graph);
+  out->problem = MappingProblem::build(out->graph, out->schedule, arch::Architecture(11, 11));
+  const auto mapping = synth::map_heuristic(out->problem);
+  if (!mapping.has_value()) throw Error("pcr mapping failed in test fixture");
+  out->placement = mapping->placement;
+  out->routing = route::route_all(out->problem, out->placement);
+  if (!out->routing.success) throw Error("pcr routing failed in test fixture");
+  return out;
+}
+
+TEST(Actuation, PumpConservationSetting1) {
+  const auto s = synthesize_pcr();
+  const ActuationLedger ledger =
+      account(s->problem, s->placement, s->routing, Setting::kConservative);
+  // Every mix op charges p_i to each of its ring valves.
+  long expected = 0;
+  for (const auto& task : s->problem.tasks()) {
+    if (task.is_mix) expected += 40L * task.volume;
+  }
+  EXPECT_EQ(ledger.total_pump_actuations(), expected);
+  EXPECT_GE(ledger.max_pump(), 40);
+}
+
+TEST(Actuation, Setting2RescalesToDedicatedBudget) {
+  const auto s = synthesize_pcr();
+  const ActuationLedger ledger = account(s->problem, s->placement, s->routing, Setting::kRescaled);
+  // Total per op is ~120 (ceil rounding may add a little).
+  long expected_min = 0, expected_max = 0;
+  for (const auto& task : s->problem.tasks()) {
+    if (!task.is_mix) continue;
+    expected_min += 120;
+    expected_max += 120 + task.volume;  // ceil adds < 1 per valve
+  }
+  EXPECT_GE(ledger.total_pump_actuations(), expected_min);
+  EXPECT_LE(ledger.total_pump_actuations(), expected_max);
+  // Setting 2 never exceeds setting 1 per valve (rings have >= 3 valves).
+  const ActuationLedger s1 = account(s->problem, s->placement, s->routing, Setting::kConservative);
+  EXPECT_LE(ledger.max_pump(), s1.max_pump());
+}
+
+TEST(Actuation, ControlCountsTwoPerPathCell) {
+  const auto s = synthesize_pcr();
+  const ActuationLedger ledger =
+      account(s->problem, s->placement, s->routing, Setting::kConservative);
+  long control_sum = 0;
+  for (const int v : ledger.control) control_sum += v;
+  EXPECT_EQ(control_sum, 2L * s->routing.total_cells);
+}
+
+TEST(Actuation, ValveCountsOnlyActuatedCells) {
+  const auto s = synthesize_pcr();
+  const ActuationLedger ledger =
+      account(s->problem, s->placement, s->routing, Setting::kConservative);
+  const int valves = ledger.actuated_valve_count();
+  EXPECT_GT(valves, 0);
+  EXPECT_LT(valves, s->problem.chip().virtual_valve_count());
+  // Consistency with the total grid.
+  int manual = 0;
+  const Grid<int> total = ledger.total();
+  for (const int v : total) manual += v > 0;
+  EXPECT_EQ(valves, manual);
+}
+
+TEST(Simulator, VerifyPassesOnValidSynthesis) {
+  const auto s = synthesize_pcr();
+  ChipSimulator simulator(s->problem, s->placement, s->routing, Setting::kConservative);
+  EXPECT_NO_THROW(simulator.verify());
+}
+
+TEST(Simulator, SnapshotsAreMonotoneAndMatchLedger) {
+  const auto s = synthesize_pcr();
+  ChipSimulator simulator(s->problem, s->placement, s->routing, Setting::kConservative);
+  const auto times = simulator.interesting_times();
+  ASSERT_FALSE(times.empty());
+  Grid<int> previous(s->problem.chip().width(), s->problem.chip().height(), 0);
+  for (const int t : times) {
+    const Snapshot snap = simulator.snapshot_at(t);
+    snap.cumulative.for_each([&](const Point& p, const int& v) {
+      EXPECT_GE(v, previous.at(p)) << "actuations decreased at " << p << " t=" << t;
+    });
+    previous = snap.cumulative;
+  }
+  const ActuationLedger ledger = simulator.verify();
+  const Grid<int> total = ledger.total();
+  bool equal = true;
+  total.for_each([&](const Point& p, const int& v) {
+    if (previous.at(p) != v) equal = false;
+  });
+  EXPECT_TRUE(equal);
+}
+
+TEST(Simulator, SnapshotRenderShowsCountsAndWalls) {
+  const auto s = synthesize_pcr();
+  ChipSimulator simulator(s->problem, s->placement, s->routing, Setting::kConservative);
+  const Snapshot mid = simulator.snapshot_at(10);
+  const std::string text = mid.render();
+  EXPECT_NE(text.find("t = 10 tu"), std::string::npos);
+  EXPECT_NE(text.find("40"), std::string::npos);  // a running/finished mixer ring
+  EXPECT_NE(text.find('.'), std::string::npos);   // functionless walls
+}
+
+TEST(Simulator, SnapshotListsLiveDevices) {
+  const auto s = synthesize_pcr();
+  ChipSimulator simulator(s->problem, s->placement, s->routing, Setting::kConservative);
+  // t=2: o1..o4 run (Fig. 10(a) shows O3/O4 running at t=2).
+  const Snapshot snap = simulator.snapshot_at(2);
+  EXPECT_GE(snap.live.size(), 2u);
+  bool any_mixer = false;
+  for (const std::string& entry : snap.live) {
+    if (entry.find("mixer") != std::string::npos) any_mixer = true;
+  }
+  EXPECT_TRUE(any_mixer);
+}
+
+TEST(Simulator, VerifyCatchesOverlappingLiveDevices) {
+  // Hand-build a corrupted placement that validate_placement would reject;
+  // the simulator's independent audit must reject it too.
+  const auto s = synthesize_pcr();
+  synth::Placement corrupted = s->placement;
+  // Find two tasks with overlapping device windows and collide them.
+  int a = -1, b = -1;
+  for (int i = 0; i < s->problem.task_count() && a < 0; ++i) {
+    for (int j = i + 1; j < s->problem.task_count(); ++j) {
+      const auto& ti = s->problem.task(i);
+      const auto& tj = s->problem.task(j);
+      if (std::max(ti.start, tj.start) < std::min(ti.release, tj.release)) {
+        a = i;
+        b = j;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(a, 0);
+  corrupted[static_cast<std::size_t>(b)] = corrupted[static_cast<std::size_t>(a)];
+  EXPECT_THROW(ChipSimulator(s->problem, corrupted, s->routing, Setting::kConservative),
+               LogicError);
+}
+
+}  // namespace
+}  // namespace fsyn::sim

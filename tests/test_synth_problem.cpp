@@ -1,0 +1,263 @@
+// Tests for the mapping-problem semantics: task timelines, pair
+// feasibility (non-overlap, storage overlap, routing convenience), the
+// free-space rule, load accounting in both settings, and candidate
+// enumeration.
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.hpp"
+#include "sched/list_scheduler.hpp"
+#include "synth/mapping_problem.hpp"
+#include "util/error.hpp"
+
+namespace fsyn::synth {
+namespace {
+
+using arch::DeviceInstance;
+using arch::DeviceType;
+using assay::OpId;
+using assay::OpKind;
+using assay::Operation;
+using assay::SequencingGraph;
+
+Operation input_op(const std::string& name) {
+  Operation op;
+  op.kind = OpKind::kInput;
+  op.name = name;
+  return op;
+}
+
+Operation mix_op(const std::string& name, std::vector<OpId> parents, int volume,
+                 int duration, std::vector<int> ratio = {}) {
+  Operation op;
+  op.kind = OpKind::kMix;
+  op.name = name;
+  op.parents = std::move(parents);
+  op.volume = volume;
+  op.duration = duration;
+  op.ratio = std::move(ratio);
+  return op;
+}
+
+/// Two leaf mixes feeding a third (the smallest interesting problem).
+struct Fixture {
+  SequencingGraph graph{"fixture"};
+  OpId a, b, c;
+
+  Fixture() {
+    const OpId i1 = graph.add_operation(input_op("i1"));
+    const OpId i2 = graph.add_operation(input_op("i2"));
+    const OpId i3 = graph.add_operation(input_op("i3"));
+    const OpId i4 = graph.add_operation(input_op("i4"));
+    a = graph.add_operation(mix_op("a", {i1, i2}, 8, 6));
+    b = graph.add_operation(mix_op("b", {i3, i4}, 8, 9));
+    c = graph.add_operation(mix_op("c", {a, b}, 8, 5));
+    graph.validate();
+  }
+};
+
+TEST(MappingProblem, TaskTimeline) {
+  Fixture fx;
+  const auto schedule = sched::schedule_asap(fx.graph);
+  auto problem = MappingProblem::build(fx.graph, schedule, arch::Architecture(10, 10));
+  ASSERT_EQ(problem.task_count(), 3);
+
+  const MappingTask& ta = problem.task(problem.task_of(fx.a));
+  const MappingTask& tc = problem.task(problem.task_of(fx.c));
+  // a: starts at 0, ends 6, product leaves by 9.
+  EXPECT_EQ(ta.start, 0);
+  EXPECT_EQ(ta.release, 9);
+  EXPECT_FALSE(ta.has_storage_phase());  // inputs need no storage
+  // c: a's product arrives at 9, b ends at 9, so c starts at 12 and its
+  // storage window is [9, 12).
+  EXPECT_EQ(tc.storage_from, 9);
+  EXPECT_EQ(tc.start, 12);
+  EXPECT_TRUE(tc.has_storage_phase());
+  EXPECT_EQ(tc.occupancy_begin(), 9);
+}
+
+TEST(MappingProblem, ParentChildAndCoParents) {
+  Fixture fx;
+  const auto schedule = sched::schedule_asap(fx.graph);
+  auto problem = MappingProblem::build(fx.graph, schedule, arch::Architecture(10, 10));
+  const int ia = problem.task_of(fx.a), ib = problem.task_of(fx.b), ic = problem.task_of(fx.c);
+  EXPECT_TRUE(problem.parent_child(ia, ic));
+  EXPECT_TRUE(problem.parent_child(ic, ib));
+  EXPECT_FALSE(problem.parent_child(ia, ib));
+  EXPECT_TRUE(problem.co_parents(ia, ib));
+  EXPECT_FALSE(problem.co_parents(ia, ic));
+}
+
+TEST(MappingProblem, ConcurrentUnrelatedTasksNeedAWallGap) {
+  Fixture fx;
+  const auto schedule = sched::schedule_asap(fx.graph);
+  auto problem = MappingProblem::build(fx.graph, schedule, arch::Architecture(12, 12));
+  const int ia = problem.task_of(fx.a), ib = problem.task_of(fx.b);
+  const DeviceInstance da{DeviceType{2, 4}, Point{0, 0}};
+  EXPECT_FALSE(problem.pair_feasible(ia, da, ib, DeviceInstance{DeviceType{2, 4}, Point{1, 0}}));
+  EXPECT_FALSE(problem.pair_feasible(ia, da, ib, DeviceInstance{DeviceType{2, 4}, Point{2, 0}}));
+  EXPECT_TRUE(problem.pair_feasible(ia, da, ib, DeviceInstance{DeviceType{2, 4}, Point{3, 0}}));
+}
+
+TEST(MappingProblem, RoutingConvenienceBoundsParentChildDistance) {
+  Fixture fx;
+  const auto schedule = sched::schedule_asap(fx.graph);
+  auto problem = MappingProblem::build(fx.graph, schedule, arch::Architecture(14, 14));
+  const int ia = problem.task_of(fx.a), ic = problem.task_of(fx.c);
+  EXPECT_EQ(problem.routing_distance(), 2);
+  const DeviceInstance da{DeviceType{2, 4}, Point{0, 0}};
+  // gap 2 is allowed, gap 3 is not (d = 2).
+  EXPECT_TRUE(problem.pair_feasible(ia, da, ic, DeviceInstance{DeviceType{2, 4}, Point{4, 0}}));
+  EXPECT_FALSE(problem.pair_feasible(ia, da, ic, DeviceInstance{DeviceType{2, 4}, Point{5, 0}}));
+  // Disabling routing convenience lifts the bound.
+  problem.set_routing_convenient(false);
+  EXPECT_TRUE(problem.pair_feasible(ia, da, ic, DeviceInstance{DeviceType{2, 4}, Point{9, 0}}));
+}
+
+TEST(MappingProblem, StorageMayOverlapParentWithinFreeSpace) {
+  Fixture fx;
+  const auto schedule = sched::schedule_asap(fx.graph);
+  auto problem = MappingProblem::build(fx.graph, schedule, arch::Architecture(12, 12));
+  const int ib = problem.task_of(fx.b), ic = problem.task_of(fx.c);
+
+  // c's storage opens at 9 with a's product inside (4 of 8 cells, equal
+  // parts).  While b is live (release 12 > 9), overlapping c's ring by up
+  // to 4 cells is legal.
+  EXPECT_EQ(problem.storage_occupied_before(ic, problem.task(ib).release), 4);
+
+  const DeviceInstance db{DeviceType{2, 4}, Point{0, 0}};
+  // c fully on top of b: ring overlap = 8 cells > 4 free.
+  const DeviceInstance dc_heavy{DeviceType{2, 4}, Point{0, 0}};
+  EXPECT_FALSE(problem.storage_overlap_fits(ib, db, ic, dc_heavy));
+  EXPECT_FALSE(problem.pair_feasible(ib, db, ic, dc_heavy));
+  // c as 4x2 overlapping only b's 2x2 lower corner: 4 cells <= 4 free.
+  const DeviceInstance dc_light{DeviceType{4, 2}, Point{0, 0}};
+  EXPECT_TRUE(problem.storage_overlap_fits(ib, db, ic, dc_light));
+  EXPECT_TRUE(problem.pair_feasible(ib, db, ic, dc_light));
+}
+
+TEST(MappingProblem, ForbiddingStorageOverlapTurnsPairStrict) {
+  Fixture fx;
+  const auto schedule = sched::schedule_asap(fx.graph);
+  auto problem = MappingProblem::build(fx.graph, schedule, arch::Architecture(12, 12));
+  const int ib = problem.task_of(fx.b), ic = problem.task_of(fx.c);
+  const DeviceInstance db{DeviceType{2, 4}, Point{0, 0}};
+  const DeviceInstance dc{DeviceType{4, 2}, Point{0, 0}};
+  ASSERT_TRUE(problem.pair_feasible(ib, db, ic, dc));
+  problem.forbid_storage_overlap(ib, ic);
+  EXPECT_TRUE(problem.storage_overlap_forbidden(ic, ib));  // order-insensitive
+  EXPECT_FALSE(problem.pair_feasible(ib, db, ic, dc));
+  // Globally disabling the relaxation has the same effect.
+  auto strict = MappingProblem::build(fx.graph, schedule, arch::Architecture(12, 12));
+  strict.set_allow_storage_overlap(false);
+  EXPECT_FALSE(strict.pair_feasible(ib, db, ic, dc));
+}
+
+TEST(MappingProblem, RatioWeightsStorageOccupancy) {
+  // A 1:3 mix: the early parent contributes only 1/4 of the volume.
+  SequencingGraph g("ratio");
+  const OpId i1 = g.add_operation(input_op("i1"));
+  const OpId i2 = g.add_operation(input_op("i2"));
+  const OpId i3 = g.add_operation(input_op("i3"));
+  const OpId i4 = g.add_operation(input_op("i4"));
+  const OpId a = g.add_operation(mix_op("a", {i1, i2}, 8, 3));
+  const OpId b = g.add_operation(mix_op("b", {i3, i4}, 8, 9));
+  g.add_operation(mix_op("c", {a, b}, 8, 5, {1, 3}));
+  g.validate();
+  const auto schedule = sched::schedule_asap(g);
+  auto problem = MappingProblem::build(g, schedule, arch::Architecture(12, 12));
+  const int ib = problem.task_of(b);
+  const int ic = problem.task_of(g.op(OpId{6}).id);
+  // a contributes ceil(8 * 1/4) = 2 cells; 6 cells remain free while b runs.
+  EXPECT_EQ(problem.storage_occupied_before(ic, problem.task(ib).release), 2);
+}
+
+TEST(MappingProblem, TimeDisjointTasksShareAreaFreely) {
+  // Sequential chain long enough that a and c's grandchild never coexist…
+  // simpler: two mixes scheduled far apart via a long middle op.
+  SequencingGraph g("disjoint");
+  const OpId i1 = g.add_operation(input_op("i1"));
+  const OpId i2 = g.add_operation(input_op("i2"));
+  const OpId a = g.add_operation(mix_op("a", {i1, i2}, 8, 4));
+  const OpId b = g.add_operation(mix_op("b", {a}, 8, 4));
+  const OpId c = g.add_operation(mix_op("c", {b}, 8, 4));
+  g.validate();
+  const auto schedule = sched::schedule_asap(g);
+  auto problem = MappingProblem::build(g, schedule, arch::Architecture(10, 10));
+  const int ia = problem.task_of(a), ic = problem.task_of(c);
+  ASSERT_FALSE(problem.time_overlap(ia, ic));
+  // Identical footprints are fine for time-disjoint unrelated tasks.
+  const DeviceInstance d{DeviceType{2, 4}, Point{0, 0}};
+  EXPECT_TRUE(problem.pair_feasible(ia, d, ic, d));
+}
+
+TEST(MappingProblem, PumpLoadsBothSettings) {
+  Fixture fx;
+  const auto schedule = sched::schedule_asap(fx.graph);
+  auto problem = MappingProblem::build(fx.graph, schedule, arch::Architecture(12, 12));
+  Placement placement(3, DeviceInstance{DeviceType{2, 4}, Point{0, 0}});
+  placement[static_cast<std::size_t>(problem.task_of(fx.a))] = {DeviceType{2, 4}, Point{0, 0}};
+  placement[static_cast<std::size_t>(problem.task_of(fx.b))] = {DeviceType{2, 4}, Point{3, 0}};
+  placement[static_cast<std::size_t>(problem.task_of(fx.c))] = {DeviceType{2, 4}, Point{0, 4}};
+  problem.validate_placement(placement);
+
+  // Setting 1: all rings disjoint -> max 40; conservation: 3 ops x 8 x 40.
+  EXPECT_EQ(problem.max_pump_load(placement), kPumpActuationsPerMix);
+  const auto loads = problem.pump_loads(placement);
+  long sum = 0;
+  for (const int v : loads) sum += v;
+  EXPECT_EQ(sum, 3L * 8 * kPumpActuationsPerMix);
+
+  // Setting 2: per-valve work is ceil(120/8) = 15.
+  EXPECT_EQ(problem.max_pump_load_setting2(placement), 15);
+}
+
+TEST(MappingProblem, ValidatePlacementRejectsViolations) {
+  Fixture fx;
+  const auto schedule = sched::schedule_asap(fx.graph);
+  auto problem = MappingProblem::build(fx.graph, schedule, arch::Architecture(12, 12));
+  Placement bad(3, DeviceInstance{DeviceType{2, 4}, Point{0, 0}});
+  // a and b concurrent at the same location.
+  EXPECT_THROW(problem.validate_placement(bad), LogicError);
+  // Wrong size vector.
+  EXPECT_THROW(problem.validate_placement(Placement{}), LogicError);
+  // Off-chip placement.
+  Placement off(3, DeviceInstance{DeviceType{2, 4}, Point{0, 0}});
+  off[1] = {DeviceType{2, 4}, Point{11, 11}};
+  EXPECT_THROW(problem.validate_placement(off), LogicError);
+}
+
+TEST(MappingProblem, CandidatesExcludePortCells) {
+  Fixture fx;
+  const auto schedule = sched::schedule_asap(fx.graph);
+  auto problem = MappingProblem::build(fx.graph, schedule, arch::Architecture(10, 10));
+  for (int i = 0; i < problem.task_count(); ++i) {
+    const auto candidates = problem.candidates_for(i);
+    EXPECT_FALSE(candidates.empty());
+    for (const DeviceInstance& c : candidates) {
+      for (const arch::ChipPort& port : problem.chip().ports()) {
+        EXPECT_FALSE(c.footprint().contains(port.cell))
+            << "candidate covers port " << port.name;
+      }
+    }
+  }
+}
+
+TEST(MappingProblem, DetectTasksHaveNoPumpActuations) {
+  const auto g = assay::make_interpolating_dilution();
+  const auto schedule = sched::schedule_asap(g);
+  auto problem = MappingProblem::build(g, schedule, arch::Architecture(20, 20));
+  int detect_tasks = 0;
+  for (const MappingTask& task : problem.tasks()) {
+    if (!task.is_mix) {
+      ++detect_tasks;
+      EXPECT_EQ(task.pump_actuations, 0);
+      EXPECT_EQ(task.volume, 4);
+    } else {
+      EXPECT_EQ(task.pump_actuations, kPumpActuationsPerMix);
+    }
+  }
+  EXPECT_EQ(detect_tasks, 4);
+}
+
+}  // namespace
+}  // namespace fsyn::synth

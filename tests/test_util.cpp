@@ -1,0 +1,143 @@
+// Unit tests for the util module: errors, strings, table printing, RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace fsyn {
+namespace {
+
+TEST(Error, RequireThrowsLogicErrorWithLocation) {
+  try {
+    require(false, "boom");
+    FAIL() << "require(false) must throw";
+  } catch (const LogicError& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_util.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, RequireTruePasses) { EXPECT_NO_THROW(require(true, "fine")); }
+
+TEST(Error, CheckInputThrowsError) {
+  EXPECT_THROW(check_input(false, "bad"), Error);
+  EXPECT_NO_THROW(check_input(true, "good"));
+}
+
+TEST(Strings, TrimStripsBothEnds) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto fields = split("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmptyFields) {
+  const auto fields = split_whitespace("  mix  o1\t o2 \n");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "mix");
+  EXPECT_EQ(fields[1], "o1");
+  EXPECT_EQ(fields[2], "o2");
+}
+
+TEST(Strings, ParseIntAcceptsValidRejectsJunk) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int(" 7 "), 7);
+  EXPECT_EQ(parse_int("-3"), -3);
+  EXPECT_THROW(parse_int("4x"), Error);
+  EXPECT_THROW(parse_int(""), Error);
+  EXPECT_THROW(parse_int("1.5"), Error);
+}
+
+TEST(Strings, ParseDoubleAcceptsValidRejectsJunk) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("-1e3"), -1000.0);
+  EXPECT_THROW(parse_double("abc"), Error);
+  EXPECT_THROW(parse_double("1.2.3"), Error);
+}
+
+TEST(Strings, JoinAndFormat) {
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(join({}, "-"), "");
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_percent(0.7297), "72.97%");
+  EXPECT_EQ(format_percent(-0.0039), "-0.39%");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t;
+  t.set_header({"case", "value"});
+  t.set_alignment({Align::kLeft, Align::kRight});
+  t.add_row({"PCR", "160"});
+  t.add_row({"MixingTree", "9"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| case       | value |"), std::string::npos);
+  EXPECT_NE(out.find("| PCR        |   160 |"), std::string::npos);
+  EXPECT_NE(out.find("| MixingTree |     9 |"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversAll) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_below(5);
+    EXPECT_LT(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.next_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+  }
+  EXPECT_EQ(rng.next_int(5, 5), 5);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace fsyn

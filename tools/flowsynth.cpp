@@ -1,0 +1,196 @@
+// flowsynth command-line tool.
+//
+// Usage:
+//   flowsynth synth <assay-file|benchmark> [options]   run synthesis
+//   flowsynth schedule <assay-file|benchmark> [options] print the Gantt chart
+//   flowsynth table1                                     reproduce Table 1
+//   flowsynth list                                       list built-in benchmarks
+//
+// Options for synth/schedule:
+//   --policy N      policy balancing increments (default 0)
+//   --asap          unlimited-resource ASAP schedule instead of a policy
+//   --grid N        force an N x N valve matrix (disables the size sweep)
+//   --seed S        heuristic mapper seed (default 2015)
+//   --ilp           use the exact ILP mapper (small assays only)
+//   --json PATH     write the synthesis result as JSON
+//   --svg PATH      write an SVG rendering
+//   --snapshots     print Fig.-10 style actuation snapshots
+//   --control       print the valve control program
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "assay/benchmarks.hpp"
+#include "assay/parser.hpp"
+#include "report/json_export.hpp"
+#include "report/svg_export.hpp"
+#include "report/table1.hpp"
+#include "sched/gantt.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/control_program.hpp"
+#include "sim/simulator.hpp"
+#include "synth/synthesis.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace fsyn;
+
+struct CliOptions {
+  std::string command;
+  std::string target;
+  int policy = 0;
+  bool asap = false;
+  std::optional<int> grid;
+  std::uint64_t seed = 2015;
+  bool use_ilp = false;
+  std::string json_path;
+  std::string svg_path;
+  bool snapshots = false;
+  bool control = false;
+};
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  flowsynth synth    <assay-file|benchmark> [--policy N | --asap] [--grid N]\n"
+      "                     [--seed S] [--ilp] [--json PATH] [--svg PATH]\n"
+      "                     [--snapshots] [--control]\n"
+      "  flowsynth schedule <assay-file|benchmark> [--policy N | --asap]\n"
+      "  flowsynth table1\n"
+      "  flowsynth list\n";
+  std::exit(2);
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions options;
+  if (argc < 2) usage();
+  options.command = argv[1];
+  int i = 2;
+  if (options.command == "synth" || options.command == "schedule") {
+    if (argc < 3) usage("missing assay");
+    options.target = argv[i++];
+  }
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--policy") {
+      options.policy = parse_int(next());
+    } else if (arg == "--asap") {
+      options.asap = true;
+    } else if (arg == "--grid") {
+      options.grid = parse_int(next());
+    } else if (arg == "--seed") {
+      options.seed = static_cast<std::uint64_t>(parse_int(next()));
+    } else if (arg == "--ilp") {
+      options.use_ilp = true;
+    } else if (arg == "--json") {
+      options.json_path = next();
+    } else if (arg == "--svg") {
+      options.svg_path = next();
+    } else if (arg == "--snapshots") {
+      options.snapshots = true;
+    } else if (arg == "--control") {
+      options.control = true;
+    } else {
+      usage("unknown option " + arg);
+    }
+  }
+  return options;
+}
+
+assay::SequencingGraph load_target(const std::string& target) {
+  for (const auto& name : assay::extended_benchmark_names()) {
+    if (name == target) return assay::make_benchmark(name);
+  }
+  return assay::load_assay_file(target);
+}
+
+int run_schedule(const CliOptions& cli) {
+  const auto graph = load_target(cli.target);
+  const sched::Schedule schedule =
+      cli.asap ? sched::schedule_asap(graph)
+               : sched::schedule_with_policy(graph, sched::make_policy(graph, cli.policy));
+  std::cout << "assay '" << graph.name() << "': " << graph.size() << " ops ("
+            << graph.mixing_count() << " mixing), makespan " << schedule.makespan()
+            << " tu\n\n"
+            << sched::render_gantt(schedule);
+  return 0;
+}
+
+int run_synth(const CliOptions& cli) {
+  const auto graph = load_target(cli.target);
+  const sched::Schedule schedule =
+      cli.asap ? sched::schedule_asap(graph)
+               : sched::schedule_with_policy(graph, sched::make_policy(graph, cli.policy));
+
+  synth::SynthesisOptions options;
+  options.grid_size = cli.grid;
+  options.heuristic.seed = cli.seed;
+  if (cli.use_ilp) options.mapper = synth::MapperKind::kIlp;
+  const synth::SynthesisResult result = synth::synthesize(graph, schedule, options);
+
+  std::cout << "chip:        " << result.chip_width << "x" << result.chip_height
+            << " virtual valves\n";
+  std::cout << "implemented: " << result.valve_count << " valves (#v)\n";
+  std::cout << "vs_1max:     " << result.vs1_max << " (" << result.vs1_pump
+            << " peristalsis)\n";
+  std::cout << "vs_2max:     " << result.vs2_max << " (" << result.vs2_pump
+            << " peristalsis)\n";
+  std::cout << "transports:  " << result.routing.paths.size() << " paths, "
+            << result.routing.total_cells << " cells\n";
+  std::cout << "runtime:     " << format_fixed(result.runtime_seconds, 2) << " s\n";
+
+  auto problem = synth::MappingProblem::build(
+      graph, schedule, arch::Architecture(result.chip_width, result.chip_height));
+  if (!cli.json_path.empty()) {
+    report::write_json(cli.json_path, problem, result);
+    std::cout << "json:        " << cli.json_path << '\n';
+  }
+  if (!cli.svg_path.empty()) {
+    report::write_chip_svg(cli.svg_path, problem, result.placement, result.routing,
+                           result.ledger_setting1);
+    std::cout << "svg:         " << cli.svg_path << '\n';
+  }
+  if (cli.snapshots) {
+    sim::ChipSimulator simulator(problem, result.placement, result.routing,
+                                 sim::Setting::kConservative);
+    for (const int t : simulator.interesting_times()) {
+      std::cout << '\n' << simulator.snapshot_at(t).render();
+    }
+  }
+  if (cli.control) {
+    const auto program = sim::compile_control_program(problem, result.placement,
+                                                      result.routing);
+    std::cout << '\n' << program.to_text();
+    std::cout << "control pins after sharing: " << sim::shared_control_pins(program) << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliOptions cli = parse_cli(argc, argv);
+    if (cli.command == "list") {
+      for (const auto& name : assay::extended_benchmark_names()) std::cout << name << '\n';
+      return 0;
+    }
+    if (cli.command == "table1") {
+      std::cout << report::format_table(report::run_full_table());
+      return 0;
+    }
+    if (cli.command == "schedule") return run_schedule(cli);
+    if (cli.command == "synth") return run_synth(cli);
+    usage("unknown command '" + cli.command + "'");
+  } catch (const fsyn::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
