@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_compaction.dir/bench_ablation_compaction.cpp.o"
+  "CMakeFiles/bench_ablation_compaction.dir/bench_ablation_compaction.cpp.o.d"
+  "bench_ablation_compaction"
+  "bench_ablation_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

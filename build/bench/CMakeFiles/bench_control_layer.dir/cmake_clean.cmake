@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_control_layer.dir/bench_control_layer.cpp.o"
+  "CMakeFiles/bench_control_layer.dir/bench_control_layer.cpp.o.d"
+  "bench_control_layer"
+  "bench_control_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_control_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fault_tolerance.cpp" "bench/CMakeFiles/bench_fault_tolerance.dir/bench_fault_tolerance.cpp.o" "gcc" "bench/CMakeFiles/bench_fault_tolerance.dir/bench_fault_tolerance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/fsyn_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/fsyn_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/fsyn_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fsyn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/fsyn_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/fsyn_synth_problem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/fsyn_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/fsyn_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/fsyn_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/assay/CMakeFiles/fsyn_assay.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

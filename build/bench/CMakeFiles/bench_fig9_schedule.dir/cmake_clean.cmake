@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_schedule.dir/bench_fig9_schedule.cpp.o"
+  "CMakeFiles/bench_fig9_schedule.dir/bench_fig9_schedule.cpp.o.d"
+  "bench_fig9_schedule"
+  "bench_fig9_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_washing.dir/bench_washing.cpp.o"
+  "CMakeFiles/bench_washing.dir/bench_washing.cpp.o.d"
+  "bench_washing"
+  "bench_washing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_washing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

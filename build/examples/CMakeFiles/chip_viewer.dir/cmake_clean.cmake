@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_viewer.dir/chip_viewer.cpp.o"
+  "CMakeFiles/chip_viewer.dir/chip_viewer.cpp.o.d"
+  "chip_viewer"
+  "chip_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

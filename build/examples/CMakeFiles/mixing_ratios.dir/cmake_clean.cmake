@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixing_ratios.dir/mixing_ratios.cpp.o"
+  "CMakeFiles/mixing_ratios.dir/mixing_ratios.cpp.o.d"
+  "mixing_ratios"
+  "mixing_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixing_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/architecture.cpp" "src/arch/CMakeFiles/fsyn_arch.dir/architecture.cpp.o" "gcc" "src/arch/CMakeFiles/fsyn_arch.dir/architecture.cpp.o.d"
+  "/root/repo/src/arch/control_layer.cpp" "src/arch/CMakeFiles/fsyn_arch.dir/control_layer.cpp.o" "gcc" "src/arch/CMakeFiles/fsyn_arch.dir/control_layer.cpp.o.d"
+  "/root/repo/src/arch/device_types.cpp" "src/arch/CMakeFiles/fsyn_arch.dir/device_types.cpp.o" "gcc" "src/arch/CMakeFiles/fsyn_arch.dir/device_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assay/CMakeFiles/fsyn_assay.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/fsyn_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsyn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/fsyn_ilp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsyn_arch.dir/architecture.cpp.o"
+  "CMakeFiles/fsyn_arch.dir/architecture.cpp.o.d"
+  "CMakeFiles/fsyn_arch.dir/control_layer.cpp.o"
+  "CMakeFiles/fsyn_arch.dir/control_layer.cpp.o.d"
+  "CMakeFiles/fsyn_arch.dir/device_types.cpp.o"
+  "CMakeFiles/fsyn_arch.dir/device_types.cpp.o.d"
+  "libfsyn_arch.a"
+  "libfsyn_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsyn_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

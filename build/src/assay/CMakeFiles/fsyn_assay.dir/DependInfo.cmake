@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assay/benchmarks.cpp" "src/assay/CMakeFiles/fsyn_assay.dir/benchmarks.cpp.o" "gcc" "src/assay/CMakeFiles/fsyn_assay.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/assay/concentration.cpp" "src/assay/CMakeFiles/fsyn_assay.dir/concentration.cpp.o" "gcc" "src/assay/CMakeFiles/fsyn_assay.dir/concentration.cpp.o.d"
+  "/root/repo/src/assay/parser.cpp" "src/assay/CMakeFiles/fsyn_assay.dir/parser.cpp.o" "gcc" "src/assay/CMakeFiles/fsyn_assay.dir/parser.cpp.o.d"
+  "/root/repo/src/assay/random_assay.cpp" "src/assay/CMakeFiles/fsyn_assay.dir/random_assay.cpp.o" "gcc" "src/assay/CMakeFiles/fsyn_assay.dir/random_assay.cpp.o.d"
+  "/root/repo/src/assay/sequencing_graph.cpp" "src/assay/CMakeFiles/fsyn_assay.dir/sequencing_graph.cpp.o" "gcc" "src/assay/CMakeFiles/fsyn_assay.dir/sequencing_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fsyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsyn_assay.dir/benchmarks.cpp.o"
+  "CMakeFiles/fsyn_assay.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/fsyn_assay.dir/concentration.cpp.o"
+  "CMakeFiles/fsyn_assay.dir/concentration.cpp.o.d"
+  "CMakeFiles/fsyn_assay.dir/parser.cpp.o"
+  "CMakeFiles/fsyn_assay.dir/parser.cpp.o.d"
+  "CMakeFiles/fsyn_assay.dir/random_assay.cpp.o"
+  "CMakeFiles/fsyn_assay.dir/random_assay.cpp.o.d"
+  "CMakeFiles/fsyn_assay.dir/sequencing_graph.cpp.o"
+  "CMakeFiles/fsyn_assay.dir/sequencing_graph.cpp.o.d"
+  "libfsyn_assay.a"
+  "libfsyn_assay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsyn_assay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fsyn_assay.
+# This may be replaced when dependencies are built.

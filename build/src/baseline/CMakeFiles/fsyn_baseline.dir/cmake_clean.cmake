@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsyn_baseline.dir/traditional.cpp.o"
+  "CMakeFiles/fsyn_baseline.dir/traditional.cpp.o.d"
+  "libfsyn_baseline.a"
+  "libfsyn_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsyn_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

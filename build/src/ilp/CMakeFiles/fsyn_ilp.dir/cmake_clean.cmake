@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsyn_ilp.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/fsyn_ilp.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/fsyn_ilp.dir/model.cpp.o"
+  "CMakeFiles/fsyn_ilp.dir/model.cpp.o.d"
+  "CMakeFiles/fsyn_ilp.dir/presolve.cpp.o"
+  "CMakeFiles/fsyn_ilp.dir/presolve.cpp.o.d"
+  "CMakeFiles/fsyn_ilp.dir/simplex.cpp.o"
+  "CMakeFiles/fsyn_ilp.dir/simplex.cpp.o.d"
+  "libfsyn_ilp.a"
+  "libfsyn_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsyn_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

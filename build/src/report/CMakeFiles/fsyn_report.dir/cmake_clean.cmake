@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsyn_report.dir/json_export.cpp.o"
+  "CMakeFiles/fsyn_report.dir/json_export.cpp.o.d"
+  "CMakeFiles/fsyn_report.dir/svg_export.cpp.o"
+  "CMakeFiles/fsyn_report.dir/svg_export.cpp.o.d"
+  "CMakeFiles/fsyn_report.dir/table1.cpp.o"
+  "CMakeFiles/fsyn_report.dir/table1.cpp.o.d"
+  "libfsyn_report.a"
+  "libfsyn_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsyn_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

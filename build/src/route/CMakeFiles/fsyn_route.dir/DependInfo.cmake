@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/contamination.cpp" "src/route/CMakeFiles/fsyn_route.dir/contamination.cpp.o" "gcc" "src/route/CMakeFiles/fsyn_route.dir/contamination.cpp.o.d"
+  "/root/repo/src/route/port_assignment.cpp" "src/route/CMakeFiles/fsyn_route.dir/port_assignment.cpp.o" "gcc" "src/route/CMakeFiles/fsyn_route.dir/port_assignment.cpp.o.d"
+  "/root/repo/src/route/router.cpp" "src/route/CMakeFiles/fsyn_route.dir/router.cpp.o" "gcc" "src/route/CMakeFiles/fsyn_route.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/fsyn_synth_problem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/fsyn_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/fsyn_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsyn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/fsyn_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/assay/CMakeFiles/fsyn_assay.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

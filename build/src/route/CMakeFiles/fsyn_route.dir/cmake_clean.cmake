@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsyn_route.dir/contamination.cpp.o"
+  "CMakeFiles/fsyn_route.dir/contamination.cpp.o.d"
+  "CMakeFiles/fsyn_route.dir/port_assignment.cpp.o"
+  "CMakeFiles/fsyn_route.dir/port_assignment.cpp.o.d"
+  "CMakeFiles/fsyn_route.dir/router.cpp.o"
+  "CMakeFiles/fsyn_route.dir/router.cpp.o.d"
+  "libfsyn_route.a"
+  "libfsyn_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsyn_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/compaction.cpp" "src/sched/CMakeFiles/fsyn_sched.dir/compaction.cpp.o" "gcc" "src/sched/CMakeFiles/fsyn_sched.dir/compaction.cpp.o.d"
+  "/root/repo/src/sched/gantt.cpp" "src/sched/CMakeFiles/fsyn_sched.dir/gantt.cpp.o" "gcc" "src/sched/CMakeFiles/fsyn_sched.dir/gantt.cpp.o.d"
+  "/root/repo/src/sched/ilp_scheduler.cpp" "src/sched/CMakeFiles/fsyn_sched.dir/ilp_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/fsyn_sched.dir/ilp_scheduler.cpp.o.d"
+  "/root/repo/src/sched/list_scheduler.cpp" "src/sched/CMakeFiles/fsyn_sched.dir/list_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/fsyn_sched.dir/list_scheduler.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/fsyn_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/fsyn_sched.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assay/CMakeFiles/fsyn_assay.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/fsyn_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsyn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

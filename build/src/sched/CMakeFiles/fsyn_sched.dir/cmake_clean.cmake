@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsyn_sched.dir/compaction.cpp.o"
+  "CMakeFiles/fsyn_sched.dir/compaction.cpp.o.d"
+  "CMakeFiles/fsyn_sched.dir/gantt.cpp.o"
+  "CMakeFiles/fsyn_sched.dir/gantt.cpp.o.d"
+  "CMakeFiles/fsyn_sched.dir/ilp_scheduler.cpp.o"
+  "CMakeFiles/fsyn_sched.dir/ilp_scheduler.cpp.o.d"
+  "CMakeFiles/fsyn_sched.dir/list_scheduler.cpp.o"
+  "CMakeFiles/fsyn_sched.dir/list_scheduler.cpp.o.d"
+  "CMakeFiles/fsyn_sched.dir/schedule.cpp.o"
+  "CMakeFiles/fsyn_sched.dir/schedule.cpp.o.d"
+  "libfsyn_sched.a"
+  "libfsyn_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsyn_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

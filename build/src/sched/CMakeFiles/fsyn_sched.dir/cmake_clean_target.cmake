@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfsyn_sched.a"
+)

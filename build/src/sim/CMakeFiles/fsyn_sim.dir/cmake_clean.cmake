@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsyn_sim.dir/actuation.cpp.o"
+  "CMakeFiles/fsyn_sim.dir/actuation.cpp.o.d"
+  "CMakeFiles/fsyn_sim.dir/control_program.cpp.o"
+  "CMakeFiles/fsyn_sim.dir/control_program.cpp.o.d"
+  "CMakeFiles/fsyn_sim.dir/simulator.cpp.o"
+  "CMakeFiles/fsyn_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/fsyn_sim.dir/wear_model.cpp.o"
+  "CMakeFiles/fsyn_sim.dir/wear_model.cpp.o.d"
+  "libfsyn_sim.a"
+  "libfsyn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsyn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsyn_synth.dir/heuristic_mapper.cpp.o"
+  "CMakeFiles/fsyn_synth.dir/heuristic_mapper.cpp.o.d"
+  "CMakeFiles/fsyn_synth.dir/ilp_mapper.cpp.o"
+  "CMakeFiles/fsyn_synth.dir/ilp_mapper.cpp.o.d"
+  "CMakeFiles/fsyn_synth.dir/synthesis.cpp.o"
+  "CMakeFiles/fsyn_synth.dir/synthesis.cpp.o.d"
+  "libfsyn_synth.a"
+  "libfsyn_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsyn_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsyn_synth_problem.dir/mapping_problem.cpp.o"
+  "CMakeFiles/fsyn_synth_problem.dir/mapping_problem.cpp.o.d"
+  "libfsyn_synth_problem.a"
+  "libfsyn_synth_problem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsyn_synth_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsyn_util.dir/logging.cpp.o"
+  "CMakeFiles/fsyn_util.dir/logging.cpp.o.d"
+  "CMakeFiles/fsyn_util.dir/strings.cpp.o"
+  "CMakeFiles/fsyn_util.dir/strings.cpp.o.d"
+  "CMakeFiles/fsyn_util.dir/table.cpp.o"
+  "CMakeFiles/fsyn_util.dir/table.cpp.o.d"
+  "libfsyn_util.a"
+  "libfsyn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsyn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control_layer.dir/test_control_layer.cpp.o"
+  "CMakeFiles/test_control_layer.dir/test_control_layer.cpp.o.d"
+  "test_control_layer"
+  "test_control_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

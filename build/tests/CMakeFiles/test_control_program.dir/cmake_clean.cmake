@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control_program.dir/test_control_program.cpp.o"
+  "CMakeFiles/test_control_program.dir/test_control_program.cpp.o.d"
+  "test_control_program"
+  "test_control_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

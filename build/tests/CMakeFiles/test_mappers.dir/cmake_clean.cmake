@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mappers.dir/test_mappers.cpp.o"
+  "CMakeFiles/test_mappers.dir/test_mappers.cpp.o.d"
+  "test_mappers"
+  "test_mappers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mappers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

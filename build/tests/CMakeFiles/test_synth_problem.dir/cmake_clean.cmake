@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_problem.dir/test_synth_problem.cpp.o"
+  "CMakeFiles/test_synth_problem.dir/test_synth_problem.cpp.o.d"
+  "test_synth_problem"
+  "test_synth_problem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowsynth.dir/flowsynth.cpp.o"
+  "CMakeFiles/flowsynth.dir/flowsynth.cpp.o.d"
+  "flowsynth"
+  "flowsynth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowsynth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for flowsynth.
+# This may be replaced when dependencies are built.
