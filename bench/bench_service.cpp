@@ -1,0 +1,135 @@
+// Batch-synthesis service benchmark.
+//
+// Runs the same benchmark sweep twice — sequentially and through the
+// svc::BatchService thread pool — and verifies the two produce identical
+// designs (same seeds => same max actuation counts) before reporting the
+// wall-clock speedup.  A second phase re-submits the sweep to measure the
+// result cache: every point must be a hit served in ~zero time.
+//
+// On an N-core host the pooled run should approach Nx for these
+// embarrassingly parallel sweeps (the acceptance bar is >= 2x at
+// --jobs 4 on 4 cores); on a single core it degrades gracefully to ~1x.
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "assay/benchmarks.hpp"
+#include "sched/list_scheduler.hpp"
+#include "svc/service.hpp"
+#include "synth/synthesis.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace fsyn;
+using Clock = std::chrono::steady_clock;
+
+struct SweepPoint {
+  std::string benchmark;
+  int policy;
+};
+
+std::vector<SweepPoint> sweep() {
+  std::vector<SweepPoint> points;
+  for (const char* name : {"pcr", "invitro", "protein", "mixing_tree"}) {
+    for (int policy = 0; policy < 3; ++policy) points.push_back({name, policy});
+  }
+  return points;
+}
+
+synth::SynthesisOptions options_for_point() {
+  synth::SynthesisOptions options;
+  // A fixed grid keeps each point focused on mapping+routing (no chip-size
+  // sweep), which is the regime a design-space exploration service runs in.
+  options.grid_size = 12;
+  return options;
+}
+
+double seconds_since(Clock::time_point from) {
+  return std::chrono::duration<double>(Clock::now() - from).count();
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<SweepPoint> points = sweep();
+  const int jobs = 4;
+
+  // ---- sequential reference ----
+  const Clock::time_point sequential_started = Clock::now();
+  std::vector<synth::SynthesisResult> sequential;
+  sequential.reserve(points.size());
+  for (const SweepPoint& point : points) {
+    const assay::SequencingGraph graph = assay::make_benchmark(point.benchmark);
+    const sched::Schedule schedule =
+        sched::schedule_with_policy(graph, sched::make_policy(graph, point.policy));
+    sequential.push_back(synth::synthesize(graph, schedule, options_for_point()));
+  }
+  const double sequential_seconds = seconds_since(sequential_started);
+
+  // ---- pooled run ----
+  svc::BatchService::Config config;
+  config.workers = jobs;
+  svc::BatchService service(config);
+
+  auto submit_all = [&] {
+    std::vector<std::future<svc::JobResult>> futures;
+    futures.reserve(points.size());
+    for (const SweepPoint& point : points) {
+      svc::JobSpec spec;
+      spec.name = point.benchmark;
+      spec.graph = assay::make_benchmark(point.benchmark);
+      spec.policy_increments = point.policy;
+      spec.options = options_for_point();
+      futures.push_back(service.submit(std::move(spec)));
+    }
+    return futures;
+  };
+
+  const Clock::time_point pooled_started = Clock::now();
+  auto futures = submit_all();
+  int mismatches = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const svc::JobResult result = futures[i].get();
+    if (result.status != svc::JobStatus::kDone) {
+      std::cerr << "job " << points[i].benchmark << "/p" << points[i].policy + 1
+                << " did not finish: " << result.error << '\n';
+      return 1;
+    }
+    const synth::SynthesisResult& pooled = *result.result;
+    const synth::SynthesisResult& reference = sequential[i];
+    if (pooled.vs1_max != reference.vs1_max || pooled.vs2_max != reference.vs2_max ||
+        pooled.valve_count != reference.valve_count ||
+        pooled.chip_width != reference.chip_width) {
+      std::cerr << "MISMATCH " << points[i].benchmark << "/p" << points[i].policy + 1
+                << ": pooled vs1_max=" << pooled.vs1_max
+                << " sequential vs1_max=" << reference.vs1_max << '\n';
+      ++mismatches;
+    }
+  }
+  const double pooled_seconds = seconds_since(pooled_started);
+
+  // ---- cached re-run ----
+  const Clock::time_point cached_started = Clock::now();
+  auto cached_futures = submit_all();
+  int cache_hits = 0;
+  for (auto& future : cached_futures) {
+    if (future.get().cache_hit) ++cache_hits;
+  }
+  const double cached_seconds = seconds_since(cached_started);
+
+  const svc::MetricsSnapshot metrics = service.metrics();
+  std::cout << "bench_service: " << points.size() << " sweep points, " << jobs
+            << " workers\n"
+            << "  sequential: " << format_fixed(sequential_seconds, 2) << " s\n"
+            << "  pooled:     " << format_fixed(pooled_seconds, 2) << " s  (speedup "
+            << format_fixed(sequential_seconds / pooled_seconds, 2) << "x)\n"
+            << "  cached:     " << format_fixed(cached_seconds, 3) << " s  (" << cache_hits
+            << "/" << points.size() << " hits)\n"
+            << "  identical designs: " << (mismatches == 0 ? "yes" : "NO") << "\n"
+            << "  cache: " << metrics.cache.hits << " hits / " << metrics.cache.misses
+            << " misses\n";
+
+  if (mismatches > 0 || cache_hits != static_cast<int>(points.size())) return 1;
+  return 0;
+}

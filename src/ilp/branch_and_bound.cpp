@@ -85,6 +85,7 @@ class BranchAndBound {
           std::chrono::duration<double>(Clock::now() - start_).count();
       if (elapsed > options_.time_limit_seconds) return true;
     }
+    if (options_.cancel.valid() && options_.cancel.cancelled()) return true;
     return false;
   }
 

@@ -13,6 +13,7 @@
 
 #include "ilp/model.hpp"
 #include "ilp/simplex.hpp"
+#include "util/cancel.hpp"
 
 namespace fsyn::ilp {
 
@@ -45,6 +46,9 @@ struct MilpOptions {
   LpOptions lp;
   /// Optional warm-start point; must be feasible for the model.
   std::optional<std::vector<double>> initial_incumbent;
+  /// Cooperative cancellation, polled once per node alongside the node and
+  /// wall-clock limits; the best incumbent found so far is still returned.
+  CancelToken cancel;
 };
 
 MilpResult solve_milp(const Model& model, const MilpOptions& options = {});

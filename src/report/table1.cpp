@@ -1,9 +1,12 @@
 #include "report/table1.hpp"
 
+#include <future>
 #include <map>
+#include <thread>
 
 #include "assay/benchmarks.hpp"
 #include "sched/list_scheduler.hpp"
+#include "svc/thread_pool.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -52,7 +55,7 @@ Table1Row run_case(const assay::SequencingGraph& graph, int policy_increments,
   return row;
 }
 
-std::vector<Table1Row> run_full_table(const synth::SynthesisOptions& options) {
+std::vector<Table1Row> run_full_table(const synth::SynthesisOptions& options, int jobs) {
   // Per-case p1 policy offsets (DESIGN.md §3.2): the paper's p1 for the
   // dilution assays already includes balancing increments.
   struct CaseSpec {
@@ -65,14 +68,46 @@ std::vector<Table1Row> run_full_table(const synth::SynthesisOptions& options) {
       {"interpolating_dilution", 1},
       {"exponential_dilution", 3},
   };
-  std::vector<Table1Row> rows;
+  struct RowSpec {
+    std::string benchmark;
+    int increments;
+    std::string label;
+  };
+  std::vector<RowSpec> specs;
   for (const CaseSpec& spec : kCases) {
-    const assay::SequencingGraph graph = assay::make_benchmark(spec.name);
     for (int p = 0; p < 3; ++p) {
-      rows.push_back(run_case(graph, spec.p1_increments + p, "p" + std::to_string(p + 1),
-                              options));
+      specs.push_back({spec.name, spec.p1_increments + p, "p" + std::to_string(p + 1)});
     }
   }
+
+  if (jobs == 0) {
+    const unsigned hardware = std::thread::hardware_concurrency();
+    jobs = hardware > 0 ? static_cast<int>(hardware) : 1;
+  }
+  if (jobs <= 1) {
+    std::vector<Table1Row> rows;
+    for (const RowSpec& spec : specs) {
+      rows.push_back(run_case(assay::make_benchmark(spec.benchmark), spec.increments,
+                              spec.label, options));
+    }
+    return rows;
+  }
+
+  // Each row is an independent (schedule, baseline, synthesis) pipeline, so
+  // running them on the pool changes wall-clock only, never the numbers.
+  std::vector<std::future<Table1Row>> futures;
+  svc::ThreadPool pool(jobs);
+  for (const RowSpec& spec : specs) {
+    auto task = std::make_shared<std::packaged_task<Table1Row()>>([spec, options] {
+      return run_case(assay::make_benchmark(spec.benchmark), spec.increments, spec.label,
+                      options);
+    });
+    futures.push_back(task->get_future());
+    pool.submit([task] { (*task)(); });
+  }
+  std::vector<Table1Row> rows;
+  rows.reserve(futures.size());
+  for (auto& future : futures) rows.push_back(future.get());
   return rows;
 }
 

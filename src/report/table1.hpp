@@ -45,7 +45,11 @@ Table1Row run_case(const assay::SequencingGraph& graph, int policy_increments,
                    const synth::SynthesisOptions& options = {});
 
 /// The paper's twelve rows: every benchmark at its p1/p2/p3 increments.
-std::vector<Table1Row> run_full_table(const synth::SynthesisOptions& options = {});
+/// `jobs` > 1 runs the rows concurrently on a svc::ThreadPool (each row is
+/// an independent schedule+synthesis, so results are identical to the
+/// sequential run); 0 uses the hardware concurrency.
+std::vector<Table1Row> run_full_table(const synth::SynthesisOptions& options = {},
+                                      int jobs = 1);
 
 /// Renders rows in the paper's column layout, with the averages line.
 std::string format_table(const std::vector<Table1Row>& rows);

@@ -1,0 +1,63 @@
+#include "svc/metrics.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace fsyn::svc {
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot s;
+  s.jobs_submitted = jobs_submitted_.load(std::memory_order_relaxed);
+  s.jobs_completed = jobs_completed_.load(std::memory_order_relaxed);
+  s.jobs_cancelled = jobs_cancelled_.load(std::memory_order_relaxed);
+  s.jobs_failed = jobs_failed_.load(std::memory_order_relaxed);
+  s.jobs_rejected = jobs_rejected_.load(std::memory_order_relaxed);
+  s.jobs_running = jobs_running_.load(std::memory_order_relaxed);
+  s.mapper_invocations = mapper_invocations_.load(std::memory_order_relaxed);
+  s.race_arms_started = race_arms_started_.load(std::memory_order_relaxed);
+  s.race_arms_cancelled = race_arms_cancelled_.load(std::memory_order_relaxed);
+  s.queue_seconds = static_cast<double>(queue_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  s.synthesis_seconds =
+      static_cast<double>(synthesis_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  s.total_seconds = static_cast<double>(total_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  return s;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"jobs\": {\n"
+     << "    \"submitted\": " << jobs_submitted << ",\n"
+     << "    \"completed\": " << jobs_completed << ",\n"
+     << "    \"cancelled\": " << jobs_cancelled << ",\n"
+     << "    \"failed\": " << jobs_failed << ",\n"
+     << "    \"rejected\": " << jobs_rejected << ",\n"
+     << "    \"running\": " << jobs_running << "\n"
+     << "  },\n"
+     << "  \"mapper_invocations\": " << mapper_invocations << ",\n"
+     << "  \"race\": {\n"
+     << "    \"arms_started\": " << race_arms_started << ",\n"
+     << "    \"arms_cancelled\": " << race_arms_cancelled << "\n"
+     << "  },\n"
+     << "  \"wall_clock_seconds\": {\n"
+     << "    \"queue\": " << format_fixed(queue_seconds, 6) << ",\n"
+     << "    \"synthesis\": " << format_fixed(synthesis_seconds, 6) << ",\n"
+     << "    \"total\": " << format_fixed(total_seconds, 6) << "\n"
+     << "  },\n"
+     << "  \"cache\": {\n"
+     << "    \"hits\": " << cache.hits << ",\n"
+     << "    \"misses\": " << cache.misses << ",\n"
+     << "    \"evictions\": " << cache.evictions << ",\n"
+     << "    \"entries\": " << cache.entries << ",\n"
+     << "    \"capacity\": " << cache.capacity << "\n"
+     << "  },\n"
+     << "  \"pool\": {\n"
+     << "    \"workers\": " << workers << ",\n"
+     << "    \"max_queue_depth\": " << max_queue_depth << "\n"
+     << "  }\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace fsyn::svc

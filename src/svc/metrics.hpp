@@ -1,0 +1,94 @@
+// Service metrics registry.
+//
+// Lock-free counters updated by workers and race arms, plus wall-clock
+// accumulators per job stage (queue wait / synthesis / end-to-end).  A
+// consistent-enough snapshot can be taken at any time and serialized as
+// JSON for `flowsynth batch --metrics PATH` or scraping.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+#include "svc/result_cache.hpp"
+
+namespace fsyn::svc {
+
+/// Plain-value copy of the registry, safe to read and serialize.
+struct MetricsSnapshot {
+  long jobs_submitted = 0;
+  long jobs_completed = 0;  ///< finished with a result (fresh or cached)
+  long jobs_cancelled = 0;
+  long jobs_failed = 0;
+  long jobs_rejected = 0;
+  long jobs_running = 0;
+
+  long mapper_invocations = 0;  ///< synthesize() calls actually executed
+  long race_arms_started = 0;
+  long race_arms_cancelled = 0;
+
+  double queue_seconds = 0.0;      ///< total time jobs spent queued
+  double synthesis_seconds = 0.0;  ///< total time inside synthesize/race
+  double total_seconds = 0.0;      ///< total end-to-end job time
+
+  CacheStats cache;
+  int workers = 0;
+  std::size_t max_queue_depth = 0;
+
+  /// Serializes the snapshot as a single JSON object.
+  std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  void job_submitted() { jobs_submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void job_started() { jobs_running_.fetch_add(1, std::memory_order_relaxed); }
+  void job_completed() {
+    jobs_running_.fetch_sub(1, std::memory_order_relaxed);
+    jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void job_cancelled() {
+    jobs_running_.fetch_sub(1, std::memory_order_relaxed);
+    jobs_cancelled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void job_failed() {
+    jobs_running_.fetch_sub(1, std::memory_order_relaxed);
+    jobs_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void job_rejected() { jobs_rejected_.fetch_add(1, std::memory_order_relaxed); }
+
+  void mapper_invoked() { mapper_invocations_.fetch_add(1, std::memory_order_relaxed); }
+  void race_arm_started() { race_arms_started_.fetch_add(1, std::memory_order_relaxed); }
+  void race_arm_cancelled() { race_arms_cancelled_.fetch_add(1, std::memory_order_relaxed); }
+
+  void add_queue_time(std::chrono::nanoseconds d) { add(queue_ns_, d); }
+  void add_synthesis_time(std::chrono::nanoseconds d) { add(synthesis_ns_, d); }
+  void add_total_time(std::chrono::nanoseconds d) { add(total_ns_, d); }
+
+  long mapper_invocations() const {
+    return mapper_invocations_.load(std::memory_order_relaxed);
+  }
+
+  /// Counter fields of the snapshot; the service fills in cache/pool data.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  static void add(std::atomic<long>& accumulator, std::chrono::nanoseconds d) {
+    accumulator.fetch_add(static_cast<long>(d.count()), std::memory_order_relaxed);
+  }
+
+  std::atomic<long> jobs_submitted_{0};
+  std::atomic<long> jobs_completed_{0};
+  std::atomic<long> jobs_cancelled_{0};
+  std::atomic<long> jobs_failed_{0};
+  std::atomic<long> jobs_rejected_{0};
+  std::atomic<long> jobs_running_{0};
+  std::atomic<long> mapper_invocations_{0};
+  std::atomic<long> race_arms_started_{0};
+  std::atomic<long> race_arms_cancelled_{0};
+  std::atomic<long> queue_ns_{0};
+  std::atomic<long> synthesis_ns_{0};
+  std::atomic<long> total_ns_{0};
+};
+
+}  // namespace fsyn::svc

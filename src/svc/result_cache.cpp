@@ -1,0 +1,168 @@
+#include "svc/result_cache.hpp"
+
+#include <cstring>
+
+namespace fsyn::svc {
+
+namespace {
+
+/// Incremental FNV-1a over typed fields.  Field order defines the canonical
+/// serialization; a sentinel is mixed between variable-length sections so
+/// e.g. {1,2},{3} and {1},{2,3} hash differently.
+class Hasher {
+ public:
+  /// Integral fields (bools, ints, seeds) hash via their sign-extended
+  /// 64-bit pattern; one template avoids overload ambiguity across the
+  /// platform-dependent int64/uint64 typedef zoo.
+  template <typename T>
+    requires std::is_integral_v<T>
+  void mix(T v) {
+    mix_word(static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+  }
+  void mix(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix_word(bits);
+  }
+  void mix(const std::string& s) {
+    mix_word(s.size());
+    for (const char c : s) mix_word(static_cast<unsigned char>(c));
+  }
+  /// Section separator for variable-length parts.
+  void section(std::uint64_t tag) { mix_word(0x9e3779b97f4a7c15ULL ^ tag); }
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  void mix_word(std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash_ ^= (v >> (8 * byte)) & 0xffULL;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+void mix_graph(Hasher& h, const assay::SequencingGraph& graph) {
+  h.section(1);
+  h.mix(graph.size());
+  for (const assay::Operation& op : graph.operations()) {
+    // Names are display-only; identity is structural.
+    h.mix(static_cast<int>(op.kind));
+    h.mix(op.volume);
+    h.mix(op.duration);
+    h.section(2);
+    for (const assay::OpId parent : op.parents) h.mix(parent.index);
+    h.section(3);
+    for (const int part : op.ratio) h.mix(part);
+  }
+}
+
+void mix_schedule(Hasher& h, const sched::Schedule& schedule) {
+  h.section(4);
+  h.mix(schedule.transport_delay);
+  for (const int t : schedule.start) h.mix(t);
+  h.section(5);
+  for (const int t : schedule.end) h.mix(t);
+}
+
+void mix_options(Hasher& h, const synth::SynthesisOptions& options) {
+  h.section(6);
+  h.mix(static_cast<int>(options.mapper));
+  h.mix(options.heuristic.seed);
+  h.mix(options.heuristic.greedy_retries);
+  h.mix(options.heuristic.sa_iterations);
+  h.mix(options.heuristic.initial_temperature);
+  h.mix(options.heuristic.final_temperature);
+  h.mix(options.ilp.time_limit_seconds);
+  h.mix(options.ilp.max_nodes);
+  h.mix(options.ilp.warm_start.has_value());
+  if (options.ilp.warm_start.has_value()) {
+    for (const arch::DeviceInstance& device : *options.ilp.warm_start) {
+      h.mix(device.type.width);
+      h.mix(device.type.height);
+      h.mix(device.origin.x);
+      h.mix(device.origin.y);
+    }
+  }
+  h.mix(options.warm_start_ilp);
+  h.mix(options.grid_size.value_or(-1));
+  h.mix(options.chip_slack);
+  h.mix(options.max_chip_growth);
+  h.mix(options.chip_sweep);
+  h.mix(options.valve_weight);
+  h.mix(options.max_refinement_iterations);
+  h.mix(options.routing_retries);
+  h.mix(options.allow_storage_overlap);
+  h.mix(options.routing_convenient);
+  h.section(7);
+  for (const Point& valve : options.dead_valves) {
+    h.mix(valve.x);
+    h.mix(valve.y);
+  }
+  h.section(8);
+  h.mix(options.router.congestion_penalty);
+  h.mix(options.router.pump_avoidance_weight);
+  h.mix(options.router.reuse_discount);
+  h.mix(options.router.max_ripups);
+  for (const auto& [fluid, port] : options.router.port_of_fluid) {  // std::map: sorted
+    h.mix(fluid);
+    h.mix(port);
+  }
+}
+
+}  // namespace
+
+CacheKey canonical_key(const assay::SequencingGraph& graph, const sched::Schedule& schedule,
+                       const synth::SynthesisOptions& options) {
+  Hasher h;
+  mix_graph(h, graph);
+  mix_schedule(h, schedule);
+  mix_options(h, options);
+  return h.value();
+}
+
+std::shared_ptr<const synth::SynthesisResult> ResultCache::lookup(CacheKey key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void ResultCache::insert(CacheKey key, std::shared_ptr<const synth::SynthesisResult> result) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.emplace_front(key, std::move(result));
+  index_[key] = lru_.begin();
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.entries = lru_.size();
+  stats.capacity = capacity_;
+  return stats;
+}
+
+}  // namespace fsyn::svc

@@ -1,0 +1,75 @@
+// Canonical-key LRU cache of synthesis results.
+//
+// A batch sweep revisits the same (assay, schedule, options) point whenever
+// two specs collapse to identical inputs — repeated CLI invocations, the
+// policy sweep's duplicate rows, or clients re-asking for a design they
+// already received.  Synthesis is deterministic in its options (seeds
+// included), so a cached `SynthesisResult` is bit-identical to what a fresh
+// solve would produce and can be served without running a mapper.
+//
+// The key is a 64-bit FNV-1a hash over a canonical serialization of the
+// sequencing graph *structure* (kinds, parents, ratios, volumes, durations
+// — names are display-only and excluded), the schedule times, and every
+// result-affecting field of SynthesisOptions.  A collision would serve the
+// wrong design; at 64 bits and cache sizes in the hundreds the probability
+// is ~1e-15 per pair, which the service accepts.
+//
+// Thread-safe; hit/miss/eviction counters feed the metrics registry.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "assay/sequencing_graph.hpp"
+#include "sched/schedule.hpp"
+#include "synth/synthesis.hpp"
+
+namespace fsyn::svc {
+
+using CacheKey = std::uint64_t;
+
+/// Canonical cache key for one synthesis job.  Two jobs with equal keys
+/// produce identical results (same graph structure, schedule and options).
+CacheKey canonical_key(const assay::SequencingGraph& graph, const sched::Schedule& schedule,
+                       const synth::SynthesisOptions& options);
+
+struct CacheStats {
+  long hits = 0;
+  long misses = 0;
+  long evictions = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+};
+
+class ResultCache {
+ public:
+  /// `capacity` 0 disables caching entirely (every lookup is a miss and
+  /// inserts are dropped), which keeps the service code branch-free.
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached result and refreshes its recency, or nullptr.
+  /// Every call is recorded as a hit or a miss.
+  std::shared_ptr<const synth::SynthesisResult> lookup(CacheKey key);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used one
+  /// when full.
+  void insert(CacheKey key, std::shared_ptr<const synth::SynthesisResult> result);
+
+  CacheStats stats() const;
+
+ private:
+  using LruList = std::list<std::pair<CacheKey, std::shared_ptr<const synth::SynthesisResult>>>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<CacheKey, LruList::iterator> index_;
+  long hits_ = 0;
+  long misses_ = 0;
+  long evictions_ = 0;
+};
+
+}  // namespace fsyn::svc

@@ -1,0 +1,227 @@
+#include "svc/service.hpp"
+
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sched/list_scheduler.hpp"
+#include "util/logging.hpp"
+
+namespace fsyn::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+int default_workers(int configured) {
+  if (configured > 0) return configured;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<int>(hardware) : 1;
+}
+
+}  // namespace
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kDone: return "done";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+BatchService::BatchService(Config config)
+    : config_(config), cache_(config.cache_capacity),
+      pool_(default_workers(config.workers), config.queue_capacity, config.overflow) {}
+
+std::future<JobResult> BatchService::submit(JobSpec spec) {
+  metrics_.job_submitted();
+  auto promise = std::make_shared<std::promise<JobResult>>();
+  std::future<JobResult> future = promise->get_future();
+
+  const Clock::time_point enqueued = Clock::now();
+  // The shared_ptr keeps the spec alive inside the queue; jobs can be
+  // large (a whole sequencing graph), so they are moved, never copied.
+  auto job = std::make_shared<JobSpec>(std::move(spec));
+  const bool accepted = pool_.submit([this, job, promise, enqueued] {
+    promise->set_value(run_job(*job, enqueued));
+  });
+  if (!accepted) {
+    metrics_.job_rejected();
+    JobResult rejected;
+    rejected.status = JobStatus::kRejected;
+    rejected.error = "job queue full (reject policy) or service shutting down";
+    promise->set_value(std::move(rejected));
+  }
+  return future;
+}
+
+MetricsSnapshot BatchService::metrics() const {
+  MetricsSnapshot snapshot = metrics_.snapshot();
+  snapshot.cache = cache_.stats();
+  snapshot.workers = pool_.worker_count();
+  snapshot.max_queue_depth = pool_.max_queue_depth();
+  return snapshot;
+}
+
+JobResult BatchService::run_job(JobSpec& spec, Clock::time_point enqueued) {
+  metrics_.job_started();
+  const Clock::time_point started = Clock::now();
+
+  JobResult out;
+  out.queue_seconds = seconds_between(enqueued, started);
+  metrics_.add_queue_time(started - enqueued);
+
+  try {
+    // Scheduling is deterministic and cheap; it runs inside the worker so
+    // the submitter never blocks on assay-sized work.
+    const sched::Schedule schedule =
+        spec.asap ? sched::schedule_asap(spec.graph)
+                  : sched::schedule_with_policy(
+                        spec.graph, sched::make_policy(spec.graph, spec.policy_increments));
+
+    const CacheKey key = canonical_key(spec.graph, schedule, spec.options);
+    if (auto cached = cache_.lookup(key)) {
+      out.status = JobStatus::kDone;
+      out.result = std::move(cached);
+      out.cache_hit = true;
+      out.winner = "cache";
+      metrics_.job_completed();
+      const Clock::time_point finished = Clock::now();
+      out.run_seconds = seconds_between(started, finished);
+      metrics_.add_total_time(finished - enqueued);
+      return out;
+    }
+
+    // Arm the job-level token: deadline plus (chained) any caller token.
+    CancelSource job_source(spec.options.cancel);
+    if (spec.deadline.has_value()) {
+      job_source.set_deadline_after(*spec.deadline);
+    }
+    const CancelToken job_token = job_source.token();
+    spec.options.cancel = job_token;
+
+    const Clock::time_point synth_started = Clock::now();
+    synth::SynthesisResult result;
+    if (config_.portfolio.enabled && spec.options.mapper == synth::MapperKind::kHeuristic) {
+      result = race(spec, schedule, job_token, &out.winner);
+    } else {
+      metrics_.mapper_invoked();
+      result = synth::synthesize(spec.graph, schedule, spec.options);
+      out.winner = "single";
+    }
+    metrics_.add_synthesis_time(Clock::now() - synth_started);
+
+    out.result = std::make_shared<const synth::SynthesisResult>(std::move(result));
+    out.status = JobStatus::kDone;
+    cache_.insert(key, out.result);
+    metrics_.job_completed();
+  } catch (const CancelledError& e) {
+    out.status = JobStatus::kCancelled;
+    out.error = e.what();
+    metrics_.job_cancelled();
+  } catch (const std::exception& e) {
+    out.status = JobStatus::kFailed;
+    out.error = e.what();
+    metrics_.job_failed();
+  }
+
+  const Clock::time_point finished = Clock::now();
+  out.run_seconds = seconds_between(started, finished);
+  metrics_.add_total_time(finished - enqueued);
+  return out;
+}
+
+synth::SynthesisResult BatchService::race(const JobSpec& spec,
+                                          const sched::Schedule& schedule,
+                                          const CancelToken& job_token, std::string* winner) {
+  struct Arm {
+    std::string name;
+    synth::SynthesisOptions options;
+    CancelSource source;
+  };
+
+  // Build the arm lineup: several heuristic seeds, plus the exact ILP on
+  // instances small enough for it to be competitive.
+  std::vector<Arm> arms;
+  const PortfolioOptions& portfolio = config_.portfolio;
+  for (int k = 0; k < std::max(1, portfolio.heuristic_arms); ++k) {
+    Arm arm{"", spec.options, CancelSource(job_token)};
+    arm.options.mapper = synth::MapperKind::kHeuristic;
+    arm.options.heuristic.seed =
+        spec.options.heuristic.seed + static_cast<std::uint64_t>(k) * portfolio.seed_stride;
+    arm.name = "heuristic[" + std::to_string(arm.options.heuristic.seed) + "]";
+    arms.push_back(std::move(arm));
+  }
+  if (spec.graph.mixing_count() <= portfolio.ilp_max_mixing_ops) {
+    Arm arm{"ilp", spec.options, CancelSource(job_token)};
+    arm.options.mapper = synth::MapperKind::kIlp;
+    arms.push_back(std::move(arm));
+  }
+
+  std::mutex mutex;
+  std::optional<synth::SynthesisResult> best;
+  std::string best_name;
+  std::string first_error;
+
+  // Arms run on dedicated threads, not on the service pool: a pooled job
+  // waiting for pooled arms would deadlock once jobs outnumber workers.
+  std::vector<std::thread> threads;
+  threads.reserve(arms.size());
+  for (Arm& arm : arms) {
+    arm.options.cancel = arm.source.token();
+    // The mapper tokens must chain to the *arm* token (synthesize would
+    // only fill inert ones, and ours were propagated from the job spec).
+    arm.options.heuristic.cancel = arm.options.cancel;
+    arm.options.ilp.cancel = arm.options.cancel;
+    metrics_.race_arm_started();
+    threads.emplace_back([this, &spec, &schedule, &arm, &arms, &mutex, &best, &best_name,
+                          &first_error] {
+      try {
+        metrics_.mapper_invoked();
+        synth::SynthesisResult result = synth::synthesize(spec.graph, schedule, arm.options);
+        bool won = false;
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          // First acceptable (= feasible) result wins the race.
+          if (!best.has_value()) {
+            best = std::move(result);
+            best_name = arm.name;
+            won = true;
+          }
+        }
+        if (won) {
+          for (Arm& other : arms) {
+            if (&other != &arm) {
+              other.source.cancel();
+              metrics_.race_arm_cancelled();
+            }
+          }
+        }
+      } catch (const CancelledError&) {
+        // Lost the race (or the job deadline fired); nothing to record.
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (first_error.empty()) first_error = e.what();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  if (best.has_value()) {
+    *winner = best_name;
+    log_info("svc: race won by ", best_name, " (", arms.size(), " arms)");
+    return *std::move(best);
+  }
+  job_token.check("portfolio race");  // job-level cancellation/deadline
+  throw Error(first_error.empty() ? "portfolio race produced no feasible result"
+                                  : first_error);
+}
+
+}  // namespace fsyn::svc

@@ -1,0 +1,122 @@
+// Concurrent batch-synthesis service.
+//
+// `BatchService` turns the single-threaded `synth::synthesize` pipeline
+// into a job-oriented service:
+//
+//  * jobs (assay + scheduling spec + SynthesisOptions + optional deadline)
+//    are executed on a fixed-size thread pool with a bounded queue
+//    (thread_pool.hpp) — full queue either blocks the submitter or rejects
+//    the job, per configuration;
+//  * every job carries a cooperative CancelToken; the deadline arms it, and
+//    the token is polled deep inside the heuristic mapper, the MILP branch
+//    & bound and the chip-size sweep, so a 1 ms deadline aborts in
+//    milliseconds instead of after a full solve;
+//  * portfolio racing (optional): one job fans out into several heuristic
+//    arms with distinct seeds plus — for small instances — the exact ILP
+//    mapper, all racing on their own threads; the first acceptable result
+//    cancels the rest.  This mirrors the paper's "ILP when tractable,
+//    heuristic otherwise" split without guessing tractability up front.
+//    Racing trades determinism for latency: which arm wins depends on
+//    timing, so batch runs that must be reproducible leave it disabled;
+//  * results land in a canonical-key LRU cache (result_cache.hpp):
+//    re-submitting an identical job is a recorded cache hit and returns the
+//    stored result without invoking any mapper;
+//  * a metrics registry (metrics.hpp) counts jobs, stage wall-clock and
+//    cache traffic, and serializes to JSON.
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <optional>
+#include <string>
+
+#include "assay/sequencing_graph.hpp"
+#include "svc/metrics.hpp"
+#include "svc/result_cache.hpp"
+#include "svc/thread_pool.hpp"
+#include "synth/synthesis.hpp"
+
+namespace fsyn::svc {
+
+struct PortfolioOptions {
+  /// Off by default: racing is latency-optimal but not deterministic.
+  bool enabled = false;
+  /// Concurrent heuristic arms; arm k runs with seed `seed + k * stride`.
+  int heuristic_arms = 3;
+  std::uint64_t seed_stride = 7919;
+  /// An exact-ILP arm joins the race when the assay has at most this many
+  /// mixing operations (the ILP is only tractable on small instances).
+  int ilp_max_mixing_ops = 8;
+};
+
+enum class JobStatus {
+  kDone,       ///< result available (freshly solved or cached)
+  kCancelled,  ///< deadline hit or token cancelled before completion
+  kFailed,     ///< synthesis threw (e.g. infeasible within growth limits)
+  kRejected    ///< bounded queue full under the reject policy
+};
+
+const char* to_string(JobStatus status);
+
+struct JobSpec {
+  std::string name;  ///< display label (defaults to the graph name)
+  assay::SequencingGraph graph;
+  /// Scheduling spec, applied inside the worker: ASAP or a balancing
+  /// policy with this many increments (sched::make_policy).
+  int policy_increments = 0;
+  bool asap = false;
+  synth::SynthesisOptions options;
+  /// Wall-clock budget; arms the job's CancelToken.
+  std::optional<std::chrono::milliseconds> deadline;
+};
+
+struct JobResult {
+  JobStatus status = JobStatus::kFailed;
+  /// Set iff status == kDone.  Shared with the cache: treat as immutable.
+  std::shared_ptr<const synth::SynthesisResult> result;
+  bool cache_hit = false;
+  /// Which portfolio arm produced the result: "heuristic[seed]", "ilp",
+  /// "cache", or "single" when racing was off.
+  std::string winner;
+  std::string error;  ///< set for kFailed / kCancelled / kRejected
+  double queue_seconds = 0.0;
+  double run_seconds = 0.0;
+};
+
+class BatchService {
+ public:
+  struct Config {
+    /// 0 = std::thread::hardware_concurrency().
+    int workers = 0;
+    std::size_t queue_capacity = 256;
+    OverflowPolicy overflow = OverflowPolicy::kBlock;
+    /// LRU entries; 0 disables the result cache.
+    std::size_t cache_capacity = 256;
+    PortfolioOptions portfolio;
+  };
+
+  BatchService() : BatchService(Config()) {}
+  explicit BatchService(Config config);
+  ~BatchService() = default;  // pool destructor drains and joins
+
+  /// Enqueues a job.  The returned future never throws on get(): failures
+  /// and rejections are reported in JobResult::status.
+  std::future<JobResult> submit(JobSpec spec);
+
+  /// Point-in-time metrics including cache and pool gauges.
+  MetricsSnapshot metrics() const;
+
+  int worker_count() const { return pool_.worker_count(); }
+
+ private:
+  JobResult run_job(JobSpec& spec, std::chrono::steady_clock::time_point enqueued);
+  synth::SynthesisResult race(const JobSpec& spec, const sched::Schedule& schedule,
+                              const CancelToken& job_token, std::string* winner);
+
+  Config config_;
+  ResultCache cache_;
+  MetricsRegistry metrics_;
+  ThreadPool pool_;  // last member: workers must die before cache/metrics
+};
+
+}  // namespace fsyn::svc

@@ -40,8 +40,10 @@ class Mapper {
         candidate_cache_(static_cast<std::size_t>(problem.task_count())) {}
 
   std::optional<MappingOutcome> run() {
+    options_.cancel.check("heuristic mapper");
     bool constructed = greedy_construct();
     for (int retry = 0; !constructed && retry < options_.greedy_retries; ++retry) {
+      options_.cancel.check("heuristic mapper restart loop");
       // Randomized restarts: grow the tie-break noise so successive
       // attempts explore genuinely different layouts.
       noise_ = 400.0 * (retry + 1);
@@ -136,6 +138,7 @@ class Mapper {
 
     std::deque<int> pending(order.begin(), order.end());
     while (!pending.empty()) {
+      options_.cancel.check("greedy construction");
       const int i = pending.front();
       pending.pop_front();
       const MappingTask& task = problem_.task(i);
@@ -233,6 +236,7 @@ class Mapper {
     double temperature = t0;
 
     for (int iter = 0; iter < options_.sa_iterations; ++iter, temperature *= decay) {
+      if ((iter & 0xff) == 0) options_.cancel.check("annealing loop");
       const int i = static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(problem_.task_count())));
       const MappingTask& task = problem_.task(i);
 

@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "synth/mapping_problem.hpp"
+#include "util/cancel.hpp"
 
 namespace fsyn::synth {
 
@@ -27,6 +28,9 @@ struct HeuristicOptions {
   int sa_iterations = 20000;
   double initial_temperature = 40000.0;
   double final_temperature = 10.0;
+  /// Cooperative cancellation, polled between greedy restarts and every few
+  /// hundred annealing moves; `map_heuristic` throws CancelledError.
+  CancelToken cancel;
 };
 
 struct MappingOutcome {

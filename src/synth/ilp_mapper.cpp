@@ -166,6 +166,7 @@ std::optional<IlpMappingOutcome> map_ilp(const MappingProblem& problem,
   ilp::MilpOptions milp_options;
   milp_options.time_limit_seconds = options.time_limit_seconds;
   milp_options.max_nodes = options.max_nodes;
+  milp_options.cancel = options.cancel;
   if (options.warm_start.has_value()) {
     const Placement& start = *options.warm_start;
     problem.validate_placement(start);

@@ -28,6 +28,9 @@ struct IlpMapperOptions {
   /// Optional warm start (e.g. the heuristic mapper's placement); must be
   /// feasible for the problem.
   std::optional<Placement> warm_start;
+  /// Cooperative cancellation, forwarded to the branch & bound (polled per
+  /// node alongside the node/time limits).
+  CancelToken cancel;
 };
 
 struct IlpMappingOutcome {

@@ -56,6 +56,7 @@ std::optional<MappingAttempt> run_mapper(MappingProblem& problem,
   // ILP mode: the model omits the free-space constraints for runtime (as in
   // the paper); iterate mapping + post-check (Algorithm 1 L4-L9).
   for (int iteration = 0; iteration < options.max_refinement_iterations; ++iteration) {
+    options.cancel.check("refinement loop");
     IlpMapperOptions ilp_options = options.ilp;
     if (options.warm_start_ilp && !ilp_options.warm_start.has_value()) {
       if (const auto warm = map_heuristic(problem, options.heuristic)) {
@@ -93,6 +94,7 @@ std::optional<SynthesisResult> attempt_on_size(const assay::SequencingGraph& gra
   route::RoutingResult routing;
   SynthesisOptions retry_options = options;
   for (int r = 0; r <= options.routing_retries; ++r) {
+    options.cancel.check("mapping/routing attempt");
     retry_options.heuristic.seed = options.heuristic.seed + 7919ULL * static_cast<std::uint64_t>(r);
     attempt = run_mapper(problem, retry_options);
     if (!attempt.has_value()) {
@@ -134,8 +136,17 @@ std::optional<SynthesisResult> attempt_on_size(const assay::SequencingGraph& gra
 }  // namespace
 
 SynthesisResult synthesize(const assay::SequencingGraph& graph,
-                           const sched::Schedule& schedule, const SynthesisOptions& options) {
+                           const sched::Schedule& schedule,
+                           const SynthesisOptions& user_options) {
   const auto started = std::chrono::steady_clock::now();
+
+  // Propagate a synthesis-level token into the mapper options so one token
+  // on SynthesisOptions cancels every stage (explicit mapper tokens win).
+  SynthesisOptions options = user_options;
+  if (options.cancel.valid()) {
+    if (!options.heuristic.cancel.valid()) options.heuristic.cancel = options.cancel;
+    if (!options.ilp.cancel.valid()) options.ilp.cancel = options.cancel;
+  }
 
   check_input(options.dead_valves.empty() || options.grid_size.has_value(),
               "dead valves require an explicit grid_size (coordinates are tied "
@@ -158,6 +169,7 @@ SynthesisResult synthesize(const assay::SequencingGraph& graph,
   std::optional<SynthesisResult> best;
   int feasible_side = -1;
   for (int growth = 0; growth <= options.max_chip_growth; ++growth) {
+    options.cancel.check("chip-size search");
     const int side = first_side + growth;
     auto candidate = attempt_on_size(graph, schedule, options, side, growth);
     if (candidate.has_value()) {
@@ -177,12 +189,14 @@ SynthesisResult synthesize(const assay::SequencingGraph& graph,
     // estimate is deliberately conservative and the valve-count knee often
     // sits below it.
     for (int side = feasible_side - 1; side >= 8; --side) {
+      options.cancel.check("chip-size sweep");
       auto candidate = attempt_on_size(graph, schedule, options, side, feasible_side - side);
       if (!candidate.has_value()) break;
       offer(best, std::move(candidate));
     }
     // And a few larger ones (more room can still lower the max actuation).
     for (int extra = 1; extra <= sweep; ++extra) {
+      options.cancel.check("chip-size sweep");
       offer(best,
             attempt_on_size(graph, schedule, options, feasible_side + extra, extra));
     }

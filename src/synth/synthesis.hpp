@@ -63,6 +63,12 @@ struct SynthesisOptions {
   std::vector<Point> dead_valves;
 
   route::RouterOptions router;
+
+  /// Cooperative cancellation (deadline or explicit cancel, see
+  /// util/cancel.hpp).  Polled between chip-size attempts, refinement
+  /// iterations and inside both mappers; `synthesize` throws
+  /// CancelledError when the token fires.  Inert by default.
+  CancelToken cancel;
 };
 
 struct SynthesisResult {

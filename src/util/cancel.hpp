@@ -1,0 +1,104 @@
+// Cooperative cancellation.
+//
+// A `CancelSource` owns a cancellation flag plus an optional deadline; the
+// `CancelToken`s it hands out are cheap, copyable views that long-running
+// loops poll (the heuristic mapper's restart/annealing loops, the MILP
+// branch & bound, the chip-size sweep in synthesize).  Tokens can be
+// chained: a source created with a parent token is cancelled whenever the
+// parent is, which is how the service layer's portfolio race cancels the
+// losing arms without touching the job-level token.
+//
+// A default-constructed token is inert — `cancelled()` is always false —
+// so every options struct can carry one at zero cost to callers that never
+// use the service layer.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace fsyn {
+
+/// Thrown by cancellation-aware code when its token fires.  Derives from
+/// `Error` so existing catch sites keep working; the service layer catches
+/// it specifically to report a Cancelled job status.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
+class CancelToken {
+ public:
+  /// Inert token: never cancelled.
+  CancelToken() = default;
+
+  bool cancelled() const {
+    const State* s = state_.get();
+    while (s != nullptr) {
+      if (s->flag.load(std::memory_order_relaxed)) return true;
+      const auto deadline = s->deadline_ticks.load(std::memory_order_relaxed);
+      if (deadline != 0 &&
+          std::chrono::steady_clock::now().time_since_epoch().count() >= deadline) {
+        return true;
+      }
+      s = s->parent.get();
+    }
+    return false;
+  }
+
+  /// Throws CancelledError when the token has fired.  `where` names the
+  /// interrupted stage for the error message.
+  void check(const char* where) const {
+    if (cancelled()) {
+      throw CancelledError(std::string("cancelled: ") + where);
+    }
+  }
+
+  /// True when this token is connected to a source (an inert token cannot
+  /// ever fire, so pollers may skip it entirely).
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class CancelSource;
+  struct State {
+    std::atomic<bool> flag{false};
+    /// steady_clock ticks-since-epoch of the deadline; 0 = no deadline.
+    std::atomic<std::chrono::steady_clock::rep> deadline_ticks{0};
+    std::shared_ptr<const State> parent;  ///< null unless the source was chained
+  };
+
+  explicit CancelToken(std::shared_ptr<const State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<const State> state_;
+};
+
+class CancelSource {
+ public:
+  CancelSource() : state_(std::make_shared<CancelToken::State>()) {}
+
+  /// Chained source: tokens also report cancelled when `parent` fires.
+  explicit CancelSource(const CancelToken& parent) : CancelSource() {
+    state_->parent = parent.state_;
+  }
+
+  void cancel() { state_->flag.store(true, std::memory_order_relaxed); }
+
+  /// Sets an absolute deadline `timeout` from now; tokens fire once the
+  /// steady clock passes it.  A non-positive timeout fires immediately.
+  void set_deadline_after(std::chrono::nanoseconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    state_->deadline_ticks.store(deadline.time_since_epoch().count(),
+                                 std::memory_order_relaxed);
+  }
+
+  CancelToken token() const { return CancelToken(state_); }
+  bool cancelled() const { return token().cancelled(); }
+
+ private:
+  std::shared_ptr<CancelToken::State> state_;
+};
+
+}  // namespace fsyn

@@ -1,0 +1,288 @@
+// Tests for the concurrent batch-synthesis service (src/svc/): thread pool
+// semantics, cooperative cancellation, the canonical-key LRU result cache,
+// portfolio racing, and parity between pooled and sequential synthesis.
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "assay/benchmarks.hpp"
+#include "sched/list_scheduler.hpp"
+#include "svc/service.hpp"
+#include "util/cancel.hpp"
+
+namespace fsyn {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---- thread pool ----
+
+TEST(ThreadPool, RunsEveryTask) {
+  svc::ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.submit([&done] { done.fetch_add(1); }));
+  }
+  pool.shutdown();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, RejectPolicyBouncesWhenFull) {
+  svc::ThreadPool pool(1, /*queue_capacity=*/1, svc::OverflowPolicy::kReject);
+  std::atomic<bool> release{false};
+  // Occupy the single worker, then fill the single queue slot.
+  ASSERT_TRUE(pool.submit([&release] {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  }));
+  // The worker may not have dequeued yet; poll until the blocker runs and
+  // one task sits in the queue.
+  bool queued = false;
+  for (int attempt = 0; attempt < 2000 && !queued; ++attempt) {
+    if (pool.queue_depth() == 0) {
+      queued = pool.submit([] {});
+    } else {
+      queued = true;
+    }
+    if (!queued) std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_TRUE(queued);
+  // Queue full + busy worker: the next submission must bounce.
+  EXPECT_FALSE(pool.submit([] {}));
+  release.store(true);
+  pool.shutdown();
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    svc::ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&done] {
+        std::this_thread::sleep_for(1ms);
+        done.fetch_add(1);
+      });
+    }
+  }  // destructor = shutdown
+  EXPECT_EQ(done.load(), 20);
+}
+
+// ---- cancellation primitives ----
+
+TEST(CancelToken, InertTokenNeverFires) {
+  CancelToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_NO_THROW(token.check("inert"));
+}
+
+TEST(CancelToken, ExplicitCancelAndDeadline) {
+  CancelSource source;
+  const CancelToken token = source.token();
+  EXPECT_FALSE(token.cancelled());
+  source.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_THROW(token.check("loop"), CancelledError);
+
+  CancelSource timed;
+  timed.set_deadline_after(-1ms);  // already past
+  EXPECT_TRUE(timed.token().cancelled());
+}
+
+TEST(CancelToken, ChainedSourceSeesParent) {
+  CancelSource parent;
+  CancelSource child(parent.token());
+  EXPECT_FALSE(child.token().cancelled());
+  parent.cancel();
+  EXPECT_TRUE(child.token().cancelled());
+  // And the reverse does not hold: cancelling a child leaves the parent.
+  CancelSource other(parent.token());
+  EXPECT_TRUE(other.token().cancelled());  // parent already fired
+  CancelSource fresh_parent;
+  CancelSource fresh_child(fresh_parent.token());
+  fresh_child.cancel();
+  EXPECT_FALSE(fresh_parent.token().cancelled());
+}
+
+// ---- service jobs ----
+
+svc::JobSpec small_job(std::uint64_t seed = 2015) {
+  svc::JobSpec spec;
+  spec.graph = assay::make_benchmark("pcr");
+  spec.name = "pcr";
+  spec.asap = true;
+  spec.options.grid_size = 10;  // fixed chip: no sweep, fast and focused
+  spec.options.heuristic.seed = seed;
+  return spec;
+}
+
+TEST(BatchService, DeadlineCancelsInsteadOfSolving) {
+  svc::BatchService::Config config;
+  config.workers = 1;
+  svc::BatchService service(config);
+
+  svc::JobSpec spec;
+  spec.graph = assay::make_benchmark("exponential_dilution");  // minutes if run fully
+  spec.name = "exponential_dilution";
+  spec.deadline = std::chrono::milliseconds(1);
+
+  const auto started = std::chrono::steady_clock::now();
+  const svc::JobResult result = service.submit(std::move(spec)).get();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+
+  EXPECT_EQ(result.status, svc::JobStatus::kCancelled);
+  EXPECT_EQ(result.result, nullptr);
+  EXPECT_FALSE(result.error.empty());
+  // Orders of magnitude below a full solve; generous bound for slow CI.
+  EXPECT_LT(elapsed, 10.0);
+  EXPECT_EQ(service.metrics().jobs_cancelled, 1);
+}
+
+TEST(BatchService, CacheHitIsBitIdenticalAndSkipsMappers) {
+  svc::BatchService service;
+
+  const svc::JobResult first = service.submit(small_job()).get();
+  ASSERT_EQ(first.status, svc::JobStatus::kDone);
+  EXPECT_FALSE(first.cache_hit);
+  const long mapper_runs = service.metrics().mapper_invocations;
+  EXPECT_GE(mapper_runs, 1);
+
+  const svc::JobResult second = service.submit(small_job()).get();
+  ASSERT_EQ(second.status, svc::JobStatus::kDone);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.winner, "cache");
+  // The cache returns the stored object itself: bit-identical by identity.
+  EXPECT_EQ(second.result.get(), first.result.get());
+  // And no mapper ran for the hit.
+  EXPECT_EQ(service.metrics().mapper_invocations, mapper_runs);
+  EXPECT_EQ(service.metrics().cache.hits, 1);
+
+  // A different seed is a different canonical key.
+  const svc::JobResult third = service.submit(small_job(99)).get();
+  ASSERT_EQ(third.status, svc::JobStatus::kDone);
+  EXPECT_FALSE(third.cache_hit);
+}
+
+TEST(BatchService, LruEvictionIsCountedAndEvictedKeyMisses) {
+  svc::BatchService::Config config;
+  config.workers = 1;
+  config.cache_capacity = 1;
+  svc::BatchService service(config);
+
+  ASSERT_EQ(service.submit(small_job(1)).get().status, svc::JobStatus::kDone);
+  ASSERT_EQ(service.submit(small_job(2)).get().status, svc::JobStatus::kDone);  // evicts 1
+  EXPECT_EQ(service.metrics().cache.evictions, 1);
+
+  const svc::JobResult again = service.submit(small_job(1)).get();
+  ASSERT_EQ(again.status, svc::JobStatus::kDone);
+  EXPECT_FALSE(again.cache_hit);  // was evicted, re-solved
+}
+
+TEST(BatchService, RejectPolicyReportsRejectedStatus) {
+  svc::BatchService::Config config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+  config.overflow = svc::OverflowPolicy::kReject;
+  svc::BatchService service(config);
+
+  // Saturate: one running + one queued + overflow.  Deadlines keep the
+  // blockers cheap; their own status does not matter here.
+  std::vector<std::future<svc::JobResult>> futures;
+  int rejected = 0;
+  for (int i = 0; i < 8; ++i) {
+    svc::JobSpec spec = small_job(static_cast<std::uint64_t>(100 + i));
+    spec.deadline = std::chrono::milliseconds(200);
+    futures.push_back(service.submit(std::move(spec)));
+  }
+  for (auto& future : futures) {
+    if (future.get().status == svc::JobStatus::kRejected) ++rejected;
+  }
+  EXPECT_EQ(service.metrics().jobs_rejected, rejected);
+  EXPECT_EQ(service.metrics().jobs_submitted, 8);
+}
+
+TEST(BatchService, PoolResultsMatchSequentialRun) {
+  // The acceptance bar: same seeds => same designs, pool or no pool.
+  const assay::SequencingGraph graph = assay::make_benchmark("pcr");
+  const sched::Schedule schedule = sched::schedule_asap(graph);
+  synth::SynthesisOptions options;
+  options.grid_size = 10;
+  const synth::SynthesisResult sequential = synth::synthesize(graph, schedule, options);
+
+  svc::BatchService::Config config;
+  config.workers = 4;
+  svc::BatchService service(config);
+  std::vector<std::future<svc::JobResult>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(service.submit(small_job()));
+  for (auto& future : futures) {
+    const svc::JobResult result = future.get();
+    ASSERT_EQ(result.status, svc::JobStatus::kDone);
+    EXPECT_EQ(result.result->vs1_max, sequential.vs1_max);
+    EXPECT_EQ(result.result->vs2_max, sequential.vs2_max);
+    EXPECT_EQ(result.result->valve_count, sequential.valve_count);
+    EXPECT_EQ(result.result->chip_width, sequential.chip_width);
+  }
+}
+
+TEST(BatchService, PortfolioRaceProducesFeasibleResultAndCancelsLosers) {
+  svc::BatchService::Config config;
+  config.workers = 1;
+  config.portfolio.enabled = true;
+  config.portfolio.heuristic_arms = 2;
+  svc::BatchService service(config);
+
+  const svc::JobResult result = service.submit(small_job()).get();
+  ASSERT_EQ(result.status, svc::JobStatus::kDone);
+  ASSERT_NE(result.result, nullptr);
+  EXPECT_GT(result.result->vs1_max, 0);
+  EXPECT_GT(result.result->valve_count, 0);
+  // pcr is small enough for the ILP arm to join: 2 heuristic + 1 ilp.
+  const svc::MetricsSnapshot metrics = service.metrics();
+  EXPECT_EQ(metrics.race_arms_started, 3);
+  EXPECT_TRUE(result.winner.rfind("heuristic", 0) == 0 || result.winner == "ilp")
+      << result.winner;
+  // The winner cancelled everyone else exactly once.
+  EXPECT_EQ(metrics.race_arms_cancelled, 2);
+}
+
+TEST(BatchService, RaceRespectsJobDeadline) {
+  svc::BatchService::Config config;
+  config.workers = 1;
+  config.portfolio.enabled = true;
+  svc::BatchService service(config);
+
+  svc::JobSpec spec;
+  spec.graph = assay::make_benchmark("exponential_dilution");
+  spec.name = "exponential_dilution";
+  spec.deadline = std::chrono::milliseconds(1);
+  const svc::JobResult result = service.submit(std::move(spec)).get();
+  EXPECT_EQ(result.status, svc::JobStatus::kCancelled);
+}
+
+// ---- canonical keys ----
+
+TEST(ResultCache, CanonicalKeyIgnoresNamesButSeesStructure) {
+  const assay::SequencingGraph pcr = assay::make_benchmark("pcr");
+  const sched::Schedule schedule = sched::schedule_asap(pcr);
+  synth::SynthesisOptions options;
+
+  const svc::CacheKey base = svc::canonical_key(pcr, schedule, options);
+  EXPECT_EQ(svc::canonical_key(pcr, schedule, options), base);  // deterministic
+
+  synth::SynthesisOptions reseeded = options;
+  reseeded.heuristic.seed = 4242;
+  EXPECT_NE(svc::canonical_key(pcr, schedule, reseeded), base);
+
+  synth::SynthesisOptions sized = options;
+  sized.grid_size = 12;
+  EXPECT_NE(svc::canonical_key(pcr, schedule, sized), base);
+
+  const assay::SequencingGraph other = assay::make_benchmark("invitro");
+  const sched::Schedule other_schedule = sched::schedule_asap(other);
+  EXPECT_NE(svc::canonical_key(other, other_schedule, options), base);
+}
+
+}  // namespace
+}  // namespace fsyn

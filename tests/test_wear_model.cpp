@@ -1,0 +1,91 @@
+// Tests for sim/wear_model: Monte-Carlo determinism in the seed, percentile
+// sanity, and consistency between the deterministic and sampled estimates.
+#include <gtest/gtest.h>
+
+#include "sim/wear_model.hpp"
+
+namespace fsyn::sim {
+namespace {
+
+/// A small hand-built ledger: a 4x4 chip with a hot pump ring and a couple
+/// of control-only valves.
+ActuationLedger make_ledger() {
+  ActuationLedger ledger;
+  ledger.pump = Grid<int>(4, 4, 0);
+  ledger.control = Grid<int>(4, 4, 0);
+  ledger.pump.at({1, 1}) = 40;
+  ledger.pump.at({2, 1}) = 40;
+  ledger.pump.at({1, 2}) = 44;  // busiest valve: 44 + 2 = 46 per run
+  ledger.control.at({1, 2}) = 2;
+  ledger.control.at({0, 0}) = 6;
+  ledger.control.at({3, 3}) = 2;
+  return ledger;
+}
+
+TEST(WearModel, DeterministicLifetimeIsEnduranceOverBusiestValve) {
+  const ActuationLedger ledger = make_ledger();
+  WearModel model;
+  model.endurance_mean = 5000.0;
+  EXPECT_EQ(ledger.max_total(), 46);
+  EXPECT_EQ(deterministic_lifetime(ledger, model), 5000 / 46);
+}
+
+TEST(WearModel, MonteCarloIsDeterministicInTheSeed) {
+  const ActuationLedger ledger = make_ledger();
+  const WearModel model;
+
+  Rng rng_a(12345);
+  const LifetimeEstimate a = monte_carlo_lifetime(ledger, rng_a, model, 500);
+  Rng rng_b(12345);
+  const LifetimeEstimate b = monte_carlo_lifetime(ledger, rng_b, model, 500);
+
+  // Same seed => bit-identical estimate.
+  EXPECT_EQ(a.mean_runs, b.mean_runs);
+  EXPECT_EQ(a.p10_runs, b.p10_runs);
+  EXPECT_EQ(a.p90_runs, b.p90_runs);
+  EXPECT_EQ(a.trials, b.trials);
+
+  // A different seed samples different chips (means almost surely differ).
+  Rng rng_c(54321);
+  const LifetimeEstimate c = monte_carlo_lifetime(ledger, rng_c, model, 500);
+  EXPECT_NE(a.mean_runs, c.mean_runs);
+}
+
+TEST(WearModel, PercentilesBracketTheMean) {
+  const ActuationLedger ledger = make_ledger();
+  Rng rng(2015);
+  const LifetimeEstimate estimate = monte_carlo_lifetime(ledger, rng, {}, 2000);
+
+  EXPECT_GT(estimate.p10_runs, 0.0);
+  EXPECT_LE(estimate.p10_runs, estimate.mean_runs);
+  EXPECT_LE(estimate.mean_runs, estimate.p90_runs);
+  EXPECT_EQ(estimate.trials, 2000);
+}
+
+TEST(WearModel, DeterministicLifetimeLiesInTheMonteCarloEnvelope) {
+  const ActuationLedger ledger = make_ledger();
+  const WearModel model;  // stddev 500 around mean 5000
+  Rng rng(7);
+  const LifetimeEstimate estimate = monte_carlo_lifetime(ledger, rng, model, 2000);
+  const double deterministic = deterministic_lifetime(ledger, model);
+
+  // With 10% endurance spread the sampled envelope must contain the
+  // deterministic estimate: p10 pessimistic, p90 optimistic.
+  EXPECT_LE(estimate.p10_runs, deterministic);
+  EXPECT_GE(estimate.p90_runs, deterministic);
+}
+
+TEST(WearModel, ZeroVarianceCollapsesToDeterministic) {
+  const ActuationLedger ledger = make_ledger();
+  WearModel model;
+  model.endurance_stddev = 0.0;
+  Rng rng(1);
+  const LifetimeEstimate estimate = monte_carlo_lifetime(ledger, rng, model, 100);
+  const double deterministic = deterministic_lifetime(ledger, model);
+  EXPECT_EQ(estimate.mean_runs, deterministic);
+  EXPECT_EQ(estimate.p10_runs, deterministic);
+  EXPECT_EQ(estimate.p90_runs, deterministic);
+}
+
+}  // namespace
+}  // namespace fsyn::sim

@@ -3,7 +3,8 @@
 // Usage:
 //   flowsynth synth <assay-file|benchmark> [options]   run synthesis
 //   flowsynth schedule <assay-file|benchmark> [options] print the Gantt chart
-//   flowsynth table1                                     reproduce Table 1
+//   flowsynth batch <spec|all> [options]                 concurrent batch sweep
+//   flowsynth table1 [--jobs N]                          reproduce Table 1
 //   flowsynth list                                       list built-in benchmarks
 //
 // Options for synth/schedule:
@@ -12,10 +13,24 @@
 //   --grid N        force an N x N valve matrix (disables the size sweep)
 //   --seed S        heuristic mapper seed (default 2015)
 //   --ilp           use the exact ILP mapper (small assays only)
+//   --time-limit S  ILP branch & bound wall-clock limit in seconds
 //   --json PATH     write the synthesis result as JSON
 //   --svg PATH      write an SVG rendering
 //   --snapshots     print Fig.-10 style actuation snapshots
 //   --control       print the valve control program
+//
+// Options for batch (spec = comma-separated benchmark names, or "all"):
+//   --jobs N         worker threads (default: hardware concurrency)
+//   --policies P     policy increments swept per benchmark (default 3)
+//   --repeat R       submit the whole sweep R times (exercises the cache)
+//   --deadline-ms D  per-job deadline; late jobs report "cancelled"
+//   --race           portfolio racing (heuristic seeds + ILP for small cases)
+//   --metrics PATH   dump the service metrics registry as JSON
+//   --cache N        result-cache capacity (default 256, 0 disables)
+//   --queue N        bounded job-queue capacity (default 256)
+//   --reject         reject jobs when the queue is full instead of blocking
+#include <chrono>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -30,8 +45,10 @@
 #include "sched/list_scheduler.hpp"
 #include "sim/control_program.hpp"
 #include "sim/simulator.hpp"
+#include "svc/service.hpp"
 #include "synth/synthesis.hpp"
 #include "util/strings.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -45,10 +62,22 @@ struct CliOptions {
   std::optional<int> grid;
   std::uint64_t seed = 2015;
   bool use_ilp = false;
+  std::optional<double> time_limit_seconds;
   std::string json_path;
   std::string svg_path;
   bool snapshots = false;
   bool control = false;
+
+  // batch / table1
+  int jobs = 0;  ///< 0 = hardware concurrency (table1 defaults to 1)
+  int policies = 3;
+  int repeat = 1;
+  std::optional<int> deadline_ms;
+  bool race = false;
+  std::string metrics_path;
+  int cache_capacity = 256;
+  int queue_capacity = 256;
+  bool reject = false;
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -56,10 +85,13 @@ struct CliOptions {
   std::cerr <<
       "usage:\n"
       "  flowsynth synth    <assay-file|benchmark> [--policy N | --asap] [--grid N]\n"
-      "                     [--seed S] [--ilp] [--json PATH] [--svg PATH]\n"
-      "                     [--snapshots] [--control]\n"
+      "                     [--seed S] [--ilp] [--time-limit S] [--json PATH]\n"
+      "                     [--svg PATH] [--snapshots] [--control]\n"
       "  flowsynth schedule <assay-file|benchmark> [--policy N | --asap]\n"
-      "  flowsynth table1\n"
+      "  flowsynth batch    <benchmark[,benchmark...]|all> [--jobs N] [--policies P]\n"
+      "                     [--repeat R] [--deadline-ms D] [--race] [--metrics PATH]\n"
+      "                     [--seed S] [--grid N] [--cache N] [--queue N] [--reject]\n"
+      "  flowsynth table1   [--jobs N]\n"
       "  flowsynth list\n";
   std::exit(2);
 }
@@ -69,10 +101,13 @@ CliOptions parse_cli(int argc, char** argv) {
   if (argc < 2) usage();
   options.command = argv[1];
   int i = 2;
-  if (options.command == "synth" || options.command == "schedule") {
-    if (argc < 3) usage("missing assay");
+  if (options.command == "synth" || options.command == "schedule" ||
+      options.command == "batch") {
+    if (argc < 3) usage(options.command == "batch" ? "missing benchmark spec"
+                                                   : "missing assay");
     options.target = argv[i++];
   }
+  if (options.command == "table1") options.jobs = 1;
   for (; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -89,6 +124,8 @@ CliOptions parse_cli(int argc, char** argv) {
       options.seed = static_cast<std::uint64_t>(parse_int(next()));
     } else if (arg == "--ilp") {
       options.use_ilp = true;
+    } else if (arg == "--time-limit") {
+      options.time_limit_seconds = parse_double(next());
     } else if (arg == "--json") {
       options.json_path = next();
     } else if (arg == "--svg") {
@@ -97,6 +134,24 @@ CliOptions parse_cli(int argc, char** argv) {
       options.snapshots = true;
     } else if (arg == "--control") {
       options.control = true;
+    } else if (arg == "--jobs") {
+      options.jobs = parse_int(next());
+    } else if (arg == "--policies") {
+      options.policies = parse_int(next());
+    } else if (arg == "--repeat") {
+      options.repeat = parse_int(next());
+    } else if (arg == "--deadline-ms") {
+      options.deadline_ms = parse_int(next());
+    } else if (arg == "--race") {
+      options.race = true;
+    } else if (arg == "--metrics") {
+      options.metrics_path = next();
+    } else if (arg == "--cache") {
+      options.cache_capacity = parse_int(next());
+    } else if (arg == "--queue") {
+      options.queue_capacity = parse_int(next());
+    } else if (arg == "--reject") {
+      options.reject = true;
     } else {
       usage("unknown option " + arg);
     }
@@ -133,6 +188,9 @@ int run_synth(const CliOptions& cli) {
   options.grid_size = cli.grid;
   options.heuristic.seed = cli.seed;
   if (cli.use_ilp) options.mapper = synth::MapperKind::kIlp;
+  if (cli.time_limit_seconds.has_value()) {
+    options.ilp.time_limit_seconds = *cli.time_limit_seconds;
+  }
   const synth::SynthesisResult result = synth::synthesize(graph, schedule, options);
 
   std::cout << "chip:        " << result.chip_width << "x" << result.chip_height
@@ -173,6 +231,106 @@ int run_synth(const CliOptions& cli) {
   return 0;
 }
 
+std::vector<std::string> parse_batch_spec(const std::string& spec) {
+  if (spec == "all") return assay::extended_benchmark_names();
+  std::vector<std::string> names;
+  std::string current;
+  for (const char c : spec) {
+    if (c == ',') {
+      if (!current.empty()) names.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) names.push_back(current);
+  if (names.empty()) usage("empty benchmark spec");
+  return names;
+}
+
+int run_batch(const CliOptions& cli) {
+  const std::vector<std::string> names = parse_batch_spec(cli.target);
+
+  svc::BatchService::Config config;
+  config.workers = cli.jobs;
+  config.queue_capacity = static_cast<std::size_t>(std::max(0, cli.queue_capacity));
+  config.overflow = cli.reject ? svc::OverflowPolicy::kReject : svc::OverflowPolicy::kBlock;
+  config.cache_capacity = static_cast<std::size_t>(std::max(0, cli.cache_capacity));
+  config.portfolio.enabled = cli.race;
+  svc::BatchService service(config);
+
+  struct Pending {
+    std::string name;
+    std::string policy;
+    std::future<svc::JobResult> future;
+  };
+  std::vector<Pending> pending;
+  const auto submit_started = std::chrono::steady_clock::now();
+  for (int round = 0; round < std::max(1, cli.repeat); ++round) {
+    for (const std::string& name : names) {
+      for (int p = 0; p < std::max(1, cli.policies); ++p) {
+        svc::JobSpec spec;
+        spec.name = name;
+        spec.graph = assay::make_benchmark(name);
+        spec.policy_increments = p;
+        spec.asap = cli.asap;
+        spec.options.grid_size = cli.grid;
+        spec.options.heuristic.seed = cli.seed;
+        if (cli.deadline_ms.has_value()) {
+          spec.deadline = std::chrono::milliseconds(*cli.deadline_ms);
+        }
+        pending.push_back({name, "p" + std::to_string(p + 1), service.submit(std::move(spec))});
+      }
+    }
+  }
+
+  TextTable table;
+  table.set_header({"case", "Po.", "status", "chip", "vs_1max", "vs_2max", "#v", "via",
+                    "queue(s)", "run(s)"});
+  table.set_alignment({Align::kLeft, Align::kLeft, Align::kLeft, Align::kLeft, Align::kRight,
+                       Align::kRight, Align::kRight, Align::kLeft, Align::kRight,
+                       Align::kRight});
+  int failures = 0;
+  for (Pending& job : pending) {
+    const svc::JobResult result = job.future.get();
+    std::string chip = "-", vs1 = "-", vs2 = "-", valves = "-";
+    if (result.result != nullptr) {
+      const synth::SynthesisResult& r = *result.result;
+      chip = std::to_string(r.chip_width) + "x" + std::to_string(r.chip_height);
+      vs1 = std::to_string(r.vs1_max) + "(" + std::to_string(r.vs1_pump) + ")";
+      vs2 = std::to_string(r.vs2_max) + "(" + std::to_string(r.vs2_pump) + ")";
+      valves = std::to_string(r.valve_count);
+    }
+    if (result.status == svc::JobStatus::kFailed ||
+        result.status == svc::JobStatus::kRejected) {
+      ++failures;
+    }
+    table.add_row({job.name, job.policy, to_string(result.status), chip, vs1, vs2, valves,
+                   result.cache_hit ? "cache" : result.winner,
+                   format_fixed(result.queue_seconds, 3),
+                   format_fixed(result.run_seconds, 3)});
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - submit_started)
+          .count();
+  std::cout << table.to_string();
+
+  const svc::MetricsSnapshot metrics = service.metrics();
+  std::cout << '\n'
+            << pending.size() << " jobs on " << service.worker_count() << " workers in "
+            << format_fixed(wall, 2) << " s (synthesis cpu "
+            << format_fixed(metrics.synthesis_seconds, 2) << " s); cache "
+            << metrics.cache.hits << " hits / " << metrics.cache.misses << " misses / "
+            << metrics.cache.evictions << " evictions\n";
+  if (!cli.metrics_path.empty()) {
+    std::ofstream out(cli.metrics_path);
+    check_input(static_cast<bool>(out), "cannot write metrics to " + cli.metrics_path);
+    out << metrics.to_json();
+    std::cout << "metrics:     " << cli.metrics_path << '\n';
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -183,11 +341,12 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (cli.command == "table1") {
-      std::cout << report::format_table(report::run_full_table());
+      std::cout << report::format_table(report::run_full_table({}, cli.jobs));
       return 0;
     }
     if (cli.command == "schedule") return run_schedule(cli);
     if (cli.command == "synth") return run_synth(cli);
+    if (cli.command == "batch") return run_batch(cli);
     usage("unknown command '" + cli.command + "'");
   } catch (const fsyn::Error& e) {
     std::cerr << "error: " << e.what() << '\n';
