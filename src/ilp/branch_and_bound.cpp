@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <memory>
+#include <utility>
 
 #include "ilp/presolve.hpp"
 #include "util/error.hpp"
@@ -14,15 +16,41 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// One branching decision: the bound box of `var` after the branch.  Nodes
+/// share their ancestors' decisions through an immutable linked chain, so a
+/// node costs O(1) memory instead of a full bound-box copy.
+struct BoundChange {
+  int var = -1;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+struct Chain {
+  BoundChange change;
+  std::shared_ptr<const Chain> parent;
+};
+
+struct Node {
+  double bound_score = -kInfinity;  ///< parent LP bound, minimize sense
+  int depth = 0;
+  long seq = 0;  ///< creation order; newest-first on ties
+  std::shared_ptr<const Chain> changes;
+  // Branching bookkeeping for pseudocost updates.
+  int branch_var = -1;
+  double branch_dist = 0.0;  ///< LP-value distance moved by the branch
+  bool branch_up = false;
+};
+
 class BranchAndBound {
  public:
   BranchAndBound(const Model& model, const MilpOptions& options,
                  const std::vector<double>* presolved_lower = nullptr,
                  const std::vector<double>* presolved_upper = nullptr)
       : model_(model), options_(options), start_(Clock::now()) {
-    lower_.reserve(static_cast<std::size_t>(model.variable_count()));
-    upper_.reserve(static_cast<std::size_t>(model.variable_count()));
-    for (int j = 0; j < model.variable_count(); ++j) {
+    const int n = model.variable_count();
+    root_lower_.reserve(static_cast<std::size_t>(n));
+    root_upper_.reserve(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
       const Variable& v = model.variable(VarId{j});
       double lo = presolved_lower ? (*presolved_lower)[static_cast<std::size_t>(j)] : v.lower;
       double hi = presolved_upper ? (*presolved_upper)[static_cast<std::size_t>(j)] : v.upper;
@@ -32,9 +60,16 @@ class BranchAndBound {
         lo = std::isfinite(lo) ? std::ceil(lo - 1e-9) : lo;
         hi = std::isfinite(hi) ? std::floor(hi + 1e-9) : hi;
       }
-      lower_.push_back(lo);
-      upper_.push_back(hi);
+      root_lower_.push_back(lo);
+      root_upper_.push_back(hi);
     }
+    cur_lower_ = root_lower_;
+    cur_upper_ = root_upper_;
+    stamp_.assign(static_cast<std::size_t>(n), 0);
+    pc_down_sum_.assign(static_cast<std::size_t>(n), 0.0);
+    pc_down_count_.assign(static_cast<std::size_t>(n), 0);
+    pc_up_sum_.assign(static_cast<std::size_t>(n), 0.0);
+    pc_up_count_.assign(static_cast<std::size_t>(n), 0);
   }
 
   MilpResult run() {
@@ -45,32 +80,88 @@ class BranchAndBound {
       incumbent_score_ = min_score(model_.objective_value(*incumbent_));
     }
 
-    root_bound_score_ = -kInfinity;
-    const NodeOutcome outcome = explore(0);
+    LpSolver solver(model_, options_.lp);
+    push_node(Node{});
+    bool unbounded = false;
+
+    while (!open_.empty()) {
+      if (limits_exceeded()) {
+        limit_hit_ = true;
+        break;
+      }
+      Node node = pop_node();
+      if (pruned_by_bound(node.bound_score)) continue;
+      ++nodes_;
+
+      materialize(node);
+      const double cutoff =
+          incumbent_.has_value() ? incumbent_score_ - options_.absolute_gap : kInfinity;
+      const LpResult lp = options_.lp_warm_start ? solver.resolve(cur_lower_, cur_upper_, cutoff)
+                                                 : solver.solve(cur_lower_, cur_upper_);
+      lp_iterations_ += lp.iterations;
+
+      if (lp.status == LpStatus::kInfeasible || lp.status == LpStatus::kCutoff) continue;
+      if (lp.status == LpStatus::kUnbounded) {
+        unbounded = true;
+        break;
+      }
+      if (lp.status == LpStatus::kIterationLimit) {
+        limit_hit_ = true;
+        pending_bound_ = node.bound_score;
+        break;
+      }
+
+      const double node_score = min_score(lp.objective);
+      if (node.branch_var >= 0) {
+        update_pseudocost(node, node_score);
+      } else {
+        root_bound_score_ = node_score;
+      }
+      if (pruned_by_bound(node_score)) continue;
+
+      const int branch_var = select_branch_var(lp.values);
+      if (branch_var == -1) {
+        // LP solution is already integral: snap and adopt.
+        std::vector<double> snapped = lp.values;
+        for (int j = 0; j < model_.variable_count(); ++j) {
+          if (model_.variable(VarId{j}).type == VarType::kContinuous) continue;
+          snapped[static_cast<std::size_t>(j)] = std::round(snapped[static_cast<std::size_t>(j)]);
+        }
+        if (model_.is_feasible(snapped)) offer_incumbent(std::move(snapped));
+        continue;
+      }
+
+      try_rounding(lp.values);
+      if (pruned_by_bound(node_score)) continue;
+
+      branch(node, branch_var, lp.values, node_score);
+    }
 
     MilpResult result;
     result.nodes = nodes_;
     result.lp_iterations = lp_iterations_;
-    if (outcome == NodeOutcome::kUnbounded && !incumbent_.has_value()) {
+    result.lp = solver.stats();
+    if (unbounded && !incumbent_.has_value()) {
       result.status = MilpStatus::kUnbounded;
       return result;
     }
+    const double bound_score = remaining_bound_score();
     if (incumbent_.has_value()) {
       result.values = *incumbent_;
       result.objective = model_.objective_value(*incumbent_);
       result.status = limit_hit_ ? MilpStatus::kFeasible : MilpStatus::kOptimal;
-      result.best_bound = limit_hit_ ? user_value(root_bound_score_) : result.objective;
+      result.best_bound = limit_hit_ ? user_value(bound_score) : result.objective;
     } else {
       result.status = limit_hit_ ? MilpStatus::kLimit : MilpStatus::kInfeasible;
-      result.best_bound = user_value(root_bound_score_);
+      result.best_bound = user_value(limit_hit_ ? bound_score : root_bound_score_);
     }
     return result;
   }
 
  private:
-  enum class NodeOutcome { kDone, kUnbounded };
-
-  /// Converts a user-sense objective into an always-minimized score.
+  /// Converts a user-sense objective into an always-minimized score.  This
+  /// is also the LP engine's internal objective, so incumbent scores can be
+  /// handed to LpSolver::resolve as cutoffs directly.
   double min_score(double user_objective) const {
     return model_.objective_sign() * (user_objective - model_.objective_constant());
   }
@@ -78,16 +169,75 @@ class BranchAndBound {
     return model_.objective_sign() * score + model_.objective_constant();
   }
 
+  bool pruned_by_bound(double score) const {
+    return incumbent_.has_value() && score >= incumbent_score_ - options_.absolute_gap;
+  }
+
   bool limits_exceeded() {
     if (nodes_ >= options_.max_nodes) return true;
     if (options_.time_limit_seconds > 0.0) {
-      const double elapsed =
-          std::chrono::duration<double>(Clock::now() - start_).count();
+      const double elapsed = std::chrono::duration<double>(Clock::now() - start_).count();
       if (elapsed > options_.time_limit_seconds) return true;
     }
     if (options_.cancel.valid() && options_.cancel.cancelled()) return true;
     return false;
   }
+
+  // ---- open list -----------------------------------------------------------
+
+  /// "Worse" ordering for the best-first heap: larger parent bound loses;
+  /// on ties, shallower loses, then older loses (prefer diving).
+  static bool worse(const Node& a, const Node& b) {
+    if (a.bound_score != b.bound_score) return a.bound_score > b.bound_score;
+    if (a.depth != b.depth) return a.depth < b.depth;
+    return a.seq < b.seq;
+  }
+
+  void push_node(Node node) {
+    open_.push_back(std::move(node));
+    if (options_.node_order == NodeOrder::kBestFirst) {
+      std::push_heap(open_.begin(), open_.end(), worse);
+    }
+  }
+
+  Node pop_node() {
+    if (options_.node_order == NodeOrder::kBestFirst) {
+      std::pop_heap(open_.begin(), open_.end(), worse);
+    }
+    Node node = std::move(open_.back());
+    open_.pop_back();
+    return node;
+  }
+
+  /// Tightest proven bound over everything still unexplored.
+  double remaining_bound_score() const {
+    double bound = pending_bound_;
+    for (const Node& node : open_) bound = std::min(bound, node.bound_score);
+    if (!std::isfinite(bound) && bound > 0.0) bound = root_bound_score_;
+    return bound;
+  }
+
+  /// Applies a node's bound-change chain on top of the root box.  The chain
+  /// is walked leaf-to-root with deepest-wins stamping, after first undoing
+  /// the previous node's changes (O(changes), not O(variables)).
+  void materialize(const Node& node) {
+    for (const int v : touched_) {
+      cur_lower_[static_cast<std::size_t>(v)] = root_lower_[static_cast<std::size_t>(v)];
+      cur_upper_[static_cast<std::size_t>(v)] = root_upper_[static_cast<std::size_t>(v)];
+    }
+    touched_.clear();
+    ++epoch_;
+    for (const Chain* link = node.changes.get(); link != nullptr; link = link->parent.get()) {
+      const int v = link->change.var;
+      if (stamp_[static_cast<std::size_t>(v)] == epoch_) continue;  // deeper change wins
+      stamp_[static_cast<std::size_t>(v)] = epoch_;
+      touched_.push_back(v);
+      cur_lower_[static_cast<std::size_t>(v)] = link->change.lower;
+      cur_upper_[static_cast<std::size_t>(v)] = link->change.upper;
+    }
+  }
+
+  // ---- branching -----------------------------------------------------------
 
   /// Picks the integer variable whose LP value is most fractional
   /// (fractional part closest to 0.5); -1 when the point is integral.
@@ -108,18 +258,126 @@ class BranchAndBound {
     return best;
   }
 
-  /// Rounds the LP point and adopts it as incumbent when feasible.
+  /// Pseudocost product rule over the fractional variables; averages stand
+  /// in for unobserved directions, and until any observation exists the
+  /// most-fractional variable is used.
+  int select_branch_var(const std::vector<double>& values) const {
+    const long total = pc_observations_down_ + pc_observations_up_;
+    if (!options_.pseudocost_branching || total == 0) return most_fractional(values);
+    const double avg_down =
+        pc_observations_down_ > 0 ? pc_total_down_ / static_cast<double>(pc_observations_down_) : 1.0;
+    const double avg_up =
+        pc_observations_up_ > 0 ? pc_total_up_ / static_cast<double>(pc_observations_up_) : 1.0;
+    int best = -1;
+    double best_score = -1.0;
+    double best_distance_to_half = 1.0;
+    for (int j = 0; j < model_.variable_count(); ++j) {
+      if (model_.variable(VarId{j}).type == VarType::kContinuous) continue;
+      const double v = values[static_cast<std::size_t>(j)];
+      const double down_frac = v - std::floor(v);
+      const double frac = std::min(down_frac, 1.0 - down_frac);
+      if (frac <= options_.integrality_tolerance) continue;
+      const std::size_t sj = static_cast<std::size_t>(j);
+      const double pcd = pc_down_count_[sj] > 0
+                             ? pc_down_sum_[sj] / static_cast<double>(pc_down_count_[sj])
+                             : avg_down;
+      const double pcu =
+          pc_up_count_[sj] > 0 ? pc_up_sum_[sj] / static_cast<double>(pc_up_count_[sj]) : avg_up;
+      const double score =
+          std::max(pcd * down_frac, 1e-6) * std::max(pcu * (1.0 - down_frac), 1e-6);
+      const double distance_to_half = std::abs(frac - 0.5);
+      if (score > best_score ||
+          (score == best_score && distance_to_half < best_distance_to_half)) {
+        best = j;
+        best_score = score;
+        best_distance_to_half = distance_to_half;
+      }
+    }
+    return best;
+  }
+
+  void update_pseudocost(const Node& node, double node_score) {
+    const double gain = std::max(node_score - node.bound_score, 0.0);
+    if (!std::isfinite(gain)) return;  // root bound was unknown
+    const double per_unit = gain / std::max(node.branch_dist, 1e-6);
+    const std::size_t v = static_cast<std::size_t>(node.branch_var);
+    if (node.branch_up) {
+      pc_up_sum_[v] += per_unit;
+      ++pc_up_count_[v];
+      pc_total_up_ += per_unit;
+      ++pc_observations_up_;
+    } else {
+      pc_down_sum_[v] += per_unit;
+      ++pc_down_count_[v];
+      pc_total_down_ += per_unit;
+      ++pc_observations_down_;
+    }
+  }
+
+  /// Creates the two children of `node` around `branch_var`.  Bound boxes
+  /// come from the materialized arrays, so ancestor tightenings carry over.
+  void branch(const Node& node, int branch_var, const std::vector<double>& values,
+              double node_score) {
+    const std::size_t v = static_cast<std::size_t>(branch_var);
+    const double value = values[v];
+    const double floor_v = std::floor(value + options_.integrality_tolerance);
+    const double down_dist = std::max(value - floor_v, options_.integrality_tolerance);
+    const double up_dist = std::max(floor_v + 1.0 - value, options_.integrality_tolerance);
+
+    Node down;
+    down.bound_score = node_score;
+    down.depth = node.depth + 1;
+    down.branch_var = branch_var;
+    down.branch_dist = down_dist;
+    down.branch_up = false;
+    Node up = down;
+    up.branch_dist = up_dist;
+    up.branch_up = true;
+
+    const double down_upper = std::min(cur_upper_[v], floor_v);
+    const double up_lower = std::max(cur_lower_[v], floor_v + 1.0);
+    const bool down_valid = cur_lower_[v] <= down_upper;
+    const bool up_valid = up_lower <= cur_upper_[v];
+    const bool down_first = (value - floor_v) <= 0.5;
+
+    // Depth-first pops the back, so push the nearer child last; best-first
+    // breaks bound ties by seq, so give the nearer child the larger seq.
+    auto push_down = [&] {
+      if (!down_valid) return;
+      down.seq = ++seq_;
+      down.changes = std::make_shared<const Chain>(
+          Chain{BoundChange{branch_var, cur_lower_[v], down_upper}, node.changes});
+      push_node(std::move(down));
+    };
+    auto push_up = [&] {
+      if (!up_valid) return;
+      up.seq = ++seq_;
+      up.changes = std::make_shared<const Chain>(
+          Chain{BoundChange{branch_var, up_lower, cur_upper_[v]}, node.changes});
+      push_node(std::move(up));
+    };
+    if (down_first) {
+      push_up();
+      push_down();
+    } else {
+      push_down();
+      push_up();
+    }
+  }
+
+  // ---- incumbents ----------------------------------------------------------
+
+  /// Rounds the LP point into the node's box and adopts it when feasible.
   void try_rounding(const std::vector<double>& lp_values) {
     std::vector<double> rounded = lp_values;
     for (int j = 0; j < model_.variable_count(); ++j) {
       if (model_.variable(VarId{j}).type == VarType::kContinuous) continue;
       double v = std::round(rounded[static_cast<std::size_t>(j)]);
-      v = std::clamp(v, lower_[static_cast<std::size_t>(j)], upper_[static_cast<std::size_t>(j)]);
+      v = std::clamp(v, cur_lower_[static_cast<std::size_t>(j)],
+                     cur_upper_[static_cast<std::size_t>(j)]);
       rounded[static_cast<std::size_t>(j)] = v;
     }
-    if (model_.is_feasible(rounded)) {
-      offer_incumbent(std::move(rounded));
-    }
+    if (model_.is_feasible(rounded)) offer_incumbent(std::move(rounded));
   }
 
   void offer_incumbent(std::vector<double> point) {
@@ -131,91 +389,30 @@ class BranchAndBound {
     }
   }
 
-  NodeOutcome explore(int depth) {
-    if (limits_exceeded()) {
-      limit_hit_ = true;
-      return NodeOutcome::kDone;
-    }
-    ++nodes_;
-
-    const LpResult lp = solve_lp(model_, options_.lp, &lower_, &upper_);
-    lp_iterations_ += lp.iterations;
-    if (lp.status == LpStatus::kInfeasible) return NodeOutcome::kDone;
-    if (lp.status == LpStatus::kUnbounded) return NodeOutcome::kUnbounded;
-    if (lp.status == LpStatus::kIterationLimit) {
-      limit_hit_ = true;
-      return NodeOutcome::kDone;
-    }
-
-    const double node_score = min_score(lp.objective);
-    if (depth == 0) root_bound_score_ = node_score;
-    if (incumbent_.has_value() &&
-        node_score >= incumbent_score_ - options_.absolute_gap) {
-      return NodeOutcome::kDone;  // cannot improve enough
-    }
-
-    const int branch_var = most_fractional(lp.values);
-    if (branch_var == -1) {
-      // LP solution is already integral: snap and adopt.
-      std::vector<double> snapped = lp.values;
-      for (int j = 0; j < model_.variable_count(); ++j) {
-        if (model_.variable(VarId{j}).type == VarType::kContinuous) continue;
-        snapped[static_cast<std::size_t>(j)] = std::round(snapped[static_cast<std::size_t>(j)]);
-      }
-      if (model_.is_feasible(snapped)) {
-        offer_incumbent(std::move(snapped));
-      }
-      return NodeOutcome::kDone;
-    }
-
-    try_rounding(lp.values);
-    if (incumbent_.has_value() &&
-        node_score >= incumbent_score_ - options_.absolute_gap) {
-      return NodeOutcome::kDone;
-    }
-
-    const std::size_t v = static_cast<std::size_t>(branch_var);
-    const double value = lp.values[v];
-    const double floor_v = std::floor(value + options_.integrality_tolerance);
-    const double saved_lower = lower_[v];
-    const double saved_upper = upper_[v];
-
-    // Dive toward the nearer integer first.
-    const bool down_first = (value - floor_v) <= 0.5;
-    for (int pass = 0; pass < 2; ++pass) {
-      const bool down = (pass == 0) == down_first;
-      if (down) {
-        upper_[v] = std::min(saved_upper, floor_v);
-        lower_[v] = saved_lower;
-      } else {
-        lower_[v] = std::max(saved_lower, floor_v + 1.0);
-        upper_[v] = saved_upper;
-      }
-      if (lower_[v] <= upper_[v]) {
-        const NodeOutcome outcome = explore(depth + 1);
-        if (outcome == NodeOutcome::kUnbounded) {
-          lower_[v] = saved_lower;
-          upper_[v] = saved_upper;
-          return outcome;
-        }
-      }
-      lower_[v] = saved_lower;
-      upper_[v] = saved_upper;
-      if (limit_hit_) break;
-    }
-    return NodeOutcome::kDone;
-  }
-
   const Model& model_;
   const MilpOptions& options_;
   Clock::time_point start_;
 
-  std::vector<double> lower_, upper_;  // current node bound box
+  std::vector<double> root_lower_, root_upper_;  ///< presolved root box
+  std::vector<double> cur_lower_, cur_upper_;    ///< materialized node box
+  std::vector<long> stamp_;
+  std::vector<int> touched_;
+  long epoch_ = 0;
+
+  std::vector<Node> open_;
+  long seq_ = 0;
+
+  std::vector<double> pc_down_sum_, pc_up_sum_;
+  std::vector<long> pc_down_count_, pc_up_count_;
+  double pc_total_down_ = 0.0, pc_total_up_ = 0.0;
+  long pc_observations_down_ = 0, pc_observations_up_ = 0;
+
   std::optional<std::vector<double>> incumbent_;
   double incumbent_score_ = kInfinity;
   double root_bound_score_ = -kInfinity;
+  double pending_bound_ = kInfinity;  ///< bound of a node interrupted mid-solve
   long nodes_ = 0;
-  int lp_iterations_ = 0;
+  std::int64_t lp_iterations_ = 0;
   bool limit_hit_ = false;
 };
 

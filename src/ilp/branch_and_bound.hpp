@@ -1,13 +1,16 @@
-// Exact MILP solver: depth-first branch & bound over the bounded-variable
-// simplex relaxation (simplex.hpp).
+// Exact MILP solver: best-first branch & bound over a persistent
+// bounded-variable simplex relaxation (simplex.hpp).
 //
 // Features mirrored from production solvers because the mapping engine needs
-// them: warm starts (an initial incumbent from the heuristic mapper), node
-// and wall-clock limits with best-found reporting, a rounding primal
-// heuristic at every node, and most-fractional branching with
-// nearest-integer-first diving.
+// them: one `LpSolver` reused across all nodes with dual-simplex warm starts
+// and objective-cutoff pruning inside the LP, an explicit best-first node
+// stack ordered by parent LP bound (no recursion), pseudocost branching,
+// warm starts from an initial incumbent (the heuristic mapper), node and
+// wall-clock limits with best-found reporting, and a rounding primal
+// heuristic at every node.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -25,13 +28,22 @@ enum class MilpStatus {
   kLimit        ///< limit hit before any incumbent was found
 };
 
+/// Order in which open branch-and-bound nodes are expanded.
+enum class NodeOrder {
+  kBestFirst,   ///< smallest parent LP bound first (deeper/newer on ties)
+  kDepthFirst,  ///< classic diving: newest node first
+};
+
 struct MilpResult {
   MilpStatus status = MilpStatus::kLimit;
   std::vector<double> values;  ///< incumbent (model order); empty if none
   double objective = 0.0;      ///< incumbent objective, user sense
   double best_bound = 0.0;     ///< proven bound on the optimum, user sense
-  long nodes = 0;
-  int lp_iterations = 0;
+  long nodes = 0;              ///< LP relaxations solved
+  std::int64_t lp_iterations = 0;  ///< simplex iterations across all nodes
+  /// LP engine counters for this solve: warm/cold solves, primal/dual
+  /// pivots, bound flips, refactorizations.
+  LpSolverStats lp;
 };
 
 struct MilpOptions {
@@ -44,6 +56,14 @@ struct MilpOptions {
   /// Run bound-propagation presolve before the search (presolve.hpp).
   bool presolve = true;
   LpOptions lp;
+  /// Reoptimize each node with the dual simplex from the previous basis
+  /// instead of a cold Phase 1 + Phase 2 run.  Off is a debugging aid; the
+  /// two paths must agree on every optimum.
+  bool lp_warm_start = true;
+  NodeOrder node_order = NodeOrder::kBestFirst;
+  /// Branch on pseudocost product scores (observed bound gain per unit of
+  /// fractionality); falls back to most-fractional until data exists.
+  bool pseudocost_branching = true;
   /// Optional warm-start point; must be feasible for the model.
   std::optional<std::vector<double>> initial_incumbent;
   /// Cooperative cancellation, polled once per node alongside the node and

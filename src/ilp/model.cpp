@@ -62,6 +62,12 @@ void Model::set_objective(const LinearExpr& expr, Sense sense) {
   objective_constant_ = expr.constant();
 }
 
+std::int64_t Model::nonzero_count() const {
+  std::int64_t count = 0;
+  for (const Constraint& c : constraints_) count += static_cast<std::int64_t>(c.terms.size());
+  return count;
+}
+
 bool Model::has_integer_variables() const {
   return std::any_of(variables_.begin(), variables_.end(), [](const Variable& v) {
     return v.type != VarType::kContinuous;

@@ -7,6 +7,7 @@
 // `fsyn::ilp::solve_lp` (simplex.hpp) solves its continuous relaxation.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -113,6 +114,8 @@ class Model {
 
   int variable_count() const { return static_cast<int>(variables_.size()); }
   int constraint_count() const { return static_cast<int>(constraints_.size()); }
+  /// Total structural nonzeros across all constraints (folded terms).
+  std::int64_t nonzero_count() const;
 
   const Variable& variable(VarId id) const {
     require(id.index >= 0 && id.index < variable_count(), "bad VarId");

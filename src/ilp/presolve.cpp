@@ -15,19 +15,11 @@ struct Row {
   double rhs;
 };
 
-/// Minimum activity of a row given bounds, excluding term `skip`.
-double min_activity_without(const Row& row, std::size_t skip,
-                            const std::vector<double>& lower,
-                            const std::vector<double>& upper) {
-  double activity = 0.0;
-  for (std::size_t k = 0; k < row.terms.size(); ++k) {
-    if (k == skip) continue;
-    const auto& term = row.terms[k];
-    const double bound = term.coeff > 0 ? lower[static_cast<std::size_t>(term.var.index)]
-                                        : upper[static_cast<std::size_t>(term.var.index)];
-    activity += term.coeff * bound;
-  }
-  return activity;
+/// The bound that minimizes a term's contribution to its row's activity.
+double minimizing_bound(const LinearExpr::Term& term, const std::vector<double>& lower,
+                        const std::vector<double>& upper) {
+  return term.coeff > 0 ? lower[static_cast<std::size_t>(term.var.index)]
+                        : upper[static_cast<std::size_t>(term.var.index)];
 }
 
 }  // namespace
@@ -58,10 +50,33 @@ PresolveResult presolve(const Model& model, const PresolveOptions& options) {
   for (int round = 0; round < options.max_rounds; ++round) {
     bool changed = false;
     for (const Row& row : rows) {
+      // Row min activity in one pass: finite part plus a count of infinite
+      // contributions.  "Activity without term k" is then O(1) per term: it
+      // is finite only when every *other* term is finite.  Tightenings
+      // inside this row never invalidate the sums, because a term's min
+      // activity uses the opposite bound from the one its tightening moves.
+      double finite_sum = 0.0;
+      std::size_t infinite_count = 0;
+      std::size_t infinite_term = 0;
+      for (std::size_t k = 0; k < row.terms.size(); ++k) {
+        const double contribution =
+            row.terms[k].coeff * minimizing_bound(row.terms[k], result.lower, result.upper);
+        if (std::isfinite(contribution)) {
+          finite_sum += contribution;
+        } else {
+          ++infinite_count;
+          infinite_term = k;
+        }
+      }
+      if (infinite_count > 1) continue;  // no implied bound available anywhere
       for (std::size_t k = 0; k < row.terms.size(); ++k) {
         const auto& term = row.terms[k];
         const std::size_t j = static_cast<std::size_t>(term.var.index);
-        const double others = min_activity_without(row, k, result.lower, result.upper);
+        if (infinite_count == 1 && k != infinite_term) continue;
+        const double others =
+            infinite_count == 1
+                ? finite_sum
+                : finite_sum - term.coeff * minimizing_bound(term, result.lower, result.upper);
         if (!std::isfinite(others)) continue;  // no implied bound available
         const double residual = row.rhs - others;
         // a_j * x_j <= residual.

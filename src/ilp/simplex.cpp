@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -11,341 +12,852 @@ namespace fsyn::ilp {
 
 namespace {
 
-/// Dense bounded-variable simplex working state.
-///
-/// Columns are laid out as [structural | slack | artificial].  The tableau
-/// `T` always equals B^{-1} A for the current basis; basic values `xb` and
-/// nonbasic rest values `x` are maintained incrementally across pivots.
-class SimplexTableau {
- public:
-  SimplexTableau(const Model& model, const LpOptions& options,
-                 const std::vector<double>* lower_override,
-                 const std::vector<double>* upper_override)
-      : options_(options) {
-    const int n_struct = model.variable_count();
-    const int m = model.constraint_count();
-    rows_ = m;
+/// Primal feasibility tolerance: basic values within this of their bounds
+/// count as feasible (the solution is clamped into the box on extraction).
+constexpr double kFeasTol = 1e-7;
+/// Residual Phase-1 violation above which the LP is declared infeasible.
+constexpr double kInfeasibleTol = 1e-6;
+/// Reduced-cost sign tolerance when revalidating rest sides on warm starts.
+constexpr double kDualSignTol = 1e-7;
+/// Consecutive degenerate pivots before switching to Bland's rule.
+constexpr int kBlandThreshold = 64;
 
-    // ---- column bounds and phase-2 costs for structural variables ----
-    for (int j = 0; j < n_struct; ++j) {
-      const Variable& v = model.variable(VarId{j});
-      const double lo = lower_override ? (*lower_override)[static_cast<std::size_t>(j)] : v.lower;
-      const double hi = upper_override ? (*upper_override)[static_cast<std::size_t>(j)] : v.upper;
-      check_input(std::isfinite(lo) || std::isfinite(hi),
-                  "simplex requires each variable to have a finite bound");
-      lower_.push_back(lo);
-      upper_.push_back(hi);
-      cost_.push_back(model.minimize_objective()[static_cast<std::size_t>(j)]);
+}  // namespace
+
+LpSolver::LpSolver(const Model& model, const LpOptions& options)
+    : model_(&model), options_(options) {
+  n_ = model.variable_count();
+  m_ = model.constraint_count();
+  const int total = total_columns();
+
+  // ---- constraint matrix, structural columns, CSC ----
+  col_start_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  std::int64_t nnz = 0;
+  for (const Constraint& c : model.constraints()) {
+    for (const auto& term : c.terms) ++col_start_[static_cast<std::size_t>(term.var.index) + 1];
+    nnz += static_cast<std::int64_t>(c.terms.size());
+  }
+  for (int j = 0; j < n_; ++j) {
+    col_start_[static_cast<std::size_t>(j) + 1] += col_start_[static_cast<std::size_t>(j)];
+  }
+  col_row_.resize(static_cast<std::size_t>(nnz));
+  col_val_.resize(static_cast<std::size_t>(nnz));
+  std::vector<int> cursor(col_start_.begin(), col_start_.end() - 1);
+  rhs_.reserve(static_cast<std::size_t>(m_));
+  for (int i = 0; i < m_; ++i) {
+    const Constraint& c = model.constraints()[static_cast<std::size_t>(i)];
+    for (const auto& term : c.terms) {
+      const std::size_t slot = static_cast<std::size_t>(cursor[static_cast<std::size_t>(term.var.index)]++);
+      col_row_[slot] = i;
+      col_val_[slot] = term.coeff;
     }
+    rhs_.push_back(c.rhs);
+  }
+  cost_ = model.minimize_objective();
 
-    // ---- slack columns (one per inequality row) ----
-    std::vector<int> slack_of(static_cast<std::size_t>(m), -1);
-    for (int i = 0; i < m; ++i) {
-      if (model.constraints()[static_cast<std::size_t>(i)].relation != Relation::kEqual) {
-        slack_of[static_cast<std::size_t>(i)] = add_column(0.0, kInfinity, 0.0);
-      }
+  // ---- bounds: structural (set per solve) then one logical per row ----
+  lower_.assign(static_cast<std::size_t>(total), 0.0);
+  upper_.assign(static_cast<std::size_t>(total), 0.0);
+  for (int i = 0; i < m_; ++i) {
+    const std::size_t j = static_cast<std::size_t>(n_ + i);
+    switch (model.constraints()[static_cast<std::size_t>(i)].relation) {
+      case Relation::kLessEqual:
+        lower_[j] = 0.0;
+        upper_[j] = kInfinity;
+        break;
+      case Relation::kGreaterEqual:
+        lower_[j] = -kInfinity;
+        upper_[j] = 0.0;
+        break;
+      case Relation::kEqual:
+        lower_[j] = 0.0;
+        upper_[j] = 0.0;
+        break;
     }
-    const int n_real = columns();
-
-    // ---- assemble rows; scale each so the Phase-1 artificial is >= 0 ----
-    matrix_.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(n_real + m), 0.0);
-    width_ = n_real + m;
-    rhs_.assign(static_cast<std::size_t>(m), 0.0);
-
-    // Nonbasic rest point: each real column sits at its finite bound.
-    x_.assign(static_cast<std::size_t>(width_), 0.0);
-    at_upper_.assign(static_cast<std::size_t>(width_), false);
-    for (int j = 0; j < n_real; ++j) {
-      if (std::isfinite(lower_[static_cast<std::size_t>(j)])) {
-        x_[static_cast<std::size_t>(j)] = lower_[static_cast<std::size_t>(j)];
-      } else {
-        x_[static_cast<std::size_t>(j)] = upper_[static_cast<std::size_t>(j)];
-        at_upper_[static_cast<std::size_t>(j)] = true;
-      }
-    }
-
-    basis_.assign(static_cast<std::size_t>(m), -1);
-    xb_.assign(static_cast<std::size_t>(m), 0.0);
-    for (int i = 0; i < m; ++i) {
-      const Constraint& c = model.constraints()[static_cast<std::size_t>(i)];
-      double* row = row_ptr(i);
-      for (const auto& term : c.terms) {
-        row[term.var.index] += term.coeff;
-      }
-      if (c.relation == Relation::kLessEqual) {
-        row[slack_of[static_cast<std::size_t>(i)]] = 1.0;
-      } else if (c.relation == Relation::kGreaterEqual) {
-        row[slack_of[static_cast<std::size_t>(i)]] = -1.0;
-      }
-      rhs_[static_cast<std::size_t>(i)] = c.rhs;
-
-      double residual = rhs_[static_cast<std::size_t>(i)];
-      for (int j = 0; j < n_real; ++j) residual -= row[j] * x_[static_cast<std::size_t>(j)];
-      if (residual < 0.0) {
-        for (int j = 0; j < n_real; ++j) row[j] = -row[j];
-        rhs_[static_cast<std::size_t>(i)] = -rhs_[static_cast<std::size_t>(i)];
-        residual = -residual;
-      }
-      // Artificial column: +1 in its own row, basic with value `residual`.
-      const int art = add_column(0.0, kInfinity, 0.0);
-      row[art] = 1.0;
-      basis_[static_cast<std::size_t>(i)] = art;
-      xb_[static_cast<std::size_t>(i)] = residual;
-      x_[static_cast<std::size_t>(art)] = 0.0;
-    }
-    first_artificial_ = n_real;
-    require(columns() == width_, "column layout mismatch");
   }
 
-  /// Runs Phase 1 then Phase 2; extracts the structural solution.
-  LpResult solve(const Model& model) {
-    LpResult result;
+  basis_.assign(static_cast<std::size_t>(m_), -1);
+  basic_row_.assign(static_cast<std::size_t>(total), -1);
+  at_upper_.assign(static_cast<std::size_t>(total), 0);
+  xb_.assign(static_cast<std::size_t>(m_), 0.0);
+  d_.assign(static_cast<std::size_t>(total), 0.0);
+  binv_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_), 0.0);
+  work_col_.assign(static_cast<std::size_t>(m_), 0.0);
+  work_row_.assign(static_cast<std::size_t>(m_), 0.0);
+  work_rhs_.assign(static_cast<std::size_t>(m_), 0.0);
+  work_alpha_.assign(static_cast<std::size_t>(total), 0.0);
+}
 
-    // Phase 1: minimize the sum of artificials.
-    std::vector<double> phase1_cost(static_cast<std::size_t>(width_), 0.0);
-    for (int j = first_artificial_; j < width_; ++j) phase1_cost[static_cast<std::size_t>(j)] = 1.0;
-    const LpStatus phase1 = optimize(phase1_cost, &result.iterations);
-    if (phase1 == LpStatus::kIterationLimit) {
-      result.status = LpStatus::kIterationLimit;
-      return result;
-    }
-    double artificial_sum = 0.0;
-    for (int i = 0; i < rows_; ++i) {
-      if (basis_[static_cast<std::size_t>(i)] >= first_artificial_) {
-        artificial_sum += xb_[static_cast<std::size_t>(i)];
+// ---------------------------------------------------------- linear algebra
+
+void LpSolver::ftran(int j, std::vector<double>& w) const {
+  std::fill(w.begin(), w.end(), 0.0);
+  if (is_logical(j)) {
+    const double* col = binv_.data() + static_cast<std::size_t>(j - n_) * static_cast<std::size_t>(m_);
+    std::copy(col, col + m_, w.begin());
+    return;
+  }
+  for (int idx = col_start_[static_cast<std::size_t>(j)]; idx < col_start_[static_cast<std::size_t>(j) + 1]; ++idx) {
+    const double v = col_val_[static_cast<std::size_t>(idx)];
+    const double* col = binv_.data() +
+                        static_cast<std::size_t>(col_row_[static_cast<std::size_t>(idx)]) * static_cast<std::size_t>(m_);
+    for (int i = 0; i < m_; ++i) w[static_cast<std::size_t>(i)] += v * col[i];
+  }
+}
+
+void LpSolver::gather_row(int r, std::vector<double>& rho) const {
+  for (int k = 0; k < m_; ++k) {
+    rho[static_cast<std::size_t>(k)] =
+        binv_[static_cast<std::size_t>(k) * static_cast<std::size_t>(m_) + static_cast<std::size_t>(r)];
+  }
+}
+
+double LpSolver::column_dot(const std::vector<double>& y, int j) const {
+  if (is_logical(j)) return y[static_cast<std::size_t>(j - n_)];
+  double acc = 0.0;
+  for (int idx = col_start_[static_cast<std::size_t>(j)]; idx < col_start_[static_cast<std::size_t>(j) + 1]; ++idx) {
+    acc += col_val_[static_cast<std::size_t>(idx)] * y[static_cast<std::size_t>(col_row_[static_cast<std::size_t>(idx)])];
+  }
+  return acc;
+}
+
+void LpSolver::pivot_update_binv(int r, const std::vector<double>& w) {
+  // B_new^{-1} = E B^{-1} with E the elementary matrix of pivot column w at
+  // row r; applied column by column (binv_ is column-major).
+  const double pivot = w[static_cast<std::size_t>(r)];
+  for (int k = 0; k < m_; ++k) {
+    double* col = binv_col(k);
+    const double f = col[r] / pivot;
+    if (f == 0.0) continue;
+    for (int i = 0; i < m_; ++i) col[i] -= f * w[static_cast<std::size_t>(i)];
+    col[r] = f;
+  }
+}
+
+bool LpSolver::refactor() {
+  ++stats_.refactorizations;
+  updates_since_refactor_ = 0;
+  if (m_ == 0) return true;
+  const std::size_t mm = static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_);
+  // Row-major Gauss-Jordan with partial pivoting: a = B, inv = I.
+  refactor_mat_.assign(mm * 2, 0.0);
+  double* a = refactor_mat_.data();
+  double* inv = refactor_mat_.data() + mm;
+  for (int i = 0; i < m_; ++i) {
+    const int j = basis_[static_cast<std::size_t>(i)];
+    if (is_logical(j)) {
+      a[static_cast<std::size_t>(j - n_) * static_cast<std::size_t>(m_) + static_cast<std::size_t>(i)] = 1.0;
+    } else {
+      for (int idx = col_start_[static_cast<std::size_t>(j)]; idx < col_start_[static_cast<std::size_t>(j) + 1]; ++idx) {
+        a[static_cast<std::size_t>(col_row_[static_cast<std::size_t>(idx)]) * static_cast<std::size_t>(m_) +
+          static_cast<std::size_t>(i)] = col_val_[static_cast<std::size_t>(idx)];
       }
     }
-    if (artificial_sum > 1e-6) {
-      result.status = LpStatus::kInfeasible;
-      return result;
-    }
-    // Freeze artificials at zero for Phase 2.
-    for (int j = first_artificial_; j < width_; ++j) {
-      lower_[static_cast<std::size_t>(j)] = 0.0;
-      upper_[static_cast<std::size_t>(j)] = 0.0;
-      if (basis_index_of(j) < 0) {
-        x_[static_cast<std::size_t>(j)] = 0.0;
-        at_upper_[static_cast<std::size_t>(j)] = false;
+    inv[static_cast<std::size_t>(i) * static_cast<std::size_t>(m_) + static_cast<std::size_t>(i)] = 1.0;
+  }
+  for (int c = 0; c < m_; ++c) {
+    int p = c;
+    double best = std::abs(a[static_cast<std::size_t>(c) * static_cast<std::size_t>(m_) + static_cast<std::size_t>(c)]);
+    for (int r = c + 1; r < m_; ++r) {
+      const double mag = std::abs(a[static_cast<std::size_t>(r) * static_cast<std::size_t>(m_) + static_cast<std::size_t>(c)]);
+      if (mag > best) {
+        best = mag;
+        p = r;
       }
     }
-
-    // Phase 2: the real objective (zero on slack and artificial columns).
-    std::vector<double> phase2_cost(static_cast<std::size_t>(width_), 0.0);
-    std::copy(cost_.begin(), cost_.end(), phase2_cost.begin());
-    const LpStatus phase2 = optimize(phase2_cost, &result.iterations);
-    if (phase2 != LpStatus::kOptimal) {
-      result.status = phase2;
-      return result;
+    if (best < 1e-11) return false;
+    double* row_c = a + static_cast<std::size_t>(c) * static_cast<std::size_t>(m_);
+    double* inv_c = inv + static_cast<std::size_t>(c) * static_cast<std::size_t>(m_);
+    if (p != c) {
+      std::swap_ranges(row_c, row_c + m_, a + static_cast<std::size_t>(p) * static_cast<std::size_t>(m_));
+      std::swap_ranges(inv_c, inv_c + m_, inv + static_cast<std::size_t>(p) * static_cast<std::size_t>(m_));
     }
-
-    result.status = LpStatus::kOptimal;
-    result.values.assign(static_cast<std::size_t>(model.variable_count()), 0.0);
-    for (int j = 0; j < model.variable_count(); ++j) {
-      result.values[static_cast<std::size_t>(j)] = x_[static_cast<std::size_t>(j)];
+    const double scale = 1.0 / row_c[c];
+    for (int k = 0; k < m_; ++k) {
+      row_c[k] *= scale;
+      inv_c[k] *= scale;
     }
-    for (int i = 0; i < rows_; ++i) {
-      const int j = basis_[static_cast<std::size_t>(i)];
-      if (j < model.variable_count()) {
-        result.values[static_cast<std::size_t>(j)] = xb_[static_cast<std::size_t>(i)];
+    for (int r = 0; r < m_; ++r) {
+      if (r == c) continue;
+      double* row_r = a + static_cast<std::size_t>(r) * static_cast<std::size_t>(m_);
+      const double f = row_r[c];
+      if (f == 0.0) continue;
+      double* inv_r = inv + static_cast<std::size_t>(r) * static_cast<std::size_t>(m_);
+      for (int k = 0; k < m_; ++k) {
+        row_r[k] -= f * row_c[k];
+        inv_r[k] -= f * inv_c[k];
       }
     }
+  }
+  // Transpose the row-major inverse into the column-major binv_.
+  for (int i = 0; i < m_; ++i) {
+    for (int k = 0; k < m_; ++k) {
+      binv_[static_cast<std::size_t>(k) * static_cast<std::size_t>(m_) + static_cast<std::size_t>(i)] =
+          inv[static_cast<std::size_t>(i) * static_cast<std::size_t>(m_) + static_cast<std::size_t>(k)];
+    }
+  }
+  recompute_basic_values();
+  if (in_phase2_) recompute_reduced_costs();
+  return true;
+}
+
+// -------------------------------------------------------- state management
+
+void LpSolver::set_structural_bounds(const std::vector<double>& lower,
+                                     const std::vector<double>& upper) {
+  std::copy(lower.begin(), lower.end(), lower_.begin());
+  std::copy(upper.begin(), upper.end(), upper_.begin());
+}
+
+void LpSolver::reset_to_logical_basis() {
+  std::fill(basic_row_.begin(), basic_row_.end(), -1);
+  for (int j = 0; j < n_; ++j) {
+    check_input(std::isfinite(lower_[static_cast<std::size_t>(j)]) ||
+                    std::isfinite(upper_[static_cast<std::size_t>(j)]),
+                "simplex requires each variable to have a finite bound");
+    at_upper_[static_cast<std::size_t>(j)] = !std::isfinite(lower_[static_cast<std::size_t>(j)]);
+  }
+  for (int i = 0; i < m_; ++i) {
+    basis_[static_cast<std::size_t>(i)] = n_ + i;
+    basic_row_[static_cast<std::size_t>(n_ + i)] = i;
+    at_upper_[static_cast<std::size_t>(n_ + i)] = 0;
+  }
+  std::fill(binv_.begin(), binv_.end(), 0.0);
+  for (int i = 0; i < m_; ++i) {
+    binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m_) + static_cast<std::size_t>(i)] = 1.0;
+  }
+  updates_since_refactor_ = 0;
+  recompute_basic_values();
+}
+
+void LpSolver::recompute_basic_values() {
+  work_rhs_ = rhs_;
+  for (int j = 0; j < total_columns(); ++j) {
+    if (basic_row_[static_cast<std::size_t>(j)] >= 0) continue;
+    const double x = rest_value(j);
+    require(std::isfinite(x), "nonbasic rest value not finite");
+    if (x == 0.0) continue;
+    if (is_logical(j)) {
+      work_rhs_[static_cast<std::size_t>(j - n_)] -= x;
+    } else {
+      for (int idx = col_start_[static_cast<std::size_t>(j)]; idx < col_start_[static_cast<std::size_t>(j) + 1]; ++idx) {
+        work_rhs_[static_cast<std::size_t>(col_row_[static_cast<std::size_t>(idx)])] -=
+            col_val_[static_cast<std::size_t>(idx)] * x;
+      }
+    }
+  }
+  std::fill(xb_.begin(), xb_.end(), 0.0);
+  for (int k = 0; k < m_; ++k) {
+    const double t = work_rhs_[static_cast<std::size_t>(k)];
+    if (t == 0.0) continue;
+    const double* col = binv_.data() + static_cast<std::size_t>(k) * static_cast<std::size_t>(m_);
+    for (int i = 0; i < m_; ++i) xb_[static_cast<std::size_t>(i)] += t * col[i];
+  }
+}
+
+void LpSolver::recompute_reduced_costs() {
+  // y = c_B' B^{-1}, one dot per column of the dense inverse.
+  for (int i = 0; i < m_; ++i) {
+    const int j = basis_[static_cast<std::size_t>(i)];
+    work_col_[static_cast<std::size_t>(i)] = is_logical(j) ? 0.0 : cost_[static_cast<std::size_t>(j)];
+  }
+  for (int k = 0; k < m_; ++k) {
+    const double* col = binv_.data() + static_cast<std::size_t>(k) * static_cast<std::size_t>(m_);
+    double acc = 0.0;
+    for (int i = 0; i < m_; ++i) acc += work_col_[static_cast<std::size_t>(i)] * col[i];
+    work_row_[static_cast<std::size_t>(k)] = acc;
+  }
+  std::fill(d_.begin(), d_.end(), 0.0);
+  for (int j = 0; j < total_columns(); ++j) {
+    if (basic_row_[static_cast<std::size_t>(j)] >= 0) continue;
+    const double cost = is_logical(j) ? 0.0 : cost_[static_cast<std::size_t>(j)];
+    d_[static_cast<std::size_t>(j)] = cost - column_dot(work_row_, j);
+  }
+}
+
+double LpSolver::internal_objective() const {
+  double obj = 0.0;
+  for (int j = 0; j < n_; ++j) {
+    const double c = cost_[static_cast<std::size_t>(j)];
+    if (c == 0.0) continue;
+    const int row = basic_row_[static_cast<std::size_t>(j)];
+    obj += c * (row >= 0 ? xb_[static_cast<std::size_t>(row)] : rest_value(j));
+  }
+  return obj;
+}
+
+bool LpSolver::restore_dual_feasible_rests() {
+  const double ztol = options_.tolerance;
+  for (int j = 0; j < n_; ++j) {
+    if (basic_row_[static_cast<std::size_t>(j)] >= 0) continue;
+    const double lo = lower_[static_cast<std::size_t>(j)];
+    const double hi = upper_[static_cast<std::size_t>(j)];
+    if (hi - lo <= ztol) {  // fixed: rest value is unique, dual sign is free
+      at_upper_[static_cast<std::size_t>(j)] = 0;
+      continue;
+    }
+    const double dj = d_[static_cast<std::size_t>(j)];
+    const bool upper_ok = std::isfinite(hi) && dj <= kDualSignTol;
+    const bool lower_ok = std::isfinite(lo) && dj >= -kDualSignTol;
+    if (at_upper_[static_cast<std::size_t>(j)]) {
+      if (!upper_ok) {
+        if (!lower_ok) return false;
+        at_upper_[static_cast<std::size_t>(j)] = 0;
+      }
+    } else {
+      if (!lower_ok) {
+        if (!upper_ok) return false;
+        at_upper_[static_cast<std::size_t>(j)] = 1;
+      }
+    }
+  }
+  return true;
+}
+
+LpResult LpSolver::extract(std::int64_t iterations, bool warm) {
+  LpResult result;
+  result.status = LpStatus::kOptimal;
+  result.iterations = iterations;
+  result.warm_started = warm;
+  result.values.assign(static_cast<std::size_t>(n_), 0.0);
+  for (int j = 0; j < n_; ++j) {
+    const int row = basic_row_[static_cast<std::size_t>(j)];
+    double v = row >= 0 ? xb_[static_cast<std::size_t>(row)] : rest_value(j);
     // Clamp tiny numerical excursions back into the bound box.
-    for (int j = 0; j < model.variable_count(); ++j) {
-      double& v = result.values[static_cast<std::size_t>(j)];
+    const double lo = lower_[static_cast<std::size_t>(j)];
+    const double hi = upper_[static_cast<std::size_t>(j)];
+    v = std::clamp(v, std::isfinite(lo) ? lo : v, std::isfinite(hi) ? hi : v);
+    result.values[static_cast<std::size_t>(j)] = v;
+  }
+  result.objective = model_->objective_value(result.values);
+  return result;
+}
+
+// ------------------------------------------------------------ simplex loops
+
+/// Artificial-free Phase 1: minimize the total bound violation of the basic
+/// variables (composite cost: -1 below lower, +1 above upper), recomputed
+/// per iteration.  Violated basics may leave at the bound they reach.
+LpStatus LpSolver::phase1(std::int64_t* iterations) {
+  const double ztol = options_.tolerance;
+  int degenerate_streak = 0;
+  bool bland = false;
+  std::vector<double>& w = work_col_;
+  std::vector<double>& y = work_row_;
+  std::vector<double>& cb = work_rhs_;
+
+  for (;;) {
+    if (*iterations >= options_.max_iterations) return LpStatus::kIterationLimit;
+
+    double total_violation = 0.0;
+    bool any_violated = false;
+    for (int i = 0; i < m_; ++i) {
+      const int p = basis_[static_cast<std::size_t>(i)];
+      const double lo = lower_[static_cast<std::size_t>(p)];
+      const double hi = upper_[static_cast<std::size_t>(p)];
+      double c = 0.0;
+      if (xb_[static_cast<std::size_t>(i)] < lo - kFeasTol) {
+        c = -1.0;
+        total_violation += lo - xb_[static_cast<std::size_t>(i)];
+      } else if (xb_[static_cast<std::size_t>(i)] > hi + kFeasTol) {
+        c = 1.0;
+        total_violation += xb_[static_cast<std::size_t>(i)] - hi;
+      }
+      cb[static_cast<std::size_t>(i)] = c;
+      any_violated |= c != 0.0;
+    }
+    if (!any_violated) return LpStatus::kOptimal;
+
+    for (int k = 0; k < m_; ++k) {
+      const double* col = binv_.data() + static_cast<std::size_t>(k) * static_cast<std::size_t>(m_);
+      double acc = 0.0;
+      for (int i = 0; i < m_; ++i) acc += cb[static_cast<std::size_t>(i)] * col[i];
+      y[static_cast<std::size_t>(k)] = acc;
+    }
+
+    // Entering column: reduces the composite infeasibility.
+    int entering = -1;
+    double entering_dir = 0.0;
+    double best_violation = ztol;
+    for (int j = 0; j < total_columns(); ++j) {
+      if (basic_row_[static_cast<std::size_t>(j)] >= 0) continue;
       const double lo = lower_[static_cast<std::size_t>(j)];
       const double hi = upper_[static_cast<std::size_t>(j)];
-      v = std::clamp(v, lo, std::isfinite(hi) ? hi : v);
+      if (hi - lo <= ztol) continue;  // fixed column can never improve
+      const double dj = -column_dot(y, j);
+      double violation = 0.0;
+      double dir = 0.0;
+      if (!at_upper_[static_cast<std::size_t>(j)] && dj < -ztol) {
+        violation = -dj;
+        dir = 1.0;
+      } else if (at_upper_[static_cast<std::size_t>(j)] && dj > ztol) {
+        violation = dj;
+        dir = -1.0;
+      } else {
+        continue;
+      }
+      if (bland) {  // first eligible index
+        entering = j;
+        entering_dir = dir;
+        break;
+      }
+      if (violation > best_violation) {
+        best_violation = violation;
+        entering = j;
+        entering_dir = dir;
+      }
     }
-    result.objective = model.objective_value(result.values);
-    return result;
-  }
+    if (entering == -1) {
+      return total_violation > kInfeasibleTol ? LpStatus::kInfeasible : LpStatus::kOptimal;
+    }
 
- private:
-  int columns() const { return static_cast<int>(lower_.size()); }
+    ftran(entering, w);
 
-  int add_column(double lo, double hi, double cost) {
-    lower_.push_back(lo);
-    upper_.push_back(hi);
-    cost_.push_back(cost);
-    return columns() - 1;
-  }
+    // Ratio test.  Feasible basics stay inside their bounds; violated
+    // basics are capped only when moving toward (and reaching) the bound
+    // they violate, where they leave the basis exactly feasible.
+    const double own_span =
+        upper_[static_cast<std::size_t>(entering)] - lower_[static_cast<std::size_t>(entering)];
+    double best_t = own_span;
+    int leaving_row = -1;
+    bool leaving_at_upper = false;
+    double best_mag = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      const double rate = -w[static_cast<std::size_t>(i)] * entering_dir;
+      if (std::abs(rate) <= ztol) continue;
+      const int p = basis_[static_cast<std::size_t>(i)];
+      const double lo = lower_[static_cast<std::size_t>(p)];
+      const double hi = upper_[static_cast<std::size_t>(p)];
+      const double value = xb_[static_cast<std::size_t>(i)];
+      double limit = kInfinity;
+      bool at_up = false;
+      if (value < lo - kFeasTol) {
+        if (rate > 0.0) limit = (lo - value) / rate;
+      } else if (value > hi + kFeasTol) {
+        if (rate < 0.0) {
+          limit = (hi - value) / rate;
+          at_up = true;
+        }
+      } else if (rate > 0.0) {
+        if (std::isfinite(hi)) {
+          limit = (hi - value) / rate;
+          at_up = true;
+        }
+      } else {
+        if (std::isfinite(lo)) limit = (lo - value) / rate;
+      }
+      if (!std::isfinite(limit)) continue;
+      limit = std::max(limit, 0.0);
+      const double mag = std::abs(w[static_cast<std::size_t>(i)]);
+      const bool strictly_better = limit < best_t - ztol;
+      const bool tie = limit < best_t + ztol;
+      if (strictly_better ||
+          (tie && leaving_row >= 0 &&
+           (bland ? p < basis_[static_cast<std::size_t>(leaving_row)] : mag > best_mag))) {
+        best_t = std::min(best_t, limit);
+        leaving_row = i;
+        best_mag = mag;
+        leaving_at_upper = at_up;
+      }
+    }
+    // The composite objective is bounded below by zero, so an unbounded
+    // ray is a numerical artifact; give up rather than loop.
+    if (!std::isfinite(best_t)) return LpStatus::kIterationLimit;
 
-  double* row_ptr(int i) {
-    return matrix_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(width_);
-  }
-  const double* row_ptr(int i) const {
-    return matrix_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(width_);
-  }
+    if (best_t < ztol) {
+      if (++degenerate_streak > kBlandThreshold) bland = true;
+    } else {
+      degenerate_streak = 0;
+    }
 
-  int basis_index_of(int column) const {
-    for (int i = 0; i < rows_; ++i) {
-      if (basis_[static_cast<std::size_t>(i)] == column) return i;
+    ++*iterations;
+    ++stats_.iterations;
+    const double delta = entering_dir * best_t;
+    for (int i = 0; i < m_; ++i) {
+      xb_[static_cast<std::size_t>(i)] -= w[static_cast<std::size_t>(i)] * delta;
+    }
+    if (leaving_row < 0 || own_span <= best_t) {
+      at_upper_[static_cast<std::size_t>(entering)] = entering_dir > 0.0;
+      ++stats_.bound_flips;
+      continue;
+    }
+
+    ++stats_.primal_pivots;
+    const double entering_value = rest_value(entering) + delta;
+    const int leaving = basis_[static_cast<std::size_t>(leaving_row)];
+    require(std::abs(w[static_cast<std::size_t>(leaving_row)]) > ztol, "zero pivot in simplex");
+    at_upper_[static_cast<std::size_t>(leaving)] = leaving_at_upper;
+    basis_[static_cast<std::size_t>(leaving_row)] = entering;
+    basic_row_[static_cast<std::size_t>(entering)] = leaving_row;
+    basic_row_[static_cast<std::size_t>(leaving)] = -1;
+    pivot_update_binv(leaving_row, w);
+    xb_[static_cast<std::size_t>(leaving_row)] = entering_value;
+    if (++updates_since_refactor_ >= options_.refactor_interval) {
+      if (!refactor()) return LpStatus::kIterationLimit;  // numerically wedged basis
+    }
+  }
+}
+
+int LpSolver::select_entering_primal(bool bland) {
+  const double ztol = options_.tolerance;
+  auto violation_of = [&](int j) -> double {
+    if (basic_row_[static_cast<std::size_t>(j)] >= 0) return 0.0;
+    const double lo = lower_[static_cast<std::size_t>(j)];
+    const double hi = upper_[static_cast<std::size_t>(j)];
+    if (hi - lo <= ztol) return 0.0;  // fixed column can never improve
+    const double dj = d_[static_cast<std::size_t>(j)];
+    if (!at_upper_[static_cast<std::size_t>(j)] && dj < -ztol) return -dj;
+    if (at_upper_[static_cast<std::size_t>(j)] && dj > ztol) return dj;
+    return 0.0;
+  };
+
+  if (bland) {
+    for (int j = 0; j < total_columns(); ++j) {
+      if (violation_of(j) > 0.0) return j;
     }
     return -1;
   }
 
-  bool is_basic(int column) const { return basis_index_of(column) >= 0; }
+  // Partial pricing: reuse the candidate list while any entry is still
+  // eligible, refresh with a full sweep only when it runs dry.
+  int best = -1;
+  double best_violation = 0.0;
+  for (const int j : candidates_) {
+    const double v = violation_of(j);
+    if (v > best_violation) {
+      best_violation = v;
+      best = j;
+    }
+  }
+  if (best != -1) return best;
 
-  /// Primal simplex loop with Dantzig pricing and a Bland fallback that
-  /// kicks in after a run of degenerate pivots (anti-cycling).
-  LpStatus optimize(const std::vector<double>& cost, int* iteration_counter) {
-    const double tol = options_.tolerance;
-    int degenerate_streak = 0;
-    bool bland = false;
+  sweep_.clear();
+  for (int j = 0; j < total_columns(); ++j) {
+    const double v = violation_of(j);
+    if (v > 0.0) sweep_.push_back({v, j});
+  }
+  if (sweep_.empty()) return -1;
+  std::size_t keep = static_cast<std::size_t>(
+      options_.candidate_list_size > 0
+          ? options_.candidate_list_size
+          : std::clamp(total_columns() / 8, 8, 64));
+  if (sweep_.size() > keep) {
+    std::nth_element(sweep_.begin(), sweep_.begin() + static_cast<std::ptrdiff_t>(keep) - 1,
+                     sweep_.end(), std::greater<>());
+    sweep_.resize(keep);
+  }
+  candidates_.clear();
+  best_violation = 0.0;
+  for (const auto& [v, j] : sweep_) {
+    candidates_.push_back(j);
+    if (v > best_violation) {
+      best_violation = v;
+      best = j;
+    }
+  }
+  return best;
+}
 
-    std::vector<bool> basic(static_cast<std::size_t>(width_), false);
-    for (int i = 0; i < rows_; ++i) basic[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] = true;
+LpStatus LpSolver::primal_loop(std::int64_t* iterations) {
+  const double ztol = options_.tolerance;
+  int degenerate_streak = 0;
+  bool bland = false;
+  std::vector<double>& w = work_col_;
 
-    std::vector<double> reduced(static_cast<std::size_t>(width_), 0.0);
-    for (int iter = 0; iter < options_.max_iterations; ++iter, ++*iteration_counter) {
-      // Reduced costs d = c - c_B' T  (T is already B^{-1}A).
-      std::fill(reduced.begin(), reduced.end(), 0.0);
-      for (int i = 0; i < rows_; ++i) {
-        const double cb = cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
-        if (cb == 0.0) continue;
-        const double* row = row_ptr(i);
-        for (int j = 0; j < width_; ++j) reduced[static_cast<std::size_t>(j)] += cb * row[j];
-      }
+  for (;;) {
+    if (*iterations >= options_.max_iterations) return LpStatus::kIterationLimit;
+    const int entering = select_entering_primal(bland);
+    if (entering == -1) return LpStatus::kOptimal;
+    const double dir = at_upper_[static_cast<std::size_t>(entering)] ? -1.0 : 1.0;
+    ftran(entering, w);
 
-      // Entering column: improves the objective while moving off its bound.
-      int entering = -1;
-      double entering_dir = 0.0;
-      double best_violation = tol;
-      for (int j = 0; j < width_; ++j) {
-        if (basic[static_cast<std::size_t>(j)]) continue;
-        const double lo = lower_[static_cast<std::size_t>(j)];
-        const double hi = upper_[static_cast<std::size_t>(j)];
-        if (hi - lo < tol) continue;  // fixed column can never improve
-        const double d = cost[static_cast<std::size_t>(j)] - reduced[static_cast<std::size_t>(j)];
-        double violation = 0.0;
-        double dir = 0.0;
-        if (!at_upper_[static_cast<std::size_t>(j)] && d < -tol) {
-          violation = -d;
-          dir = 1.0;
-        } else if (at_upper_[static_cast<std::size_t>(j)] && d > tol) {
-          violation = d;
-          dir = -1.0;
-        } else {
-          continue;
-        }
-        if (bland) {  // first eligible index
-          entering = j;
-          entering_dir = dir;
-          break;
-        }
-        if (violation > best_violation) {
-          best_violation = violation;
-          entering = j;
-          entering_dir = dir;
-        }
-      }
-      if (entering == -1) return LpStatus::kOptimal;
-
-      // Ratio test: how far can the entering variable move?
-      const double own_span = upper_[static_cast<std::size_t>(entering)] -
-                              lower_[static_cast<std::size_t>(entering)];
-      double best_t = own_span;  // may be +inf
-      int leaving_row = -1;      // -1 means bound flip
-      double best_pivot_mag = 0.0;
-      for (int i = 0; i < rows_; ++i) {
-        const double g = row_ptr(i)[entering] * entering_dir;
-        const int bvar = basis_[static_cast<std::size_t>(i)];
-        double limit = kInfinity;
-        if (g > tol) {
-          const double lo = lower_[static_cast<std::size_t>(bvar)];
-          limit = std::isfinite(lo) ? (xb_[static_cast<std::size_t>(i)] - lo) / g : kInfinity;
-        } else if (g < -tol) {
-          const double hi = upper_[static_cast<std::size_t>(bvar)];
-          limit = std::isfinite(hi) ? (hi - xb_[static_cast<std::size_t>(i)]) / (-g) : kInfinity;
-        } else {
-          continue;
-        }
-        limit = std::max(limit, 0.0);
-        const double mag = std::abs(row_ptr(i)[entering]);
-        const bool strictly_better = limit < best_t - tol;
-        const bool tie = limit < best_t + tol;
-        if (strictly_better || (tie && leaving_row >= 0 &&
-                                (bland ? bvar < basis_[static_cast<std::size_t>(leaving_row)]
-                                       : mag > best_pivot_mag))) {
-          best_t = std::min(best_t, limit);
-          leaving_row = i;
-          best_pivot_mag = mag;
-        }
-      }
-
-      if (!std::isfinite(best_t)) return LpStatus::kUnbounded;
-
-      if (best_t < tol) {
-        ++degenerate_streak;
-        if (degenerate_streak > 64) bland = true;
+    const double own_span =
+        upper_[static_cast<std::size_t>(entering)] - lower_[static_cast<std::size_t>(entering)];
+    double best_t = own_span;
+    int leaving_row = -1;
+    double best_mag = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      const double g = w[static_cast<std::size_t>(i)] * dir;
+      const int p = basis_[static_cast<std::size_t>(i)];
+      double limit = kInfinity;
+      if (g > ztol) {
+        const double lo = lower_[static_cast<std::size_t>(p)];
+        if (std::isfinite(lo)) limit = (xb_[static_cast<std::size_t>(i)] - lo) / g;
+      } else if (g < -ztol) {
+        const double hi = upper_[static_cast<std::size_t>(p)];
+        if (std::isfinite(hi)) limit = (hi - xb_[static_cast<std::size_t>(i)]) / (-g);
       } else {
-        degenerate_streak = 0;
-      }
-
-      // Apply the move to the basic values.
-      const double delta = entering_dir * best_t;
-      for (int i = 0; i < rows_; ++i) {
-        xb_[static_cast<std::size_t>(i)] -= row_ptr(i)[entering] * delta;
-      }
-
-      if (leaving_row < 0 || own_span <= best_t) {
-        // The entering variable reached its opposite bound first: bound flip,
-        // no basis change.
-        at_upper_[static_cast<std::size_t>(entering)] = entering_dir > 0.0;
-        x_[static_cast<std::size_t>(entering)] =
-            at_upper_[static_cast<std::size_t>(entering)]
-                ? upper_[static_cast<std::size_t>(entering)]
-                : lower_[static_cast<std::size_t>(entering)];
         continue;
       }
-
-      // Pivot: entering becomes basic in `leaving_row`.
-      const int leaving = basis_[static_cast<std::size_t>(leaving_row)];
-      const double g = row_ptr(leaving_row)[entering] * entering_dir;
-      at_upper_[static_cast<std::size_t>(leaving)] = g < 0.0;  // hit its upper bound
-      x_[static_cast<std::size_t>(leaving)] = at_upper_[static_cast<std::size_t>(leaving)]
-                                                  ? upper_[static_cast<std::size_t>(leaving)]
-                                                  : lower_[static_cast<std::size_t>(leaving)];
-      basic[static_cast<std::size_t>(leaving)] = false;
-      basic[static_cast<std::size_t>(entering)] = true;
-
-      const double entering_value =
-          (at_upper_[static_cast<std::size_t>(entering)] ? upper_[static_cast<std::size_t>(entering)]
-                                                         : lower_[static_cast<std::size_t>(entering)]) +
-          delta;
-      basis_[static_cast<std::size_t>(leaving_row)] = entering;
-
-      // Gaussian elimination on the entering column.
-      double* pivot_row = row_ptr(leaving_row);
-      const double pivot = pivot_row[entering];
-      require(std::abs(pivot) > tol, "zero pivot in simplex");
-      for (int j = 0; j < width_; ++j) pivot_row[j] /= pivot;
-      for (int i = 0; i < rows_; ++i) {
-        if (i == leaving_row) continue;
-        double* row = row_ptr(i);
-        const double factor = row[entering];
-        if (factor == 0.0) continue;
-        for (int j = 0; j < width_; ++j) row[j] -= factor * pivot_row[j];
+      if (!std::isfinite(limit)) continue;
+      limit = std::max(limit, 0.0);
+      const double mag = std::abs(w[static_cast<std::size_t>(i)]);
+      const bool strictly_better = limit < best_t - ztol;
+      const bool tie = limit < best_t + ztol;
+      if (strictly_better ||
+          (tie && leaving_row >= 0 &&
+           (bland ? p < basis_[static_cast<std::size_t>(leaving_row)] : mag > best_mag))) {
+        best_t = std::min(best_t, limit);
+        leaving_row = i;
+        best_mag = mag;
       }
-      xb_[static_cast<std::size_t>(leaving_row)] = entering_value;
     }
-    return LpStatus::kIterationLimit;
+    if (!std::isfinite(best_t)) return LpStatus::kUnbounded;
+
+    if (best_t < ztol) {
+      if (++degenerate_streak > kBlandThreshold) bland = true;
+    } else {
+      degenerate_streak = 0;
+    }
+
+    ++*iterations;
+    ++stats_.iterations;
+    const double delta = dir * best_t;
+    for (int i = 0; i < m_; ++i) {
+      xb_[static_cast<std::size_t>(i)] -= w[static_cast<std::size_t>(i)] * delta;
+    }
+    if (leaving_row < 0 || own_span <= best_t) {
+      // Entering reached its opposite bound first: flip, no basis change.
+      at_upper_[static_cast<std::size_t>(entering)] = dir > 0.0;
+      ++stats_.bound_flips;
+      continue;
+    }
+
+    ++stats_.primal_pivots;
+    const double entering_value = rest_value(entering) + delta;
+    const double pivot = w[static_cast<std::size_t>(leaving_row)];
+    require(std::abs(pivot) > ztol, "zero pivot in simplex");
+    const int leaving = basis_[static_cast<std::size_t>(leaving_row)];
+
+    // Incremental reduced-cost update: d_j -= theta_d * alpha_rj using the
+    // pivot row gathered from the (pre-update) basis inverse.
+    gather_row(leaving_row, work_row_);
+    const double theta_d = d_[static_cast<std::size_t>(entering)] / pivot;
+    for (int j = 0; j < total_columns(); ++j) {
+      if (basic_row_[static_cast<std::size_t>(j)] >= 0 || j == entering) continue;
+      const double alpha = column_dot(work_row_, j);
+      if (alpha != 0.0) d_[static_cast<std::size_t>(j)] -= theta_d * alpha;
+    }
+    d_[static_cast<std::size_t>(leaving)] = -theta_d;
+    d_[static_cast<std::size_t>(entering)] = 0.0;
+
+    at_upper_[static_cast<std::size_t>(leaving)] = pivot * dir < 0.0;
+    basis_[static_cast<std::size_t>(leaving_row)] = entering;
+    basic_row_[static_cast<std::size_t>(entering)] = leaving_row;
+    basic_row_[static_cast<std::size_t>(leaving)] = -1;
+    pivot_update_binv(leaving_row, w);
+    xb_[static_cast<std::size_t>(leaving_row)] = entering_value;
+    if (++updates_since_refactor_ >= options_.refactor_interval) {
+      if (!refactor()) return LpStatus::kIterationLimit;  // numerically wedged basis
+    }
+  }
+}
+
+/// Bounded-variable dual simplex: the basis stays dual feasible while
+/// primal bound violations (introduced by branching bound changes) are
+/// pivoted out one by one.  The running objective is a valid lower bound,
+/// so a finite `cutoff` allows early termination.
+LpStatus LpSolver::dual_loop(double cutoff, std::int64_t* iterations) {
+  const double ztol = options_.tolerance;
+  int degenerate_streak = 0;
+  bool bland = false;
+  std::vector<double>& rho = work_row_;
+  std::vector<double>& w = work_col_;
+  double obj = internal_objective();
+
+  for (;;) {
+    if (*iterations >= options_.max_iterations) return LpStatus::kIterationLimit;
+
+    // Leaving row: the most violated basic variable.
+    int r = -1;
+    double worst = kFeasTol;
+    bool below = false;
+    for (int i = 0; i < m_; ++i) {
+      const int p = basis_[static_cast<std::size_t>(i)];
+      const double lo_gap = lower_[static_cast<std::size_t>(p)] - xb_[static_cast<std::size_t>(i)];
+      const double hi_gap = xb_[static_cast<std::size_t>(i)] - upper_[static_cast<std::size_t>(p)];
+      if (lo_gap > worst) {
+        worst = lo_gap;
+        r = i;
+        below = true;
+      } else if (hi_gap > worst) {
+        worst = hi_gap;
+        r = i;
+        below = false;
+      }
+    }
+    if (r == -1) return LpStatus::kOptimal;  // primal feasible again
+
+    if (obj >= cutoff) {
+      // The bound only ever grows; confirm with an exact recomputation
+      // before pruning on it.
+      obj = internal_objective();
+      if (obj >= cutoff) return LpStatus::kCutoff;
+    }
+
+    const int p = basis_[static_cast<std::size_t>(r)];
+    const double e = below ? xb_[static_cast<std::size_t>(r)] - lower_[static_cast<std::size_t>(p)]
+                           : xb_[static_cast<std::size_t>(r)] - upper_[static_cast<std::size_t>(p)];
+    const double s = below ? -1.0 : 1.0;
+    gather_row(r, rho);
+
+    // Dual ratio test, two passes: find the smallest ratio keeping every
+    // nonbasic reduced cost on its feasible side, then take the largest
+    // pivot inside a small window above it (numerical stability; tiny
+    // pivots are what drive the basis singular).  Alpha values are kept
+    // for the incremental d update.
+    auto dual_ratio = [&](int j) -> double {
+      const double a = s * work_alpha_[static_cast<std::size_t>(j)];
+      if (at_upper_[static_cast<std::size_t>(j)] ? a >= -ztol : a <= ztol) return kInfinity;
+      return std::max(d_[static_cast<std::size_t>(j)] / a, 0.0);  // clamp drift
+    };
+    double min_ratio = kInfinity;
+    for (int j = 0; j < total_columns(); ++j) {
+      if (basic_row_[static_cast<std::size_t>(j)] >= 0) continue;
+      work_alpha_[static_cast<std::size_t>(j)] = column_dot(rho, j);
+      if (upper_[static_cast<std::size_t>(j)] - lower_[static_cast<std::size_t>(j)] <= ztol) {
+        continue;  // fixed column can never enter
+      }
+      min_ratio = std::min(min_ratio, dual_ratio(j));
+    }
+    if (!std::isfinite(min_ratio)) return LpStatus::kInfeasible;  // dual unbounded
+    int q = -1;
+    double best_mag = 0.0;
+    double alpha_q = 0.0;
+    const double window = min_ratio + (bland ? 0.0 : kDualSignTol);
+    for (int j = 0; j < total_columns(); ++j) {
+      if (basic_row_[static_cast<std::size_t>(j)] >= 0) continue;
+      if (upper_[static_cast<std::size_t>(j)] - lower_[static_cast<std::size_t>(j)] <= ztol) continue;
+      if (dual_ratio(j) > window) continue;
+      const double mag = std::abs(work_alpha_[static_cast<std::size_t>(j)]);
+      if (q == -1 || (bland ? false : mag > best_mag)) {
+        q = j;
+        best_mag = mag;
+        alpha_q = work_alpha_[static_cast<std::size_t>(j)];
+        if (bland) break;  // smallest eligible index
+      }
+    }
+
+    ftran(q, w);
+    const double delta = e / alpha_q;  // entering movement off its bound
+    const double entering_value = rest_value(q) + delta;
+    const double theta_d = d_[static_cast<std::size_t>(q)] / alpha_q;
+
+    for (int i = 0; i < m_; ++i) {
+      xb_[static_cast<std::size_t>(i)] -= w[static_cast<std::size_t>(i)] * delta;
+    }
+    for (int j = 0; j < total_columns(); ++j) {
+      if (basic_row_[static_cast<std::size_t>(j)] >= 0 || j == q) continue;
+      const double alpha = work_alpha_[static_cast<std::size_t>(j)];
+      if (alpha != 0.0) d_[static_cast<std::size_t>(j)] -= theta_d * alpha;
+    }
+    d_[static_cast<std::size_t>(p)] = -theta_d;
+    d_[static_cast<std::size_t>(q)] = 0.0;
+
+    at_upper_[static_cast<std::size_t>(p)] = !below;
+    basis_[static_cast<std::size_t>(r)] = q;
+    basic_row_[static_cast<std::size_t>(q)] = r;
+    basic_row_[static_cast<std::size_t>(p)] = -1;
+    pivot_update_binv(r, w);
+    xb_[static_cast<std::size_t>(r)] = entering_value;
+
+    const double gain = theta_d * e;  // >= 0: the dual objective is monotone
+    obj += gain;
+    if (gain < ztol) {
+      if (++degenerate_streak > kBlandThreshold) bland = true;
+    } else {
+      degenerate_streak = 0;
+    }
+
+    ++*iterations;
+    ++stats_.iterations;
+    ++stats_.dual_pivots;
+    if (++updates_since_refactor_ >= options_.refactor_interval) {
+      if (!refactor()) return LpStatus::kIterationLimit;  // numerically wedged basis
+      obj = internal_objective();
+    }
+  }
+}
+
+// ------------------------------------------------------------- entry points
+
+LpResult LpSolver::cold_solve_current_bounds() {
+  ++stats_.cold_solves;
+  has_basis_ = false;
+  in_phase2_ = false;
+  reset_to_logical_basis();
+
+  std::int64_t iterations = 0;
+  const LpStatus feasibility = phase1(&iterations);
+  if (feasibility != LpStatus::kOptimal) {
+    LpResult result;
+    result.status = feasibility == LpStatus::kInfeasible ? LpStatus::kInfeasible
+                                                         : LpStatus::kIterationLimit;
+    result.iterations = iterations;
+    return result;
   }
 
-  LpOptions options_;
-  int rows_ = 0;
-  int width_ = 0;             ///< total columns incl. slack + artificial
-  int first_artificial_ = 0;  ///< first artificial column index
-  std::vector<double> matrix_;
-  std::vector<double> rhs_;
-  std::vector<double> lower_, upper_, cost_;
-  std::vector<double> x_;      ///< rest values of nonbasic columns
-  std::vector<bool> at_upper_;
-  std::vector<int> basis_;     ///< basic column per row
-  std::vector<double> xb_;     ///< value of the basic variable per row
-};
+  recompute_reduced_costs();
+  in_phase2_ = true;
+  const LpStatus status = primal_loop(&iterations);
+  if (status != LpStatus::kOptimal) {
+    LpResult result;
+    result.status = status;
+    result.iterations = iterations;
+    return result;
+  }
+  has_basis_ = true;
+  return extract(iterations, false);
+}
 
-}  // namespace
+LpResult LpSolver::solve(const std::vector<double>& lower, const std::vector<double>& upper) {
+  set_structural_bounds(lower, upper);
+  return cold_solve_current_bounds();
+}
+
+LpResult LpSolver::resolve(const std::vector<double>& lower, const std::vector<double>& upper,
+                           double cutoff) {
+  if (!has_basis_) return solve(lower, upper);
+  set_structural_bounds(lower, upper);
+  if (!restore_dual_feasible_rests()) return cold_solve_current_bounds();
+  recompute_basic_values();
+  in_phase2_ = true;
+
+  std::int64_t iterations = 0;
+  const LpStatus dual = dual_loop(cutoff, &iterations);
+  if (dual == LpStatus::kIterationLimit) {
+    // The warm path stalled (degeneracy or drift); a cold run is always
+    // available and correct.
+    LpResult cold = cold_solve_current_bounds();
+    cold.iterations += iterations;
+    return cold;
+  }
+  if (dual == LpStatus::kCutoff || dual == LpStatus::kInfeasible) {
+    // The basis stays dual feasible, so the next resolve can warm start.
+    ++stats_.warm_solves;
+    LpResult result;
+    result.status = dual;
+    result.iterations = iterations;
+    result.warm_started = true;
+    return result;
+  }
+
+  // Primal feasible again: refresh the reduced costs and certify optimality
+  // with a (usually zero-pivot) primal cleanup pass.
+  recompute_reduced_costs();
+  const LpStatus status = primal_loop(&iterations);
+  if (status == LpStatus::kOptimal) {
+    ++stats_.warm_solves;
+    has_basis_ = true;
+    return extract(iterations, true);
+  }
+  has_basis_ = false;
+  LpResult result;
+  result.status = status;
+  result.iterations = iterations;
+  result.warm_started = true;
+  return result;
+}
 
 LpResult solve_lp(const Model& model, const LpOptions& options,
                   const std::vector<double>* lower_override,
@@ -358,20 +870,24 @@ LpResult solve_lp(const Model& model, const LpOptions& options,
     require(static_cast<int>(upper_override->size()) == model.variable_count(),
             "upper_override size mismatch");
   }
-  // A bound box that is empty in any coordinate is trivially infeasible.
+  std::vector<double> lower, upper;
+  lower.reserve(static_cast<std::size_t>(model.variable_count()));
+  upper.reserve(static_cast<std::size_t>(model.variable_count()));
   for (int j = 0; j < model.variable_count(); ++j) {
-    const double lo = lower_override ? (*lower_override)[static_cast<std::size_t>(j)]
-                                     : model.variable(VarId{j}).lower;
-    const double hi = upper_override ? (*upper_override)[static_cast<std::size_t>(j)]
-                                     : model.variable(VarId{j}).upper;
+    const Variable& v = model.variable(VarId{j});
+    const double lo = lower_override ? (*lower_override)[static_cast<std::size_t>(j)] : v.lower;
+    const double hi = upper_override ? (*upper_override)[static_cast<std::size_t>(j)] : v.upper;
+    // A bound box that is empty in any coordinate is trivially infeasible.
     if (lo > hi) {
       LpResult r;
       r.status = LpStatus::kInfeasible;
       return r;
     }
+    lower.push_back(lo);
+    upper.push_back(hi);
   }
-  SimplexTableau tableau(model, options, lower_override, upper_override);
-  return tableau.solve(model);
+  LpSolver solver(model, options);
+  return solver.solve(lower, upper);
 }
 
 }  // namespace fsyn::ilp

@@ -1,24 +1,39 @@
-// Two-phase primal simplex for LPs with bounded variables.
+// Sparse revised simplex for LPs with bounded variables, reusable across
+// branch-and-bound nodes.
 //
 // This is the workhorse under the branch-and-bound MILP solver that replaces
-// Gurobi in this reproduction.  It implements the textbook bounded-variable
-// tableau method: nonbasic variables rest at one of their finite bounds, the
-// ratio test allows bound flips, and Phase 1 drives artificial variables to
-// zero before Phase 2 optimizes the true objective.
+// Gurobi in this reproduction.  The constraint matrix is stored column-major
+// sparse (CSC; the assay models are >95% zeros) and every row carries a
+// logical (slack) column, so the basis always has an all-logical fallback.
+// The basis inverse is kept dense and updated in product form with periodic
+// refactorization; reduced costs are maintained incrementally and priced
+// through a candidate list instead of a full Dantzig recomputation.
 //
-// The implementation is dense and favours clarity and numerical robustness
-// (Bland's anti-cycling fallback, explicit tolerances) over speed; the
-// mapping ILPs it must solve have at most a few thousand columns.
+// `LpSolver` is persistent: after an optimal solve the factorized basis
+// stays alive, and `resolve` reoptimizes a changed bound box with the
+// bounded-variable *dual* simplex — the reoptimization pattern branch and
+// bound needs after a branching bound change — instead of re-running
+// Phase 1 + Phase 2 from scratch.
 #pragma once
 
-#include <optional>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "ilp/model.hpp"
 
 namespace fsyn::ilp {
 
-enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  /// Warm `resolve` only: the objective provably exceeds the caller's
+  /// cutoff, so the reoptimization stopped early (the LP itself may be
+  /// feasible; its optimum is >= the cutoff).
+  kCutoff,
+};
 
 struct LpResult {
   LpStatus status = LpStatus::kIterationLimit;
@@ -26,12 +41,133 @@ struct LpResult {
   std::vector<double> values;
   /// Objective in the model's user sense; meaningful only when kOptimal.
   double objective = 0.0;
-  int iterations = 0;
+  /// Simplex iterations (pivots + bound flips) spent in this call.
+  std::int64_t iterations = 0;
+  /// True when the call was served by dual-simplex reoptimization of the
+  /// previous basis rather than a cold Phase 1 + Phase 2 run.
+  bool warm_started = false;
 };
 
 struct LpOptions {
   int max_iterations = 50000;
   double tolerance = 1e-9;
+  /// Product-form basis updates between full refactorizations (numerical
+  /// refresh of the dense inverse, basic values and reduced costs).
+  int refactor_interval = 96;
+  /// Entering candidates kept per pricing sweep; 0 picks a size from the
+  /// column count (partial pricing instead of full Dantzig every pivot).
+  int candidate_list_size = 0;
+};
+
+/// Lifetime counters of one LpSolver (monotone; never reset).
+struct LpSolverStats {
+  std::int64_t iterations = 0;        ///< pivots + bound flips, all calls
+  std::int64_t primal_pivots = 0;
+  std::int64_t dual_pivots = 0;
+  std::int64_t bound_flips = 0;
+  std::int64_t refactorizations = 0;
+  std::int64_t warm_solves = 0;  ///< resolves served by the dual simplex
+  std::int64_t cold_solves = 0;  ///< Phase 1 + Phase 2 runs (incl. fallbacks)
+
+  /// Sums counters from another solver (aggregation across solves/layers).
+  void accumulate(const LpSolverStats& other) {
+    iterations += other.iterations;
+    primal_pivots += other.primal_pivots;
+    dual_pivots += other.dual_pivots;
+    bound_flips += other.bound_flips;
+    refactorizations += other.refactorizations;
+    warm_solves += other.warm_solves;
+    cold_solves += other.cold_solves;
+  }
+};
+
+/// Persistent bounded-variable revised simplex over one Model.
+///
+/// The model must outlive the solver and must not change shape (variables,
+/// constraints, objective) after construction; only variable bounds vary
+/// between calls, which is exactly how branch and bound uses it.
+class LpSolver {
+ public:
+  explicit LpSolver(const Model& model, const LpOptions& options = {});
+
+  /// Cold solve of the LP under the given bound box (structural variables,
+  /// model order): all-logical starting basis, Phase 1, then primal Phase 2.
+  LpResult solve(const std::vector<double>& lower, const std::vector<double>& upper);
+
+  /// Warm solve: keeps the previous optimal basis, applies the new bound
+  /// box and reoptimizes with the dual simplex.  Falls back to a cold solve
+  /// when no reusable basis exists or the warm path stalls.  When `cutoff`
+  /// is finite (internal minimize-sense objective, no constant), the dual
+  /// loop stops with kCutoff as soon as the objective provably exceeds it.
+  LpResult resolve(const std::vector<double>& lower, const std::vector<double>& upper,
+                   double cutoff = kInfinity);
+
+  const LpSolverStats& stats() const { return stats_; }
+  bool has_basis() const { return has_basis_; }
+
+ private:
+  // -- geometry helpers -----------------------------------------------------
+  int total_columns() const { return n_ + m_; }
+  bool is_logical(int j) const { return j >= n_; }
+  double rest_value(int j) const {
+    return at_upper_[static_cast<std::size_t>(j)] ? upper_[static_cast<std::size_t>(j)]
+                                                  : lower_[static_cast<std::size_t>(j)];
+  }
+  double* binv_col(int k) { return binv_.data() + static_cast<std::size_t>(k) * static_cast<std::size_t>(m_); }
+
+  // -- linear algebra -------------------------------------------------------
+  void ftran(int j, std::vector<double>& w) const;      ///< w = B^{-1} a_j
+  void gather_row(int r, std::vector<double>& rho) const;  ///< rho = e_r' B^{-1}
+  double column_dot(const std::vector<double>& y, int j) const;  ///< y . a_j
+  void pivot_update_binv(int r, const std::vector<double>& w);
+  bool refactor();  ///< rebuild B^{-1}, xb (and d in Phase 2); false if singular
+
+  // -- state management -----------------------------------------------------
+  void set_structural_bounds(const std::vector<double>& lower,
+                             const std::vector<double>& upper);
+  void reset_to_logical_basis();
+  void recompute_basic_values();
+  void recompute_reduced_costs();
+  double internal_objective() const;  ///< minimize-sense, no constant
+  bool restore_dual_feasible_rests();  ///< after bound changes; false = cold
+  LpResult extract(std::int64_t iterations, bool warm);
+
+  // -- simplex loops --------------------------------------------------------
+  LpStatus phase1(std::int64_t* iterations);
+  LpStatus primal_loop(std::int64_t* iterations);
+  LpStatus dual_loop(double cutoff, std::int64_t* iterations);
+  int select_entering_primal(bool bland);
+  LpResult cold_solve_current_bounds();
+
+  const Model* model_;
+  LpOptions options_;
+  int m_ = 0;  ///< rows
+  int n_ = 0;  ///< structural columns (logical columns follow)
+
+  // Constraint matrix, structural part, compressed sparse column.
+  std::vector<int> col_start_;   ///< size n_+1
+  std::vector<int> col_row_;
+  std::vector<double> col_val_;
+  std::vector<double> rhs_;
+  std::vector<double> cost_;     ///< minimize-sense, structural (logicals 0)
+
+  std::vector<double> lower_, upper_;       ///< per column incl. logicals
+  std::vector<int> basis_;                  ///< row -> basic column
+  std::vector<int> basic_row_;              ///< column -> row, -1 if nonbasic
+  std::vector<std::uint8_t> at_upper_;      ///< nonbasic rest side
+  std::vector<double> xb_;                  ///< basic values, row order
+  std::vector<double> d_;                   ///< Phase-2 reduced costs
+  std::vector<double> binv_;                ///< dense B^{-1}, column-major
+  bool has_basis_ = false;                  ///< optimal factorized basis alive
+  int updates_since_refactor_ = 0;
+  bool in_phase2_ = false;                  ///< refactor() refreshes d_ too
+
+  std::vector<double> work_col_, work_row_, work_rhs_;
+  std::vector<double> work_alpha_;  ///< per-column pivot-row values (dual)
+  std::vector<double> refactor_mat_;
+  std::vector<int> candidates_;
+  std::vector<std::pair<double, int>> sweep_;  ///< pricing scratch
+  LpSolverStats stats_;
 };
 
 /// Solves the continuous relaxation of `model` (integrality dropped).

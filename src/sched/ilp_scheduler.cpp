@@ -140,6 +140,8 @@ IlpScheduleResult schedule_optimal(const SequencingGraph& graph, const Policy& p
   IlpScheduleResult result;
   result.status = solved.status;
   result.nodes = solved.nodes;
+  result.lp_iterations = solved.lp_iterations;
+  result.lp = solved.lp;
   result.schedule.graph = &graph;
   result.schedule.transport_delay = options.transport_delay;
   result.schedule.start.assign(static_cast<std::size_t>(graph.size()), 0);

@@ -29,6 +29,8 @@ struct IlpScheduleResult {
   Schedule schedule;
   ilp::MilpStatus status = ilp::MilpStatus::kLimit;
   long nodes = 0;
+  std::int64_t lp_iterations = 0;
+  ilp::LpSolverStats lp;  ///< LP engine counters (warm/cold solves, pivots)
 };
 
 /// Solves the scheduling ILP under `policy`.  The horizon is the list

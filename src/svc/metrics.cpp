@@ -21,6 +21,13 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   s.synthesis_seconds =
       static_cast<double>(synthesis_ns_.load(std::memory_order_relaxed)) * 1e-9;
   s.total_seconds = static_cast<double>(total_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  s.solver_nodes = solver_nodes_.load(std::memory_order_relaxed);
+  s.solver_lp_iterations = solver_lp_iterations_.load(std::memory_order_relaxed);
+  s.solver_primal_pivots = solver_primal_pivots_.load(std::memory_order_relaxed);
+  s.solver_dual_pivots = solver_dual_pivots_.load(std::memory_order_relaxed);
+  s.solver_refactorizations = solver_refactorizations_.load(std::memory_order_relaxed);
+  s.solver_warm_solves = solver_warm_solves_.load(std::memory_order_relaxed);
+  s.solver_cold_solves = solver_cold_solves_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -44,6 +51,22 @@ std::string MetricsSnapshot::to_json() const {
      << "    \"queue\": " << format_fixed(queue_seconds, 6) << ",\n"
      << "    \"synthesis\": " << format_fixed(synthesis_seconds, 6) << ",\n"
      << "    \"total\": " << format_fixed(total_seconds, 6) << "\n"
+     << "  },\n"
+     << "  \"solver\": {\n"
+     << "    \"nodes\": " << solver_nodes << ",\n"
+     << "    \"lp_iterations\": " << solver_lp_iterations << ",\n"
+     << "    \"primal_pivots\": " << solver_primal_pivots << ",\n"
+     << "    \"dual_pivots\": " << solver_dual_pivots << ",\n"
+     << "    \"refactorizations\": " << solver_refactorizations << ",\n"
+     << "    \"warm_solves\": " << solver_warm_solves << ",\n"
+     << "    \"cold_solves\": " << solver_cold_solves << ",\n"
+     << "    \"warm_start_hit_rate\": "
+     << format_fixed(solver_warm_solves + solver_cold_solves > 0
+                         ? static_cast<double>(solver_warm_solves) /
+                               static_cast<double>(solver_warm_solves + solver_cold_solves)
+                         : 0.0,
+                     4)
+     << "\n"
      << "  },\n"
      << "  \"cache\": {\n"
      << "    \"hits\": " << cache.hits << ",\n"

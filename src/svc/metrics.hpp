@@ -31,6 +31,16 @@ struct MetricsSnapshot {
   double synthesis_seconds = 0.0;  ///< total time inside synthesize/race
   double total_seconds = 0.0;      ///< total end-to-end job time
 
+  // MILP solver counters aggregated over every completed synthesis (zeros
+  // when only the heuristic mapper ran).
+  long solver_nodes = 0;
+  long solver_lp_iterations = 0;
+  long solver_primal_pivots = 0;
+  long solver_dual_pivots = 0;
+  long solver_refactorizations = 0;
+  long solver_warm_solves = 0;
+  long solver_cold_solves = 0;
+
   CacheStats cache;
   int workers = 0;
   std::size_t max_queue_depth = 0;
@@ -65,6 +75,19 @@ class MetricsRegistry {
   void add_synthesis_time(std::chrono::nanoseconds d) { add(synthesis_ns_, d); }
   void add_total_time(std::chrono::nanoseconds d) { add(total_ns_, d); }
 
+  /// Folds one synthesis run's MILP solver counters into the registry
+  /// (plain longs so svc does not depend on the ilp headers).
+  void record_solver(long nodes, long lp_iterations, long primal_pivots, long dual_pivots,
+                     long refactorizations, long warm_solves, long cold_solves) {
+    solver_nodes_.fetch_add(nodes, std::memory_order_relaxed);
+    solver_lp_iterations_.fetch_add(lp_iterations, std::memory_order_relaxed);
+    solver_primal_pivots_.fetch_add(primal_pivots, std::memory_order_relaxed);
+    solver_dual_pivots_.fetch_add(dual_pivots, std::memory_order_relaxed);
+    solver_refactorizations_.fetch_add(refactorizations, std::memory_order_relaxed);
+    solver_warm_solves_.fetch_add(warm_solves, std::memory_order_relaxed);
+    solver_cold_solves_.fetch_add(cold_solves, std::memory_order_relaxed);
+  }
+
   long mapper_invocations() const {
     return mapper_invocations_.load(std::memory_order_relaxed);
   }
@@ -89,6 +112,13 @@ class MetricsRegistry {
   std::atomic<long> queue_ns_{0};
   std::atomic<long> synthesis_ns_{0};
   std::atomic<long> total_ns_{0};
+  std::atomic<long> solver_nodes_{0};
+  std::atomic<long> solver_lp_iterations_{0};
+  std::atomic<long> solver_primal_pivots_{0};
+  std::atomic<long> solver_dual_pivots_{0};
+  std::atomic<long> solver_refactorizations_{0};
+  std::atomic<long> solver_warm_solves_{0};
+  std::atomic<long> solver_cold_solves_{0};
 };
 
 }  // namespace fsyn::svc

@@ -117,6 +117,14 @@ JobResult BatchService::run_job(JobSpec& spec, Clock::time_point enqueued) {
       out.winner = "single";
     }
     metrics_.add_synthesis_time(Clock::now() - synth_started);
+    // MILP solver counters of the (winning) synthesis; zeros for heuristic
+    // runs, so the aggregate reflects ILP work only.
+    metrics_.record_solver(result.milp_nodes, static_cast<long>(result.milp_lp_iterations),
+                           static_cast<long>(result.milp_lp.primal_pivots),
+                           static_cast<long>(result.milp_lp.dual_pivots),
+                           static_cast<long>(result.milp_lp.refactorizations),
+                           static_cast<long>(result.milp_lp.warm_solves),
+                           static_cast<long>(result.milp_lp.cold_solves));
 
     out.result = std::make_shared<const synth::SynthesisResult>(std::move(result));
     out.status = JobStatus::kDone;

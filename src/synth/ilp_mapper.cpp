@@ -234,6 +234,8 @@ std::optional<IlpMappingOutcome> map_ilp(const MappingProblem& problem,
   outcome.status = result.status;
   outcome.best_bound = result.best_bound;
   outcome.nodes = result.nodes;
+  outcome.lp_iterations = result.lp_iterations;
+  outcome.lp = result.lp;
   outcome.placement.assign(static_cast<std::size_t>(problem.task_count()),
                            DeviceInstance{arch::DeviceType{2, 2}, Point{0, 0}});
   for (int i = 0; i < problem.task_count(); ++i) {

@@ -40,6 +40,8 @@ struct IlpMappingOutcome {
   ilp::MilpStatus status = ilp::MilpStatus::kLimit;
   double best_bound = 0.0;  ///< proven lower bound on w
   long nodes = 0;
+  std::int64_t lp_iterations = 0;
+  ilp::LpSolverStats lp;  ///< LP engine counters (warm/cold solves, pivots)
 };
 
 /// Builds and solves the mapping ILP.  Returns std::nullopt when the model

@@ -41,6 +41,9 @@ struct MappingAttempt {
   Placement placement;
   long effort = 0;
   int refinements = 0;
+  long milp_nodes = 0;
+  std::int64_t milp_lp_iterations = 0;
+  ilp::LpSolverStats milp_lp;
 };
 
 std::optional<MappingAttempt> run_mapper(MappingProblem& problem,
@@ -54,7 +57,9 @@ std::optional<MappingAttempt> run_mapper(MappingProblem& problem,
   }
 
   // ILP mode: the model omits the free-space constraints for runtime (as in
-  // the paper); iterate mapping + post-check (Algorithm 1 L4-L9).
+  // the paper); iterate mapping + post-check (Algorithm 1 L4-L9).  Solver
+  // counters accumulate across the refinement iterations.
+  MappingAttempt attempt;
   for (int iteration = 0; iteration < options.max_refinement_iterations; ++iteration) {
     options.cancel.check("refinement loop");
     IlpMapperOptions ilp_options = options.ilp;
@@ -65,8 +70,14 @@ std::optional<MappingAttempt> run_mapper(MappingProblem& problem,
     }
     const auto outcome = map_ilp(problem, ilp_options);
     if (!outcome.has_value()) return std::nullopt;
+    attempt.milp_nodes += outcome->nodes;
+    attempt.milp_lp_iterations += outcome->lp_iterations;
+    attempt.milp_lp.accumulate(outcome->lp);
     if (forbid_first_overfull_pair(problem, outcome->placement)) {
-      return MappingAttempt{outcome->placement, outcome->nodes, iteration};
+      attempt.placement = outcome->placement;
+      attempt.effort = attempt.milp_nodes;
+      attempt.refinements = iteration;
+      return attempt;
     }
   }
   throw Error("dynamic-device mapping did not converge within the refinement budget");
@@ -118,6 +129,9 @@ std::optional<SynthesisResult> attempt_on_size(const assay::SequencingGraph& gra
   result.mapper_effort = attempt->effort;
   result.refinement_iterations = attempt->refinements;
   result.chip_growths = growth;
+  result.milp_nodes = attempt->milp_nodes;
+  result.milp_lp_iterations = attempt->milp_lp_iterations;
+  result.milp_lp = attempt->milp_lp;
 
   result.ledger_setting1 =
       sim::ChipSimulator(problem, result.placement, routing, sim::Setting::kConservative)

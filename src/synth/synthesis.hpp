@@ -91,6 +91,12 @@ struct SynthesisResult {
   int refinement_iterations = 0;  ///< Algorithm-1 L4-L9 re-runs
   int chip_growths = 0;
   double runtime_seconds = 0.0;
+
+  // MILP solver counters (ILP mapper mode only; zeros for the heuristic),
+  // accumulated over the refinement iterations of the winning attempt.
+  long milp_nodes = 0;
+  std::int64_t milp_lp_iterations = 0;
+  ilp::LpSolverStats milp_lp;
 };
 
 /// Runs reliability-aware synthesis for a scheduled assay.

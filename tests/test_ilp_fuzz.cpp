@@ -1,0 +1,226 @@
+// Randomized cross-check of the MILP solver against exhaustive enumeration.
+//
+// Small all-integer models (up to 6 variables with negative bounds, up to 10
+// constraints including equalities) are solved four ways — warm-started
+// best-first (the default), cold LPs, depth-first diving, and
+// most-fractional branching — and every configuration must agree with the
+// brute-force optimum.  A separate test drives LpSolver::resolve directly
+// and compares each dual-simplex reoptimization against a cold solve of the
+// same bound box.
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ilp/branch_and_bound.hpp"
+#include "ilp/model.hpp"
+#include "ilp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace fsyn::ilp {
+namespace {
+
+struct FuzzInstance {
+  Model model;
+  std::vector<int> lower, upper;  ///< integer bound box, model order
+};
+
+/// Random all-integer model.  Half the instances anchor all constraints on
+/// a random integer point inside the box (guaranteed feasible); the rest
+/// use fully random right-hand sides, so infeasible models are exercised
+/// too.
+FuzzInstance make_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  FuzzInstance out;
+  const int n = rng.next_int(2, 6);
+  std::vector<int> anchor;
+  for (int j = 0; j < n; ++j) {
+    const int lo = rng.next_int(-3, 0);
+    const int hi = rng.next_int(0, 4);
+    out.lower.push_back(lo);
+    out.upper.push_back(hi);
+    out.model.add_integer(lo, hi);
+    anchor.push_back(rng.next_int(lo, hi));
+  }
+  const bool anchored = rng.next_bool(0.5);
+  const int rows = rng.next_int(1, 10);
+  for (int i = 0; i < rows; ++i) {
+    LinearExpr expr;
+    double anchor_value = 0.0;
+    int terms = 0;
+    for (int j = 0; j < n; ++j) {
+      if (!rng.next_bool(0.7)) continue;
+      int coeff = rng.next_int(-4, 4);
+      if (coeff == 0) coeff = 1;
+      expr.add_term(VarId{j}, coeff);
+      anchor_value += coeff * anchor[static_cast<std::size_t>(j)];
+      ++terms;
+    }
+    if (terms == 0) {
+      expr.add_term(VarId{0}, 1.0);
+      anchor_value = anchor[0];
+    }
+    const int relation = rng.next_int(0, 2);
+    if (relation == 0) {
+      const double rhs = anchored ? anchor_value + rng.next_int(0, 4) : rng.next_int(-6, 10);
+      out.model.add_constraint(expr, Relation::kLessEqual, rhs);
+    } else if (relation == 1) {
+      const double rhs = anchored ? anchor_value - rng.next_int(0, 4) : rng.next_int(-10, 6);
+      out.model.add_constraint(expr, Relation::kGreaterEqual, rhs);
+    } else {
+      const double rhs = anchored ? anchor_value : rng.next_int(-4, 4);
+      out.model.add_constraint(expr, Relation::kEqual, rhs);
+    }
+  }
+  LinearExpr objective;
+  for (int j = 0; j < n; ++j) {
+    objective.add_term(VarId{j}, rng.next_int(-5, 5));
+  }
+  out.model.set_objective(objective, rng.next_bool(0.5) ? Sense::kMinimize : Sense::kMaximize);
+  return out;
+}
+
+/// Brute force over every integer point in the bound box.
+std::optional<double> enumerate_best(const FuzzInstance& instance) {
+  const int n = instance.model.variable_count();
+  std::vector<double> point(static_cast<std::size_t>(n));
+  std::optional<double> best;
+  const double sign = instance.model.objective_sign();
+  std::vector<int> cursor(instance.lower.begin(), instance.lower.end());
+  for (;;) {
+    for (int j = 0; j < n; ++j) point[static_cast<std::size_t>(j)] = cursor[static_cast<std::size_t>(j)];
+    if (instance.model.is_feasible(point)) {
+      const double value = instance.model.objective_value(point);
+      if (!best.has_value() || sign * value < sign * *best) best = value;
+    }
+    int j = 0;
+    while (j < n && ++cursor[static_cast<std::size_t>(j)] > instance.upper[static_cast<std::size_t>(j)]) {
+      cursor[static_cast<std::size_t>(j)] = instance.lower[static_cast<std::size_t>(j)];
+      ++j;
+    }
+    if (j == n) break;
+  }
+  return best;
+}
+
+void check_config(const FuzzInstance& instance, const std::optional<double>& best,
+                  const MilpOptions& options, const char* label) {
+  const MilpResult result = solve_milp(instance.model, options);
+  if (best.has_value()) {
+    ASSERT_EQ(result.status, MilpStatus::kOptimal) << label;
+    EXPECT_NEAR(result.objective, *best, 1e-6) << label;
+    EXPECT_TRUE(instance.model.is_feasible(result.values)) << label;
+  } else {
+    EXPECT_EQ(result.status, MilpStatus::kInfeasible) << label;
+  }
+}
+
+class MilpFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(MilpFuzz, AllConfigurationsMatchEnumeration) {
+  const FuzzInstance instance = make_instance(0xF002 + 977ULL * static_cast<std::uint64_t>(GetParam()));
+  const std::optional<double> best = enumerate_best(instance);
+
+  MilpOptions defaults;  // warm-started, best-first, pseudocosts
+  check_config(instance, best, defaults, "default");
+
+  MilpOptions cold = defaults;
+  cold.lp_warm_start = false;
+  check_config(instance, best, cold, "cold-lp");
+
+  MilpOptions diving = defaults;
+  diving.node_order = NodeOrder::kDepthFirst;
+  diving.pseudocost_branching = false;
+  check_config(instance, best, diving, "depth-first/most-fractional");
+
+  MilpOptions no_presolve = defaults;
+  no_presolve.presolve = false;
+  check_config(instance, best, no_presolve, "no-presolve");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MilpFuzz, ::testing::Range(0, 80));
+
+/// Drives the persistent solver's warm path directly: every dual-simplex
+/// resolve after a bound tightening must match a cold solve of the same box.
+TEST(LpSolverWarmStart, ResolveMatchesColdSolve) {
+  Rng rng(0xC01D);
+  for (int round = 0; round < 20; ++round) {
+    const FuzzInstance instance = make_instance(0xAB5E + 31ULL * static_cast<std::uint64_t>(round));
+    const Model& model = instance.model;
+    const int n = model.variable_count();
+    std::vector<double> lower(instance.lower.begin(), instance.lower.end());
+    std::vector<double> upper(instance.upper.begin(), instance.upper.end());
+
+    LpSolver solver(model);
+    LpResult warm = solver.solve(lower, upper);
+    for (int step = 0; step < 12; ++step) {
+      // Tighten a random variable's box (the branching pattern), sometimes
+      // relaxing back to the original bounds.
+      const int j = rng.next_int(0, n - 1);
+      const std::size_t sj = static_cast<std::size_t>(j);
+      if (rng.next_bool(0.25)) {
+        lower[sj] = instance.lower[sj];
+        upper[sj] = instance.upper[sj];
+      } else if (rng.next_bool(0.5)) {
+        upper[sj] = std::max(lower[sj], upper[sj] - 1.0);
+      } else {
+        lower[sj] = std::min(upper[sj], lower[sj] + 1.0);
+      }
+      warm = solver.resolve(lower, upper);
+      const LpResult cold = solve_lp(model, {}, &lower, &upper);
+      ASSERT_EQ(warm.status == LpStatus::kOptimal, cold.status == LpStatus::kOptimal)
+          << "round " << round << " step " << step;
+      if (cold.status == LpStatus::kOptimal) {
+        EXPECT_NEAR(warm.objective, cold.objective, 1e-6)
+            << "round " << round << " step " << step;
+      }
+    }
+    EXPECT_GT(solver.stats().warm_solves + solver.stats().cold_solves, 0);
+  }
+}
+
+/// A warm resolve whose dual reoptimization crosses the cutoff while still
+/// primal infeasible must report kCutoff and stay reusable afterwards.
+TEST(LpSolverWarmStart, CutoffPrunesAndKeepsBasis) {
+  Model model;
+  const VarId x = model.add_continuous(0.0, 10.0);
+  const VarId y = model.add_continuous(0.0, 10.0);
+  const VarId z = model.add_continuous(0.0, 10.0);
+  model.add_constraint(1.0 * x + 1.0 * y + 1.0 * z, Relation::kGreaterEqual, 6.0);
+  model.set_objective(1.0 * x + 2.0 * y + 3.0 * z, Sense::kMinimize);
+
+  LpSolver solver(model);
+  std::vector<double> lower{0.0, 0.0, 0.0}, upper{10.0, 10.0, 10.0};
+  const LpResult root = solver.solve(lower, upper);
+  ASSERT_EQ(root.status, LpStatus::kOptimal);
+  EXPECT_NEAR(root.objective, 6.0, 1e-9);  // x = 6
+
+  // Force x <= 1 and y <= 1: the optimum jumps to x=1, y=1, z=4 -> 15.
+  // The first dual pivot already pushes the (monotone) dual objective past
+  // 8 with the basis still primal infeasible, so the resolve must stop
+  // with kCutoff instead of finishing the reoptimization.
+  upper[0] = 1.0;
+  upper[1] = 1.0;
+  const LpResult pruned = solver.resolve(lower, upper, /*cutoff=*/8.0);
+  EXPECT_EQ(pruned.status, LpStatus::kCutoff);
+  EXPECT_TRUE(solver.has_basis());
+
+  // The solver must still produce exact optima afterwards.
+  const LpResult exact = solver.resolve(lower, upper);
+  ASSERT_EQ(exact.status, LpStatus::kOptimal);
+  EXPECT_NEAR(exact.objective, 15.0, 1e-6);
+
+  // A resolve that regains primal feasibility while still below the cutoff
+  // finishes to the exact optimum even when that optimum exceeds the
+  // cutoff (a stronger prune for B&B than the bound alone).
+  upper[0] = 10.0;
+  upper[1] = 10.0;
+  lower[1] = 3.0;
+  const LpResult absorbed = solver.resolve(lower, upper, /*cutoff=*/8.0);
+  ASSERT_EQ(absorbed.status, LpStatus::kOptimal);
+  EXPECT_NEAR(absorbed.objective, 9.0, 1e-6);  // x = 3, y = 3
+}
+
+}  // namespace
+}  // namespace fsyn::ilp

@@ -276,6 +276,10 @@ int run_batch(const CliOptions& cli) {
         spec.asap = cli.asap;
         spec.options.grid_size = cli.grid;
         spec.options.heuristic.seed = cli.seed;
+        if (cli.use_ilp) spec.options.mapper = synth::MapperKind::kIlp;
+        if (cli.time_limit_seconds.has_value()) {
+          spec.options.ilp.time_limit_seconds = *cli.time_limit_seconds;
+        }
         if (cli.deadline_ms.has_value()) {
           spec.deadline = std::chrono::milliseconds(*cli.deadline_ms);
         }
