@@ -128,7 +128,12 @@ int main() {
             << "/" << points.size() << " hits)\n"
             << "  identical designs: " << (mismatches == 0 ? "yes" : "NO") << "\n"
             << "  cache: " << metrics.cache.hits << " hits / " << metrics.cache.misses
-            << " misses\n";
+            << " misses\n"
+            << "  synthesis latency: p50 "
+            << format_fixed(metrics.synthesis_latency.percentile(50), 3) << " s, p95 "
+            << format_fixed(metrics.synthesis_latency.percentile(95), 3) << " s, p99 "
+            << format_fixed(metrics.synthesis_latency.percentile(99), 3) << " s, max "
+            << format_fixed(metrics.synthesis_latency.max_seconds, 3) << " s\n";
 
   if (mismatches > 0 || cache_hits != static_cast<int>(points.size())) return 1;
   return 0;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "ilp/presolve.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -65,6 +66,7 @@ class BranchAndBound {
     }
     cur_lower_ = root_lower_;
     cur_upper_ = root_upper_;
+    last_heartbeat_ = start_;
     stamp_.assign(static_cast<std::size_t>(n), 0);
     pc_down_sum_.assign(static_cast<std::size_t>(n), 0.0);
     pc_down_count_.assign(static_cast<std::size_t>(n), 0);
@@ -92,6 +94,7 @@ class BranchAndBound {
       Node node = pop_node();
       if (pruned_by_bound(node.bound_score)) continue;
       ++nodes_;
+      if ((nodes_ & 0x7f) == 0) report_progress(false);
 
       materialize(node);
       const double cutoff =
@@ -137,6 +140,8 @@ class BranchAndBound {
       branch(node, branch_var, lp.values, node_score);
     }
 
+    report_progress(true);  // close the counter tracks at their final values
+
     MilpResult result;
     result.nodes = nodes_;
     result.lp_iterations = lp_iterations_;
@@ -171,6 +176,38 @@ class BranchAndBound {
 
   bool pruned_by_bound(double score) const {
     return incumbent_.has_value() && score >= incumbent_score_ - options_.absolute_gap;
+  }
+
+  /// Emits the B&B progress telemetry: trace counter samples (incumbent /
+  /// bound / open nodes, one track set per thread so concurrent solves do
+  /// not interleave) plus an INFO heartbeat.  Rate-limited; called every
+  /// 128 nodes, on incumbent improvements and once at the end, so the cost
+  /// with tracing and INFO logging off is a branch per 128 nodes.
+  void report_progress(bool force) {
+    const bool tracing = obs::tracing_enabled();
+    const bool logging = log_level() <= LogLevel::kInfo;
+    if (!tracing && !logging) return;
+    const Clock::time_point now = Clock::now();
+    if (tracing && (force || now - last_counter_emit_ >= std::chrono::milliseconds(20))) {
+      last_counter_emit_ = now;
+      obs::Tracer& tracer = obs::Tracer::instance();
+      const std::string suffix = " t" + std::to_string(current_thread_id());
+      if (incumbent_.has_value()) {
+        tracer.counter("ilp", "milp incumbent" + suffix, user_value(incumbent_score_));
+      }
+      const double bound = remaining_bound_score();
+      if (std::isfinite(bound)) {
+        tracer.counter("ilp", "milp bound" + suffix, user_value(bound));
+      }
+      tracer.counter("ilp", "milp open_nodes" + suffix, static_cast<double>(open_.size()));
+    }
+    if (logging && (now - last_heartbeat_ >= std::chrono::seconds(5))) {
+      last_heartbeat_ = now;
+      log_info("milp: ", nodes_, " nodes, incumbent ",
+               incumbent_.has_value() ? detail::concat(user_value(incumbent_score_))
+                                      : std::string("none"),
+               ", bound ", user_value(remaining_bound_score()), ", open ", open_.size());
+    }
   }
 
   bool limits_exceeded() {
@@ -386,6 +423,7 @@ class BranchAndBound {
       incumbent_ = std::move(point);
       incumbent_score_ = score;
       log_debug("milp: new incumbent ", user_value(score), " after ", nodes_, " nodes");
+      if (obs::tracing_enabled()) report_progress(true);
     }
   }
 
@@ -407,6 +445,9 @@ class BranchAndBound {
   double pc_total_down_ = 0.0, pc_total_up_ = 0.0;
   long pc_observations_down_ = 0, pc_observations_up_ = 0;
 
+  Clock::time_point last_counter_emit_{};  ///< epoch => first sample emits at once
+  Clock::time_point last_heartbeat_{};
+
   std::optional<std::vector<double>> incumbent_;
   double incumbent_score_ = kInfinity;
   double root_bound_score_ = -kInfinity;
@@ -418,23 +459,51 @@ class BranchAndBound {
 
 }  // namespace
 
-MilpResult solve_milp(const Model& model, const MilpOptions& options) {
-  if (options.presolve) {
-    const PresolveResult reduced = presolve(model);
-    if (reduced.status == PresolveStatus::kInfeasible) {
-      MilpResult result;
-      result.status = MilpStatus::kInfeasible;
-      return result;
-    }
-    if (reduced.tightenings > 0) {
-      log_debug("milp presolve: ", reduced.tightenings, " bound tightenings, ",
-                reduced.fixed_variables, " variables fixed");
-      BranchAndBound solver(model, options, &reduced.lower, &reduced.upper);
-      return solver.run();
-    }
+namespace {
+
+const char* status_name(MilpStatus status) {
+  switch (status) {
+    case MilpStatus::kOptimal: return "optimal";
+    case MilpStatus::kFeasible: return "feasible";
+    case MilpStatus::kInfeasible: return "infeasible";
+    case MilpStatus::kUnbounded: return "unbounded";
+    case MilpStatus::kLimit: return "limit";
   }
-  BranchAndBound solver(model, options);
-  return solver.run();
+  return "?";
+}
+
+}  // namespace
+
+MilpResult solve_milp(const Model& model, const MilpOptions& options) {
+  obs::Span span("ilp", "solve_milp");
+  if (span.active()) {
+    span.arg("vars", model.variable_count());
+    span.arg("constraints", model.constraint_count());
+  }
+  const MilpResult result = [&] {
+    if (options.presolve) {
+      const PresolveResult reduced = presolve(model);
+      if (reduced.status == PresolveStatus::kInfeasible) {
+        MilpResult infeasible;
+        infeasible.status = MilpStatus::kInfeasible;
+        return infeasible;
+      }
+      if (reduced.tightenings > 0) {
+        log_debug("milp presolve: ", reduced.tightenings, " bound tightenings, ",
+                  reduced.fixed_variables, " variables fixed");
+        BranchAndBound solver(model, options, &reduced.lower, &reduced.upper);
+        return solver.run();
+      }
+    }
+    BranchAndBound solver(model, options);
+    return solver.run();
+  }();
+  if (span.active()) {
+    span.arg("status", status_name(result.status));
+    span.arg("nodes", result.nodes);
+    span.arg("lp_iterations", result.lp_iterations);
+  }
+  return result;
 }
 
 }  // namespace fsyn::ilp

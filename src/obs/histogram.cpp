@@ -1,0 +1,96 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace fsyn::obs {
+
+int LatencyHistogram::bucket_index(std::uint64_t ns) {
+  if (ns < 2 * kSubBuckets) return static_cast<int>(ns);  // exact below 32 ns
+  const int msb = 63 - std::countl_zero(ns);
+  const int shift = msb - kSubBits;
+  return ((shift + 1) << kSubBits) +
+         static_cast<int>((ns >> shift) & (kSubBuckets - 1));
+}
+
+double LatencyHistogram::bucket_mid_seconds(int index) {
+  std::uint64_t lower = 0;
+  std::uint64_t width = 1;
+  if (index < 2 * kSubBuckets) {
+    lower = static_cast<std::uint64_t>(index);
+  } else {
+    const int shift = (index >> kSubBits) - 1;
+    const std::uint64_t sub = static_cast<std::uint64_t>(index) & (kSubBuckets - 1);
+    lower = (static_cast<std::uint64_t>(kSubBuckets) + sub) << shift;
+    width = std::uint64_t{1} << shift;
+  }
+  return (static_cast<double>(lower) + static_cast<double>(width) * 0.5) * 1e-9;
+}
+
+void LatencyHistogram::record(std::chrono::nanoseconds elapsed) {
+  const std::uint64_t ns =
+      elapsed.count() < 0 ? 0 : static_cast<std::uint64_t>(elapsed.count());
+  buckets_[static_cast<std::size_t>(bucket_index(ns))].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = min_ns_.load(std::memory_order_relaxed);
+  while (ns < seen && !min_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+  seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen && !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::record_seconds(double seconds) {
+  record(std::chrono::nanoseconds(
+      static_cast<std::int64_t>(std::max(seconds, 0.0) * 1e9)));
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum_seconds = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  const std::uint64_t min_ns = min_ns_.load(std::memory_order_relaxed);
+  s.min_seconds = s.count > 0 ? static_cast<double>(min_ns) * 1e-9 : 0.0;
+  s.max_seconds = static_cast<double>(max_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  s.buckets.resize(kBucketCount);
+  for (int i = 0; i < kBucketCount; ++i) {
+    s.buckets[static_cast<std::size_t>(i)] = buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+  return s;
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(clamped / 100.0 * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= target) {
+      const double mid = LatencyHistogram::bucket_mid_seconds(static_cast<int>(i));
+      return std::clamp(mid, min_seconds, max_seconds);
+    }
+  }
+  return max_seconds;
+}
+
+std::string HistogramSnapshot::to_json() const {
+  std::string out = "{\"count\":" + std::to_string(count);
+  out += ",\"sum\":" + format_fixed(sum_seconds, 6);
+  out += ",\"min\":" + format_fixed(min_seconds, 6);
+  out += ",\"p50\":" + format_fixed(percentile(50.0), 6);
+  out += ",\"p90\":" + format_fixed(percentile(90.0), 6);
+  out += ",\"p95\":" + format_fixed(percentile(95.0), 6);
+  out += ",\"p99\":" + format_fixed(percentile(99.0), 6);
+  out += ",\"max\":" + format_fixed(max_seconds, 6);
+  out += '}';
+  return out;
+}
+
+}  // namespace fsyn::obs

@@ -1,0 +1,263 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace fsyn::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace detail
+
+// ---- JSON fragments --------------------------------------------------------
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;  // UTF-8 passes through untouched
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no Infinity/NaN; clamp to a sentinel the viewer can show.
+    out += value > 0 ? "1e308" : (value < 0 ? "-1e308" : "0");
+    return;
+  }
+  char buffer[40];
+  if (value == std::floor(value) && std::abs(value) < 9.007199254740992e15) {
+    std::snprintf(buffer, sizeof buffer, "%" PRId64, static_cast<std::int64_t>(value));
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.9g", value);
+  }
+  out += buffer;
+}
+
+void append_json_member(std::string& out, std::string_view key, std::string_view value) {
+  append_json_string(out, key);
+  out += ':';
+  append_json_string(out, value);
+}
+
+void append_json_member(std::string& out, std::string_view key, std::int64_t value) {
+  append_json_string(out, key);
+  out += ':';
+  out += std::to_string(value);
+}
+
+void append_json_member(std::string& out, std::string_view key, double value) {
+  append_json_string(out, key);
+  out += ':';
+  append_json_number(out, value);
+}
+
+void append_json_member(std::string& out, std::string_view key, bool value) {
+  append_json_string(out, key);
+  out += value ? ":true" : ":false";
+}
+
+// ---- Tracer ----------------------------------------------------------------
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::int64_t Tracer::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::Buffer& Tracer::local_buffer() {
+  // One buffer per (thread, process); the shared_ptr in the registry keeps
+  // it readable after the thread exits, so short-lived race-arm threads
+  // never lose events.
+  thread_local std::shared_ptr<Buffer> buffer = [this] {
+    auto fresh = std::make_shared<Buffer>();
+    fresh->tid = current_thread_id();
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffers_.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+void Tracer::record(TraceEvent event) {
+  Buffer& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    ++buffer.dropped;
+    return;
+  }
+  event.tid = buffer.tid;
+  buffer.events.push_back(std::move(event));
+}
+
+void Tracer::complete(const char* category, std::string name, std::int64_t start_us,
+                      std::int64_t duration_us, std::string args) {
+  TraceEvent event;
+  event.kind = EventKind::kComplete;
+  event.category = category;
+  event.name = std::move(name);
+  event.start_us = start_us;
+  event.duration_us = duration_us;
+  event.args = std::move(args);
+  record(std::move(event));
+}
+
+void Tracer::counter(const char* category, std::string name, double value) {
+  TraceEvent event;
+  event.kind = EventKind::kCounter;
+  event.category = category;
+  event.name = std::move(name);
+  event.start_us = now_us();
+  event.value = value;
+  record(std::move(event));
+}
+
+void Tracer::instant(const char* category, std::string name, std::string args) {
+  TraceEvent event;
+  event.kind = EventKind::kInstant;
+  event.category = category;
+  event.name = std::move(name);
+  event.start_us = now_us();
+  event.args = std::move(args);
+  record(std::move(event));
+}
+
+void Tracer::set_thread_name(std::string name) {
+  Buffer& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.thread_name = std::move(name);
+}
+
+std::vector<TraceEvent> Tracer::drain() {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    events.insert(events.end(), std::make_move_iterator(buffer->events.begin()),
+                  std::make_move_iterator(buffer->events.end()));
+    buffer->events.clear();
+  }
+  // Retire buffers of exited threads once drained.  Services spawn
+  // short-lived race-arm threads per job; without pruning, their (now
+  // empty) buffers would accumulate in the registry forever.  A buffer is
+  // provably dead when the only owners left are the registry and the
+  // `buffers` snapshot above — the owning thread's thread_local reference
+  // is gone, so no further writes can happen.  Restricting the check to
+  // snapshotted entries keeps a buffer that is mid-registration (its
+  // thread_local not yet assigned) safe: it cannot be in the snapshot.
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    std::erase_if(buffers_, [&](const std::shared_ptr<Buffer>& entry) {
+      if (std::find(buffers.begin(), buffers.end(), entry) == buffers.end()) return false;
+      if (entry.use_count() != 2) return false;
+      std::lock_guard<std::mutex> buffer_lock(entry->mutex);
+      if (!entry->events.empty()) return false;
+      retired_dropped_.fetch_add(entry->dropped, std::memory_order_relaxed);
+      return true;
+    });
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_us < b.start_us;
+                   });
+  return events;
+}
+
+std::vector<std::pair<int, std::string>> Tracer::thread_names() const {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffers = buffers_;
+  }
+  std::vector<std::pair<int, std::string>> names;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    if (!buffer->thread_name.empty()) names.emplace_back(buffer->tid, buffer->thread_name);
+  }
+  return names;
+}
+
+std::uint64_t Tracer::dropped_events() const {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffers = buffers_;
+  }
+  std::uint64_t dropped = retired_dropped_.load(std::memory_order_relaxed);
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    dropped += buffer->dropped;
+  }
+  return dropped;
+}
+
+// ---- Span ------------------------------------------------------------------
+
+void Span::begin(const char* category, std::string_view name) {
+  category_ = category;
+  name_.assign(name);
+  start_us_ = Tracer::instance().now_us();
+  active_ = true;
+}
+
+void Span::end() {
+  Tracer& tracer = Tracer::instance();
+  const std::int64_t duration = tracer.now_us() - start_us_;
+  tracer.complete(category_, std::move(name_), start_us_, duration, std::move(args_));
+  active_ = false;
+}
+
+void Span::arg(std::string_view key, std::string_view value) {
+  if (!active_) return;
+  if (!args_.empty()) args_ += ',';
+  append_json_member(args_, key, value);
+}
+
+void Span::arg(std::string_view key, double value) {
+  if (!active_) return;
+  if (!args_.empty()) args_ += ',';
+  append_json_member(args_, key, value);
+}
+
+void Span::arg(std::string_view key, bool value) {
+  if (!active_) return;
+  if (!args_.empty()) args_ += ',';
+  append_json_member(args_, key, value);
+}
+
+void Span::arg_int(std::string_view key, std::int64_t value) {
+  if (!active_) return;
+  if (!args_.empty()) args_ += ',';
+  append_json_member(args_, key, value);
+}
+
+}  // namespace fsyn::obs

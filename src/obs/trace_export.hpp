@@ -1,0 +1,21 @@
+// Chrome trace-event / Perfetto JSON export for the global Tracer.
+//
+// The output is the classic "JSON object format": a top-level object with a
+// `traceEvents` array of ph:"X" complete events, ph:"C" counter samples,
+// ph:"i" instants and ph:"M" thread-name metadata.  Open the file in
+// https://ui.perfetto.dev or chrome://tracing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace fsyn::obs {
+
+/// Drains the global tracer and writes the trace JSON to `os`.
+void write_chrome_trace(std::ostream& os);
+
+/// Convenience wrapper: writes to `path`, throwing fsyn::Error when the
+/// file cannot be opened or written.
+void write_chrome_trace_file(const std::string& path);
+
+}  // namespace fsyn::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace fsyn::route {
@@ -33,6 +34,7 @@ std::string path_fluid(const synth::MappingProblem& problem, const RoutedPath& p
 
 WashPlan plan_washes(const synth::MappingProblem& problem, const RoutingResult& routing) {
   require(routing.success, "cannot analyse a failed routing");
+  obs::Span span("route", "plan_washes");
 
   struct Traversal {
     int time;
@@ -69,6 +71,10 @@ WashPlan plan_washes(const synth::MappingProblem& problem, const RoutingResult& 
   for (auto& [path_index, wash] : by_later_path) {
     plan.total_washed_cells += static_cast<int>(wash.cells.size());
     plan.washes.push_back(std::move(wash));
+  }
+  if (span.active()) {
+    span.arg("washes", plan.washes.size());
+    span.arg("washed_cells", plan.total_washed_cells);
   }
   return plan;
 }

@@ -5,6 +5,7 @@
 #include <queue>
 #include <set>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -317,9 +318,17 @@ class Router {
 
 RoutingResult route_all(const MappingProblem& problem, const Placement& placement,
                         const RouterOptions& options) {
+  obs::Span span("route", "route_all");
   problem.validate_placement(placement);
   Router router(problem, placement, options);
-  return router.run();
+  RoutingResult result = router.run();
+  if (span.active()) {
+    span.arg("success", result.success);
+    span.arg("paths", result.paths.size());
+    span.arg("cells", result.total_cells);
+    span.arg("rip_ups", result.rip_ups);
+  }
+  return result;
 }
 
 void validate_routing(const MappingProblem& problem, const Placement& placement,

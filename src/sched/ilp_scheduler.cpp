@@ -3,6 +3,7 @@
 #include <map>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -30,6 +31,8 @@ int occupancy(const Operation& op, int transport_delay) {
 
 IlpScheduleResult schedule_optimal(const SequencingGraph& graph, const Policy& policy,
                                    const IlpScheduleOptions& options) {
+  obs::Span span("sched", "schedule_optimal");
+  if (span.active()) span.arg("ops", graph.size());
   // The list schedule provides the horizon and the warm start.
   const Schedule warm = schedule_with_policy(graph, policy, options.transport_delay);
   const int horizon = warm.makespan();
@@ -166,6 +169,10 @@ IlpScheduleResult schedule_optimal(const SequencingGraph& graph, const Policy& p
     result.schedule.end[static_cast<std::size_t>(op.id.index)] = start + op.duration;
   }
   result.schedule.validate();
+  if (span.active()) {
+    span.arg("makespan", result.schedule.makespan());
+    span.arg("nodes", result.nodes);
+  }
   return result;
 }
 

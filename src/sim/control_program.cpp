@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace fsyn::sim {
@@ -38,6 +39,7 @@ ControlProgram compile_control_program(const synth::MappingProblem& problem,
                                        const route::RoutingResult& routing,
                                        Setting setting) {
   require(routing.success, "cannot compile a failed routing");
+  obs::Span span("sim", "compile_control_program");
   ControlProgram program;
 
   // Peristalsis bursts: the whole ring of a mixing task pumps at start.
@@ -69,6 +71,7 @@ ControlProgram compile_control_program(const synth::MappingProblem& problem,
               return std::tie(a.time, a.valve.y, a.valve.x, a.cause) <
                      std::tie(b.time, b.valve.y, b.valve.x, b.cause);
             });
+  if (span.active()) span.arg("events", program.events.size());
   return program;
 }
 

@@ -17,10 +17,12 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   s.mapper_invocations = mapper_invocations_.load(std::memory_order_relaxed);
   s.race_arms_started = race_arms_started_.load(std::memory_order_relaxed);
   s.race_arms_cancelled = race_arms_cancelled_.load(std::memory_order_relaxed);
-  s.queue_seconds = static_cast<double>(queue_ns_.load(std::memory_order_relaxed)) * 1e-9;
-  s.synthesis_seconds =
-      static_cast<double>(synthesis_ns_.load(std::memory_order_relaxed)) * 1e-9;
-  s.total_seconds = static_cast<double>(total_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  s.queue_latency = queue_latency_.snapshot();
+  s.synthesis_latency = synthesis_latency_.snapshot();
+  s.total_latency = total_latency_.snapshot();
+  s.queue_seconds = s.queue_latency.sum_seconds;
+  s.synthesis_seconds = s.synthesis_latency.sum_seconds;
+  s.total_seconds = s.total_latency.sum_seconds;
   s.solver_nodes = solver_nodes_.load(std::memory_order_relaxed);
   s.solver_lp_iterations = solver_lp_iterations_.load(std::memory_order_relaxed);
   s.solver_primal_pivots = solver_primal_pivots_.load(std::memory_order_relaxed);
@@ -51,6 +53,11 @@ std::string MetricsSnapshot::to_json() const {
      << "    \"queue\": " << format_fixed(queue_seconds, 6) << ",\n"
      << "    \"synthesis\": " << format_fixed(synthesis_seconds, 6) << ",\n"
      << "    \"total\": " << format_fixed(total_seconds, 6) << "\n"
+     << "  },\n"
+     << "  \"latency_seconds\": {\n"
+     << "    \"queue\": " << queue_latency.to_json() << ",\n"
+     << "    \"synthesis\": " << synthesis_latency.to_json() << ",\n"
+     << "    \"total\": " << total_latency.to_json() << "\n"
      << "  },\n"
      << "  \"solver\": {\n"
      << "    \"nodes\": " << solver_nodes << ",\n"

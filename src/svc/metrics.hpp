@@ -1,15 +1,17 @@
 // Service metrics registry.
 //
-// Lock-free counters updated by workers and race arms, plus wall-clock
-// accumulators per job stage (queue wait / synthesis / end-to-end).  A
-// consistent-enough snapshot can be taken at any time and serialized as
-// JSON for `flowsynth batch --metrics PATH` or scraping.
+// Lock-free counters updated by workers and race arms, plus a latency
+// histogram per job stage (queue wait / synthesis / end-to-end) so the
+// snapshot carries percentiles, not just totals.  A consistent-enough
+// snapshot can be taken at any time and serialized as JSON for
+// `flowsynth batch --metrics PATH` or scraping.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <string>
 
+#include "obs/histogram.hpp"
 #include "svc/result_cache.hpp"
 
 namespace fsyn::svc {
@@ -30,6 +32,12 @@ struct MetricsSnapshot {
   double queue_seconds = 0.0;      ///< total time jobs spent queued
   double synthesis_seconds = 0.0;  ///< total time inside synthesize/race
   double total_seconds = 0.0;      ///< total end-to-end job time
+
+  // Per-stage latency distributions (the *_seconds totals above are their
+  // sums, kept as top-level fields for snapshot/JSON compatibility).
+  obs::HistogramSnapshot queue_latency;
+  obs::HistogramSnapshot synthesis_latency;
+  obs::HistogramSnapshot total_latency;
 
   // MILP solver counters aggregated over every completed synthesis (zeros
   // when only the heuristic mapper ran).
@@ -71,9 +79,9 @@ class MetricsRegistry {
   void race_arm_started() { race_arms_started_.fetch_add(1, std::memory_order_relaxed); }
   void race_arm_cancelled() { race_arms_cancelled_.fetch_add(1, std::memory_order_relaxed); }
 
-  void add_queue_time(std::chrono::nanoseconds d) { add(queue_ns_, d); }
-  void add_synthesis_time(std::chrono::nanoseconds d) { add(synthesis_ns_, d); }
-  void add_total_time(std::chrono::nanoseconds d) { add(total_ns_, d); }
+  void add_queue_time(std::chrono::nanoseconds d) { queue_latency_.record(d); }
+  void add_synthesis_time(std::chrono::nanoseconds d) { synthesis_latency_.record(d); }
+  void add_total_time(std::chrono::nanoseconds d) { total_latency_.record(d); }
 
   /// Folds one synthesis run's MILP solver counters into the registry
   /// (plain longs so svc does not depend on the ilp headers).
@@ -96,10 +104,6 @@ class MetricsRegistry {
   MetricsSnapshot snapshot() const;
 
  private:
-  static void add(std::atomic<long>& accumulator, std::chrono::nanoseconds d) {
-    accumulator.fetch_add(static_cast<long>(d.count()), std::memory_order_relaxed);
-  }
-
   std::atomic<long> jobs_submitted_{0};
   std::atomic<long> jobs_completed_{0};
   std::atomic<long> jobs_cancelled_{0};
@@ -109,9 +113,9 @@ class MetricsRegistry {
   std::atomic<long> mapper_invocations_{0};
   std::atomic<long> race_arms_started_{0};
   std::atomic<long> race_arms_cancelled_{0};
-  std::atomic<long> queue_ns_{0};
-  std::atomic<long> synthesis_ns_{0};
-  std::atomic<long> total_ns_{0};
+  obs::LatencyHistogram queue_latency_;
+  obs::LatencyHistogram synthesis_latency_;
+  obs::LatencyHistogram total_latency_;
   std::atomic<long> solver_nodes_{0};
   std::atomic<long> solver_lp_iterations_{0};
   std::atomic<long> solver_primal_pivots_{0};

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sched/list_scheduler.hpp"
 #include "util/logging.hpp"
 
@@ -78,13 +79,32 @@ JobResult BatchService::run_job(JobSpec& spec, Clock::time_point enqueued) {
   out.queue_seconds = seconds_between(enqueued, started);
   metrics_.add_queue_time(started - enqueued);
 
+  obs::Span job_span("svc", "job " + spec.name);
+  if (job_span.active()) {
+    // The wait predates this worker picking the job up, so it cannot be an
+    // RAII span; reconstruct it as an explicit complete event ending now.
+    obs::Tracer& tracer = obs::Tracer::instance();
+    const auto wait_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(started - enqueued).count();
+    tracer.complete("svc", "queued " + spec.name, tracer.now_us() - wait_us, wait_us);
+  }
+  const auto close_job_span = [&] {
+    if (!job_span.active()) return;
+    job_span.arg("status", to_string(out.status));
+    job_span.arg("cache_hit", out.cache_hit);
+    if (!out.winner.empty()) job_span.arg("winner", out.winner);
+  };
+
   try {
     // Scheduling is deterministic and cheap; it runs inside the worker so
     // the submitter never blocks on assay-sized work.
-    const sched::Schedule schedule =
-        spec.asap ? sched::schedule_asap(spec.graph)
-                  : sched::schedule_with_policy(
-                        spec.graph, sched::make_policy(spec.graph, spec.policy_increments));
+    const sched::Schedule schedule = [&] {
+      obs::Span span("svc", "schedule");
+      return spec.asap ? sched::schedule_asap(spec.graph)
+                       : sched::schedule_with_policy(
+                             spec.graph,
+                             sched::make_policy(spec.graph, spec.policy_increments));
+    }();
 
     const CacheKey key = canonical_key(spec.graph, schedule, spec.options);
     if (auto cached = cache_.lookup(key)) {
@@ -96,6 +116,7 @@ JobResult BatchService::run_job(JobSpec& spec, Clock::time_point enqueued) {
       const Clock::time_point finished = Clock::now();
       out.run_seconds = seconds_between(started, finished);
       metrics_.add_total_time(finished - enqueued);
+      close_job_span();
       return out;
     }
 
@@ -143,6 +164,7 @@ JobResult BatchService::run_job(JobSpec& spec, Clock::time_point enqueued) {
   const Clock::time_point finished = Clock::now();
   out.run_seconds = seconds_between(started, finished);
   metrics_.add_total_time(finished - enqueued);
+  close_job_span();
   return out;
 }
 
@@ -173,6 +195,9 @@ synth::SynthesisResult BatchService::race(const JobSpec& spec,
     arms.push_back(std::move(arm));
   }
 
+  obs::Span race_span("svc", "race");
+  if (race_span.active()) race_span.arg("arms", arms.size());
+
   std::mutex mutex;
   std::optional<synth::SynthesisResult> best;
   std::string best_name;
@@ -191,6 +216,13 @@ synth::SynthesisResult BatchService::race(const JobSpec& spec,
     metrics_.race_arm_started();
     threads.emplace_back([this, &spec, &schedule, &arm, &arms, &mutex, &best, &best_name,
                           &first_error] {
+      // Arm threads are fresh per race, so only name them while tracing:
+      // naming registers a per-thread trace buffer, and an idle service
+      // should not grow the registry per job.
+      if (obs::tracing_enabled()) {
+        obs::Tracer::instance().set_thread_name("race " + spec.name + " " + arm.name);
+      }
+      obs::Span arm_span("svc", "arm " + arm.name);
       try {
         metrics_.mapper_invoked();
         synth::SynthesisResult result = synth::synthesize(spec.graph, schedule, arm.options);
@@ -204,6 +236,7 @@ synth::SynthesisResult BatchService::race(const JobSpec& spec,
             won = true;
           }
         }
+        if (arm_span.active()) arm_span.arg("won", won);
         if (won) {
           for (Arm& other : arms) {
             if (&other != &arm) {
@@ -214,7 +247,9 @@ synth::SynthesisResult BatchService::race(const JobSpec& spec,
         }
       } catch (const CancelledError&) {
         // Lost the race (or the job deadline fired); nothing to record.
+        if (arm_span.active()) arm_span.arg("cancelled", true);
       } catch (const std::exception& e) {
+        if (arm_span.active()) arm_span.arg("failed", true);
         std::lock_guard<std::mutex> lock(mutex);
         if (first_error.empty()) first_error = e.what();
       }
@@ -224,6 +259,7 @@ synth::SynthesisResult BatchService::race(const JobSpec& spec,
 
   if (best.has_value()) {
     *winner = best_name;
+    if (race_span.active()) race_span.arg("winner", best_name);
     log_info("svc: race won by ", best_name, " (", arms.size(), " arms)");
     return *std::move(best);
   }

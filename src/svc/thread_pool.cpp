@@ -1,5 +1,8 @@
 #include "svc/thread_pool.hpp"
 
+#include <string>
+
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace fsyn::svc {
@@ -9,7 +12,10 @@ ThreadPool::ThreadPool(int workers, std::size_t queue_capacity, OverflowPolicy o
   check_input(workers >= 1, "thread pool needs at least one worker");
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      obs::Tracer::instance().set_thread_name("svc-worker-" + std::to_string(i));
+      worker_loop();
+    });
   }
 }
 

@@ -5,6 +5,7 @@
 #include <deque>
 #include <numeric>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -292,8 +293,21 @@ class Mapper {
 
 std::optional<MappingOutcome> map_heuristic(const MappingProblem& problem,
                                             const HeuristicOptions& options) {
+  obs::Span span("synth", "map_heuristic");
+  if (span.active()) {
+    span.arg("tasks", problem.task_count());
+    span.arg("seed", options.seed);
+  }
   Mapper mapper(problem, options);
-  return mapper.run();
+  std::optional<MappingOutcome> outcome = mapper.run();
+  if (span.active()) {
+    span.arg("feasible", outcome.has_value());
+    if (outcome.has_value()) {
+      span.arg("moves_tried", outcome->moves_tried);
+      span.arg("max_pump_load", outcome->max_pump_load);
+    }
+  }
+  return outcome;
 }
 
 }  // namespace fsyn::synth

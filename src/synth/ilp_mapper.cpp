@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -32,6 +33,11 @@ struct TaskVars {
 
 std::optional<IlpMappingOutcome> map_ilp(const MappingProblem& problem,
                                          const IlpMapperOptions& options) {
+  obs::Span span("synth", "map_ilp");
+  if (span.active()) span.arg("tasks", problem.task_count());
+  // Model construction + warm-start assembly as its own sub-span; the
+  // solve itself is traced inside solve_milp.
+  obs::Span build_span("ilp", "build_model");
   Model model;
   const arch::Architecture& chip = problem.chip();
   const double big_m = chip.width() + chip.height() + 4.0;
@@ -223,6 +229,13 @@ std::optional<IlpMappingOutcome> map_ilp(const MappingProblem& problem,
     require(model.is_feasible(point, 1e-5), "warm-start point is infeasible in the ILP");
     milp_options.initial_incumbent = std::move(point);
   }
+
+  if (build_span.active()) {
+    build_span.arg("vars", model.variable_count());
+    build_span.arg("constraints", model.constraint_count());
+    build_span.arg("warm_start", options.warm_start.has_value());
+  }
+  build_span.finish();
 
   const ilp::MilpResult result = ilp::solve_milp(model, milp_options);
   if (result.values.empty()) {

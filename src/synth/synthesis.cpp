@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -92,6 +93,11 @@ std::optional<SynthesisResult> attempt_on_size(const assay::SequencingGraph& gra
                                                const sched::Schedule& schedule,
                                                const SynthesisOptions& options, int side,
                                                int growth) {
+  obs::Span span("synth", "attempt");
+  if (span.active()) {
+    span.arg("side", side);
+    span.arg("growth", growth);
+  }
   arch::Architecture chip(side, side);
   MappingProblem problem = MappingProblem::build(graph, schedule, std::move(chip));
   problem.set_allow_storage_overlap(options.allow_storage_overlap);
@@ -107,7 +113,15 @@ std::optional<SynthesisResult> attempt_on_size(const assay::SequencingGraph& gra
   for (int r = 0; r <= options.routing_retries; ++r) {
     options.cancel.check("mapping/routing attempt");
     retry_options.heuristic.seed = options.heuristic.seed + 7919ULL * static_cast<std::uint64_t>(r);
-    attempt = run_mapper(problem, retry_options);
+    {
+      obs::Span map_span("synth", "map");
+      if (map_span.active()) {
+        map_span.arg("side", side);
+        map_span.arg("retry", r);
+        map_span.arg("mapper", options.mapper == MapperKind::kIlp ? "ilp" : "heuristic");
+      }
+      attempt = run_mapper(problem, retry_options);
+    }
     if (!attempt.has_value()) {
       log_info("synthesis: mapping failed on ", side, "x", side);
       return std::nullopt;
@@ -133,11 +147,15 @@ std::optional<SynthesisResult> attempt_on_size(const assay::SequencingGraph& gra
   result.milp_lp_iterations = attempt->milp_lp_iterations;
   result.milp_lp = attempt->milp_lp;
 
-  result.ledger_setting1 =
-      sim::ChipSimulator(problem, result.placement, routing, sim::Setting::kConservative)
-          .verify();
-  result.ledger_setting2 =
-      sim::ChipSimulator(problem, result.placement, routing, sim::Setting::kRescaled).verify();
+  {
+    obs::Span verify_span("sim", "verify");
+    result.ledger_setting1 =
+        sim::ChipSimulator(problem, result.placement, routing, sim::Setting::kConservative)
+            .verify();
+    result.ledger_setting2 =
+        sim::ChipSimulator(problem, result.placement, routing, sim::Setting::kRescaled)
+            .verify();
+  }
 
   result.vs1_max = result.ledger_setting1.max_total();
   result.vs1_pump = result.ledger_setting1.max_pump();
@@ -153,6 +171,12 @@ SynthesisResult synthesize(const assay::SequencingGraph& graph,
                            const sched::Schedule& schedule,
                            const SynthesisOptions& user_options) {
   const auto started = std::chrono::steady_clock::now();
+  obs::Span span("synth", "synthesize");
+  if (span.active()) {
+    span.arg("assay", graph.name());
+    span.arg("ops", graph.size());
+    span.arg("mapper", user_options.mapper == MapperKind::kIlp ? "ilp" : "heuristic");
+  }
 
   // Propagate a synthesis-level token into the mapper options so one token
   // on SynthesisOptions cancels every stage (explicit mapper tokens win).
@@ -217,6 +241,11 @@ SynthesisResult synthesize(const assay::SequencingGraph& graph,
   }
   best->runtime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  if (span.active()) {
+    span.arg("chip", best->chip_width);
+    span.arg("vs1_max", best->vs1_max);
+    span.arg("valves", best->valve_count);
+  }
   return *best;
 }
 

@@ -1,12 +1,30 @@
 #include "util/logging.hpp"
 
 #include <atomic>
-#include <iostream>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
 
 namespace fsyn {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("FLOWSYNTH_LOG")) {
+    if (const auto parsed = parse_log_level(env)) return *parsed;
+    // Can't use the logger here (we are computing its threshold); one plain
+    // line is better than silently ignoring a typo in CI configs.
+    std::fprintf(stderr, "[fsyn WARN ] ignoring unknown FLOWSYNTH_LOG value '%s'\n", env);
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel>& level_ref() {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -18,15 +36,66 @@ const char* level_tag(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+LogLevel log_level() { return level_ref().load(std::memory_order_relaxed); }
 
-void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+void set_log_level(LogLevel level) { level_ref().store(level, std::memory_order_relaxed); }
+
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+int current_thread_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::string format_log_line(LogLevel level, std::string_view message) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char stamp[32];
+  std::snprintf(stamp, sizeof stamp, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour, utc.tm_min,
+                utc.tm_sec, static_cast<int>(millis));
+
+  std::string line;
+  line.reserve(message.size() + 48);
+  line += stamp;
+  line += " [fsyn ";
+  line += level_tag(level);
+  line += " t";
+  line += std::to_string(current_thread_id());
+  line += "] ";
+  line += message;
+  line += '\n';
+  return line;
+}
 
 void log_message(LogLevel level, std::string_view message) {
   if (level < log_level()) return;
-  std::cerr << "[fsyn " << level_tag(level) << "] " << message << '\n';
+  // One pre-formatted string, one write: concurrent workers cannot tear a
+  // line apart the way chained stream inserts into std::cerr could.
+  const std::string line = format_log_line(level, message);
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace fsyn

@@ -2,9 +2,17 @@
 //
 // Synthesis runs can take minutes on the large dilution benchmarks; the
 // mapper and router use this logger to report progress.  The default level
-// is `kWarn` so tests and benchmarks stay quiet unless something is wrong.
+// is `kWarn` so tests and benchmarks stay quiet unless something is wrong;
+// the `FLOWSYNTH_LOG` environment variable (debug|info|warn|error|off)
+// overrides it at startup without code changes.
+//
+// Every line is formatted into one string and written with a single
+// `fwrite` to stderr, so lines from concurrent batch-service workers never
+// interleave mid-line.  The prefix carries an ISO-8601 UTC timestamp and a
+// small per-thread id (also used as the trace tid by obs/trace.hpp).
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -13,9 +21,23 @@ namespace fsyn {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global log threshold; messages below it are dropped.
+/// Global log threshold; messages below it are dropped.  Initialized from
+/// `FLOWSYNTH_LOG` when set, `kWarn` otherwise.
 LogLevel log_level();
 void set_log_level(LogLevel level);
+
+/// Parses "debug" | "info" | "warn"/"warning" | "error" | "off"/"none"
+/// (case-insensitive); nullopt for anything else.
+std::optional<LogLevel> parse_log_level(std::string_view text);
+
+/// Small dense id for the calling thread (0, 1, 2, ... in first-use order).
+/// Stable for the thread's lifetime; shared by the logger prefix and the
+/// tracing subsystem so log lines and trace tracks correlate.
+int current_thread_id();
+
+/// Renders one complete log line including the trailing newline:
+/// `2015-06-08T12:34:56.789Z [fsyn INFO  t3] message`.
+std::string format_log_line(LogLevel level, std::string_view message);
 
 /// Emits `message` to stderr when `level` passes the global threshold.
 void log_message(LogLevel level, std::string_view message);

@@ -1,9 +1,11 @@
-// Unit tests for the util module: errors, strings, table printing, RNG.
+// Unit tests for the util module: errors, strings, logging, tables, RNG.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -92,6 +94,45 @@ TEST(Table, RowWidthMismatchThrows) {
   TextTable t;
   t.set_header({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Logging, ParseLogLevelAcceptsAliasesCaseInsensitively) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+}
+
+TEST(Logging, FormatLogLineHasTimestampTagThreadAndNewline) {
+  const std::string line = format_log_line(LogLevel::kInfo, "hello world");
+  // 2015-06-08T12:34:56.789Z [fsyn INFO  t0] hello world\n
+  ASSERT_GT(line.size(), 25u);
+  EXPECT_EQ(line[4], '-');
+  EXPECT_EQ(line[10], 'T');
+  EXPECT_EQ(line[23], 'Z');
+  EXPECT_NE(line.find(" [fsyn INFO  t"), std::string::npos);
+  EXPECT_NE(line.find("] hello world\n"), std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+  // One line only: the embedded newline count is exactly the trailing one.
+  EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1);
+}
+
+TEST(Logging, CurrentThreadIdIsStableAndDense) {
+  const int id = current_thread_id();
+  EXPECT_GE(id, 0);
+  EXPECT_EQ(current_thread_id(), id);
+}
+
+TEST(Logging, SetLogLevelRoundTrips) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(before);
 }
 
 TEST(Rng, Deterministic) {

@@ -16,6 +16,7 @@
 //   --time-limit S  ILP branch & bound wall-clock limit in seconds
 //   --json PATH     write the synthesis result as JSON
 //   --svg PATH      write an SVG rendering
+//   --trace PATH    write a Chrome trace-event / Perfetto JSON profile
 //   --snapshots     print Fig.-10 style actuation snapshots
 //   --control       print the valve control program
 //
@@ -25,7 +26,8 @@
 //   --repeat R       submit the whole sweep R times (exercises the cache)
 //   --deadline-ms D  per-job deadline; late jobs report "cancelled"
 //   --race           portfolio racing (heuristic seeds + ILP for small cases)
-//   --metrics PATH   dump the service metrics registry as JSON
+//   --metrics PATH   dump the service metrics registry as JSON ("-" = stdout)
+//   --trace PATH     write a Chrome trace-event / Perfetto JSON profile
 //   --cache N        result-cache capacity (default 256, 0 disables)
 //   --queue N        bounded job-queue capacity (default 256)
 //   --reject         reject jobs when the queue is full instead of blocking
@@ -37,6 +39,8 @@
 #include <vector>
 
 #include "assay/benchmarks.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "assay/parser.hpp"
 #include "report/json_export.hpp"
 #include "report/svg_export.hpp"
@@ -67,6 +71,7 @@ struct CliOptions {
   std::string svg_path;
   bool snapshots = false;
   bool control = false;
+  std::string trace_path;  ///< Chrome trace-event JSON output (synth + batch)
 
   // batch / table1
   int jobs = 0;  ///< 0 = hardware concurrency (table1 defaults to 1)
@@ -86,11 +91,12 @@ struct CliOptions {
       "usage:\n"
       "  flowsynth synth    <assay-file|benchmark> [--policy N | --asap] [--grid N]\n"
       "                     [--seed S] [--ilp] [--time-limit S] [--json PATH]\n"
-      "                     [--svg PATH] [--snapshots] [--control]\n"
+      "                     [--svg PATH] [--snapshots] [--control] [--trace PATH]\n"
       "  flowsynth schedule <assay-file|benchmark> [--policy N | --asap]\n"
       "  flowsynth batch    <benchmark[,benchmark...]|all> [--jobs N] [--policies P]\n"
-      "                     [--repeat R] [--deadline-ms D] [--race] [--metrics PATH]\n"
+      "                     [--repeat R] [--deadline-ms D] [--race] [--metrics PATH|-]\n"
       "                     [--seed S] [--grid N] [--cache N] [--queue N] [--reject]\n"
+      "                     [--trace PATH]\n"
       "  flowsynth table1   [--jobs N]\n"
       "  flowsynth list\n";
   std::exit(2);
@@ -152,6 +158,8 @@ CliOptions parse_cli(int argc, char** argv) {
       options.queue_capacity = parse_int(next());
     } else if (arg == "--reject") {
       options.reject = true;
+    } else if (arg == "--trace") {
+      options.trace_path = next();
     } else {
       usage("unknown option " + arg);
     }
@@ -326,7 +334,9 @@ int run_batch(const CliOptions& cli) {
             << format_fixed(metrics.synthesis_seconds, 2) << " s); cache "
             << metrics.cache.hits << " hits / " << metrics.cache.misses << " misses / "
             << metrics.cache.evictions << " evictions\n";
-  if (!cli.metrics_path.empty()) {
+  if (cli.metrics_path == "-") {
+    std::cout << '\n' << metrics.to_json();
+  } else if (!cli.metrics_path.empty()) {
     std::ofstream out(cli.metrics_path);
     check_input(static_cast<bool>(out), "cannot write metrics to " + cli.metrics_path);
     out << metrics.to_json();
@@ -348,10 +358,26 @@ int main(int argc, char** argv) {
       std::cout << report::format_table(report::run_full_table({}, cli.jobs));
       return 0;
     }
-    if (cli.command == "schedule") return run_schedule(cli);
-    if (cli.command == "synth") return run_synth(cli);
-    if (cli.command == "batch") return run_batch(cli);
-    usage("unknown command '" + cli.command + "'");
+    if (!cli.trace_path.empty()) {
+      fsyn::obs::Tracer& tracer = fsyn::obs::Tracer::instance();
+      tracer.enable();
+      tracer.set_thread_name("main");
+    }
+    int code = 0;
+    if (cli.command == "schedule") {
+      code = run_schedule(cli);
+    } else if (cli.command == "synth") {
+      code = run_synth(cli);
+    } else if (cli.command == "batch") {
+      code = run_batch(cli);
+    } else {
+      usage("unknown command '" + cli.command + "'");
+    }
+    if (!cli.trace_path.empty()) {
+      fsyn::obs::write_chrome_trace_file(cli.trace_path);
+      std::cout << "trace:       " << cli.trace_path << '\n';
+    }
+    return code;
   } catch (const fsyn::Error& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
