@@ -1,0 +1,85 @@
+// Reliability-engine performance smoke: one machine-readable JSON line per
+// benchmark assay with Monte Carlo throughput (trials/sec at 1 worker and
+// on a 4-worker pool, plus the speedup), the lifetime headline numbers,
+// and degraded re-synthesis latency percentiles over the top-wear fault
+// rounds.  Mirrors the bench_ilp_solver line format so CI can archive and
+// diff BENCH_*.json trajectories.
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "assay/benchmarks.hpp"
+#include "rel/engine.hpp"
+#include "sched/list_scheduler.hpp"
+#include "svc/thread_pool.hpp"
+#include "synth/synthesis.hpp"
+
+using namespace fsyn;
+
+namespace {
+
+double measure_trials_per_second(const std::vector<sim::ValveWear>& valves,
+                                 rel::MonteCarloOptions options) {
+  // Warm-up pass (allocators, branch predictors), then the measured pass.
+  rel::MonteCarloOptions warmup = options;
+  warmup.trials = options.trials / 10;
+  (void)rel::estimate_lifetime(valves, warmup);
+  return rel::estimate_lifetime(valves, options).trials_per_second;
+}
+
+void run(const std::string& name, int trials, int fault_rounds) {
+  const assay::SequencingGraph graph = assay::make_benchmark(name);
+  const sched::Schedule schedule =
+      sched::schedule_with_policy(graph, sched::make_policy(graph, 0));
+  const synth::SynthesisResult healthy = synth::synthesize(graph, schedule);
+  const std::vector<sim::ValveWear> valves = sim::valve_wear(healthy.ledger_setting1);
+
+  rel::MonteCarloOptions mc;
+  mc.trials = trials;
+  mc.seed = 42;
+  mc.block_size = 256;
+
+  const double serial_tps = measure_trials_per_second(valves, mc);
+
+  svc::ThreadPool pool(4);
+  rel::MonteCarloOptions pooled = mc;
+  pooled.pool = &pool;
+  const double pooled_tps = measure_trials_per_second(valves, pooled);
+
+  // Determinism guard: the pooled estimate must equal the serial one bit
+  // for bit, or the throughput numbers compare different computations.
+  const double serial_mttf = rel::estimate_lifetime(valves, mc).mttf_runs;
+  const double pooled_mttf = rel::estimate_lifetime(valves, pooled).mttf_runs;
+  if (serial_mttf != pooled_mttf) {
+    std::cerr << "determinism violation on " << name << '\n';
+    std::exit(1);
+  }
+
+  rel::ReliabilityOptions options;
+  options.monte_carlo = mc;
+  options.monte_carlo.trials = 2000;  // rounds re-estimate lifetime; keep cheap
+  options.inject_top = fault_rounds;
+  const rel::ReliabilityReport report = rel::analyze(graph, schedule, healthy, options);
+  int remapped = 0;
+  for (const rel::RepairRound& round : report.rounds) remapped += round.feasible ? 1 : 0;
+
+  std::cout << "{\"bench\":\"reliability\",\"instance\":\"" << name << "\""
+            << ",\"valves\":" << valves.size() << ",\"trials\":" << trials
+            << ",\"mttf_runs\":" << serial_mttf
+            << ",\"trials_per_sec_1t\":" << static_cast<long>(serial_tps)
+            << ",\"trials_per_sec_pool4\":" << static_cast<long>(pooled_tps)
+            << ",\"speedup_pool4\":" << pooled_tps / serial_tps
+            << ",\"fault_rounds\":" << report.rounds.size() << ",\"remapped\":" << remapped
+            << ",\"resynth_p50_ms\":" << report.resynthesis_latency.percentile(50) * 1e3
+            << ",\"resynth_p95_ms\":" << report.resynthesis_latency.percentile(95) * 1e3
+            << "}" << std::endl;
+}
+
+}  // namespace
+
+int main() {
+  run("pcr", 400000, 5);
+  run("invitro", 400000, 5);
+  run("protein", 200000, 3);
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "rel/fault_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace fsyn::rel {
+
+const char* to_string(FaultMode mode) {
+  return mode == FaultMode::kStuckClosed ? "stuck-closed" : "stuck-open";
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::stringstream events(spec);
+  std::string token;
+  while (std::getline(events, token, ';')) {
+    if (token.empty()) continue;
+    FaultEvent event;
+    // Split off ":mode" and "@run" suffixes (order: x,y@run:mode).
+    std::string body = token;
+    const std::size_t colon = body.find(':');
+    if (colon != std::string::npos) {
+      const std::string mode = body.substr(colon + 1);
+      if (mode == "closed") event.mode = FaultMode::kStuckClosed;
+      else if (mode == "open") event.mode = FaultMode::kStuckOpen;
+      else throw Error("fault plan: unknown mode '" + mode + "' (want closed|open)");
+      body = body.substr(0, colon);
+    }
+    const std::size_t at = body.find('@');
+    if (at != std::string::npos) {
+      event.at_run = parse_int(body.substr(at + 1));
+      check_input(event.at_run >= 0, "fault plan: at_run must be >= 0");
+      body = body.substr(0, at);
+    }
+    const std::size_t comma = body.find(',');
+    check_input(comma != std::string::npos, "fault plan: valve must be 'x,y'");
+    event.valve = Point{parse_int(body.substr(0, comma)), parse_int(body.substr(comma + 1))};
+    plan.events.push_back(event);
+  }
+  check_input(!plan.events.empty(), "fault plan: no events in '" + spec + "'");
+  return plan;
+}
+
+std::string FaultPlan::to_text() const {
+  std::string out;
+  for (const FaultEvent& event : events) {
+    if (!out.empty()) out += ';';
+    out += std::to_string(event.valve.x) + "," + std::to_string(event.valve.y) + "@" +
+           std::to_string(event.at_run) + ":" +
+           (event.mode == FaultMode::kStuckClosed ? "closed" : "open");
+  }
+  return out;
+}
+
+FaultPlan top_wear_plan(const sim::ActuationLedger& ledger, int k, const LifetimeModel& model) {
+  check_input(k > 0, "top-wear plan needs k >= 1");
+  std::vector<sim::ValveWear> valves = sim::valve_wear(ledger);
+  check_input(!valves.empty(), "ledger has no actuated valves to fail");
+  std::sort(valves.begin(), valves.end(), [](const sim::ValveWear& a, const sim::ValveWear& b) {
+    if (a.total() != b.total()) return a.total() > b.total();
+    return a.valve_id < b.valve_id;
+  });
+  FaultPlan plan;
+  const int count = std::min<int>(k, static_cast<int>(valves.size()));
+  for (int i = 0; i < count; ++i) {
+    const sim::ValveWear& valve = valves[static_cast<std::size_t>(i)];
+    FaultEvent event;
+    event.valve = valve.cell;
+    event.mode = FaultMode::kStuckClosed;
+    event.at_run = static_cast<int>(model.params_for(valve.role()).characteristic_actuations /
+                                    valve.total());
+    plan.events.push_back(event);
+  }
+  return plan;
+}
+
+}  // namespace fsyn::rel

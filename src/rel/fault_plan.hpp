@@ -1,0 +1,59 @@
+// Valve fault plans.
+//
+// A fault plan is an ordered list of valve failures to inject into a
+// synthesized chip: which virtual valve dies, in which mode, and after how
+// many assay runs.  The reliability engine applies the events in order,
+// re-synthesizing the assay around the accumulated dead set after each one
+// (engine.hpp) — the degradation story a valve-centered grid enables, after
+// Su & Chakrabarty's reconfiguration-around-faults and the FPVA
+// fault-model work (PAPERS.md).
+//
+// Both stuck modes remove the valve from service: a stuck-open valve can
+// neither pump nor act as a device wall, a stuck-closed valve additionally
+// blocks flow, so the conservative treatment — exclude the cell from every
+// device footprint and from routing — covers either.  The mode is kept for
+// reporting and for future washing/leakage analyses.
+//
+// Text format (CLI `--fault-plan`): semicolon-separated events
+//   x,y[@run][:closed|:open]
+// e.g. "4,5@120:closed;6,5@260:open".  `@run` defaults to 0 (before the
+// first run), the mode defaults to closed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rel/lifetime_model.hpp"
+#include "sim/actuation.hpp"
+
+namespace fsyn::rel {
+
+enum class FaultMode { kStuckClosed, kStuckOpen };
+
+const char* to_string(FaultMode mode);
+
+struct FaultEvent {
+  Point valve;
+  FaultMode mode = FaultMode::kStuckClosed;
+  int at_run = 0;  ///< assay runs completed when the fault strikes
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Parses the text format above; throws fsyn::Error on bad syntax.
+  static FaultPlan parse(const std::string& spec);
+  /// Round-trips back to the text format.
+  std::string to_text() const;
+};
+
+/// Builds the canonical stress plan: the k highest-wear valves of the
+/// ledger fail in descending wear order (ties: ascending valve id), each at
+/// its expected wear-out run under `model` (characteristic life of its
+/// class divided by its per-run load).
+FaultPlan top_wear_plan(const sim::ActuationLedger& ledger, int k,
+                        const LifetimeModel& model = {});
+
+}  // namespace fsyn::rel

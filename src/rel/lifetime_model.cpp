@@ -1,0 +1,22 @@
+#include "rel/lifetime_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fsyn::rel {
+
+double LifetimeModel::sample_runs_to_failure(const sim::ValveWear& valve, Rng& rng) const {
+  require(valve.total() > 0, "a valve with no actuations cannot be sampled");
+  const ClassParams& params = params_for(valve.role());
+  check_input(params.characteristic_actuations > 0.0 && params.shape > 0.0,
+              "Weibull parameters must be positive");
+  // Inverse-CDF sampling: F(t) = 1 - exp(-(t/eta)^k), U uniform in [0, 1).
+  // -log1p(-U) is -ln(1-U) without cancellation near U = 0.
+  double u = rng.next_double();
+  const double ttf_actuations =
+      params.characteristic_actuations * std::pow(-std::log1p(-u), 1.0 / params.shape);
+  return ttf_actuations / static_cast<double>(valve.total());
+}
+
+}  // namespace fsyn::rel

@@ -1,0 +1,48 @@
+// Stochastic per-valve lifetime model.
+//
+// The paper's objective — minimize the largest per-valve peristaltic
+// actuation count — is a proxy for chip lifetime: PDMS membrane valves
+// endure only a few thousand actuations [4] and the chip dies with its
+// first worn-out valve (a series system).  This model turns the proxy into
+// the quantity itself: each implemented valve draws a time-to-failure from
+// a Weibull distribution whose scale is its endurance *in actuations*, and
+// dividing by the valve's per-assay-run actuation count (sim::ValveWear)
+// converts it into "assay runs until this valve fails".
+//
+// Two actuation classes are parameterized separately: pump valves flex
+// fully against the flow channel every peristalsis cycle, while control
+// valves only latch open/closed for transports, so their characteristic
+// endurances differ.  Weibull shape k models wear-out physics: k = 1 is
+// memoryless (exponential — used by the closed-form test oracle), k > 1 is
+// the fatigue-dominated regime reported for PDMS membranes.
+#pragma once
+
+#include "sim/wear_model.hpp"
+#include "util/rng.hpp"
+
+namespace fsyn::rel {
+
+/// Weibull time-to-failure parameters of one actuation class.
+struct ClassParams {
+  /// Characteristic life eta, in actuations (63.2% of valves have failed
+  /// after this many actuations).
+  double characteristic_actuations = 5000.0;
+  /// Weibull shape k; 1 = exponential (memoryless), >1 = wear-out.
+  double shape = 3.0;
+};
+
+struct LifetimeModel {
+  ClassParams pump{5000.0, 3.0};      ///< peristaltic duty, full-stroke flexing
+  ClassParams control{20000.0, 3.0};  ///< open/close latching only
+
+  const ClassParams& params_for(sim::ValveRole role) const {
+    return role == sim::ValveRole::kPump ? pump : control;
+  }
+
+  /// Samples this valve's lifetime in assay runs: Weibull TTF in actuations
+  /// (class of the valve's role) divided by its per-run actuation total.
+  /// The valve must have a positive per-run load.
+  double sample_runs_to_failure(const sim::ValveWear& valve, Rng& rng) const;
+};
+
+}  // namespace fsyn::rel

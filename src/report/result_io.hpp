@@ -1,0 +1,37 @@
+// Self-contained, round-trippable synthesis-result documents.
+//
+// `json_export.hpp` writes a viewer-oriented report (device names, actuation
+// totals); this module writes and *reads back* everything a later process
+// needs to continue working with a mapping — placement, routed paths, both
+// per-class actuation ledgers and the solver metrics — plus the assay name
+// and scheduling spec that produced it, so `flowsynth reliability --in
+// mapping.json` can rebuild the mapping problem and run fault injection or
+// lifetime estimation without re-solving.  `read_stored_result(
+// write_stored_result(x))` is an exact round trip (doubles are printed with
+// max_digits10).
+#pragma once
+
+#include <string>
+
+#include "synth/synthesis.hpp"
+
+namespace fsyn::report {
+
+/// A synthesis result plus the provenance needed to reproduce its problem.
+struct StoredResult {
+  std::string assay;          ///< benchmark name or assay file path
+  int policy_increments = 0;  ///< scheduling spec (ignored when asap)
+  bool asap = false;
+  std::uint64_t seed = 0;  ///< heuristic seed used (provenance only)
+  synth::SynthesisResult result;
+};
+
+std::string stored_result_to_json(const StoredResult& stored);
+/// Parses a document produced by `stored_result_to_json`; throws
+/// fsyn::Error on malformed input or unknown format versions.
+StoredResult stored_result_from_json(const std::string& text);
+
+void write_stored_result(const std::string& path, const StoredResult& stored);
+StoredResult read_stored_result(const std::string& path);
+
+}  // namespace fsyn::report

@@ -21,6 +21,29 @@ double sample_normal(Rng& rng) {
 
 }  // namespace
 
+const char* to_string(ValveRole role) {
+  return role == ValveRole::kPump ? "pump" : "control";
+}
+
+std::vector<ValveWear> valve_wear(const ActuationLedger& ledger) {
+  require(ledger.pump.width() == ledger.control.width() &&
+              ledger.pump.height() == ledger.control.height(),
+          "ledger grids disagree on chip dimensions");
+  std::vector<ValveWear> valves;
+  // for_each walks row-major bottom-up, so valve ids come out ascending.
+  ledger.pump.for_each([&](const Point& cell, const int& pump) {
+    const int control = ledger.control.at(cell);
+    if (pump == 0 && control == 0) return;
+    ValveWear valve;
+    valve.valve_id = cell.y * ledger.pump.width() + cell.x;
+    valve.cell = cell;
+    valve.pump = pump;
+    valve.control = control;
+    valves.push_back(valve);
+  });
+  return valves;
+}
+
 int deterministic_lifetime(const ActuationLedger& ledger, const WearModel& model) {
   check_input(model.endurance_mean > 0.0, "endurance must be positive");
   const int busiest = ledger.max_total();
@@ -34,12 +57,10 @@ LifetimeEstimate monte_carlo_lifetime(const ActuationLedger& ledger, Rng& rng,
   check_input(model.endurance_mean > 0.0 && model.endurance_stddev >= 0.0,
               "invalid wear model");
 
-  // Per-run actuations of every implemented valve.
+  // Per-run actuations of every implemented valve (valve_wear order is
+  // row-major, matching the historical grid scan, so seeds reproduce).
   std::vector<int> per_run;
-  const Grid<int> totals = ledger.total();
-  for (const int v : totals) {
-    if (v > 0) per_run.push_back(v);
-  }
+  for (const ValveWear& valve : valve_wear(ledger)) per_run.push_back(valve.total());
   require(!per_run.empty(), "ledger with no actuations has no lifetime to estimate");
 
   std::vector<double> lifetimes;

@@ -28,6 +28,31 @@ struct WearModel {
   double endurance_stddev = 500.0;  ///< device variability
 };
 
+/// Dominant duty of an implemented valve.  A valve that ever participates
+/// in a peristaltic ring is a pump valve (peristalsis dominates its wear);
+/// valves only opened/closed for transports are control valves.
+enum class ValveRole { kPump, kControl };
+
+const char* to_string(ValveRole role);
+
+/// Per-valve actuation account of one assay execution, split by class.
+/// `valve_id` is the stable row-major cell index (y * chip_width + x), so
+/// reports and failure attributions stay comparable across runs and tools.
+struct ValveWear {
+  int valve_id = -1;
+  Point cell;
+  int pump = 0;     ///< peristaltic actuations per assay run
+  int control = 0;  ///< transport open/close actuations per assay run
+
+  int total() const { return pump + control; }
+  ValveRole role() const { return pump > 0 ? ValveRole::kPump : ValveRole::kControl; }
+};
+
+/// The implemented (actuated) valves of a ledger in ascending valve_id
+/// order.  Zero-actuation cells are omitted: they are removed from the
+/// manufactured chip (Algorithm 1 L20) and cannot fail.
+std::vector<ValveWear> valve_wear(const ActuationLedger& ledger);
+
 /// Deterministic lifetime: complete assay executions before the busiest
 /// valve exceeds the mean endurance.
 int deterministic_lifetime(const ActuationLedger& ledger, const WearModel& model = {});

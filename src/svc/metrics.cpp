@@ -17,9 +17,11 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   s.mapper_invocations = mapper_invocations_.load(std::memory_order_relaxed);
   s.race_arms_started = race_arms_started_.load(std::memory_order_relaxed);
   s.race_arms_cancelled = race_arms_cancelled_.load(std::memory_order_relaxed);
+  s.reliability_jobs = reliability_jobs_.load(std::memory_order_relaxed);
   s.queue_latency = queue_latency_.snapshot();
   s.synthesis_latency = synthesis_latency_.snapshot();
   s.total_latency = total_latency_.snapshot();
+  s.reliability_latency = reliability_latency_.snapshot();
   s.queue_seconds = s.queue_latency.sum_seconds;
   s.synthesis_seconds = s.synthesis_latency.sum_seconds;
   s.total_seconds = s.total_latency.sum_seconds;
@@ -45,6 +47,7 @@ std::string MetricsSnapshot::to_json() const {
      << "    \"running\": " << jobs_running << "\n"
      << "  },\n"
      << "  \"mapper_invocations\": " << mapper_invocations << ",\n"
+     << "  \"reliability_jobs\": " << reliability_jobs << ",\n"
      << "  \"race\": {\n"
      << "    \"arms_started\": " << race_arms_started << ",\n"
      << "    \"arms_cancelled\": " << race_arms_cancelled << "\n"
@@ -57,7 +60,8 @@ std::string MetricsSnapshot::to_json() const {
      << "  \"latency_seconds\": {\n"
      << "    \"queue\": " << queue_latency.to_json() << ",\n"
      << "    \"synthesis\": " << synthesis_latency.to_json() << ",\n"
-     << "    \"total\": " << total_latency.to_json() << "\n"
+     << "    \"total\": " << total_latency.to_json() << ",\n"
+     << "    \"reliability\": " << reliability_latency.to_json() << "\n"
      << "  },\n"
      << "  \"solver\": {\n"
      << "    \"nodes\": " << solver_nodes << ",\n"

@@ -28,6 +28,7 @@ struct MetricsSnapshot {
   long mapper_invocations = 0;  ///< synthesize() calls actually executed
   long race_arms_started = 0;
   long race_arms_cancelled = 0;
+  long reliability_jobs = 0;  ///< jobs that ran the reliability engine
 
   double queue_seconds = 0.0;      ///< total time jobs spent queued
   double synthesis_seconds = 0.0;  ///< total time inside synthesize/race
@@ -38,6 +39,8 @@ struct MetricsSnapshot {
   obs::HistogramSnapshot queue_latency;
   obs::HistogramSnapshot synthesis_latency;
   obs::HistogramSnapshot total_latency;
+  /// Time inside rel::analyze (reliability jobs only; empty otherwise).
+  obs::HistogramSnapshot reliability_latency;
 
   // MILP solver counters aggregated over every completed synthesis (zeros
   // when only the heuristic mapper ran).
@@ -78,10 +81,12 @@ class MetricsRegistry {
   void mapper_invoked() { mapper_invocations_.fetch_add(1, std::memory_order_relaxed); }
   void race_arm_started() { race_arms_started_.fetch_add(1, std::memory_order_relaxed); }
   void race_arm_cancelled() { race_arms_cancelled_.fetch_add(1, std::memory_order_relaxed); }
+  void reliability_job() { reliability_jobs_.fetch_add(1, std::memory_order_relaxed); }
 
   void add_queue_time(std::chrono::nanoseconds d) { queue_latency_.record(d); }
   void add_synthesis_time(std::chrono::nanoseconds d) { synthesis_latency_.record(d); }
   void add_total_time(std::chrono::nanoseconds d) { total_latency_.record(d); }
+  void add_reliability_time(std::chrono::nanoseconds d) { reliability_latency_.record(d); }
 
   /// Folds one synthesis run's MILP solver counters into the registry
   /// (plain longs so svc does not depend on the ilp headers).
@@ -113,9 +118,11 @@ class MetricsRegistry {
   std::atomic<long> mapper_invocations_{0};
   std::atomic<long> race_arms_started_{0};
   std::atomic<long> race_arms_cancelled_{0};
+  std::atomic<long> reliability_jobs_{0};
   obs::LatencyHistogram queue_latency_;
   obs::LatencyHistogram synthesis_latency_;
   obs::LatencyHistogram total_latency_;
+  obs::LatencyHistogram reliability_latency_;
   std::atomic<long> solver_nodes_{0};
   std::atomic<long> solver_lp_iterations_{0};
   std::atomic<long> solver_primal_pivots_{0};

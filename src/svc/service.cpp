@@ -107,7 +107,8 @@ JobResult BatchService::run_job(JobSpec& spec, Clock::time_point enqueued) {
     }();
 
     const CacheKey key = canonical_key(spec.graph, schedule, spec.options);
-    if (auto cached = cache_.lookup(key)) {
+    std::shared_ptr<const synth::SynthesisResult> cached = cache_.lookup(key);
+    if (cached && spec.kind == JobKind::kSynthesis) {
       out.status = JobStatus::kDone;
       out.result = std::move(cached);
       out.cache_hit = true;
@@ -128,28 +129,59 @@ JobResult BatchService::run_job(JobSpec& spec, Clock::time_point enqueued) {
     const CancelToken job_token = job_source.token();
     spec.options.cancel = job_token;
 
-    const Clock::time_point synth_started = Clock::now();
-    synth::SynthesisResult result;
-    if (config_.portfolio.enabled && spec.options.mapper == synth::MapperKind::kHeuristic) {
-      result = race(spec, schedule, job_token, &out.winner);
+    // The healthy mapping: cached if available (reliability jobs reach here
+    // with a hit — their analysis is never cached, but the synthesis is),
+    // freshly solved otherwise.
+    if (cached) {
+      out.result = std::move(cached);
+      out.cache_hit = true;
+      out.winner = "cache";
     } else {
-      metrics_.mapper_invoked();
-      result = synth::synthesize(spec.graph, schedule, spec.options);
-      out.winner = "single";
+      const Clock::time_point synth_started = Clock::now();
+      synth::SynthesisResult result;
+      if (config_.portfolio.enabled && spec.options.mapper == synth::MapperKind::kHeuristic) {
+        result = race(spec, schedule, job_token, &out.winner);
+      } else {
+        metrics_.mapper_invoked();
+        result = synth::synthesize(spec.graph, schedule, spec.options);
+        out.winner = "single";
+      }
+      metrics_.add_synthesis_time(Clock::now() - synth_started);
+      // MILP solver counters of the (winning) synthesis; zeros for heuristic
+      // runs, so the aggregate reflects ILP work only.
+      metrics_.record_solver(result.milp_nodes, static_cast<long>(result.milp_lp_iterations),
+                             static_cast<long>(result.milp_lp.primal_pivots),
+                             static_cast<long>(result.milp_lp.dual_pivots),
+                             static_cast<long>(result.milp_lp.refactorizations),
+                             static_cast<long>(result.milp_lp.warm_solves),
+                             static_cast<long>(result.milp_lp.cold_solves));
+      out.result = std::make_shared<const synth::SynthesisResult>(std::move(result));
+      cache_.insert(key, out.result);
     }
-    metrics_.add_synthesis_time(Clock::now() - synth_started);
-    // MILP solver counters of the (winning) synthesis; zeros for heuristic
-    // runs, so the aggregate reflects ILP work only.
-    metrics_.record_solver(result.milp_nodes, static_cast<long>(result.milp_lp_iterations),
-                           static_cast<long>(result.milp_lp.primal_pivots),
-                           static_cast<long>(result.milp_lp.dual_pivots),
-                           static_cast<long>(result.milp_lp.refactorizations),
-                           static_cast<long>(result.milp_lp.warm_solves),
-                           static_cast<long>(result.milp_lp.cold_solves));
 
-    out.result = std::make_shared<const synth::SynthesisResult>(std::move(result));
+    if (spec.kind == JobKind::kReliability) {
+      metrics_.reliability_job();
+      obs::Span rel_span("svc", "reliability " + spec.name);
+      rel::ReliabilityOptions ropts = spec.reliability;
+      ropts.synthesis = spec.options;  // same mapper/limits for repair rounds
+      ropts.policy_increments = spec.policy_increments;
+      ropts.asap = spec.asap;
+      // Trial blocks must not land back on the service pool (this worker
+      // would wait on tasks queued behind itself — the race() deadlock);
+      // the estimator's self-managed threads are still allowed.
+      ropts.monte_carlo.pool = nullptr;
+      ropts.monte_carlo.cancel = job_token;
+      const Clock::time_point rel_started = Clock::now();
+      out.report = std::make_shared<const rel::ReliabilityReport>(
+          rel::analyze(spec.graph, schedule, *out.result, ropts));
+      metrics_.add_reliability_time(Clock::now() - rel_started);
+      if (rel_span.active()) {
+        rel_span.arg("mttf_runs", out.report->healthy.mttf_runs);
+        rel_span.arg("rounds", out.report->rounds.size());
+      }
+    }
+
     out.status = JobStatus::kDone;
-    cache_.insert(key, out.result);
     metrics_.job_completed();
   } catch (const CancelledError& e) {
     out.status = JobStatus::kCancelled;

@@ -31,6 +31,7 @@
 #include <string>
 
 #include "assay/sequencing_graph.hpp"
+#include "rel/engine.hpp"
 #include "svc/metrics.hpp"
 #include "svc/result_cache.hpp"
 #include "svc/thread_pool.hpp"
@@ -58,7 +59,13 @@ enum class JobStatus {
 
 const char* to_string(JobStatus status);
 
+enum class JobKind {
+  kSynthesis,   ///< synthesize only (the original service contract)
+  kReliability  ///< synthesize (cache-aware), then run rel::analyze on it
+};
+
 struct JobSpec {
+  JobKind kind = JobKind::kSynthesis;
   std::string name;  ///< display label (defaults to the graph name)
   assay::SequencingGraph graph;
   /// Scheduling spec, applied inside the worker: ASAP or a balancing
@@ -66,6 +73,11 @@ struct JobSpec {
   int policy_increments = 0;
   bool asap = false;
   synth::SynthesisOptions options;
+  /// Reliability-engine options (kReliability jobs).  `synthesis`,
+  /// `policy_increments` and `asap` are overwritten from this spec, and the
+  /// Monte Carlo estimator never borrows the service pool (a pooled job
+  /// waiting on pooled trial blocks would deadlock, exactly like race()).
+  rel::ReliabilityOptions reliability;
   /// Wall-clock budget; arms the job's CancelToken.
   std::optional<std::chrono::milliseconds> deadline;
 };
@@ -74,6 +86,8 @@ struct JobResult {
   JobStatus status = JobStatus::kFailed;
   /// Set iff status == kDone.  Shared with the cache: treat as immutable.
   std::shared_ptr<const synth::SynthesisResult> result;
+  /// Set iff status == kDone and the job was kReliability.
+  std::shared_ptr<const rel::ReliabilityReport> report;
   bool cache_hit = false;
   /// Which portfolio arm produced the result: "heuristic[seed]", "ilp",
   /// "cache", or "single" when racing was off.

@@ -1,0 +1,70 @@
+// Minimal JSON document parser.
+//
+// flowsynth writes several JSON artifacts (synthesis results, metrics,
+// traces, reliability reports) with hand-rolled emitters; this is the
+// matching reader, added so results can round-trip — a reliability run can
+// consume a previously synthesized mapping (`flowsynth reliability --in
+// mapping.json`) without re-solving, and tests can assert report schemas
+// without shelling out to python.
+//
+// Scope: strict RFC-8259 subset, UTF-8 passthrough (no \uXXXX surrogate
+// decoding beyond Latin-1), numbers as double plus an exact int64 view when
+// representable.  Throws fsyn::Error with an offset on malformed input.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace fsyn {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses a complete document (one value + trailing whitespace only).
+  static JsonValue parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  bool as_bool() const;
+  double as_number() const;
+  /// Number as integer; throws when the value is not integral.
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+
+  // ---- arrays ----
+  const std::vector<JsonValue>& items() const;
+  std::size_t size() const { return items().size(); }
+  const JsonValue& at(std::size_t index) const;
+
+  // ---- objects (member order preserved for round-trip fidelity) ----
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+  /// Member lookup; throws fsyn::Error when the key is absent.
+  const JsonValue& at(const std::string& key) const;
+  /// Member lookup; nullptr when absent.
+  const JsonValue* find(const std::string& key) const;
+  bool has(const std::string& key) const { return find(key) != nullptr; }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  bool has_int_ = false;  ///< token was integral and fits int64 exactly
+  std::int64_t int_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+
+  friend class JsonParser;
+};
+
+}  // namespace fsyn

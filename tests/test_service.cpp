@@ -284,5 +284,51 @@ TEST(ResultCache, CanonicalKeyIgnoresNamesButSeesStructure) {
   EXPECT_NE(svc::canonical_key(other, other_schedule, options), base);
 }
 
+TEST(BatchService, ReliabilityJobProducesReportAndReusesSynthesisCache) {
+  svc::BatchService::Config config;
+  config.workers = 2;
+  svc::BatchService service(config);
+
+  const auto make_spec = [] {
+    svc::JobSpec spec = small_job();
+    spec.kind = svc::JobKind::kReliability;
+    spec.reliability.monte_carlo.trials = 300;
+    spec.reliability.monte_carlo.seed = 42;
+    spec.reliability.inject_top = 1;
+    return spec;
+  };
+
+  const svc::JobResult first = service.submit(make_spec()).get();
+  ASSERT_EQ(first.status, svc::JobStatus::kDone);
+  ASSERT_NE(first.result, nullptr);
+  ASSERT_NE(first.report, nullptr);
+  EXPECT_GT(first.report->healthy.mttf_runs, 0.0);
+  EXPECT_EQ(first.report->trials, 300);
+  ASSERT_EQ(first.report->rounds.size(), 1u);
+  EXPECT_FALSE(first.cache_hit);
+
+  // Same job again: the healthy synthesis comes from the cache, the
+  // analysis re-runs and reproduces the same report (fixed seed).
+  const svc::JobResult second = service.submit(make_spec()).get();
+  ASSERT_EQ(second.status, svc::JobStatus::kDone);
+  ASSERT_NE(second.report, nullptr);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.report->healthy.mttf_runs, first.report->healthy.mttf_runs);
+  EXPECT_EQ(second.report->to_json(), first.report->to_json());
+
+  const svc::MetricsSnapshot metrics = service.metrics();
+  EXPECT_EQ(metrics.reliability_jobs, 2);
+  EXPECT_EQ(metrics.reliability_latency.count, 2u);
+  EXPECT_EQ(metrics.cache.hits, 1);
+}
+
+TEST(BatchService, SynthesisJobsCarryNoReport) {
+  svc::BatchService service(svc::BatchService::Config{});
+  const svc::JobResult result = service.submit(small_job()).get();
+  ASSERT_EQ(result.status, svc::JobStatus::kDone);
+  EXPECT_EQ(result.report, nullptr);
+  EXPECT_EQ(service.metrics().reliability_jobs, 0);
+}
+
 }  // namespace
 }  // namespace fsyn

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -178,6 +179,53 @@ TEST(Rng, NextDoubleInUnitInterval) {
     sum += v;
   }
   EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Json, ParsesNestedDocument) {
+  const JsonValue doc = JsonValue::parse(R"({
+    "name": "pcr A+\n",
+    "count": 42,
+    "ratio": -1.5e2,
+    "flag": true,
+    "nothing": null,
+    "grid": [[1, 2], [3, 4]],
+    "nested": {"x": 7}
+  })");
+  EXPECT_EQ(doc.at("name").as_string(), "pcr A+\n");
+  EXPECT_EQ(doc.at("count").as_int(), 42);
+  EXPECT_EQ(doc.at("ratio").as_number(), -150.0);
+  EXPECT_TRUE(doc.at("flag").as_bool());
+  EXPECT_TRUE(doc.at("nothing").is_null());
+  EXPECT_EQ(doc.at("grid").size(), 2u);
+  EXPECT_EQ(doc.at("grid").at(1).at(0).as_int(), 3);
+  EXPECT_EQ(doc.at("nested").at("x").as_int(), 7);
+  EXPECT_TRUE(doc.has("flag"));
+  EXPECT_FALSE(doc.has("missing"));
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, PreservesMemberOrderAndRoundTripsIntegers) {
+  const JsonValue doc = JsonValue::parse(R"({"b": 1, "a": 9007199254740993})");
+  ASSERT_EQ(doc.members().size(), 2u);
+  EXPECT_EQ(doc.members()[0].first, "b");
+  EXPECT_EQ(doc.members()[1].first, "a");
+  // Integers beyond 2^53 keep their exact int64 view.
+  EXPECT_EQ(doc.at("a").as_int(), 9007199254740993LL);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), Error);
+  EXPECT_THROW(JsonValue::parse("{"), Error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), Error);
+  EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), Error);
+  EXPECT_THROW(JsonValue::parse("truth"), Error);
+  EXPECT_THROW(JsonValue::parse("{} trailing"), Error);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), Error);
+  // Type errors are input errors, not crashes.
+  const JsonValue doc = JsonValue::parse("{\"a\": 1}");
+  EXPECT_THROW(doc.at("a").as_string(), Error);
+  EXPECT_THROW(doc.at("b"), Error);
+  EXPECT_THROW(doc.at(std::size_t{0}), Error);
 }
 
 }  // namespace

@@ -75,6 +75,33 @@ TEST(WearModel, DeterministicLifetimeLiesInTheMonteCarloEnvelope) {
   EXPECT_GE(estimate.p90_runs, deterministic);
 }
 
+TEST(ValveWearApi, SplitsRolesWithStableRowMajorIds) {
+  const ActuationLedger ledger = make_ledger();
+  const std::vector<ValveWear> valves = valve_wear(ledger);
+
+  // Only actuated cells appear, in ascending row-major id order.
+  ASSERT_EQ(valves.size(), 5u);
+  EXPECT_EQ(valves[0].valve_id, 0);   // (0,0)
+  EXPECT_EQ(valves[1].valve_id, 5);   // (1,1)
+  EXPECT_EQ(valves[2].valve_id, 6);   // (2,1)
+  EXPECT_EQ(valves[3].valve_id, 9);   // (1,2)
+  EXPECT_EQ(valves[4].valve_id, 15);  // (3,3)
+  for (const ValveWear& valve : valves) {
+    EXPECT_EQ(valve.valve_id, valve.cell.y * ledger.pump.width() + valve.cell.x);
+  }
+
+  // Role split: any peristaltic duty makes the valve a pump valve.
+  EXPECT_EQ(valves[0].role(), ValveRole::kControl);
+  EXPECT_EQ(valves[0].control, 6);
+  EXPECT_EQ(valves[1].role(), ValveRole::kPump);
+  EXPECT_EQ(valves[3].role(), ValveRole::kPump);  // 44 pump + 2 control
+  EXPECT_EQ(valves[3].pump, 44);
+  EXPECT_EQ(valves[3].control, 2);
+  EXPECT_EQ(valves[3].total(), 46);
+  EXPECT_STREQ(to_string(ValveRole::kPump), "pump");
+  EXPECT_STREQ(to_string(ValveRole::kControl), "control");
+}
+
 TEST(WearModel, ZeroVarianceCollapsesToDeterministic) {
   const ActuationLedger ledger = make_ledger();
   WearModel model;

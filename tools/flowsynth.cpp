@@ -3,6 +3,7 @@
 // Usage:
 //   flowsynth synth <assay-file|benchmark> [options]   run synthesis
 //   flowsynth schedule <assay-file|benchmark> [options] print the Gantt chart
+//   flowsynth reliability <assay|--in mapping.json> [options]  lifetime analysis
 //   flowsynth batch <spec|all> [options]                 concurrent batch sweep
 //   flowsynth table1 [--jobs N]                          reproduce Table 1
 //   flowsynth list                                       list built-in benchmarks
@@ -15,10 +16,25 @@
 //   --ilp           use the exact ILP mapper (small assays only)
 //   --time-limit S  ILP branch & bound wall-clock limit in seconds
 //   --json PATH     write the synthesis result as JSON
+//   --out PATH      write the mapping for later `reliability --in` runs
 //   --svg PATH      write an SVG rendering
 //   --trace PATH    write a Chrome trace-event / Perfetto JSON profile
 //   --snapshots     print Fig.-10 style actuation snapshots
 //   --control       print the valve control program
+//
+// Options for reliability (plus the synth options above for the healthy solve):
+//   --in PATH        reuse a mapping written by `synth --out` instead of
+//                    re-synthesizing (assay + scheduling spec come from it)
+//   --trials N       Monte Carlo chip lifetimes to sample (default 1000)
+//   --threads T      estimator worker threads (default 1; deterministic at any T)
+//   --fault-plan S   inject faults "x,y[@run][:closed|:open];..." and re-synthesize
+//   --inject-top K   auto-derive a fault plan failing the K highest-wear valves
+//   --compare-static also estimate the traditional dedicated-device design
+//   --pump-life N    Weibull characteristic actuations, pump valves (default 5000)
+//   --control-life N ... control valves (default 20000)
+//   --shape K        Weibull shape for both classes (default 3; 1 = exponential)
+//   --report PATH    write the JSON report to PATH ("-" = stdout, the default)
+//   --timing         include timing fields (breaks bit-identical reruns)
 //
 // Options for batch (spec = comma-separated benchmark names, or "all"):
 //   --jobs N         worker threads (default: hardware concurrency)
@@ -31,6 +47,8 @@
 //   --cache N        result-cache capacity (default 256, 0 disables)
 //   --queue N        bounded job-queue capacity (default 256)
 //   --reject         reject jobs when the queue is full instead of blocking
+//   --reliability    run each job through the reliability engine (adds an
+//                    mttf column; --trials applies)
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -47,9 +65,12 @@
 #include "report/table1.hpp"
 #include "sched/gantt.hpp"
 #include "sched/list_scheduler.hpp"
+#include "rel/engine.hpp"
+#include "report/result_io.hpp"
 #include "sim/control_program.hpp"
 #include "sim/simulator.hpp"
 #include "svc/service.hpp"
+#include "svc/thread_pool.hpp"
 #include "synth/synthesis.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -73,6 +94,21 @@ struct CliOptions {
   bool control = false;
   std::string trace_path;  ///< Chrome trace-event JSON output (synth + batch)
 
+  // synth --out / reliability
+  std::string out_path;  ///< stored-mapping JSON written by synth
+  std::string in_path;   ///< stored-mapping JSON consumed by reliability
+  int trials = 1000;
+  int threads = 1;
+  std::string fault_plan;
+  int inject_top = 0;
+  bool compare_static = false;
+  double pump_life = 5000.0;
+  double control_life = 20000.0;
+  double shape = 3.0;
+  std::string report_path = "-";
+  bool timing = false;
+  bool reliability = false;  ///< batch: run jobs through the engine
+
   // batch / table1
   int jobs = 0;  ///< 0 = hardware concurrency (table1 defaults to 1)
   int policies = 3;
@@ -93,10 +129,15 @@ struct CliOptions {
       "                     [--seed S] [--ilp] [--time-limit S] [--json PATH]\n"
       "                     [--svg PATH] [--snapshots] [--control] [--trace PATH]\n"
       "  flowsynth schedule <assay-file|benchmark> [--policy N | --asap]\n"
+      "  flowsynth reliability <assay-file|benchmark | --in mapping.json>\n"
+      "                     [--trials N] [--seed S] [--threads T] [--fault-plan SPEC]\n"
+      "                     [--inject-top K] [--compare-static] [--pump-life N]\n"
+      "                     [--control-life N] [--shape K] [--report PATH|-]\n"
+      "                     [--timing] [--policy N | --asap] [--grid N] [--ilp]\n"
       "  flowsynth batch    <benchmark[,benchmark...]|all> [--jobs N] [--policies P]\n"
       "                     [--repeat R] [--deadline-ms D] [--race] [--metrics PATH|-]\n"
       "                     [--seed S] [--grid N] [--cache N] [--queue N] [--reject]\n"
-      "                     [--trace PATH]\n"
+      "                     [--trace PATH] [--reliability] [--trials N]\n"
       "  flowsynth table1   [--jobs N]\n"
       "  flowsynth list\n";
   std::exit(2);
@@ -112,6 +153,9 @@ CliOptions parse_cli(int argc, char** argv) {
     if (argc < 3) usage(options.command == "batch" ? "missing benchmark spec"
                                                    : "missing assay");
     options.target = argv[i++];
+  } else if (options.command == "reliability") {
+    // Target is optional: `--in mapping.json` carries the assay identity.
+    if (i < argc && argv[i][0] != '-') options.target = argv[i++];
   }
   if (options.command == "table1") options.jobs = 1;
   for (; i < argc; ++i) {
@@ -160,6 +204,32 @@ CliOptions parse_cli(int argc, char** argv) {
       options.reject = true;
     } else if (arg == "--trace") {
       options.trace_path = next();
+    } else if (arg == "--out") {
+      options.out_path = next();
+    } else if (arg == "--in") {
+      options.in_path = next();
+    } else if (arg == "--trials") {
+      options.trials = parse_int(next());
+    } else if (arg == "--threads") {
+      options.threads = parse_int(next());
+    } else if (arg == "--fault-plan") {
+      options.fault_plan = next();
+    } else if (arg == "--inject-top") {
+      options.inject_top = parse_int(next());
+    } else if (arg == "--compare-static") {
+      options.compare_static = true;
+    } else if (arg == "--pump-life") {
+      options.pump_life = parse_double(next());
+    } else if (arg == "--control-life") {
+      options.control_life = parse_double(next());
+    } else if (arg == "--shape") {
+      options.shape = parse_double(next());
+    } else if (arg == "--report") {
+      options.report_path = next();
+    } else if (arg == "--timing") {
+      options.timing = true;
+    } else if (arg == "--reliability") {
+      options.reliability = true;
     } else {
       usage("unknown option " + arg);
     }
@@ -218,6 +288,16 @@ int run_synth(const CliOptions& cli) {
     report::write_json(cli.json_path, problem, result);
     std::cout << "json:        " << cli.json_path << '\n';
   }
+  if (!cli.out_path.empty()) {
+    report::StoredResult stored;
+    stored.assay = cli.target;  // benchmark name or file path: load_target re-resolves it
+    stored.policy_increments = cli.policy;
+    stored.asap = cli.asap;
+    stored.seed = cli.seed;
+    stored.result = result;
+    report::write_stored_result(cli.out_path, stored);
+    std::cout << "mapping:     " << cli.out_path << '\n';
+  }
   if (!cli.svg_path.empty()) {
     report::write_chip_svg(cli.svg_path, problem, result.placement, result.routing,
                            result.ledger_setting1);
@@ -235,6 +315,86 @@ int run_synth(const CliOptions& cli) {
                                                       result.routing);
     std::cout << '\n' << program.to_text();
     std::cout << "control pins after sharing: " << sim::shared_control_pins(program) << '\n';
+  }
+  return 0;
+}
+
+int run_reliability(const CliOptions& cli) {
+  // Healthy mapping: either replayed from `synth --out` or solved now.
+  std::string assay_ref;
+  int policy = cli.policy;
+  bool asap = cli.asap;
+  synth::SynthesisResult healthy;
+  synth::SynthesisOptions synth_options;
+  synth_options.heuristic.seed = cli.seed;
+  if (cli.use_ilp) synth_options.mapper = synth::MapperKind::kIlp;
+  if (cli.time_limit_seconds.has_value()) {
+    synth_options.ilp.time_limit_seconds = *cli.time_limit_seconds;
+  }
+
+  if (!cli.in_path.empty()) {
+    report::StoredResult stored = report::read_stored_result(cli.in_path);
+    assay_ref = stored.assay;
+    policy = stored.policy_increments;
+    asap = stored.asap;
+    synth_options.heuristic.seed = stored.seed;
+    healthy = std::move(stored.result);
+  } else {
+    if (cli.target.empty()) usage("reliability needs an assay or --in mapping.json");
+    assay_ref = cli.target;
+  }
+
+  const assay::SequencingGraph graph = load_target(assay_ref);
+  const sched::Schedule schedule =
+      asap ? sched::schedule_asap(graph)
+           : sched::schedule_with_policy(graph, sched::make_policy(graph, policy));
+  if (cli.in_path.empty()) {
+    synth_options.grid_size = cli.grid;
+    healthy = synth::synthesize(graph, schedule, synth_options);
+  }
+
+  rel::ReliabilityOptions options;
+  options.monte_carlo.trials = cli.trials;
+  options.monte_carlo.seed = cli.seed;
+  options.monte_carlo.model.pump = {cli.pump_life, cli.shape};
+  options.monte_carlo.model.control = {cli.control_life, cli.shape};
+  options.synthesis = synth_options;
+  if (!cli.fault_plan.empty()) options.faults = rel::FaultPlan::parse(cli.fault_plan);
+  options.inject_top = cli.inject_top;
+  options.compare_static = cli.compare_static;
+  options.policy_increments = policy;
+  options.asap = asap;
+
+  // The estimator borrows a dedicated pool so trial blocks run concurrently;
+  // the report stays bit-identical at any thread count.
+  std::optional<svc::ThreadPool> pool;
+  if (cli.threads > 1) {
+    pool.emplace(cli.threads);
+    options.monte_carlo.pool = &*pool;
+  }
+
+  const rel::ReliabilityReport report = rel::analyze(graph, schedule, healthy, options);
+  const std::string json = report.to_json(cli.timing);
+  if (cli.report_path == "-") {
+    std::cout << json;
+  } else {
+    std::ofstream out(cli.report_path);
+    check_input(static_cast<bool>(out), "cannot write report to " + cli.report_path);
+    out << json;
+    std::cout << "assay '" << graph.name() << "': MTTF " << format_fixed(report.healthy.mttf_runs, 1)
+              << " runs (p10 " << format_fixed(report.healthy.p10_runs, 1) << ", p90 "
+              << format_fixed(report.healthy.p90_runs, 1) << ") over " << report.trials
+              << " trials";
+    if (report.static_baseline.has_value()) {
+      std::cout << "; static MTTF " << format_fixed(report.static_baseline->mttf_runs, 1)
+                << " runs";
+    }
+    if (!report.rounds.empty()) {
+      int feasible = 0;
+      for (const auto& round : report.rounds) feasible += round.feasible ? 1 : 0;
+      std::cout << "; " << feasible << "/" << report.rounds.size() << " faults remapped";
+    }
+    std::cout << "\nreport:      " << cli.report_path << '\n';
   }
   return 0;
 }
@@ -284,6 +444,11 @@ int run_batch(const CliOptions& cli) {
         spec.asap = cli.asap;
         spec.options.grid_size = cli.grid;
         spec.options.heuristic.seed = cli.seed;
+        if (cli.reliability) {
+          spec.kind = svc::JobKind::kReliability;
+          spec.reliability.monte_carlo.trials = cli.trials;
+          spec.reliability.monte_carlo.seed = cli.seed;
+        }
         if (cli.use_ilp) spec.options.mapper = synth::MapperKind::kIlp;
         if (cli.time_limit_seconds.has_value()) {
           spec.options.ilp.time_limit_seconds = *cli.time_limit_seconds;
@@ -297,15 +462,22 @@ int run_batch(const CliOptions& cli) {
   }
 
   TextTable table;
-  table.set_header({"case", "Po.", "status", "chip", "vs_1max", "vs_2max", "#v", "via",
-                    "queue(s)", "run(s)"});
-  table.set_alignment({Align::kLeft, Align::kLeft, Align::kLeft, Align::kLeft, Align::kRight,
-                       Align::kRight, Align::kRight, Align::kLeft, Align::kRight,
-                       Align::kRight});
+  std::vector<std::string> header = {"case", "Po.", "status", "chip", "vs_1max", "vs_2max",
+                                     "#v"};
+  std::vector<Align> aligns = {Align::kLeft, Align::kLeft, Align::kLeft, Align::kLeft,
+                               Align::kRight, Align::kRight, Align::kRight};
+  if (cli.reliability) {
+    header.push_back("mttf");
+    aligns.push_back(Align::kRight);
+  }
+  header.insert(header.end(), {"via", "queue(s)", "run(s)"});
+  aligns.insert(aligns.end(), {Align::kLeft, Align::kRight, Align::kRight});
+  table.set_header(header);
+  table.set_alignment(aligns);
   int failures = 0;
   for (Pending& job : pending) {
     const svc::JobResult result = job.future.get();
-    std::string chip = "-", vs1 = "-", vs2 = "-", valves = "-";
+    std::string chip = "-", vs1 = "-", vs2 = "-", valves = "-", mttf = "-";
     if (result.result != nullptr) {
       const synth::SynthesisResult& r = *result.result;
       chip = std::to_string(r.chip_width) + "x" + std::to_string(r.chip_height);
@@ -313,14 +485,20 @@ int run_batch(const CliOptions& cli) {
       vs2 = std::to_string(r.vs2_max) + "(" + std::to_string(r.vs2_pump) + ")";
       valves = std::to_string(r.valve_count);
     }
+    if (result.report != nullptr) {
+      mttf = format_fixed(result.report->healthy.mttf_runs, 1);
+    }
     if (result.status == svc::JobStatus::kFailed ||
         result.status == svc::JobStatus::kRejected) {
       ++failures;
     }
-    table.add_row({job.name, job.policy, to_string(result.status), chip, vs1, vs2, valves,
-                   result.cache_hit ? "cache" : result.winner,
-                   format_fixed(result.queue_seconds, 3),
-                   format_fixed(result.run_seconds, 3)});
+    std::vector<std::string> row = {job.name, job.policy, to_string(result.status), chip,
+                                    vs1, vs2, valves};
+    if (cli.reliability) row.push_back(mttf);
+    row.insert(row.end(), {result.cache_hit ? "cache" : result.winner,
+                           format_fixed(result.queue_seconds, 3),
+                           format_fixed(result.run_seconds, 3)});
+    table.add_row(row);
   }
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - submit_started)
@@ -368,6 +546,8 @@ int main(int argc, char** argv) {
       code = run_schedule(cli);
     } else if (cli.command == "synth") {
       code = run_synth(cli);
+    } else if (cli.command == "reliability") {
+      code = run_reliability(cli);
     } else if (cli.command == "batch") {
       code = run_batch(cli);
     } else {
