@@ -8,6 +8,8 @@
 // minimize-w pattern), big-M disjunctive non-overlap (Eq. 3-8), and
 // time-indexed scheduling (the ILP scheduler's choose-one + capacity rows).
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
@@ -163,9 +165,10 @@ const char* status_name(MilpStatus status) {
   return "?";
 }
 
-void run(const std::string& name, const Model& model) {
+void run(const std::string& name, const Model& model, int threads) {
   MilpOptions options;
   options.time_limit_seconds = 60.0;
+  options.threads = threads;
 
   const auto start = std::chrono::steady_clock::now();
   const MilpResult result = solve_milp(model, options);
@@ -183,20 +186,34 @@ void run(const std::string& name, const Model& model) {
             << ",\"bound_flips\":" << result.lp.bound_flips
             << ",\"refactorizations\":" << result.lp.refactorizations
             << ",\"warm_solves\":" << result.lp.warm_solves
-            << ",\"cold_solves\":" << result.lp.cold_solves << ",\"wall_ms\":" << wall_ms
-            << "}\n";
+            << ",\"cold_solves\":" << result.lp.cold_solves
+            << ",\"threads\":" << result.threads << ",\"steals\":" << result.steals
+            << ",\"idle_seconds\":" << result.idle_seconds
+            << ",\"parallel_efficiency\":" << result.parallel_efficiency
+            << ",\"wall_ms\":" << wall_ms << "}\n";
 }
 
 }  // namespace
 
-int main() {
-  run("knapsack_14", knapsack(14, 11));
-  run("knapsack_18", knapsack(18, 23));
-  run("minmax_assign_8x3", minmax_assign(8, 3, 5));
-  run("minmax_assign_10x4", minmax_assign(10, 4, 7));
-  run("bigm_intervals_5", bigm_intervals(5, 9, 3));
-  run("bigm_intervals_6", bigm_intervals(6, 11, 9));
-  run("time_indexed_8x14", time_indexed(8, 14, 2, 17));
-  run("time_indexed_10x18", time_indexed(10, 18, 2, 29));
+int main(int argc, char** argv) {
+  // `--threads N`: 0 (default) runs the serial search; N >= 1 runs the
+  // parallel tree search with N workers.  CI runs both and diffs objectives.
+  int threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else {
+      std::cerr << "usage: bench_ilp_solver [--threads N]\n";
+      return 2;
+    }
+  }
+  run("knapsack_14", knapsack(14, 11), threads);
+  run("knapsack_18", knapsack(18, 23), threads);
+  run("minmax_assign_8x3", minmax_assign(8, 3, 5), threads);
+  run("minmax_assign_10x4", minmax_assign(10, 4, 7), threads);
+  run("bigm_intervals_5", bigm_intervals(5, 9, 3), threads);
+  run("bigm_intervals_6", bigm_intervals(6, 11, 9), threads);
+  run("time_indexed_8x14", time_indexed(8, 14, 2, 17), threads);
+  run("time_indexed_10x18", time_indexed(10, 18, 2, 29), threads);
   return 0;
 }

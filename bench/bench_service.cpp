@@ -9,12 +9,15 @@
 // On an N-core host the pooled run should approach Nx for these
 // embarrassingly parallel sweeps (the acceptance bar is >= 2x at
 // --jobs 4 on 4 cores); on a single core it degrades gracefully to ~1x.
+#include <atomic>
 #include <chrono>
 #include <iostream>
+#include <thread>
 #include <vector>
 
 #include "assay/benchmarks.hpp"
 #include "sched/list_scheduler.hpp"
+#include "svc/result_cache.hpp"
 #include "svc/service.hpp"
 #include "synth/synthesis.hpp"
 #include "util/strings.hpp"
@@ -47,6 +50,45 @@ synth::SynthesisOptions options_for_point() {
 
 double seconds_since(Clock::time_point from) {
   return std::chrono::duration<double>(Clock::now() - from).count();
+}
+
+/// Sharded-cache contention micro-check: `thread_count` threads hammer one
+/// ResultCache with a mixed lookup/insert load over a key range wide enough
+/// to spread across shards.  Reports aggregate ops/sec (informational; the
+/// shard win only shows on multi-core hosts).
+double cache_contention_ops_per_sec(int thread_count) {
+  constexpr int kOpsPerThread = 200000;
+  constexpr std::uint64_t kKeyRange = 4096;
+  svc::ResultCache cache(256);
+  auto payload = std::make_shared<const synth::SynthesisResult>();
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(thread_count));
+  for (int t = 0; t < thread_count; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      // Cheap splitmix-style key walk, distinct stream per thread.
+      std::uint64_t state = 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(t + 1);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        state += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t key = state;
+        key ^= key >> 30;
+        key *= 0xbf58476d1ce4e5b9ULL;
+        key %= kKeyRange;
+        if ((op & 7) == 0) {
+          cache.insert(key, payload);
+        } else {
+          (void)cache.lookup(key);
+        }
+      }
+    });
+  }
+  const Clock::time_point started = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (std::thread& thread : threads) thread.join();
+  const double seconds = seconds_since(started);
+  return static_cast<double>(thread_count) * kOpsPerThread / seconds;
 }
 
 }  // namespace
@@ -134,6 +176,13 @@ int main() {
             << format_fixed(metrics.synthesis_latency.percentile(95), 3) << " s, p99 "
             << format_fixed(metrics.synthesis_latency.percentile(99), 3) << " s, max "
             << format_fixed(metrics.synthesis_latency.max_seconds, 3) << " s\n";
+
+  // ---- cache contention micro-check (informational, non-gating) ----
+  const double ops_1t = cache_contention_ops_per_sec(1);
+  const double ops_4t = cache_contention_ops_per_sec(4);
+  std::cout << "  cache contention: " << format_fixed(ops_1t / 1e6, 2) << " Mops/s @1t, "
+            << format_fixed(ops_4t / 1e6, 2) << " Mops/s @4t (scaling "
+            << format_fixed(ops_4t / ops_1t, 2) << "x)\n";
 
   if (mismatches > 0 || cache_hits != static_cast<int>(points.size())) return 1;
   return 0;

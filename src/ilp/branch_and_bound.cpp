@@ -1,13 +1,19 @@
 #include "ilp/branch_and_bound.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
 #include <utility>
 
 #include "ilp/presolve.hpp"
 #include "obs/trace.hpp"
+#include "svc/thread_pool.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -457,6 +463,820 @@ class BranchAndBound {
   bool limit_hit_ = false;
 };
 
+// ---------------------------------------------------------------------------
+// Parallel tree search (MilpOptions::threads > 0).
+//
+// N workers each own a private warm-started LpSolver plus the per-worker
+// materialization scratch (bound box, stamps).  Open nodes live in a shared
+// pool: a global best-first heap (pool_mutex_) plus one small dive stack per
+// worker — a worker pushes the nearer child of its last branch onto its own
+// stack (preserving the serial solver's dive locality, which is what makes
+// dual-simplex warm starts cheap) and publishes the other child to the
+// global heap.  An idle worker takes from its stack, then the global heap,
+// then steals the *oldest* entry of another worker's stack (best bound,
+// least disruption to the victim's dive).
+//
+// The incumbent objective is a lock-free atomic so bound pruning takes
+// effect across all workers immediately; the incumbent vector itself is
+// guarded by a mutex.  Termination uses an `outstanding_` node count:
+// children are registered before their parent retires, so the count only
+// reaches zero when the tree is exhausted.
+//
+// `deterministic` switches to an epoch-synchronized schedule: each round the
+// coordinator (worker 0, the calling thread) pops the T best open nodes,
+// assigns batch[i] to worker i, and after a barrier merges all side effects
+// — incumbents, children (which get their seq numbers here), pseudocost
+// updates — in worker-index order.  Workers only read shared state
+// snapshotted at the epoch start, so repeated runs with the same thread
+// count produce bit-identical incumbent trajectories and node counts
+// (unless the run is cut short by the wall-clock limit or cancellation,
+// which stop at a timing-dependent epoch).
+class ParallelBranchAndBound {
+ public:
+  ParallelBranchAndBound(const Model& model, const MilpOptions& options,
+                         const std::vector<double>* presolved_lower = nullptr,
+                         const std::vector<double>* presolved_upper = nullptr)
+      : model_(model), options_(options), start_(Clock::now()) {
+    const int n = model.variable_count();
+    root_lower_.reserve(static_cast<std::size_t>(n));
+    root_upper_.reserve(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      const Variable& v = model.variable(VarId{j});
+      double lo = presolved_lower ? (*presolved_lower)[static_cast<std::size_t>(j)] : v.lower;
+      double hi = presolved_upper ? (*presolved_upper)[static_cast<std::size_t>(j)] : v.upper;
+      if (v.type != VarType::kContinuous) {
+        lo = std::isfinite(lo) ? std::ceil(lo - 1e-9) : lo;
+        hi = std::isfinite(hi) ? std::floor(hi + 1e-9) : hi;
+      }
+      root_lower_.push_back(lo);
+      root_upper_.push_back(hi);
+    }
+    pc_down_sum_.assign(static_cast<std::size_t>(n), 0.0);
+    pc_down_count_.assign(static_cast<std::size_t>(n), 0);
+    pc_up_sum_.assign(static_cast<std::size_t>(n), 0.0);
+    pc_up_count_.assign(static_cast<std::size_t>(n), 0);
+    threads_ = std::clamp(options.threads, 1, 64);
+    launched_ = threads_;
+    workers_.reserve(static_cast<std::size_t>(threads_));
+    for (int i = 0; i < threads_; ++i) {
+      workers_.push_back(std::make_unique<Worker>(model_, options_.lp, i, root_lower_, root_upper_));
+    }
+    last_heartbeat_ = start_;
+  }
+
+  MilpResult run() {
+    if (options_.initial_incumbent) {
+      require(model_.is_feasible(*options_.initial_incumbent, 1e-5),
+              "warm-start incumbent is not feasible");
+      incumbent_values_ = *options_.initial_incumbent;
+      incumbent_score_.store(min_score(model_.objective_value(*incumbent_values_)),
+                             std::memory_order_relaxed);
+    }
+    return options_.deterministic ? run_epochs() : run_async();
+  }
+
+ private:
+  struct Worker {
+    Worker(const Model& m, const LpOptions& lp, int idx, const std::vector<double>& root_lower,
+           const std::vector<double>& root_upper)
+        : index(idx), solver(m, lp), cur_lower(root_lower), cur_upper(root_upper) {
+      stamp.assign(root_lower.size(), 0);
+    }
+    const int index;
+    LpSolver solver;  ///< private relaxation engine; warm starts stay local
+    std::vector<double> cur_lower, cur_upper;  ///< materialized node box
+    std::vector<long> stamp;
+    std::vector<int> touched;
+    long epoch = 0;
+    MilpWorkerStats stats;
+    std::mutex local_mutex;  ///< guards `local` (async mode; stealable)
+    std::vector<Node> local;  ///< private dive stack; back = newest
+  };
+
+  /// Everything one node expansion produces, computed without touching
+  /// shared search state: the LP verdict, branch children in serial push
+  /// order (seq unassigned — numbering is a property of the publish, not
+  /// the worker), and an integral candidate point if one was found.
+  /// Pruning decisions inside `expand` use the caller's snapshot of the
+  /// shared incumbent score.
+  struct NodeOutcome {
+    Node node;
+    LpStatus lp_status = LpStatus::kInfeasible;
+    double node_score = kInfinity;
+    std::optional<std::vector<double>> candidate;
+    std::vector<Node> children;
+  };
+
+  /// Lifetime gate for pool-borrowed helpers: a task that the pool starts
+  /// only after the search already returned must not touch the (possibly
+  /// destroyed) solver.  Shared ownership keeps the gate itself alive for
+  /// such stragglers; `dead` flips once the owning solve has drained.
+  struct BorrowGate {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool dead = false;
+    int running = 0;
+  };
+
+  double min_score(double user_objective) const {
+    return model_.objective_sign() * (user_objective - model_.objective_constant());
+  }
+  double user_value(double score) const {
+    return model_.objective_sign() * score + model_.objective_constant();
+  }
+
+  static void atomic_min(std::atomic<double>& target, double value) {
+    double cur = target.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  static bool worse(const Node& a, const Node& b) {
+    if (a.bound_score != b.bound_score) return a.bound_score > b.bound_score;
+    if (a.depth != b.depth) return a.depth < b.depth;
+    return a.seq < b.seq;
+  }
+
+  bool limits_exceeded(long processed) const {
+    if (processed >= options_.max_nodes) return true;
+    if (options_.time_limit_seconds > 0.0) {
+      const double elapsed = std::chrono::duration<double>(Clock::now() - start_).count();
+      if (elapsed > options_.time_limit_seconds) return true;
+    }
+    if (options_.cancel.valid() && options_.cancel.cancelled()) return true;
+    return false;
+  }
+
+  // ---- node expansion (shared by both modes) -------------------------------
+
+  void materialize(Worker& w, const Node& node) const {
+    for (const int v : w.touched) {
+      w.cur_lower[static_cast<std::size_t>(v)] = root_lower_[static_cast<std::size_t>(v)];
+      w.cur_upper[static_cast<std::size_t>(v)] = root_upper_[static_cast<std::size_t>(v)];
+    }
+    w.touched.clear();
+    ++w.epoch;
+    for (const Chain* link = node.changes.get(); link != nullptr; link = link->parent.get()) {
+      const int v = link->change.var;
+      if (w.stamp[static_cast<std::size_t>(v)] == w.epoch) continue;
+      w.stamp[static_cast<std::size_t>(v)] = w.epoch;
+      w.touched.push_back(v);
+      w.cur_lower[static_cast<std::size_t>(v)] = link->change.lower;
+      w.cur_upper[static_cast<std::size_t>(v)] = link->change.upper;
+    }
+  }
+
+  int most_fractional(const std::vector<double>& values) const {
+    int best = -1;
+    double best_distance_to_half = 1.0;
+    for (int j = 0; j < model_.variable_count(); ++j) {
+      if (model_.variable(VarId{j}).type == VarType::kContinuous) continue;
+      const double v = values[static_cast<std::size_t>(j)];
+      const double frac = std::abs(v - std::round(v));
+      if (frac <= options_.integrality_tolerance) continue;
+      const double distance_to_half = std::abs(frac - 0.5);
+      if (best == -1 || distance_to_half < best_distance_to_half) {
+        best = j;
+        best_distance_to_half = distance_to_half;
+      }
+    }
+    return best;
+  }
+
+  int select_branch_var(const std::vector<double>& values) {
+    std::lock_guard<std::mutex> lk(pc_mutex_);
+    const long total = pc_observations_down_ + pc_observations_up_;
+    if (!options_.pseudocost_branching || total == 0) return most_fractional(values);
+    const double avg_down =
+        pc_observations_down_ > 0 ? pc_total_down_ / static_cast<double>(pc_observations_down_) : 1.0;
+    const double avg_up =
+        pc_observations_up_ > 0 ? pc_total_up_ / static_cast<double>(pc_observations_up_) : 1.0;
+    int best = -1;
+    double best_score = -1.0;
+    double best_distance_to_half = 1.0;
+    for (int j = 0; j < model_.variable_count(); ++j) {
+      if (model_.variable(VarId{j}).type == VarType::kContinuous) continue;
+      const double v = values[static_cast<std::size_t>(j)];
+      const double down_frac = v - std::floor(v);
+      const double frac = std::min(down_frac, 1.0 - down_frac);
+      if (frac <= options_.integrality_tolerance) continue;
+      const std::size_t sj = static_cast<std::size_t>(j);
+      const double pcd = pc_down_count_[sj] > 0
+                             ? pc_down_sum_[sj] / static_cast<double>(pc_down_count_[sj])
+                             : avg_down;
+      const double pcu =
+          pc_up_count_[sj] > 0 ? pc_up_sum_[sj] / static_cast<double>(pc_up_count_[sj]) : avg_up;
+      const double score =
+          std::max(pcd * down_frac, 1e-6) * std::max(pcu * (1.0 - down_frac), 1e-6);
+      const double distance_to_half = std::abs(frac - 0.5);
+      if (score > best_score ||
+          (score == best_score && distance_to_half < best_distance_to_half)) {
+        best = j;
+        best_score = score;
+        best_distance_to_half = distance_to_half;
+      }
+    }
+    return best;
+  }
+
+  void update_pseudocost(const Node& node, double node_score) {
+    const double gain = std::max(node_score - node.bound_score, 0.0);
+    if (!std::isfinite(gain)) return;
+    const double per_unit = gain / std::max(node.branch_dist, 1e-6);
+    const std::size_t v = static_cast<std::size_t>(node.branch_var);
+    std::lock_guard<std::mutex> lk(pc_mutex_);
+    if (node.branch_up) {
+      pc_up_sum_[v] += per_unit;
+      ++pc_up_count_[v];
+      pc_total_up_ += per_unit;
+      ++pc_observations_up_;
+    } else {
+      pc_down_sum_[v] += per_unit;
+      ++pc_down_count_[v];
+      pc_total_down_ += per_unit;
+      ++pc_observations_down_;
+    }
+  }
+
+  /// Serial `branch` twin: emits children into `out.children` in the serial
+  /// push order (nearer child last) using `w`'s materialized box.
+  void emit_children(const Worker& w, NodeOutcome& out, int branch_var,
+                     const std::vector<double>& values) const {
+    const std::size_t v = static_cast<std::size_t>(branch_var);
+    const double value = values[v];
+    const double floor_v = std::floor(value + options_.integrality_tolerance);
+
+    Node down;
+    down.bound_score = out.node_score;
+    down.depth = out.node.depth + 1;
+    down.branch_var = branch_var;
+    down.branch_dist = std::max(value - floor_v, options_.integrality_tolerance);
+    down.branch_up = false;
+    Node up = down;
+    up.branch_dist = std::max(floor_v + 1.0 - value, options_.integrality_tolerance);
+    up.branch_up = true;
+
+    const double down_upper = std::min(w.cur_upper[v], floor_v);
+    const double up_lower = std::max(w.cur_lower[v], floor_v + 1.0);
+    const bool down_valid = w.cur_lower[v] <= down_upper;
+    const bool up_valid = up_lower <= w.cur_upper[v];
+    const bool down_first = (value - floor_v) <= 0.5;
+
+    auto emit_down = [&] {
+      if (!down_valid) return;
+      down.changes = std::make_shared<const Chain>(
+          Chain{BoundChange{branch_var, w.cur_lower[v], down_upper}, out.node.changes});
+      out.children.push_back(std::move(down));
+    };
+    auto emit_up = [&] {
+      if (!up_valid) return;
+      up.changes = std::make_shared<const Chain>(
+          Chain{BoundChange{branch_var, up_lower, w.cur_upper[v]}, out.node.changes});
+      out.children.push_back(std::move(up));
+    };
+    if (down_first) {
+      emit_up();
+      emit_down();
+    } else {
+      emit_down();
+      emit_up();
+    }
+  }
+
+  /// Solves `node`'s LP on `w`'s private solver and derives everything that
+  /// follows (children, integral candidate) without mutating shared search
+  /// state; `incumbent_score` is the caller's pruning snapshot.
+  NodeOutcome expand(Worker& w, Node node, double incumbent_score) {
+    NodeOutcome out;
+    materialize(w, node);
+    const double cutoff = incumbent_score - options_.absolute_gap;  // +inf stays +inf
+    const LpResult lp = options_.lp_warm_start
+                            ? w.solver.resolve(w.cur_lower, w.cur_upper, cutoff)
+                            : w.solver.solve(w.cur_lower, w.cur_upper);
+    w.stats.lp_iterations += lp.iterations;
+    out.node = std::move(node);
+    out.lp_status = lp.status;
+    if (lp.status != LpStatus::kOptimal) return out;
+
+    out.node_score = min_score(lp.objective);
+    if (out.node_score >= incumbent_score - options_.absolute_gap) return out;
+
+    const int branch_var = select_branch_var(lp.values);
+    if (branch_var == -1) {
+      std::vector<double> snapped = lp.values;
+      for (int j = 0; j < model_.variable_count(); ++j) {
+        if (model_.variable(VarId{j}).type == VarType::kContinuous) continue;
+        snapped[static_cast<std::size_t>(j)] = std::round(snapped[static_cast<std::size_t>(j)]);
+      }
+      if (model_.is_feasible(snapped)) out.candidate = std::move(snapped);
+      return out;
+    }
+
+    // Rounding primal heuristic into the node's box.
+    {
+      std::vector<double> rounded = lp.values;
+      for (int j = 0; j < model_.variable_count(); ++j) {
+        if (model_.variable(VarId{j}).type == VarType::kContinuous) continue;
+        double v = std::round(rounded[static_cast<std::size_t>(j)]);
+        v = std::clamp(v, w.cur_lower[static_cast<std::size_t>(j)],
+                       w.cur_upper[static_cast<std::size_t>(j)]);
+        rounded[static_cast<std::size_t>(j)] = v;
+      }
+      if (model_.is_feasible(rounded)) out.candidate = std::move(rounded);
+    }
+    const double candidate_score =
+        out.candidate ? min_score(model_.objective_value(*out.candidate)) : kInfinity;
+    if (out.node_score >= std::min(incumbent_score, candidate_score) - options_.absolute_gap) {
+      return out;
+    }
+
+    emit_children(w, out, branch_var, lp.values);
+    return out;
+  }
+
+  // ---- shared incumbent ----------------------------------------------------
+
+  bool prunable(double bound_score) const {
+    return bound_score >= incumbent_score_.load(std::memory_order_relaxed) - options_.absolute_gap;
+  }
+
+  void offer_incumbent(std::vector<double> point) {
+    const double score = min_score(model_.objective_value(point));
+    std::lock_guard<std::mutex> lk(incumbent_mutex_);
+    if (score < incumbent_score_.load(std::memory_order_relaxed)) {
+      incumbent_values_ = std::move(point);
+      incumbent_score_.store(score, std::memory_order_relaxed);
+      log_debug("milp: new incumbent ", user_value(score), " after ",
+                nodes_.load(std::memory_order_relaxed), " nodes");
+    }
+  }
+
+  // ---- asynchronous work-stealing mode -------------------------------------
+
+  MilpResult run_async() {
+    global_.push_back(Node{});
+    outstanding_.store(1, std::memory_order_relaxed);
+
+    std::vector<std::thread> helpers;
+    std::shared_ptr<BorrowGate> gate;
+    if (options_.pool != nullptr && threads_ > 1) {
+      gate = std::make_shared<BorrowGate>();
+      int accepted = 0;
+      for (int i = 1; i < threads_; ++i) {
+        Worker* w = workers_[static_cast<std::size_t>(i)].get();
+        auto task = [this, w, gate] {
+          {
+            std::lock_guard<std::mutex> lk(gate->mutex);
+            if (gate->dead) return;  // search finished; `this` may be gone
+            ++gate->running;
+          }
+          worker_loop(*w);
+          {
+            std::lock_guard<std::mutex> lk(gate->mutex);
+            --gate->running;
+          }
+          gate->cv.notify_all();
+        };
+        if (!options_.pool->try_submit(std::move(task))) break;  // full pool: fewer helpers
+        ++accepted;
+      }
+      launched_ = 1 + accepted;
+    } else {
+      helpers.reserve(static_cast<std::size_t>(threads_ - 1));
+      for (int i = 1; i < threads_; ++i) {
+        Worker* w = workers_[static_cast<std::size_t>(i)].get();
+        helpers.emplace_back([this, w] {
+          obs::Tracer::instance().set_thread_name("bnb-worker-" + std::to_string(w->index));
+          worker_loop(*w);
+        });
+      }
+    }
+
+    worker_loop(*workers_[0]);  // the caller always participates as worker 0
+
+    for (std::thread& t : helpers) t.join();
+    if (gate) {
+      std::unique_lock<std::mutex> lk(gate->mutex);
+      gate->cv.wait(lk, [&] { return gate->running == 0; });
+      gate->dead = true;  // tasks the pool has not started yet must no-op
+    }
+    return assemble_result();
+  }
+
+  void worker_loop(Worker& w) {
+    obs::Span span("ilp", "bnb worker");
+    if (span.active()) span.arg("worker", w.index);
+    while (true) {
+      if (done_.load(std::memory_order_acquire) || stop_.load(std::memory_order_relaxed)) break;
+      if (limits_exceeded(nodes_.load(std::memory_order_relaxed))) {
+        limit_hit_.store(true, std::memory_order_relaxed);
+        request_stop();
+        break;
+      }
+      std::optional<Node> node = take_node(w);
+      if (!node.has_value()) {
+        if (outstanding_.load(std::memory_order_acquire) == 0) {
+          finish_search();
+          break;
+        }
+        const Clock::time_point idle_start = Clock::now();
+        {
+          std::unique_lock<std::mutex> lk(pool_mutex_);
+          work_cv_.wait_for(lk, std::chrono::microseconds(200), [this] {
+            return !global_.empty() || stop_.load(std::memory_order_relaxed) ||
+                   done_.load(std::memory_order_relaxed) ||
+                   outstanding_.load(std::memory_order_relaxed) == 0;
+          });
+        }
+        w.stats.idle_seconds += std::chrono::duration<double>(Clock::now() - idle_start).count();
+        continue;
+      }
+      if (prunable(node->bound_score)) {
+        retire_node();
+        continue;
+      }
+      const long count = nodes_.fetch_add(1, std::memory_order_relaxed) + 1;
+      ++w.stats.nodes;
+      NodeOutcome out = expand(w, std::move(*node), incumbent_score_.load(std::memory_order_relaxed));
+      publish_async(w, out);
+      retire_node();
+      if (w.index == 0 && (count & 0x7f) == 0) report_progress(false);
+    }
+    if (span.active()) {
+      span.arg("nodes", w.stats.nodes);
+      span.arg("steals", w.stats.steals);
+    }
+  }
+
+  /// Applies one expansion's side effects to the shared search state.
+  /// Children are registered in `outstanding_` *before* the caller retires
+  /// the parent, so the count cannot transiently hit zero mid-tree.
+  void publish_async(Worker& w, NodeOutcome& out) {
+    switch (out.lp_status) {
+      case LpStatus::kUnbounded:
+        unbounded_.store(true, std::memory_order_relaxed);
+        request_stop();
+        return;
+      case LpStatus::kIterationLimit:
+        limit_hit_.store(true, std::memory_order_relaxed);
+        atomic_min(pending_bound_, out.node.bound_score);
+        request_stop();
+        return;
+      case LpStatus::kInfeasible:
+      case LpStatus::kCutoff:
+        return;
+      case LpStatus::kOptimal:
+        break;
+    }
+    if (out.node.branch_var >= 0) {
+      update_pseudocost(out.node, out.node_score);
+    } else {
+      root_bound_score_.store(out.node_score, std::memory_order_relaxed);
+    }
+    if (out.candidate.has_value()) offer_incumbent(std::move(*out.candidate));
+    if (out.children.empty()) return;
+
+    for (Node& child : out.children) {
+      child.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+    outstanding_.fetch_add(static_cast<long>(out.children.size()), std::memory_order_acq_rel);
+    // The nearer child (serial push order puts it last) dives on w's own
+    // stack; any sibling is published to the global heap.
+    Node near = std::move(out.children.back());
+    out.children.pop_back();
+    if (!out.children.empty()) {
+      std::lock_guard<std::mutex> lk(pool_mutex_);
+      for (Node& sibling : out.children) {
+        global_.push_back(std::move(sibling));
+        if (options_.node_order == NodeOrder::kBestFirst) {
+          std::push_heap(global_.begin(), global_.end(), worse);
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(w.local_mutex);
+      w.local.push_back(std::move(near));
+    }
+    work_cv_.notify_one();
+  }
+
+  std::optional<Node> take_node(Worker& w) {
+    {
+      std::lock_guard<std::mutex> lk(w.local_mutex);
+      if (!w.local.empty()) {
+        Node node = std::move(w.local.back());
+        w.local.pop_back();
+        return node;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(pool_mutex_);
+      if (!global_.empty()) {
+        if (options_.node_order == NodeOrder::kBestFirst) {
+          std::pop_heap(global_.begin(), global_.end(), worse);
+        }
+        Node node = std::move(global_.back());
+        global_.pop_back();
+        return node;
+      }
+    }
+    for (int k = 1; k < threads_; ++k) {
+      Worker& victim = *workers_[static_cast<std::size_t>((w.index + k) % threads_)];
+      std::lock_guard<std::mutex> lk(victim.local_mutex);
+      if (!victim.local.empty()) {
+        // Steal the oldest (shallowest) entry: closest to the global
+        // frontier, least disruptive to the victim's dive.
+        Node node = std::move(victim.local.front());
+        victim.local.erase(victim.local.begin());
+        ++w.stats.steals;
+        return node;
+      }
+    }
+    return std::nullopt;
+  }
+
+  void retire_node() {
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) finish_search();
+  }
+  void finish_search() {
+    done_.store(true, std::memory_order_release);
+    work_cv_.notify_all();
+  }
+  void request_stop() {
+    stop_.store(true, std::memory_order_relaxed);
+    work_cv_.notify_all();
+  }
+
+  // ---- deterministic epoch mode --------------------------------------------
+
+  MilpResult run_epochs() {
+    global_.push_back(Node{});  // coordinator-owned in this mode; no locking
+    batch_.reserve(static_cast<std::size_t>(threads_));
+    outcomes_.resize(static_cast<std::size_t>(threads_));
+
+    std::vector<std::thread> helpers;
+    helpers.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (int i = 1; i < threads_; ++i) {
+      Worker* w = workers_[static_cast<std::size_t>(i)].get();
+      helpers.emplace_back([this, w] {
+        obs::Tracer::instance().set_thread_name("bnb-worker-" + std::to_string(w->index));
+        epoch_helper(*w);
+      });
+    }
+
+    Worker& self = *workers_[0];
+    obs::Span span("ilp", "bnb worker");
+    if (span.active()) span.arg("worker", 0);
+    long processed = 0;
+    bool stop_all = false;
+    while (!stop_all) {
+      if (limits_exceeded(processed)) {
+        limit_hit_.store(true, std::memory_order_relaxed);
+        break;
+      }
+      batch_.clear();
+      const double inc = incumbent_score_.load(std::memory_order_relaxed);
+      while (static_cast<int>(batch_.size()) < threads_ && !global_.empty()) {
+        if (options_.node_order == NodeOrder::kBestFirst) {
+          std::pop_heap(global_.begin(), global_.end(), worse);
+        }
+        Node node = std::move(global_.back());
+        global_.pop_back();
+        if (node.bound_score >= inc - options_.absolute_gap) continue;
+        batch_.push_back(std::move(node));
+      }
+      if (batch_.empty()) break;
+      const int batch_size = static_cast<int>(batch_.size());
+      processed += batch_size;
+      nodes_.store(processed, std::memory_order_relaxed);
+
+      {
+        std::lock_guard<std::mutex> lk(epoch_mutex_);
+        batch_size_ = batch_size;
+        epoch_pending_ = batch_size - 1;
+        epoch_incumbent_ = inc;
+        ++generation_;
+      }
+      if (batch_size > 1) epoch_cv_.notify_all();
+
+      ++self.stats.nodes;
+      outcomes_[0] = expand(self, std::move(batch_[0]), inc);
+
+      if (batch_size > 1) {
+        const Clock::time_point idle_start = Clock::now();
+        {
+          std::unique_lock<std::mutex> lk(epoch_mutex_);
+          epoch_done_cv_.wait(lk, [this] { return epoch_pending_ == 0; });
+        }
+        self.stats.idle_seconds += std::chrono::duration<double>(Clock::now() - idle_start).count();
+      }
+
+      // Merge side effects in worker-index order — this fixed order (not
+      // completion order) is what makes the schedule reproducible.
+      for (int i = 0; i < batch_size && !stop_all; ++i) {
+        NodeOutcome& out = outcomes_[static_cast<std::size_t>(i)];
+        switch (out.lp_status) {
+          case LpStatus::kUnbounded:
+            unbounded_.store(true, std::memory_order_relaxed);
+            stop_all = true;
+            break;
+          case LpStatus::kIterationLimit:
+            limit_hit_.store(true, std::memory_order_relaxed);
+            atomic_min(pending_bound_, out.node.bound_score);
+            stop_all = true;
+            break;
+          case LpStatus::kInfeasible:
+          case LpStatus::kCutoff:
+            break;
+          case LpStatus::kOptimal: {
+            if (out.node.branch_var >= 0) {
+              update_pseudocost(out.node, out.node_score);
+            } else {
+              root_bound_score_.store(out.node_score, std::memory_order_relaxed);
+            }
+            if (out.candidate.has_value()) offer_incumbent(std::move(*out.candidate));
+            for (Node& child : out.children) {
+              child.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+              global_.push_back(std::move(child));
+              if (options_.node_order == NodeOrder::kBestFirst) {
+                std::push_heap(global_.begin(), global_.end(), worse);
+              }
+            }
+            out.children.clear();
+            break;
+          }
+        }
+      }
+      if ((processed & 0x7f) < batch_size) report_progress(false);
+    }
+
+    {
+      std::lock_guard<std::mutex> lk(epoch_mutex_);
+      finished_ = true;
+    }
+    epoch_cv_.notify_all();
+    for (std::thread& t : helpers) t.join();
+    if (span.active()) span.arg("nodes", self.stats.nodes);
+    return assemble_result();
+  }
+
+  void epoch_helper(Worker& w) {
+    obs::Span span("ilp", "bnb worker");
+    if (span.active()) span.arg("worker", w.index);
+    long seen = 0;
+    std::unique_lock<std::mutex> lk(epoch_mutex_);
+    while (true) {
+      const Clock::time_point idle_start = Clock::now();
+      epoch_cv_.wait(lk, [&] { return finished_ || generation_ != seen; });
+      w.stats.idle_seconds += std::chrono::duration<double>(Clock::now() - idle_start).count();
+      if (finished_) break;
+      seen = generation_;
+      const bool has_work = w.index < batch_size_;
+      const double inc = epoch_incumbent_;
+      lk.unlock();
+      if (has_work) {
+        ++w.stats.nodes;
+        outcomes_[static_cast<std::size_t>(w.index)] =
+            expand(w, std::move(batch_[static_cast<std::size_t>(w.index)]), inc);
+      }
+      lk.lock();
+      if (has_work && --epoch_pending_ == 0) epoch_done_cv_.notify_one();
+    }
+    if (span.active()) span.arg("nodes", w.stats.nodes);
+  }
+
+  // ---- reporting / result --------------------------------------------------
+
+  /// Worker 0 / coordinator only (the timestamps are unsynchronized).
+  void report_progress(bool force) {
+    const bool tracing = obs::tracing_enabled();
+    const bool logging = log_level() <= LogLevel::kInfo;
+    if (!tracing && !logging) return;
+    const Clock::time_point now = Clock::now();
+    const double inc = incumbent_score_.load(std::memory_order_relaxed);
+    const long open = outstanding_.load(std::memory_order_relaxed);
+    if (tracing && (force || now - last_counter_emit_ >= std::chrono::milliseconds(20))) {
+      last_counter_emit_ = now;
+      obs::Tracer& tracer = obs::Tracer::instance();
+      const std::string suffix = " t" + std::to_string(current_thread_id());
+      if (std::isfinite(inc)) tracer.counter("ilp", "milp incumbent" + suffix, user_value(inc));
+      tracer.counter("ilp", "milp open_nodes" + suffix, static_cast<double>(open));
+    }
+    if (logging && now - last_heartbeat_ >= std::chrono::seconds(5)) {
+      last_heartbeat_ = now;
+      log_info("milp[", launched_, "t]: ", nodes_.load(std::memory_order_relaxed),
+               " nodes, incumbent ",
+               std::isfinite(inc) ? detail::concat(user_value(inc)) : std::string("none"),
+               ", open ", open);
+    }
+  }
+
+  /// Tightest proven bound over everything still unexplored; only valid
+  /// once all workers have stopped.
+  double remaining_bound_score() const {
+    double bound = pending_bound_.load(std::memory_order_relaxed);
+    for (const Node& node : global_) bound = std::min(bound, node.bound_score);
+    for (const auto& wp : workers_) {
+      for (const Node& node : wp->local) bound = std::min(bound, node.bound_score);
+    }
+    if (!std::isfinite(bound) && bound > 0.0) {
+      bound = root_bound_score_.load(std::memory_order_relaxed);
+    }
+    return bound;
+  }
+
+  MilpResult assemble_result() {
+    report_progress(true);
+    MilpResult result;
+    result.threads = launched_;
+    for (int i = 0; i < threads_; ++i) {
+      const Worker& w = *workers_[static_cast<std::size_t>(i)];
+      result.nodes += w.stats.nodes;
+      result.lp_iterations += w.stats.lp_iterations;
+      result.steals += w.stats.steals;
+      result.idle_seconds += w.stats.idle_seconds;
+      result.lp.accumulate(w.solver.stats());
+      if (i < launched_) result.worker_stats.push_back(w.stats);
+    }
+    const double wall = std::chrono::duration<double>(Clock::now() - start_).count();
+    if (wall > 0.0) {
+      const double capacity = static_cast<double>(launched_) * wall;
+      result.parallel_efficiency =
+          std::clamp((capacity - result.idle_seconds) / capacity, 0.0, 1.0);
+    }
+    const bool limit = limit_hit_.load(std::memory_order_relaxed);
+    if (unbounded_.load(std::memory_order_relaxed) && !incumbent_values_.has_value()) {
+      result.status = MilpStatus::kUnbounded;
+      return result;
+    }
+    const double bound_score = remaining_bound_score();
+    if (incumbent_values_.has_value()) {
+      result.values = *incumbent_values_;
+      result.objective = model_.objective_value(*incumbent_values_);
+      result.status = limit ? MilpStatus::kFeasible : MilpStatus::kOptimal;
+      result.best_bound = limit ? user_value(bound_score) : result.objective;
+    } else {
+      result.status = limit ? MilpStatus::kLimit : MilpStatus::kInfeasible;
+      result.best_bound =
+          user_value(limit ? bound_score : root_bound_score_.load(std::memory_order_relaxed));
+    }
+    return result;
+  }
+
+  const Model& model_;
+  const MilpOptions& options_;
+  Clock::time_point start_;
+  int threads_ = 1;   ///< configured worker count
+  int launched_ = 1;  ///< workers that actually ran (pool borrows can be rejected)
+
+  std::vector<double> root_lower_, root_upper_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  // Shared node pool.  Async mode: guarded by pool_mutex_.  Deterministic
+  // mode: coordinator-owned, helpers never touch it.
+  std::mutex pool_mutex_;
+  std::condition_variable work_cv_;
+  std::vector<Node> global_;
+  std::atomic<long> outstanding_{0};  ///< open + in-flight nodes; 0 = exhausted
+  std::atomic<long> seq_{0};
+  std::atomic<long> nodes_{0};
+
+  std::mutex pc_mutex_;  ///< pseudocost table
+  std::vector<double> pc_down_sum_, pc_up_sum_;
+  std::vector<long> pc_down_count_, pc_up_count_;
+  double pc_total_down_ = 0.0, pc_total_up_ = 0.0;
+  long pc_observations_down_ = 0, pc_observations_up_ = 0;
+
+  // Incumbent: the score is read lock-free on every pruning decision; the
+  // vector itself only under the mutex.
+  std::mutex incumbent_mutex_;
+  std::optional<std::vector<double>> incumbent_values_;
+  std::atomic<double> incumbent_score_{kInfinity};
+
+  std::atomic<double> root_bound_score_{-kInfinity};
+  std::atomic<double> pending_bound_{kInfinity};  ///< bound of an interrupted node
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> done_{false};
+  std::atomic<bool> limit_hit_{false};
+  std::atomic<bool> unbounded_{false};
+
+  // Deterministic-mode epoch plumbing (all under epoch_mutex_; batch_ and
+  // outcomes_ slots are handed off through the generation bump / barrier).
+  std::mutex epoch_mutex_;
+  std::condition_variable epoch_cv_, epoch_done_cv_;
+  long generation_ = 0;
+  int batch_size_ = 0;
+  int epoch_pending_ = 0;
+  bool finished_ = false;
+  double epoch_incumbent_ = kInfinity;
+  std::vector<Node> batch_;
+  std::vector<NodeOutcome> outcomes_;
+
+  Clock::time_point last_counter_emit_{};
+  Clock::time_point last_heartbeat_{};
+};
+
 }  // namespace
 
 namespace {
@@ -481,6 +1301,16 @@ MilpResult solve_milp(const Model& model, const MilpOptions& options) {
     span.arg("constraints", model.constraint_count());
   }
   const MilpResult result = [&] {
+    auto search = [&](const PresolveResult* reduced) {
+      if (options.threads > 0) {
+        ParallelBranchAndBound solver(model, options, reduced ? &reduced->lower : nullptr,
+                                      reduced ? &reduced->upper : nullptr);
+        return solver.run();
+      }
+      BranchAndBound solver(model, options, reduced ? &reduced->lower : nullptr,
+                            reduced ? &reduced->upper : nullptr);
+      return solver.run();
+    };
     if (options.presolve) {
       const PresolveResult reduced = presolve(model);
       if (reduced.status == PresolveStatus::kInfeasible) {
@@ -491,17 +1321,19 @@ MilpResult solve_milp(const Model& model, const MilpOptions& options) {
       if (reduced.tightenings > 0) {
         log_debug("milp presolve: ", reduced.tightenings, " bound tightenings, ",
                   reduced.fixed_variables, " variables fixed");
-        BranchAndBound solver(model, options, &reduced.lower, &reduced.upper);
-        return solver.run();
+        return search(&reduced);
       }
     }
-    BranchAndBound solver(model, options);
-    return solver.run();
+    return search(nullptr);
   }();
   if (span.active()) {
     span.arg("status", status_name(result.status));
     span.arg("nodes", result.nodes);
     span.arg("lp_iterations", result.lp_iterations);
+    if (result.threads > 0) {
+      span.arg("threads", result.threads);
+      span.arg("steals", result.steals);
+    }
   }
   return result;
 }

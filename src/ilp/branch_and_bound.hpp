@@ -8,6 +8,14 @@
 // warm starts from an initial incumbent (the heuristic mapper), node and
 // wall-clock limits with best-found reporting, and a rounding primal
 // heuristic at every node.
+//
+// With `MilpOptions::threads > 0` the tree search runs in parallel: N
+// workers pull bound-ordered nodes from a shared pool (global best-first
+// heap plus per-worker dive stacks with stealing), each worker owns a
+// private warm-started `LpSolver`, and the incumbent is shared through an
+// atomic objective so bound pruning takes effect across all workers
+// immediately.  `deterministic` trades throughput for bit-identical
+// reruns via an epoch-synchronized node-to-worker schedule.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +25,10 @@
 #include "ilp/model.hpp"
 #include "ilp/simplex.hpp"
 #include "util/cancel.hpp"
+
+namespace fsyn::svc {
+class ThreadPool;  // optional worker substrate; see MilpOptions::pool
+}  // namespace fsyn::svc
 
 namespace fsyn::ilp {
 
@@ -34,6 +46,14 @@ enum class NodeOrder {
   kDepthFirst,  ///< classic diving: newest node first
 };
 
+/// Per-worker counters of one parallel search (empty for serial solves).
+struct MilpWorkerStats {
+  long nodes = 0;        ///< LP relaxations this worker solved
+  long steals = 0;       ///< nodes taken from another worker's local stack
+  std::int64_t lp_iterations = 0;
+  double idle_seconds = 0.0;  ///< time spent without a node to expand
+};
+
 struct MilpResult {
   MilpStatus status = MilpStatus::kLimit;
   std::vector<double> values;  ///< incumbent (model order); empty if none
@@ -42,8 +62,17 @@ struct MilpResult {
   long nodes = 0;              ///< LP relaxations solved
   std::int64_t lp_iterations = 0;  ///< simplex iterations across all nodes
   /// LP engine counters for this solve: warm/cold solves, primal/dual
-  /// pivots, bound flips, refactorizations.
+  /// pivots, bound flips, refactorizations.  For parallel solves this is
+  /// the sum over every worker's private solver.
   LpSolverStats lp;
+
+  // ---- parallel-search telemetry (zeros / empty for the serial path) ----
+  int threads = 0;            ///< workers used; 0 = inline serial search
+  long steals = 0;            ///< total cross-worker node steals
+  double idle_seconds = 0.0;  ///< summed worker idle time
+  /// busy_time / (threads * wall); 1.0 for the serial path.
+  double parallel_efficiency = 1.0;
+  std::vector<MilpWorkerStats> worker_stats;
 };
 
 struct MilpOptions {
@@ -69,6 +98,30 @@ struct MilpOptions {
   /// Cooperative cancellation, polled once per node alongside the node and
   /// wall-clock limits; the best incumbent found so far is still returned.
   CancelToken cancel;
+
+  // ---- parallel tree search -------------------------------------------------
+  /// Workers exploring the tree concurrently.  0 runs the original inline
+  /// serial search (bit-identical to the pre-parallel solver); N >= 1 runs
+  /// N workers, each with a private warm-started LpSolver, pulling
+  /// bound-ordered nodes from a shared pool (global best-first heap +
+  /// per-worker dive stacks with stealing) under a shared incumbent.
+  int threads = 0;
+  /// Fixes the node-to-worker schedule into synchronized epochs: each
+  /// round, the T best open nodes are assigned to workers by index and all
+  /// side effects (incumbents, children, pseudocosts) are merged in worker
+  /// order at a barrier.  Repeated runs with the same thread count give
+  /// bit-identical incumbent trajectories and node counts — provided the
+  /// solve is not stopped by the wall-clock limit or cancellation (those
+  /// cut the schedule at a timing-dependent epoch).  Slower than the
+  /// default asynchronous search; meant for tests and reproducibility.
+  bool deterministic = false;
+  /// Optional worker substrate: when set (asynchronous mode only), helper
+  /// workers are borrowed from this pool with a non-blocking submit instead
+  /// of spawning threads, so e.g. the svc batch service and parallel B&B
+  /// share one pool without oversubscription.  The calling thread always
+  /// participates as worker 0, so progress never depends on the pool having
+  /// free capacity (a rejected borrow just means fewer workers).
+  svc::ThreadPool* pool = nullptr;
 };
 
 MilpResult solve_milp(const Model& model, const MilpOptions& options = {});

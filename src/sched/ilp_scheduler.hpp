@@ -23,6 +23,8 @@ struct IlpScheduleOptions {
   double time_limit_seconds = 60.0;
   long max_nodes = 200'000;
   int transport_delay = assay::kTransportDelay;
+  /// Parallel tree-search workers (ilp::MilpOptions::threads); 0 = serial.
+  int threads = 0;
 };
 
 struct IlpScheduleResult {

@@ -32,6 +32,10 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   s.solver_refactorizations = solver_refactorizations_.load(std::memory_order_relaxed);
   s.solver_warm_solves = solver_warm_solves_.load(std::memory_order_relaxed);
   s.solver_cold_solves = solver_cold_solves_.load(std::memory_order_relaxed);
+  s.solver_threads = solver_threads_.load(std::memory_order_relaxed);
+  s.solver_steals = solver_steals_.load(std::memory_order_relaxed);
+  s.solver_idle_seconds =
+      static_cast<double>(solver_idle_micros_.load(std::memory_order_relaxed)) * 1e-6;
   return s;
 }
 
@@ -77,7 +81,10 @@ std::string MetricsSnapshot::to_json() const {
                                static_cast<double>(solver_warm_solves + solver_cold_solves)
                          : 0.0,
                      4)
-     << "\n"
+     << ",\n"
+     << "    \"threads\": " << solver_threads << ",\n"
+     << "    \"steals\": " << solver_steals << ",\n"
+     << "    \"idle_seconds\": " << format_fixed(solver_idle_seconds, 6) << "\n"
      << "  },\n"
      << "  \"cache\": {\n"
      << "    \"hits\": " << cache.hits << ",\n"

@@ -51,6 +51,10 @@ struct MetricsSnapshot {
   long solver_refactorizations = 0;
   long solver_warm_solves = 0;
   long solver_cold_solves = 0;
+  // Parallel-search telemetry (zeros when every solve ran serially).
+  long solver_threads = 0;  ///< max workers used by any one MILP solve
+  long solver_steals = 0;
+  double solver_idle_seconds = 0.0;
 
   CacheStats cache;
   int workers = 0;
@@ -101,6 +105,19 @@ class MetricsRegistry {
     solver_cold_solves_.fetch_add(cold_solves, std::memory_order_relaxed);
   }
 
+  /// Folds one synthesis run's parallel-search counters into the registry.
+  /// `threads` keeps a running maximum (the widest solve seen); idle time
+  /// is accumulated at microsecond resolution.
+  void record_solver_parallel(int threads, long steals, double idle_seconds) {
+    long seen = solver_threads_.load(std::memory_order_relaxed);
+    while (threads > seen &&
+           !solver_threads_.compare_exchange_weak(seen, threads, std::memory_order_relaxed)) {
+    }
+    solver_steals_.fetch_add(steals, std::memory_order_relaxed);
+    solver_idle_micros_.fetch_add(static_cast<long>(idle_seconds * 1e6),
+                                  std::memory_order_relaxed);
+  }
+
   long mapper_invocations() const {
     return mapper_invocations_.load(std::memory_order_relaxed);
   }
@@ -130,6 +147,9 @@ class MetricsRegistry {
   std::atomic<long> solver_refactorizations_{0};
   std::atomic<long> solver_warm_solves_{0};
   std::atomic<long> solver_cold_solves_{0};
+  std::atomic<long> solver_threads_{0};
+  std::atomic<long> solver_steals_{0};
+  std::atomic<long> solver_idle_micros_{0};
 };
 
 }  // namespace fsyn::svc

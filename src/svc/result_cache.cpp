@@ -1,5 +1,6 @@
 #include "svc/result_cache.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace fsyn::svc {
@@ -78,6 +79,11 @@ void mix_options(Hasher& h, const synth::SynthesisOptions& options) {
   h.mix(options.heuristic.final_temperature);
   h.mix(options.ilp.time_limit_seconds);
   h.mix(options.ilp.max_nodes);
+  // The asynchronous parallel search proves the same optimum but may
+  // tie-break to a different optimal placement, so thread settings are
+  // result-affecting.
+  h.mix(options.ilp.threads);
+  h.mix(options.ilp.deterministic);
   h.mix(options.ilp.warm_start.has_value());
   if (options.ilp.warm_start.has_value()) {
     for (const arch::DeviceInstance& device : *options.ilp.warm_start) {
@@ -124,44 +130,68 @@ CacheKey canonical_key(const assay::SequencingGraph& graph, const sched::Schedul
   return h.value();
 }
 
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) return;
+  const std::size_t shard_count = std::min(kMaxShards, capacity);
+  shards_.reserve(shard_count);
+  // Distribute the capacity across shards; the remainder goes to the first
+  // shards one slot each, so the total stays exactly `capacity`.
+  const std::size_t base = capacity / shard_count;
+  const std::size_t extra = capacity % shard_count;
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (i < extra ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
 std::shared_ptr<const synth::SynthesisResult> ResultCache::lookup(CacheKey key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++misses_;
+  if (shards_.empty()) {
+    disabled_misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.index.find(key);
+  if (it == s.index.end()) {
+    ++s.misses;
+    return nullptr;
+  }
+  ++s.hits;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh recency
   return it->second->second;
 }
 
 void ResultCache::insert(CacheKey key, std::shared_ptr<const synth::SynthesisResult> result) {
-  if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
+  if (shards_.empty()) return;
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.index.find(key);
+  if (it != s.index.end()) {
     it->second->second = std::move(result);
-    lru_.splice(lru_.begin(), lru_, it->second);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
     return;
   }
-  if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-    ++evictions_;
+  if (s.lru.size() >= s.capacity) {
+    s.index.erase(s.lru.back().first);
+    s.lru.pop_back();
+    ++s.evictions;
   }
-  lru_.emplace_front(key, std::move(result));
-  index_[key] = lru_.begin();
+  s.lru.emplace_front(key, std::move(result));
+  s.index[key] = s.lru.begin();
 }
 
 CacheStats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   CacheStats stats;
-  stats.hits = hits_;
-  stats.misses = misses_;
-  stats.evictions = evictions_;
-  stats.entries = lru_.size();
   stats.capacity = capacity_;
+  stats.misses = disabled_misses_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.entries += shard->lru.size();
+  }
   return stats;
 }
 

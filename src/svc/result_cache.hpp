@@ -17,11 +17,13 @@
 // Thread-safe; hit/miss/eviction counters feed the metrics registry.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "assay/sequencing_graph.hpp"
 #include "sched/schedule.hpp"
@@ -44,32 +46,63 @@ struct CacheStats {
   std::size_t capacity = 0;
 };
 
+/// Sharded LRU: the key space is split across up to `kMaxShards`
+/// independent (mutex, list, map) shards selected by key hash, so
+/// concurrent pool workers stop serializing on one cache-wide lock.  Each
+/// shard runs its own LRU over its slice of the capacity — a hot shard can
+/// evict while another is cold, which is the usual sharded-LRU
+/// approximation of global recency and is invisible to correctness (only
+/// to hit rate, marginally).
 class ResultCache {
  public:
+  static constexpr std::size_t kMaxShards = 8;
+
   /// `capacity` 0 disables caching entirely (every lookup is a miss and
   /// inserts are dropped), which keeps the service code branch-free.
-  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+  /// Otherwise min(kMaxShards, capacity) shards split the capacity, so
+  /// tiny caches (capacity 1) keep exact LRU semantics in one shard.
+  explicit ResultCache(std::size_t capacity);
 
   /// Returns the cached result and refreshes its recency, or nullptr.
   /// Every call is recorded as a hit or a miss.
   std::shared_ptr<const synth::SynthesisResult> lookup(CacheKey key);
 
-  /// Inserts (or refreshes) an entry, evicting the least-recently-used one
-  /// when full.
+  /// Inserts (or refreshes) an entry, evicting the shard's
+  /// least-recently-used one when the shard is full.
   void insert(CacheKey key, std::shared_ptr<const synth::SynthesisResult> result);
 
+  /// Sums counters over all shards (each shard locked in turn, so the
+  /// totals are consistent-enough for metrics, not a point-in-time cut).
   CacheStats stats() const;
+
+  std::size_t shard_count() const { return shards_.size(); }
 
  private:
   using LruList = std::list<std::pair<CacheKey, std::shared_ptr<const synth::SynthesisResult>>>;
 
+  struct Shard {
+    std::size_t capacity = 0;
+    mutable std::mutex mutex;
+    LruList lru;  ///< front = most recently used
+    std::unordered_map<CacheKey, LruList::iterator> index;
+    long hits = 0;
+    long misses = 0;
+    long evictions = 0;
+  };
+
+  Shard& shard_for(CacheKey key) {
+    // The key is already a 64-bit FNV hash; fold the high bits in so shard
+    // choice is not just `key % n` over correlated low bits.
+    const std::uint64_t spread = key ^ (key >> 32);
+    return *shards_[static_cast<std::size_t>(spread) % shards_.size()];
+  }
+
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  LruList lru_;  ///< front = most recently used
-  std::unordered_map<CacheKey, LruList::iterator> index_;
-  long hits_ = 0;
-  long misses_ = 0;
-  long evictions_ = 0;
+  /// unique_ptr: Shard owns a mutex and must not move when the vector is
+  /// built.  Empty when caching is disabled.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Lookups against a disabled cache still count as misses in the metrics.
+  std::atomic<long> disabled_misses_{0};
 };
 
 }  // namespace fsyn::svc

@@ -129,6 +129,14 @@ JobResult BatchService::run_job(JobSpec& spec, Clock::time_point enqueued) {
     const CancelToken job_token = job_source.token();
     spec.options.cancel = job_token;
 
+    // Parallel MILP solves borrow their helper workers from this very pool
+    // (non-blocking submit; the job's own thread always participates as
+    // worker 0), so batch concurrency and in-solve parallelism share one
+    // worker budget instead of oversubscribing the machine.
+    if (spec.options.ilp.threads > 1 && !spec.options.ilp.deterministic) {
+      spec.options.ilp.pool = &pool_;
+    }
+
     // The healthy mapping: cached if available (reliability jobs reach here
     // with a hit — their analysis is never cached, but the synthesis is),
     // freshly solved otherwise.
@@ -155,6 +163,8 @@ JobResult BatchService::run_job(JobSpec& spec, Clock::time_point enqueued) {
                              static_cast<long>(result.milp_lp.refactorizations),
                              static_cast<long>(result.milp_lp.warm_solves),
                              static_cast<long>(result.milp_lp.cold_solves));
+      metrics_.record_solver_parallel(result.milp_threads, result.milp_steals,
+                                      result.milp_idle_seconds);
       out.result = std::make_shared<const synth::SynthesisResult>(std::move(result));
       cache_.insert(key, out.result);
     }

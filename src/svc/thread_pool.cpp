@@ -37,6 +37,19 @@ bool ThreadPool::submit(std::function<void()> task) {
   return true;
 }
 
+bool ThreadPool::try_submit(std::function<void()> task) {
+  require(static_cast<bool>(task), "thread pool task must be callable");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return false;
+    if (capacity_ > 0 && queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(task));
+    max_depth_ = std::max(max_depth_, queue_.size());
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
 void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);

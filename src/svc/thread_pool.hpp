@@ -41,6 +41,13 @@ class ThreadPool {
   /// policy with a full queue, or the pool is shutting down).
   bool submit(std::function<void()> task);
 
+  /// Like `submit` but never blocks, regardless of the overflow policy:
+  /// a full queue or a stopping pool is an immediate rejection.  Safe to
+  /// call from a pool worker (a blocking submit from a worker could
+  /// deadlock a saturated pool); used by the parallel MILP search to
+  /// borrow helpers opportunistically.
+  bool try_submit(std::function<void()> task);
+
   /// Stops accepting tasks, runs everything already queued, joins workers.
   /// Idempotent; also called by the destructor.
   void shutdown();

@@ -173,6 +173,9 @@ std::optional<IlpMappingOutcome> map_ilp(const MappingProblem& problem,
   milp_options.time_limit_seconds = options.time_limit_seconds;
   milp_options.max_nodes = options.max_nodes;
   milp_options.cancel = options.cancel;
+  milp_options.threads = options.threads;
+  milp_options.deterministic = options.deterministic;
+  milp_options.pool = options.pool;
   if (options.warm_start.has_value()) {
     const Placement& start = *options.warm_start;
     problem.validate_placement(start);
@@ -249,6 +252,10 @@ std::optional<IlpMappingOutcome> map_ilp(const MappingProblem& problem,
   outcome.nodes = result.nodes;
   outcome.lp_iterations = result.lp_iterations;
   outcome.lp = result.lp;
+  outcome.threads = result.threads;
+  outcome.steals = result.steals;
+  outcome.idle_seconds = result.idle_seconds;
+  outcome.parallel_efficiency = result.parallel_efficiency;
   outcome.placement.assign(static_cast<std::size_t>(problem.task_count()),
                            DeviceInstance{arch::DeviceType{2, 2}, Point{0, 0}});
   for (int i = 0; i < problem.task_count(); ++i) {

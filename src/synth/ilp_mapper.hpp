@@ -31,6 +31,12 @@ struct IlpMapperOptions {
   /// Cooperative cancellation, forwarded to the branch & bound (polled per
   /// node alongside the node/time limits).
   CancelToken cancel;
+  /// Parallel tree-search workers (ilp::MilpOptions::threads); 0 = serial.
+  int threads = 0;
+  /// Epoch-synchronized deterministic schedule (ilp::MilpOptions::deterministic).
+  bool deterministic = false;
+  /// Optional pool to borrow search workers from (ilp::MilpOptions::pool).
+  svc::ThreadPool* pool = nullptr;
 };
 
 struct IlpMappingOutcome {
@@ -42,6 +48,11 @@ struct IlpMappingOutcome {
   long nodes = 0;
   std::int64_t lp_iterations = 0;
   ilp::LpSolverStats lp;  ///< LP engine counters (warm/cold solves, pivots)
+  // Parallel-search telemetry (zeros for serial solves).
+  int threads = 0;
+  long steals = 0;
+  double idle_seconds = 0.0;
+  double parallel_efficiency = 1.0;
 };
 
 /// Builds and solves the mapping ILP.  Returns std::nullopt when the model

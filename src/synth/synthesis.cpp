@@ -45,6 +45,9 @@ struct MappingAttempt {
   long milp_nodes = 0;
   std::int64_t milp_lp_iterations = 0;
   ilp::LpSolverStats milp_lp;
+  int milp_threads = 0;
+  long milp_steals = 0;
+  double milp_idle_seconds = 0.0;
 };
 
 std::optional<MappingAttempt> run_mapper(MappingProblem& problem,
@@ -74,6 +77,9 @@ std::optional<MappingAttempt> run_mapper(MappingProblem& problem,
     attempt.milp_nodes += outcome->nodes;
     attempt.milp_lp_iterations += outcome->lp_iterations;
     attempt.milp_lp.accumulate(outcome->lp);
+    attempt.milp_threads = std::max(attempt.milp_threads, outcome->threads);
+    attempt.milp_steals += outcome->steals;
+    attempt.milp_idle_seconds += outcome->idle_seconds;
     if (forbid_first_overfull_pair(problem, outcome->placement)) {
       attempt.placement = outcome->placement;
       attempt.effort = attempt.milp_nodes;
@@ -146,6 +152,9 @@ std::optional<SynthesisResult> attempt_on_size(const assay::SequencingGraph& gra
   result.milp_nodes = attempt->milp_nodes;
   result.milp_lp_iterations = attempt->milp_lp_iterations;
   result.milp_lp = attempt->milp_lp;
+  result.milp_threads = attempt->milp_threads;
+  result.milp_steals = attempt->milp_steals;
+  result.milp_idle_seconds = attempt->milp_idle_seconds;
 
   {
     obs::Span verify_span("sim", "verify");

@@ -97,6 +97,10 @@ struct SynthesisResult {
   long milp_nodes = 0;
   std::int64_t milp_lp_iterations = 0;
   ilp::LpSolverStats milp_lp;
+  // Parallel-search telemetry (zeros when the search ran serially).
+  int milp_threads = 0;       ///< max workers used by any solve
+  long milp_steals = 0;       ///< summed cross-worker node steals
+  double milp_idle_seconds = 0.0;
 };
 
 /// Runs reliability-aware synthesis for a scheduled assay.

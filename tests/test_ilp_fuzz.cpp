@@ -7,7 +7,9 @@
 // brute-force optimum.  A separate test drives LpSolver::resolve directly
 // and compares each dual-simplex reoptimization against a cold solve of the
 // same bound box.
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -137,9 +139,123 @@ TEST_P(MilpFuzz, AllConfigurationsMatchEnumeration) {
   MilpOptions no_presolve = defaults;
   no_presolve.presolve = false;
   check_config(instance, best, no_presolve, "no-presolve");
+
+  // The parallel tree search must prove the same optimum at every worker
+  // count (the search order differs, the fixpoint cannot).
+  for (const int threads : {1, 2, 4}) {
+    MilpOptions parallel = defaults;
+    parallel.threads = threads;
+    check_config(instance, best, parallel,
+                 threads == 1 ? "parallel-1" : (threads == 2 ? "parallel-2" : "parallel-4"));
+  }
+
+  MilpOptions lockstep = defaults;
+  lockstep.threads = 4;
+  lockstep.deterministic = true;
+  check_config(instance, best, lockstep, "deterministic-4");
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MilpFuzz, ::testing::Range(0, 80));
+
+/// Deterministic mode contract: same instance, same thread count -> the
+/// whole result is bit-identical, node counts and LP iterations included.
+TEST(ParallelBranchAndBound, DeterministicModeIsBitIdentical) {
+  for (int round = 0; round < 12; ++round) {
+    const FuzzInstance instance = make_instance(0xDE7 + 131ULL * static_cast<std::uint64_t>(round));
+    MilpOptions options;
+    options.threads = 4;
+    options.deterministic = true;
+    const MilpResult first = solve_milp(instance.model, options);
+    const MilpResult second = solve_milp(instance.model, options);
+    ASSERT_EQ(first.status, second.status) << "round " << round;
+    EXPECT_EQ(first.nodes, second.nodes) << "round " << round;
+    EXPECT_EQ(first.lp_iterations, second.lp_iterations) << "round " << round;
+    EXPECT_EQ(first.objective, second.objective) << "round " << round;  // bit-equal doubles
+    EXPECT_EQ(first.best_bound, second.best_bound) << "round " << round;
+    EXPECT_EQ(first.values, second.values) << "round " << round;
+    ASSERT_EQ(first.worker_stats.size(), second.worker_stats.size()) << "round " << round;
+    for (std::size_t w = 0; w < first.worker_stats.size(); ++w) {
+      EXPECT_EQ(first.worker_stats[w].nodes, second.worker_stats[w].nodes)
+          << "round " << round << " worker " << w;
+      EXPECT_EQ(first.worker_stats[w].lp_iterations, second.worker_stats[w].lp_iterations)
+          << "round " << round << " worker " << w;
+    }
+  }
+}
+
+/// Serial (threads = 0) and parallel results carry consistent telemetry.
+TEST(ParallelBranchAndBound, TelemetryShape) {
+  // Scan for an instance the search actually explores: presolve-infeasible
+  // models return before any worker launches (threads stays 0 by design).
+  std::optional<FuzzInstance> found;
+  MilpResult s;
+  for (std::uint64_t seed = 0xF002; seed < 0xF002 + 64; ++seed) {
+    FuzzInstance candidate = make_instance(seed);
+    MilpOptions serial;
+    s = solve_milp(candidate.model, serial);
+    if (s.status == MilpStatus::kOptimal && s.nodes >= 4) {
+      found = std::move(candidate);
+      break;
+    }
+  }
+  ASSERT_TRUE(found.has_value()) << "no searchable fuzz instance in seed range";
+  const FuzzInstance& instance = *found;
+
+  EXPECT_EQ(s.threads, 0);
+  EXPECT_EQ(s.steals, 0);
+  EXPECT_TRUE(s.worker_stats.empty());
+  EXPECT_EQ(s.parallel_efficiency, 1.0);
+
+  MilpOptions parallel;
+  parallel.threads = 2;
+  const MilpResult p = solve_milp(instance.model, parallel);
+  EXPECT_EQ(p.threads, 2);
+  ASSERT_EQ(p.worker_stats.size(), 2u);
+  long worker_nodes = 0;
+  std::int64_t worker_iters = 0;
+  for (const MilpWorkerStats& w : p.worker_stats) {
+    worker_nodes += w.nodes;
+    worker_iters += w.lp_iterations;
+  }
+  EXPECT_EQ(worker_nodes, p.nodes);
+  EXPECT_EQ(worker_iters, p.lp_iterations);
+  EXPECT_GE(p.parallel_efficiency, 0.0);
+  EXPECT_LE(p.parallel_efficiency, 1.0);
+}
+
+/// Mid-search cancellation: the token is honored promptly in both parallel
+/// modes and the best incumbent found so far is still reported.
+TEST(ParallelBranchAndBound, CancellationStopsTheSearch) {
+  // A big enough box that exhausting the tree without pruning would take a
+  // while; cancellation must cut it short regardless.
+  const FuzzInstance instance = make_instance(0xF002 + 977ULL * 3);
+
+  for (const bool deterministic : {false, true}) {
+    CancelSource source;
+    source.cancel();  // already cancelled before the solve starts
+    MilpOptions options;
+    options.threads = 4;
+    options.deterministic = deterministic;
+    options.cancel = source.token();
+    const MilpResult result = solve_milp(instance.model, options);
+    // No node was expanded: either the limit path reports the cut-short
+    // search, or presolve alone proved infeasibility before it started.
+    EXPECT_TRUE(result.status == MilpStatus::kLimit || result.status == MilpStatus::kInfeasible)
+        << (deterministic ? "deterministic" : "async");
+    EXPECT_NE(result.status, MilpStatus::kOptimal);
+  }
+
+  // A deadline that fires mid-search: the solve returns (promptly) with a
+  // coherent status.
+  CancelSource deadline;
+  deadline.set_deadline_after(std::chrono::milliseconds(30));
+  MilpOptions options;
+  options.threads = 4;
+  options.cancel = deadline.token();
+  const MilpResult result = solve_milp(instance.model, options);
+  EXPECT_TRUE(result.status == MilpStatus::kOptimal || result.status == MilpStatus::kFeasible ||
+              result.status == MilpStatus::kLimit || result.status == MilpStatus::kInfeasible);
+}
 
 /// Drives the persistent solver's warm path directly: every dual-simplex
 /// resolve after a bound tightening must match a cold solve of the same box.

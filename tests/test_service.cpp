@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -282,6 +283,71 @@ TEST(ResultCache, CanonicalKeyIgnoresNamesButSeesStructure) {
   const assay::SequencingGraph other = assay::make_benchmark("invitro");
   const sched::Schedule other_schedule = sched::schedule_asap(other);
   EXPECT_NE(svc::canonical_key(other, other_schedule, options), base);
+
+  // ILP thread settings are result-affecting (the async parallel search
+  // may tie-break to a different optimal placement), so they must key.
+  synth::SynthesisOptions threaded = options;
+  threaded.ilp.threads = 4;
+  EXPECT_NE(svc::canonical_key(pcr, schedule, threaded), base);
+}
+
+TEST(ResultCache, ShardedCacheSurvivesConcurrentHammering) {
+  svc::ResultCache cache(64);
+  EXPECT_GT(cache.shard_count(), 1u);  // capacity 64 -> all 8 shards
+  auto payload = std::make_shared<const synth::SynthesisResult>();
+
+  // 4 threads, disjoint-ish key streams: every insert must be retrievable
+  // from the same thread right away, and the summed counters must add up.
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 5000;
+  std::vector<std::thread> threads;
+  std::atomic<int> self_misses{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const svc::CacheKey key =
+            0x9e3779b97f4a7c15ULL * static_cast<svc::CacheKey>(t * kOpsPerThread + op + 1);
+        cache.insert(key, payload);
+        if (cache.lookup(key) == nullptr) self_misses.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Same-thread insert-then-lookup can only miss if a concurrent insert
+  // storm evicted the key from its shard between the two calls; with 64
+  // slots over 8 shards and 4 writers that is possible but must be rare.
+  EXPECT_LT(self_misses.load(), kThreads * kOpsPerThread / 10);
+  const svc::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kOpsPerThread);
+  EXPECT_LE(stats.entries, stats.capacity);
+  EXPECT_EQ(stats.capacity, 64u);
+}
+
+TEST(ResultCache, CapacityZeroDisablesButCountsMisses) {
+  svc::ResultCache cache(0);
+  EXPECT_EQ(cache.shard_count(), 0u);
+  auto payload = std::make_shared<const synth::SynthesisResult>();
+  cache.insert(1, payload);
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  EXPECT_EQ(cache.lookup(2), nullptr);
+  const svc::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(ResultCache, TinyCapacityKeepsExactLru) {
+  svc::ResultCache cache(1);
+  EXPECT_EQ(cache.shard_count(), 1u);
+  auto a = std::make_shared<const synth::SynthesisResult>();
+  auto b = std::make_shared<const synth::SynthesisResult>();
+  cache.insert(10, a);
+  EXPECT_EQ(cache.lookup(10), a);
+  cache.insert(20, b);  // evicts 10
+  EXPECT_EQ(cache.lookup(10), nullptr);
+  EXPECT_EQ(cache.lookup(20), b);
+  EXPECT_EQ(cache.stats().evictions, 1);
 }
 
 TEST(BatchService, ReliabilityJobProducesReportAndReusesSynthesisCache) {

@@ -15,6 +15,7 @@
 //   --seed S        heuristic mapper seed (default 2015)
 //   --ilp           use the exact ILP mapper (small assays only)
 //   --time-limit S  ILP branch & bound wall-clock limit in seconds
+//   --ilp-threads N parallel MILP search workers (0 = serial, the default)
 //   --json PATH     write the synthesis result as JSON
 //   --out PATH      write the mapping for later `reliability --in` runs
 //   --svg PATH      write an SVG rendering
@@ -88,6 +89,7 @@ struct CliOptions {
   std::uint64_t seed = 2015;
   bool use_ilp = false;
   std::optional<double> time_limit_seconds;
+  int ilp_threads = 0;  ///< MILP search workers (0 = serial branch-and-bound)
   std::string json_path;
   std::string svg_path;
   bool snapshots = false;
@@ -126,7 +128,8 @@ struct CliOptions {
   std::cerr <<
       "usage:\n"
       "  flowsynth synth    <assay-file|benchmark> [--policy N | --asap] [--grid N]\n"
-      "                     [--seed S] [--ilp] [--time-limit S] [--json PATH]\n"
+      "                     [--seed S] [--ilp] [--time-limit S] [--ilp-threads N]\n"
+      "                     [--json PATH]\n"
       "                     [--svg PATH] [--snapshots] [--control] [--trace PATH]\n"
       "  flowsynth schedule <assay-file|benchmark> [--policy N | --asap]\n"
       "  flowsynth reliability <assay-file|benchmark | --in mapping.json>\n"
@@ -137,6 +140,7 @@ struct CliOptions {
       "  flowsynth batch    <benchmark[,benchmark...]|all> [--jobs N] [--policies P]\n"
       "                     [--repeat R] [--deadline-ms D] [--race] [--metrics PATH|-]\n"
       "                     [--seed S] [--grid N] [--cache N] [--queue N] [--reject]\n"
+      "                     [--ilp-threads N]\n"
       "                     [--trace PATH] [--reliability] [--trials N]\n"
       "  flowsynth table1   [--jobs N]\n"
       "  flowsynth list\n";
@@ -176,6 +180,8 @@ CliOptions parse_cli(int argc, char** argv) {
       options.use_ilp = true;
     } else if (arg == "--time-limit") {
       options.time_limit_seconds = parse_double(next());
+    } else if (arg == "--ilp-threads") {
+      options.ilp_threads = parse_int(next());
     } else if (arg == "--json") {
       options.json_path = next();
     } else if (arg == "--svg") {
@@ -269,6 +275,7 @@ int run_synth(const CliOptions& cli) {
   if (cli.time_limit_seconds.has_value()) {
     options.ilp.time_limit_seconds = *cli.time_limit_seconds;
   }
+  options.ilp.threads = cli.ilp_threads;
   const synth::SynthesisResult result = synth::synthesize(graph, schedule, options);
 
   std::cout << "chip:        " << result.chip_width << "x" << result.chip_height
@@ -331,6 +338,7 @@ int run_reliability(const CliOptions& cli) {
   if (cli.time_limit_seconds.has_value()) {
     synth_options.ilp.time_limit_seconds = *cli.time_limit_seconds;
   }
+  synth_options.ilp.threads = cli.ilp_threads;
 
   if (!cli.in_path.empty()) {
     report::StoredResult stored = report::read_stored_result(cli.in_path);
@@ -453,6 +461,7 @@ int run_batch(const CliOptions& cli) {
         if (cli.time_limit_seconds.has_value()) {
           spec.options.ilp.time_limit_seconds = *cli.time_limit_seconds;
         }
+        spec.options.ilp.threads = cli.ilp_threads;
         if (cli.deadline_ms.has_value()) {
           spec.deadline = std::chrono::milliseconds(*cli.deadline_ms);
         }
