@@ -1,0 +1,299 @@
+// flowsynthd loopback benchmark.
+//
+// Phase 1 measures raw HTTP service time: N client threads hammer
+// GET /healthz (cheapest route, measures the reactor + parser, not
+// synthesis) and GET /v1/jobs (status listing) at 1, 8 and 64 concurrent
+// connections, reporting req/s and p50/p95/p99 latency per level as one
+// JSON line each — the same trajectory format as bench_ilp_solver.
+//
+// Phase 2 measures the job path end-to-end: submit + SSE-watch to the
+// terminal event for cache-hot synthesis jobs.
+//
+// Phase 3 demonstrates admission shedding: a one-worker server with a
+// tight interactive route deadline is flooded with distinct synthesis
+// jobs; once the latency histogram warms and the queue deepens, the
+// estimated completion blows the deadline and submissions come back
+// 429 + Retry-After.  The run fails (exit 1) if nothing was shed or
+// nothing was accepted — both halves are the point.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/api.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace fsyn;
+using Clock = std::chrono::steady_clock;
+
+struct Percentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+Percentiles percentiles_ms(std::vector<double>& samples) {
+  Percentiles out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  const auto at = [&](double q) {
+    const std::size_t index = static_cast<std::size_t>(q * (samples.size() - 1));
+    return samples[index];
+  };
+  out.p50 = at(0.50);
+  out.p95 = at(0.95);
+  out.p99 = at(0.99);
+  return out;
+}
+
+/// One running server (ephemeral port) with its serve() thread.
+struct Server {
+  explicit Server(net::JobManager::Config manager_config = {},
+                  net::AdmissionConfig admission = net::AdmissionConfig()) {
+    manager_config.service.overflow = svc::OverflowPolicy::kReject;
+    manager = std::make_unique<net::JobManager>(std::move(manager_config));
+    manager->recover();
+    net::HttpServer::Config server_config;
+    server_config.port = 0;
+    server_config.max_connections = 512;
+    server = std::make_unique<net::HttpServer>(
+        server_config, *manager, net::make_api_router(*manager, admission));
+    server->bind();
+    thread = std::thread([this] { server->serve(); });
+  }
+
+  ~Server() {
+    manager->cancel_all();
+    server->request_stop();
+    thread.join();
+  }
+
+  net::ApiClient client() const { return net::ApiClient("127.0.0.1", server->port()); }
+
+  std::unique_ptr<net::JobManager> manager;
+  std::unique_ptr<net::HttpServer> server;
+  std::thread thread;
+};
+
+void emit(const std::string& bench, const std::string& endpoint, int clients,
+          std::size_t requests, double elapsed_seconds, Percentiles latency) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value(bench);
+  w.key("endpoint").value(endpoint);
+  w.key("clients").value(clients);
+  w.key("requests").value(static_cast<long>(requests));
+  w.key("req_per_sec").value(elapsed_seconds > 0.0
+                                 ? static_cast<double>(requests) / elapsed_seconds
+                                 : 0.0);
+  w.key("p50_ms").value(latency.p50);
+  w.key("p95_ms").value(latency.p95);
+  w.key("p99_ms").value(latency.p99);
+  w.end_object();
+  std::cout << w.str() << "\n";
+}
+
+/// `clients` threads issue `total / clients` requests each; returns false
+/// when any request failed.
+bool sweep_endpoint(const Server& server, const std::string& bench,
+                    const std::string& target, int clients, std::size_t total) {
+  const std::size_t per_client = total / static_cast<std::size_t>(clients);
+  std::vector<std::vector<double>> latencies(static_cast<std::size_t>(clients));
+  std::atomic<long> failures{0};
+  std::vector<std::thread> threads;
+  const Clock::time_point start = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::ApiClient client = server.client();
+      auto& mine = latencies[static_cast<std::size_t>(c)];
+      mine.reserve(per_client);
+      for (std::size_t i = 0; i < per_client; ++i) {
+        const Clock::time_point t0 = Clock::now();
+        try {
+          if (client.get(target).status != 200) failures.fetch_add(1);
+        } catch (const Error&) {
+          failures.fetch_add(1);
+        }
+        mine.push_back(std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> all;
+  for (const auto& mine : latencies) all.insert(all.end(), mine.begin(), mine.end());
+  emit(bench, target, clients, all.size(), elapsed, percentiles_ms(all));
+  if (failures.load() != 0) {
+    std::cerr << "FAIL: " << failures.load() << " request(s) failed on " << target
+              << " at " << clients << " clients\n";
+    return false;
+  }
+  return true;
+}
+
+/// Submit + watch-to-terminal round trips; cache-hot after the first job.
+bool sweep_jobs(const Server& server, int clients, std::size_t total) {
+  // Warm the result cache so the sweep measures the HTTP + queue + event
+  // path rather than synthesis itself.
+  {
+    net::ApiClient client = server.client();
+    const net::ClientResponse response =
+        client.post("/v1/jobs", "{\"assay\":\"pcr\",\"asap\":true,\"grid\":10}");
+    if (response.status != 202) {
+      std::cerr << "FAIL: warm-up submit answered " << response.status << "\n";
+      return false;
+    }
+    const std::uint64_t id = static_cast<std::uint64_t>(
+        JsonValue::parse(response.body).at("id").as_int());
+    client.watch(id, [](const std::string&, std::uint64_t, const std::string&) {
+      return true;
+    });
+  }
+
+  const std::size_t per_client = total / static_cast<std::size_t>(clients);
+  std::vector<std::vector<double>> latencies(static_cast<std::size_t>(clients));
+  std::atomic<long> failures{0};
+  std::vector<std::thread> threads;
+  const Clock::time_point start = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::ApiClient client = server.client();
+      auto& mine = latencies[static_cast<std::size_t>(c)];
+      for (std::size_t i = 0; i < per_client; ++i) {
+        const Clock::time_point t0 = Clock::now();
+        try {
+          const net::ClientResponse response =
+              client.post("/v1/jobs", "{\"assay\":\"pcr\",\"asap\":true,\"grid\":10}");
+          if (response.status != 202) {
+            failures.fetch_add(1);
+          } else {
+            const std::uint64_t id = static_cast<std::uint64_t>(
+                JsonValue::parse(response.body).at("id").as_int());
+            bool done = false;
+            client.watch(id, [&](const std::string& event, std::uint64_t,
+                                 const std::string&) {
+              if (event == "done") done = true;
+              return true;
+            });
+            if (!done) failures.fetch_add(1);
+          }
+        } catch (const Error&) {
+          failures.fetch_add(1);
+        }
+        mine.push_back(std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> all;
+  for (const auto& mine : latencies) all.insert(all.end(), mine.begin(), mine.end());
+  emit("server_jobs", "submit+watch", clients, all.size(), elapsed, percentiles_ms(all));
+  if (failures.load() != 0) {
+    std::cerr << "FAIL: " << failures.load() << " job round trip(s) failed at "
+              << clients << " clients\n";
+    return false;
+  }
+  return true;
+}
+
+/// Floods a one-worker server with distinct jobs under a tight interactive
+/// deadline; reports accepted/shed counts and asserts both happened.
+bool demonstrate_shedding() {
+  net::JobManager::Config manager_config;
+  manager_config.service.workers = 1;
+  manager_config.service.cache_capacity = 0;  // every job does real work
+  net::AdmissionConfig admission;
+  admission.deadline_seconds[0] = 0.25;  // interactive: quarter second
+  admission.min_samples = 2;
+  Server server(std::move(manager_config), admission);
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 25;
+  std::atomic<int> accepted{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> queue_full{0};
+  std::atomic<int> retry_after_max{0};
+  std::atomic<int> seed{1};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      net::ApiClient client = server.client();
+      for (int i = 0; i < kPerClient; ++i) {
+        // Distinct seeds defeat the cache key so the queue really deepens.
+        const std::string spec = "{\"assay\":\"pcr\",\"asap\":true,\"grid\":10,\"seed\":" +
+                                 std::to_string(seed.fetch_add(1)) + "}";
+        try {
+          const net::ClientResponse response = client.post("/v1/jobs", spec);
+          if (response.status == 202) {
+            accepted.fetch_add(1);
+          } else if (response.status == 429) {
+            shed.fetch_add(1);
+            if (const std::string* retry =
+                    net::find_header(response.headers, "Retry-After")) {
+              int current = retry_after_max.load();
+              const int value = static_cast<int>(std::strtol(retry->c_str(), nullptr, 10));
+              while (value > current &&
+                     !retry_after_max.compare_exchange_weak(current, value)) {
+              }
+            }
+          } else if (response.status == 503) {
+            queue_full.fetch_add(1);
+          }
+        } catch (const Error&) {
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("server_admission");
+  w.key("submitted").value(kClients * kPerClient);
+  w.key("accepted").value(accepted.load());
+  w.key("shed_429").value(shed.load());
+  w.key("queue_full_503").value(queue_full.load());
+  w.key("retry_after_max_s").value(retry_after_max.load());
+  w.end_object();
+  std::cout << w.str() << "\n";
+
+  if (accepted.load() == 0 || shed.load() == 0) {
+    std::cerr << "FAIL: admission control should accept early jobs and shed "
+                 "under load (accepted="
+              << accepted.load() << ", shed=" << shed.load() << ")\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+
+  {
+    Server server;
+    for (const int clients : {1, 8, 64}) {
+      ok = sweep_endpoint(server, "server_http", "/healthz", clients, 2000) && ok;
+    }
+    ok = sweep_endpoint(server, "server_http", "/v1/jobs", 8, 1000) && ok;
+    for (const int clients : {1, 8}) {
+      ok = sweep_jobs(server, clients, 64) && ok;
+    }
+  }
+
+  ok = demonstrate_shedding() && ok;
+
+  std::cout << (ok ? "bench_server: OK" : "bench_server: FAILED") << "\n";
+  return ok ? 0 : 1;
+}

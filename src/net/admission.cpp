@@ -1,0 +1,45 @@
+#include "net/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fsyn::net {
+
+AdmissionDecision admit(const AdmissionConfig& config, svc::JobPriority priority,
+                        std::size_t queue_depth, int workers,
+                        const obs::HistogramSnapshot& service_latency) {
+  AdmissionDecision decision;
+  decision.deadline_seconds = config.deadline_seconds[static_cast<int>(priority)];
+
+  decision.estimated_service_seconds = service_latency.count >= config.min_samples
+                                           ? service_latency.percentile(95.0)
+                                           : config.default_service_seconds;
+  if (decision.estimated_service_seconds <= 0.0) {
+    decision.estimated_service_seconds = config.default_service_seconds;
+  }
+
+  const int lanes = std::max(1, workers);
+  // Jobs ahead of this one drain `lanes` at a time; the new job waits for
+  // the slowest full wave, then runs.
+  const double waves =
+      std::ceil(static_cast<double>(queue_depth) / static_cast<double>(lanes));
+  decision.estimated_wait_seconds = waves * decision.estimated_service_seconds;
+  decision.estimated_completion_seconds =
+      decision.estimated_wait_seconds + decision.estimated_service_seconds;
+
+  if (decision.deadline_seconds <= 0.0 ||
+      decision.estimated_completion_seconds <= decision.deadline_seconds) {
+    decision.accepted = true;
+    return decision;
+  }
+
+  decision.accepted = false;
+  // Back off for the estimated excess: the time the queue needs to drain
+  // before the estimate would fit the deadline again.
+  const double excess =
+      decision.estimated_completion_seconds - decision.deadline_seconds;
+  decision.retry_after_seconds = std::max(1, static_cast<int>(std::ceil(excess)));
+  return decision;
+}
+
+}  // namespace fsyn::net

@@ -1,0 +1,53 @@
+// Latency-aware admission control for `POST /v1/jobs`.
+//
+// The decision follows the execution-histogram pattern: the service keeps
+// a latency histogram of completed synthesis runs (svc::MetricsSnapshot::
+// synthesis_latency); admission estimates this job's completion time as
+//
+//   wait     = ceil(queue_depth / workers) * p95(service time)
+//   complete = wait + p95(service time)
+//
+// and rejects with 429 + Retry-After when the estimate exceeds the route
+// deadline of the job's priority class.  Until the histogram has seen
+// `min_samples` jobs the estimate falls back to `default_service_seconds`,
+// so a cold server admits optimistically instead of rejecting everything.
+//
+// The decision is a pure function of its inputs — the unit tests drive it
+// directly with synthetic histograms.
+#pragma once
+
+#include <cstddef>
+
+#include "obs/histogram.hpp"
+#include "svc/service.hpp"
+
+namespace fsyn::net {
+
+struct AdmissionConfig {
+  /// Route deadline (seconds) per priority class, indexed by
+  /// svc::JobPriority.  A job whose estimated completion exceeds its
+  /// class's deadline is shed.  <= 0 disables admission for that class.
+  double deadline_seconds[3] = {2.0, 60.0, 600.0};
+  /// Histogram observations required before p95 is trusted.
+  std::uint64_t min_samples = 4;
+  /// Service-time estimate used while the histogram is cold.
+  double default_service_seconds = 0.25;
+};
+
+struct AdmissionDecision {
+  bool accepted = true;
+  double estimated_service_seconds = 0.0;
+  double estimated_wait_seconds = 0.0;
+  double estimated_completion_seconds = 0.0;
+  double deadline_seconds = 0.0;
+  /// Suggested client back-off (whole seconds, >= 1) when rejected.
+  int retry_after_seconds = 0;
+};
+
+/// Decides whether a job of class `priority` should be admitted given the
+/// current queue depth, worker count and observed service-time histogram.
+AdmissionDecision admit(const AdmissionConfig& config, svc::JobPriority priority,
+                        std::size_t queue_depth, int workers,
+                        const obs::HistogramSnapshot& service_latency);
+
+}  // namespace fsyn::net

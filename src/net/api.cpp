@@ -1,0 +1,173 @@
+#include "net/api.hpp"
+
+#include <cstdlib>
+
+#include "util/json.hpp"
+
+namespace fsyn::net {
+
+namespace {
+
+HttpResponse json_response(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse error_response(int status, std::string_view message) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("error").value(message);
+  w.end_object();
+  return json_response(status, w.take());
+}
+
+/// Parses the `{id}` capture; 0 on malformed input (0 is never assigned).
+std::uint64_t parse_id(const RouteParams& params) {
+  const std::string* id = find_param(params, "id");
+  if (id == nullptr || id->empty()) return 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(id->c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return 0;
+  return static_cast<std::uint64_t>(value);
+}
+
+HttpResponse submit_job(JobManager& manager, const AdmissionConfig& admission,
+                        const HttpRequest& request) {
+  WireSpec wire = parse_wire_spec(request.body);  // fsyn::Error -> 400 (router)
+
+  const AdmissionDecision decision =
+      admit(admission, wire.spec.priority, manager.service().queue_depth(),
+            manager.service().worker_count(),
+            manager.service().metrics().synthesis_latency);
+  if (!decision.accepted) {
+    manager.counters().admission_rejected.fetch_add(1, std::memory_order_relaxed);
+    JsonWriter w;
+    w.begin_object();
+    w.key("error").value("overloaded: estimated completion exceeds route deadline");
+    w.key("priority").value(svc::to_string(wire.spec.priority));
+    w.key("estimated_completion_seconds").value(decision.estimated_completion_seconds);
+    w.key("deadline_seconds").value(decision.deadline_seconds);
+    w.key("retry_after_seconds").value(decision.retry_after_seconds);
+    w.end_object();
+    HttpResponse response = json_response(429, w.take());
+    response.headers.push_back({"Retry-After", std::to_string(decision.retry_after_seconds)});
+    return response;
+  }
+
+  const svc::JobPriority priority = wire.spec.priority;
+  const std::uint64_t id = manager.submit(std::move(wire));
+
+  // With the reject overflow policy a full pool queue resolves the job
+  // synchronously, so the terminal state is already visible here.
+  if (manager.state_of(id) == "rejected") {
+    JsonWriter w;
+    w.begin_object();
+    w.key("error").value("queue full");
+    w.key("id").value(id);
+    w.end_object();
+    HttpResponse response = json_response(503, w.take());
+    response.headers.push_back({"Retry-After", "1"});
+    return response;
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("id").value(id);
+  w.key("state").value(manager.state_of(id));
+  w.key("priority").value(svc::to_string(priority));
+  w.end_object();
+  return json_response(202, w.take());
+}
+
+}  // namespace
+
+Router make_api_router(JobManager& manager, const AdmissionConfig& admission) {
+  Router router;
+
+  router.add("POST", "/v1/jobs",
+             [&manager, admission](const HttpRequest& request, const RouteParams&) {
+               return submit_job(manager, admission, request);
+             });
+
+  router.add("GET", "/v1/jobs", [&manager](const HttpRequest&, const RouteParams&) {
+    return json_response(200, manager.list_json());
+  });
+
+  router.add("GET", "/v1/jobs/{id}",
+             [&manager](const HttpRequest&, const RouteParams& params) {
+               const std::uint64_t id = parse_id(params);
+               const std::string status = id != 0 ? manager.status_json(id) : std::string();
+               if (status.empty()) return error_response(404, "no such job");
+               return json_response(200, status);
+             });
+
+  router.add("GET", "/v1/jobs/{id}/result",
+             [&manager](const HttpRequest&, const RouteParams& params) {
+               const std::uint64_t id = parse_id(params);
+               std::string doc;
+               std::string state;
+               if (id == 0 || !manager.result_doc(id, &doc, &state)) {
+                 return error_response(404, "no such job");
+               }
+               if (state != "done") {
+                 JsonWriter w;
+                 w.begin_object();
+                 w.key("error").value(state == "queued" || state == "running"
+                                          ? "job not finished"
+                                          : "job ended without a result");
+                 w.key("state").value(state);
+                 w.end_object();
+                 return json_response(409, w.take());
+               }
+               return json_response(200, std::move(doc));
+             });
+
+  router.add("GET", "/v1/jobs/{id}/events",
+             [&manager](const HttpRequest&, const RouteParams& params) {
+               const std::uint64_t id = parse_id(params);
+               if (id == 0 || !manager.exists(id)) {
+                 return error_response(404, "no such job");
+               }
+               manager.counters().sse_streams.fetch_add(1, std::memory_order_relaxed);
+               HttpResponse response;
+               response.sse = true;
+               response.sse_job = id;
+               return response;
+             });
+
+  router.add("DELETE", "/v1/jobs/{id}",
+             [&manager](const HttpRequest&, const RouteParams& params) {
+               const std::uint64_t id = parse_id(params);
+               if (id == 0 || !manager.exists(id)) {
+                 return error_response(404, "no such job");
+               }
+               const bool cancelled = manager.cancel(id);
+               JsonWriter w;
+               w.begin_object();
+               w.key("id").value(id);
+               w.key("cancelled").value(cancelled);
+               w.key("state").value(manager.state_of(id));
+               w.end_object();
+               return json_response(200, w.take());
+             });
+
+  router.add("GET", "/metrics", [&manager](const HttpRequest&, const RouteParams&) {
+    return json_response(200, manager.metrics_json());
+  });
+
+  router.add("GET", "/healthz", [&manager](const HttpRequest&, const RouteParams&) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("status").value("ok");
+    w.key("uptime_seconds").value(manager.uptime_seconds());
+    w.key("active_jobs").value(static_cast<std::uint64_t>(manager.active_jobs()));
+    w.end_object();
+    return json_response(200, w.take());
+  });
+
+  return router;
+}
+
+}  // namespace fsyn::net

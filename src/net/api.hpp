@@ -1,0 +1,29 @@
+// The flowsynthd REST surface, as a route table over JobManager.
+//
+//   POST   /v1/jobs             submit a job (wire.hpp spec) -> 202 {id}
+//                               429 + Retry-After when admission sheds it,
+//                               503 when the pool queue is full
+//   GET    /v1/jobs             list all known jobs
+//   GET    /v1/jobs/{id}        status document
+//   GET    /v1/jobs/{id}/result byte-exact result document (409 until done)
+//   GET    /v1/jobs/{id}/events SSE lifecycle stream (queued/running/stage/
+//                               done/...), resumable via Last-Event-ID
+//   DELETE /v1/jobs/{id}        cooperative cancel
+//   GET    /metrics             service + front-end counters as JSON
+//   GET    /healthz             liveness + uptime
+//
+// Kept separate from server.cpp so tests can dispatch requests against the
+// router without opening a socket.
+#pragma once
+
+#include "net/admission.hpp"
+#include "net/job_manager.hpp"
+#include "net/router.hpp"
+
+namespace fsyn::net {
+
+/// Builds the route table.  `manager` must outlive the router; `admission`
+/// is copied.
+Router make_api_router(JobManager& manager, const AdmissionConfig& admission);
+
+}  // namespace fsyn::net

@@ -1,0 +1,261 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace fsyn::net {
+
+namespace {
+
+void send_all(int fd, std::string_view data) {
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("send failed: ") + std::strerror(errno));
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+std::string build_request(const std::string& method, const std::string& target,
+                          const std::string& host, const std::string& body,
+                          const std::string& content_type) {
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  out += "Host: " + host + "\r\n";
+  out += "Connection: close\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    out += "Content-Type: " + content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+/// Parses "HTTP/1.1 200 OK\r\nName: value\r\n...\r\n\r\n"; returns the
+/// offset just past the blank line, npos while incomplete.
+std::size_t parse_response_head(const std::string& data, ClientResponse* response) {
+  const std::size_t end = data.find("\r\n\r\n");
+  if (end == std::string::npos) return std::string::npos;
+  std::size_t line_start = 0;
+  std::size_t line_end = data.find("\r\n", line_start);
+  {
+    const std::string status_line = data.substr(line_start, line_end - line_start);
+    const std::size_t sp = status_line.find(' ');
+    check_input(sp != std::string::npos && status_line.compare(0, 5, "HTTP/") == 0,
+                "malformed status line");
+    response->status = std::atoi(status_line.c_str() + sp + 1);
+    check_input(response->status >= 100 && response->status <= 599,
+                "malformed status code");
+  }
+  line_start = line_end + 2;
+  while (line_start < end) {
+    line_end = data.find("\r\n", line_start);
+    const std::string line = data.substr(line_start, line_end - line_start);
+    const std::size_t colon = line.find(':');
+    check_input(colon != std::string::npos, "malformed response header");
+    std::size_t value_start = colon + 1;
+    while (value_start < line.size() && line[value_start] == ' ') ++value_start;
+    response->headers.push_back({line.substr(0, colon), line.substr(value_start)});
+    line_start = line_end + 2;
+  }
+  return end + 4;
+}
+
+bool header_is(const std::vector<Header>& headers, std::string_view name,
+               std::string_view value) {
+  const std::string* found = find_header(headers, name);
+  if (found == nullptr) return false;
+  if (found->size() != value.size()) return false;
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>((*found)[i])) !=
+        std::tolower(static_cast<unsigned char>(value[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ApiClient::ApiClient(std::string host, int port, int timeout_ms)
+    : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
+
+int ApiClient::connect_fd() const {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  check_input(fd >= 0, std::string("socket() failed: ") + std::strerror(errno));
+
+  if (timeout_ms_ > 0) {
+    timeval tv{};
+    tv.tv_sec = timeout_ms_ / 1000;
+    tv.tv_usec = (timeout_ms_ % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw Error("bad host '" + host_ + "' (dotted quad expected)");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw Error("cannot connect to " + host_ + ":" + std::to_string(port_) + ": " +
+                std::strerror(saved));
+  }
+  return fd;
+}
+
+ClientResponse ApiClient::request(const std::string& method, const std::string& target,
+                                  const std::string& body,
+                                  const std::string& content_type) {
+  const int fd = connect_fd();
+  ClientResponse response;
+  try {
+    send_all(fd, build_request(method, target, host_, body, content_type));
+
+    std::string data;
+    char buffer[16 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw Error(std::string("recv failed: ") + std::strerror(errno));
+      }
+      if (n == 0) break;
+      data.append(buffer, static_cast<std::size_t>(n));
+    }
+
+    const std::size_t body_offset = parse_response_head(data, &response);
+    check_input(body_offset != std::string::npos, "truncated response");
+    const std::string raw_body = data.substr(body_offset);
+    if (header_is(response.headers, "Transfer-Encoding", "chunked")) {
+      ChunkedDecoder decoder;
+      check_input(decoder.feed(raw_body, &response.body) != ParseStatus::kError,
+                  "malformed chunked body");
+    } else {
+      response.body = raw_body;
+      if (const std::string* length = find_header(response.headers, "Content-Length")) {
+        const std::size_t expect =
+            static_cast<std::size_t>(std::strtoull(length->c_str(), nullptr, 10));
+        check_input(response.body.size() >= expect, "truncated response body");
+        response.body.resize(expect);
+      }
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  return response;
+}
+
+int ApiClient::watch(std::uint64_t job_id, const FrameHandler& on_frame,
+                     std::uint64_t after_seq) {
+  const int fd = connect_fd();
+  int status = 0;
+  try {
+    std::string head = "GET /v1/jobs/" + std::to_string(job_id) + "/events HTTP/1.1\r\n";
+    head += "Host: " + host_ + "\r\n";
+    head += "Accept: text/event-stream\r\n";
+    if (after_seq > 0) head += "Last-Event-ID: " + std::to_string(after_seq) + "\r\n";
+    head += "Connection: close\r\n\r\n";
+    send_all(fd, head);
+
+    std::string data;
+    ClientResponse response;
+    std::size_t body_offset = std::string::npos;
+    ChunkedDecoder decoder;
+    std::string stream;          ///< decoded SSE bytes
+    std::size_t frame_start = 0;
+    bool stop = false;
+    bool chunked = false;
+
+    char buffer[16 * 1024];
+    while (!stop) {
+      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw Error(std::string("recv failed: ") + std::strerror(errno));
+      }
+      if (n == 0) break;
+      if (body_offset == std::string::npos) {
+        data.append(buffer, static_cast<std::size_t>(n));
+        body_offset = parse_response_head(data, &response);
+        if (body_offset == std::string::npos) continue;
+        status = response.status;
+        chunked = header_is(response.headers, "Transfer-Encoding", "chunked");
+        if (status != 200) break;  // error body, not a stream
+        if (chunked) {
+          const ParseStatus ps = decoder.feed(data.substr(body_offset), &stream);
+          check_input(ps != ParseStatus::kError, "malformed chunked stream");
+        } else {
+          stream = data.substr(body_offset);
+        }
+      } else if (chunked) {
+        const ParseStatus ps =
+            decoder.feed(std::string_view(buffer, static_cast<std::size_t>(n)), &stream);
+        check_input(ps != ParseStatus::kError, "malformed chunked stream");
+      } else {
+        stream.append(buffer, static_cast<std::size_t>(n));
+      }
+
+      // Deliver every complete frame (terminated by a blank line).
+      for (;;) {
+        const std::size_t frame_end = stream.find("\n\n", frame_start);
+        if (frame_end == std::string::npos) break;
+        std::string event;
+        std::uint64_t seq = 0;
+        std::string payload;
+        std::size_t line_start = frame_start;
+        while (line_start < frame_end) {
+          std::size_t line_end = stream.find('\n', line_start);
+          if (line_end > frame_end) line_end = frame_end;
+          const std::string_view line(stream.data() + line_start, line_end - line_start);
+          if (line.rfind("event: ", 0) == 0) {
+            event.assign(line.substr(7));
+          } else if (line.rfind("id: ", 0) == 0) {
+            seq = std::strtoull(std::string(line.substr(4)).c_str(), nullptr, 10);
+          } else if (line.rfind("data: ", 0) == 0) {
+            if (!payload.empty()) payload += '\n';
+            payload.append(line.substr(6));
+          }
+          line_start = line_end + 1;
+        }
+        frame_start = frame_end + 2;
+        if (!on_frame(event, seq, payload)) {
+          stop = true;
+          break;
+        }
+      }
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  return status;
+}
+
+}  // namespace fsyn::net

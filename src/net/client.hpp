@@ -1,0 +1,62 @@
+// Minimal blocking HTTP client for flowsynthd.
+//
+// One connection per request (`Connection: close`) keeps the state machine
+// trivial — the client half exists for the `flowsynth client` subcommands,
+// the loopback tests and the benchmark, none of which need connection
+// reuse.  `watch` streams `GET /v1/jobs/{id}/events`, decoding the chunked
+// transfer coding and the SSE framing incrementally and invoking the
+// callback per frame until the job reaches a terminal state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/http.hpp"
+
+namespace fsyn::net {
+
+struct ClientResponse {
+  int status = 0;
+  std::vector<Header> headers;
+  std::string body;
+};
+
+class ApiClient {
+ public:
+  /// `timeout_ms` bounds connect and each recv; 0 disables.
+  ApiClient(std::string host, int port, int timeout_ms = 30000);
+
+  /// Performs one request; throws fsyn::Error on connection failures or a
+  /// malformed response (HTTP error statuses are returned, not thrown).
+  ClientResponse request(const std::string& method, const std::string& target,
+                         const std::string& body = std::string(),
+                         const std::string& content_type = "application/json");
+
+  ClientResponse get(const std::string& target) { return request("GET", target); }
+  ClientResponse post(const std::string& target, const std::string& body) {
+    return request("POST", target, body);
+  }
+  ClientResponse del(const std::string& target) { return request("DELETE", target); }
+
+  /// Frame callback for `watch`; return false to stop streaming early.
+  using FrameHandler = std::function<bool(const std::string& event, std::uint64_t seq,
+                                          const std::string& data)>;
+
+  /// Streams a job's SSE events from `after_seq` until the stream ends (the
+  /// job reached a terminal state) or the handler declines to continue.
+  /// Returns the HTTP status of the stream response (frames only flow on
+  /// 200).
+  int watch(std::uint64_t job_id, const FrameHandler& on_frame,
+            std::uint64_t after_seq = 0);
+
+ private:
+  int connect_fd() const;
+
+  std::string host_;
+  int port_;
+  int timeout_ms_;
+};
+
+}  // namespace fsyn::net

@@ -1,0 +1,285 @@
+#include "net/http.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace fsyn::net {
+
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view strip(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' || text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
+const std::string* find_header(const std::vector<Header>& headers, std::string_view name) {
+  for (const Header& header : headers) {
+    if (iequals(header.name, name)) return &header.value;
+  }
+  return nullptr;
+}
+
+std::string HttpRequest::path() const {
+  const std::size_t query = target.find('?');
+  return query == std::string::npos ? target : target.substr(0, query);
+}
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Status";
+  }
+}
+
+std::string serialize_response(const HttpResponse& response, bool keep_alive) {
+  std::string out;
+  out += "HTTP/1.1 " + std::to_string(response.status) + " " +
+         reason_phrase(response.status) + "\r\n";
+  out += "Server: flowsynthd\r\n";
+  if (response.sse) {
+    out += "Content-Type: text/event-stream\r\n";
+    out += "Cache-Control: no-store\r\n";
+    out += "Transfer-Encoding: chunked\r\n";
+  } else {
+    out += "Content-Type: " + response.content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  }
+  for (const Header& header : response.headers) {
+    out += header.name + ": " + header.value + "\r\n";
+  }
+  out += keep_alive && !response.sse ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  if (!response.sse) out += response.body;
+  return out;
+}
+
+std::string chunk_encode(std::string_view data) {
+  char size[20];
+  std::snprintf(size, sizeof(size), "%zx\r\n", data.size());
+  std::string out(size);
+  out.append(data);
+  out += "\r\n";
+  return out;
+}
+
+std::string sse_frame(std::string_view event, std::uint64_t id, std::string_view data) {
+  std::string out;
+  out += "event: ";
+  out += event;
+  out += "\nid: " + std::to_string(id) + "\n";
+  std::size_t start = 0;
+  while (start <= data.size()) {
+    const std::size_t end = data.find('\n', start);
+    out += "data: ";
+    out += data.substr(start, end == std::string_view::npos ? std::string_view::npos
+                                                            : end - start);
+    out += '\n';
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  out += '\n';
+  return out;
+}
+
+ParseStatus HttpRequestParser::fail(int status, std::string reason) {
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+  return ParseStatus::kError;
+}
+
+ParseStatus HttpRequestParser::feed(std::string_view data) {
+  if (error_status_ != 0) return ParseStatus::kError;
+  buffer_.append(data);
+
+  if (!headers_done_) {
+    const ParseStatus status = parse_headers();
+    if (status != ParseStatus::kComplete) return status;
+  }
+  if (buffer_.size() - body_offset_ < body_bytes_) return ParseStatus::kNeedMore;
+  request_.body = buffer_.substr(body_offset_, body_bytes_);
+  return ParseStatus::kComplete;
+}
+
+ParseStatus HttpRequestParser::parse_headers() {
+  // Find the end of the header section; tolerate bare-LF line endings.
+  std::size_t header_end = buffer_.find("\r\n\r\n");
+  std::size_t separator = 4;
+  {
+    const std::size_t lf = buffer_.find("\n\n");
+    if (lf != std::string::npos && (header_end == std::string::npos || lf < header_end)) {
+      header_end = lf;
+      separator = 2;
+    }
+  }
+  if (header_end == std::string::npos) {
+    if (buffer_.size() > limits_.max_header_bytes) {
+      return fail(431, "header section exceeds " +
+                           std::to_string(limits_.max_header_bytes) + " bytes");
+    }
+    return ParseStatus::kNeedMore;
+  }
+  if (header_end > limits_.max_header_bytes) {
+    return fail(431, "header section exceeds " + std::to_string(limits_.max_header_bytes) +
+                         " bytes");
+  }
+
+  const std::string_view head(buffer_.data(), header_end);
+  std::size_t line_start = 0;
+  bool first = true;
+  while (line_start <= head.size()) {
+    std::size_t line_end = head.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = head.size();
+    const std::string_view line = strip(head.substr(line_start, line_end - line_start));
+    line_start = line_end + 1;
+    if (first) {
+      first = false;
+      // METHOD SP target SP HTTP/x.y
+      const std::size_t sp1 = line.find(' ');
+      const std::size_t sp2 = line.rfind(' ');
+      if (sp1 == std::string_view::npos || sp2 == sp1) {
+        return fail(400, "malformed request line");
+      }
+      request_.method = std::string(line.substr(0, sp1));
+      request_.target = std::string(strip(line.substr(sp1 + 1, sp2 - sp1 - 1)));
+      request_.version = std::string(line.substr(sp2 + 1));
+      if (request_.method.empty() || request_.target.empty() ||
+          request_.target[0] != '/') {
+        return fail(400, "malformed request line");
+      }
+      if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+        return fail(505, "unsupported HTTP version '" + request_.version + "'");
+      }
+      continue;
+    }
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return fail(400, "malformed header line");
+    }
+    Header header;
+    header.name = std::string(strip(line.substr(0, colon)));
+    header.value = std::string(strip(line.substr(colon + 1)));
+    request_.headers.push_back(std::move(header));
+  }
+
+  // Framing: Content-Length only.  A request that tries to chunk its body
+  // is refused rather than mis-framed.
+  if (request_.header("Transfer-Encoding") != nullptr) {
+    return fail(501, "chunked request bodies are not supported");
+  }
+  body_bytes_ = 0;
+  if (const std::string* length = request_.header("Content-Length")) {
+    std::size_t parsed = 0;
+    for (const char c : *length) {
+      if (c < '0' || c > '9' || parsed > limits_.max_body_bytes) {
+        return fail(c < '0' || c > '9' ? 400 : 413, "bad Content-Length '" + *length + "'");
+      }
+      parsed = parsed * 10 + static_cast<std::size_t>(c - '0');
+    }
+    if (parsed > limits_.max_body_bytes) {
+      return fail(413, "body exceeds " + std::to_string(limits_.max_body_bytes) + " bytes");
+    }
+    body_bytes_ = parsed;
+  } else if (request_.method == "POST" || request_.method == "PUT") {
+    return fail(411, "missing Content-Length");
+  }
+
+  request_.keep_alive = request_.version == "HTTP/1.1";
+  if (const std::string* connection = request_.header("Connection")) {
+    if (iequals(*connection, "close")) request_.keep_alive = false;
+    if (iequals(*connection, "keep-alive")) request_.keep_alive = true;
+  }
+
+  headers_done_ = true;
+  body_offset_ = header_end + separator;
+  return ParseStatus::kComplete;
+}
+
+void HttpRequestParser::reset() {
+  const std::size_t consumed = body_offset_ + body_bytes_;
+  buffer_.erase(0, consumed);
+  request_ = HttpRequest();
+  headers_done_ = false;
+  body_bytes_ = 0;
+  body_offset_ = 0;
+  error_status_ = 0;
+  error_reason_.clear();
+}
+
+ParseStatus ChunkedDecoder::feed(std::string_view data, std::string* out) {
+  if (done_) return ParseStatus::kComplete;
+  buffer_.append(data);
+  for (;;) {
+    if (in_chunk_) {
+      const std::size_t take = std::min(remaining_, buffer_.size());
+      out->append(buffer_, 0, take);
+      buffer_.erase(0, take);
+      remaining_ -= take;
+      if (remaining_ > 0) return ParseStatus::kNeedMore;
+      in_chunk_ = false;  // the trailing CRLF shows up as an empty size line
+      continue;
+    }
+    const std::size_t line_end = buffer_.find('\n');
+    if (line_end == std::string::npos) {
+      if (buffer_.size() > 64) return ParseStatus::kError;  // absurd size line
+      return ParseStatus::kNeedMore;
+    }
+    const std::string_view line =
+        strip(std::string_view(buffer_).substr(0, line_end));
+    if (line.empty()) {  // CRLF terminating the previous chunk's data
+      buffer_.erase(0, line_end + 1);
+      continue;
+    }
+    std::size_t size = 0;
+    for (const char c : line) {
+      if (c == ';') break;  // chunk extensions: ignored
+      int digit;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+      else return ParseStatus::kError;
+      size = size * 16 + static_cast<std::size_t>(digit);
+    }
+    buffer_.erase(0, line_end + 1);
+    if (size == 0) {
+      done_ = true;
+      return ParseStatus::kComplete;
+    }
+    in_chunk_ = true;
+    remaining_ = size;
+  }
+}
+
+}  // namespace fsyn::net

@@ -1,0 +1,133 @@
+// HTTP/1.1 message primitives for the flowsynthd front-end.
+//
+// Dependency-free (POSIX sockets live in server.cpp/client.cpp; this file
+// is pure string handling): an incremental request parser with hard limits
+// on header and body size so a malformed or hostile peer is answered with
+// a 4xx instead of unbounded buffering, response serialization with
+// keep-alive handling, chunked transfer encoding for streamed responses,
+// and Server-Sent-Events frame formatting for `GET /v1/jobs/{id}/events`.
+//
+// The parser is tolerant where tolerance is cheap (bare-LF line endings,
+// arbitrary header order) and strict where it matters (one request at a
+// time, Content-Length only — a request with Transfer-Encoding is answered
+// 501 rather than guessed at).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fsyn::net {
+
+struct Header {
+  std::string name;
+  std::string value;
+};
+
+/// Case-insensitive header lookup; nullptr when absent.
+const std::string* find_header(const std::vector<Header>& headers, std::string_view name);
+
+struct HttpRequest {
+  std::string method;   ///< uppercase verb as sent (GET, POST, DELETE, ...)
+  std::string target;   ///< raw request target, query string included
+  std::string version;  ///< "HTTP/1.0" or "HTTP/1.1"
+  std::vector<Header> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  const std::string* header(std::string_view name) const {
+    return find_header(headers, name);
+  }
+  /// Target with any query string stripped.
+  std::string path() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::vector<Header> headers;  ///< extra headers (Retry-After, ...)
+  std::string body;
+  /// Set by the events handler: after the headers the server keeps the
+  /// connection open and streams SSE frames for this job id.
+  bool sse = false;
+  std::uint64_t sse_job = 0;
+};
+
+const char* reason_phrase(int status);
+
+/// Serializes status line + headers + body.  With `sse` set the body is
+/// omitted and the response advertises `Content-Type: text/event-stream`
+/// + `Transfer-Encoding: chunked`; the caller then writes `chunk_encode`d
+/// SSE frames followed by `kLastChunk`.
+std::string serialize_response(const HttpResponse& response, bool keep_alive);
+
+/// One chunk of a chunked transfer encoding (hex size, CRLF, data, CRLF).
+std::string chunk_encode(std::string_view data);
+inline constexpr std::string_view kLastChunk = "0\r\n\r\n";
+
+/// A Server-Sent-Events frame: `event:`/`id:`/`data:` lines + blank line.
+/// Multi-line data is split into one `data:` line per line, per the spec.
+std::string sse_frame(std::string_view event, std::uint64_t id, std::string_view data);
+
+enum class ParseStatus {
+  kNeedMore,  ///< incomplete; feed more bytes
+  kComplete,  ///< request() is valid; leftover bytes kept for pipelining
+  kError      ///< protocol error; error_status()/error_reason() describe it
+};
+
+class HttpRequestParser {
+ public:
+  struct Limits {
+    std::size_t max_header_bytes = 16 * 1024;
+    std::size_t max_body_bytes = 4 * 1024 * 1024;
+  };
+
+  HttpRequestParser() = default;
+  explicit HttpRequestParser(Limits limits) : limits_(limits) {}
+
+  /// Appends bytes and attempts to complete a request.  After kError the
+  /// parser is poisoned (the connection should be closed after the error
+  /// response); after kComplete call `reset()` to start on the next
+  /// pipelined request.
+  ParseStatus feed(std::string_view data);
+  /// Re-checks the buffered bytes without new input (used after reset()).
+  ParseStatus advance() { return feed(std::string_view()); }
+
+  const HttpRequest& request() const { return request_; }
+  int error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  /// Drops the completed request, keeping unconsumed (pipelined) bytes.
+  void reset();
+
+ private:
+  ParseStatus fail(int status, std::string reason);
+  ParseStatus parse_headers();
+
+  Limits limits_;
+  std::string buffer_;
+  HttpRequest request_;
+  bool headers_done_ = false;
+  std::size_t body_bytes_ = 0;     ///< Content-Length once headers parsed
+  std::size_t body_offset_ = 0;    ///< offset of the body inside buffer_
+  int error_status_ = 0;
+  std::string error_reason_;
+};
+
+/// Incremental decoder for chunked transfer coding (client side).
+class ChunkedDecoder {
+ public:
+  /// Decodes as much of `data` as possible, appending to `out`.
+  /// kComplete after the terminating 0-chunk; kError on malformed framing.
+  ParseStatus feed(std::string_view data, std::string* out);
+
+ private:
+  std::string buffer_;
+  std::size_t remaining_ = 0;  ///< bytes left in the current chunk
+  bool in_chunk_ = false;
+  bool done_ = false;
+};
+
+}  // namespace fsyn::net

@@ -1,0 +1,156 @@
+#include "net/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
+
+namespace fsyn::net {
+
+std::vector<JournalRecord> JobJournal::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  require(fd_ < 0, "journal already open");
+
+  // Read whatever a previous process left behind before appending to it.
+  std::string existing;
+  {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd >= 0) {
+      char buffer[1 << 16];
+      ssize_t n;
+      while ((n = ::read(fd, buffer, sizeof(buffer))) > 0) {
+        existing.append(buffer, static_cast<std::size_t>(n));
+      }
+      ::close(fd);
+    }
+  }
+
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  check_input(fd_ >= 0, "cannot open journal '" + path + "': " + std::strerror(errno));
+
+  std::vector<JournalRecord> records = parse(existing, &stats_.torn_lines);
+  stats_.replayed_records = static_cast<long>(records.size());
+  return records;
+}
+
+std::vector<JournalRecord> JobJournal::parse(const std::string& text, long* torn) {
+  std::vector<JournalRecord> records;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    const bool complete = end != std::string::npos;
+    const std::string line =
+        text.substr(start, complete ? end - start : std::string::npos);
+    start = complete ? end + 1 : text.size();
+    if (line.empty()) continue;
+    if (!complete) {
+      // The crash hit mid-append; the record was never acknowledged.
+      if (torn != nullptr) ++*torn;
+      break;
+    }
+    try {
+      const JsonValue doc = JsonValue::parse(line);
+      JournalRecord record;
+      const std::string& event = doc.at("event").as_string();
+      record.id = static_cast<std::uint64_t>(doc.at("id").as_int());
+      if (event == "accepted") {
+        record.type = JournalRecord::Type::kAccepted;
+        record.priority = doc.at("priority").as_string();
+        record.spec_json = doc.at("spec").dump();
+      } else if (event == "finished") {
+        record.type = JournalRecord::Type::kFinished;
+        record.status = doc.at("status").as_string();
+        if (const JsonValue* result = doc.find("result_doc")) {
+          record.result_doc = result->as_string();
+        }
+        if (const JsonValue* error = doc.find("error")) {
+          record.error = error->as_string();
+        }
+      } else {
+        throw Error("unknown journal event '" + event + "'");
+      }
+      records.push_back(std::move(record));
+    } catch (const Error& e) {
+      // A complete-but-corrupt line: count it and keep replaying — one bad
+      // record must not take the whole journal down.
+      if (torn != nullptr) ++*torn;
+      log_error("journal: dropping corrupt line: ", e.what());
+    }
+  }
+  return records;
+}
+
+void JobJournal::append_line(const std::string& line) {
+  // Caller holds mutex_.  A single write() keeps the line contiguous; the
+  // worst a crash can do is truncate it, which replay tolerates.
+  const char* data = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("journal write failed: ") + std::strerror(errno));
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  ++stats_.appends;
+  ::fsync(fd_);
+  ++stats_.fsyncs;
+}
+
+void JobJournal::append_accepted(std::uint64_t id, const std::string& priority,
+                                 const std::string& spec_json) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;
+  JsonWriter w;
+  w.begin_object();
+  w.key("event").value("accepted");
+  w.key("id").value(id);
+  w.key("priority").value(priority);
+  w.key("spec").raw(spec_json);
+  w.end_object();
+  append_line(w.take() + "\n");
+}
+
+void JobJournal::append_finished(std::uint64_t id, const std::string& status,
+                                 const std::string& result_doc, const std::string& error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;
+  JsonWriter w;
+  w.begin_object();
+  w.key("event").value("finished");
+  w.key("id").value(id);
+  w.key("status").value(status);
+  if (!result_doc.empty()) w.key("result_doc").value(result_doc);
+  if (!error.empty()) w.key("error").value(error);
+  w.end_object();
+  append_line(w.take() + "\n");
+}
+
+void JobJournal::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;
+  ::fsync(fd_);
+  ++stats_.fsyncs;
+}
+
+void JobJournal::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;
+  ::fsync(fd_);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+JournalStats JobJournal::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace fsyn::net

@@ -1,0 +1,106 @@
+#include "net/router.hpp"
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
+
+namespace fsyn::net {
+
+namespace {
+
+std::string error_body(std::string_view message) {
+  JsonWriter w;
+  w.begin_object().key("error").value(message).end_object();
+  return w.take();
+}
+
+}  // namespace
+
+const std::string* find_param(const RouteParams& params, std::string_view name) {
+  for (const auto& [key, value] : params) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+void Router::add(std::string method, std::string pattern, RouteHandler handler) {
+  Route route;
+  route.method = std::move(method);
+  route.segments = split_path(pattern);
+  route.handler = std::move(handler);
+  routes_.push_back(std::move(route));
+}
+
+std::vector<std::string> Router::split_path(std::string_view path) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start < path.size()) {
+    if (path[start] == '/') {
+      ++start;
+      continue;
+    }
+    std::size_t end = path.find('/', start);
+    if (end == std::string_view::npos) end = path.size();
+    parts.emplace_back(path.substr(start, end - start));
+    start = end;
+  }
+  return parts;
+}
+
+bool Router::match(const Route& route, const std::vector<std::string>& parts,
+                   RouteParams* params) {
+  if (route.segments.size() != parts.size()) return false;
+  params->clear();
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const std::string& segment = route.segments[i];
+    if (segment.size() >= 2 && segment.front() == '{' && segment.back() == '}') {
+      params->emplace_back(segment.substr(1, segment.size() - 2), parts[i]);
+    } else if (segment != parts[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+HttpResponse Router::dispatch(const HttpRequest& request) const {
+  const std::vector<std::string> parts = split_path(request.path());
+  RouteParams params;
+  std::string allowed;  // methods that matched the path but not the verb
+  for (const Route& route : routes_) {
+    if (!match(route, parts, &params)) continue;
+    if (route.method != request.method) {
+      if (!allowed.empty()) allowed += ", ";
+      allowed += route.method;
+      continue;
+    }
+    try {
+      return route.handler(request, params);
+    } catch (const Error& e) {
+      // Recoverable input errors (bad JSON, unknown benchmark, ...) are the
+      // client's fault.
+      HttpResponse response;
+      response.status = 400;
+      response.body = error_body(e.what());
+      return response;
+    } catch (const std::exception& e) {
+      log_error("net: handler for ", request.method, " ", request.path(),
+                " threw: ", e.what());
+      HttpResponse response;
+      response.status = 500;
+      response.body = error_body("internal error");
+      return response;
+    }
+  }
+  HttpResponse response;
+  if (!allowed.empty()) {
+    response.status = 405;
+    response.headers.push_back({"Allow", allowed});
+    response.body = error_body("method " + request.method + " not allowed");
+  } else {
+    response.status = 404;
+    response.body = error_body("no route for " + request.path());
+  }
+  return response;
+}
+
+}  // namespace fsyn::net

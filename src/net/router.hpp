@@ -1,0 +1,53 @@
+// Declarative HTTP route table.
+//
+// Routes are added as `method` + `pattern` pairs where pattern segments of
+// the form `{name}` capture the corresponding path segment:
+//
+//   router.add("GET", "/v1/jobs/{id}", handler);
+//
+// `dispatch` matches the request path segment-by-segment and calls the
+// handler with the captured parameters.  A path that matches no pattern is
+// a 404; a path whose pattern exists only under other methods is a 405
+// with an `Allow` header — the distinction malformed clients need.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "net/http.hpp"
+
+namespace fsyn::net {
+
+/// Captured `{name}` → segment pairs, in pattern order.
+using RouteParams = std::vector<std::pair<std::string, std::string>>;
+
+const std::string* find_param(const RouteParams& params, std::string_view name);
+
+using RouteHandler = std::function<HttpResponse(const HttpRequest&, const RouteParams&)>;
+
+class Router {
+ public:
+  void add(std::string method, std::string pattern, RouteHandler handler);
+
+  /// Routes the request; never throws (handler exceptions become 500s,
+  /// fsyn::Error from a handler becomes a 400 with the message as body).
+  HttpResponse dispatch(const HttpRequest& request) const;
+
+ private:
+  struct Route {
+    std::string method;
+    std::vector<std::string> segments;  ///< "{name}" entries capture
+    RouteHandler handler;
+  };
+
+  static std::vector<std::string> split_path(std::string_view path);
+  static bool match(const Route& route, const std::vector<std::string>& parts,
+                    RouteParams* params);
+
+  std::vector<Route> routes_;
+};
+
+}  // namespace fsyn::net

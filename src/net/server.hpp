@@ -1,0 +1,96 @@
+// Single-threaded HTTP front-end for the batch-synthesis service.
+//
+// A poll() readiness loop multiplexes the listener, every client
+// connection and a self-pipe: worker threads (job lifecycle events) and
+// signal handlers (shutdown) write one byte to the pipe, which wakes the
+// loop without any locking in the reactor itself.  All request handling is
+// inline — handlers only enqueue work and read bookkeeping, the synthesis
+// runs on the BatchService pool — so one thread comfortably serves the
+// control plane while the workers saturate the cores.
+//
+// Shutdown (`request_stop`, async-signal-safe) is graceful and bounded:
+// the listener closes immediately, queued jobs are cancelled, running jobs
+// get `grace_ms` to finish (their SSE watchers see the terminal event),
+// then everything left is cancelled, the journal fsync'd, and serve()
+// returns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "net/http.hpp"
+#include "net/job_manager.hpp"
+#include "net/router.hpp"
+
+namespace fsyn::net {
+
+class HttpServer {
+ public:
+  struct Config {
+    std::string bind_address = "127.0.0.1";
+    int port = 8080;  ///< 0 = ephemeral (port() reports the actual one)
+    int backlog = 64;
+    int max_connections = 256;
+    int grace_ms = 5000;  ///< drain budget for running jobs on shutdown
+    HttpRequestParser::Limits limits;
+  };
+
+  HttpServer(Config config, JobManager& manager, Router router);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds + listens; throws fsyn::Error on failure.
+  void bind();
+  /// Actual listening port (after bind()).
+  int port() const { return port_; }
+
+  /// Runs the reactor until request_stop() completes the drain.
+  void serve();
+
+  /// Initiates graceful shutdown.  Async-signal-safe (one atomic store +
+  /// one pipe write); callable from any thread or a signal handler.
+  void request_stop();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    HttpRequestParser parser;
+    std::string outbox;
+    std::size_t out_offset = 0;
+    bool close_after_flush = false;
+    bool sse_active = false;
+    bool sse_done = false;  ///< terminal frame + last chunk already queued
+    std::uint64_t sse_job = 0;
+    std::uint64_t sse_last_seq = 0;
+
+    explicit Connection(HttpRequestParser::Limits limits) : parser(limits) {}
+    bool wants_write() const { return out_offset < outbox.size(); }
+  };
+
+  void wake();
+  void accept_ready();
+  void read_ready(Connection& connection);
+  bool write_ready(Connection& connection);  ///< false = connection closed
+  void handle_request(Connection& connection, const HttpRequest& request);
+  void start_sse(Connection& connection, const HttpRequest& request,
+                 std::uint64_t job_id);
+  void pump_sse(Connection& connection);
+  void close_connection(int fd);
+
+  Config config_;
+  JobManager& manager_;
+  Router router_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::atomic<bool> stop_requested_{false};
+
+  std::map<int, Connection> connections_;
+};
+
+}  // namespace fsyn::net

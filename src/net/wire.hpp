@@ -1,0 +1,38 @@
+// Wire representation of synthesis/reliability job specs.
+//
+// `POST /v1/jobs` bodies are strict JSON (util/json) of the form
+//
+//   {"kind": "synthesis", "assay": "pcr", "policy": 2, "seed": 2015,
+//    "priority": "interactive", "deadline_ms": 30000, ...}
+//
+// where "assay" names a built-in benchmark and "dsl" (mutually exclusive)
+// carries an inline assay program — the server never reads files named by
+// clients.  Unknown top-level keys are rejected so typos fail loudly with
+// a 400 instead of silently running the wrong job.  `parse_wire_spec`
+// returns both the ready-to-submit svc::JobSpec and a compact canonical
+// re-serialization used for the journal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "svc/service.hpp"
+
+namespace fsyn::net {
+
+struct WireSpec {
+  svc::JobSpec spec;      ///< graph/options filled; id/hooks left to the caller
+  std::string assay_ref;  ///< benchmark name, or "(inline)" for dsl specs
+  std::uint64_t seed = 2015;  ///< provenance echoed into the result document
+  int policy_increments = 0;
+  bool asap = false;
+  std::string canonical;  ///< compact canonical JSON (journal/replay form)
+};
+
+/// Parses and validates a wire spec; throws fsyn::Error on malformed
+/// JSON, unknown keys, unknown benchmarks or bad field types.
+WireSpec parse_wire_spec(const std::string& json_text);
+
+svc::JobPriority priority_from_string(const std::string& name);
+
+}  // namespace fsyn::net

@@ -7,6 +7,7 @@
 
 #include "obs/trace.hpp"
 #include "sched/list_scheduler.hpp"
+#include "util/error.hpp"
 #include "util/logging.hpp"
 
 namespace fsyn::svc {
@@ -37,30 +38,101 @@ const char* to_string(JobStatus status) {
   return "?";
 }
 
+const char* to_string(JobPriority priority) {
+  switch (priority) {
+    case JobPriority::kInteractive: return "interactive";
+    case JobPriority::kBatch: return "batch";
+    case JobPriority::kBackground: return "background";
+  }
+  return "?";
+}
+
 BatchService::BatchService(Config config)
     : config_(config), cache_(config.cache_capacity),
       pool_(default_workers(config.workers), config.queue_capacity, config.overflow) {}
 
 std::future<JobResult> BatchService::submit(JobSpec spec) {
   metrics_.job_submitted();
-  auto promise = std::make_shared<std::promise<JobResult>>();
-  std::future<JobResult> future = promise->get_future();
+  if (spec.id == 0) spec.id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
 
-  const Clock::time_point enqueued = Clock::now();
+  Pending pending;
+  pending.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  pending.enqueued = Clock::now();
   // The shared_ptr keeps the spec alive inside the queue; jobs can be
   // large (a whole sequencing graph), so they are moved, never copied.
-  auto job = std::make_shared<JobSpec>(std::move(spec));
-  const bool accepted = pool_.submit([this, job, promise, enqueued] {
-    promise->set_value(run_job(*job, enqueued));
-  });
-  if (!accepted) {
-    metrics_.job_rejected();
-    JobResult rejected;
-    rejected.status = JobStatus::kRejected;
-    rejected.error = "job queue full (reject policy) or service shutting down";
-    promise->set_value(std::move(rejected));
+  pending.spec = std::make_shared<JobSpec>(std::move(spec));
+  pending.promise = std::make_shared<std::promise<JobResult>>();
+  std::future<JobResult> future = pending.promise->get_future();
+
+  const std::uint64_t id = pending.spec->id;
+  const std::uint64_t seq = pending.seq;
+  const JobObserver observer = pending.spec->on_phase;
+  const auto klass = static_cast<std::size_t>(pending.spec->priority);
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_[klass].push_back(std::move(pending));
   }
+  // The ticket is anonymous: whichever worker runs it picks the most
+  // urgent pending job, which is what turns the pool's FIFO into a
+  // priority queue without touching the pool itself.
+  const bool accepted = pool_.submit([this] { run_next_pending(); });
+  if (accepted) {
+    if (observer) observer(id, JobPhase::kQueued, nullptr, nullptr);
+    return future;
+  }
+
+  // The ticket was rejected, so one pending entry has no ticket.  Prefer
+  // evicting the entry just pushed; when an already-issued ticket consumed
+  // it in the meantime, evict the newest entry of the least urgent class
+  // instead (counts stay consistent: #tickets == #pending afterwards).
+  Pending victim;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    auto& own = pending_[klass];
+    for (auto it = own.begin(); it != own.end(); ++it) {
+      if (it->seq == seq) {
+        victim = std::move(*it);
+        own.erase(it);
+        found = true;
+        break;
+      }
+    }
+    for (std::size_t c = pending_.size(); !found && c-- > 0;) {
+      if (!pending_[c].empty()) {
+        victim = std::move(pending_[c].back());
+        pending_[c].pop_back();
+        found = true;
+      }
+    }
+  }
+  require(found, "rejected submit with no pending entry to evict");
+  metrics_.job_rejected();
+  JobResult rejected;
+  rejected.status = JobStatus::kRejected;
+  rejected.job_id = victim.spec->id;
+  rejected.error = "job queue full (reject policy) or service shutting down";
+  if (victim.spec->on_phase) {
+    victim.spec->on_phase(victim.spec->id, JobPhase::kFinished, nullptr, &rejected);
+  }
+  victim.promise->set_value(std::move(rejected));
   return future;
+}
+
+void BatchService::run_next_pending() {
+  Pending pending;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    for (auto& klass : pending_) {
+      if (!klass.empty()) {
+        pending = std::move(klass.front());
+        klass.pop_front();
+        break;
+      }
+    }
+  }
+  require(pending.spec != nullptr, "pool ticket without a pending job");
+  pending.promise->set_value(run_job(*pending.spec, pending.enqueued));
 }
 
 MetricsSnapshot BatchService::metrics() const {
@@ -75,7 +147,13 @@ JobResult BatchService::run_job(JobSpec& spec, Clock::time_point enqueued) {
   metrics_.job_started();
   const Clock::time_point started = Clock::now();
 
+  const auto notify = [&spec](JobPhase phase, const char* stage, const JobResult* result) {
+    if (spec.on_phase) spec.on_phase(spec.id, phase, stage, result);
+  };
+  notify(JobPhase::kStarted, nullptr, nullptr);
+
   JobResult out;
+  out.job_id = spec.id;
   out.queue_seconds = seconds_between(enqueued, started);
   metrics_.add_queue_time(started - enqueued);
 
@@ -98,6 +176,7 @@ JobResult BatchService::run_job(JobSpec& spec, Clock::time_point enqueued) {
   try {
     // Scheduling is deterministic and cheap; it runs inside the worker so
     // the submitter never blocks on assay-sized work.
+    notify(JobPhase::kStage, "schedule", nullptr);
     const sched::Schedule schedule = [&] {
       obs::Span span("svc", "schedule");
       return spec.asap ? sched::schedule_asap(spec.graph)
@@ -118,6 +197,8 @@ JobResult BatchService::run_job(JobSpec& spec, Clock::time_point enqueued) {
       out.run_seconds = seconds_between(started, finished);
       metrics_.add_total_time(finished - enqueued);
       close_job_span();
+      notify(JobPhase::kStage, "cache", nullptr);
+      notify(JobPhase::kFinished, nullptr, &out);
       return out;
     }
 
@@ -144,7 +225,9 @@ JobResult BatchService::run_job(JobSpec& spec, Clock::time_point enqueued) {
       out.result = std::move(cached);
       out.cache_hit = true;
       out.winner = "cache";
+      notify(JobPhase::kStage, "cache", nullptr);
     } else {
+      notify(JobPhase::kStage, "synthesize", nullptr);
       const Clock::time_point synth_started = Clock::now();
       synth::SynthesisResult result;
       if (config_.portfolio.enabled && spec.options.mapper == synth::MapperKind::kHeuristic) {
@@ -171,6 +254,7 @@ JobResult BatchService::run_job(JobSpec& spec, Clock::time_point enqueued) {
 
     if (spec.kind == JobKind::kReliability) {
       metrics_.reliability_job();
+      notify(JobPhase::kStage, "reliability", nullptr);
       obs::Span rel_span("svc", "reliability " + spec.name);
       rel::ReliabilityOptions ropts = spec.reliability;
       ropts.synthesis = spec.options;  // same mapper/limits for repair rounds
@@ -207,6 +291,7 @@ JobResult BatchService::run_job(JobSpec& spec, Clock::time_point enqueued) {
   out.run_seconds = seconds_between(started, finished);
   metrics_.add_total_time(finished - enqueued);
   close_job_span();
+  notify(JobPhase::kFinished, nullptr, &out);
   return out;
 }
 

@@ -25,8 +25,14 @@
 //    cache traffic, and serializes to JSON.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
 #include <future>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -64,8 +70,45 @@ enum class JobKind {
   kReliability  ///< synthesize (cache-aware), then run rel::analyze on it
 };
 
+/// Scheduling class of a job.  Lower values run first: the service keeps
+/// one pending deque per class and every pool worker picks the oldest job
+/// of the most urgent non-empty class, so an interactive request overtakes
+/// any amount of queued background re-synthesis without preempting work
+/// that already started.
+enum class JobPriority {
+  kInteractive = 0,  ///< a user is waiting (served API requests)
+  kBatch = 1,        ///< bulk sweeps (the default; the original behaviour)
+  kBackground = 2    ///< deferred work, e.g. fleet re-synthesis after faults
+};
+
+const char* to_string(JobPriority priority);
+
+/// Lifecycle points reported to `JobSpec::on_phase`.
+enum class JobPhase {
+  kQueued,    ///< accepted into the pending queue (fires on the submitter)
+  kStarted,   ///< a worker picked the job up
+  kStage,     ///< entering a pipeline stage; `stage` names it
+  kFinished   ///< terminal; `result` carries the outcome (incl. rejection)
+};
+
+/// Observer invoked at job lifecycle transitions.  kQueued fires on the
+/// submitting thread, everything else on the worker running the job; no
+/// service locks are held during the call, but the observer must still be
+/// cheap and thread-safe — it runs inline with the job.  `stage` is only
+/// non-null for kStage ("schedule", "cache", "synthesize", "reliability");
+/// `result` only for kFinished.
+using JobObserver =
+    std::function<void(std::uint64_t id, JobPhase phase, const char* stage,
+                       const struct JobResult* result)>;
+
 struct JobSpec {
   JobKind kind = JobKind::kSynthesis;
+  /// Unique job id, echoed in JobResult and the observer calls.  0 lets
+  /// the service assign one; callers that journal the job before
+  /// submitting (the network front-end) pass their own.
+  std::uint64_t id = 0;
+  JobPriority priority = JobPriority::kBatch;
+  JobObserver on_phase;  ///< optional lifecycle observer
   std::string name;  ///< display label (defaults to the graph name)
   assay::SequencingGraph graph;
   /// Scheduling spec, applied inside the worker: ASAP or a balancing
@@ -84,6 +127,7 @@ struct JobSpec {
 
 struct JobResult {
   JobStatus status = JobStatus::kFailed;
+  std::uint64_t job_id = 0;  ///< the JobSpec::id this result answers
   /// Set iff status == kDone.  Shared with the cache: treat as immutable.
   std::shared_ptr<const synth::SynthesisResult> result;
   /// Set iff status == kDone and the job was kReliability.
@@ -114,15 +158,28 @@ class BatchService {
   ~BatchService() = default;  // pool destructor drains and joins
 
   /// Enqueues a job.  The returned future never throws on get(): failures
-  /// and rejections are reported in JobResult::status.
+  /// and rejections are reported in JobResult::status.  Jobs are ordered
+  /// by JobSpec::priority, FIFO within a class.
   std::future<JobResult> submit(JobSpec spec);
 
   /// Point-in-time metrics including cache and pool gauges.
   MetricsSnapshot metrics() const;
 
   int worker_count() const { return pool_.worker_count(); }
+  /// Jobs accepted but not yet picked up by a worker (admission control
+  /// reads this together with the service-time histogram).
+  std::size_t queue_depth() const { return pool_.queue_depth(); }
 
  private:
+  /// A job accepted into the priority queue, waiting for a pool ticket.
+  struct Pending {
+    std::uint64_t seq = 0;  ///< FIFO order within a priority class
+    std::shared_ptr<JobSpec> spec;
+    std::shared_ptr<std::promise<JobResult>> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void run_next_pending();
   JobResult run_job(JobSpec& spec, std::chrono::steady_clock::time_point enqueued);
   synth::SynthesisResult race(const JobSpec& spec, const sched::Schedule& schedule,
                               const CancelToken& job_token, std::string* winner);
@@ -130,6 +187,14 @@ class BatchService {
   Config config_;
   ResultCache cache_;
   MetricsRegistry metrics_;
+  std::atomic<std::uint64_t> next_job_id_{1};
+  std::atomic<std::uint64_t> next_seq_{1};
+  // Pool tickets are anonymous "run the best pending job" closures; the
+  // actual job order lives here, one FIFO deque per priority class.  The
+  // pool's bounded queue still provides the backpressure: #tickets ==
+  // #pending entries at all times.
+  mutable std::mutex pending_mutex_;
+  std::array<std::deque<Pending>, 3> pending_;
   ThreadPool pool_;  // last member: workers must die before cache/metrics
 };
 

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 namespace fsyn {
@@ -285,6 +286,208 @@ const JsonValue& JsonValue::at(const std::string& key) const {
   const JsonValue* value = find(key);
   check_input(value != nullptr, "json object has no member '" + key + "'");
   return *value;
+}
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  static const char* kHex = "0123456789abcdef";
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;  // UTF-8 passthrough, matching the parser
+        }
+    }
+  }
+}
+
+void append_number(std::string& out, double number) {
+  // Shortest exact form: integral doubles print without a fraction, the
+  // rest at max_digits10 so parse(dump(x)) is value-identical.
+  const auto integral = static_cast<long long>(number);
+  if (std::isfinite(number) && static_cast<double>(integral) == number &&
+      number > -1e15 && number < 1e15) {
+    out += std::to_string(integral);
+    return;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+  out += buffer;
+}
+
+void dump_value(std::string& out, const JsonValue& value) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull: out += "null"; break;
+    case JsonValue::Kind::kBool: out += value.as_bool() ? "true" : "false"; break;
+    case JsonValue::Kind::kNumber: {
+      std::int64_t integral = 0;
+      bool exact = false;
+      try {
+        integral = value.as_int();
+        exact = true;
+      } catch (const Error&) {
+      }
+      if (exact) {
+        out += std::to_string(integral);
+      } else {
+        append_number(out, value.as_number());
+      }
+      break;
+    }
+    case JsonValue::Kind::kString:
+      out += '"';
+      append_escaped(out, value.as_string());
+      out += '"';
+      break;
+    case JsonValue::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& item : value.items()) {
+        if (!first) out += ',';
+        first = false;
+        dump_value(out, item);
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [name, member] : value.members()) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        append_escaped(out, name);
+        out += "\":";
+        dump_value(out, member);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_value(out, *this);
+  return out;
+}
+
+std::string json_escape_string(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  append_escaped(out, text);
+  return out;
+}
+
+// ---- JsonWriter ----
+
+void JsonWriter::before_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!counts_.empty()) {
+    if (counts_.back() > 0) out_ += ',';
+    ++counts_.back();
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  require(!counts_.empty(), "JsonWriter::end_object without begin_object");
+  counts_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  require(!counts_.empty(), "JsonWriter::end_array without begin_array");
+  counts_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  require(!counts_.empty() && !after_key_, "JsonWriter::key outside an object");
+  if (counts_.back() > 0) out_ += ',';
+  ++counts_.back();
+  out_ += '"';
+  append_escaped(out_, name);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  out_ += '"';
+  append_escaped(out_, text);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  before_value();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  append_number(out_, number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  before_value();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  before_value();
+  out_ += json;
+  return *this;
 }
 
 }  // namespace fsyn

@@ -54,6 +54,11 @@ class JsonValue {
   const JsonValue* find(const std::string& key) const;
   bool has(const std::string& key) const { return find(key) != nullptr; }
 
+  /// Compact re-serialization (no whitespace).  Member order is preserved,
+  /// integral numbers print exactly, other doubles at max_digits10, so
+  /// `parse(x).dump()` loses no information.
+  std::string dump() const;
+
  private:
   Kind kind_ = Kind::kNull;
   bool bool_ = false;
@@ -65,6 +70,55 @@ class JsonValue {
   std::vector<std::pair<std::string, JsonValue>> members_;
 
   friend class JsonParser;
+};
+
+/// Escapes `text` for use inside a JSON string literal (no surrounding
+/// quotes; control characters become \uXXXX).
+std::string json_escape_string(std::string_view text);
+
+/// Builder for compact JSON documents, used by the network layer for wire
+/// messages and journal records.  It tracks nesting so commas and colons
+/// are placed automatically:
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("id").value(42);
+///   w.key("tags").begin_array().value("a").value("b").end_array();
+///   w.end_object();
+///   w.str()  // {"id":42,"tags":["a","b"]}
+///
+/// `raw` splices an already-serialized JSON value (e.g. a nested document
+/// produced elsewhere) without re-encoding it.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Member key; must be followed by exactly one value (or container).
+  JsonWriter& key(std::string_view name);
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(unsigned number) { return value(static_cast<std::uint64_t>(number)); }
+  JsonWriter& null();
+  /// Splices pre-serialized JSON verbatim where a value is expected.
+  JsonWriter& raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void before_value();
+
+  std::string out_;
+  /// One entry per open container: the count of values emitted in it.
+  std::vector<std::size_t> counts_;
+  bool after_key_ = false;
 };
 
 }  // namespace fsyn

@@ -5,6 +5,7 @@
 //   flowsynth schedule <assay-file|benchmark> [options] print the Gantt chart
 //   flowsynth reliability <assay|--in mapping.json> [options]  lifetime analysis
 //   flowsynth batch <spec|all> [options]                 concurrent batch sweep
+//   flowsynth client <verb> [options]                    talk to a flowsynthd
 //   flowsynth table1 [--jobs N]                          reproduce Table 1
 //   flowsynth list                                       list built-in benchmarks
 //
@@ -50,17 +51,37 @@
 //   --reject         reject jobs when the queue is full instead of blocking
 //   --reliability    run each job through the reliability engine (adds an
 //                    mttf column; --trials applies)
+//
+// batch handles SIGINT/SIGTERM gracefully: submission stops, queued jobs
+// are cancelled, running jobs abort at their next cancellation check, and
+// the table + metrics for everything submitted so far are still printed.
+//
+// Client verbs (all take [--host H] [--port P], default 127.0.0.1:8080):
+//   flowsynth client submit <benchmark> [--kind synthesis|reliability]
+//                    [--policy N] [--asap] [--seed S] [--grid N] [--ilp]
+//                    [--priority interactive|batch|background]
+//                    [--deadline-ms D] [--trials N] [--watch]
+//   flowsynth client status <id> | result <id> [--out PATH] | watch <id>
+//   flowsynth client cancel <id> | list | metrics | health
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "assay/benchmarks.hpp"
+#include "net/client.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
 #include "assay/parser.hpp"
+#include "util/cancel.hpp"
+#include "util/json.hpp"
 #include "report/json_export.hpp"
 #include "report/svg_export.hpp"
 #include "report/table1.hpp"
@@ -424,8 +445,59 @@ std::vector<std::string> parse_batch_spec(const std::string& spec) {
   return names;
 }
 
+// SIGINT/SIGTERM during `flowsynth batch`: the handler only flips a flag
+// (async-signal-safe); a monitor thread turns it into a graceful drain —
+// submission stops, queued jobs are cancelled right away, running jobs get
+// a bounded grace period before their tokens fire too.
+std::atomic<bool> g_batch_interrupted{false};
+
+void handle_batch_signal(int) {
+  g_batch_interrupted.store(true, std::memory_order_relaxed);
+}
+
+/// Per-job handle the monitor uses to tell queued from running work.
+struct BatchJobCtl {
+  std::atomic<int> state{0};  ///< 0 queued, 1 running, 2 terminal
+  CancelSource source;
+};
+
 int run_batch(const CliOptions& cli) {
   const std::vector<std::string> names = parse_batch_spec(cli.target);
+  std::signal(SIGINT, handle_batch_signal);
+  std::signal(SIGTERM, handle_batch_signal);
+
+  std::mutex ctls_mutex;
+  std::vector<std::shared_ptr<BatchJobCtl>> ctls;
+  std::atomic<bool> drain_done{false};
+  constexpr auto kGrace = std::chrono::seconds(5);
+  std::thread monitor([&] {
+    while (!drain_done.load(std::memory_order_relaxed) &&
+           !g_batch_interrupted.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (!g_batch_interrupted.load(std::memory_order_relaxed)) return;
+    {
+      std::lock_guard<std::mutex> lock(ctls_mutex);
+      for (auto& ctl : ctls) {
+        if (ctl->state.load(std::memory_order_relaxed) == 0) ctl->source.cancel();
+      }
+    }
+    const auto deadline = std::chrono::steady_clock::now() + kGrace;
+    while (std::chrono::steady_clock::now() < deadline &&
+           !drain_done.load(std::memory_order_relaxed)) {
+      bool any_running = false;
+      {
+        std::lock_guard<std::mutex> lock(ctls_mutex);
+        for (auto& ctl : ctls) {
+          if (ctl->state.load(std::memory_order_relaxed) < 2) any_running = true;
+        }
+      }
+      if (!any_running) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::lock_guard<std::mutex> lock(ctls_mutex);
+    for (auto& ctl : ctls) ctl->source.cancel();
+  });
 
   svc::BatchService::Config config;
   config.workers = cli.jobs;
@@ -445,7 +517,22 @@ int run_batch(const CliOptions& cli) {
   for (int round = 0; round < std::max(1, cli.repeat); ++round) {
     for (const std::string& name : names) {
       for (int p = 0; p < std::max(1, cli.policies); ++p) {
+        if (g_batch_interrupted.load(std::memory_order_relaxed)) break;
+        auto ctl = std::make_shared<BatchJobCtl>();
         svc::JobSpec spec;
+        spec.options.cancel = ctl->source.token();
+        spec.on_phase = [ctl](std::uint64_t, svc::JobPhase phase, const char*,
+                              const svc::JobResult*) {
+          if (phase == svc::JobPhase::kStarted) {
+            ctl->state.store(1, std::memory_order_relaxed);
+          } else if (phase == svc::JobPhase::kFinished) {
+            ctl->state.store(2, std::memory_order_relaxed);
+          }
+        };
+        {
+          std::lock_guard<std::mutex> lock(ctls_mutex);
+          ctls.push_back(ctl);
+        }
         spec.name = name;
         spec.graph = assay::make_benchmark(name);
         spec.policy_increments = p;
@@ -467,6 +554,12 @@ int run_batch(const CliOptions& cli) {
         }
         pending.push_back({name, "p" + std::to_string(p + 1), service.submit(std::move(spec))});
       }
+      if (g_batch_interrupted.load(std::memory_order_relaxed)) break;
+    }
+    if (g_batch_interrupted.load(std::memory_order_relaxed)) {
+      std::cerr << "interrupted: stopped submitting after " << pending.size()
+                << " job(s); cancelling queued work and draining\n";
+      break;
     }
   }
 
@@ -512,6 +605,8 @@ int run_batch(const CliOptions& cli) {
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - submit_started)
           .count();
+  drain_done.store(true, std::memory_order_relaxed);
+  monitor.join();
   std::cout << table.to_string();
 
   const svc::MetricsSnapshot metrics = service.metrics();
@@ -532,10 +627,169 @@ int run_batch(const CliOptions& cli) {
   return failures == 0 ? 0 : 1;
 }
 
+[[noreturn]] void client_usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: flowsynth client <verb> [--host H] [--port P]\n"
+      "  submit <benchmark> [--kind synthesis|reliability] [--policy N] [--asap]\n"
+      "         [--seed S] [--grid N] [--ilp] [--priority interactive|batch|background]\n"
+      "         [--deadline-ms D] [--trials N] [--watch]\n"
+      "  status <id>            print the job's status document\n"
+      "  result <id> [--out PATH]  fetch the result document (same bytes as\n"
+      "                         `flowsynth synth --out` for the same spec)\n"
+      "  watch <id>             stream lifecycle events until the job ends\n"
+      "  cancel <id>            request cooperative cancellation\n"
+      "  list | metrics | health\n";
+  std::exit(2);
+}
+
+/// Streams a job's events to stdout; returns the job's terminal event name
+/// ("" when the stream ended without one).
+std::string client_watch(net::ApiClient& client, std::uint64_t id) {
+  std::string last_terminal;
+  client.watch(id, [&](const std::string& event, std::uint64_t seq,
+                       const std::string& data) {
+    std::cout << "[" << seq << "] " << event << " " << data << std::endl;
+    if (event == "done" || event == "cancelled" || event == "failed" ||
+        event == "rejected") {
+      last_terminal = event;
+    }
+    return true;
+  });
+  return last_terminal;
+}
+
+int run_client(int argc, char** argv) {
+  // argv: flowsynth client <verb> [positional] [--flags]
+  if (argc < 3) client_usage();
+  const std::string verb = argv[2];
+  std::string host = "127.0.0.1";
+  int port = 8080;
+  std::string positional;
+  std::string kind = "synthesis";
+  std::string priority;
+  std::string out_path;
+  int policy = 0;
+  bool asap = false;
+  std::optional<int> grid;
+  bool use_ilp = false;
+  std::uint64_t seed = 2015;
+  std::optional<int> deadline_ms;
+  int trials = 0;
+  bool watch_after_submit = false;
+
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) client_usage("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      host = next();
+    } else if (arg == "--port") {
+      port = parse_int(next());
+    } else if (arg == "--kind") {
+      kind = next();
+    } else if (arg == "--policy") {
+      policy = parse_int(next());
+    } else if (arg == "--asap") {
+      asap = true;
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(parse_int(next()));
+    } else if (arg == "--grid") {
+      grid = parse_int(next());
+    } else if (arg == "--ilp") {
+      use_ilp = true;
+    } else if (arg == "--priority") {
+      priority = next();
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = parse_int(next());
+    } else if (arg == "--trials") {
+      trials = parse_int(next());
+    } else if (arg == "--watch") {
+      watch_after_submit = true;
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (!arg.empty() && arg[0] != '-' && positional.empty()) {
+      positional = arg;
+    } else {
+      client_usage("unknown option " + arg);
+    }
+  }
+  if (positional.empty() && argc > 3 && argv[3][0] != '-') positional = argv[3];
+
+  net::ApiClient client(host, port);
+
+  auto require_id = [&]() -> std::uint64_t {
+    if (positional.empty()) client_usage(verb + " needs a job id");
+    return static_cast<std::uint64_t>(parse_int(positional));
+  };
+  auto print_response = [](const net::ClientResponse& response) {
+    std::cout << response.body << std::endl;
+    return response.status < 400 ? 0 : 1;
+  };
+
+  if (verb == "submit") {
+    if (positional.empty()) client_usage("submit needs a benchmark name");
+    JsonWriter w;
+    w.begin_object();
+    w.key("kind").value(kind);
+    w.key("assay").value(positional);
+    if (policy != 0) w.key("policy").value(policy);
+    if (asap) w.key("asap").value(true);
+    w.key("seed").value(seed);
+    if (grid.has_value()) w.key("grid").value(*grid);
+    if (use_ilp) w.key("ilp").value(true);
+    if (!priority.empty()) w.key("priority").value(priority);
+    if (deadline_ms.has_value()) w.key("deadline_ms").value(*deadline_ms);
+    if (trials > 0) {
+      w.key("reliability").begin_object();
+      w.key("trials").value(trials);
+      w.end_object();
+    }
+    w.end_object();
+    const net::ClientResponse response = client.post("/v1/jobs", w.take());
+    std::cout << response.body << std::endl;
+    if (response.status >= 400) return 1;
+    if (watch_after_submit) {
+      const JsonValue doc = JsonValue::parse(response.body);
+      const auto id = static_cast<std::uint64_t>(doc.at("id").as_int());
+      const std::string terminal = client_watch(client, id);
+      return terminal == "done" ? 0 : 1;
+    }
+    return 0;
+  }
+  if (verb == "status") {
+    return print_response(client.get("/v1/jobs/" + std::to_string(require_id())));
+  }
+  if (verb == "result") {
+    const net::ClientResponse response =
+        client.get("/v1/jobs/" + std::to_string(require_id()) + "/result");
+    if (response.status >= 400 || out_path.empty()) return print_response(response);
+    std::ofstream out(out_path);
+    check_input(static_cast<bool>(out), "cannot write " + out_path);
+    out << response.body;
+    std::cout << "result:      " << out_path << '\n';
+    return 0;
+  }
+  if (verb == "watch") {
+    const std::string terminal = client_watch(client, require_id());
+    return terminal == "done" ? 0 : 1;
+  }
+  if (verb == "cancel") {
+    return print_response(client.del("/v1/jobs/" + std::to_string(require_id())));
+  }
+  if (verb == "list") return print_response(client.get("/v1/jobs"));
+  if (verb == "metrics") return print_response(client.get("/metrics"));
+  if (verb == "health") return print_response(client.get("/healthz"));
+  client_usage("unknown verb '" + verb + "'");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
+    if (argc >= 2 && std::string(argv[1]) == "client") return run_client(argc, argv);
     const CliOptions cli = parse_cli(argc, argv);
     if (cli.command == "list") {
       for (const auto& name : assay::extended_benchmark_names()) std::cout << name << '\n';

@@ -1,0 +1,134 @@
+// flowsynthd — HTTP/JSON synthesis server.
+//
+// Usage:
+//   flowsynthd [--port P] [--bind ADDR] [--workers N] [--queue N] [--cache N]
+//              [--journal PATH] [--grace-ms N]
+//              [--deadline-interactive S] [--deadline-batch S]
+//              [--deadline-background S] [--admission-min-samples N]
+//              [--admission-default-service S] [--max-body BYTES]
+//
+//   --port P        listening port (default 8080; 0 = ephemeral, printed)
+//   --bind ADDR     listening address (default 127.0.0.1)
+//   --workers N     synthesis worker threads (default: hardware concurrency)
+//   --queue N       bounded job-queue capacity; overflow answers 503
+//   --cache N       result-cache entries (0 disables)
+//   --journal PATH  crash-safe job journal; replayed on startup
+//   --grace-ms N    shutdown drain budget for running jobs (default 5000)
+//   --deadline-* S  admission route deadline per priority class, seconds;
+//                   jobs whose estimated completion exceeds it get 429
+//                   (<= 0 disables shedding for that class)
+//
+// SIGINT/SIGTERM shut down gracefully: stop accepting, cancel queued jobs,
+// drain running ones within the grace budget, fsync the journal, exit.
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "net/api.hpp"
+#include "net/server.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+fsyn::net::HttpServer* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr << "usage: flowsynthd [--port P] [--bind ADDR] [--workers N] [--queue N]\n"
+               "                  [--cache N] [--journal PATH] [--grace-ms N]\n"
+               "                  [--deadline-interactive S] [--deadline-batch S]\n"
+               "                  [--deadline-background S] [--admission-min-samples N]\n"
+               "                  [--admission-default-service S] [--max-body BYTES]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fsyn;
+
+  net::JobManager::Config manager_config;
+  manager_config.service.overflow = svc::OverflowPolicy::kReject;
+  net::HttpServer::Config server_config;
+  net::AdmissionConfig admission;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing value for " + arg);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--port") {
+        server_config.port = parse_int(next());
+      } else if (arg == "--bind") {
+        server_config.bind_address = next();
+      } else if (arg == "--workers") {
+        manager_config.service.workers = parse_int(next());
+      } else if (arg == "--queue") {
+        manager_config.service.queue_capacity =
+            static_cast<std::size_t>(parse_int(next()));
+      } else if (arg == "--cache") {
+        manager_config.service.cache_capacity =
+            static_cast<std::size_t>(parse_int(next()));
+      } else if (arg == "--journal") {
+        manager_config.journal_path = next();
+      } else if (arg == "--grace-ms") {
+        server_config.grace_ms = parse_int(next());
+      } else if (arg == "--deadline-interactive") {
+        admission.deadline_seconds[0] = parse_double(next());
+      } else if (arg == "--deadline-batch") {
+        admission.deadline_seconds[1] = parse_double(next());
+      } else if (arg == "--deadline-background") {
+        admission.deadline_seconds[2] = parse_double(next());
+      } else if (arg == "--admission-min-samples") {
+        admission.min_samples = static_cast<std::uint64_t>(parse_int(next()));
+      } else if (arg == "--admission-default-service") {
+        admission.default_service_seconds = parse_double(next());
+      } else if (arg == "--max-body") {
+        server_config.limits.max_body_bytes = static_cast<std::size_t>(parse_int(next()));
+      } else {
+        usage("unknown option " + arg);
+      }
+    } catch (const Error& e) {
+      usage(e.what());
+    }
+  }
+
+  try {
+    net::JobManager manager(manager_config);
+    manager.recover();
+    const long requeued =
+        manager.counters().replayed_requeued.load(std::memory_order_relaxed);
+    const long restored =
+        manager.counters().replayed_done.load(std::memory_order_relaxed);
+    if (requeued + restored > 0) {
+      std::cout << "journal: restored " << restored << " finished job(s), re-enqueued "
+                << requeued << " unfinished job(s)\n";
+    }
+
+    net::HttpServer server(server_config, manager,
+                           net::make_api_router(manager, admission));
+    server.bind();
+    g_server = &server;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    std::cout << "flowsynthd listening on " << server_config.bind_address << ":"
+              << server.port() << " (" << manager.service().worker_count()
+              << " workers)" << std::endl;
+    server.serve();
+    g_server = nullptr;
+    std::cout << "flowsynthd stopped\n";
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
