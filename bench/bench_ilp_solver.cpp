@@ -13,6 +13,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench_json.hpp"
 #include "ilp/branch_and_bound.hpp"
 #include "ilp/model.hpp"
 #include "util/rng.hpp"
@@ -165,55 +166,96 @@ const char* status_name(MilpStatus status) {
   return "?";
 }
 
-void run(const std::string& name, const Model& model, int threads) {
-  MilpOptions options;
-  options.time_limit_seconds = 60.0;
-  options.threads = threads;
-
+void run(const std::string& name, const Model& model, const MilpOptions& options,
+         benchio::BenchWriter& writer) {
   const auto start = std::chrono::steady_clock::now();
   const MilpResult result = solve_milp(model, options);
   const double wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start).count();
+  // Per-pivot cost: the basis/pricing work one simplex iteration buys.
+  const double ms_per_1k_iterations =
+      result.lp_iterations > 0 ? wall_ms * 1000.0 / static_cast<double>(result.lp_iterations)
+                               : 0.0;
 
-  std::cout << "{\"bench\":\"ilp_solver\",\"instance\":\"" << name << "\""
-            << ",\"vars\":" << model.variable_count()
-            << ",\"rows\":" << model.constraint_count() << ",\"nnz\":" << model.nonzero_count()
-            << ",\"status\":\"" << status_name(result.status) << "\""
-            << ",\"objective\":" << result.objective << ",\"nodes\":" << result.nodes
-            << ",\"lp_iterations\":" << result.lp_iterations
-            << ",\"primal_pivots\":" << result.lp.primal_pivots
-            << ",\"dual_pivots\":" << result.lp.dual_pivots
-            << ",\"bound_flips\":" << result.lp.bound_flips
-            << ",\"refactorizations\":" << result.lp.refactorizations
-            << ",\"warm_solves\":" << result.lp.warm_solves
-            << ",\"cold_solves\":" << result.lp.cold_solves
-            << ",\"threads\":" << result.threads << ",\"steals\":" << result.steals
-            << ",\"idle_seconds\":" << result.idle_seconds
-            << ",\"parallel_efficiency\":" << result.parallel_efficiency
-            << ",\"wall_ms\":" << wall_ms << "}\n";
+  benchio::JsonObject row;
+  row.add("bench", "ilp_solver")
+      .add("instance", name)
+      .add("vars", model.variable_count())
+      .add("rows", model.constraint_count())
+      .add("nnz", model.nonzero_count())
+      .add("status", status_name(result.status))
+      .add("objective", result.objective)
+      .add("nodes", result.nodes)
+      .add("lp_iterations", static_cast<long long>(result.lp_iterations))
+      .add("ms_per_1k_iterations", ms_per_1k_iterations)
+      .add("primal_pivots", static_cast<long long>(result.lp.primal_pivots))
+      .add("dual_pivots", static_cast<long long>(result.lp.dual_pivots))
+      .add("bound_flips", static_cast<long long>(result.lp.bound_flips))
+      .add("refactorizations", static_cast<long long>(result.lp.refactorizations))
+      .add("warm_solves", static_cast<long long>(result.lp.warm_solves))
+      .add("cold_solves", static_cast<long long>(result.lp.cold_solves))
+      .add("lu_refactorizations", static_cast<long long>(result.lp.lu_refactorizations))
+      .add("eta_pivots", static_cast<long long>(result.lp.eta_pivots))
+      .add("fill_in_ratio", result.lp.fill_in_ratio())
+      .add("devex_resets", static_cast<long long>(result.lp.devex_resets))
+      .add("threads", result.threads)
+      .add("steals", result.steals)
+      .add("idle_seconds", result.idle_seconds)
+      .add("parallel_efficiency", result.parallel_efficiency)
+      .add("wall_ms", wall_ms);
+  std::cout << row.str() << "\n";
+  writer.add_instance(row);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   // `--threads N`: 0 (default) runs the serial search; N >= 1 runs the
-  // parallel tree search with N workers.  CI runs both and diffs objectives.
-  int threads = 0;
+  // parallel tree search with N workers.  CI runs both, in both basis
+  // modes, and diffs objectives (they must agree exactly).
+  MilpOptions options;
+  options.time_limit_seconds = 60.0;
+  std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
+      options.threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--basis") == 0 && i + 1 < argc) {
+      if (!basis_kind_from_string(argv[++i], &options.lp.basis)) {
+        std::cerr << "unknown basis '" << argv[i] << "' (dense|sparse)\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--pricing") == 0 && i + 1 < argc) {
+      if (!pricing_rule_from_string(argv[++i], &options.lp.pricing)) {
+        std::cerr << "unknown pricing '" << argv[i] << "' (dantzig|devex)\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
     } else {
-      std::cerr << "usage: bench_ilp_solver [--threads N]\n";
+      std::cerr << "usage: bench_ilp_solver [--threads N] [--basis dense|sparse]\n"
+                << "                        [--pricing dantzig|devex] [--out BENCH.json]\n";
       return 2;
     }
   }
-  run("knapsack_14", knapsack(14, 11), threads);
-  run("knapsack_18", knapsack(18, 23), threads);
-  run("minmax_assign_8x3", minmax_assign(8, 3, 5), threads);
-  run("minmax_assign_10x4", minmax_assign(10, 4, 7), threads);
-  run("bigm_intervals_5", bigm_intervals(5, 9, 3), threads);
-  run("bigm_intervals_6", bigm_intervals(6, 11, 9), threads);
-  run("time_indexed_8x14", time_indexed(8, 14, 2, 17), threads);
-  run("time_indexed_10x18", time_indexed(10, 18, 2, 29), threads);
+
+  benchio::BenchWriter writer("ilp");
+  writer.config()
+      .add("threads", options.threads)
+      .add("basis", to_string(options.lp.basis))
+      .add("pricing", to_string(options.lp.pricing));
+
+  run("knapsack_14", knapsack(14, 11), options, writer);
+  run("knapsack_18", knapsack(18, 23), options, writer);
+  run("minmax_assign_8x3", minmax_assign(8, 3, 5), options, writer);
+  run("minmax_assign_10x4", minmax_assign(10, 4, 7), options, writer);
+  run("bigm_intervals_5", bigm_intervals(5, 9, 3), options, writer);
+  run("bigm_intervals_6", bigm_intervals(6, 11, 9), options, writer);
+  run("time_indexed_8x14", time_indexed(8, 14, 2, 17), options, writer);
+  run("time_indexed_10x18", time_indexed(10, 18, 2, 29), options, writer);
+
+  if (!out_path.empty() && !writer.write(out_path)) {
+    std::cerr << "failed to write " << out_path << "\n";
+    return 1;
+  }
   return 0;
 }

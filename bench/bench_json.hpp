@@ -1,0 +1,126 @@
+// Shared writer for the committed perf-trajectory files (BENCH_<name>.json).
+//
+// Every bench binary that participates in the regression gate serializes its
+// measurements through this header so the files share one envelope:
+//
+//   {
+//     "format": "flowsynth-bench-v1",
+//     "bench": "ilp",
+//     "config": { "threads": 1, "basis": "sparse_lu", ... },
+//     "instances": [ { "instance": "knapsack_14", "wall_ms": ..., ... }, ... ]
+//   }
+//
+// `tools/bench_compare.cpp` diffs two such files and fails on regressions;
+// docs/benchmarking.md documents the schema and the gate.  Values are
+// rendered eagerly so a bench can keep printing its traditional one-JSON-
+// line-per-instance stdout stream from the same objects.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fsyn::benchio {
+
+/// Flat JSON object with insertion-ordered keys; values are rendered at
+/// add() time.  Covers exactly what the BENCH files need (numbers, strings,
+/// booleans) — not a general JSON builder.
+class JsonObject {
+ public:
+  JsonObject& add(std::string_view key, long long value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonObject& add(std::string_view key, long value) {
+    return add(key, static_cast<long long>(value));
+  }
+  JsonObject& add(std::string_view key, int value) {
+    return add(key, static_cast<long long>(value));
+  }
+  JsonObject& add(std::string_view key, double value) {
+    std::ostringstream os;
+    os.precision(15);
+    os << value;
+    // The util/json parser (and Python's) want a leading digit, which every
+    // finite double printed by iostreams has; map non-finite to null.
+    std::string text = os.str();
+    if (text.find("inf") != std::string::npos || text.find("nan") != std::string::npos) {
+      text = "null";
+    }
+    return raw(key, text);
+  }
+  JsonObject& add(std::string_view key, bool value) {
+    return raw(key, value ? "true" : "false");
+  }
+  JsonObject& add(std::string_view key, std::string_view value) {
+    std::string quoted = "\"";
+    for (const char c : value) {
+      if (c == '"' || c == '\\') quoted.push_back('\\');
+      quoted.push_back(c);
+    }
+    quoted.push_back('"');
+    return raw(key, quoted);
+  }
+  JsonObject& add(std::string_view key, const char* value) {
+    return add(key, std::string_view(value));
+  }
+
+  /// Renders "{...}" on one line (the stdout stream format).
+  std::string str() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + fields_[i].first + "\":" + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  JsonObject& raw(std::string_view key, std::string rendered) {
+    fields_.emplace_back(std::string(key), std::move(rendered));
+    return *this;
+  }
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Accumulates one bench run (config + per-instance measurements) and writes
+/// the flowsynth-bench-v1 envelope.
+class BenchWriter {
+ public:
+  explicit BenchWriter(std::string bench) : bench_(std::move(bench)) {}
+
+  JsonObject& config() { return config_; }
+  void add_instance(const JsonObject& instance) { instances_.push_back(instance.str()); }
+
+  std::string to_json() const {
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"format\": \"flowsynth-bench-v1\",\n"
+       << "  \"bench\": \"" << bench_ << "\",\n"
+       << "  \"config\": " << config_.str() << ",\n"
+       << "  \"instances\": [\n";
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+      os << "    " << instances_[i] << (i + 1 < instances_.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+    return os.str();
+  }
+
+  /// Writes the envelope to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const {
+    std::ofstream file(path);
+    if (!file.good()) return false;
+    file << to_json();
+    return file.good();
+  }
+
+ private:
+  std::string bench_;
+  JsonObject config_;
+  std::vector<std::string> instances_;
+};
+
+}  // namespace fsyn::benchio

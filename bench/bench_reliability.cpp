@@ -5,10 +5,12 @@
 // rounds.  Mirrors the bench_ilp_solver line format so CI can archive and
 // diff BENCH_*.json trajectories.
 #include <chrono>
+#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "assay/benchmarks.hpp"
+#include "bench_json.hpp"
 #include "rel/engine.hpp"
 #include "sched/list_scheduler.hpp"
 #include "svc/thread_pool.hpp"
@@ -27,7 +29,8 @@ double measure_trials_per_second(const std::vector<sim::ValveWear>& valves,
   return rel::estimate_lifetime(valves, options).trials_per_second;
 }
 
-void run(const std::string& name, int trials, int fault_rounds) {
+void run(const std::string& name, int trials, int fault_rounds,
+         benchio::BenchWriter& writer) {
   const assay::SequencingGraph graph = assay::make_benchmark(name);
   const sched::Schedule schedule =
       sched::schedule_with_policy(graph, sched::make_policy(graph, 0));
@@ -63,23 +66,43 @@ void run(const std::string& name, int trials, int fault_rounds) {
   int remapped = 0;
   for (const rel::RepairRound& round : report.rounds) remapped += round.feasible ? 1 : 0;
 
-  std::cout << "{\"bench\":\"reliability\",\"instance\":\"" << name << "\""
-            << ",\"valves\":" << valves.size() << ",\"trials\":" << trials
-            << ",\"mttf_runs\":" << serial_mttf
-            << ",\"trials_per_sec_1t\":" << static_cast<long>(serial_tps)
-            << ",\"trials_per_sec_pool4\":" << static_cast<long>(pooled_tps)
-            << ",\"speedup_pool4\":" << pooled_tps / serial_tps
-            << ",\"fault_rounds\":" << report.rounds.size() << ",\"remapped\":" << remapped
-            << ",\"resynth_p50_ms\":" << report.resynthesis_latency.percentile(50) * 1e3
-            << ",\"resynth_p95_ms\":" << report.resynthesis_latency.percentile(95) * 1e3
-            << "}" << std::endl;
+  benchio::JsonObject row;
+  row.add("bench", "reliability")
+      .add("instance", name)
+      .add("valves", static_cast<long long>(valves.size()))
+      .add("trials", trials)
+      .add("mttf_runs", serial_mttf)
+      .add("trials_per_sec_1t", static_cast<long long>(serial_tps))
+      .add("trials_per_sec_pool4", static_cast<long long>(pooled_tps))
+      .add("speedup_pool4", pooled_tps / serial_tps)
+      .add("fault_rounds", static_cast<long long>(report.rounds.size()))
+      .add("remapped", remapped)
+      .add("resynth_p50_ms", report.resynthesis_latency.percentile(50) * 1e3)
+      .add("resynth_p95_ms", report.resynthesis_latency.percentile(95) * 1e3);
+  std::cout << row.str() << std::endl;
+  writer.add_instance(row);
 }
 
 }  // namespace
 
-int main() {
-  run("pcr", 400000, 5);
-  run("invitro", 400000, 5);
-  run("protein", 200000, 3);
+int main(int argc, char** argv) {
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_reliability [--out BENCH.json]\n";
+      return 2;
+    }
+  }
+  benchio::BenchWriter writer("reliability");
+  writer.config().add("pool_workers", 4).add("seed", 42);
+  run("pcr", 400000, 5, writer);
+  run("invitro", 400000, 5, writer);
+  run("protein", 200000, 3, writer);
+  if (!out_path.empty() && !writer.write(out_path)) {
+    std::cerr << "failed to write " << out_path << "\n";
+    return 1;
+  }
   return 0;
 }

@@ -11,11 +11,13 @@
 // --jobs 4 on 4 cores); on a single core it degrades gracefully to ~1x.
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <iostream>
 #include <thread>
 #include <vector>
 
 #include "assay/benchmarks.hpp"
+#include "bench_json.hpp"
 #include "sched/list_scheduler.hpp"
 #include "svc/result_cache.hpp"
 #include "svc/service.hpp"
@@ -93,7 +95,16 @@ double cache_contention_ops_per_sec(int thread_count) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_service [--out BENCH.json]\n";
+      return 2;
+    }
+  }
   const std::vector<SweepPoint> points = sweep();
   const int jobs = 4;
 
@@ -184,6 +195,33 @@ int main() {
             << format_fixed(ops_4t / 1e6, 2) << " Mops/s @4t (scaling "
             << format_fixed(ops_4t / ops_1t, 2) << "x)\n";
 
+  if (!out_path.empty()) {
+    benchio::BenchWriter writer("service");
+    writer.config().add("workers", jobs).add("sweep_points", static_cast<long long>(points.size()));
+    benchio::JsonObject row;
+    row.add("bench", "service")
+        .add("instance", "sweep")
+        .add("wall_ms", pooled_seconds * 1e3)
+        .add("sequential_ms", sequential_seconds * 1e3)
+        .add("speedup", sequential_seconds / pooled_seconds)
+        .add("cached_ms", cached_seconds * 1e3)
+        .add("cache_hits", cache_hits)
+        .add("identical_designs", mismatches == 0)
+        .add("synth_p50_s", metrics.synthesis_latency.percentile(50))
+        .add("synth_p95_s", metrics.synthesis_latency.percentile(95));
+    writer.add_instance(row);
+    benchio::JsonObject contention;
+    contention.add("bench", "service")
+        .add("instance", "cache_contention")
+        .add("mops_per_sec_1t", ops_1t / 1e6)
+        .add("mops_per_sec_4t", ops_4t / 1e6)
+        .add("scaling_4t", ops_4t / ops_1t);
+    writer.add_instance(contention);
+    if (!writer.write(out_path)) {
+      std::cerr << "failed to write " << out_path << "\n";
+      return 1;
+    }
+  }
   if (mismatches > 0 || cache_hits != static_cast<int>(points.size())) return 1;
   return 0;
 }

@@ -1300,7 +1300,7 @@ MilpResult solve_milp(const Model& model, const MilpOptions& options) {
     span.arg("vars", model.variable_count());
     span.arg("constraints", model.constraint_count());
   }
-  const MilpResult result = [&] {
+  MilpResult result = [&] {
     auto search = [&](const PresolveResult* reduced) {
       if (options.threads > 0) {
         ParallelBranchAndBound solver(model, options, reduced ? &reduced->lower : nullptr,
@@ -1326,6 +1326,8 @@ MilpResult solve_milp(const Model& model, const MilpOptions& options) {
     }
     return search(nullptr);
   }();
+  result.lp_basis = options.lp.basis;
+  result.lp_pricing = options.lp.pricing;
   if (span.active()) {
     span.arg("status", status_name(result.status));
     span.arg("nodes", result.nodes);

@@ -62,9 +62,13 @@ struct MilpResult {
   long nodes = 0;              ///< LP relaxations solved
   std::int64_t lp_iterations = 0;  ///< simplex iterations across all nodes
   /// LP engine counters for this solve: warm/cold solves, primal/dual
-  /// pivots, bound flips, refactorizations.  For parallel solves this is
-  /// the sum over every worker's private solver.
+  /// pivots, bound flips, refactorizations, LU/eta telemetry.  For parallel
+  /// solves this is the sum over every worker's private solver.
   LpSolverStats lp;
+  /// LP engine configuration this solve actually ran with (echoed so
+  /// telemetry consumers need not thread the options through separately).
+  BasisKind lp_basis = BasisKind::kSparseLu;
+  PricingRule lp_pricing = PricingRule::kDevex;
 
   // ---- parallel-search telemetry (zeros / empty for the serial path) ----
   int threads = 0;            ///< workers used; 0 = inline serial search

@@ -1,0 +1,289 @@
+#include "ilp/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fsyn::ilp {
+
+namespace {
+// Relative Markowitz threshold: a candidate pivot must be at least this
+// fraction of the largest entry in its row.  0.1 is the classic trade-off
+// between stability (1.0 = partial pivoting) and fill-in control.
+constexpr double kMarkowitzTau = 0.1;
+// Absolute floor below which an entry cannot pivot; matches the dense
+// refactorization's singularity threshold.
+constexpr double kPivotTol = 1e-11;
+// An eta update whose pivot is smaller than this is numerically unsafe; the
+// caller refactorizes instead.
+constexpr double kEtaPivotTol = 1e-9;
+// Relative floor: caps the eta multipliers |w_i / pivot| at 1e6, bounding
+// the roundoff amplification a single product-form update can introduce.
+constexpr double kEtaRelPivotTol = 1e-6;
+// Entries this small after a sparse row combination are dropped as noise.
+constexpr double kDropTol = 1e-13;
+}  // namespace
+
+bool LuFactors::factorize(int m, const std::vector<int>& col_start, const std::vector<int>& rows,
+                          const std::vector<double>& vals) {
+  m_ = m;
+  valid_ = false;
+  clear_etas();
+  pr_.assign(m, -1);
+  pc_.assign(m, -1);
+  rowpos_.assign(m, -1);
+  l_start_.assign(1, 0);
+  l_row_.clear();
+  l_val_.clear();
+  u_diag_.assign(m, 0.0);
+  u_start_.assign(1, 0);
+  u_col_.clear();
+  u_val_.clear();
+  lu_nnz_ = 0;
+  basis_nnz_ = 0;
+
+  if (m == 0) {
+    valid_ = true;
+    return true;
+  }
+
+  // Scatter the columns into row-major working storage.
+  if (static_cast<int>(work_rows_.size()) < m) work_rows_.resize(m);
+  for (int i = 0; i < m; ++i) work_rows_[i].clear();
+  col_count_.assign(m, 0);
+  row_done_.assign(m, 0);
+  col_done_.assign(m, 0);
+  for (int j = 0; j < m; ++j) {
+    for (int k = col_start[j]; k < col_start[j + 1]; ++k) {
+      const double v = vals[k];
+      if (v == 0.0) continue;
+      work_rows_[rows[k]].push_back({j, v});
+      ++col_count_[j];
+      ++basis_nnz_;
+    }
+  }
+  acc_.assign(m, 0.0);
+  acc_stamp_.assign(m, 0);
+  stamp_ = 0;
+
+  for (int step = 0; step < m; ++step) {
+    // Markowitz pivot search: among entries that pass the relative
+    // magnitude test, minimize (row_nnz-1)*(col_nnz-1); break ties by
+    // magnitude.  A full scan of the active submatrix is fine at the basis
+    // sizes the scheduler produces (tens to a few hundred rows).
+    int piv_row = -1, piv_col = -1;
+    double piv_val = 0.0;
+    long best_cost = -1;
+    for (int i = 0; i < m; ++i) {
+      if (row_done_[i]) continue;
+      const auto& row = work_rows_[i];
+      double rmax = 0.0;
+      for (const Entry& e : row) rmax = std::max(rmax, std::abs(e.val));
+      if (rmax < kPivotTol) continue;
+      const long rcost = static_cast<long>(row.size()) - 1;
+      for (const Entry& e : row) {
+        const double a = std::abs(e.val);
+        if (a < kPivotTol || a < kMarkowitzTau * rmax) continue;
+        const long cost = rcost * (col_count_[e.col] - 1);
+        if (best_cost < 0 || cost < best_cost ||
+            (cost == best_cost && a > std::abs(piv_val))) {
+          best_cost = cost;
+          piv_row = i;
+          piv_col = e.col;
+          piv_val = e.val;
+        }
+      }
+    }
+    if (piv_row < 0) return false;  // structurally or numerically singular
+
+    pr_[step] = piv_row;
+    pc_[step] = piv_col;
+    rowpos_[piv_row] = step;
+    u_diag_[step] = piv_val;
+
+    // Emit U row `step`: the pivot row minus its pivot entry.
+    const auto& prow = work_rows_[piv_row];
+    for (const Entry& e : prow) {
+      if (e.col == piv_col) continue;
+      u_col_.push_back(e.col);
+      u_val_.push_back(e.val);
+    }
+    u_start_.push_back(static_cast<int>(u_col_.size()));
+
+    // Eliminate piv_col from every other active row, recording the
+    // multipliers as L column `step`.
+    for (int i = 0; i < m; ++i) {
+      if (row_done_[i] || i == piv_row) continue;
+      auto& row = work_rows_[i];
+      double aij = 0.0;
+      bool has = false;
+      for (const Entry& e : row) {
+        if (e.col == piv_col) {
+          aij = e.val;
+          has = true;
+          break;
+        }
+      }
+      if (!has) continue;
+      const double mult = aij / piv_val;
+      l_row_.push_back(i);
+      l_val_.push_back(mult);
+
+      // row_i := row_i - mult * pivot_row, dropping piv_col.
+      ++stamp_;
+      touched_.clear();
+      for (const Entry& e : row) {
+        acc_[e.col] = e.val;
+        acc_stamp_[e.col] = stamp_;
+        if (e.col != piv_col) touched_.push_back(e.col);
+      }
+      for (const Entry& e : prow) {
+        if (e.col == piv_col) continue;
+        if (acc_stamp_[e.col] == stamp_) {
+          acc_[e.col] -= mult * e.val;
+        } else {
+          acc_[e.col] = -mult * e.val;
+          acc_stamp_[e.col] = stamp_;
+          touched_.push_back(e.col);
+          ++col_count_[e.col];  // fill-in
+        }
+      }
+      row.clear();
+      for (int c : touched_) {
+        if (std::abs(acc_[c]) <= kDropTol) {
+          --col_count_[c];  // cancellation
+          continue;
+        }
+        row.push_back({c, acc_[c]});
+      }
+      --col_count_[piv_col];
+    }
+    l_start_.push_back(static_cast<int>(l_row_.size()));
+
+    // Retire the pivot row and column.
+    for (const Entry& e : prow) --col_count_[e.col];
+    row_done_[piv_row] = 1;
+    col_done_[piv_col] = 1;
+  }
+
+  lu_nnz_ = static_cast<std::int64_t>(l_row_.size()) + static_cast<std::int64_t>(u_col_.size()) + m;
+  valid_ = true;
+  return true;
+}
+
+bool LuFactors::update(int r, const std::vector<double>& w) {
+  const double pivot = w[r];
+  if (std::abs(pivot) < kEtaPivotTol) return false;
+  // Relative stability check: the eta multipliers are -w_i / pivot, so a
+  // pivot much smaller than the rest of the column amplifies roundoff by
+  // the same factor.  Refuse and let the caller refactorize instead —
+  // degenerate simplex pivots routinely produce |pivot| ~ 1e-9 against
+  // O(1) entries, which would wreck the product form.
+  double wmax = 0.0;
+  for (int i = 0; i < m_; ++i) wmax = std::max(wmax, std::abs(w[i]));
+  if (std::abs(pivot) < kEtaRelPivotTol * wmax) return false;
+  const double inv = 1.0 / pivot;
+  eta_r_.push_back(r);
+  eta_diag_.push_back(inv);
+  for (int i = 0; i < m_; ++i) {
+    if (i == r) continue;
+    const double v = w[i];
+    if (v == 0.0) continue;
+    eta_slot_.push_back(i);
+    eta_coef_.push_back(-v * inv);
+  }
+  eta_start_.push_back(static_cast<int>(eta_slot_.size()));
+  return true;
+}
+
+void LuFactors::clear_etas() {
+  eta_start_.assign(1, 0);
+  eta_r_.clear();
+  eta_diag_.clear();
+  eta_slot_.clear();
+  eta_coef_.clear();
+}
+
+void LuFactors::apply_etas(std::vector<double>& x) const {
+  const int n = eta_count();
+  for (int k = 0; k < n; ++k) {
+    const int r = eta_r_[k];
+    const double t = x[r];
+    if (t == 0.0) continue;
+    x[r] = t * eta_diag_[k];
+    for (int p = eta_start_[k]; p < eta_start_[k + 1]; ++p) {
+      x[eta_slot_[p]] += eta_coef_[p] * t;
+    }
+  }
+}
+
+void LuFactors::apply_etas_transposed(std::vector<double>& x) const {
+  for (int k = eta_count() - 1; k >= 0; --k) {
+    const int r = eta_r_[k];
+    double t = x[r] * eta_diag_[k];
+    for (int p = eta_start_[k]; p < eta_start_[k + 1]; ++p) {
+      t += eta_coef_[p] * x[eta_slot_[p]];
+    }
+    x[r] = t;
+  }
+}
+
+void LuFactors::ftran(std::vector<double>& x) const {
+  // Solve L y = P b: apply the multiplier columns in elimination order.
+  for (int k = 0; k < m_; ++k) {
+    const double t = x[pr_[k]];
+    if (t == 0.0) continue;
+    for (int p = l_start_[k]; p < l_start_[k + 1]; ++p) {
+      x[l_row_[p]] -= l_val_[p] * t;
+    }
+  }
+  // Gather y into elimination order first: the backward pass writes slot
+  // positions pc_[l] which may alias row positions pr_[k] still unread.
+  thread_local std::vector<double> tmp;
+  tmp.resize(m_);
+  for (int k = 0; k < m_; ++k) tmp[k] = x[pr_[k]];
+  // Solve U z = y backwards; U rows carry original slot indices, so the
+  // result lands slot-indexed without a permutation pass.
+  for (int k = m_ - 1; k >= 0; --k) {
+    double t = tmp[k];
+    for (int p = u_start_[k]; p < u_start_[k + 1]; ++p) {
+      t -= u_val_[p] * x[u_col_[p]];
+    }
+    x[pc_[k]] = t / u_diag_[k];
+  }
+  apply_etas(x);
+}
+
+void LuFactors::btran(std::vector<double>& x) const {
+  apply_etas_transposed(x);
+  // Solve U^T t = b forwards, scattering each resolved component into the
+  // remaining equations.
+  for (int k = 0; k < m_; ++k) {
+    const double t = x[pc_[k]] / u_diag_[k];
+    x[pc_[k]] = t;
+    if (t == 0.0) continue;
+    for (int p = u_start_[k]; p < u_start_[k + 1]; ++p) {
+      x[u_col_[p]] -= u_val_[p] * t;
+    }
+  }
+  // x currently holds t_k at position pc_[k]; re-index to elimination order
+  // is implicit: L^T solve reads x via pc_/pr_ pairs.  Solve L^T rho = t in
+  // reverse elimination order; component k lives at original row pr_[k].
+  for (int k = m_ - 1; k >= 0; --k) {
+    double t = x[pc_[k]];
+    for (int p = l_start_[k]; p < l_start_[k + 1]; ++p) {
+      // l_row_[p] is an original row whose elimination step is later than k,
+      // so its solution component is already final.
+      t -= l_val_[p] * x[pc_[rowpos_[l_row_[p]]]];
+    }
+    x[pc_[k]] = t;
+  }
+  // Permute from elimination order (stored at pc_) to original row order.
+  // Reuse a small scratch on the stack-free path: out-of-place via acc_ is
+  // not available here (const), so do a cycle-safe copy through a local.
+  thread_local std::vector<double> tmp;
+  tmp.resize(m_);
+  for (int k = 0; k < m_; ++k) tmp[pr_[k]] = x[pc_[k]];
+  for (int i = 0; i < m_; ++i) x[i] = tmp[i];
+}
+
+}  // namespace fsyn::ilp

@@ -1,0 +1,115 @@
+// Sparse LU factorization of a simplex basis with product-form eta updates.
+//
+// `LuFactors` factorizes one m-by-m basis matrix B0 (handed over as sparse
+// columns) into P B0 Q = L U with Markowitz-style pivoting: each elimination
+// step picks the admissible nonzero minimizing (row_count-1)*(col_count-1)
+// subject to a relative magnitude threshold, which keeps fill-in — and with
+// it the cost of every subsequent FTRAN/BTRAN — proportional to the basis
+// sparsity instead of m^2.
+//
+// Between refactorizations the basis changes one column per simplex pivot.
+// Those updates are absorbed as a *product-form eta file*: pivot k appends
+// an elementary matrix E_k built from the FTRAN'd entering column, so
+//
+//   B_current^{-1} = E_k ... E_1 B0^{-1}
+//
+// FTRAN solves through L/U and then applies the etas forward; BTRAN applies
+// the transposed etas in reverse and then solves through U^T/L^T.  When the
+// eta file grows past the caller's budget (or an update pivot is too small
+// to be stable) the caller refactorizes from scratch.
+//
+// Index conventions match the revised simplex in simplex.cpp: FTRAN maps a
+// right-hand side indexed by constraint row to a solution indexed by basis
+// slot (the basis column position), BTRAN maps slot-indexed input to a
+// row-indexed dual solution.  Both solves run in place on dense length-m
+// vectors but only touch the nonzero pattern of the factors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fsyn::ilp {
+
+class LuFactors {
+ public:
+  /// Factorizes the m-by-m basis whose j-th column occupies
+  /// rows[col_start[j] .. col_start[j+1]) / vals[...].  Clears the eta
+  /// file.  Returns false when the basis is singular (or numerically so:
+  /// no admissible pivot above the absolute tolerance remains).
+  bool factorize(int m, const std::vector<int>& col_start, const std::vector<int>& rows,
+                 const std::vector<double>& vals);
+
+  /// True after a successful factorize (etas may have been appended since).
+  bool valid() const { return valid_; }
+
+  /// Appends a product-form eta for a basis change at slot `r` with the
+  /// FTRAN'd entering column `w` (slot-indexed, length m).  Returns false
+  /// when |w[r]| is below the stability tolerance — the caller must then
+  /// refactorize instead (the basis arrays are already updated, so a fresh
+  /// factorize picks the change up).
+  bool update(int r, const std::vector<double>& w);
+
+  /// Solves B_current x = b in place.  In: b indexed by constraint row.
+  /// Out: x indexed by basis slot.
+  void ftran(std::vector<double>& x) const;
+
+  /// Solves B_current^T x = b in place.  In: b indexed by basis slot.
+  /// Out: x indexed by constraint row.
+  void btran(std::vector<double>& x) const;
+
+  int eta_count() const { return static_cast<int>(eta_start_.size()) - 1; }
+  std::int64_t eta_nnz() const { return static_cast<std::int64_t>(eta_slot_.size()); }
+  /// Nonzeros of L + U (diagonal included) from the last factorization.
+  std::int64_t lu_nnz() const { return lu_nnz_; }
+  /// Nonzeros of the basis handed to the last factorization.
+  std::int64_t basis_nnz() const { return basis_nnz_; }
+
+ private:
+  void clear_etas();
+  void apply_etas(std::vector<double>& x) const;             ///< x := E_k ... E_1 x
+  void apply_etas_transposed(std::vector<double>& x) const;  ///< x' := x' E_k ... E_1
+
+  int m_ = 0;
+  bool valid_ = false;
+  std::int64_t lu_nnz_ = 0;
+  std::int64_t basis_nnz_ = 0;
+
+  // Permutations: step k eliminated original row pr_[k] / column pc_[k];
+  // rowpos_ inverts pr_ for the transposed L solve.
+  std::vector<int> pr_, pc_, rowpos_;
+
+  // L: unit lower triangular, stored per elimination step as (original row,
+  // multiplier) pairs; U: rows stored per step as the diagonal plus
+  // (original column, value) pairs.  Original indices let every solve run
+  // directly on caller-order vectors without a permutation pass.
+  std::vector<int> l_start_;  ///< size m+1
+  std::vector<int> l_row_;
+  std::vector<double> l_val_;
+  std::vector<double> u_diag_;  ///< size m
+  std::vector<int> u_start_;    ///< size m+1
+  std::vector<int> u_col_;
+  std::vector<double> u_val_;
+
+  // Eta file: eta k pivots slot eta_r_[k] with diagonal eta_diag_[k] and
+  // off-diagonal (slot, coefficient) pairs.
+  std::vector<int> eta_start_{0};
+  std::vector<int> eta_r_;
+  std::vector<double> eta_diag_;
+  std::vector<int> eta_slot_;
+  std::vector<double> eta_coef_;
+
+  // Factorization workspace (kept across calls to avoid reallocation).
+  struct Entry {
+    int col;
+    double val;
+  };
+  std::vector<std::vector<Entry>> work_rows_;
+  std::vector<int> col_count_;
+  std::vector<char> row_done_, col_done_;
+  std::vector<double> acc_;
+  std::vector<int> acc_stamp_;
+  std::vector<int> touched_;
+  int stamp_ = 0;
+};
+
+}  // namespace fsyn::ilp

@@ -68,6 +68,44 @@ std::int64_t Model::nonzero_count() const {
   return count;
 }
 
+Model::CompressedMatrix Model::compressed_matrix() const {
+  CompressedMatrix cm;
+  const int n = variable_count();
+  const int m = constraint_count();
+  const std::size_t nnz = static_cast<std::size_t>(nonzero_count());
+
+  cm.col_start.assign(static_cast<std::size_t>(n) + 1, 0);
+  cm.row_start.assign(static_cast<std::size_t>(m) + 1, 0);
+  for (int i = 0; i < m; ++i) {
+    const Constraint& c = constraints_[static_cast<std::size_t>(i)];
+    for (const auto& term : c.terms) ++cm.col_start[static_cast<std::size_t>(term.var.index) + 1];
+    cm.row_start[static_cast<std::size_t>(i) + 1] =
+        cm.row_start[static_cast<std::size_t>(i)] + static_cast<int>(c.terms.size());
+  }
+  for (int j = 0; j < n; ++j) {
+    cm.col_start[static_cast<std::size_t>(j) + 1] += cm.col_start[static_cast<std::size_t>(j)];
+  }
+
+  cm.col_row.resize(nnz);
+  cm.col_val.resize(nnz);
+  cm.row_col.resize(nnz);
+  cm.row_val.resize(nnz);
+  std::vector<int> cursor(cm.col_start.begin(), cm.col_start.end() - 1);
+  for (int i = 0; i < m; ++i) {
+    const Constraint& c = constraints_[static_cast<std::size_t>(i)];
+    std::size_t rp = static_cast<std::size_t>(cm.row_start[static_cast<std::size_t>(i)]);
+    for (const auto& term : c.terms) {  // terms are folded & column-ordered
+      const std::size_t slot = static_cast<std::size_t>(cursor[static_cast<std::size_t>(term.var.index)]++);
+      cm.col_row[slot] = i;
+      cm.col_val[slot] = term.coeff;
+      cm.row_col[rp] = term.var.index;
+      cm.row_val[rp] = term.coeff;
+      ++rp;
+    }
+  }
+  return cm;
+}
+
 bool Model::has_integer_variables() const {
   return std::any_of(variables_.begin(), variables_.end(), [](const Variable& v) {
     return v.type != VarType::kContinuous;

@@ -117,6 +117,20 @@ class Model {
   /// Total structural nonzeros across all constraints (folded terms).
   std::int64_t nonzero_count() const;
 
+  /// Compressed sparse views of the structural constraint matrix: the same
+  /// nonzeros column-major (CSC, what FTRAN and column dots walk) and
+  /// row-major (CSR, what pivot-row scatters walk).  Built once per solver;
+  /// row-major entries within a row are ordered by column index.
+  struct CompressedMatrix {
+    std::vector<int> col_start;  ///< size variable_count()+1
+    std::vector<int> col_row;
+    std::vector<double> col_val;
+    std::vector<int> row_start;  ///< size constraint_count()+1
+    std::vector<int> row_col;
+    std::vector<double> row_val;
+  };
+  CompressedMatrix compressed_matrix() const;
+
   const Variable& variable(VarId id) const {
     require(id.index >= 0 && id.index < variable_count(), "bad VarId");
     return variables_[static_cast<std::size_t>(id.index)];

@@ -21,8 +21,43 @@ constexpr double kInfeasibleTol = 1e-6;
 constexpr double kDualSignTol = 1e-7;
 /// Consecutive degenerate pivots before switching to Bland's rule.
 constexpr int kBlandThreshold = 64;
+/// Devex weights above this trigger a reference-framework restart (all
+/// weights back to 1); keeps the approximation from drifting unboundedly.
+constexpr double kDevexResetLimit = 1e7;
 
 }  // namespace
+
+const char* to_string(BasisKind kind) {
+  return kind == BasisKind::kDense ? "dense" : "sparse_lu";
+}
+
+const char* to_string(PricingRule rule) {
+  return rule == PricingRule::kDantzig ? "dantzig" : "devex";
+}
+
+bool basis_kind_from_string(std::string_view text, BasisKind* out) {
+  if (text == "dense") {
+    *out = BasisKind::kDense;
+    return true;
+  }
+  if (text == "sparse_lu" || text == "sparse") {
+    *out = BasisKind::kSparseLu;
+    return true;
+  }
+  return false;
+}
+
+bool pricing_rule_from_string(std::string_view text, PricingRule* out) {
+  if (text == "dantzig") {
+    *out = PricingRule::kDantzig;
+    return true;
+  }
+  if (text == "devex") {
+    *out = PricingRule::kDevex;
+    return true;
+  }
+  return false;
+}
 
 LpSolver::LpSolver(const Model& model, const LpOptions& options)
     : model_(&model), options_(options) {
@@ -30,29 +65,16 @@ LpSolver::LpSolver(const Model& model, const LpOptions& options)
   m_ = model.constraint_count();
   const int total = total_columns();
 
-  // ---- constraint matrix, structural columns, CSC ----
-  col_start_.assign(static_cast<std::size_t>(n_) + 1, 0);
-  std::int64_t nnz = 0;
-  for (const Constraint& c : model.constraints()) {
-    for (const auto& term : c.terms) ++col_start_[static_cast<std::size_t>(term.var.index) + 1];
-    nnz += static_cast<std::int64_t>(c.terms.size());
-  }
-  for (int j = 0; j < n_; ++j) {
-    col_start_[static_cast<std::size_t>(j) + 1] += col_start_[static_cast<std::size_t>(j)];
-  }
-  col_row_.resize(static_cast<std::size_t>(nnz));
-  col_val_.resize(static_cast<std::size_t>(nnz));
-  std::vector<int> cursor(col_start_.begin(), col_start_.end() - 1);
+  // ---- constraint matrix, structural columns: CSC + row-major mirror ----
+  Model::CompressedMatrix cm = model.compressed_matrix();
+  col_start_ = std::move(cm.col_start);
+  col_row_ = std::move(cm.col_row);
+  col_val_ = std::move(cm.col_val);
+  row_start_ = std::move(cm.row_start);
+  row_col_ = std::move(cm.row_col);
+  row_val_ = std::move(cm.row_val);
   rhs_.reserve(static_cast<std::size_t>(m_));
-  for (int i = 0; i < m_; ++i) {
-    const Constraint& c = model.constraints()[static_cast<std::size_t>(i)];
-    for (const auto& term : c.terms) {
-      const std::size_t slot = static_cast<std::size_t>(cursor[static_cast<std::size_t>(term.var.index)]++);
-      col_row_[slot] = i;
-      col_val_[slot] = term.coeff;
-    }
-    rhs_.push_back(c.rhs);
-  }
+  for (const Constraint& c : model.constraints()) rhs_.push_back(c.rhs);
   cost_ = model.minimize_objective();
 
   // ---- bounds: structural (set per solve) then one logical per row ----
@@ -81,17 +103,36 @@ LpSolver::LpSolver(const Model& model, const LpOptions& options)
   at_upper_.assign(static_cast<std::size_t>(total), 0);
   xb_.assign(static_cast<std::size_t>(m_), 0.0);
   d_.assign(static_cast<std::size_t>(total), 0.0);
-  binv_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_), 0.0);
+  if (!sparse_basis()) {
+    // The dense inverse (m^2 doubles) exists only in dense mode; the sparse
+    // path keeps the basis in lu_ instead.
+    binv_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_), 0.0);
+  }
   work_col_.assign(static_cast<std::size_t>(m_), 0.0);
   work_row_.assign(static_cast<std::size_t>(m_), 0.0);
   work_rhs_.assign(static_cast<std::size_t>(m_), 0.0);
   work_alpha_.assign(static_cast<std::size_t>(total), 0.0);
+  alpha_stamp_.assign(static_cast<std::size_t>(total), 0);
+  devex_w_.assign(static_cast<std::size_t>(total), 1.0);
+  devex_row_w_.assign(static_cast<std::size_t>(m_), 1.0);
 }
 
 // ---------------------------------------------------------- linear algebra
 
 void LpSolver::ftran(int j, std::vector<double>& w) const {
   std::fill(w.begin(), w.end(), 0.0);
+  if (sparse_basis()) {
+    if (is_logical(j)) {
+      w[static_cast<std::size_t>(j - n_)] = 1.0;
+    } else {
+      for (int idx = col_start_[static_cast<std::size_t>(j)]; idx < col_start_[static_cast<std::size_t>(j) + 1]; ++idx) {
+        w[static_cast<std::size_t>(col_row_[static_cast<std::size_t>(idx)])] =
+            col_val_[static_cast<std::size_t>(idx)];
+      }
+    }
+    lu_.ftran(w);
+    return;
+  }
   if (is_logical(j)) {
     const double* col = binv_.data() + static_cast<std::size_t>(j - n_) * static_cast<std::size_t>(m_);
     std::copy(col, col + m_, w.begin());
@@ -106,10 +147,58 @@ void LpSolver::ftran(int j, std::vector<double>& w) const {
 }
 
 void LpSolver::gather_row(int r, std::vector<double>& rho) const {
+  if (sparse_basis()) {
+    std::fill(rho.begin(), rho.end(), 0.0);
+    rho[static_cast<std::size_t>(r)] = 1.0;
+    lu_.btran(rho);
+    return;
+  }
   for (int k = 0; k < m_; ++k) {
     rho[static_cast<std::size_t>(k)] =
         binv_[static_cast<std::size_t>(k) * static_cast<std::size_t>(m_) + static_cast<std::size_t>(r)];
   }
+}
+
+void LpSolver::btran_vec(const std::vector<double>& v, std::vector<double>& y) const {
+  if (sparse_basis()) {
+    y = v;
+    lu_.btran(y);
+    return;
+  }
+  for (int k = 0; k < m_; ++k) {
+    const double* col = binv_.data() + static_cast<std::size_t>(k) * static_cast<std::size_t>(m_);
+    double acc = 0.0;
+    for (int i = 0; i < m_; ++i) acc += v[static_cast<std::size_t>(i)] * col[i];
+    y[static_cast<std::size_t>(k)] = acc;
+  }
+}
+
+void LpSolver::compute_pivot_row_alphas(const std::vector<double>& rho) {
+  alpha_touched_.clear();
+  const std::int64_t cur = ++alpha_epoch_;
+  for (int i = 0; i < m_; ++i) {
+    const double t = rho[static_cast<std::size_t>(i)];
+    if (t == 0.0) continue;
+    const int lj = n_ + i;  // logical column of row i has alpha rho_i
+    work_alpha_[static_cast<std::size_t>(lj)] = t;
+    alpha_stamp_[static_cast<std::size_t>(lj)] = cur;
+    alpha_touched_.push_back(lj);
+    for (int idx = row_start_[static_cast<std::size_t>(i)]; idx < row_start_[static_cast<std::size_t>(i) + 1]; ++idx) {
+      const int j = row_col_[static_cast<std::size_t>(idx)];
+      if (alpha_stamp_[static_cast<std::size_t>(j)] != cur) {
+        work_alpha_[static_cast<std::size_t>(j)] = 0.0;
+        alpha_stamp_[static_cast<std::size_t>(j)] = cur;
+        alpha_touched_.push_back(j);
+      }
+      work_alpha_[static_cast<std::size_t>(j)] += t * row_val_[static_cast<std::size_t>(idx)];
+    }
+  }
+}
+
+void LpSolver::reset_devex_weights() {
+  std::fill(devex_w_.begin(), devex_w_.end(), 1.0);
+  std::fill(devex_row_w_.begin(), devex_row_w_.end(), 1.0);
+  ++stats_.devex_resets;
 }
 
 double LpSolver::column_dot(const std::vector<double>& y, int j) const {
@@ -121,10 +210,24 @@ double LpSolver::column_dot(const std::vector<double>& y, int j) const {
   return acc;
 }
 
-void LpSolver::pivot_update_binv(int r, const std::vector<double>& w) {
+bool LpSolver::apply_basis_change(int r, const std::vector<double>& w) {
+  ++updates_since_refactor_;
+  if (sparse_basis()) {
+    const std::int64_t before = lu_.eta_nnz();
+    if (!lu_.update(r, w)) return false;  // unstable eta pivot: refactorize
+    ++stats_.eta_pivots;
+    stats_.eta_nnz += lu_.eta_nnz() - before;
+    return true;
+  }
   // B_new^{-1} = E B^{-1} with E the elementary matrix of pivot column w at
   // row r; applied column by column (binv_ is column-major).
   const double pivot = w[static_cast<std::size_t>(r)];
+  // Same relative stability guard as LuFactors::update: a pivot much smaller
+  // than the rest of the column amplifies roundoff by |w_i / pivot|; fall
+  // back to a fresh refactorization instead of poisoning binv_.
+  double wmax = 0.0;
+  for (int i = 0; i < m_; ++i) wmax = std::max(wmax, std::abs(w[static_cast<std::size_t>(i)]));
+  if (std::abs(pivot) < 1e-6 * wmax) return false;
   for (int k = 0; k < m_; ++k) {
     double* col = binv_col(k);
     const double f = col[r] / pivot;
@@ -132,12 +235,52 @@ void LpSolver::pivot_update_binv(int r, const std::vector<double>& w) {
     for (int i = 0; i < m_; ++i) col[i] -= f * w[static_cast<std::size_t>(i)];
     col[r] = f;
   }
+  return true;
+}
+
+bool LpSolver::needs_refactor() const {
+  if (updates_since_refactor_ >= options_.refactor_interval) return true;
+  // Sparse only: cut the eta file short once applying it costs more than a
+  // fresh factorization would.
+  return sparse_basis() &&
+         static_cast<double>(lu_.eta_nnz()) >
+             options_.eta_growth_limit * static_cast<double>(std::max<std::int64_t>(lu_.lu_nnz(), m_));
+}
+
+bool LpSolver::factorize_sparse_basis() {
+  fb_start_.assign(1, 0);
+  fb_row_.clear();
+  fb_val_.clear();
+  for (int i = 0; i < m_; ++i) {
+    const int j = basis_[static_cast<std::size_t>(i)];
+    if (is_logical(j)) {
+      fb_row_.push_back(j - n_);
+      fb_val_.push_back(1.0);
+    } else {
+      for (int idx = col_start_[static_cast<std::size_t>(j)]; idx < col_start_[static_cast<std::size_t>(j) + 1]; ++idx) {
+        fb_row_.push_back(col_row_[static_cast<std::size_t>(idx)]);
+        fb_val_.push_back(col_val_[static_cast<std::size_t>(idx)]);
+      }
+    }
+    fb_start_.push_back(static_cast<int>(fb_row_.size()));
+  }
+  if (!lu_.factorize(m_, fb_start_, fb_row_, fb_val_)) return false;
+  ++stats_.lu_refactorizations;
+  stats_.lu_fill_nnz += lu_.lu_nnz();
+  stats_.lu_basis_nnz += lu_.basis_nnz();
+  return true;
 }
 
 bool LpSolver::refactor() {
   ++stats_.refactorizations;
   updates_since_refactor_ = 0;
   if (m_ == 0) return true;
+  if (sparse_basis()) {
+    if (!factorize_sparse_basis()) return false;
+    recompute_basic_values();
+    if (in_phase2_) recompute_reduced_costs();
+    return true;
+  }
   const std::size_t mm = static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_);
   // Row-major Gauss-Jordan with partial pivoting: a = B, inv = I.
   refactor_mat_.assign(mm * 2, 0.0);
@@ -222,10 +365,18 @@ void LpSolver::reset_to_logical_basis() {
     basic_row_[static_cast<std::size_t>(n_ + i)] = i;
     at_upper_[static_cast<std::size_t>(n_ + i)] = 0;
   }
-  std::fill(binv_.begin(), binv_.end(), 0.0);
-  for (int i = 0; i < m_; ++i) {
-    binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m_) + static_cast<std::size_t>(i)] = 1.0;
+  if (sparse_basis()) {
+    factorize_sparse_basis();  // identity basis: cannot fail
+  } else {
+    std::fill(binv_.begin(), binv_.end(), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m_) + static_cast<std::size_t>(i)] = 1.0;
+    }
   }
+  // A cold start abandons the old basis trajectory, so the devex reference
+  // framework restarts too (not counted as a drift reset).
+  std::fill(devex_w_.begin(), devex_w_.end(), 1.0);
+  std::fill(devex_row_w_.begin(), devex_row_w_.end(), 1.0);
   updates_since_refactor_ = 0;
   recompute_basic_values();
 }
@@ -246,27 +397,27 @@ void LpSolver::recompute_basic_values() {
       }
     }
   }
-  std::fill(xb_.begin(), xb_.end(), 0.0);
-  for (int k = 0; k < m_; ++k) {
-    const double t = work_rhs_[static_cast<std::size_t>(k)];
-    if (t == 0.0) continue;
-    const double* col = binv_.data() + static_cast<std::size_t>(k) * static_cast<std::size_t>(m_);
-    for (int i = 0; i < m_; ++i) xb_[static_cast<std::size_t>(i)] += t * col[i];
+  if (sparse_basis()) {
+    xb_ = work_rhs_;
+    lu_.ftran(xb_);
+  } else {
+    std::fill(xb_.begin(), xb_.end(), 0.0);
+    for (int k = 0; k < m_; ++k) {
+      const double t = work_rhs_[static_cast<std::size_t>(k)];
+      if (t == 0.0) continue;
+      const double* col = binv_.data() + static_cast<std::size_t>(k) * static_cast<std::size_t>(m_);
+      for (int i = 0; i < m_; ++i) xb_[static_cast<std::size_t>(i)] += t * col[i];
+    }
   }
 }
 
 void LpSolver::recompute_reduced_costs() {
-  // y = c_B' B^{-1}, one dot per column of the dense inverse.
+  // y = c_B' B^{-1}: one BTRAN with the basic cost vector.
   for (int i = 0; i < m_; ++i) {
     const int j = basis_[static_cast<std::size_t>(i)];
     work_col_[static_cast<std::size_t>(i)] = is_logical(j) ? 0.0 : cost_[static_cast<std::size_t>(j)];
   }
-  for (int k = 0; k < m_; ++k) {
-    const double* col = binv_.data() + static_cast<std::size_t>(k) * static_cast<std::size_t>(m_);
-    double acc = 0.0;
-    for (int i = 0; i < m_; ++i) acc += work_col_[static_cast<std::size_t>(i)] * col[i];
-    work_row_[static_cast<std::size_t>(k)] = acc;
-  }
+  btran_vec(work_col_, work_row_);
   std::fill(d_.begin(), d_.end(), 0.0);
   for (int j = 0; j < total_columns(); ++j) {
     if (basic_row_[static_cast<std::size_t>(j)] >= 0) continue;
@@ -348,7 +499,6 @@ LpStatus LpSolver::phase1(std::int64_t* iterations) {
 
   for (;;) {
     if (*iterations >= options_.max_iterations) return LpStatus::kIterationLimit;
-
     double total_violation = 0.0;
     bool any_violated = false;
     for (int i = 0; i < m_; ++i) {
@@ -368,12 +518,7 @@ LpStatus LpSolver::phase1(std::int64_t* iterations) {
     }
     if (!any_violated) return LpStatus::kOptimal;
 
-    for (int k = 0; k < m_; ++k) {
-      const double* col = binv_.data() + static_cast<std::size_t>(k) * static_cast<std::size_t>(m_);
-      double acc = 0.0;
-      for (int i = 0; i < m_; ++i) acc += cb[static_cast<std::size_t>(i)] * col[i];
-      y[static_cast<std::size_t>(k)] = acc;
-    }
+    btran_vec(cb, y);
 
     // Entering column: reduces the composite infeasibility.
     int entering = -1;
@@ -490,9 +635,9 @@ LpStatus LpSolver::phase1(std::int64_t* iterations) {
     basis_[static_cast<std::size_t>(leaving_row)] = entering;
     basic_row_[static_cast<std::size_t>(entering)] = leaving_row;
     basic_row_[static_cast<std::size_t>(leaving)] = -1;
-    pivot_update_binv(leaving_row, w);
+    const bool rep_ok = apply_basis_change(leaving_row, w);
     xb_[static_cast<std::size_t>(leaving_row)] = entering_value;
-    if (++updates_since_refactor_ >= options_.refactor_interval) {
+    if (!rep_ok || needs_refactor()) {
       if (!refactor()) return LpStatus::kIterationLimit;  // numerically wedged basis
     }
   }
@@ -500,6 +645,7 @@ LpStatus LpSolver::phase1(std::int64_t* iterations) {
 
 int LpSolver::select_entering_primal(bool bland) {
   const double ztol = options_.tolerance;
+  const bool use_devex = devex();
   auto violation_of = [&](int j) -> double {
     if (basic_row_[static_cast<std::size_t>(j)] >= 0) return 0.0;
     const double lo = lower_[static_cast<std::size_t>(j)];
@@ -509,6 +655,13 @@ int LpSolver::select_entering_primal(bool bland) {
     if (!at_upper_[static_cast<std::size_t>(j)] && dj < -ztol) return -dj;
     if (at_upper_[static_cast<std::size_t>(j)] && dj > ztol) return dj;
     return 0.0;
+  };
+  // Devex scores d_j^2 / w_j — the approximate steepest-edge merit — while
+  // Dantzig scores |d_j| directly.  Eligibility is by |d_j| either way.
+  auto score_of = [&](int j) -> double {
+    const double v = violation_of(j);
+    if (v == 0.0 || !use_devex) return v;
+    return v * v / devex_w_[static_cast<std::size_t>(j)];
   };
 
   if (bland) {
@@ -523,7 +676,7 @@ int LpSolver::select_entering_primal(bool bland) {
   int best = -1;
   double best_violation = 0.0;
   for (const int j : candidates_) {
-    const double v = violation_of(j);
+    const double v = score_of(j);
     if (v > best_violation) {
       best_violation = v;
       best = j;
@@ -533,7 +686,7 @@ int LpSolver::select_entering_primal(bool bland) {
 
   sweep_.clear();
   for (int j = 0; j < total_columns(); ++j) {
-    const double v = violation_of(j);
+    const double v = score_of(j);
     if (v > 0.0) sweep_.push_back({v, j});
   }
   if (sweep_.empty()) return -1;
@@ -568,6 +721,9 @@ LpStatus LpSolver::primal_loop(std::int64_t* iterations) {
     if (*iterations >= options_.max_iterations) return LpStatus::kIterationLimit;
     const int entering = select_entering_primal(bland);
     if (entering == -1) return LpStatus::kOptimal;
+    if (devex() && devex_w_[static_cast<std::size_t>(entering)] > kDevexResetLimit) {
+      reset_devex_weights();  // reference framework drifted too far
+    }
     const double dir = at_upper_[static_cast<std::size_t>(entering)] ? -1.0 : 1.0;
     ftran(entering, w);
 
@@ -630,24 +786,39 @@ LpStatus LpSolver::primal_loop(std::int64_t* iterations) {
     const int leaving = basis_[static_cast<std::size_t>(leaving_row)];
 
     // Incremental reduced-cost update: d_j -= theta_d * alpha_rj using the
-    // pivot row gathered from the (pre-update) basis inverse.
+    // pivot row gathered from the (pre-update) basis representation.  The
+    // alphas come from a row-major scatter over the pivot row's nonzeros,
+    // so the cost follows the sparsity of e_r' B^{-1} — and the devex
+    // weight update rides the same loop for free.
     gather_row(leaving_row, work_row_);
+    compute_pivot_row_alphas(work_row_);
     const double theta_d = d_[static_cast<std::size_t>(entering)] / pivot;
-    for (int j = 0; j < total_columns(); ++j) {
+    const bool use_devex = devex();
+    const double wq = devex_w_[static_cast<std::size_t>(entering)];
+    const double inv_pivot2 = 1.0 / (pivot * pivot);
+    for (const int j : alpha_touched_) {
       if (basic_row_[static_cast<std::size_t>(j)] >= 0 || j == entering) continue;
-      const double alpha = column_dot(work_row_, j);
-      if (alpha != 0.0) d_[static_cast<std::size_t>(j)] -= theta_d * alpha;
+      const double alpha = work_alpha_[static_cast<std::size_t>(j)];
+      if (alpha == 0.0) continue;
+      d_[static_cast<std::size_t>(j)] -= theta_d * alpha;
+      if (use_devex) {
+        const double cand = alpha * alpha * inv_pivot2 * wq;
+        if (cand > devex_w_[static_cast<std::size_t>(j)]) devex_w_[static_cast<std::size_t>(j)] = cand;
+      }
     }
     d_[static_cast<std::size_t>(leaving)] = -theta_d;
     d_[static_cast<std::size_t>(entering)] = 0.0;
+    if (use_devex) {
+      devex_w_[static_cast<std::size_t>(leaving)] = std::max(wq * inv_pivot2, 1.0);
+    }
 
     at_upper_[static_cast<std::size_t>(leaving)] = pivot * dir < 0.0;
     basis_[static_cast<std::size_t>(leaving_row)] = entering;
     basic_row_[static_cast<std::size_t>(entering)] = leaving_row;
     basic_row_[static_cast<std::size_t>(leaving)] = -1;
-    pivot_update_binv(leaving_row, w);
+    const bool rep_ok = apply_basis_change(leaving_row, w);
     xb_[static_cast<std::size_t>(leaving_row)] = entering_value;
-    if (++updates_since_refactor_ >= options_.refactor_interval) {
+    if (!rep_ok || needs_refactor()) {
       if (!refactor()) return LpStatus::kIterationLimit;  // numerically wedged basis
     }
   }
@@ -663,35 +834,49 @@ LpStatus LpSolver::dual_loop(double cutoff, std::int64_t* iterations) {
   bool bland = false;
   std::vector<double>& rho = work_row_;
   std::vector<double>& w = work_col_;
+  const bool use_devex = devex();
   double obj = internal_objective();
+  // The incremental objective is exact until a non-degenerate pivot moves
+  // it; tracking that means a cutoff rejection triggers at most one exact
+  // recomputation per improving pivot instead of one per iteration while
+  // the objective hovers at the cutoff (degenerate stalls recompute never).
+  bool obj_exact = true;
 
   for (;;) {
     if (*iterations >= options_.max_iterations) return LpStatus::kIterationLimit;
 
-    // Leaving row: the most violated basic variable.
+    // Leaving row: the most violated basic variable, scaled by the devex
+    // row norms when enabled (violation^2 / gamma_i, approx. steepest edge).
     int r = -1;
-    double worst = kFeasTol;
+    double best_score = 0.0;
     bool below = false;
     for (int i = 0; i < m_; ++i) {
       const int p = basis_[static_cast<std::size_t>(i)];
       const double lo_gap = lower_[static_cast<std::size_t>(p)] - xb_[static_cast<std::size_t>(i)];
       const double hi_gap = xb_[static_cast<std::size_t>(i)] - upper_[static_cast<std::size_t>(p)];
-      if (lo_gap > worst) {
-        worst = lo_gap;
+      const double gap = lo_gap > hi_gap ? lo_gap : hi_gap;
+      if (gap <= kFeasTol) continue;
+      const double score =
+          use_devex ? gap * gap / devex_row_w_[static_cast<std::size_t>(i)] : gap;
+      if (score > best_score) {
+        best_score = score;
         r = i;
-        below = true;
-      } else if (hi_gap > worst) {
-        worst = hi_gap;
-        r = i;
-        below = false;
+        below = lo_gap > hi_gap;
       }
     }
     if (r == -1) return LpStatus::kOptimal;  // primal feasible again
+    if (use_devex && devex_row_w_[static_cast<std::size_t>(r)] > kDevexResetLimit) {
+      std::fill(devex_row_w_.begin(), devex_row_w_.end(), 1.0);
+      ++stats_.devex_resets;
+    }
 
     if (obj >= cutoff) {
       // The bound only ever grows; confirm with an exact recomputation
-      // before pruning on it.
-      obj = internal_objective();
+      // before pruning on it — unless the running value is already exact.
+      if (!obj_exact) {
+        obj = internal_objective();
+        obj_exact = true;
+      }
       if (obj >= cutoff) return LpStatus::kCutoff;
     }
 
@@ -700,21 +885,22 @@ LpStatus LpSolver::dual_loop(double cutoff, std::int64_t* iterations) {
                            : xb_[static_cast<std::size_t>(r)] - upper_[static_cast<std::size_t>(p)];
     const double s = below ? -1.0 : 1.0;
     gather_row(r, rho);
+    compute_pivot_row_alphas(rho);
 
-    // Dual ratio test, two passes: find the smallest ratio keeping every
-    // nonbasic reduced cost on its feasible side, then take the largest
-    // pivot inside a small window above it (numerical stability; tiny
-    // pivots are what drive the basis singular).  Alpha values are kept
-    // for the incremental d update.
+    // Dual ratio test, two passes over the pivot row's nonzero columns:
+    // find the smallest ratio keeping every nonbasic reduced cost on its
+    // feasible side, then take the largest pivot inside a small window
+    // above it (numerical stability; tiny pivots are what drive the basis
+    // singular).  Columns outside alpha_touched_ have alpha 0 and can
+    // neither enter nor need a d update.
     auto dual_ratio = [&](int j) -> double {
       const double a = s * work_alpha_[static_cast<std::size_t>(j)];
       if (at_upper_[static_cast<std::size_t>(j)] ? a >= -ztol : a <= ztol) return kInfinity;
       return std::max(d_[static_cast<std::size_t>(j)] / a, 0.0);  // clamp drift
     };
     double min_ratio = kInfinity;
-    for (int j = 0; j < total_columns(); ++j) {
+    for (const int j : alpha_touched_) {
       if (basic_row_[static_cast<std::size_t>(j)] >= 0) continue;
-      work_alpha_[static_cast<std::size_t>(j)] = column_dot(rho, j);
       if (upper_[static_cast<std::size_t>(j)] - lower_[static_cast<std::size_t>(j)] <= ztol) {
         continue;  // fixed column can never enter
       }
@@ -725,16 +911,15 @@ LpStatus LpSolver::dual_loop(double cutoff, std::int64_t* iterations) {
     double best_mag = 0.0;
     double alpha_q = 0.0;
     const double window = min_ratio + (bland ? 0.0 : kDualSignTol);
-    for (int j = 0; j < total_columns(); ++j) {
+    for (const int j : alpha_touched_) {
       if (basic_row_[static_cast<std::size_t>(j)] >= 0) continue;
       if (upper_[static_cast<std::size_t>(j)] - lower_[static_cast<std::size_t>(j)] <= ztol) continue;
       if (dual_ratio(j) > window) continue;
       const double mag = std::abs(work_alpha_[static_cast<std::size_t>(j)]);
-      if (q == -1 || (bland ? false : mag > best_mag)) {
+      if (q == -1 || (bland ? j < q : mag > best_mag)) {
         q = j;
         best_mag = mag;
         alpha_q = work_alpha_[static_cast<std::size_t>(j)];
-        if (bland) break;  // smallest eligible index
       }
     }
 
@@ -746,7 +931,7 @@ LpStatus LpSolver::dual_loop(double cutoff, std::int64_t* iterations) {
     for (int i = 0; i < m_; ++i) {
       xb_[static_cast<std::size_t>(i)] -= w[static_cast<std::size_t>(i)] * delta;
     }
-    for (int j = 0; j < total_columns(); ++j) {
+    for (const int j : alpha_touched_) {
       if (basic_row_[static_cast<std::size_t>(j)] >= 0 || j == q) continue;
       const double alpha = work_alpha_[static_cast<std::size_t>(j)];
       if (alpha != 0.0) d_[static_cast<std::size_t>(j)] -= theta_d * alpha;
@@ -754,15 +939,34 @@ LpStatus LpSolver::dual_loop(double cutoff, std::int64_t* iterations) {
     d_[static_cast<std::size_t>(p)] = -theta_d;
     d_[static_cast<std::size_t>(q)] = 0.0;
 
+    if (use_devex) {
+      // Row-norm update rides the FTRAN column already in hand: gamma_i is
+      // kept a valid reference-framework weight for the new basis.
+      const double ar = w[static_cast<std::size_t>(r)];  // == alpha_q up to drift
+      const double inv_ar2 = 1.0 / (ar * ar);
+      const double gr = devex_row_w_[static_cast<std::size_t>(r)];
+      for (int i = 0; i < m_; ++i) {
+        if (i == r) continue;
+        const double wi = w[static_cast<std::size_t>(i)];
+        if (wi == 0.0) continue;
+        const double cand = wi * wi * inv_ar2 * gr;
+        if (cand > devex_row_w_[static_cast<std::size_t>(i)]) {
+          devex_row_w_[static_cast<std::size_t>(i)] = cand;
+        }
+      }
+      devex_row_w_[static_cast<std::size_t>(r)] = std::max(gr * inv_ar2, 1.0);
+    }
+
     at_upper_[static_cast<std::size_t>(p)] = !below;
     basis_[static_cast<std::size_t>(r)] = q;
     basic_row_[static_cast<std::size_t>(q)] = r;
     basic_row_[static_cast<std::size_t>(p)] = -1;
-    pivot_update_binv(r, w);
+    const bool rep_ok = apply_basis_change(r, w);
     xb_[static_cast<std::size_t>(r)] = entering_value;
 
     const double gain = theta_d * e;  // >= 0: the dual objective is monotone
     obj += gain;
+    if (gain != 0.0) obj_exact = false;
     if (gain < ztol) {
       if (++degenerate_streak > kBlandThreshold) bland = true;
     } else {
@@ -772,9 +976,10 @@ LpStatus LpSolver::dual_loop(double cutoff, std::int64_t* iterations) {
     ++*iterations;
     ++stats_.iterations;
     ++stats_.dual_pivots;
-    if (++updates_since_refactor_ >= options_.refactor_interval) {
+    if (!rep_ok || needs_refactor()) {
       if (!refactor()) return LpStatus::kIterationLimit;  // numerically wedged basis
       obj = internal_objective();
+      obj_exact = true;
     }
   }
 }

@@ -3,11 +3,17 @@
 //
 // This is the workhorse under the branch-and-bound MILP solver that replaces
 // Gurobi in this reproduction.  The constraint matrix is stored column-major
-// sparse (CSC; the assay models are >95% zeros) and every row carries a
-// logical (slack) column, so the basis always has an all-logical fallback.
-// The basis inverse is kept dense and updated in product form with periodic
-// refactorization; reduced costs are maintained incrementally and priced
-// through a candidate list instead of a full Dantzig recomputation.
+// sparse (CSC, plus a row-major mirror for pivot-row scatters; the assay
+// models are >95% zeros) and every row carries a logical (slack) column, so
+// the basis always has an all-logical fallback.
+// The basis is represented either as a sparse LU factorization with
+// Markowitz pivoting and product-form eta updates (`BasisKind::kSparseLu`,
+// the default — FTRAN/BTRAN cost follows the basis sparsity) or as the
+// original dense inverse updated in product form (`BasisKind::kDense`, kept
+// as a cross-check oracle); both refactorize periodically.  Reduced costs
+// are maintained incrementally and priced through a candidate list, scored
+// by devex reference-framework weights by default (plain Dantzig remains
+// selectable); the dual simplex uses devex row norms the same way.
 //
 // `LpSolver` is persistent: after an optimal solve the factorized basis
 // stays alive, and `resolve` reoptimizes a changed bound box with the
@@ -17,12 +23,33 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "ilp/lu.hpp"
 #include "ilp/model.hpp"
 
 namespace fsyn::ilp {
+
+/// Basis representation used by the revised simplex.
+enum class BasisKind {
+  kDense,     ///< dense B^{-1}, product-form updates (PR 2 behaviour)
+  kSparseLu,  ///< Markowitz LU + eta file; cost scales with basis sparsity
+};
+
+/// Entering-variable pricing rule (primal Phase 2 and dual row choice).
+enum class PricingRule {
+  kDantzig,  ///< most-violating reduced cost
+  kDevex,    ///< devex reference-framework weights (approx. steepest edge)
+};
+
+const char* to_string(BasisKind kind);
+const char* to_string(PricingRule rule);
+/// Parses "dense" / "sparse_lu" (alias "sparse"); false on unknown input.
+bool basis_kind_from_string(std::string_view text, BasisKind* out);
+/// Parses "dantzig" / "devex"; false on unknown input.
+bool pricing_rule_from_string(std::string_view text, PricingRule* out);
 
 enum class LpStatus {
   kOptimal,
@@ -52,11 +79,20 @@ struct LpOptions {
   int max_iterations = 50000;
   double tolerance = 1e-9;
   /// Product-form basis updates between full refactorizations (numerical
-  /// refresh of the dense inverse, basic values and reduced costs).
+  /// refresh of the factorization, basic values and reduced costs).
   int refactor_interval = 96;
   /// Entering candidates kept per pricing sweep; 0 picks a size from the
-  /// column count (partial pricing instead of full Dantzig every pivot).
+  /// column count (partial pricing instead of full pricing every pivot).
   int candidate_list_size = 0;
+  /// Basis representation; the dense inverse is kept as an oracle for
+  /// cross-checking the sparse LU path (fuzz harness runs both).
+  BasisKind basis = BasisKind::kSparseLu;
+  /// Pricing rule for primal Phase 2 and the dual leaving-row choice.
+  PricingRule pricing = PricingRule::kDevex;
+  /// Sparse LU only: refactorize early once the eta file holds more than
+  /// this multiple of the factorization's nonzeros (fill control between
+  /// the periodic refactorizations).
+  double eta_growth_limit = 8.0;
 };
 
 /// Lifetime counters of one LpSolver (monotone; never reset).
@@ -68,6 +104,19 @@ struct LpSolverStats {
   std::int64_t refactorizations = 0;
   std::int64_t warm_solves = 0;  ///< resolves served by the dual simplex
   std::int64_t cold_solves = 0;  ///< Phase 1 + Phase 2 runs (incl. fallbacks)
+  // Sparse-LU basis telemetry (zero under BasisKind::kDense).
+  std::int64_t lu_refactorizations = 0;  ///< Markowitz factorizations built
+  std::int64_t eta_pivots = 0;           ///< basis changes absorbed as etas
+  std::int64_t eta_nnz = 0;              ///< total eta-file nonzeros appended
+  std::int64_t lu_fill_nnz = 0;          ///< summed L+U nonzeros
+  std::int64_t lu_basis_nnz = 0;         ///< summed basis nonzeros (fill ratio denom.)
+  std::int64_t devex_resets = 0;         ///< devex reference-framework restarts
+
+  /// Average LU fill-in: (L+U nnz) / (basis nnz) over all factorizations.
+  double fill_in_ratio() const {
+    return lu_basis_nnz > 0 ? static_cast<double>(lu_fill_nnz) / static_cast<double>(lu_basis_nnz)
+                            : 0.0;
+  }
 
   /// Sums counters from another solver (aggregation across solves/layers).
   void accumulate(const LpSolverStats& other) {
@@ -78,6 +127,12 @@ struct LpSolverStats {
     refactorizations += other.refactorizations;
     warm_solves += other.warm_solves;
     cold_solves += other.cold_solves;
+    lu_refactorizations += other.lu_refactorizations;
+    eta_pivots += other.eta_pivots;
+    eta_nnz += other.eta_nnz;
+    lu_fill_nnz += other.lu_fill_nnz;
+    lu_basis_nnz += other.lu_basis_nnz;
+    devex_resets += other.devex_resets;
   }
 };
 
@@ -114,13 +169,26 @@ class LpSolver {
                                                   : lower_[static_cast<std::size_t>(j)];
   }
   double* binv_col(int k) { return binv_.data() + static_cast<std::size_t>(k) * static_cast<std::size_t>(m_); }
+  bool sparse_basis() const { return options_.basis == BasisKind::kSparseLu; }
+  bool devex() const { return options_.pricing == PricingRule::kDevex; }
 
   // -- linear algebra -------------------------------------------------------
   void ftran(int j, std::vector<double>& w) const;      ///< w = B^{-1} a_j
   void gather_row(int r, std::vector<double>& rho) const;  ///< rho = e_r' B^{-1}
+  void btran_vec(const std::vector<double>& v, std::vector<double>& y) const;  ///< y = B^{-T} v
   double column_dot(const std::vector<double>& y, int j) const;  ///< y . a_j
-  void pivot_update_binv(int r, const std::vector<double>& w);
-  bool refactor();  ///< rebuild B^{-1}, xb (and d in Phase 2); false if singular
+  /// Absorbs the basis change at row r (FTRAN'd entering column w) into the
+  /// current representation; false means the representation is stale and
+  /// the caller must refactorize (sparse eta pivot too small).
+  bool apply_basis_change(int r, const std::vector<double>& w);
+  bool needs_refactor() const;
+  bool refactor();  ///< rebuild the basis factors, xb (and d in Phase 2); false if singular
+  bool factorize_sparse_basis();
+  /// Scatters alpha_j = rho . a_j for every column with a nonzero, through
+  /// the row-major matrix mirror; fills alpha_touched_ (cost follows the
+  /// sparsity of rho instead of the full column count).
+  void compute_pivot_row_alphas(const std::vector<double>& rho);
+  void reset_devex_weights();
 
   // -- state management -----------------------------------------------------
   void set_structural_bounds(const std::vector<double>& lower,
@@ -144,10 +212,14 @@ class LpSolver {
   int m_ = 0;  ///< rows
   int n_ = 0;  ///< structural columns (logical columns follow)
 
-  // Constraint matrix, structural part, compressed sparse column.
+  // Constraint matrix, structural part, compressed sparse column plus a
+  // row-major mirror (same nonzeros) for pivot-row alpha scatters.
   std::vector<int> col_start_;   ///< size n_+1
   std::vector<int> col_row_;
   std::vector<double> col_val_;
+  std::vector<int> row_start_;   ///< size m_+1
+  std::vector<int> row_col_;
+  std::vector<double> row_val_;
   std::vector<double> rhs_;
   std::vector<double> cost_;     ///< minimize-sense, structural (logicals 0)
 
@@ -157,14 +229,22 @@ class LpSolver {
   std::vector<std::uint8_t> at_upper_;      ///< nonbasic rest side
   std::vector<double> xb_;                  ///< basic values, row order
   std::vector<double> d_;                   ///< Phase-2 reduced costs
-  std::vector<double> binv_;                ///< dense B^{-1}, column-major
+  std::vector<double> binv_;                ///< dense B^{-1}, column-major (kDense only)
+  LuFactors lu_;                            ///< sparse factors (kSparseLu only)
   bool has_basis_ = false;                  ///< optimal factorized basis alive
   int updates_since_refactor_ = 0;
   bool in_phase2_ = false;                  ///< refactor() refreshes d_ too
 
   std::vector<double> work_col_, work_row_, work_rhs_;
-  std::vector<double> work_alpha_;  ///< per-column pivot-row values (dual)
+  std::vector<double> work_alpha_;  ///< per-column pivot-row values
+  std::vector<std::int64_t> alpha_stamp_;  ///< validity stamp for work_alpha_
+  std::vector<int> alpha_touched_;         ///< columns with nonzero alpha
+  std::int64_t alpha_epoch_ = 0;
+  std::vector<double> devex_w_;      ///< per-column primal devex weights
+  std::vector<double> devex_row_w_;  ///< per-row dual devex weights
   std::vector<double> refactor_mat_;
+  std::vector<int> fb_start_, fb_row_;  ///< basis-column scratch for the LU
+  std::vector<double> fb_val_;
   std::vector<int> candidates_;
   std::vector<std::pair<double, int>> sweep_;  ///< pricing scratch
   LpSolverStats stats_;

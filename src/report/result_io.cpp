@@ -113,7 +113,13 @@ std::string stored_result_to_json(const StoredResult& stored) {
      << ", \"primal_pivots\": " << r.milp_lp.primal_pivots << ", \"dual_pivots\": "
      << r.milp_lp.dual_pivots << ", \"bound_flips\": " << r.milp_lp.bound_flips
      << ", \"refactorizations\": " << r.milp_lp.refactorizations << ", \"warm_solves\": "
-     << r.milp_lp.warm_solves << ", \"cold_solves\": " << r.milp_lp.cold_solves << "}\n";
+     << r.milp_lp.warm_solves << ", \"cold_solves\": " << r.milp_lp.cold_solves
+     << ", \"lu_refactorizations\": " << r.milp_lp.lu_refactorizations
+     << ", \"eta_pivots\": " << r.milp_lp.eta_pivots << ", \"eta_nnz\": " << r.milp_lp.eta_nnz
+     << ", \"lu_fill_nnz\": " << r.milp_lp.lu_fill_nnz << ", \"lu_basis_nnz\": "
+     << r.milp_lp.lu_basis_nnz << ", \"devex_resets\": " << r.milp_lp.devex_resets
+     << ", \"basis\": \"" << ilp::to_string(r.milp_basis) << "\", \"pricing\": \""
+     << ilp::to_string(r.milp_pricing) << "\"}\n";
   os << "}\n";
   return os.str();
 }
@@ -194,6 +200,23 @@ StoredResult stored_result_from_json(const std::string& text) {
   r.milp_lp.refactorizations = solver.at("refactorizations").as_int();
   r.milp_lp.warm_solves = solver.at("warm_solves").as_int();
   r.milp_lp.cold_solves = solver.at("cold_solves").as_int();
+  // Sparse-LU and pricing telemetry postdate the format; older documents
+  // simply lack the keys, so read them leniently.
+  if (solver.has("lu_refactorizations"))
+    r.milp_lp.lu_refactorizations = solver.at("lu_refactorizations").as_int();
+  if (solver.has("eta_pivots")) r.milp_lp.eta_pivots = solver.at("eta_pivots").as_int();
+  if (solver.has("eta_nnz")) r.milp_lp.eta_nnz = solver.at("eta_nnz").as_int();
+  if (solver.has("lu_fill_nnz")) r.milp_lp.lu_fill_nnz = solver.at("lu_fill_nnz").as_int();
+  if (solver.has("lu_basis_nnz")) r.milp_lp.lu_basis_nnz = solver.at("lu_basis_nnz").as_int();
+  if (solver.has("devex_resets")) r.milp_lp.devex_resets = solver.at("devex_resets").as_int();
+  if (solver.has("basis")) {
+    check_input(ilp::basis_kind_from_string(solver.at("basis").as_string(), &r.milp_basis),
+                "unknown solver basis kind");
+  }
+  if (solver.has("pricing")) {
+    check_input(ilp::pricing_rule_from_string(solver.at("pricing").as_string(), &r.milp_pricing),
+                "unknown solver pricing rule");
+  }
   return stored;
 }
 

@@ -138,6 +138,7 @@ IlpScheduleResult schedule_optimal(const SequencingGraph& graph, const Policy& p
   milp_options.time_limit_seconds = options.time_limit_seconds;
   milp_options.max_nodes = options.max_nodes;
   milp_options.threads = options.threads;
+  milp_options.lp = options.lp;
   milp_options.initial_incumbent = std::move(incumbent);
   const ilp::MilpResult solved = ilp::solve_milp(model, milp_options);
 

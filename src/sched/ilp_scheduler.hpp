@@ -25,6 +25,9 @@ struct IlpScheduleOptions {
   int transport_delay = assay::kTransportDelay;
   /// Parallel tree-search workers (ilp::MilpOptions::threads); 0 = serial.
   int threads = 0;
+  /// LP engine configuration (basis representation, pricing rule) forwarded
+  /// to the relaxation solver.
+  ilp::LpOptions lp;
 };
 
 struct IlpScheduleResult {

@@ -6,6 +6,34 @@
 
 namespace fsyn::svc {
 
+namespace {
+
+// Mirrors ilp::BasisKind / ilp::PricingRule enumerator values without pulling
+// the solver headers into the svc layer; -1 means "no solve recorded yet".
+const char* basis_name(int basis) {
+  switch (basis) {
+    case 0:
+      return "dense";
+    case 1:
+      return "sparse_lu";
+    default:
+      return "unknown";
+  }
+}
+
+const char* pricing_name(int pricing) {
+  switch (pricing) {
+    case 0:
+      return "dantzig";
+    case 1:
+      return "devex";
+    default:
+      return "unknown";
+  }
+}
+
+}  // namespace
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot s;
   s.jobs_submitted = jobs_submitted_.load(std::memory_order_relaxed);
@@ -32,6 +60,14 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   s.solver_refactorizations = solver_refactorizations_.load(std::memory_order_relaxed);
   s.solver_warm_solves = solver_warm_solves_.load(std::memory_order_relaxed);
   s.solver_cold_solves = solver_cold_solves_.load(std::memory_order_relaxed);
+  s.solver_lu_refactorizations = solver_lu_refactorizations_.load(std::memory_order_relaxed);
+  s.solver_eta_pivots = solver_eta_pivots_.load(std::memory_order_relaxed);
+  s.solver_eta_nnz = solver_eta_nnz_.load(std::memory_order_relaxed);
+  s.solver_lu_fill_nnz = solver_lu_fill_nnz_.load(std::memory_order_relaxed);
+  s.solver_lu_basis_nnz = solver_lu_basis_nnz_.load(std::memory_order_relaxed);
+  s.solver_devex_resets = solver_devex_resets_.load(std::memory_order_relaxed);
+  s.solver_basis = solver_basis_.load(std::memory_order_relaxed);
+  s.solver_pricing = solver_pricing_.load(std::memory_order_relaxed);
   s.solver_threads = solver_threads_.load(std::memory_order_relaxed);
   s.solver_steals = solver_steals_.load(std::memory_order_relaxed);
   s.solver_idle_seconds =
@@ -82,6 +118,19 @@ std::string MetricsSnapshot::to_json() const {
                          : 0.0,
                      4)
      << ",\n"
+     << "    \"lu_refactorizations\": " << solver_lu_refactorizations << ",\n"
+     << "    \"eta_pivots\": " << solver_eta_pivots << ",\n"
+     << "    \"eta_nnz\": " << solver_eta_nnz << ",\n"
+     << "    \"fill_in_ratio\": "
+     << format_fixed(solver_lu_basis_nnz > 0
+                         ? static_cast<double>(solver_lu_fill_nnz) /
+                               static_cast<double>(solver_lu_basis_nnz)
+                         : 0.0,
+                     4)
+     << ",\n"
+     << "    \"devex_resets\": " << solver_devex_resets << ",\n"
+     << "    \"basis\": \"" << basis_name(solver_basis) << "\",\n"
+     << "    \"pricing\": \"" << pricing_name(solver_pricing) << "\",\n"
      << "    \"threads\": " << solver_threads << ",\n"
      << "    \"steals\": " << solver_steals << ",\n"
      << "    \"idle_seconds\": " << format_fixed(solver_idle_seconds, 6) << "\n"

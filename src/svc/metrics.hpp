@@ -51,6 +51,17 @@ struct MetricsSnapshot {
   long solver_refactorizations = 0;
   long solver_warm_solves = 0;
   long solver_cold_solves = 0;
+  // Sparse-LU basis telemetry (zeros when every solve used the dense basis).
+  long solver_lu_refactorizations = 0;
+  long solver_eta_pivots = 0;
+  long solver_eta_nnz = 0;
+  long solver_lu_fill_nnz = 0;
+  long solver_lu_basis_nnz = 0;
+  long solver_devex_resets = 0;
+  /// LP engine mode of the most recent solve: ilp::BasisKind/PricingRule as
+  /// ints (0 = dense / dantzig, 1 = sparse_lu / devex), -1 before any solve.
+  int solver_basis = -1;
+  int solver_pricing = -1;
   // Parallel-search telemetry (zeros when every solve ran serially).
   long solver_threads = 0;  ///< max workers used by any one MILP solve
   long solver_steals = 0;
@@ -92,17 +103,44 @@ class MetricsRegistry {
   void add_total_time(std::chrono::nanoseconds d) { total_latency_.record(d); }
   void add_reliability_time(std::chrono::nanoseconds d) { reliability_latency_.record(d); }
 
-  /// Folds one synthesis run's MILP solver counters into the registry
-  /// (plain longs so svc does not depend on the ilp headers).
-  void record_solver(long nodes, long lp_iterations, long primal_pivots, long dual_pivots,
-                     long refactorizations, long warm_solves, long cold_solves) {
-    solver_nodes_.fetch_add(nodes, std::memory_order_relaxed);
-    solver_lp_iterations_.fetch_add(lp_iterations, std::memory_order_relaxed);
-    solver_primal_pivots_.fetch_add(primal_pivots, std::memory_order_relaxed);
-    solver_dual_pivots_.fetch_add(dual_pivots, std::memory_order_relaxed);
-    solver_refactorizations_.fetch_add(refactorizations, std::memory_order_relaxed);
-    solver_warm_solves_.fetch_add(warm_solves, std::memory_order_relaxed);
-    solver_cold_solves_.fetch_add(cold_solves, std::memory_order_relaxed);
+  /// One synthesis run's MILP solver counters, as plain longs so svc does
+  /// not depend on the ilp headers.  `basis`/`pricing` mirror
+  /// ilp::BasisKind / ilp::PricingRule as ints (-1 = not reported).
+  struct SolverCounters {
+    long nodes = 0;
+    long lp_iterations = 0;
+    long primal_pivots = 0;
+    long dual_pivots = 0;
+    long refactorizations = 0;
+    long warm_solves = 0;
+    long cold_solves = 0;
+    long lu_refactorizations = 0;
+    long eta_pivots = 0;
+    long eta_nnz = 0;
+    long lu_fill_nnz = 0;
+    long lu_basis_nnz = 0;
+    long devex_resets = 0;
+    int basis = -1;
+    int pricing = -1;
+  };
+
+  /// Folds one synthesis run's MILP solver counters into the registry.
+  void record_solver(const SolverCounters& c) {
+    solver_nodes_.fetch_add(c.nodes, std::memory_order_relaxed);
+    solver_lp_iterations_.fetch_add(c.lp_iterations, std::memory_order_relaxed);
+    solver_primal_pivots_.fetch_add(c.primal_pivots, std::memory_order_relaxed);
+    solver_dual_pivots_.fetch_add(c.dual_pivots, std::memory_order_relaxed);
+    solver_refactorizations_.fetch_add(c.refactorizations, std::memory_order_relaxed);
+    solver_warm_solves_.fetch_add(c.warm_solves, std::memory_order_relaxed);
+    solver_cold_solves_.fetch_add(c.cold_solves, std::memory_order_relaxed);
+    solver_lu_refactorizations_.fetch_add(c.lu_refactorizations, std::memory_order_relaxed);
+    solver_eta_pivots_.fetch_add(c.eta_pivots, std::memory_order_relaxed);
+    solver_eta_nnz_.fetch_add(c.eta_nnz, std::memory_order_relaxed);
+    solver_lu_fill_nnz_.fetch_add(c.lu_fill_nnz, std::memory_order_relaxed);
+    solver_lu_basis_nnz_.fetch_add(c.lu_basis_nnz, std::memory_order_relaxed);
+    solver_devex_resets_.fetch_add(c.devex_resets, std::memory_order_relaxed);
+    if (c.basis >= 0) solver_basis_.store(c.basis, std::memory_order_relaxed);
+    if (c.pricing >= 0) solver_pricing_.store(c.pricing, std::memory_order_relaxed);
   }
 
   /// Folds one synthesis run's parallel-search counters into the registry.
@@ -147,6 +185,14 @@ class MetricsRegistry {
   std::atomic<long> solver_refactorizations_{0};
   std::atomic<long> solver_warm_solves_{0};
   std::atomic<long> solver_cold_solves_{0};
+  std::atomic<long> solver_lu_refactorizations_{0};
+  std::atomic<long> solver_eta_pivots_{0};
+  std::atomic<long> solver_eta_nnz_{0};
+  std::atomic<long> solver_lu_fill_nnz_{0};
+  std::atomic<long> solver_lu_basis_nnz_{0};
+  std::atomic<long> solver_devex_resets_{0};
+  std::atomic<int> solver_basis_{-1};
+  std::atomic<int> solver_pricing_{-1};
   std::atomic<long> solver_threads_{0};
   std::atomic<long> solver_steals_{0};
   std::atomic<long> solver_idle_micros_{0};

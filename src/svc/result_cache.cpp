@@ -84,6 +84,10 @@ void mix_options(Hasher& h, const synth::SynthesisOptions& options) {
   // result-affecting.
   h.mix(options.ilp.threads);
   h.mix(options.ilp.deterministic);
+  // Basis representation and pricing rule prove the same optimum but may
+  // tie-break to a different optimal placement, like the thread settings.
+  h.mix(static_cast<int>(options.ilp.lp.basis));
+  h.mix(static_cast<int>(options.ilp.lp.pricing));
   h.mix(options.ilp.warm_start.has_value());
   if (options.ilp.warm_start.has_value()) {
     for (const arch::DeviceInstance& device : *options.ilp.warm_start) {

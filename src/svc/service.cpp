@@ -240,12 +240,25 @@ JobResult BatchService::run_job(JobSpec& spec, Clock::time_point enqueued) {
       metrics_.add_synthesis_time(Clock::now() - synth_started);
       // MILP solver counters of the (winning) synthesis; zeros for heuristic
       // runs, so the aggregate reflects ILP work only.
-      metrics_.record_solver(result.milp_nodes, static_cast<long>(result.milp_lp_iterations),
-                             static_cast<long>(result.milp_lp.primal_pivots),
-                             static_cast<long>(result.milp_lp.dual_pivots),
-                             static_cast<long>(result.milp_lp.refactorizations),
-                             static_cast<long>(result.milp_lp.warm_solves),
-                             static_cast<long>(result.milp_lp.cold_solves));
+      MetricsRegistry::SolverCounters counters;
+      counters.nodes = result.milp_nodes;
+      counters.lp_iterations = static_cast<long>(result.milp_lp_iterations);
+      counters.primal_pivots = static_cast<long>(result.milp_lp.primal_pivots);
+      counters.dual_pivots = static_cast<long>(result.milp_lp.dual_pivots);
+      counters.refactorizations = static_cast<long>(result.milp_lp.refactorizations);
+      counters.warm_solves = static_cast<long>(result.milp_lp.warm_solves);
+      counters.cold_solves = static_cast<long>(result.milp_lp.cold_solves);
+      counters.lu_refactorizations = static_cast<long>(result.milp_lp.lu_refactorizations);
+      counters.eta_pivots = static_cast<long>(result.milp_lp.eta_pivots);
+      counters.eta_nnz = static_cast<long>(result.milp_lp.eta_nnz);
+      counters.lu_fill_nnz = static_cast<long>(result.milp_lp.lu_fill_nnz);
+      counters.lu_basis_nnz = static_cast<long>(result.milp_lp.lu_basis_nnz);
+      counters.devex_resets = static_cast<long>(result.milp_lp.devex_resets);
+      if (result.milp_nodes > 0) {
+        counters.basis = static_cast<int>(result.milp_basis);
+        counters.pricing = static_cast<int>(result.milp_pricing);
+      }
+      metrics_.record_solver(counters);
       metrics_.record_solver_parallel(result.milp_threads, result.milp_steals,
                                       result.milp_idle_seconds);
       out.result = std::make_shared<const synth::SynthesisResult>(std::move(result));

@@ -176,6 +176,7 @@ std::optional<IlpMappingOutcome> map_ilp(const MappingProblem& problem,
   milp_options.threads = options.threads;
   milp_options.deterministic = options.deterministic;
   milp_options.pool = options.pool;
+  milp_options.lp = options.lp;
   if (options.warm_start.has_value()) {
     const Placement& start = *options.warm_start;
     problem.validate_placement(start);
@@ -252,6 +253,8 @@ std::optional<IlpMappingOutcome> map_ilp(const MappingProblem& problem,
   outcome.nodes = result.nodes;
   outcome.lp_iterations = result.lp_iterations;
   outcome.lp = result.lp;
+  outcome.lp_basis = result.lp_basis;
+  outcome.lp_pricing = result.lp_pricing;
   outcome.threads = result.threads;
   outcome.steals = result.steals;
   outcome.idle_seconds = result.idle_seconds;

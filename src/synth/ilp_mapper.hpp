@@ -37,6 +37,9 @@ struct IlpMapperOptions {
   bool deterministic = false;
   /// Optional pool to borrow search workers from (ilp::MilpOptions::pool).
   svc::ThreadPool* pool = nullptr;
+  /// LP engine configuration (basis representation, pricing rule, tolerances)
+  /// forwarded to every per-node relaxation solver.
+  ilp::LpOptions lp;
 };
 
 struct IlpMappingOutcome {
@@ -48,6 +51,8 @@ struct IlpMappingOutcome {
   long nodes = 0;
   std::int64_t lp_iterations = 0;
   ilp::LpSolverStats lp;  ///< LP engine counters (warm/cold solves, pivots)
+  ilp::BasisKind lp_basis = ilp::BasisKind::kSparseLu;      ///< echoed config
+  ilp::PricingRule lp_pricing = ilp::PricingRule::kDevex;   ///< echoed config
   // Parallel-search telemetry (zeros for serial solves).
   int threads = 0;
   long steals = 0;

@@ -152,6 +152,8 @@ std::optional<SynthesisResult> attempt_on_size(const assay::SequencingGraph& gra
   result.milp_nodes = attempt->milp_nodes;
   result.milp_lp_iterations = attempt->milp_lp_iterations;
   result.milp_lp = attempt->milp_lp;
+  result.milp_basis = options.ilp.lp.basis;
+  result.milp_pricing = options.ilp.lp.pricing;
   result.milp_threads = attempt->milp_threads;
   result.milp_steals = attempt->milp_steals;
   result.milp_idle_seconds = attempt->milp_idle_seconds;

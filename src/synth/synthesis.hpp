@@ -97,6 +97,9 @@ struct SynthesisResult {
   long milp_nodes = 0;
   std::int64_t milp_lp_iterations = 0;
   ilp::LpSolverStats milp_lp;
+  /// LP engine configuration the MILP ran with (echoed for telemetry).
+  ilp::BasisKind milp_basis = ilp::BasisKind::kSparseLu;
+  ilp::PricingRule milp_pricing = ilp::PricingRule::kDevex;
   // Parallel-search telemetry (zeros when the search ran serially).
   int milp_threads = 0;       ///< max workers used by any solve
   long milp_steals = 0;       ///< summed cross-worker node steals

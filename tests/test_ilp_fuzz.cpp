@@ -140,13 +140,31 @@ TEST_P(MilpFuzz, AllConfigurationsMatchEnumeration) {
   no_presolve.presolve = false;
   check_config(instance, best, no_presolve, "no-presolve");
 
+  // The dense explicit-inverse basis is the reference implementation the
+  // sparse LU must agree with; dantzig pricing is the reference for devex.
+  MilpOptions dense = defaults;
+  dense.lp.basis = BasisKind::kDense;
+  check_config(instance, best, dense, "dense-basis");
+
+  MilpOptions dantzig = defaults;
+  dantzig.lp.basis = BasisKind::kDense;
+  dantzig.lp.pricing = PricingRule::kDantzig;
+  check_config(instance, best, dantzig, "dense-basis/dantzig");
+
   // The parallel tree search must prove the same optimum at every worker
-  // count (the search order differs, the fixpoint cannot).
+  // count (the search order differs, the fixpoint cannot), with either
+  // basis representation.
   for (const int threads : {1, 2, 4}) {
     MilpOptions parallel = defaults;
     parallel.threads = threads;
     check_config(instance, best, parallel,
                  threads == 1 ? "parallel-1" : (threads == 2 ? "parallel-2" : "parallel-4"));
+
+    MilpOptions parallel_dense = dense;
+    parallel_dense.threads = threads;
+    check_config(instance, best, parallel_dense,
+                 threads == 1 ? "parallel-1/dense"
+                              : (threads == 2 ? "parallel-2/dense" : "parallel-4/dense"));
   }
 
   MilpOptions lockstep = defaults;

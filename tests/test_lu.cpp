@@ -1,0 +1,365 @@
+// Unit tests for the sparse LU basis factorization (ilp/lu.hpp): solve
+// correctness against a dense Gaussian-elimination reference, singular and
+// numerically rank-deficient bases, product-form eta updates (including the
+// drift they accumulate versus a fresh refactorization), and the stability
+// rejection of near-zero update pivots.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ilp/lu.hpp"
+#include "util/rng.hpp"
+
+namespace fsyn::ilp {
+namespace {
+
+/// Column-major dense matrix with the sparse handoff LuFactors expects.
+struct DenseBasis {
+  int m = 0;
+  std::vector<double> a;  // column-major, m*m
+
+  explicit DenseBasis(int size) : m(size), a(static_cast<std::size_t>(size) * size, 0.0) {}
+
+  double& at(int row, int col) { return a[static_cast<std::size_t>(col) * m + row]; }
+  double at(int row, int col) const { return a[static_cast<std::size_t>(col) * m + row]; }
+
+  void to_sparse(std::vector<int>& col_start, std::vector<int>& rows,
+                 std::vector<double>& vals) const {
+    col_start.assign(1, 0);
+    rows.clear();
+    vals.clear();
+    for (int j = 0; j < m; ++j) {
+      for (int i = 0; i < m; ++i) {
+        if (at(i, j) != 0.0) {
+          rows.push_back(i);
+          vals.push_back(at(i, j));
+        }
+      }
+      col_start.push_back(static_cast<int>(rows.size()));
+    }
+  }
+
+  bool factorize(LuFactors& lu) const {
+    std::vector<int> col_start, rows;
+    std::vector<double> vals;
+    to_sparse(col_start, rows, vals);
+    return lu.factorize(m, col_start, rows, vals);
+  }
+
+  /// Reference solve A x = b via partial-pivoting Gaussian elimination.
+  /// Returns false when the matrix is singular to working precision.
+  bool solve(std::vector<double> b, std::vector<double>& x) const {
+    std::vector<double> work = a;
+    std::vector<int> perm(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) perm[static_cast<std::size_t>(i)] = i;
+    auto w = [&](int row, int col) -> double& {
+      return work[static_cast<std::size_t>(col) * m + row];
+    };
+    for (int k = 0; k < m; ++k) {
+      int pivot = k;
+      for (int i = k + 1; i < m; ++i) {
+        if (std::fabs(w(i, k)) > std::fabs(w(pivot, k))) pivot = i;
+      }
+      if (std::fabs(w(pivot, k)) < 1e-12) return false;
+      if (pivot != k) {
+        for (int j = 0; j < m; ++j) std::swap(w(k, j), w(pivot, j));
+        std::swap(b[static_cast<std::size_t>(k)], b[static_cast<std::size_t>(pivot)]);
+      }
+      for (int i = k + 1; i < m; ++i) {
+        const double f = w(i, k) / w(k, k);
+        if (f == 0.0) continue;
+        for (int j = k; j < m; ++j) w(i, j) -= f * w(k, j);
+        b[static_cast<std::size_t>(i)] -= f * b[static_cast<std::size_t>(k)];
+      }
+    }
+    x.assign(static_cast<std::size_t>(m), 0.0);
+    for (int k = m - 1; k >= 0; --k) {
+      double sum = b[static_cast<std::size_t>(k)];
+      for (int j = k + 1; j < m; ++j) sum -= w(k, j) * x[static_cast<std::size_t>(j)];
+      x[static_cast<std::size_t>(k)] = sum / w(k, k);
+    }
+    return true;
+  }
+
+  /// Reference transposed solve A^T x = b.
+  bool solve_transposed(const std::vector<double>& b, std::vector<double>& x) const {
+    DenseBasis t(m);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < m; ++j) t.at(i, j) = at(j, i);
+    }
+    return t.solve(b, x);
+  }
+};
+
+DenseBasis random_basis(int m, std::uint64_t seed, double density) {
+  Rng rng(seed);
+  DenseBasis basis(m);
+  // Nonzero diagonal keeps the draw nonsingular with overwhelming
+  // probability; off-diagonal entries appear with the given density.
+  for (int i = 0; i < m; ++i) basis.at(i, i) = 1.0 + rng.next_double();
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      if (i != j && rng.next_double() < density) {
+        basis.at(i, j) = rng.next_double() * 4.0 - 2.0;
+      }
+    }
+  }
+  return basis;
+}
+
+std::vector<double> random_rhs(int m, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> b(static_cast<std::size_t>(m));
+  for (double& v : b) v = rng.next_double() * 10.0 - 5.0;
+  return b;
+}
+
+double max_abs_diff(const std::vector<double>& a, const std::vector<double>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) worst = std::max(worst, std::fabs(a[i] - b[i]));
+  return worst;
+}
+
+TEST(LuFactors, IdentitySolvesAreIdentity) {
+  const int m = 7;
+  DenseBasis eye(m);
+  for (int i = 0; i < m; ++i) eye.at(i, i) = 1.0;
+  LuFactors lu;
+  ASSERT_TRUE(eye.factorize(lu));
+  EXPECT_TRUE(lu.valid());
+  EXPECT_EQ(lu.eta_count(), 0);
+
+  std::vector<double> x = random_rhs(m, 3);
+  const std::vector<double> expect = x;
+  lu.ftran(x);
+  EXPECT_LE(max_abs_diff(x, expect), 1e-14);
+  lu.btran(x);
+  EXPECT_LE(max_abs_diff(x, expect), 1e-14);
+}
+
+TEST(LuFactors, PermutationBasisRoundTrips) {
+  // B = a permutation matrix: ftran must invert the permutation exactly.
+  const int m = 6;
+  const int perm[m] = {3, 0, 5, 1, 2, 4};  // column j has its 1 in row perm[j]
+  DenseBasis basis(m);
+  for (int j = 0; j < m; ++j) basis.at(perm[j], j) = 1.0;
+  LuFactors lu;
+  ASSERT_TRUE(basis.factorize(lu));
+
+  std::vector<double> b = random_rhs(m, 11);
+  std::vector<double> expect;
+  ASSERT_TRUE(basis.solve(b, expect));
+  std::vector<double> x = b;
+  lu.ftran(x);
+  EXPECT_LE(max_abs_diff(x, expect), 1e-13);
+}
+
+TEST(LuFactors, FtranMatchesDenseReference) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    for (const double density : {0.1, 0.4, 0.9}) {
+      const int m = 12;
+      const DenseBasis basis = random_basis(m, seed, density);
+      LuFactors lu;
+      ASSERT_TRUE(basis.factorize(lu)) << "seed " << seed << " density " << density;
+
+      const std::vector<double> b = random_rhs(m, seed * 97 + 1);
+      std::vector<double> expect;
+      ASSERT_TRUE(basis.solve(b, expect));
+      std::vector<double> x = b;
+      lu.ftran(x);
+      EXPECT_LE(max_abs_diff(x, expect), 1e-9) << "seed " << seed << " density " << density;
+    }
+  }
+}
+
+TEST(LuFactors, BtranMatchesDenseReference) {
+  for (const std::uint64_t seed : {7u, 8u, 9u}) {
+    const int m = 10;
+    const DenseBasis basis = random_basis(m, seed, 0.5);
+    LuFactors lu;
+    ASSERT_TRUE(basis.factorize(lu));
+
+    const std::vector<double> b = random_rhs(m, seed * 31 + 2);
+    std::vector<double> expect;
+    ASSERT_TRUE(basis.solve_transposed(b, expect));
+    std::vector<double> x = b;
+    lu.btran(x);
+    EXPECT_LE(max_abs_diff(x, expect), 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(LuFactors, SingularBasisIsRejected) {
+  // Exactly repeated column.
+  DenseBasis dup(4);
+  for (int i = 0; i < 4; ++i) dup.at(i, i) = 1.0;
+  for (int i = 0; i < 4; ++i) dup.at(i, 2) = dup.at(i, 1);
+  LuFactors lu;
+  EXPECT_FALSE(dup.factorize(lu));
+  EXPECT_FALSE(lu.valid());
+
+  // Structurally empty column.
+  DenseBasis hole(4);
+  for (int i = 0; i < 4; ++i) hole.at(i, i) = 1.0;
+  hole.at(2, 2) = 0.0;
+  EXPECT_FALSE(hole.factorize(lu));
+
+  // Numerically rank deficient: third column = sum of the first two plus
+  // noise far below the pivot tolerance.
+  DenseBasis nearly(3);
+  nearly.at(0, 0) = 1.0;
+  nearly.at(1, 1) = 1.0;
+  nearly.at(2, 2) = 0.0;
+  nearly.at(0, 2) = 1.0;
+  nearly.at(1, 2) = 1.0;
+  nearly.at(0, 1) = 0.0;
+  nearly.at(2, 0) = 0.0;
+  // col2 = col0 + col1 exactly in rows 0,1 and zero in row 2 => singular.
+  EXPECT_FALSE(nearly.factorize(lu));
+}
+
+TEST(LuFactors, FactorizeRecoversAfterSingularReject) {
+  // A failed factorize must not poison the next one (workspace reuse).
+  DenseBasis bad(5);  // all zero
+  LuFactors lu;
+  EXPECT_FALSE(bad.factorize(lu));
+
+  const DenseBasis good = random_basis(5, 21, 0.6);
+  ASSERT_TRUE(good.factorize(lu));
+  const std::vector<double> b = random_rhs(5, 22);
+  std::vector<double> expect;
+  ASSERT_TRUE(good.solve(b, expect));
+  std::vector<double> x = b;
+  lu.ftran(x);
+  EXPECT_LE(max_abs_diff(x, expect), 1e-9);
+}
+
+/// Replaces dense column `slot` and mirrors the change through lu.update()
+/// the way the simplex does: FTRAN the entering column, then append an eta.
+bool replace_column(DenseBasis& basis, LuFactors& lu, int slot,
+                    const std::vector<double>& entering) {
+  std::vector<double> w = entering;
+  lu.ftran(w);
+  if (!lu.update(slot, w)) return false;
+  for (int i = 0; i < basis.m; ++i) basis.at(i, slot) = entering[static_cast<std::size_t>(i)];
+  return true;
+}
+
+TEST(LuFactors, EtaUpdatesTrackColumnReplacements) {
+  const int m = 9;
+  DenseBasis basis = random_basis(m, 31, 0.5);
+  LuFactors lu;
+  ASSERT_TRUE(basis.factorize(lu));
+
+  Rng rng(77);
+  for (int round = 0; round < 6; ++round) {
+    const int slot = rng.next_int(0, m - 1);
+    std::vector<double> entering(static_cast<std::size_t>(m));
+    for (double& v : entering) v = rng.next_double() * 2.0 - 1.0;
+    entering[static_cast<std::size_t>(slot)] += 2.0;  // keep it well-conditioned
+    ASSERT_TRUE(replace_column(basis, lu, slot, entering)) << "round " << round;
+  }
+  EXPECT_EQ(lu.eta_count(), 6);
+
+  const std::vector<double> b = random_rhs(m, 78);
+  std::vector<double> expect;
+  ASSERT_TRUE(basis.solve(b, expect));
+  std::vector<double> x = b;
+  lu.ftran(x);
+  EXPECT_LE(max_abs_diff(x, expect), 1e-8);
+
+  std::vector<double> bt = random_rhs(m, 79);
+  std::vector<double> expect_t;
+  ASSERT_TRUE(basis.solve_transposed(bt, expect_t));
+  std::vector<double> xt = bt;
+  lu.btran(xt);
+  EXPECT_LE(max_abs_diff(xt, expect_t), 1e-8);
+}
+
+TEST(LuFactors, RefactorizationBeatsLongEtaFileDrift) {
+  // Drive a long eta file, then refactorize the same basis from scratch:
+  // both must still solve correctly, and the refactorized solve must be at
+  // least as accurate — the property the refactor threshold relies on.
+  const int m = 8;
+  DenseBasis basis = random_basis(m, 41, 0.6);
+  LuFactors lu;
+  ASSERT_TRUE(basis.factorize(lu));
+
+  Rng rng(42);
+  int applied = 0;
+  for (int round = 0; round < 40; ++round) {
+    const int slot = rng.next_int(0, m - 1);
+    std::vector<double> entering(static_cast<std::size_t>(m));
+    for (double& v : entering) v = rng.next_double() * 2.0 - 1.0;
+    entering[static_cast<std::size_t>(slot)] += 1.5;
+    if (replace_column(basis, lu, slot, entering)) ++applied;
+  }
+  ASSERT_GT(applied, 20);  // the generator keeps pivots stable
+  EXPECT_EQ(lu.eta_count(), applied);
+  EXPECT_GT(lu.eta_nnz(), 0);
+
+  const std::vector<double> b = random_rhs(m, 43);
+  std::vector<double> expect;
+  ASSERT_TRUE(basis.solve(b, expect));
+
+  std::vector<double> with_etas = b;
+  lu.ftran(with_etas);
+  const double eta_err = max_abs_diff(with_etas, expect);
+
+  LuFactors fresh;
+  ASSERT_TRUE(basis.factorize(fresh));
+  EXPECT_EQ(fresh.eta_count(), 0);
+  std::vector<double> refactored = b;
+  fresh.ftran(refactored);
+  const double fresh_err = max_abs_diff(refactored, expect);
+
+  EXPECT_LE(eta_err, 1e-7);
+  EXPECT_LE(fresh_err, eta_err + 1e-12);
+}
+
+TEST(LuFactors, TinyUpdatePivotIsRejected) {
+  const int m = 5;
+  DenseBasis basis = random_basis(m, 51, 0.7);
+  LuFactors lu;
+  ASSERT_TRUE(basis.factorize(lu));
+
+  // Entering column orthogonal-ish to slot 2: w[2] ~ 0 after FTRAN makes
+  // the replacement basis singular, so update() must refuse the eta.
+  std::vector<double> entering(static_cast<std::size_t>(m), 0.0);
+  for (int i = 0; i < m; ++i) entering[static_cast<std::size_t>(i)] = basis.at(i, 0);
+  // Column 0 re-entering at slot 2 gives FTRAN'd w = e_0, so w[2] = 0.
+  std::vector<double> w = entering;
+  lu.ftran(w);
+  ASSERT_LT(std::fabs(w[2]), 1e-9);
+  EXPECT_FALSE(lu.update(2, w));
+  // The factorization itself stays usable for the caller's refactorize.
+  EXPECT_TRUE(lu.valid());
+}
+
+TEST(LuFactors, RankRevealingOnArrowheadBasis) {
+  // Arrowhead matrix: dense first row/column plus diagonal — a classic
+  // fill-in trap.  Markowitz should keep the factors sparse (pivoting the
+  // diagonal first), and the solves must stay accurate either way.
+  const int m = 14;
+  DenseBasis basis(m);
+  basis.at(0, 0) = 2.0;
+  for (int i = 1; i < m; ++i) {
+    basis.at(i, i) = 1.0 + 0.1 * i;
+    basis.at(0, i) = 1.0;
+    basis.at(i, 0) = 1.0;
+  }
+  LuFactors lu;
+  ASSERT_TRUE(basis.factorize(lu));
+  // Dense LU of an arrowhead fills ~m^2/2; Markowitz keeps it linear.
+  EXPECT_LT(lu.lu_nnz(), 6 * m);
+
+  const std::vector<double> b = random_rhs(m, 61);
+  std::vector<double> expect;
+  ASSERT_TRUE(basis.solve(b, expect));
+  std::vector<double> x = b;
+  lu.ftran(x);
+  EXPECT_LE(max_abs_diff(x, expect), 1e-9);
+}
+
+}  // namespace
+}  // namespace fsyn::ilp

@@ -17,6 +17,9 @@
 //   --ilp           use the exact ILP mapper (small assays only)
 //   --time-limit S  ILP branch & bound wall-clock limit in seconds
 //   --ilp-threads N parallel MILP search workers (0 = serial, the default)
+//   --lp-basis B    LP basis representation: sparse (LU + eta updates, the
+//                   default) or dense (explicit inverse; debugging reference)
+//   --lp-pricing P  LP pricing rule: devex (the default) or dantzig
 //   --json PATH     write the synthesis result as JSON
 //   --out PATH      write the mapping for later `reliability --in` runs
 //   --svg PATH      write an SVG rendering
@@ -111,6 +114,8 @@ struct CliOptions {
   bool use_ilp = false;
   std::optional<double> time_limit_seconds;
   int ilp_threads = 0;  ///< MILP search workers (0 = serial branch-and-bound)
+  ilp::BasisKind lp_basis = ilp::BasisKind::kSparseLu;     ///< --lp-basis
+  ilp::PricingRule lp_pricing = ilp::PricingRule::kDevex;  ///< --lp-pricing
   std::string json_path;
   std::string svg_path;
   bool snapshots = false;
@@ -150,6 +155,7 @@ struct CliOptions {
       "usage:\n"
       "  flowsynth synth    <assay-file|benchmark> [--policy N | --asap] [--grid N]\n"
       "                     [--seed S] [--ilp] [--time-limit S] [--ilp-threads N]\n"
+      "                     [--lp-basis dense|sparse] [--lp-pricing dantzig|devex]\n"
       "                     [--json PATH]\n"
       "                     [--svg PATH] [--snapshots] [--control] [--trace PATH]\n"
       "  flowsynth schedule <assay-file|benchmark> [--policy N | --asap]\n"
@@ -162,6 +168,7 @@ struct CliOptions {
       "                     [--repeat R] [--deadline-ms D] [--race] [--metrics PATH|-]\n"
       "                     [--seed S] [--grid N] [--cache N] [--queue N] [--reject]\n"
       "                     [--ilp-threads N]\n"
+      "                     [--lp-basis dense|sparse] [--lp-pricing dantzig|devex]\n"
       "                     [--trace PATH] [--reliability] [--trials N]\n"
       "  flowsynth table1   [--jobs N]\n"
       "  flowsynth list\n";
@@ -203,6 +210,14 @@ CliOptions parse_cli(int argc, char** argv) {
       options.time_limit_seconds = parse_double(next());
     } else if (arg == "--ilp-threads") {
       options.ilp_threads = parse_int(next());
+    } else if (arg == "--lp-basis") {
+      const std::string value = next();
+      if (!ilp::basis_kind_from_string(value, &options.lp_basis))
+        usage("unknown LP basis '" + value + "' (expected dense or sparse)");
+    } else if (arg == "--lp-pricing") {
+      const std::string value = next();
+      if (!ilp::pricing_rule_from_string(value, &options.lp_pricing))
+        usage("unknown LP pricing '" + value + "' (expected dantzig or devex)");
     } else if (arg == "--json") {
       options.json_path = next();
     } else if (arg == "--svg") {
@@ -297,6 +312,8 @@ int run_synth(const CliOptions& cli) {
     options.ilp.time_limit_seconds = *cli.time_limit_seconds;
   }
   options.ilp.threads = cli.ilp_threads;
+  options.ilp.lp.basis = cli.lp_basis;
+  options.ilp.lp.pricing = cli.lp_pricing;
   const synth::SynthesisResult result = synth::synthesize(graph, schedule, options);
 
   std::cout << "chip:        " << result.chip_width << "x" << result.chip_height
@@ -360,6 +377,8 @@ int run_reliability(const CliOptions& cli) {
     synth_options.ilp.time_limit_seconds = *cli.time_limit_seconds;
   }
   synth_options.ilp.threads = cli.ilp_threads;
+  synth_options.ilp.lp.basis = cli.lp_basis;
+  synth_options.ilp.lp.pricing = cli.lp_pricing;
 
   if (!cli.in_path.empty()) {
     report::StoredResult stored = report::read_stored_result(cli.in_path);
@@ -549,6 +568,8 @@ int run_batch(const CliOptions& cli) {
           spec.options.ilp.time_limit_seconds = *cli.time_limit_seconds;
         }
         spec.options.ilp.threads = cli.ilp_threads;
+        spec.options.ilp.lp.basis = cli.lp_basis;
+        spec.options.ilp.lp.pricing = cli.lp_pricing;
         if (cli.deadline_ms.has_value()) {
           spec.deadline = std::chrono::milliseconds(*cli.deadline_ms);
         }
