@@ -15,14 +15,20 @@
 // estimated completion blows the deadline and submissions come back
 // 429 + Retry-After.  The run fails (exit 1) if nothing was shed or
 // nothing was accepted — both halves are the point.
+//
+// `--out PATH` additionally writes the run as a flowsynth-bench-v1 file
+// (bench_json.hpp envelope) for the bench_compare regression gate; the
+// committed baseline lives at bench/results/BENCH_server.json.
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "net/api.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
@@ -82,22 +88,54 @@ struct Server {
   std::thread thread;
 };
 
+/// When non-null, every emit() also records the row in the BENCH file.
+benchio::BenchWriter* g_writer = nullptr;
+
+/// "/v1/jobs" at 8 clients -> "v1_jobs_c8": a stable per-row key for the
+/// bench_compare instance matching.
+std::string instance_name(const std::string& endpoint, int clients) {
+  std::string name;
+  for (const char c : endpoint) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      name.push_back(c);
+    } else if (!name.empty() && name.back() != '_') {
+      name.push_back('_');
+    }
+  }
+  return name + "_c" + std::to_string(clients);
+}
+
 void emit(const std::string& bench, const std::string& endpoint, int clients,
           std::size_t requests, double elapsed_seconds, Percentiles latency) {
+  const double req_per_sec =
+      elapsed_seconds > 0.0 ? static_cast<double>(requests) / elapsed_seconds : 0.0;
   JsonWriter w;
   w.begin_object();
   w.key("bench").value(bench);
   w.key("endpoint").value(endpoint);
   w.key("clients").value(clients);
   w.key("requests").value(static_cast<long>(requests));
-  w.key("req_per_sec").value(elapsed_seconds > 0.0
-                                 ? static_cast<double>(requests) / elapsed_seconds
-                                 : 0.0);
+  w.key("req_per_sec").value(req_per_sec);
   w.key("p50_ms").value(latency.p50);
   w.key("p95_ms").value(latency.p95);
   w.key("p99_ms").value(latency.p99);
   w.end_object();
   std::cout << w.str() << "\n";
+
+  if (g_writer != nullptr) {
+    benchio::JsonObject row;
+    row.add("bench", bench)
+        .add("instance", instance_name(endpoint, clients))
+        .add("endpoint", endpoint)
+        .add("clients", clients)
+        .add("requests", static_cast<long long>(requests))
+        .add("req_per_sec", req_per_sec)
+        .add("p50_ms", latency.p50)
+        .add("p95_ms", latency.p95)
+        .add("p99_ms", latency.p99)
+        .add("wall_ms", elapsed_seconds * 1000.0);
+    g_writer->add_instance(row);
+  }
 }
 
 /// `clients` threads issue `total / clients` requests each; returns false
@@ -267,6 +305,17 @@ bool demonstrate_shedding() {
   w.end_object();
   std::cout << w.str() << "\n";
 
+  if (g_writer != nullptr) {
+    benchio::JsonObject row;
+    row.add("bench", "server_admission")
+        .add("instance", "admission_flood")
+        .add("submitted", kClients * kPerClient)
+        .add("accepted", accepted.load())
+        .add("shed_429", shed.load())
+        .add("queue_full_503", queue_full.load());
+    g_writer->add_instance(row);
+  }
+
   if (accepted.load() == 0 || shed.load() == 0) {
     std::cerr << "FAIL: admission control should accept early jobs and shed "
                  "under load (accepted="
@@ -278,7 +327,24 @@ bool demonstrate_shedding() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_server [--out PATH]\n";
+      return 2;
+    }
+  }
+
+  benchio::BenchWriter writer("server");
+  writer.config()
+      .add("workers", static_cast<long long>(std::thread::hardware_concurrency()))
+      .add("transport", "loopback");
+  if (!out_path.empty()) g_writer = &writer;
+
   bool ok = true;
 
   {
@@ -293,6 +359,15 @@ int main() {
   }
 
   ok = demonstrate_shedding() && ok;
+
+  if (!out_path.empty()) {
+    if (writer.write(out_path)) {
+      std::cout << "bench file written to " << out_path << "\n";
+    } else {
+      std::cerr << "FAIL: cannot write " << out_path << "\n";
+      ok = false;
+    }
+  }
 
   std::cout << (ok ? "bench_server: OK" : "bench_server: FAILED") << "\n";
   return ok ? 0 : 1;

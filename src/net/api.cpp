@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/trace_context.hpp"
 #include "util/json.hpp"
 
 namespace fsyn::net {
@@ -33,9 +36,28 @@ std::uint64_t parse_id(const RouteParams& params) {
   return static_cast<std::uint64_t>(value);
 }
 
+/// `/metrics` wants Prometheus text when the client says so — via
+/// `?format=prometheus` or an Accept header that prefers text/plain (what
+/// a Prometheus scraper sends).  JSON stays the default for humans and the
+/// existing tooling.
+bool wants_prometheus(const HttpRequest& request) {
+  const std::string format = request.query_param("format");
+  if (format == "prometheus" || format == "text") return true;
+  if (format == "json") return false;
+  if (const std::string* accept = request.header("Accept")) {
+    const std::size_t text = accept->find("text/plain");
+    const std::size_t json = accept->find("application/json");
+    if (text != std::string::npos && (json == std::string::npos || text < json)) return true;
+  }
+  return false;
+}
+
 HttpResponse submit_job(JobManager& manager, const AdmissionConfig& admission,
                         const HttpRequest& request) {
   WireSpec wire = parse_wire_spec(request.body);  // fsyn::Error -> 400 (router)
+  // The server installed the request's context (parsed from traceparent or
+  // minted at the door) before dispatching; the job inherits it here.
+  wire.spec.trace = obs::current_trace();
 
   const AdmissionDecision decision =
       admit(admission, wire.spec.priority, manager.service().queue_depth(),
@@ -77,6 +99,8 @@ HttpResponse submit_job(JobManager& manager, const AdmissionConfig& admission,
   w.key("id").value(id);
   w.key("state").value(manager.state_of(id));
   w.key("priority").value(svc::to_string(priority));
+  const obs::TraceContext trace = obs::current_trace();
+  if (trace.valid()) w.key("trace_id").value(trace.trace_id_hex());
   w.end_object();
   return json_response(202, w.take());
 }
@@ -153,8 +177,25 @@ Router make_api_router(JobManager& manager, const AdmissionConfig& admission) {
                return json_response(200, w.take());
              });
 
-  router.add("GET", "/metrics", [&manager](const HttpRequest&, const RouteParams&) {
+  router.add("GET", "/metrics", [&manager](const HttpRequest& request, const RouteParams&) {
+    if (wants_prometheus(request)) {
+      HttpResponse response;
+      response.status = 200;
+      response.content_type = std::string(obs::kPrometheusContentType);
+      response.body = manager.metrics_prometheus();
+      return response;
+    }
     return json_response(200, manager.metrics_json());
+  });
+
+  router.add("GET", "/v1/debug/trace", [](const HttpRequest&, const RouteParams&) {
+    if (!obs::flight_recording_enabled()) {
+      return error_response(404, "flight recorder disabled");
+    }
+    HttpResponse response;
+    response.status = 200;
+    response.body = obs::FlightRecorder::instance().dump_json();
+    return response;
   });
 
   router.add("GET", "/healthz", [&manager](const HttpRequest&, const RouteParams&) {

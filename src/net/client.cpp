@@ -35,10 +35,14 @@ void send_all(int fd, std::string_view data) {
 
 std::string build_request(const std::string& method, const std::string& target,
                           const std::string& host, const std::string& body,
-                          const std::string& content_type) {
+                          const std::string& content_type,
+                          const std::vector<Header>& extra_headers) {
   std::string out = method + " " + target + " HTTP/1.1\r\n";
   out += "Host: " + host + "\r\n";
   out += "Connection: close\r\n";
+  for (const Header& header : extra_headers) {
+    out += header.name + ": " + header.value + "\r\n";
+  }
   if (!body.empty() || method == "POST" || method == "PUT") {
     out += "Content-Type: " + content_type + "\r\n";
     out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
@@ -133,7 +137,8 @@ ClientResponse ApiClient::request(const std::string& method, const std::string& 
   const int fd = connect_fd();
   ClientResponse response;
   try {
-    send_all(fd, build_request(method, target, host_, body, content_type));
+    send_all(fd, build_request(method, target, host_, body, content_type,
+                               default_headers_));
 
     std::string data;
     char buffer[16 * 1024];
@@ -172,13 +177,16 @@ ClientResponse ApiClient::request(const std::string& method, const std::string& 
 }
 
 int ApiClient::watch(std::uint64_t job_id, const FrameHandler& on_frame,
-                     std::uint64_t after_seq) {
+                     std::uint64_t after_seq, std::vector<Header>* response_headers) {
   const int fd = connect_fd();
   int status = 0;
   try {
     std::string head = "GET /v1/jobs/" + std::to_string(job_id) + "/events HTTP/1.1\r\n";
     head += "Host: " + host_ + "\r\n";
     head += "Accept: text/event-stream\r\n";
+    for (const Header& header : default_headers_) {
+      head += header.name + ": " + header.value + "\r\n";
+    }
     if (after_seq > 0) head += "Last-Event-ID: " + std::to_string(after_seq) + "\r\n";
     head += "Connection: close\r\n\r\n";
     send_all(fd, head);
@@ -205,6 +213,7 @@ int ApiClient::watch(std::uint64_t job_id, const FrameHandler& on_frame,
         body_offset = parse_response_head(data, &response);
         if (body_offset == std::string::npos) continue;
         status = response.status;
+        if (response_headers != nullptr) *response_headers = response.headers;
         chunked = header_is(response.headers, "Transfer-Encoding", "chunked");
         if (status != 200) break;  // error body, not a stream
         if (chunked) {

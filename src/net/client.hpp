@@ -28,6 +28,12 @@ class ApiClient {
   /// `timeout_ms` bounds connect and each recv; 0 disables.
   ApiClient(std::string host, int port, int timeout_ms = 30000);
 
+  /// Adds a header sent with every request (and `watch` streams) — the
+  /// client subcommands use it to forward a caller-supplied traceparent.
+  void set_header(std::string name, std::string value) {
+    default_headers_.push_back({std::move(name), std::move(value)});
+  }
+
   /// Performs one request; throws fsyn::Error on connection failures or a
   /// malformed response (HTTP error statuses are returned, not thrown).
   ClientResponse request(const std::string& method, const std::string& target,
@@ -47,9 +53,11 @@ class ApiClient {
   /// Streams a job's SSE events from `after_seq` until the stream ends (the
   /// job reached a terminal state) or the handler declines to continue.
   /// Returns the HTTP status of the stream response (frames only flow on
-  /// 200).
+  /// 200).  When `response_headers` is non-null it receives the stream
+  /// response's headers (e.g. the server's `traceparent` echo).
   int watch(std::uint64_t job_id, const FrameHandler& on_frame,
-            std::uint64_t after_seq = 0);
+            std::uint64_t after_seq = 0,
+            std::vector<Header>* response_headers = nullptr);
 
  private:
   int connect_fd() const;
@@ -57,6 +65,7 @@ class ApiClient {
   std::string host_;
   int port_;
   int timeout_ms_;
+  std::vector<Header> default_headers_;
 };
 
 }  // namespace fsyn::net

@@ -42,6 +42,25 @@ std::string HttpRequest::path() const {
   return query == std::string::npos ? target : target.substr(0, query);
 }
 
+std::string HttpRequest::query_param(std::string_view name) const {
+  const std::size_t query = target.find('?');
+  if (query == std::string::npos) return std::string();
+  std::size_t pos = query + 1;
+  while (pos < target.size()) {
+    std::size_t end = target.find('&', pos);
+    if (end == std::string::npos) end = target.size();
+    const std::string_view pair = std::string_view(target).substr(pos, end - pos);
+    const std::size_t eq = pair.find('=');
+    const std::string_view key = pair.substr(0, eq == std::string_view::npos ? pair.size() : eq);
+    if (key == name) {
+      return eq == std::string_view::npos ? std::string()
+                                          : std::string(pair.substr(eq + 1));
+    }
+    pos = end + 1;
+  }
+  return std::string();
+}
+
 const char* reason_phrase(int status) {
   switch (status) {
     case 200: return "OK";

@@ -42,6 +42,9 @@ struct HttpRequest {
   }
   /// Target with any query string stripped.
   std::string path() const;
+  /// Value of `name` in the query string ("" when absent or empty).  No
+  /// percent-decoding: our parameters are plain tokens (format=prometheus).
+  std::string query_param(std::string_view name) const;
 };
 
 struct HttpResponse {

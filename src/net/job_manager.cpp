@@ -3,11 +3,29 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/prometheus.hpp"
 #include "report/result_io.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
 namespace fsyn::net {
+
+namespace {
+
+/// `{"state":"...","trace_id":"..."}` — the trace id rides along on every
+/// lifecycle event so an SSE consumer can correlate frames with the
+/// request that spawned the job.
+std::string state_payload(const char* state, const obs::TraceContext& trace) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("state").value(state);
+  if (trace.valid()) w.key("trace_id").value(trace.trace_id_hex());
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace
 
 JobManager::JobManager(Config config)
     : config_(std::move(config)),
@@ -80,6 +98,8 @@ void JobManager::recover() {
         } catch (const Error&) {
           r.assay_ref = "(replayed)";
         }
+        // Replayed jobs keep the trace identity of the original request.
+        obs::parse_traceparent(record.traceparent, &r.trace);
         if (fin.status == "done") {
           r.state = State::kDone;
         } else if (fin.status == "cancelled") {
@@ -104,6 +124,7 @@ void JobManager::recover() {
     try {
       WireSpec wire = parse_wire_spec(record.spec_json);
       wire.spec.priority = priority_from_string(record.priority);
+      obs::parse_traceparent(record.traceparent, &wire.spec.trace);
       enqueue(std::move(wire), record.id, /*journal_accept=*/false);
     } catch (const Error& e) {
       // The spec no longer parses (version skew, corruption).  Journal a
@@ -129,7 +150,9 @@ std::uint64_t JobManager::submit(WireSpec wire) {
     std::lock_guard<std::mutex> lock(records_mutex_);
     id = next_id_++;
   }
-  journal_.append_accepted(id, svc::to_string(wire.spec.priority), wire.canonical);
+  journal_.append_accepted(id, svc::to_string(wire.spec.priority), wire.canonical,
+                           wire.spec.trace.valid() ? wire.spec.trace.traceparent()
+                                                   : std::string());
   return enqueue(std::move(wire), id, /*journal_accept=*/true);
 }
 
@@ -147,11 +170,12 @@ std::uint64_t JobManager::enqueue(WireSpec wire, std::uint64_t id, bool journal_
     r.policy_increments = wire.policy_increments;
     r.asap = wire.asap;
     r.seed = wire.seed;
+    r.trace = wire.spec.trace;
     r.cancel = cancel;
     // Emitted here, not from the service's kQueued callback: the worker can
     // pick the job up before submit() returns, and the event seqs must still
     // read queued -> running.
-    push_event(r, "queued", "{\"state\":\"queued\"}");
+    push_event(r, "queued", state_payload("queued", r.trace));
   }
 
   svc::JobSpec spec = std::move(wire.spec);
@@ -171,6 +195,9 @@ void JobManager::on_phase(std::uint64_t id, svc::JobPhase phase, const char* sta
   std::string doc;
   std::string journal_status;
   std::string journal_error;
+  double slow_seconds = -1.0;  ///< >= 0 when the slow-job hook fires
+  std::string slow_trace;
+  std::string slow_name;
   if (phase == svc::JobPhase::kFinished && result != nullptr &&
       result->status == svc::JobStatus::kDone) {
     if (result->report != nullptr) {
@@ -202,13 +229,14 @@ void JobManager::on_phase(std::uint64_t id, svc::JobPhase phase, const char* sta
         break;  // already emitted by enqueue(), in guaranteed order
       case svc::JobPhase::kStarted:
         r.state = State::kRunning;
-        push_event(r, "running", "{\"state\":\"running\"}");
+        push_event(r, "running", state_payload("running", r.trace));
         break;
       case svc::JobPhase::kStage: {
         r.stage = stage != nullptr ? stage : "";
         JsonWriter w;
         w.begin_object();
         w.key("stage").value(r.stage);
+        if (r.trace.valid()) w.key("trace_id").value(r.trace.trace_id_hex());
         w.end_object();
         push_event(r, "stage", w.take());
         break;
@@ -229,6 +257,12 @@ void JobManager::on_phase(std::uint64_t id, svc::JobPhase phase, const char* sta
         r.run_seconds = result->run_seconds;
         journal_status = svc::to_string(result->status);
         journal_error = result->error;
+        if (config_.slow_job_seconds > 0.0 &&
+            result->run_seconds >= config_.slow_job_seconds) {
+          slow_seconds = result->run_seconds;
+          slow_trace = r.trace.valid() ? r.trace.trace_id_hex() : "-";
+          slow_name = r.name;
+        }
         if (result->status == svc::JobStatus::kCancelled) {
           counters_.jobs_cancelled.fetch_add(1, std::memory_order_relaxed);
         } else if (result->status == svc::JobStatus::kRejected) {
@@ -246,6 +280,23 @@ void JobManager::on_phase(std::uint64_t id, svc::JobPhase phase, const char* sta
   // "done" frame is never observed for a job a crash could forget.
   if (!journal_status.empty()) {
     journal_.append_finished(id, journal_status, doc, journal_error);
+  }
+
+  if (slow_seconds >= 0.0) {
+    // The flight recorder still holds the spans of the job that just
+    // finished; dump before newer work overwrites them.
+    log_warn("slow job ", id, " (", slow_name, "): ", slow_seconds,
+             "s >= ", config_.slow_job_seconds, "s threshold, trace_id=", slow_trace);
+    if (!config_.flight_dump_dir.empty() && obs::flight_recording_enabled()) {
+      const std::string path =
+          config_.flight_dump_dir + "/slow-job-" + std::to_string(id) + ".trace.json";
+      try {
+        obs::FlightRecorder::instance().dump_json_file(path);
+        log_info("slow job ", id, ": flight recorder dumped to ", path);
+      } catch (const std::exception& e) {
+        log_error("slow job ", id, ": flight dump failed: ", e.what());
+      }
+    }
   }
 
   std::function<void()> listener;
@@ -336,6 +387,7 @@ void JobManager::write_status(const Record& record, JsonWriter& w) const {
   w.key("name").value(record.name);
   w.key("assay").value(record.assay_ref);
   w.key("priority").value(svc::to_string(record.priority));
+  if (record.trace.valid()) w.key("trace_id").value(record.trace.trace_id_hex());
   if (!record.stage.empty()) w.key("stage").value(record.stage);
   if (terminal(record.state)) {
     w.key("cache_hit").value(record.cache_hit);
@@ -452,6 +504,38 @@ std::string JobManager::metrics_json() const {
   w.end_object();
   w.end_object();
   return w.take();
+}
+
+std::string JobManager::metrics_prometheus() const {
+  // Service families first (counters, rates, latency histograms), then the
+  // HTTP front-end counters under their own names.
+  std::string text = service_.metrics().to_prometheus();
+  const JournalStats js = journal_.stats();
+
+  obs::PrometheusWriter w;
+  w.family("flowsynth_http_requests_total", "HTTP requests parsed.", "counter");
+  w.sample("flowsynth_http_requests_total", "",
+           static_cast<double>(counters_.http_requests.load(std::memory_order_relaxed)));
+  w.family("flowsynth_http_errors_total", "Request-level failures by reason.", "counter");
+  w.sample("flowsynth_http_errors_total", "reason=\"bad_request\"",
+           static_cast<double>(counters_.bad_requests.load(std::memory_order_relaxed)));
+  w.sample("flowsynth_http_errors_total", "reason=\"admission_rejected\"",
+           static_cast<double>(counters_.admission_rejected.load(std::memory_order_relaxed)));
+  w.sample("flowsynth_http_errors_total", "reason=\"queue_rejected\"",
+           static_cast<double>(counters_.queue_rejected.load(std::memory_order_relaxed)));
+  w.family("flowsynth_sse_streams_total", "Event streams opened.", "counter");
+  w.sample("flowsynth_sse_streams_total", "",
+           static_cast<double>(counters_.sse_streams.load(std::memory_order_relaxed)));
+  w.family("flowsynth_uptime_seconds", "Seconds since the manager started.", "gauge");
+  w.sample("flowsynth_uptime_seconds", "", uptime_seconds());
+  w.family("flowsynth_journal_appends_total", "Journal records appended.", "counter");
+  w.sample("flowsynth_journal_appends_total", "", static_cast<double>(js.appends));
+  w.family("flowsynth_journal_torn_lines_total", "Corrupt journal lines dropped.",
+           "counter");
+  w.sample("flowsynth_journal_torn_lines_total", "", static_cast<double>(js.torn_lines));
+
+  text += w.take();
+  return text;
 }
 
 }  // namespace fsyn::net

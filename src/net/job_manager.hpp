@@ -26,6 +26,7 @@
 
 #include "net/journal.hpp"
 #include "net/wire.hpp"
+#include "obs/trace_context.hpp"
 #include "svc/service.hpp"
 #include "util/cancel.hpp"
 #include "util/json.hpp"
@@ -59,6 +60,12 @@ class JobManager {
     svc::BatchService::Config service;
     /// Append-only journal path; empty disables durability.
     std::string journal_path;
+    /// A finished job whose run time exceeds this gets a warning log line
+    /// (with its trace id) and — when `flight_dump_dir` is set — an
+    /// automatic flight-recorder dump.  0 disables the hook.
+    double slow_job_seconds = 0.0;
+    /// Directory for automatic slow-job flight dumps ("" = log only).
+    std::string flight_dump_dir;
   };
 
   explicit JobManager(Config config);
@@ -102,6 +109,9 @@ class JobManager {
 
   /// `{"service": {...}, "net": {...}}`.
   std::string metrics_json() const;
+  /// The same registry in the Prometheus text exposition format (service
+  /// counters/histograms/rates plus the front-end counters).
+  std::string metrics_prometheus() const;
   NetCounters& counters() { return counters_; }
 
   /// Cancels every job still waiting for a worker (graceful shutdown
@@ -133,6 +143,11 @@ class JobManager {
     int policy_increments = 0;
     bool asap = false;
     std::uint64_t seed = 0;
+
+    /// Trace context of the accepting request; invalid for jobs submitted
+    /// before tracing existed (old journals).  The id is echoed in every
+    /// event payload and status document.
+    obs::TraceContext trace;
 
     std::string stage;       ///< last pipeline stage entered
     std::string result_doc;  ///< terminal, status "done" only

@@ -62,6 +62,9 @@ std::vector<JournalRecord> JobJournal::parse(const std::string& text, long* torn
         record.type = JournalRecord::Type::kAccepted;
         record.priority = doc.at("priority").as_string();
         record.spec_json = doc.at("spec").dump();
+        if (const JsonValue* trace = doc.find("trace")) {
+          record.traceparent = trace->as_string();
+        }
       } else if (event == "finished") {
         record.type = JournalRecord::Type::kFinished;
         record.status = doc.at("status").as_string();
@@ -105,7 +108,8 @@ void JobJournal::append_line(const std::string& line) {
 }
 
 void JobJournal::append_accepted(std::uint64_t id, const std::string& priority,
-                                 const std::string& spec_json) {
+                                 const std::string& spec_json,
+                                 const std::string& traceparent) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (fd_ < 0) return;
   JsonWriter w;
@@ -113,6 +117,7 @@ void JobJournal::append_accepted(std::uint64_t id, const std::string& priority,
   w.key("event").value("accepted");
   w.key("id").value(id);
   w.key("priority").value(priority);
+  if (!traceparent.empty()) w.key("trace").value(traceparent);
   w.key("spec").raw(spec_json);
   w.end_object();
   append_line(w.take() + "\n");

@@ -39,6 +39,10 @@ struct JournalRecord {
   // kAccepted
   std::string priority;   ///< "interactive" / "batch" / "background"
   std::string spec_json;  ///< compact wire spec
+  /// W3C traceparent of the accepting request ("" for pre-tracing journals
+  /// — the field is optional on replay).  Replayed jobs keep this identity,
+  /// so a trace id survives a kill -9.
+  std::string traceparent;
   // kFinished
   std::string status;      ///< "done" / "cancelled" / "failed" / "rejected"
   std::string result_doc;  ///< exact result document ("done" only)
@@ -60,9 +64,10 @@ class JobJournal {
   bool is_open() const { return fd_ >= 0; }
 
   /// Appends + fsyncs an accepted-job record.  Returns after the bytes
-  /// are durable.  No-ops when the journal is not open.
+  /// are durable.  No-ops when the journal is not open.  `traceparent` is
+  /// the W3C trace context of the accepting request (omitted when empty).
   void append_accepted(std::uint64_t id, const std::string& priority,
-                       const std::string& spec_json);
+                       const std::string& spec_json, const std::string& traceparent = "");
   /// Appends + fsyncs a terminal record.
   void append_finished(std::uint64_t id, const std::string& status,
                        const std::string& result_doc, const std::string& error);

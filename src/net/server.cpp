@@ -15,6 +15,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -86,6 +89,14 @@ void HttpServer::request_stop() {
   [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
 }
 
+void HttpServer::request_flight_dump() {
+  // Only the flag + pipe write happen here — the handler may run in signal
+  // context, where opening files or taking the recorder locks is unsafe.
+  flight_dump_requested_.store(true, std::memory_order_relaxed);
+  const char byte = 'f';
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+}
+
 void HttpServer::wake() {
   const char byte = 'e';
   [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
@@ -100,6 +111,15 @@ void HttpServer::serve() {
   std::chrono::steady_clock::time_point drain_deadline{};
 
   for (;;) {
+    if (flight_dump_requested_.exchange(false, std::memory_order_relaxed) &&
+        !config_.flight_dump_path.empty()) {
+      try {
+        obs::FlightRecorder::instance().dump_json_file(config_.flight_dump_path);
+        log_info("flight recorder dumped to ", config_.flight_dump_path);
+      } catch (const std::exception& e) {
+        log_error("flight recorder dump failed: ", e.what());
+      }
+    }
     if (!stopping && stop_requested_.load(std::memory_order_relaxed)) {
       stopping = true;
       drain_deadline =
@@ -269,11 +289,31 @@ void HttpServer::read_ready(Connection& connection) {
 }
 
 void HttpServer::handle_request(Connection& connection, const HttpRequest& request) {
+  // Trace context enters (or is born) here: a valid `traceparent` header is
+  // adopted, anything else — absent, malformed, all-zero — gets a freshly
+  // minted id.  The scope makes it ambient for the whole dispatch, so the
+  // submit handler stamps it into the job and every span below inherits it.
+  obs::TraceContext context;
+  if (const std::string* traceparent = request.header("traceparent")) {
+    obs::parse_traceparent(*traceparent, &context);
+  }
+  if (!context.valid()) context = obs::make_trace_context();
+  obs::TraceContextScope trace_scope(context);
+  obs::Span http_span("net", "http " + request.method + " " + request.path());
+
   HttpResponse response = router_.dispatch(request);
+  if (http_span.active()) {
+    http_span.arg("method", request.method);
+    http_span.arg("target", request.target);
+    http_span.arg("status", response.sse ? 200 : response.status);
+  }
   if (response.sse) {
     start_sse(connection, request, response.sse_job);
     return;
   }
+  // Echo the trace back so a client without its own tracer can still quote
+  // the id (the parent field is our server-side span).
+  response.headers.push_back({"traceparent", obs::current_trace().traceparent()});
   const bool keep_alive =
       request.keep_alive && !stop_requested_.load(std::memory_order_relaxed);
   connection.outbox += serialize_response(response, keep_alive);
@@ -292,6 +332,10 @@ void HttpServer::start_sse(Connection& connection, const HttpRequest& request,
   }
   HttpResponse headers;
   headers.sse = true;
+  // start_sse always runs inside handle_request's trace scope.
+  if (obs::current_trace().valid()) {
+    headers.headers.push_back({"traceparent", obs::current_trace().traceparent()});
+  }
   connection.outbox += serialize_response(headers, /*keep_alive=*/true);
   pump_sse(connection);
 }

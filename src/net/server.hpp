@@ -35,6 +35,9 @@ class HttpServer {
     int max_connections = 256;
     int grace_ms = 5000;  ///< drain budget for running jobs on shutdown
     HttpRequestParser::Limits limits;
+    /// Destination of on-demand flight-recorder dumps (SIGQUIT /
+    /// request_flight_dump()); "" disables the hook.
+    std::string flight_dump_path;
   };
 
   HttpServer(Config config, JobManager& manager, Router router);
@@ -53,6 +56,11 @@ class HttpServer {
   /// Initiates graceful shutdown.  Async-signal-safe (one atomic store +
   /// one pipe write); callable from any thread or a signal handler.
   void request_stop();
+
+  /// Requests a flight-recorder dump to Config::flight_dump_path.  Async-
+  /// signal-safe the same way (the dump itself runs on the poll loop, not
+  /// in the handler); wired to SIGQUIT by flowsynthd.
+  void request_flight_dump();
 
  private:
   struct Connection {
@@ -89,6 +97,7 @@ class HttpServer {
   int wake_read_fd_ = -1;
   int wake_write_fd_ = -1;
   std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> flight_dump_requested_{false};
 
   std::map<int, Connection> connections_;
 };

@@ -1,0 +1,106 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "obs/trace_export.hpp"
+#include "util/error.hpp"
+
+namespace fsyn::obs {
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+FlightRecorder::Ring& FlightRecorder::local_ring() {
+  // Reuse a ring whose thread exited (registry use_count == 1) instead of
+  // registering a new one: race arms spawn a thread per job, and without
+  // reuse the registry would grow forever.  The old thread's events stay
+  // in the ring — each event carries its own tid — until overwritten.
+  thread_local std::shared_ptr<Ring> ring = [this] {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (const auto& candidate : rings_) {
+      if (candidate.use_count() == 1) return candidate;
+    }
+    auto fresh = std::make_shared<Ring>();
+    fresh->slots.reserve(kRingCapacity);
+    rings_.push_back(fresh);
+    return fresh;
+  }();
+  return *ring;
+}
+
+void FlightRecorder::record(const TraceEvent& event) {
+  Ring& ring = local_ring();
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  if (ring.slots.size() < kRingCapacity) {
+    ring.slots.push_back(event);
+  } else {
+    ring.slots[ring.next] = event;
+  }
+  ring.next = (ring.next + 1) % kRingCapacity;
+  ++ring.recorded;
+}
+
+std::vector<TraceEvent> FlightRecorder::snapshot() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mutex);
+    events.insert(events.end(), ring->slots.begin(), ring->slots.end());
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_us < b.start_us;
+                   });
+  return events;
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    rings = rings_;
+  }
+  std::uint64_t total = 0;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mutex);
+    total += ring->recorded;
+  }
+  return total;
+}
+
+std::string FlightRecorder::dump_json() const {
+  std::ostringstream os;
+  write_chrome_trace_events(os, snapshot(), /*thread_names=*/{});
+  return os.str();
+}
+
+void FlightRecorder::dump_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  check_input(static_cast<bool>(out), "cannot write flight recorder dump to " + path);
+  out << dump_json();
+  out.flush();
+  require(static_cast<bool>(out), "I/O error while writing flight recorder dump to " + path);
+}
+
+void FlightRecorder::clear() {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    rings = rings_;
+  }
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mutex);
+    ring->slots.clear();
+    ring->next = 0;
+  }
+}
+
+}  // namespace fsyn::obs

@@ -1,0 +1,85 @@
+// Always-on flight recorder: a bounded per-thread ring of the most recent
+// spans, independent of the opt-in full tracer.
+//
+// The full tracer (trace.hpp) buffers *everything* until a drain, which is
+// right for a profiling session and wrong for a long-lived server: nobody
+// is going to export a trace that has been accumulating for a week.  The
+// flight recorder instead keeps only the last `kRingCapacity` span events
+// per thread, overwriting the oldest — cheap enough to leave enabled in
+// production, and exactly the history an operator wants when a request
+// turns up slow: "what was this process doing just now?"
+//
+// Discipline matches trace.hpp:
+//  * one relaxed atomic load per span while disabled (`flight_enabled()`),
+//  * per-thread rings, so recording never contends across threads; the
+//    per-ring mutex is only contended by `snapshot()` (dump time),
+//  * bounded memory by construction — the ring never grows.
+//
+// Rings of exited threads (race arms) stay readable until a new thread
+// reuses them, so a dump taken right after a job still shows the arms that
+// ran it; reuse bounds the registry at the peak live-thread count.
+//
+// Dumps are Chrome trace-event JSON (same format as the full tracer), via
+// SIGQUIT, `GET /v1/debug/trace`, or the slow-job hook in the job manager.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace fsyn::obs {
+
+class FlightRecorder {
+ public:
+  /// Events kept per thread.  2^11 complete spans cover several seconds of
+  /// server work per thread at typical span rates.
+  static constexpr std::size_t kRingCapacity = std::size_t{1} << 11;
+
+  static FlightRecorder& instance();
+
+  void enable() { detail::g_flight_enabled.store(true, std::memory_order_relaxed); }
+  void disable() { detail::g_flight_enabled.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return flight_recording_enabled(); }
+
+  /// Copies `event` into the calling thread's ring, overwriting the oldest
+  /// entry when full.  `event.tid` must already be set (Span fills it).
+  /// Call only while the recorder is enabled — Span already guards.
+  void record(const TraceEvent& event);
+
+  /// Copy of every ring's current contents, sorted by start time.  Rings
+  /// are not cleared: the recorder keeps flying.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Total events ever recorded (including overwritten ones).
+  std::uint64_t total_recorded() const;
+
+  /// Renders `snapshot()` as Chrome trace-event JSON (the trace_export
+  /// format, loadable in ui.perfetto.dev).
+  std::string dump_json() const;
+  /// Writes `dump_json()` to `path`; throws fsyn::Error on I/O failure.
+  void dump_json_file(const std::string& path) const;
+
+  /// Drops all buffered events (tests only; not thread-registry state).
+  void clear();
+
+ private:
+  struct Ring {
+    std::mutex mutex;
+    std::vector<TraceEvent> slots;  ///< capacity-bounded, circular via `next`
+    std::size_t next = 0;
+    std::uint64_t recorded = 0;
+  };
+
+  FlightRecorder() = default;
+  Ring& local_ring();
+
+  mutable std::mutex registry_mutex_;
+  std::vector<std::shared_ptr<Ring>> rings_;
+};
+
+}  // namespace fsyn::obs

@@ -1,0 +1,344 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+namespace fsyn::obs {
+
+namespace {
+
+/// The `le` ladder (seconds) histograms are downsampled onto.  The native
+/// histogram has 976 log-buckets; a scraper wants a few dozen at most.
+/// Steps follow the usual 1-2.5-5 decade pattern from 100µs to 60s.
+constexpr double kLadder[] = {
+    1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1,  0.25,   0.5,  1.0,  2.5,    5.0,  10.0, 30.0,   60.0,
+};
+constexpr std::size_t kLadderSize = sizeof(kLadder) / sizeof(kLadder[0]);
+
+void append_value(std::string& out, double value) {
+  if (std::isnan(value)) {
+    out += "NaN";
+    return;
+  }
+  if (std::isinf(value)) {
+    out += value > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buffer[40];
+  if (value == std::floor(value) && std::abs(value) < 9.007199254740992e15) {
+    std::snprintf(buffer, sizeof buffer, "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.9g", value);
+  }
+  out += buffer;
+}
+
+void append_sample(std::string& out, std::string_view name, std::string_view labels,
+                   double value) {
+  out += name;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  out += ' ';
+  append_value(out, value);
+  out += '\n';
+}
+
+/// `le` label value for a ladder bound: trailing zeros trimmed so the
+/// exposition is stable across libc printf implementations.
+std::string le_text(double bound) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.9g", bound);
+  return buffer;
+}
+
+}  // namespace
+
+void PrometheusWriter::family(std::string_view name, std::string_view help,
+                              std::string_view type) {
+  out_ += "# HELP ";
+  out_ += name;
+  out_ += ' ';
+  out_ += help;
+  out_ += "\n# TYPE ";
+  out_ += name;
+  out_ += ' ';
+  out_ += type;
+  out_ += '\n';
+}
+
+void PrometheusWriter::sample(std::string_view name, std::string_view labels, double value) {
+  append_sample(out_, name, labels, value);
+}
+
+void PrometheusWriter::histogram(std::string_view name, std::string_view labels,
+                                 const HistogramSnapshot& snapshot) {
+  // Fold native buckets onto the ladder by their midpoint.  Midpoints above
+  // the top rung land in +Inf only.
+  std::uint64_t ladder_counts[kLadderSize] = {};
+  for (std::size_t i = 0; i < snapshot.buckets.size(); ++i) {
+    const std::uint64_t count = snapshot.buckets[i];
+    if (count == 0) continue;
+    const double mid = LatencyHistogram::bucket_mid_seconds(static_cast<int>(i));
+    for (std::size_t rung = 0; rung < kLadderSize; ++rung) {
+      if (mid <= kLadder[rung]) {
+        ladder_counts[rung] += count;
+        break;
+      }
+    }
+  }
+  const std::string bucket_name = std::string(name) + "_bucket";
+  std::uint64_t cumulative = 0;
+  for (std::size_t rung = 0; rung < kLadderSize; ++rung) {
+    cumulative += ladder_counts[rung];
+    std::string bucket_labels(labels);
+    if (!bucket_labels.empty()) bucket_labels += ',';
+    bucket_labels += "le=\"" + le_text(kLadder[rung]) + "\"";
+    append_sample(out_, bucket_name, bucket_labels, static_cast<double>(cumulative));
+  }
+  std::string inf_labels(labels);
+  if (!inf_labels.empty()) inf_labels += ',';
+  inf_labels += "le=\"+Inf\"";
+  append_sample(out_, bucket_name, inf_labels, static_cast<double>(snapshot.count));
+  append_sample(out_, std::string(name) + "_sum", labels, snapshot.sum_seconds);
+  append_sample(out_, std::string(name) + "_count", labels, static_cast<double>(snapshot.count));
+}
+
+// ---- lint ------------------------------------------------------------------
+
+namespace {
+
+bool is_name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool is_name_char(char c) {
+  return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+bool is_label_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool fail(std::string* error, std::size_t line_no, const std::string& why) {
+  if (error) *error = "line " + std::to_string(line_no) + ": " + why;
+  return false;
+}
+
+struct HistogramState {
+  double last_le = -1.0;
+  double last_cumulative = -1.0;
+  double inf_value = -1.0;
+  bool saw_inf = false;
+};
+
+}  // namespace
+
+bool lint_prometheus(const std::string& text, std::string* error) {
+  if (!text.empty() && text.back() != '\n') {
+    return fail(error, 1, "exposition must end with a newline");
+  }
+  std::map<std::string, std::string> types;           // family -> type
+  std::map<std::string, HistogramState> histograms;   // family|labels-sans-le
+  bool saw_sample = false;
+
+  std::size_t pos = 0, line_no = 0;
+  while (pos < text.size()) {
+    ++line_no;
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Only `# HELP name ...` and `# TYPE name type` comments are emitted;
+      // other comments are legal but we keep our own output strict.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string rest = line.substr(7);
+        const std::size_t space = rest.find(' ');
+        if (space == std::string::npos) return fail(error, line_no, "malformed TYPE line");
+        const std::string family = rest.substr(0, space);
+        const std::string type = rest.substr(space + 1);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return fail(error, line_no, "unknown metric type '" + type + "'");
+        }
+        if (types.count(family)) return fail(error, line_no, "duplicate TYPE for " + family);
+        types[family] = type;
+      } else if (line.rfind("# HELP ", 0) != 0 && line.rfind("# ", 0) != 0) {
+        return fail(error, line_no, "malformed comment line");
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    std::size_t i = 0;
+    if (!is_name_start(line[i])) return fail(error, line_no, "bad metric name start");
+    while (i < line.size() && is_name_char(line[i])) ++i;
+    const std::string name = line.substr(0, i);
+
+    std::string labels;
+    std::string le_value;
+    if (i < line.size() && line[i] == '{') {
+      const std::size_t open = i++;
+      bool first = true;
+      while (true) {
+        if (i >= line.size()) return fail(error, line_no, "unterminated label block");
+        if (line[i] == '}') { ++i; break; }
+        if (!first) {
+          if (line[i] != ',') return fail(error, line_no, "expected ',' between labels");
+          ++i;
+        }
+        first = false;
+        if (i >= line.size() || !is_label_start(line[i])) {
+          return fail(error, line_no, "bad label name");
+        }
+        const std::size_t label_start = i;
+        while (i < line.size() && is_name_char(line[i]) && line[i] != ':') ++i;
+        const std::string label = line.substr(label_start, i - label_start);
+        if (i + 1 >= line.size() || line[i] != '=' || line[i + 1] != '"') {
+          return fail(error, line_no, "label " + label + " missing =\"value\"");
+        }
+        i += 2;
+        std::string value;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\') {
+            if (i + 1 >= line.size()) return fail(error, line_no, "dangling escape");
+            const char escaped = line[i + 1];
+            if (escaped != '\\' && escaped != '"' && escaped != 'n') {
+              return fail(error, line_no, "illegal escape in label value");
+            }
+            value += escaped == 'n' ? '\n' : escaped;
+            i += 2;
+          } else {
+            value += line[i++];
+          }
+        }
+        if (i >= line.size()) return fail(error, line_no, "unterminated label value");
+        ++i;  // closing quote
+        if (label == "le") le_value = value;
+      }
+      labels = line.substr(open, i - open);
+    }
+
+    if (i >= line.size() || line[i] != ' ') {
+      return fail(error, line_no, "expected single space before value");
+    }
+    ++i;
+    const std::string value_text = line.substr(i);
+    double value = 0.0;
+    if (value_text == "+Inf") {
+      value = HUGE_VAL;
+    } else if (value_text == "-Inf") {
+      value = -HUGE_VAL;
+    } else if (value_text == "NaN") {
+      value = NAN;
+    } else {
+      char* end = nullptr;
+      value = std::strtod(value_text.c_str(), &end);
+      if (end == value_text.c_str()) return fail(error, line_no, "unparseable value");
+      // An optional integer timestamp may follow; anything else is junk.
+      while (end && *end == ' ') ++end;
+      if (end && *end != '\0') {
+        char* ts_end = nullptr;
+        std::strtoll(end, &ts_end, 10);
+        if (ts_end == end || *ts_end != '\0') {
+          return fail(error, line_no, "trailing junk after value");
+        }
+      }
+    }
+    saw_sample = true;
+
+    // Resolve the family: exact name, or histogram series suffix.
+    std::string family = name;
+    std::string suffix;
+    if (!types.count(family)) {
+      for (const char* candidate : {"_bucket", "_sum", "_count"}) {
+        const std::string cand(candidate);
+        if (name.size() > cand.size() &&
+            name.compare(name.size() - cand.size(), cand.size(), cand) == 0) {
+          const std::string base = name.substr(0, name.size() - cand.size());
+          auto it = types.find(base);
+          if (it != types.end() && it->second == "histogram") {
+            family = base;
+            suffix = cand;
+            break;
+          }
+        }
+      }
+    }
+    auto type_it = types.find(family);
+    if (type_it == types.end()) {
+      return fail(error, line_no, "sample " + name + " has no preceding # TYPE");
+    }
+    const std::string& type = type_it->second;
+    if (type == "histogram" && suffix.empty()) {
+      return fail(error, line_no,
+                  "histogram family " + family + " sampled without _bucket/_sum/_count");
+    }
+    if (type == "counter") {
+      const std::string total = "_total";
+      if (name.size() <= total.size() ||
+          name.compare(name.size() - total.size(), total.size(), total) != 0) {
+        return fail(error, line_no, "counter " + name + " must end in _total");
+      }
+      if (value < 0) return fail(error, line_no, "counter " + name + " is negative");
+    }
+
+    if (suffix == "_bucket") {
+      if (le_value.empty()) return fail(error, line_no, "_bucket sample without le label");
+      // Key the series by family + labels minus le, so stage="..." variants
+      // are tracked independently.
+      std::string series = family + "|";
+      {
+        std::size_t at = labels.find("le=\"");
+        std::string stripped = labels;
+        if (at != std::string::npos) {
+          std::size_t close = labels.find('"', at + 4);
+          std::size_t cut_begin = at, cut_end = close + 1;
+          if (cut_begin > 1 && labels[cut_begin - 1] == ',') --cut_begin;
+          else if (cut_end < labels.size() && labels[cut_end] == ',') ++cut_end;
+          stripped = labels.substr(0, cut_begin) + labels.substr(cut_end);
+        }
+        series += stripped;
+      }
+      HistogramState& state = histograms[series];
+      double le = 0.0;
+      if (le_value == "+Inf") {
+        le = HUGE_VAL;
+        state.saw_inf = true;
+        state.inf_value = value;
+      } else {
+        char* end = nullptr;
+        le = std::strtod(le_value.c_str(), &end);
+        if (end == le_value.c_str() || *end != '\0') {
+          return fail(error, line_no, "unparseable le bound");
+        }
+      }
+      if (le <= state.last_le) return fail(error, line_no, "le bounds not increasing");
+      if (value < state.last_cumulative) {
+        return fail(error, line_no, "histogram buckets not cumulative");
+      }
+      state.last_le = le;
+      state.last_cumulative = value;
+    } else if (suffix == "_count") {
+      std::string series = family + "|" + labels;
+      HistogramState& state = histograms[series];
+      if (!state.saw_inf) {
+        return fail(error, line_no, "histogram _count before le=\"+Inf\" bucket");
+      }
+      if (value != state.inf_value) {
+        return fail(error, line_no, "_count disagrees with le=\"+Inf\" bucket");
+      }
+    }
+  }
+  if (!saw_sample) return fail(error, line_no, "exposition has no samples");
+  if (error) error->clear();
+  return true;
+}
+
+}  // namespace fsyn::obs

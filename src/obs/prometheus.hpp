@@ -1,0 +1,64 @@
+// Prometheus text-exposition (version 0.0.4) rendering.
+//
+// A tiny writer over the metric families flowsynth exports: counters and
+// gauges are one sample line each, histograms are rendered from the
+// fixed-layout `HistogramSnapshot` as cumulative `_bucket{le="..."}`
+// counts over a fixed seconds ladder (976 log-buckets would be absurd as
+// scrape output; the ladder keeps relative error while a dashboard stays
+// readable), plus `_sum` and `_count`.
+//
+//   obs::PrometheusWriter w;
+//   w.family("flowsynth_jobs_submitted_total", "Jobs accepted", "counter");
+//   w.sample("flowsynth_jobs_submitted_total", "", 42);
+//   w.histogram("flowsynth_latency_seconds", "stage=\"queue\"", snapshot);
+//   w.take();
+//
+// `lint_prometheus` validates a full exposition against the format rules
+// the real Prometheus scraper enforces; tests and the CI `promcheck` tool
+// share it so the server cannot drift from what a scraper accepts.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/histogram.hpp"
+
+namespace fsyn::obs {
+
+/// Content-Type of the text exposition format.
+inline constexpr std::string_view kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+class PrometheusWriter {
+ public:
+  /// Emits `# HELP` and `# TYPE` for a family.  `type` is "counter",
+  /// "gauge" or "histogram".  Call once per family, before its samples.
+  void family(std::string_view name, std::string_view help, std::string_view type);
+
+  /// One sample line: `name{labels} value`.  `labels` is either empty or
+  /// pre-rendered `key="value",...` (values escaped by the caller when
+  /// they can contain `"` or `\` — ours are fixed identifiers).
+  void sample(std::string_view name, std::string_view labels, double value);
+
+  /// Cumulative-bucket rendering of a latency histogram: one
+  /// `name_bucket{...,le="..."}` line per ladder step plus `+Inf`, then
+  /// `name_sum` / `name_count`.  Extra labels apply to every line.
+  void histogram(std::string_view name, std::string_view labels,
+                 const HistogramSnapshot& snapshot);
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Validates a text exposition: every line is a comment, blank, or
+/// `name{labels} value` with a legal metric name and a parseable value;
+/// every sample's family has a preceding `# TYPE`; histogram buckets are
+/// cumulative (monotone in `le`) and end with `le="+Inf"` equal to
+/// `_count`.  Returns true when clean; otherwise false with a description
+/// of the first violation in `*error`.
+bool lint_prometheus(const std::string& text, std::string* error);
+
+}  // namespace fsyn::obs

@@ -5,12 +5,15 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/trace_context.hpp"
 #include "util/logging.hpp"
 
 namespace fsyn::obs {
 
 namespace detail {
 std::atomic<bool> g_tracing_enabled{false};
+std::atomic<bool> g_flight_enabled{false};
 }  // namespace detail
 
 // ---- JSON fragments --------------------------------------------------------
@@ -124,7 +127,21 @@ void Tracer::complete(const char* category, std::string name, std::int64_t start
   event.start_us = start_us;
   event.duration_us = duration_us;
   event.args = std::move(args);
-  record(std::move(event));
+  const TraceContext context = current_trace();
+  if (context.valid()) {
+    event.trace_hi = context.trace_hi;
+    event.trace_lo = context.trace_lo;
+    event.span_id = make_span_id();
+    event.parent_span = context.parent_span;
+  }
+  if (flight_recording_enabled()) {
+    event.tid = current_thread_id();
+    FlightRecorder::instance().record(event);
+  }
+  // Guarded here, not at call sites: a caller holding an active Span may
+  // only have the flight recorder on, and the tracer's unbounded-until-
+  // drain buffers must not fill in that mode.
+  if (tracing_enabled()) record(std::move(event));
 }
 
 void Tracer::counter(const char* category, std::string name, double value) {
@@ -225,6 +242,17 @@ std::uint64_t Tracer::dropped_events() const {
 void Span::begin(const char* category, std::string_view name) {
   category_ = category;
   name_.assign(name);
+  const TraceContext context = current_trace();
+  if (context.valid()) {
+    trace_hi_ = context.trace_hi;
+    trace_lo_ = context.trace_lo;
+    parent_span_ = context.parent_span;
+    span_id_ = make_span_id();
+    // Nested spans parent to this one for the span's lifetime.
+    TraceContext nested = context;
+    nested.parent_span = span_id_;
+    set_current_trace(nested);
+  }
   start_us_ = Tracer::instance().now_us();
   active_ = true;
 }
@@ -232,7 +260,28 @@ void Span::begin(const char* category, std::string_view name) {
 void Span::end() {
   Tracer& tracer = Tracer::instance();
   const std::int64_t duration = tracer.now_us() - start_us_;
-  tracer.complete(category_, std::move(name_), start_us_, duration, std::move(args_));
+  if (span_id_ != 0) {
+    // Restore the ambient parent (trace id is unchanged by spans).
+    TraceContext context = current_trace();
+    context.parent_span = parent_span_;
+    set_current_trace(context);
+  }
+  TraceEvent event;
+  event.kind = EventKind::kComplete;
+  event.category = category_;
+  event.name = std::move(name_);
+  event.start_us = start_us_;
+  event.duration_us = duration;
+  event.args = std::move(args_);
+  event.trace_hi = trace_hi_;
+  event.trace_lo = trace_lo_;
+  event.span_id = span_id_;
+  event.parent_span = parent_span_;
+  if (flight_recording_enabled()) {
+    event.tid = current_thread_id();
+    FlightRecorder::instance().record(event);
+  }
+  if (tracing_enabled()) tracer.record(std::move(event));
   active_ = false;
 }
 

@@ -43,12 +43,20 @@ namespace fsyn::obs {
 
 namespace detail {
 extern std::atomic<bool> g_tracing_enabled;
+extern std::atomic<bool> g_flight_enabled;
 }  // namespace detail
 
 /// One relaxed load; the only cost tracing adds to an instrumented hot
 /// path while disabled.
 inline bool tracing_enabled() {
   return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// Whether the always-on flight recorder (flight_recorder.hpp) is active;
+/// same one-relaxed-load discipline.  Spans record into the recorder's
+/// bounded per-thread rings whenever it is on, independent of the tracer.
+inline bool flight_recording_enabled() {
+  return detail::g_flight_enabled.load(std::memory_order_relaxed);
 }
 
 enum class EventKind : std::uint8_t {
@@ -66,6 +74,13 @@ struct TraceEvent {
   int tid = 0;                   ///< filled in by the tracer at record time
   double value = 0.0;            ///< counter events only
   std::string args;              ///< preformatted JSON members (`"k":v,...`) or empty
+  // Request trace context (trace_context.hpp); zero when the event was
+  // recorded outside any TraceContextScope.  Exported as args so the
+  // viewer can filter one request's spans across threads.
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t span_id = 0;      ///< this span's id (complete events only)
+  std::uint64_t parent_span = 0;  ///< enclosing span / upstream caller
 };
 
 // ---- JSON-fragment helpers (shared with the exporter and Span::arg) --------
@@ -99,7 +114,10 @@ class Tracer {
   void record(TraceEvent event);
 
   /// Records a ph:"X" complete event with explicit timing (used for spans
-  /// whose start predates the current thread, e.g. queue-wait time).
+  /// whose start predates the current thread, e.g. queue-wait time).  The
+  /// ambient trace context is stamped on, and the event also lands in the
+  /// flight recorder when that is enabled — safe to call whenever either
+  /// sink is on (`Span::active()` is the usual guard).
   void complete(const char* category, std::string name, std::int64_t start_us,
                 std::int64_t duration_us, std::string args = {});
 
@@ -145,13 +163,17 @@ class Tracer {
   std::atomic<std::uint64_t> retired_dropped_{0};
 };
 
-/// RAII span: records a complete event covering its lifetime.  Constructing
-/// one while tracing is disabled is a no-op (args included), so spans can
-/// be left in hot paths unconditionally.
+/// RAII span: records a complete event covering its lifetime — into the
+/// tracer when tracing is on, into the flight recorder when that is on
+/// (either, both, or neither).  Constructing one while both sinks are
+/// disabled is a no-op (args included), so spans can be left in hot paths
+/// unconditionally.  An active span adopts the thread's ambient trace
+/// context (trace_context.hpp) and becomes the parent of spans nested
+/// inside it.
 class Span {
  public:
   Span(const char* category, std::string_view name) {
-    if (tracing_enabled()) begin(category, name);
+    if (tracing_enabled() || flight_recording_enabled()) begin(category, name);
   }
   ~Span() {
     if (active_) end();
@@ -189,6 +211,12 @@ class Span {
   std::string name_;
   std::string args_;
   std::int64_t start_us_ = 0;
+  // Trace context adopted at begin(): this span's id, its parent, and the
+  // ambient parent to restore when the span ends.
+  std::uint64_t trace_hi_ = 0;
+  std::uint64_t trace_lo_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_span_ = 0;
 };
 
 }  // namespace fsyn::obs

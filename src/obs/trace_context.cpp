@@ -1,0 +1,121 @@
+#include "obs/trace_context.hpp"
+
+#include <chrono>
+#include <random>
+#include <thread>
+
+namespace fsyn::obs {
+
+namespace {
+
+thread_local TraceContext t_current;
+
+std::uint64_t random_u64() {
+  // Per-thread generator: no locks on the id-minting path.  Seeded from
+  // the OS entropy source plus clock and thread identity so forked test
+  // processes and thread pools do not collide.
+  thread_local std::mt19937_64 rng = [] {
+    std::random_device device;
+    std::seed_seq seq{
+        static_cast<std::uint64_t>(device()), static_cast<std::uint64_t>(device()),
+        static_cast<std::uint64_t>(
+            std::chrono::steady_clock::now().time_since_epoch().count()),
+        static_cast<std::uint64_t>(
+            std::hash<std::thread::id>{}(std::this_thread::get_id()))};
+    return std::mt19937_64(seq);
+  }();
+  return rng();
+}
+
+void append_hex64(std::string& out, std::uint64_t value) {
+  static const char kDigits[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out += kDigits[(value >> shift) & 0xF];
+  }
+}
+
+/// Parses exactly `digits` lowercase hex characters; false on anything else.
+bool parse_hex(std::string_view text, int digits, std::uint64_t* out) {
+  if (static_cast<int>(text.size()) < digits) return false;
+  std::uint64_t value = 0;
+  for (int i = 0; i < digits; ++i) {
+    const char c = text[static_cast<std::size_t>(i)];
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;  // uppercase is malformed per W3C
+    }
+    value = (value << 4) | static_cast<std::uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string TraceContext::trace_id_hex() const {
+  std::string out;
+  out.reserve(32);
+  append_hex64(out, trace_hi);
+  append_hex64(out, trace_lo);
+  return out;
+}
+
+std::string TraceContext::traceparent() const {
+  std::string out = "00-";
+  out.reserve(55);
+  append_hex64(out, trace_hi);
+  append_hex64(out, trace_lo);
+  out += '-';
+  append_hex64(out, parent_span);
+  out += "-01";
+  return out;
+}
+
+TraceContext make_trace_context() {
+  TraceContext context;
+  while (!context.valid()) {
+    context.trace_hi = random_u64();
+    context.trace_lo = random_u64();
+  }
+  context.parent_span = make_span_id();
+  return context;
+}
+
+std::uint64_t make_span_id() {
+  std::uint64_t id = 0;
+  while (id == 0) id = random_u64();
+  return id;
+}
+
+bool parse_traceparent(std::string_view header, TraceContext* out) {
+  // version "-" trace-id "-" parent-id "-" flags  =  2+1+32+1+16+1+2 = 55.
+  if (header.size() < 55) return false;
+  std::uint64_t version = 0;
+  if (!parse_hex(header.substr(0, 2), 2, &version)) return false;
+  if (version == 0xFF) return false;  // forbidden by the spec
+  if (version == 0 && header.size() != 55) return false;
+  // A future version may append fields, but only after another dash.
+  if (version != 0 && header.size() > 55 && header[55] != '-') return false;
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-') return false;
+
+  TraceContext parsed;
+  if (!parse_hex(header.substr(3, 16), 16, &parsed.trace_hi)) return false;
+  if (!parse_hex(header.substr(19, 16), 16, &parsed.trace_lo)) return false;
+  if (!parse_hex(header.substr(36, 16), 16, &parsed.parent_span)) return false;
+  std::uint64_t flags = 0;
+  if (!parse_hex(header.substr(53, 2), 2, &flags)) return false;
+  if (!parsed.valid() || parsed.parent_span == 0) return false;
+
+  *out = parsed;
+  return true;
+}
+
+TraceContext current_trace() { return t_current; }
+
+void set_current_trace(const TraceContext& context) { t_current = context; }
+
+}  // namespace fsyn::obs

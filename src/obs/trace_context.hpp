@@ -1,0 +1,83 @@
+// Request-scoped trace context: 128-bit trace ids + span ids, W3C
+// traceparent parsing/formatting, and a thread-local ambient context that
+// `obs::Span` picks up automatically.
+//
+// The context travels with a request instead of a thread: the HTTP
+// front-end parses (or mints) one at the door, the job manager persists it
+// in the journal, the batch service installs it on whichever worker (and
+// race-arm thread) runs the job, and every span recorded while a
+// `TraceContextScope` is active carries the ids — so one trace id connects
+// the HTTP request, the svc job, the solver spans, the SSE events and the
+// replayed journal record.
+//
+// Costs follow the trace.hpp discipline: reading the ambient context is a
+// thread-local load, and nothing here allocates unless a span actually
+// records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fsyn::obs {
+
+struct TraceContext {
+  std::uint64_t trace_hi = 0;  ///< high 64 bits of the 128-bit trace id
+  std::uint64_t trace_lo = 0;  ///< low 64 bits
+  /// Span id of the current parent (the enclosing span, or the caller's
+  /// span when the context arrived via traceparent).  Never 0 in a valid
+  /// server-minted context.
+  std::uint64_t parent_span = 0;
+
+  /// A context is valid when its trace id is nonzero (W3C forbids the
+  /// all-zero trace id).
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+
+  /// 32 lowercase hex characters of the trace id.
+  std::string trace_id_hex() const;
+  /// `00-<trace-id>-<parent-id>-01` (version 00, sampled flag set).
+  std::string traceparent() const;
+
+  bool operator==(const TraceContext& other) const {
+    return trace_hi == other.trace_hi && trace_lo == other.trace_lo &&
+           parent_span == other.parent_span;
+  }
+};
+
+/// Mints a fresh context: random 128-bit trace id and a random root span
+/// id as the parent — the shape a server uses when a request arrives
+/// without a traceparent header.
+TraceContext make_trace_context();
+
+/// Random nonzero 64-bit span id.
+std::uint64_t make_span_id();
+
+/// Parses a W3C traceparent header (`00-<32 hex>-<16 hex>-<2 hex>`).
+/// Returns false — leaving `*out` untouched — on anything malformed:
+/// wrong length or dashes, uppercase or non-hex digits, version "ff", an
+/// all-zero trace or parent id.  Callers mint a fresh context on failure;
+/// this function never throws.
+bool parse_traceparent(std::string_view header, TraceContext* out);
+
+/// The calling thread's ambient context (invalid when none installed).
+TraceContext current_trace();
+void set_current_trace(const TraceContext& context);
+
+/// RAII: installs `context` as the thread's ambient context, restoring the
+/// previous one on destruction.  Installing an invalid context clears the
+/// ambient context for the scope (spans record without trace ids).
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& context)
+      : saved_(current_trace()) {
+    set_current_trace(context);
+  }
+  ~TraceContextScope() { set_current_trace(saved_); }
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+}  // namespace fsyn::obs

@@ -8,8 +8,20 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace fsyn::obs {
+
+struct TraceEvent;
+
+/// Writes an explicit event list (plus thread-name metadata) as the trace
+/// JSON object.  Events carrying a trace context get `trace_id` /
+/// `span_id` / `parent_span` args so a viewer can follow one request
+/// across threads.  Shared by the tracer export below and the flight
+/// recorder's dumps.
+void write_chrome_trace_events(std::ostream& os, const std::vector<TraceEvent>& events,
+                               const std::vector<std::pair<int, std::string>>& thread_names);
 
 /// Drains the global tracer and writes the trace JSON to `os`.
 void write_chrome_trace(std::ostream& os);

@@ -1,7 +1,9 @@
 #include "svc/metrics.hpp"
 
+#include <algorithm>
 #include <sstream>
 
+#include "obs/prometheus.hpp"
 #include "util/strings.hpp"
 
 namespace fsyn::svc {
@@ -33,6 +35,66 @@ const char* pricing_name(int pricing) {
 }
 
 }  // namespace
+
+MetricsRegistry::MetricsRegistry() {
+  // Seed the ring at construction: the very first scrape then has a
+  // baseline at process start, so rates are nonzero as soon as any job has
+  // been submitted.
+  std::lock_guard<std::mutex> lock(rate_mutex_);
+  push_sample_locked(std::chrono::steady_clock::now());
+}
+
+void MetricsRegistry::push_sample_locked(std::chrono::steady_clock::time_point now) const {
+  RateSample sample;
+  sample.at = now;
+  sample.submitted = jobs_submitted_.load(std::memory_order_relaxed);
+  sample.completed = jobs_completed_.load(std::memory_order_relaxed);
+  rate_ring_[rate_next_] = sample;
+  rate_next_ = (rate_next_ + 1) % kRateSamples;
+  rate_count_ = std::min(rate_count_ + 1, kRateSamples);
+}
+
+void MetricsRegistry::sample_rates() const {
+  std::lock_guard<std::mutex> lock(rate_mutex_);
+  push_sample_locked(std::chrono::steady_clock::now());
+}
+
+void MetricsRegistry::fill_rates(MetricsSnapshot& s) const {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(rate_mutex_);
+  if (rate_count_ == 0) return;
+  const RateSample* newest = nullptr;
+  auto baseline = [&](double window_seconds) -> const RateSample* {
+    // Oldest sample still inside the window; the newest sample otherwise
+    // (sampling stalls when nothing scrapes — a recent-delta rate is still
+    // the honest answer then).
+    const RateSample* oldest_in_window = nullptr;
+    for (std::size_t k = 0; k < rate_count_; ++k) {
+      const RateSample& sample = rate_ring_[(rate_next_ + kRateSamples - 1 - k) % kRateSamples];
+      const double age = std::chrono::duration<double>(now - sample.at).count();
+      if (newest == nullptr) newest = &sample;
+      if (age <= window_seconds) oldest_in_window = &sample;
+    }
+    return oldest_in_window ? oldest_in_window : newest;
+  };
+  auto rate = [&](const RateSample* base, long current, long base_value) {
+    const double elapsed = std::chrono::duration<double>(now - base->at).count();
+    if (elapsed < 1e-3) return 0.0;
+    return static_cast<double>(current - base_value) / elapsed;
+  };
+  if (const RateSample* base = baseline(60.0)) {
+    s.submitted_per_second_1m = rate(base, s.jobs_submitted, base->submitted);
+    s.completed_per_second_1m = rate(base, s.jobs_completed, base->completed);
+  }
+  newest = nullptr;
+  if (const RateSample* base = baseline(300.0)) {
+    s.submitted_per_second_5m = rate(base, s.jobs_submitted, base->submitted);
+    s.completed_per_second_5m = rate(base, s.jobs_completed, base->completed);
+  }
+  // Advance the ring on the scrape path itself; no background timer needed.
+  const RateSample& last = rate_ring_[(rate_next_ + kRateSamples - 1) % kRateSamples];
+  if (now - last.at >= kRateSampleInterval) push_sample_locked(now);
+}
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot s;
@@ -72,6 +134,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   s.solver_steals = solver_steals_.load(std::memory_order_relaxed);
   s.solver_idle_seconds =
       static_cast<double>(solver_idle_micros_.load(std::memory_order_relaxed)) * 1e-6;
+  fill_rates(s);
   return s;
 }
 
@@ -145,9 +208,99 @@ std::string MetricsSnapshot::to_json() const {
      << "  \"pool\": {\n"
      << "    \"workers\": " << workers << ",\n"
      << "    \"max_queue_depth\": " << max_queue_depth << "\n"
+     << "  },\n"
+     << "  \"rates\": {\n"
+     << "    \"submitted_per_second_1m\": " << format_fixed(submitted_per_second_1m, 6) << ",\n"
+     << "    \"submitted_per_second_5m\": " << format_fixed(submitted_per_second_5m, 6) << ",\n"
+     << "    \"completed_per_second_1m\": " << format_fixed(completed_per_second_1m, 6) << ",\n"
+     << "    \"completed_per_second_5m\": " << format_fixed(completed_per_second_5m, 6) << "\n"
      << "  }\n"
      << "}\n";
   return os.str();
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  obs::PrometheusWriter w;
+
+  w.family("flowsynth_jobs_total", "Jobs by terminal disposition (running excluded).",
+           "counter");
+  w.sample("flowsynth_jobs_total", "state=\"submitted\"", static_cast<double>(jobs_submitted));
+  w.sample("flowsynth_jobs_total", "state=\"completed\"", static_cast<double>(jobs_completed));
+  w.sample("flowsynth_jobs_total", "state=\"cancelled\"", static_cast<double>(jobs_cancelled));
+  w.sample("flowsynth_jobs_total", "state=\"failed\"", static_cast<double>(jobs_failed));
+  w.sample("flowsynth_jobs_total", "state=\"rejected\"", static_cast<double>(jobs_rejected));
+
+  w.family("flowsynth_jobs_running", "Jobs currently executing.", "gauge");
+  w.sample("flowsynth_jobs_running", "", static_cast<double>(jobs_running));
+
+  w.family("flowsynth_job_rate_per_second",
+           "Jobs per second over the trailing window (interval-sample ring).", "gauge");
+  w.sample("flowsynth_job_rate_per_second", "kind=\"submitted\",window=\"1m\"",
+           submitted_per_second_1m);
+  w.sample("flowsynth_job_rate_per_second", "kind=\"submitted\",window=\"5m\"",
+           submitted_per_second_5m);
+  w.sample("flowsynth_job_rate_per_second", "kind=\"completed\",window=\"1m\"",
+           completed_per_second_1m);
+  w.sample("flowsynth_job_rate_per_second", "kind=\"completed\",window=\"5m\"",
+           completed_per_second_5m);
+
+  w.family("flowsynth_mapper_invocations_total", "synthesize() calls executed.", "counter");
+  w.sample("flowsynth_mapper_invocations_total", "", static_cast<double>(mapper_invocations));
+  w.family("flowsynth_reliability_jobs_total", "Jobs that ran the reliability engine.",
+           "counter");
+  w.sample("flowsynth_reliability_jobs_total", "", static_cast<double>(reliability_jobs));
+
+  w.family("flowsynth_race_arms_total", "Synthesis race arms by event.", "counter");
+  w.sample("flowsynth_race_arms_total", "event=\"started\"",
+           static_cast<double>(race_arms_started));
+  w.sample("flowsynth_race_arms_total", "event=\"cancelled\"",
+           static_cast<double>(race_arms_cancelled));
+
+  w.family("flowsynth_job_latency_seconds", "Per-stage job latency distribution.",
+           "histogram");
+  w.histogram("flowsynth_job_latency_seconds", "stage=\"queue\"", queue_latency);
+  w.histogram("flowsynth_job_latency_seconds", "stage=\"synthesis\"", synthesis_latency);
+  w.histogram("flowsynth_job_latency_seconds", "stage=\"total\"", total_latency);
+  w.histogram("flowsynth_job_latency_seconds", "stage=\"reliability\"", reliability_latency);
+
+  w.family("flowsynth_solver_nodes_total", "Branch-and-bound nodes explored.", "counter");
+  w.sample("flowsynth_solver_nodes_total", "", static_cast<double>(solver_nodes));
+  w.family("flowsynth_solver_lp_iterations_total", "Simplex iterations.", "counter");
+  w.sample("flowsynth_solver_lp_iterations_total", "",
+           static_cast<double>(solver_lp_iterations));
+  w.family("flowsynth_solver_pivots_total", "Simplex pivots by phase.", "counter");
+  w.sample("flowsynth_solver_pivots_total", "phase=\"primal\"",
+           static_cast<double>(solver_primal_pivots));
+  w.sample("flowsynth_solver_pivots_total", "phase=\"dual\"",
+           static_cast<double>(solver_dual_pivots));
+  w.family("flowsynth_solver_solves_total", "LP solves by warm-start outcome.", "counter");
+  w.sample("flowsynth_solver_solves_total", "start=\"warm\"",
+           static_cast<double>(solver_warm_solves));
+  w.sample("flowsynth_solver_solves_total", "start=\"cold\"",
+           static_cast<double>(solver_cold_solves));
+  w.family("flowsynth_solver_threads", "Widest parallel MILP solve seen.", "gauge");
+  w.sample("flowsynth_solver_threads", "", static_cast<double>(solver_threads));
+  w.family("flowsynth_solver_steals_total", "Work-stealing events across MILP solves.",
+           "counter");
+  w.sample("flowsynth_solver_steals_total", "", static_cast<double>(solver_steals));
+
+  w.family("flowsynth_cache_events_total", "Result-cache lookups and evictions.", "counter");
+  w.sample("flowsynth_cache_events_total", "event=\"hit\"", static_cast<double>(cache.hits));
+  w.sample("flowsynth_cache_events_total", "event=\"miss\"",
+           static_cast<double>(cache.misses));
+  w.sample("flowsynth_cache_events_total", "event=\"eviction\"",
+           static_cast<double>(cache.evictions));
+  w.family("flowsynth_cache_entries", "Result-cache current entry count.", "gauge");
+  w.sample("flowsynth_cache_entries", "", static_cast<double>(cache.entries));
+  w.family("flowsynth_cache_capacity", "Result-cache capacity.", "gauge");
+  w.sample("flowsynth_cache_capacity", "", static_cast<double>(cache.capacity));
+
+  w.family("flowsynth_pool_workers", "Batch-service worker threads.", "gauge");
+  w.sample("flowsynth_pool_workers", "", static_cast<double>(workers));
+  w.family("flowsynth_queue_depth_limit", "Configured admission queue bound.", "gauge");
+  w.sample("flowsynth_queue_depth_limit", "", static_cast<double>(max_queue_depth));
+
+  return w.take();
 }
 
 }  // namespace fsyn::svc

@@ -7,8 +7,10 @@
 // `flowsynth batch --metrics PATH` or scraping.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <string>
 
 #include "obs/histogram.hpp"
@@ -71,12 +73,32 @@ struct MetricsSnapshot {
   int workers = 0;
   std::size_t max_queue_depth = 0;
 
+  // Short-horizon throughput, computed from the registry's interval-sample
+  // ring: jobs per second over (up to) the trailing 1 and 5 minutes.  Early
+  // in a process's life the window is the full uptime, so a fresh server
+  // under load reports nonzero rates from the first scrape.
+  double submitted_per_second_1m = 0.0;
+  double submitted_per_second_5m = 0.0;
+  double completed_per_second_1m = 0.0;
+  double completed_per_second_5m = 0.0;
+
   /// Serializes the snapshot as a single JSON object.
   std::string to_json() const;
+
+  /// Renders the snapshot in the Prometheus text exposition format
+  /// (version 0.0.4): counters, gauges, and the per-stage latency
+  /// histograms as cumulative buckets.
+  std::string to_prometheus() const;
 };
 
 class MetricsRegistry {
  public:
+  /// Interval between rate samples; the 32-slot ring then covers > 5 min.
+  static constexpr std::chrono::seconds kRateSampleInterval{10};
+  static constexpr std::size_t kRateSamples = 32;
+
+  MetricsRegistry();
+
   void job_submitted() { jobs_submitted_.fetch_add(1, std::memory_order_relaxed); }
   void job_started() { jobs_running_.fetch_add(1, std::memory_order_relaxed); }
   void job_completed() {
@@ -161,9 +183,25 @@ class MetricsRegistry {
   }
 
   /// Counter fields of the snapshot; the service fills in cache/pool data.
+  /// Also advances the rate ring (a sample is pushed when the last one is
+  /// older than `kRateSampleInterval`) and fills the *_per_second fields.
   MetricsSnapshot snapshot() const;
 
+  /// Pushes a rate sample unconditionally (tests; snapshot() samples on its
+  /// own schedule otherwise).
+  void sample_rates() const;
+
  private:
+  struct RateSample {
+    std::chrono::steady_clock::time_point at{};
+    long submitted = 0;
+    long completed = 0;
+  };
+
+  /// Jobs/second between `now` and the oldest ring sample at most `window`
+  /// old (falling back to the newest sample when the ring has gone stale).
+  void fill_rates(MetricsSnapshot& s) const;
+  void push_sample_locked(std::chrono::steady_clock::time_point now) const;
   std::atomic<long> jobs_submitted_{0};
   std::atomic<long> jobs_completed_{0};
   std::atomic<long> jobs_cancelled_{0};
@@ -196,6 +234,13 @@ class MetricsRegistry {
   std::atomic<long> solver_threads_{0};
   std::atomic<long> solver_steals_{0};
   std::atomic<long> solver_idle_micros_{0};
+
+  // Rate ring: mutex-guarded (samples are rare — one per scrape interval);
+  // mutable so const snapshot() can advance it.
+  mutable std::mutex rate_mutex_;
+  mutable std::array<RateSample, kRateSamples> rate_ring_{};
+  mutable std::size_t rate_count_ = 0;
+  mutable std::size_t rate_next_ = 0;
 };
 
 }  // namespace fsyn::svc

@@ -157,6 +157,11 @@ JobResult BatchService::run_job(JobSpec& spec, Clock::time_point enqueued) {
   out.queue_seconds = seconds_between(enqueued, started);
   metrics_.add_queue_time(started - enqueued);
 
+  // Adopt the request's trace context for the duration of the job: every
+  // span below (schedule, race, reliability, solver internals) inherits the
+  // trace id; the scope also clears any context a previous job left on this
+  // pooled worker thread.
+  obs::TraceContextScope trace_scope(spec.trace);
   obs::Span job_span("svc", "job " + spec.name);
   if (job_span.active()) {
     // The wait predates this worker picking the job up, so it cannot be an
@@ -354,8 +359,11 @@ synth::SynthesisResult BatchService::race(const JobSpec& spec,
     arm.options.heuristic.cancel = arm.options.cancel;
     arm.options.ilp.cancel = arm.options.cancel;
     metrics_.race_arm_started();
+    // `trace` is read here, after race_span began, so arms parent to the
+    // race span and carry the job's trace id onto their own threads.
     threads.emplace_back([this, &spec, &schedule, &arm, &arms, &mutex, &best, &best_name,
-                          &first_error] {
+                          &first_error, trace = obs::current_trace()] {
+      obs::TraceContextScope trace_scope(trace);
       // Arm threads are fresh per race, so only name them while tracing:
       // naming registers a per-thread trace buffer, and an idle service
       // should not grow the registry per job.

@@ -37,6 +37,7 @@
 #include <string>
 
 #include "assay/sequencing_graph.hpp"
+#include "obs/trace_context.hpp"
 #include "rel/engine.hpp"
 #include "svc/metrics.hpp"
 #include "svc/result_cache.hpp"
@@ -123,6 +124,12 @@ struct JobSpec {
   rel::ReliabilityOptions reliability;
   /// Wall-clock budget; arms the job's CancelToken.
   std::optional<std::chrono::milliseconds> deadline;
+  /// Distributed trace context this job belongs to (W3C traceparent at the
+  /// HTTP door, or minted there).  Invalid (all-zero) when the caller does
+  /// not trace; the worker installs it as the ambient context for the job,
+  /// so every solver span — including race arms on their own threads —
+  /// carries the request's trace id.
+  obs::TraceContext trace;
 };
 
 struct JobResult {

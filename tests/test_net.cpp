@@ -1,16 +1,20 @@
 // Tests for the HTTP front-end: message parsing, routing, admission
-// control, the crash-safe journal, wire-spec validation, and loopback
-// end-to-end flows against a real server on an ephemeral port (submit /
-// status / SSE stream / cancel / overload / malformed-request fuzz /
-// journal crash recovery).
+// control, the crash-safe journal, wire-spec validation, trace-context
+// propagation (traceparent in, trace ids out through SSE / status / the
+// journal), Prometheus exposition, and loopback end-to-end flows against a
+// real server on an ephemeral port (submit / status / SSE stream / cancel
+// / overload / malformed-request fuzz / journal crash recovery).
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +32,8 @@
 #include "net/server.hpp"
 #include "net/wire.hpp"
 #include "obs/histogram.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/trace_context.hpp"
 #include "report/result_io.hpp"
 #include "sched/list_scheduler.hpp"
 #include "synth/synthesis.hpp"
@@ -116,6 +122,19 @@ TEST(HttpParser, RejectsUnknownVersion) {
   HttpRequestParser parser;
   EXPECT_EQ(ParseStatus::kError, parser.feed("GET / HTTP/2.0\r\n\r\n"));
   EXPECT_EQ(505, parser.error_status());
+}
+
+TEST(HttpParser, QueryParamAndPath) {
+  HttpRequestParser parser;
+  ASSERT_EQ(ParseStatus::kComplete,
+            parser.feed("GET /metrics?format=prometheus&empty=&x=1 HTTP/1.1\r\n\r\n"));
+  const HttpRequest& request = parser.request();
+  EXPECT_EQ("/metrics", request.path());
+  EXPECT_EQ("prometheus", request.query_param("format"));
+  EXPECT_EQ("1", request.query_param("x"));
+  EXPECT_EQ("", request.query_param("empty"));
+  EXPECT_EQ("", request.query_param("missing"));
+  EXPECT_EQ("", request.query_param("form"));  // no prefix matching
 }
 
 TEST(ChunkedDecoder, RoundTripsChunkEncode) {
@@ -311,6 +330,33 @@ TEST(Journal, AppendAndReplayRoundTrip) {
   EXPECT_EQ("{\n  \"x\": \"a\\\"b\"\n}", records[1].result_doc);
   EXPECT_EQ(0, journal.stats().torn_lines);
   std::remove(path.c_str());
+}
+
+TEST(Journal, TraceparentRoundTripsAndOldRecordsParse) {
+  const std::string path = testing::TempDir() + "journal_trace.jsonl";
+  std::remove(path.c_str());
+  const std::string header = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+  {
+    JobJournal journal;
+    EXPECT_TRUE(journal.open(path).empty());
+    journal.append_accepted(1, "interactive", "{\"assay\":\"pcr\"}", header);
+    journal.append_accepted(2, "batch", "{\"assay\":\"pcr\"}");  // no trace
+    journal.close();
+  }
+  JobJournal journal;
+  const auto records = journal.open(path);
+  ASSERT_EQ(2u, records.size());
+  EXPECT_EQ(header, records[0].traceparent);
+  EXPECT_TRUE(records[1].traceparent.empty());
+  std::remove(path.c_str());
+
+  // Pre-trace journals (no "trace" key at all) still parse.
+  long torn = 0;
+  const auto old = JobJournal::parse(
+      "{\"event\":\"accepted\",\"id\":9,\"priority\":\"batch\",\"spec\":{}}\n", &torn);
+  ASSERT_EQ(1u, old.size());
+  EXPECT_EQ(0, torn);
+  EXPECT_TRUE(old[0].traceparent.empty());
 }
 
 // ------------------------------------------------------------------ wire
@@ -622,6 +668,197 @@ TEST_F(ServerTest, MalformedRequestsNeverCrashTheServer) {
   EXPECT_EQ(200, client().get("/healthz").status);
   const JsonValue metrics = JsonValue::parse(client().get("/metrics").body);
   EXPECT_GE(metrics.at("net").at("bad_requests").as_int(), 3);
+}
+
+/// Value of the first sample line starting with `series` (name + labels),
+/// or NaN when the series is absent.
+double prometheus_value(const std::string& text, const std::string& series) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    if (line.compare(0, series.size(), series) == 0) {
+      const std::size_t space = line.rfind(' ');
+      if (space != std::string::npos) return std::atof(line.c_str() + space + 1);
+    }
+    pos = end + 1;
+  }
+  return std::nan("");
+}
+
+TEST_F(ServerTest, MetricsNegotiatesPrometheusAndJson) {
+  start();
+  // Drive some load first so counters and the 1m rate window are nonzero.
+  const std::uint64_t id = submit_ok("{\"assay\":\"pcr\",\"asap\":true,\"grid\":10}");
+  EXPECT_EQ("done", watch_terminal(id));
+
+  // Default (no Accept preference): the JSON document, unchanged.
+  const ClientResponse json = client().get("/metrics");
+  EXPECT_EQ(200, json.status);
+  EXPECT_TRUE(JsonValue::parse(json.body).has("service"));
+
+  // ?format=prometheus: text exposition that passes the format lint.
+  const ClientResponse prom = client().get("/metrics?format=prometheus");
+  EXPECT_EQ(200, prom.status);
+  const std::string* content_type = find_header(prom.headers, "Content-Type");
+  ASSERT_NE(nullptr, content_type);
+  EXPECT_EQ(std::string(obs::kPrometheusContentType), *content_type);
+  std::string error;
+  EXPECT_TRUE(obs::lint_prometheus(prom.body, &error)) << error;
+  EXPECT_GE(prometheus_value(prom.body, "flowsynth_jobs_total{state=\"submitted\"}"),
+            1.0);
+  EXPECT_GE(prometheus_value(prom.body, "flowsynth_http_requests_total"), 1.0);
+  // The interval ring was seeded at construction, so a scrape right after
+  // load reports a nonzero 1-minute submission rate.
+  EXPECT_GT(prometheus_value(
+                prom.body,
+                "flowsynth_job_rate_per_second{kind=\"submitted\",window=\"1m\"}"),
+            0.0);
+
+  // Accept-header negotiation: text/plain preferred -> Prometheus.
+  ApiClient scraper = client();
+  scraper.set_header("Accept", "text/plain;version=0.0.4, application/json;q=0.5");
+  const ClientResponse negotiated = scraper.get("/metrics");
+  EXPECT_EQ(200, negotiated.status);
+  EXPECT_TRUE(obs::lint_prometheus(negotiated.body, &error)) << error;
+  // ?format=json wins over any Accept header.
+  const ClientResponse forced = scraper.get("/metrics?format=json");
+  EXPECT_TRUE(JsonValue::parse(forced.body).has("service"));
+}
+
+TEST_F(ServerTest, TraceparentPropagatesSubmitToSseToStatus) {
+  const std::string journal_path = testing::TempDir() + "trace_e2e_journal.jsonl";
+  std::remove(journal_path.c_str());
+  JobManager::Config config;
+  config.journal_path = journal_path;
+  start(std::move(config));
+
+  const std::string trace_id = "0af7651916cd43dd8448eb211c80319c";
+  const std::string header = "00-" + trace_id + "-b7ad6b7169203331-01";
+  ApiClient traced = client();
+  traced.set_header("traceparent", header);
+
+  // Submit: the 202 body and the response header carry the caller's id.
+  const ClientResponse accepted =
+      traced.post("/v1/jobs", "{\"assay\":\"pcr\",\"asap\":true,\"grid\":10}");
+  ASSERT_EQ(202, accepted.status) << accepted.body;
+  const JsonValue body = JsonValue::parse(accepted.body);
+  EXPECT_EQ(trace_id, body.at("trace_id").as_string());
+  const std::string* echoed = find_header(accepted.headers, "traceparent");
+  ASSERT_NE(nullptr, echoed);
+  obs::TraceContext echoed_context;
+  ASSERT_TRUE(obs::parse_traceparent(*echoed, &echoed_context));
+  EXPECT_EQ(trace_id, echoed_context.trace_id_hex());
+
+  // SSE: the stream response echoes the id and every event payload carries
+  // it — byte-for-byte the id the submit sent.
+  const auto id = static_cast<std::uint64_t>(body.at("id").as_int());
+  std::vector<Header> stream_headers;
+  int frames = 0;
+  traced.watch(id, [&](const std::string&, std::uint64_t, const std::string& data) {
+    EXPECT_EQ(trace_id, JsonValue::parse(data).at("trace_id").as_string()) << data;
+    ++frames;
+    return true;
+  }, /*after_seq=*/0, &stream_headers);
+  EXPECT_GE(frames, 2);  // at least queued + done
+  const std::string* stream_echo = find_header(stream_headers, "traceparent");
+  ASSERT_NE(nullptr, stream_echo);
+  ASSERT_TRUE(obs::parse_traceparent(*stream_echo, &echoed_context));
+  EXPECT_EQ(trace_id, echoed_context.trace_id_hex());
+
+  // Status document.
+  const ClientResponse status = client().get("/v1/jobs/" + std::to_string(id));
+  EXPECT_EQ(trace_id, JsonValue::parse(status.body).at("trace_id").as_string());
+
+  // Kill the first life (TearDown = ungraceful enough: the journal has the
+  // accepted record) and replay: the recovered job keeps the same id.
+  TearDown();
+  JobManager::Config second;
+  second.service.workers = 1;
+  second.journal_path = journal_path;
+  JobManager replayed(second);
+  replayed.recover();
+  ASSERT_TRUE(replayed.exists(id));
+  const JsonValue replayed_status = JsonValue::parse(replayed.status_json(id));
+  EXPECT_EQ(trace_id, replayed_status.at("trace_id").as_string());
+  std::remove(journal_path.c_str());
+}
+
+TEST_F(ServerTest, RequestsWithoutTraceparentGetFreshDistinctIds) {
+  start();
+  const ClientResponse first = client().get("/healthz");
+  const ClientResponse second = client().get("/healthz");
+  const std::string* header_1 = find_header(first.headers, "traceparent");
+  const std::string* header_2 = find_header(second.headers, "traceparent");
+  ASSERT_NE(nullptr, header_1);
+  ASSERT_NE(nullptr, header_2);
+  obs::TraceContext context_1, context_2;
+  ASSERT_TRUE(obs::parse_traceparent(*header_1, &context_1));
+  ASSERT_TRUE(obs::parse_traceparent(*header_2, &context_2));
+  EXPECT_FALSE(context_1 == context_2);
+}
+
+TEST_F(ServerTest, FuzzedTraceparentHeadersNeverCrashAndFailClosed) {
+  start();
+  const std::string valid = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<int> pos(0, static_cast<int>(valid.size()) - 1);
+  // Printable mutations only: raw control bytes in a header value are the
+  // *parser's* 400 to give, which is not what this test is about.
+  std::uniform_int_distribution<int> printable(0x20, 0x7e);
+  for (int i = 0; i < 200; ++i) {
+    std::string mutated = valid;
+    for (int m = 0; m <= i % 3; ++m) {
+      mutated[static_cast<std::size_t>(pos(rng))] = static_cast<char>(printable(rng));
+    }
+    ApiClient fuzzer = client();
+    fuzzer.set_header("traceparent", mutated);
+    const ClientResponse response = fuzzer.get("/healthz");
+    ASSERT_EQ(200, response.status) << "died on: " << mutated;
+    // Whatever went in, a canonical context comes out: either the caller's
+    // (still-valid) ids or a freshly minted pair — never garbage.
+    const std::string* echoed = find_header(response.headers, "traceparent");
+    ASSERT_NE(nullptr, echoed);
+    obs::TraceContext context;
+    EXPECT_TRUE(obs::parse_traceparent(*echoed, &context)) << *echoed;
+    obs::TraceContext sent;
+    if (obs::parse_traceparent(mutated, &sent)) {
+      EXPECT_EQ(sent.trace_id_hex(), context.trace_id_hex());
+    }
+  }
+  // The server is still healthy after the fuzz.
+  EXPECT_EQ(200, client().get("/healthz").status);
+}
+
+TEST(JobManagerRecovery, RequeuedJobsKeepTheirTraceIds) {
+  const std::string path = testing::TempDir() + "trace_requeue_journal.jsonl";
+  std::remove(path.c_str());
+  // A first life that crashed right after accepting job 1 (trace attached)
+  // and job 2 (pre-trace record, no "trace" key).
+  {
+    std::ofstream file(path);
+    file << "{\"event\":\"accepted\",\"id\":1,\"priority\":\"batch\","
+            "\"trace\":\"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01\","
+            "\"spec\":{\"assay\":\"pcr\",\"asap\":true,\"grid\":10}}\n";
+    file << "{\"event\":\"accepted\",\"id\":2,\"priority\":\"batch\","
+            "\"spec\":{\"assay\":\"pcr\",\"asap\":true,\"grid\":10,\"seed\":7}}\n";
+  }
+  JobManager::Config config;
+  config.service.workers = 1;
+  config.journal_path = path;
+  JobManager manager(config);
+  manager.recover();
+  for (const std::uint64_t id : {std::uint64_t{1}, std::uint64_t{2}}) {
+    ASSERT_TRUE(manager.exists(id));
+    while (!manager.is_terminal(id)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  const JsonValue traced = JsonValue::parse(manager.status_json(1));
+  EXPECT_EQ("0af7651916cd43dd8448eb211c80319c", traced.at("trace_id").as_string());
+  EXPECT_FALSE(JsonValue::parse(manager.status_json(2)).has("trace_id"));
+  std::remove(path.c_str());
 }
 
 TEST(JobManagerRecovery, ReplaysFinishedAndRequeuesUnfinished) {

@@ -1,6 +1,8 @@
-// Unit tests for the observability module: tracer/spans, Chrome trace
-// export (parsed back with a minimal JSON parser), latency histograms and
-// a multithreaded span-emission stress (runs under the TSan CI job too).
+// Unit tests for the observability module: tracer/spans, trace-context
+// propagation (W3C traceparent parse/format + ambient adoption), the
+// always-on flight recorder, Chrome trace export (parsed back with a
+// minimal JSON parser), Prometheus exposition/lint, latency histograms and
+// multithreaded emission stresses (run under the TSan CI job too).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -9,14 +11,18 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <random>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/histogram.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "obs/trace_export.hpp"
 
 namespace fsyn::obs {
@@ -33,6 +39,18 @@ struct TracerGuard {
     Tracer::instance().set_thread_name("");  // empty names are not exported
     Tracer::instance().disable();
     Tracer::instance().drain();
+  }
+};
+
+/// Same discipline for the flight recorder.
+struct FlightGuard {
+  FlightGuard() {
+    FlightRecorder::instance().clear();
+    FlightRecorder::instance().enable();
+  }
+  ~FlightGuard() {
+    FlightRecorder::instance().disable();
+    FlightRecorder::instance().clear();
   }
 };
 
@@ -432,6 +450,306 @@ TEST(TracerStress, ConcurrentSpansCountersAndDrains) {
   // Every event emitted is drained exactly once, whichever drain got it.
   EXPECT_EQ(drained.load(), static_cast<std::size_t>(kThreads) * kSpansPerThread * 2);
   EXPECT_EQ(Tracer::instance().dropped_events(), 0u);
+}
+
+// ---- trace context ---------------------------------------------------------
+
+TEST(TraceContext, MintedContextsAreValidAndDistinct) {
+  const TraceContext a = make_trace_context();
+  const TraceContext b = make_trace_context();
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_NE(a.parent_span, 0u);
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(a.trace_id_hex().size(), 32u);
+  for (const char c : a.trace_id_hex()) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c)) &&
+                !std::isupper(static_cast<unsigned char>(c)));
+  }
+}
+
+TEST(TraceContext, TraceparentRoundTrips) {
+  const TraceContext minted = make_trace_context();
+  const std::string header = minted.traceparent();
+  ASSERT_EQ(header.size(), 55u);
+  EXPECT_EQ(header.substr(0, 3), "00-");
+  TraceContext parsed;
+  ASSERT_TRUE(parse_traceparent(header, &parsed));
+  EXPECT_TRUE(minted == parsed);
+}
+
+TEST(TraceContext, ParseAcceptsCanonicalHeader) {
+  TraceContext context;
+  ASSERT_TRUE(parse_traceparent(
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", &context));
+  EXPECT_EQ(context.trace_hi, 0x0af7651916cd43ddull);
+  EXPECT_EQ(context.trace_lo, 0x8448eb211c80319cull);
+  EXPECT_EQ(context.parent_span, 0xb7ad6b7169203331ull);
+}
+
+TEST(TraceContext, ParseRejectsMalformedHeaders) {
+  const char* const bad[] = {
+      "",
+      "00",
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",        // no flags
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-0",      // short flags
+      "00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01",     // uppercase
+      "00-00000000000000000000000000000000-b7ad6b7169203331-01",     // zero trace
+      "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",     // zero parent
+      "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",     // version ff
+      "00_0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",     // bad dash
+      "00-0af7651916cd43dd8448eb211c8031-b7ad6b7169203331-01",       // short trace
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b716920333g-01",     // non-hex
+  };
+  for (const char* header : bad) {
+    TraceContext context;
+    context.trace_hi = 0xdead;
+    EXPECT_FALSE(parse_traceparent(header, &context)) << header;
+    EXPECT_EQ(context.trace_hi, 0xdeadu) << "out modified for: " << header;
+  }
+}
+
+TEST(TraceContextFuzz, MutatedHeadersNeverCrashAndFailClosed) {
+  // Byte-level mutations of a valid header: every outcome must be either a
+  // clean reject or a successful parse of a *still-canonical* header —
+  // never a crash, never an out-param touched on failure.
+  const std::string valid = make_trace_context().traceparent();
+  std::mt19937 rng(20260807);
+  std::uniform_int_distribution<int> pos(0, static_cast<int>(valid.size()) - 1);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int i = 0; i < 20000; ++i) {
+    std::string mutated = valid;
+    const int mutations = 1 + (i % 3);
+    for (int m = 0; m < mutations; ++m) {
+      mutated[static_cast<std::size_t>(pos(rng))] = static_cast<char>(byte(rng));
+    }
+    TraceContext context;
+    if (parse_traceparent(mutated, &context)) {
+      EXPECT_TRUE(context.valid());
+      // Re-serialization is canonical: same ids, version 00, sampled.
+      TraceContext again;
+      ASSERT_TRUE(parse_traceparent(context.traceparent(), &again));
+      EXPECT_TRUE(context == again);
+    } else {
+      EXPECT_FALSE(context.valid());  // untouched default
+    }
+    // Truncations and extensions fail closed too.
+    TraceContext ignored;
+    EXPECT_FALSE(parse_traceparent(mutated.substr(0, mutated.size() / 2), &ignored));
+    EXPECT_FALSE(parse_traceparent(mutated + "x", &ignored));
+  }
+}
+
+TEST(TraceContext, ScopeInstallsAndRestores) {
+  EXPECT_FALSE(current_trace().valid());
+  const TraceContext outer = make_trace_context();
+  {
+    TraceContextScope scope(outer);
+    EXPECT_TRUE(current_trace() == outer);
+    const TraceContext inner = make_trace_context();
+    {
+      TraceContextScope nested(inner);
+      EXPECT_TRUE(current_trace() == inner);
+    }
+    EXPECT_TRUE(current_trace() == outer);
+  }
+  EXPECT_FALSE(current_trace().valid());
+}
+
+TEST(TraceContext, SpansAdoptAmbientContextAndNest) {
+  TracerGuard guard;
+  const TraceContext context = make_trace_context();
+  {
+    TraceContextScope scope(context);
+    Span outer("test", "outer");
+    { Span inner("test", "inner"); }
+  }
+  { Span bare("test", "bare"); }  // outside any scope: no trace ids
+
+  const auto events = Tracer::instance().drain();
+  ASSERT_EQ(events.size(), 3u);
+  const auto find = [&](std::string_view name) -> const TraceEvent& {
+    for (const TraceEvent& event : events) {
+      if (event.name == name) return event;
+    }
+    static TraceEvent none;
+    ADD_FAILURE() << "missing event " << name;
+    return none;
+  };
+  const TraceEvent& outer = find("outer");
+  const TraceEvent& inner = find("inner");
+  const TraceEvent& bare = find("bare");
+  EXPECT_EQ(outer.trace_hi, context.trace_hi);
+  EXPECT_EQ(outer.trace_lo, context.trace_lo);
+  EXPECT_EQ(outer.parent_span, context.parent_span);
+  ASSERT_NE(outer.span_id, 0u);
+  // The inner span parents to the outer span, same trace.
+  EXPECT_EQ(inner.trace_lo, context.trace_lo);
+  EXPECT_EQ(inner.parent_span, outer.span_id);
+  EXPECT_NE(inner.span_id, outer.span_id);
+  EXPECT_EQ(bare.trace_hi | bare.trace_lo, 0u);
+  EXPECT_EQ(bare.parent_span, 0u);
+}
+
+// ---- flight recorder -------------------------------------------------------
+
+TEST(FlightRecorder, DisabledRecordsNothing) {
+  FlightRecorder::instance().disable();
+  FlightRecorder::instance().clear();
+  Tracer::instance().disable();
+  {
+    Span span("test", "invisible");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_TRUE(FlightRecorder::instance().snapshot().empty());
+}
+
+TEST(FlightRecorder, RecordsSpansIndependentlyOfTracer) {
+  FlightGuard guard;
+  Tracer::instance().disable();
+  Tracer::instance().drain();
+  {
+    Span span("test", "flight-only");
+    EXPECT_TRUE(span.active());
+  }
+  // Flight recorder got the span; the (disabled) tracer did not.
+  const auto events = FlightRecorder::instance().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "flight-only");
+  EXPECT_TRUE(Tracer::instance().drain().empty());
+}
+
+TEST(FlightRecorder, RingWrapsKeepingNewestEvents) {
+  FlightGuard guard;
+  Tracer::instance().disable();
+  const std::size_t total = FlightRecorder::kRingCapacity + 100;
+  for (std::size_t i = 0; i < total; ++i) {
+    Span span("test", std::to_string(i));
+  }
+  const auto events = FlightRecorder::instance().snapshot();
+  ASSERT_EQ(events.size(), FlightRecorder::kRingCapacity);
+  EXPECT_GE(FlightRecorder::instance().total_recorded(), total);
+  // Exactly the newest kRingCapacity survive; the first 100 are gone.
+  unsigned long long min_index = total;
+  for (const TraceEvent& event : events) {
+    min_index = std::min(min_index, std::stoull(event.name));
+  }
+  EXPECT_EQ(min_index, 100u);
+}
+
+TEST(FlightRecorder, SnapshotDoesNotDrain) {
+  FlightGuard guard;
+  Tracer::instance().disable();
+  { Span span("test", "sticky"); }
+  EXPECT_EQ(FlightRecorder::instance().snapshot().size(), 1u);
+  EXPECT_EQ(FlightRecorder::instance().snapshot().size(), 1u);  // still there
+}
+
+TEST(FlightRecorder, DumpJsonParsesAndCarriesTraceIds) {
+  FlightGuard guard;
+  Tracer::instance().disable();
+  const TraceContext context = make_trace_context();
+  {
+    TraceContextScope scope(context);
+    Span span("test", "dumped");
+  }
+  const std::string json = FlightRecorder::instance().dump_json();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.parse()) << json;
+  EXPECT_GE(checker.trace_event_count(), 1);
+  EXPECT_NE(json.find(context.trace_id_hex()), std::string::npos);
+}
+
+TEST(FlightRecorderStress, ConcurrentWritersAndSnapshots) {
+  FlightGuard guard;
+  Tracer::instance().disable();
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 4000;
+
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto events = FlightRecorder::instance().snapshot();
+      // Bounded by construction, whatever the writers are doing.
+      EXPECT_LE(events.size(), static_cast<std::size_t>(kThreads + 2) *
+                                   FlightRecorder::kRingCapacity);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      const TraceContext context = make_trace_context();
+      TraceContextScope scope(context);
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span span("stress", "flight");
+        span.arg("t", t);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+
+  EXPECT_GE(FlightRecorder::instance().total_recorded(),
+            static_cast<std::uint64_t>(kThreads) * kSpansPerThread);
+}
+
+// ---- Prometheus exposition -------------------------------------------------
+
+TEST(Prometheus, WriterEmitsWellFormedFamilies) {
+  PrometheusWriter writer;
+  writer.family("demo_jobs_total", "Jobs by state.", "counter");
+  writer.sample("demo_jobs_total", "state=\"done\"", 3);
+  writer.sample("demo_jobs_total", "state=\"failed\"", 0);
+  writer.family("demo_depth", "Queue depth.", "gauge");
+  writer.sample("demo_depth", "", 7.5);
+  const std::string text = writer.str();
+  std::string error;
+  EXPECT_TRUE(lint_prometheus(text, &error)) << error << "\n" << text;
+  EXPECT_NE(text.find("# TYPE demo_jobs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("demo_jobs_total{state=\"done\"} 3\n"), std::string::npos);
+}
+
+TEST(Prometheus, WriterEmitsCumulativeHistogram) {
+  LatencyHistogram histogram;
+  histogram.record_seconds(0.0004);
+  histogram.record_seconds(0.3);
+  histogram.record_seconds(45.0);
+  PrometheusWriter writer;
+  writer.family("demo_latency_seconds", "Latency.", "histogram");
+  writer.histogram("demo_latency_seconds", "stage=\"total\"", histogram.snapshot());
+  const std::string text = writer.str();
+  std::string error;
+  EXPECT_TRUE(lint_prometheus(text, &error)) << error << "\n" << text;
+  EXPECT_NE(text.find("le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("demo_latency_seconds_count{stage=\"total\"} 3\n"),
+            std::string::npos);
+}
+
+TEST(Prometheus, LintCatchesFormatErrors) {
+  std::string error;
+  // Counter not ending in _total.
+  EXPECT_FALSE(lint_prometheus("# TYPE bad counter\nbad 1\n", &error));
+  // Missing trailing newline.
+  EXPECT_FALSE(lint_prometheus("# TYPE x_total counter\nx_total 1", &error));
+  // Non-monotonic histogram buckets.
+  EXPECT_FALSE(lint_prometheus(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n"
+      "h_sum 1\nh_count 5\n",
+      &error));
+  // _count disagreeing with the +Inf bucket.
+  EXPECT_FALSE(lint_prometheus(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n",
+      &error));
+  // Negative counter value.
+  EXPECT_FALSE(lint_prometheus("# TYPE x_total counter\nx_total -1\n", &error));
+  // Well-formed control.
+  EXPECT_TRUE(lint_prometheus("# TYPE x_total counter\nx_total 1\n", &error)) << error;
 }
 
 TEST(HistogramStress, ConcurrentRecordsKeepTotals) {

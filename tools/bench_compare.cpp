@@ -8,12 +8,17 @@
 //   - the instance is missing from the new file,
 //   - the objective differs (correctness, not perf — any drift fails), or
 //   - wall_ms grew by more than --wall-tol (default +15%), or
-//     lp_iterations grew by more than --iter-tol (default +5%).
+//     lp_iterations grew by more than --iter-tol (default +5%), or
+//   - p50_ms / p95_ms grew by more than --wall-tol, or req_per_sec shrank
+//     by more than --wall-tol (server-bench rows).
 //
 // Wall-clock checks are skipped for instances faster than --min-wall-ms in
 // the baseline (too noisy to gate) and entirely under --no-wall, which CI
 // uses on shared runners where only the deterministic iteration counts are
-// comparable across machines.  Improvements are reported but never fail.
+// comparable across machines.  Under --no-wall the latency / throughput
+// columns still have to be *present* in the new file when the baseline has
+// them — the schema check survives even where the numbers are noise.
+// Improvements are reported but never fail.
 #include <cmath>
 #include <cstring>
 #include <fstream>
@@ -110,6 +115,18 @@ bool check_growth(const std::string& instance, const char* metric, double base, 
   return ok;
 }
 
+/// One "shrank by more than tol?" check (throughput metrics).
+bool check_shrink(const std::string& instance, const char* metric, double base, double fresh,
+                  double tol) {
+  if (base <= 0.0) return true;
+  const double ratio = fresh / base;
+  const bool ok = ratio >= 1.0 - tol;
+  std::cout << (ok ? "  ok   " : "  FAIL ") << instance << " " << metric << ": " << base
+            << " -> " << fresh << " (" << (ratio >= 1.0 ? "+" : "") << (ratio - 1.0) * 100.0
+            << "%, tolerance -" << tol * 100.0 << "%)\n";
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -155,6 +172,33 @@ int main(int argc, char** argv) {
                             options.wall_tol)) {
             ++failures;
           }
+        }
+      }
+      // Server-bench latency / throughput rows.  Wall-clock-like, so gated
+      // the same way; under --no-wall the columns only have to exist.
+      for (const char* metric : {"p50_ms", "p95_ms"}) {
+        if (!base_row.has(metric)) continue;
+        if (!new_row->has(metric)) {
+          std::cout << "  FAIL " << name << " " << metric << ": missing from "
+                    << options.new_path << "\n";
+          ++failures;
+          continue;
+        }
+        if (options.check_wall &&
+            !check_growth(name, metric, base_row.at(metric).as_number(),
+                          new_row->at(metric).as_number(), options.wall_tol)) {
+          ++failures;
+        }
+      }
+      if (base_row.has("req_per_sec")) {
+        if (!new_row->has("req_per_sec")) {
+          std::cout << "  FAIL " << name << " req_per_sec: missing from "
+                    << options.new_path << "\n";
+          ++failures;
+        } else if (options.check_wall &&
+                   !check_shrink(name, "req_per_sec", base_row.at("req_per_sec").as_number(),
+                                 new_row->at("req_per_sec").as_number(), options.wall_tol)) {
+          ++failures;
         }
       }
     }

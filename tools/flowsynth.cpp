@@ -81,6 +81,7 @@
 #include "assay/benchmarks.hpp"
 #include "net/client.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_context.hpp"
 #include "obs/trace_export.hpp"
 #include "assay/parser.hpp"
 #include "util/cancel.hpp"
@@ -651,7 +652,7 @@ int run_batch(const CliOptions& cli) {
 [[noreturn]] void client_usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr <<
-      "usage: flowsynth client <verb> [--host H] [--port P]\n"
+      "usage: flowsynth client <verb> [--host H] [--port P] [--traceparent TP]\n"
       "  submit <benchmark> [--kind synthesis|reliability] [--policy N] [--asap]\n"
       "         [--seed S] [--grid N] [--ilp] [--priority interactive|batch|background]\n"
       "         [--deadline-ms D] [--trials N] [--watch]\n"
@@ -664,10 +665,22 @@ int run_batch(const CliOptions& cli) {
   std::exit(2);
 }
 
+/// Prints the trace id carried by a `traceparent` response header, if any.
+void print_trace_header(const std::vector<net::Header>& headers) {
+  if (const std::string* tp = net::find_header(headers, "traceparent")) {
+    fsyn::obs::TraceContext context;
+    if (fsyn::obs::parse_traceparent(*tp, &context)) {
+      std::cout << "trace: " << context.trace_id_hex() << std::endl;
+    }
+  }
+}
+
 /// Streams a job's events to stdout; returns the job's terminal event name
 /// ("" when the stream ended without one).
-std::string client_watch(net::ApiClient& client, std::uint64_t id) {
+std::string client_watch(net::ApiClient& client, std::uint64_t id,
+                         bool print_trace = false) {
   std::string last_terminal;
+  std::vector<net::Header> headers;
   client.watch(id, [&](const std::string& event, std::uint64_t seq,
                        const std::string& data) {
     std::cout << "[" << seq << "] " << event << " " << data << std::endl;
@@ -676,7 +689,8 @@ std::string client_watch(net::ApiClient& client, std::uint64_t id) {
       last_terminal = event;
     }
     return true;
-  });
+  }, /*after_seq=*/0, &headers);
+  if (print_trace) print_trace_header(headers);
   return last_terminal;
 }
 
@@ -698,6 +712,7 @@ int run_client(int argc, char** argv) {
   std::optional<int> deadline_ms;
   int trials = 0;
   bool watch_after_submit = false;
+  std::string traceparent;
 
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -729,6 +744,8 @@ int run_client(int argc, char** argv) {
       trials = parse_int(next());
     } else if (arg == "--watch") {
       watch_after_submit = true;
+    } else if (arg == "--traceparent") {
+      traceparent = next();
     } else if (arg == "--out") {
       out_path = next();
     } else if (!arg.empty() && arg[0] != '-' && positional.empty()) {
@@ -740,6 +757,7 @@ int run_client(int argc, char** argv) {
   if (positional.empty() && argc > 3 && argv[3][0] != '-') positional = argv[3];
 
   net::ApiClient client(host, port);
+  if (!traceparent.empty()) client.set_header("traceparent", traceparent);
 
   auto require_id = [&]() -> std::uint64_t {
     if (positional.empty()) client_usage(verb + " needs a job id");
@@ -772,6 +790,7 @@ int run_client(int argc, char** argv) {
     const net::ClientResponse response = client.post("/v1/jobs", w.take());
     std::cout << response.body << std::endl;
     if (response.status >= 400) return 1;
+    print_trace_header(response.headers);
     if (watch_after_submit) {
       const JsonValue doc = JsonValue::parse(response.body);
       const auto id = static_cast<std::uint64_t>(doc.at("id").as_int());
@@ -794,7 +813,7 @@ int run_client(int argc, char** argv) {
     return 0;
   }
   if (verb == "watch") {
-    const std::string terminal = client_watch(client, require_id());
+    const std::string terminal = client_watch(client, require_id(), /*print_trace=*/true);
     return terminal == "done" ? 0 : 1;
   }
   if (verb == "cancel") {

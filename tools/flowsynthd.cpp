@@ -6,6 +6,8 @@
 //              [--deadline-interactive S] [--deadline-batch S]
 //              [--deadline-background S] [--admission-min-samples N]
 //              [--admission-default-service S] [--max-body BYTES]
+//              [--trace PATH] [--flight-dump PATH] [--no-flight-recorder]
+//              [--slow-job-ms N] [--flight-dump-dir DIR]
 //
 //   --port P        listening port (default 8080; 0 = ephemeral, printed)
 //   --bind ADDR     listening address (default 127.0.0.1)
@@ -17,9 +19,17 @@
 //   --deadline-* S  admission route deadline per priority class, seconds;
 //                   jobs whose estimated completion exceeds it get 429
 //                   (<= 0 disables shedding for that class)
+//   --trace PATH    enable the full tracer for the whole run; the Chrome
+//                   trace JSON is written to PATH on graceful shutdown
+//   --flight-dump PATH     SIGQUIT dumps the flight recorder here
+//                          (default flowsynthd-flight.trace.json)
+//   --no-flight-recorder   disable the always-on flight recorder
+//   --slow-job-ms N        warn (with trace id) when a job runs longer
+//   --flight-dump-dir DIR  auto-dump the flight recorder for slow jobs
 //
 // SIGINT/SIGTERM shut down gracefully: stop accepting, cancel queued jobs,
 // drain running ones within the grace budget, fsync the journal, exit.
+// SIGQUIT dumps the flight recorder (without stopping) to --flight-dump.
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
@@ -27,6 +37,9 @@
 
 #include "net/api.hpp"
 #include "net/server.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -38,13 +51,20 @@ void handle_signal(int) {
   if (g_server != nullptr) g_server->request_stop();
 }
 
+void handle_sigquit(int) {
+  if (g_server != nullptr) g_server->request_flight_dump();
+}
+
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr << "usage: flowsynthd [--port P] [--bind ADDR] [--workers N] [--queue N]\n"
                "                  [--cache N] [--journal PATH] [--grace-ms N]\n"
                "                  [--deadline-interactive S] [--deadline-batch S]\n"
                "                  [--deadline-background S] [--admission-min-samples N]\n"
-               "                  [--admission-default-service S] [--max-body BYTES]\n";
+               "                  [--admission-default-service S] [--max-body BYTES]\n"
+               "                  [--trace PATH] [--flight-dump PATH]\n"
+               "                  [--no-flight-recorder] [--slow-job-ms N]\n"
+               "                  [--flight-dump-dir DIR]\n";
   std::exit(2);
 }
 
@@ -56,7 +76,10 @@ int main(int argc, char** argv) {
   net::JobManager::Config manager_config;
   manager_config.service.overflow = svc::OverflowPolicy::kReject;
   net::HttpServer::Config server_config;
+  server_config.flight_dump_path = "flowsynthd-flight.trace.json";
   net::AdmissionConfig admission;
+  std::string trace_path;
+  bool flight_recorder = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -93,6 +116,16 @@ int main(int argc, char** argv) {
         admission.default_service_seconds = parse_double(next());
       } else if (arg == "--max-body") {
         server_config.limits.max_body_bytes = static_cast<std::size_t>(parse_int(next()));
+      } else if (arg == "--trace") {
+        trace_path = next();
+      } else if (arg == "--flight-dump") {
+        server_config.flight_dump_path = next();
+      } else if (arg == "--no-flight-recorder") {
+        flight_recorder = false;
+      } else if (arg == "--slow-job-ms") {
+        manager_config.slow_job_seconds = parse_int(next()) / 1000.0;
+      } else if (arg == "--flight-dump-dir") {
+        manager_config.flight_dump_dir = next();
       } else {
         usage("unknown option " + arg);
       }
@@ -102,6 +135,11 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // The flight recorder is always-on by default: near-zero cost while
+    // idle, and SIGQUIT / /v1/debug/trace / slow-job dumps depend on it.
+    if (flight_recorder) obs::FlightRecorder::instance().enable();
+    if (!trace_path.empty()) obs::Tracer::instance().enable();
+
     net::JobManager manager(manager_config);
     manager.recover();
     const long requeued =
@@ -119,12 +157,17 @@ int main(int argc, char** argv) {
     g_server = &server;
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
+    std::signal(SIGQUIT, handle_sigquit);
 
     std::cout << "flowsynthd listening on " << server_config.bind_address << ":"
               << server.port() << " (" << manager.service().worker_count()
               << " workers)" << std::endl;
     server.serve();
     g_server = nullptr;
+    if (!trace_path.empty()) {
+      obs::write_chrome_trace_file(trace_path);
+      std::cout << "trace written to " << trace_path << "\n";
+    }
     std::cout << "flowsynthd stopped\n";
     return 0;
   } catch (const Error& e) {

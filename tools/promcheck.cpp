@@ -1,0 +1,47 @@
+// promcheck — Prometheus text exposition-format lint.
+//
+//   promcheck [FILE]          lint FILE (or stdin when omitted / "-")
+//
+// Runs the same checker the unit tests use (obs::lint_prometheus) over a
+// scrape saved to a file: format syntax, TYPE declarations, counter naming
+// (`_total`), histogram bucket monotonicity and `_count` consistency.
+// Exit 0 when the scrape is well-formed, 1 with a diagnostic otherwise —
+// CI pipes `curl :PORT/metrics?format=prometheus` straight through it.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/prometheus.hpp"
+
+int main(int argc, char** argv) {
+  if (argc > 2) {
+    std::cerr << "usage: promcheck [FILE]\n";
+    return 2;
+  }
+
+  std::string text;
+  const std::string path = argc == 2 ? argv[1] : "-";
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream file(path);
+    if (!file.good()) {
+      std::cerr << "promcheck: cannot open '" << path << "'\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+
+  std::string error;
+  if (!fsyn::obs::lint_prometheus(text, &error)) {
+    std::cerr << "promcheck: " << error << "\n";
+    return 1;
+  }
+  std::cout << "promcheck: OK\n";
+  return 0;
+}
