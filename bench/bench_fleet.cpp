@@ -1,0 +1,92 @@
+// Closed-loop fleet performance smoke: one machine-readable JSON line per
+// benchmark assay with fleet-stepping throughput (chip-runs/sec over the
+// whole closed loop, self-tests and repairs included), diagnosis latency
+// percentiles, and the re-synthesis jobs the loop completed.  Emits the
+// flowsynth-bench-v1 envelope via --out so CI can archive and diff
+// BENCH_*.json trajectories like the other gated benches.
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "assay/benchmarks.hpp"
+#include "bench_json.hpp"
+#include "fleet/fleet.hpp"
+
+using namespace fsyn;
+
+namespace {
+
+void run(const std::string& name, int chips, int horizon, benchio::BenchWriter& writer) {
+  const assay::SequencingGraph graph = assay::make_benchmark(name);
+
+  fleet::FleetOptions options;
+  options.chips = chips;
+  options.cadence = 10;
+  options.horizon = horizon;
+  options.seed = 42;
+  options.repair_workers = 2;
+  options.synthesis.heuristic.seed = 42;
+
+  // Warm-up pass (allocators, branch predictors, the synthesis cache is
+  // cold either way), then the measured pass.
+  fleet::FleetOptions warmup = options;
+  warmup.chips = std::max(2, chips / 10);
+  warmup.horizon = std::max(10, horizon / 4);
+  (void)fleet::run_fleet(graph, warmup);
+
+  const auto started = std::chrono::steady_clock::now();
+  const fleet::FleetReport report = fleet::run_fleet(graph, options);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+
+  // Determinism guard: a second run must produce the identical document or
+  // the throughput numbers compare different computations.
+  if (fleet::run_fleet(graph, options).to_json() != report.to_json()) {
+    std::cerr << "determinism violation on " << name << '\n';
+    std::exit(1);
+  }
+
+  benchio::JsonObject row;
+  row.add("bench", "fleet")
+      .add("instance", name)
+      .add("chips", chips)
+      .add("horizon", horizon)
+      .add("chip_runs_per_sec",
+           static_cast<long long>(static_cast<double>(report.assay_runs) / wall_seconds))
+      .add("self_tests", report.self_tests)
+      .add("faults_detected", report.faults_detected)
+      .add("faults_missed", report.faults_missed)
+      .add("diagnosis_p50_ms", report.diagnosis_latency.percentile(50) * 1e3)
+      .add("diagnosis_p95_ms", report.diagnosis_latency.percentile(95) * 1e3)
+      .add("resynth_jobs_completed", report.repairs_succeeded)
+      .add("resynth_p50_ms", report.repair_latency.percentile(50) * 1e3)
+      .add("availability", report.availability())
+      .add("wall_ms", wall_seconds * 1e3);
+  std::cout << row.str() << std::endl;
+  writer.add_instance(row);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_fleet [--out BENCH.json]\n";
+      return 2;
+    }
+  }
+  benchio::BenchWriter writer("fleet");
+  writer.config().add("cadence", 10).add("repair_workers", 2).add("seed", 42);
+  run("pcr", 200, 120, writer);
+  run("invitro", 100, 120, writer);
+  run("protein", 50, 80, writer);
+  if (!out_path.empty() && !writer.write(out_path)) {
+    std::cerr << "failed to write " << out_path << "\n";
+    return 1;
+  }
+  return 0;
+}

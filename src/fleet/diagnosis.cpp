@@ -1,0 +1,97 @@
+#include "fleet/diagnosis.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fsyn::fleet {
+
+namespace {
+
+/// Failing row and column indices of one phase under `failed`.
+struct LineSets {
+  std::vector<int> rows;
+  std::vector<int> cols;
+};
+
+template <typename FailPredicate>
+LineSets failing_lines(const TestSchedule& schedule, TestPhase phase,
+                       const FailPredicate& failed) {
+  LineSets sets;
+  for (std::size_t i = 0; i < schedule.vectors.size(); ++i) {
+    const TestVector& vector = schedule.vectors[i];
+    if (vector.phase != phase || !failed(i)) continue;
+    if (vector.orientation == LineOrientation::kRow) {
+      sets.rows.push_back(vector.index);
+    } else {
+      sets.cols.push_back(vector.index);
+    }
+  }
+  return sets;
+}
+
+/// Row x column intersection, row-major.  Empty when either side is empty
+/// (a failing line with no crossing witness localizes nothing).
+std::vector<Point> intersect(const LineSets& sets) {
+  std::vector<Point> cells;
+  for (const int y : sets.rows) {
+    for (const int x : sets.cols) cells.push_back(Point{x, y});
+  }
+  std::sort(cells.begin(), cells.end());
+  return cells;
+}
+
+}  // namespace
+
+Diagnosis diagnose(const TestSchedule& schedule, const TestResponse& expected,
+                   const TestResponse& observed, const DiagnosisOptions& options) {
+  check_input(expected.vectors.size() == schedule.vectors.size() &&
+                  observed.vectors.size() == schedule.vectors.size(),
+              "diagnosis: responses must be parallel to the schedule's vectors");
+  Diagnosis diagnosis;
+
+  // Stuck valves: per phase, intersect failing rows with failing columns.
+  const auto phase_mode = [](TestPhase phase) {
+    // A closure failure means the line would not seal: stuck-open.
+    return phase == TestPhase::kClosure ? rel::FaultMode::kStuckOpen
+                                        : rel::FaultMode::kStuckClosed;
+  };
+  for (const TestPhase phase : {TestPhase::kClosure, TestPhase::kOpening}) {
+    const LineSets sets = failing_lines(schedule, phase, [&](std::size_t i) {
+      return expected.vectors[i].pass && !observed.vectors[i].pass;
+    });
+    const bool aliased = sets.rows.size() > 1 && sets.cols.size() > 1;
+    for (const Point& cell : intersect(sets)) {
+      DiagnosedFault fault;
+      fault.valve = cell;
+      fault.mode = phase_mode(phase);
+      fault.aliased = aliased;
+      diagnosis.stuck.push_back(fault);
+    }
+  }
+
+  // Degraded valves: closure-phase latency channel (the seal is where a
+  // worn membrane drags; vectors that failed outright carry no latency).
+  const LineSets slow = failing_lines(schedule, TestPhase::kClosure, [&](std::size_t i) {
+    return observed.vectors[i].pass &&
+           observed.vectors[i].latency_ms >= options.latency_threshold_ms &&
+           expected.vectors[i].latency_ms < options.latency_threshold_ms;
+  });
+  diagnosis.degraded = intersect(slow);
+
+  return diagnosis;
+}
+
+rel::FaultPlan Diagnosis::to_fault_plan(int at_run) const {
+  rel::FaultPlan plan;
+  for (const DiagnosedFault& fault : stuck) {
+    rel::FaultEvent event;
+    event.valve = fault.valve;
+    event.mode = fault.mode;
+    event.at_run = at_run;
+    plan.events.push_back(event);
+  }
+  return plan;
+}
+
+}  // namespace fsyn::fleet

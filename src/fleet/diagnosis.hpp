@@ -1,0 +1,57 @@
+// Fault diagnosis from self-test responses.
+//
+// The diagnoser sees only what a controller measures: per-vector pass/fail
+// and response latency (test_pattern.hpp).  It localizes faults by line
+// intersection:
+//
+//  * a vector failing its *closure* phase contains a stuck-OPEN valve;
+//  * a vector failing its *opening* phase contains a stuck-CLOSED valve;
+//  * a closure vector whose latency exceeds the threshold contains a
+//    *degraded* valve (worn membrane, still functional).
+//
+// Within one phase, the candidate set is the cross product of failing rows
+// and failing columns.  A single fault localizes exactly (one row x one
+// column).  Two faults sharing a row or column also localize exactly.  Two
+// faults at distinct rows AND distinct columns alias to the 4-cell
+// superset of both intersections — the classic limitation of walk-pattern
+// testing; such candidates are flagged `aliased` so the caller knows the
+// set may include healthy valves (the fleet retires them from service
+// conservatively).  Opening- and closure-phase failures never interfere:
+// each stuck mode is invisible to the other phase.
+#pragma once
+
+#include "fleet/test_pattern.hpp"
+#include "rel/fault_plan.hpp"
+
+namespace fsyn::fleet {
+
+struct DiagnosisOptions {
+  /// Closure latency above this is a degraded-valve warning.  Sits between
+  /// the virtual chip's nominal (5 ms) and degraded (12 ms) responses.
+  double latency_threshold_ms = 8.0;
+};
+
+struct DiagnosedFault {
+  Point valve;
+  rel::FaultMode mode = rel::FaultMode::kStuckClosed;
+  /// Part of a multi-fault ambiguity superset: this cell failed-line
+  /// intersection may include healthy valves.
+  bool aliased = false;
+};
+
+struct Diagnosis {
+  std::vector<DiagnosedFault> stuck;  ///< row-major order within each phase
+  std::vector<Point> degraded;        ///< localized sluggish (not stuck) cells
+  bool clean() const { return stuck.empty() && degraded.empty(); }
+
+  /// The stuck set as a fault plan (all events at `at_run`), ready for
+  /// rel::analyze or degraded re-synthesis.
+  rel::FaultPlan to_fault_plan(int at_run) const;
+};
+
+/// Compares observed against expected responses; both must be parallel to
+/// `schedule.vectors`.
+Diagnosis diagnose(const TestSchedule& schedule, const TestResponse& expected,
+                   const TestResponse& observed, const DiagnosisOptions& options = {});
+
+}  // namespace fsyn::fleet

@@ -1,0 +1,77 @@
+#include "fleet/test_pattern.hpp"
+
+#include "util/error.hpp"
+
+namespace fsyn::fleet {
+
+const char* to_string(TestPhase phase) {
+  return phase == TestPhase::kClosure ? "closure" : "opening";
+}
+
+const char* to_string(LineOrientation orientation) {
+  return orientation == LineOrientation::kRow ? "row" : "column";
+}
+
+namespace {
+
+void add_lines(TestSchedule& schedule, TestPhase phase) {
+  for (int y = 0; y < schedule.height; ++y) {
+    TestVector vector;
+    vector.phase = phase;
+    vector.orientation = LineOrientation::kRow;
+    vector.index = y;
+    for (int x = 0; x < schedule.width; ++x) vector.cells.push_back(Point{x, y});
+    schedule.vectors.push_back(std::move(vector));
+  }
+  for (int x = 0; x < schedule.width; ++x) {
+    TestVector vector;
+    vector.phase = phase;
+    vector.orientation = LineOrientation::kColumn;
+    vector.index = x;
+    for (int y = 0; y < schedule.height; ++y) vector.cells.push_back(Point{x, y});
+    schedule.vectors.push_back(std::move(vector));
+  }
+}
+
+}  // namespace
+
+TestSchedule compile_self_test(int width, int height) {
+  check_input(width > 0 && height > 0, "self-test needs a positive valve matrix");
+  TestSchedule schedule;
+  schedule.width = width;
+  schedule.height = height;
+  add_lines(schedule, TestPhase::kClosure);
+  add_lines(schedule, TestPhase::kOpening);
+  return schedule;
+}
+
+sim::ControlProgram TestSchedule::to_control_program() const {
+  sim::ControlProgram program;
+  int time = 0;
+  for (const TestVector& vector : vectors) {
+    for (const Point& cell : vector.cells) {
+      sim::ValveEvent event;
+      event.time = time;
+      event.valve = cell;
+      event.action = sim::ValveAction::kOpenClose;
+      event.count = 2;
+      event.cause = std::string("self-test ") + to_string(vector.phase) + " " +
+                    to_string(vector.orientation) + " " + std::to_string(vector.index);
+      program.events.push_back(std::move(event));
+    }
+    ++time;
+  }
+  return program;
+}
+
+TestResponse expected_response(const TestSchedule& schedule, double nominal_ms) {
+  TestResponse response;
+  response.vectors.resize(schedule.vectors.size());
+  for (VectorResponse& vector : response.vectors) {
+    vector.pass = true;
+    vector.latency_ms = nominal_ms;
+  }
+  return response;
+}
+
+}  // namespace fsyn::fleet

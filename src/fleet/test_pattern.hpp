@@ -1,0 +1,82 @@
+// Valve-array self-test pattern generation.
+//
+// A deployed chip cannot be probed valve-by-valve: the controller only
+// drives pressure lines and observes whether flow arrives (and how fast).
+// Following the FPVA-testing approach (PAPERS.md, "Testing Microfluidic
+// Fully Programmable Valve Arrays"), the self-test walks *lines* of the
+// valve matrix in two phases:
+//
+//  * closure phase: every valve of a row (then of a column) is closed and
+//    the line is pressurized.  A stuck-open valve cannot seal, so the line
+//    holds no pressure and the vector fails.  Latency to seal also rises
+//    when a worn membrane responds sluggishly, which is how *degraded*
+//    valves are spotted before they die.
+//  * opening phase: every valve of the line is opened and flow is pushed
+//    through.  A stuck-closed valve blocks the line, failing the vector.
+//
+// Each cell appears in exactly one row and one column vector per phase, so
+// a single faulty valve localizes to the intersection of its failing row
+// and failing column (diagnosis.hpp).  The schedule covers the *full*
+// matrix, not just the valves the current design uses: repairs may press
+// previously functionless walls into service, and the array must already
+// be known-good there.
+//
+// The schedule compiles to a sim::ControlProgram so the wear it inflicts on
+// the chip is accounted with the same replay machinery as assay runs.
+#pragma once
+
+#include <vector>
+
+#include "sim/control_program.hpp"
+
+namespace fsyn::fleet {
+
+enum class TestPhase { kClosure, kOpening };
+enum class LineOrientation { kRow, kColumn };
+
+const char* to_string(TestPhase phase);
+const char* to_string(LineOrientation orientation);
+
+/// One test vector: every valve of one grid line actuated together in one
+/// phase.  `index` is the row's y or the column's x.
+struct TestVector {
+  TestPhase phase = TestPhase::kClosure;
+  LineOrientation orientation = LineOrientation::kRow;
+  int index = 0;
+  std::vector<Point> cells;
+};
+
+/// The full self-test: closure rows, closure columns, opening rows, opening
+/// columns, in that order.  Every cell is actuated by exactly four vectors.
+struct TestSchedule {
+  int width = 0;
+  int height = 0;
+  std::vector<TestVector> vectors;
+
+  /// The schedule as an executable control program (one kOpenClose event
+  /// per cell per vector), replayable into a per-valve actuation grid.
+  sim::ControlProgram to_control_program() const;
+
+  /// Actuations each cell endures per full self-test (4 vectors x 2).
+  int actuations_per_cell() const { return 8; }
+};
+
+/// Compiles the walk-pattern schedule for a width x height valve matrix.
+TestSchedule compile_self_test(int width, int height);
+
+/// Observed behaviour of one vector.
+struct VectorResponse {
+  bool pass = true;          ///< the line sealed (closure) / flowed (opening)
+  double latency_ms = 0.0;   ///< slowest cell's response time on the line
+};
+
+/// Chip responses, parallel to TestSchedule::vectors.
+struct TestResponse {
+  std::vector<VectorResponse> vectors;
+};
+
+/// The response a fault-free chip produces: every vector passes at the
+/// nominal response time.  Diagnosis compares observations against this.
+TestResponse expected_response(const TestSchedule& schedule, double nominal_ms);
+
+}  // namespace fsyn::fleet

@@ -1,0 +1,168 @@
+#include "fleet/virtual_chip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fsyn::fleet {
+
+namespace {
+
+/// Boost-style hash combine; the per-cell stream is a pure function of
+/// (fleet seed, chip index, valve id), independent of everything the fleet
+/// does to the chip afterwards.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  return seed;
+}
+
+}  // namespace
+
+VirtualChip::VirtualChip(std::uint64_t fleet_seed, int chip_index,
+                         const synth::SynthesisResult& healthy,
+                         const VirtualChipOptions& options)
+    : width_(healthy.chip_width), height_(healthy.chip_height), options_(options) {
+  check_input(width_ > 0 && height_ > 0, "virtual chip needs a synthesized matrix");
+  cells_.resize(static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_));
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const int id = y * width_ + x;
+      Cell& cell = cells_[static_cast<std::size_t>(id)];
+      // Actuation class is fixed by the healthy design: its pump-ring cells
+      // flex full-stroke, every other cell (even a functionless wall a
+      // repair may later use) only latches.
+      const bool pump = healthy.ledger_setting1.pump.at(x, y) > 0;
+      const rel::ClassParams& params =
+          pump ? options_.model.pump : options_.model.control;
+      Rng rng(mix(mix(fleet_seed, static_cast<std::uint64_t>(chip_index)),
+                  static_cast<std::uint64_t>(id)));
+      // Inverse-CDF Weibull draw, u clamped away from 0 so life > 0.
+      const double u = std::max(rng.next_double(), 1e-12);
+      cell.life = params.characteristic_actuations *
+                  std::pow(-std::log(1.0 - u), 1.0 / params.shape);
+      cell.stuck_mode =
+          rng.next_bool(0.5) ? rel::FaultMode::kStuckOpen : rel::FaultMode::kStuckClosed;
+    }
+  }
+  install(healthy);
+}
+
+void VirtualChip::install(const synth::SynthesisResult& design) {
+  check_input(design.chip_width == width_ && design.chip_height == height_,
+              "installed design must match the manufactured valve matrix");
+  const Grid<int> total = design.ledger_setting1.total();
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      cells_[static_cast<std::size_t>(y * width_ + x)].per_run = total.at(x, y);
+    }
+  }
+}
+
+void VirtualChip::wear(Cell& cell, double amount) {
+  if (amount <= 0.0) return;
+  const bool was_stuck = stuck(cell);
+  cell.worn += amount;
+  if (!was_stuck && stuck(cell)) cell.onset_run = runs_completed_;
+}
+
+void VirtualChip::advance_run() {
+  ++runs_completed_;
+  for (Cell& cell : cells_) wear(cell, static_cast<double>(cell.per_run));
+}
+
+void VirtualChip::apply_test_wear(const Grid<int>& test_actuations) {
+  check_input(test_actuations.width() == width_ && test_actuations.height() == height_,
+              "self-test wear grid must match the valve matrix");
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      wear(cells_[static_cast<std::size_t>(y * width_ + x)],
+           static_cast<double>(test_actuations.at(x, y)));
+    }
+  }
+}
+
+TestResponse VirtualChip::respond(const TestSchedule& schedule) const {
+  check_input(schedule.width == width_ && schedule.height == height_,
+              "self-test schedule must match the valve matrix");
+  TestResponse response;
+  response.vectors.reserve(schedule.vectors.size());
+  for (const TestVector& vector : schedule.vectors) {
+    VectorResponse observed;
+    observed.pass = true;
+    observed.latency_ms = options_.nominal_response_ms;
+    for (const Point& point : vector.cells) {
+      const Cell& cell = cells_[static_cast<std::size_t>(point.y * width_ + point.x)];
+      if (stuck(cell)) {
+        // Phase separation: a stuck-open valve cannot seal its closure
+        // line but passes flow fine; a stuck-closed valve blocks the
+        // opening line but seals perfectly.
+        const bool fails =
+            vector.phase == TestPhase::kClosure
+                ? cell.stuck_mode == rel::FaultMode::kStuckOpen
+                : cell.stuck_mode == rel::FaultMode::kStuckClosed;
+        if (fails) observed.pass = false;
+      } else if (cell.worn >= options_.degrade_fraction * cell.life) {
+        observed.latency_ms = std::max(observed.latency_ms, options_.degraded_response_ms);
+      }
+    }
+    response.vectors.push_back(observed);
+  }
+  return response;
+}
+
+void VirtualChip::force_fault(Point cell, rel::FaultMode mode) {
+  check_input(cell.x >= 0 && cell.x < width_ && cell.y >= 0 && cell.y < height_,
+              "force_fault cell outside the valve matrix");
+  Cell& state = cells_[static_cast<std::size_t>(cell.y * width_ + cell.x)];
+  state.stuck_mode = mode;
+  if (!stuck(state)) {
+    state.worn = state.life;
+    state.onset_run = runs_completed_;
+  }
+}
+
+void VirtualChip::force_wear_fraction(Point cell, double fraction) {
+  check_input(cell.x >= 0 && cell.x < width_ && cell.y >= 0 && cell.y < height_,
+              "force_wear_fraction cell outside the valve matrix");
+  check_input(fraction >= 0.0, "wear fraction must be >= 0");
+  Cell& state = cells_[static_cast<std::size_t>(cell.y * width_ + cell.x)];
+  const bool was_stuck = stuck(state);
+  state.worn = fraction * state.life;
+  if (!was_stuck && stuck(state)) state.onset_run = runs_completed_;
+}
+
+std::vector<ChipFault> VirtualChip::faults() const {
+  std::vector<ChipFault> out;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const Cell& cell = cells_[static_cast<std::size_t>(y * width_ + x)];
+      if (!stuck(cell)) continue;
+      ChipFault fault;
+      fault.valve = Point{x, y};
+      fault.mode = cell.stuck_mode;
+      fault.onset_run = std::max(cell.onset_run, 0);
+      out.push_back(fault);
+    }
+  }
+  return out;
+}
+
+std::vector<ChipFault> VirtualChip::active_faults() const {
+  std::vector<ChipFault> out;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const Cell& cell = cells_[static_cast<std::size_t>(y * width_ + x)];
+      if (!stuck(cell) || cell.per_run == 0) continue;
+      ChipFault fault;
+      fault.valve = Point{x, y};
+      fault.mode = cell.stuck_mode;
+      fault.onset_run = std::max(cell.onset_run, 0);
+      out.push_back(fault);
+    }
+  }
+  return out;
+}
+
+}  // namespace fsyn::fleet

@@ -1,0 +1,98 @@
+// A virtual chip: one deployed valve matrix with hidden wear state.
+//
+// Each cell carries a hidden Weibull life (in actuations) drawn statelessly
+// from (fleet seed, chip index, valve id), so a chip's physics never depend
+// on its repair history — the property that makes whole-fleet runs
+// bit-reproducible.  Wear accumulates from two sources: assay runs of the
+// currently installed design (its setting-1 actuation ledger) and the
+// periodic self-test (8 actuations per cell per test).  When a cell's wear
+// crosses its life it becomes *stuck* — open or closed, a 50/50 draw from
+// the same stateless stream; past a configurable fraction of its life it is
+// merely *degraded* and responds sluggishly, which the self-test's latency
+// channel picks up before the valve dies.
+//
+// The fleet observes the chip only through `respond` (what a controller
+// could measure); `faults`/`active_faults` are the oracle view, used for
+// metrics (detection latency, missed faults) and tests — never diagnosis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fleet/test_pattern.hpp"
+#include "rel/fault_plan.hpp"
+#include "rel/lifetime_model.hpp"
+#include "synth/synthesis.hpp"
+
+namespace fsyn::fleet {
+
+struct VirtualChipOptions {
+  rel::LifetimeModel model;
+  /// Wear fraction of a cell's life past which its response slows from
+  /// nominal to degraded (the early-warning band before it sticks).
+  double degrade_fraction = 0.85;
+  double nominal_response_ms = 5.0;
+  double degraded_response_ms = 12.0;
+};
+
+/// Oracle view of one failed cell.
+struct ChipFault {
+  Point valve;
+  rel::FaultMode mode = rel::FaultMode::kStuckClosed;
+  int onset_run = 0;  ///< assay runs completed when the cell stuck
+};
+
+class VirtualChip {
+ public:
+  /// `healthy` fixes the matrix dimensions, the initial per-run wear
+  /// pattern, and each cell's actuation class (pump ring cells draw from
+  /// the pump life distribution; everything else, including functionless
+  /// walls, from the control one).
+  VirtualChip(std::uint64_t fleet_seed, int chip_index,
+              const synth::SynthesisResult& healthy, const VirtualChipOptions& options);
+
+  /// Wears every cell by one assay run of the installed design.
+  void advance_run();
+  /// Wears every cell by one execution of the self-test program (its
+  /// replayed per-cell actuation grid, computed once by the fleet).
+  void apply_test_wear(const Grid<int>& test_actuations);
+  /// What the controller measures when it executes the self-test.
+  TestResponse respond(const TestSchedule& schedule) const;
+  /// Installs a repaired design: future runs wear its actuation pattern.
+  void install(const synth::SynthesisResult& design);
+
+  /// Test hooks: force a cell into a stuck mode / to a wear fraction.
+  void force_fault(Point cell, rel::FaultMode mode);
+  void force_wear_fraction(Point cell, double fraction);
+
+  /// All stuck cells, in valve-id order (oracle).
+  std::vector<ChipFault> faults() const;
+  /// Stuck cells the installed design actually actuates — the ones that
+  /// corrupt assays (a stuck functionless wall is harmless).
+  std::vector<ChipFault> active_faults() const;
+  bool has_active_fault() const { return !active_faults().empty(); }
+
+  int runs_completed() const { return runs_completed_; }
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+ private:
+  struct Cell {
+    double life = 0.0;  ///< hidden Weibull life, actuations
+    double worn = 0.0;
+    rel::FaultMode stuck_mode = rel::FaultMode::kStuckClosed;
+    int per_run = 0;    ///< actuations per assay run of the installed design
+    int onset_run = -1; ///< set when worn first crosses life
+  };
+
+  bool stuck(const Cell& cell) const { return cell.worn >= cell.life; }
+  void wear(Cell& cell, double amount);
+
+  int width_ = 0;
+  int height_ = 0;
+  VirtualChipOptions options_;
+  std::vector<Cell> cells_;  ///< row-major, valve_id = y * width + x
+  int runs_completed_ = 0;
+};
+
+}  // namespace fsyn::fleet

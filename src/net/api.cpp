@@ -1,6 +1,7 @@
 #include "net/api.hpp"
 
 #include <cstdlib>
+#include <optional>
 
 #include "obs/flight_recorder.hpp"
 #include "obs/prometheus.hpp"
@@ -53,8 +54,12 @@ bool wants_prometheus(const HttpRequest& request) {
 }
 
 HttpResponse submit_job(JobManager& manager, const AdmissionConfig& admission,
-                        const HttpRequest& request) {
+                        const HttpRequest& request,
+                        std::optional<svc::JobKind> require_kind = std::nullopt) {
   WireSpec wire = parse_wire_spec(request.body);  // fsyn::Error -> 400 (router)
+  if (require_kind.has_value() && wire.spec.kind != *require_kind) {
+    return error_response(400, "this route requires \"kind\": \"fleet\"");
+  }
   // The server installed the request's context (parsed from traceparent or
   // minted at the door) before dispatching; the job inherits it here.
   wire.spec.trace = obs::current_trace();
@@ -113,6 +118,14 @@ Router make_api_router(JobManager& manager, const AdmissionConfig& admission) {
   router.add("POST", "/v1/jobs",
              [&manager, admission](const HttpRequest& request, const RouteParams&) {
                return submit_job(manager, admission, request);
+             });
+
+  // Dedicated fleet endpoint: same admission/journal path as /v1/jobs but
+  // rejects non-fleet bodies so clients can't accidentally run a synthesis
+  // under the fleet route's expectations.
+  router.add("POST", "/v1/fleet",
+             [&manager, admission](const HttpRequest& request, const RouteParams&) {
+               return submit_job(manager, admission, request, svc::JobKind::kFleet);
              });
 
   router.add("GET", "/v1/jobs", [&manager](const HttpRequest&, const RouteParams&) {

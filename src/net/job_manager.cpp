@@ -202,6 +202,8 @@ void JobManager::on_phase(std::uint64_t id, svc::JobPhase phase, const char* sta
       result->status == svc::JobStatus::kDone) {
     if (result->report != nullptr) {
       doc = result->report->to_json();
+    } else if (result->document != nullptr) {
+      doc = *result->document;  // fleet jobs carry a ready-made document
     } else if (result->result != nullptr) {
       report::StoredResult stored;
       {

@@ -1,9 +1,12 @@
 #include "net/wire.hpp"
 
+#include <memory>
 #include <optional>
+#include <utility>
 
 #include "assay/benchmarks.hpp"
 #include "assay/parser.hpp"
+#include "fleet/fleet.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
 
@@ -14,11 +17,16 @@ namespace {
 const char* kKnownKeys[] = {"kind",     "assay",       "dsl",         "name",
                             "policy",   "asap",        "seed",        "grid",
                             "ilp",      "time_limit_seconds", "ilp_threads",
-                            "priority", "deadline_ms", "reliability"};
+                            "priority", "deadline_ms", "reliability", "fleet"};
 
 const char* kKnownReliabilityKeys[] = {"trials",     "seed",       "inject_top",
                                        "fault_plan", "compare_static",
                                        "pump_life",  "control_life", "shape"};
+
+const char* kKnownFleetKeys[] = {"chips",        "cadence",      "horizon",
+                                 "repair_workers", "max_repairs",
+                                 "degrade_threshold", "pump_life",
+                                 "control_life", "shape"};
 
 void check_keys(const JsonValue& object, const char* const* known, std::size_t count,
                 const char* where) {
@@ -58,6 +66,8 @@ WireSpec parse_wire_spec(const std::string& json_text) {
     spec.kind = svc::JobKind::kSynthesis;
   } else if (kind == "reliability") {
     spec.kind = svc::JobKind::kReliability;
+  } else if (kind == "fleet") {
+    spec.kind = svc::JobKind::kFleet;
   } else {
     throw Error("unknown job kind '" + kind + "'");
   }
@@ -113,10 +123,11 @@ WireSpec parse_wire_spec(const std::string& json_text) {
   }
 
   // Interactive by default: a POSTed synthesis has a caller waiting on it.
-  // Reliability analyses are the fleet's background re-synthesis work.
-  spec.priority = spec.kind == svc::JobKind::kReliability
-                      ? svc::JobPriority::kBackground
-                      : svc::JobPriority::kInteractive;
+  // Reliability analyses are the fleet's background re-synthesis work, and
+  // whole-fleet simulations are long batch jobs.
+  spec.priority = spec.kind == svc::JobKind::kReliability ? svc::JobPriority::kBackground
+                  : spec.kind == svc::JobKind::kFleet     ? svc::JobPriority::kBatch
+                                                          : svc::JobPriority::kInteractive;
   if (const JsonValue* value = doc.find("priority")) {
     spec.priority = priority_from_string(value->as_string());
   }
@@ -159,6 +170,56 @@ WireSpec parse_wire_spec(const std::string& json_text) {
       r.monte_carlo.model.pump.shape = v->as_number();
       r.monte_carlo.model.control.shape = v->as_number();
     }
+  }
+
+  if (spec.kind == svc::JobKind::kFleet) {
+    fleet::FleetOptions foptions;
+    foptions.seed = wire.seed;
+    foptions.synthesis = spec.options;
+    foptions.policy_increments = wire.policy_increments;
+    foptions.asap = wire.asap;
+    if (const JsonValue* value = doc.find("fleet")) {
+      check_input(value->is_object(), "\"fleet\" must be an object");
+      check_keys(*value, kKnownFleetKeys, std::size(kKnownFleetKeys), "fleet");
+      if (const JsonValue* v = value->find("chips")) {
+        foptions.chips = static_cast<int>(v->as_int());
+        check_input(foptions.chips > 0, "\"chips\" must be positive");
+      }
+      if (const JsonValue* v = value->find("cadence")) {
+        foptions.cadence = static_cast<int>(v->as_int());
+        check_input(foptions.cadence > 0, "\"cadence\" must be positive");
+      }
+      if (const JsonValue* v = value->find("horizon")) {
+        foptions.horizon = static_cast<int>(v->as_int());
+        check_input(foptions.horizon > 0, "\"horizon\" must be positive");
+      }
+      if (const JsonValue* v = value->find("repair_workers")) {
+        foptions.repair_workers = static_cast<int>(v->as_int());
+        check_input(foptions.repair_workers > 0, "\"repair_workers\" must be positive");
+      }
+      if (const JsonValue* v = value->find("max_repairs")) {
+        foptions.max_repairs_per_chip = static_cast<int>(v->as_int());
+        check_input(foptions.max_repairs_per_chip >= 0, "\"max_repairs\" must be >= 0");
+      }
+      if (const JsonValue* v = value->find("degrade_threshold")) {
+        foptions.diagnosis.latency_threshold_ms = v->as_number();
+      }
+      if (const JsonValue* v = value->find("pump_life")) {
+        foptions.chip.model.pump.characteristic_actuations = v->as_number();
+      }
+      if (const JsonValue* v = value->find("control_life")) {
+        foptions.chip.model.control.characteristic_actuations = v->as_number();
+      }
+      if (const JsonValue* v = value->find("shape")) {
+        foptions.chip.model.pump.shape = v->as_number();
+        foptions.chip.model.control.shape = v->as_number();
+      }
+    }
+    // make_fleet_job owns its own copy of the graph; the wire spec keeps the
+    // already-parsed name/priority/deadline and only adopts the runner.
+    svc::JobSpec fleet_spec = fleet::make_fleet_job(
+        std::make_shared<const assay::SequencingGraph>(spec.graph), foptions);
+    spec.fleet_runner = std::move(fleet_spec.fleet_runner);
   }
 
   wire.canonical = doc.dump();

@@ -68,12 +68,11 @@ std::vector<sim::ValveWear> static_design_wear(const baseline::TraditionalDesign
   return wear;
 }
 
-/// Minimal repair of a placement for a degraded problem: devices whose
-/// footprints touch dead valves are moved to the first legal candidate that
-/// stays pairwise-feasible against the (fixed) rest; everything else keeps
-/// its healthy position.  The result — when one exists — is a feasible
-/// warm start that preserves most of the healthy solution, which is what
-/// makes the ILP's branch & bound cheap on repair rounds.
+void emit_estimate(std::ostringstream& os, const LifetimeEstimate& estimate,
+                   bool include_timing, const std::string& indent);
+
+}  // namespace
+
 std::optional<synth::Placement> repair_placement(const synth::MappingProblem& problem,
                                                  const synth::Placement& previous) {
   if (static_cast<int>(previous.size()) != problem.task_count()) return std::nullopt;
@@ -102,6 +101,8 @@ std::optional<synth::Placement> repair_placement(const synth::MappingProblem& pr
   }
   return placement;
 }
+
+namespace {
 
 void emit_estimate(std::ostringstream& os, const LifetimeEstimate& estimate,
                    bool include_timing, const std::string& indent) {
@@ -179,6 +180,7 @@ ReliabilityReport analyze(const assay::SequencingGraph& graph, const sched::Sche
     plan = top_wear_plan(healthy.ledger_setting1, options.inject_top,
                          options.monte_carlo.model);
   }
+  plan.validate(healthy.chip_width, healthy.chip_height);
   std::stable_sort(plan.events.begin(), plan.events.end(),
                    [](const FaultEvent& a, const FaultEvent& b) { return a.at_run < b.at_run; });
 
@@ -201,9 +203,9 @@ ReliabilityReport analyze(const assay::SequencingGraph& graph, const sched::Sche
     if (!degraded.cancel.valid()) degraded.cancel = options.monte_carlo.cancel;
 
     // Warm start: minimally repair the previous placement for the degraded
-    // problem; when that succeeds the ILP starts from an incumbent that
+    // problem; when that succeeds the mapper starts from an incumbent that
     // keeps most healthy positions.
-    if (degraded.mapper == synth::MapperKind::kIlp) {
+    {
       arch::Architecture chip(healthy.chip_width, healthy.chip_height);
       synth::MappingProblem probe =
           synth::MappingProblem::build(graph, schedule, std::move(chip));
@@ -211,7 +213,11 @@ ReliabilityReport analyze(const assay::SequencingGraph& graph, const sched::Sche
       probe.set_routing_convenient(degraded.routing_convenient);
       probe.set_dead_valves(dead);
       if (auto warm = repair_placement(probe, previous)) {
-        degraded.ilp.warm_start = std::move(*warm);
+        if (degraded.mapper == synth::MapperKind::kIlp) {
+          degraded.ilp.warm_start = std::move(*warm);
+        } else {
+          degraded.heuristic.warm_start = std::move(*warm);
+        }
         round.warm_started = true;
       }
     }

@@ -101,4 +101,13 @@ ReliabilityReport analyze(const assay::SequencingGraph& graph, const sched::Sche
                           const synth::SynthesisResult& healthy,
                           const ReliabilityOptions& options);
 
+/// Minimal repair of a placement for a degraded problem: devices whose
+/// footprints touch dead valves move to the first pairwise-feasible
+/// candidate, everything else keeps its position.  When one exists, the
+/// result is a feasible warm start preserving most of the previous
+/// solution — what makes repair rounds cheap for both mappers.  Used by
+/// the engine's fault-injection rounds and the fleet's live re-synthesis.
+std::optional<synth::Placement> repair_placement(const synth::MappingProblem& problem,
+                                                 const synth::Placement& previous);
+
 }  // namespace fsyn::rel

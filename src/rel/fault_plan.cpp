@@ -38,10 +38,28 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     const std::size_t comma = body.find(',');
     check_input(comma != std::string::npos, "fault plan: valve must be 'x,y'");
     event.valve = Point{parse_int(body.substr(0, comma)), parse_int(body.substr(comma + 1))};
+    check_input(event.valve.x >= 0 && event.valve.y >= 0,
+                "fault plan: valve coordinates must be >= 0 in '" + token + "'");
+    for (const FaultEvent& seen : plan.events) {
+      check_input(seen.valve != event.valve || seen.at_run != event.at_run,
+                  "fault plan: duplicate event for valve " + std::to_string(event.valve.x) +
+                      "," + std::to_string(event.valve.y) + "@" +
+                      std::to_string(event.at_run));
+    }
     plan.events.push_back(event);
   }
   check_input(!plan.events.empty(), "fault plan: no events in '" + spec + "'");
   return plan;
+}
+
+void FaultPlan::validate(int width, int height) const {
+  for (const FaultEvent& event : events) {
+    check_input(event.valve.x >= 0 && event.valve.x < width && event.valve.y >= 0 &&
+                    event.valve.y < height,
+                "fault plan: valve " + std::to_string(event.valve.x) + "," +
+                    std::to_string(event.valve.y) + " is outside the " +
+                    std::to_string(width) + "x" + std::to_string(height) + " valve matrix");
+  }
 }
 
 std::string FaultPlan::to_text() const {

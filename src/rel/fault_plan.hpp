@@ -43,10 +43,19 @@ struct FaultPlan {
 
   bool empty() const { return events.empty(); }
 
-  /// Parses the text format above; throws fsyn::Error on bad syntax.
+  /// Parses the text format above; throws fsyn::Error on bad syntax,
+  /// negative coordinates, or duplicate `x,y@run` entries (the same valve
+  /// cannot die twice at the same run — almost always a typo).
   static FaultPlan parse(const std::string& spec);
   /// Round-trips back to the text format.
   std::string to_text() const;
+
+  /// Checks every event against a chip outline; throws fsyn::Error naming
+  /// the offending event when a valve lies outside [0,width) x [0,height).
+  /// Parsing cannot do this (the plan text carries no chip dimensions), so
+  /// the reliability engine and the fleet validate against the synthesized
+  /// matrix before injecting anything.
+  void validate(int width, int height) const;
 };
 
 /// Builds the canonical stress plan: the k highest-wear valves of the

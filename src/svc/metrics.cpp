@@ -108,10 +108,26 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   s.race_arms_started = race_arms_started_.load(std::memory_order_relaxed);
   s.race_arms_cancelled = race_arms_cancelled_.load(std::memory_order_relaxed);
   s.reliability_jobs = reliability_jobs_.load(std::memory_order_relaxed);
+  s.fleet_jobs = fleet_jobs_.load(std::memory_order_relaxed);
+  s.fleet_chips = fleet_chips_.load(std::memory_order_relaxed);
+  s.fleet_assay_runs = fleet_assay_runs_.load(std::memory_order_relaxed);
+  s.fleet_self_tests = fleet_self_tests_.load(std::memory_order_relaxed);
+  s.fleet_faults_occurred = fleet_faults_occurred_.load(std::memory_order_relaxed);
+  s.fleet_faults_detected = fleet_faults_detected_.load(std::memory_order_relaxed);
+  s.fleet_faults_missed = fleet_faults_missed_.load(std::memory_order_relaxed);
+  s.fleet_false_positives = fleet_false_positives_.load(std::memory_order_relaxed);
+  s.fleet_repairs_attempted = fleet_repairs_attempted_.load(std::memory_order_relaxed);
+  s.fleet_repairs_succeeded = fleet_repairs_succeeded_.load(std::memory_order_relaxed);
+  s.fleet_chips_retired = fleet_chips_retired_.load(std::memory_order_relaxed);
+  s.fleet_detection_latency_runs =
+      fleet_detection_latency_runs_.load(std::memory_order_relaxed);
+  s.fleet_runs_available = fleet_runs_available_.load(std::memory_order_relaxed);
+  s.fleet_runs_possible = fleet_runs_possible_.load(std::memory_order_relaxed);
   s.queue_latency = queue_latency_.snapshot();
   s.synthesis_latency = synthesis_latency_.snapshot();
   s.total_latency = total_latency_.snapshot();
   s.reliability_latency = reliability_latency_.snapshot();
+  s.fleet_latency = fleet_latency_.snapshot();
   s.queue_seconds = s.queue_latency.sum_seconds;
   s.synthesis_seconds = s.synthesis_latency.sum_seconds;
   s.total_seconds = s.total_latency.sum_seconds;
@@ -151,6 +167,36 @@ std::string MetricsSnapshot::to_json() const {
      << "  },\n"
      << "  \"mapper_invocations\": " << mapper_invocations << ",\n"
      << "  \"reliability_jobs\": " << reliability_jobs << ",\n"
+     << "  \"fleet\": {\n"
+     << "    \"jobs\": " << fleet_jobs << ",\n"
+     << "    \"chips\": " << fleet_chips << ",\n"
+     << "    \"assay_runs\": " << fleet_assay_runs << ",\n"
+     << "    \"self_tests\": " << fleet_self_tests << ",\n"
+     << "    \"faults_occurred\": " << fleet_faults_occurred << ",\n"
+     << "    \"faults_detected\": " << fleet_faults_detected << ",\n"
+     << "    \"faults_missed\": " << fleet_faults_missed << ",\n"
+     << "    \"false_positives\": " << fleet_false_positives << ",\n"
+     << "    \"repairs_attempted\": " << fleet_repairs_attempted << ",\n"
+     << "    \"repairs_succeeded\": " << fleet_repairs_succeeded << ",\n"
+     << "    \"chips_retired\": " << fleet_chips_retired << ",\n"
+     << "    \"detection_latency_runs\": " << fleet_detection_latency_runs << ",\n"
+     << "    \"mean_detection_latency_runs\": "
+     << format_fixed(fleet_faults_detected > 0
+                         ? static_cast<double>(fleet_detection_latency_runs) /
+                               static_cast<double>(fleet_faults_detected)
+                         : 0.0,
+                     4)
+     << ",\n"
+     << "    \"runs_available\": " << fleet_runs_available << ",\n"
+     << "    \"runs_possible\": " << fleet_runs_possible << ",\n"
+     << "    \"availability\": "
+     << format_fixed(fleet_runs_possible > 0
+                         ? static_cast<double>(fleet_runs_available) /
+                               static_cast<double>(fleet_runs_possible)
+                         : 0.0,
+                     6)
+     << "\n"
+     << "  },\n"
      << "  \"race\": {\n"
      << "    \"arms_started\": " << race_arms_started << ",\n"
      << "    \"arms_cancelled\": " << race_arms_cancelled << "\n"
@@ -164,7 +210,8 @@ std::string MetricsSnapshot::to_json() const {
      << "    \"queue\": " << queue_latency.to_json() << ",\n"
      << "    \"synthesis\": " << synthesis_latency.to_json() << ",\n"
      << "    \"total\": " << total_latency.to_json() << ",\n"
-     << "    \"reliability\": " << reliability_latency.to_json() << "\n"
+     << "    \"reliability\": " << reliability_latency.to_json() << ",\n"
+     << "    \"fleet\": " << fleet_latency.to_json() << "\n"
      << "  },\n"
      << "  \"solver\": {\n"
      << "    \"nodes\": " << solver_nodes << ",\n"
@@ -250,6 +297,49 @@ std::string MetricsSnapshot::to_prometheus() const {
            "counter");
   w.sample("flowsynth_reliability_jobs_total", "", static_cast<double>(reliability_jobs));
 
+  w.family("flowsynth_fleet_jobs_total", "Jobs that ran the closed-loop fleet simulator.",
+           "counter");
+  w.sample("flowsynth_fleet_jobs_total", "", static_cast<double>(fleet_jobs));
+  w.family("flowsynth_fleet_chips_total", "Virtual chips simulated across fleet jobs.",
+           "counter");
+  w.sample("flowsynth_fleet_chips_total", "", static_cast<double>(fleet_chips));
+  w.family("flowsynth_fleet_assay_runs_total", "Assay runs executed across the fleet.",
+           "counter");
+  w.sample("flowsynth_fleet_assay_runs_total", "", static_cast<double>(fleet_assay_runs));
+  w.family("flowsynth_fleet_self_tests_total", "Valve-array self-test schedules executed.",
+           "counter");
+  w.sample("flowsynth_fleet_self_tests_total", "", static_cast<double>(fleet_self_tests));
+  w.family("flowsynth_fleet_faults_total", "Fleet fault lifecycle events.", "counter");
+  w.sample("flowsynth_fleet_faults_total", "event=\"occurred\"",
+           static_cast<double>(fleet_faults_occurred));
+  w.sample("flowsynth_fleet_faults_total", "event=\"detected\"",
+           static_cast<double>(fleet_faults_detected));
+  w.sample("flowsynth_fleet_faults_total", "event=\"missed\"",
+           static_cast<double>(fleet_faults_missed));
+  w.sample("flowsynth_fleet_faults_total", "event=\"false_positive\"",
+           static_cast<double>(fleet_false_positives));
+  w.family("flowsynth_fleet_repairs_total", "Degraded re-synthesis repairs by outcome.",
+           "counter");
+  w.sample("flowsynth_fleet_repairs_total", "outcome=\"attempted\"",
+           static_cast<double>(fleet_repairs_attempted));
+  w.sample("flowsynth_fleet_repairs_total", "outcome=\"succeeded\"",
+           static_cast<double>(fleet_repairs_succeeded));
+  w.family("flowsynth_fleet_chips_retired_total",
+           "Chips retired (repair infeasible or repair budget exhausted).", "counter");
+  w.sample("flowsynth_fleet_chips_retired_total", "",
+           static_cast<double>(fleet_chips_retired));
+  w.family("flowsynth_fleet_detection_latency_runs_total",
+           "Assay runs between fault onset and diagnosis, summed over detected faults.",
+           "counter");
+  w.sample("flowsynth_fleet_detection_latency_runs_total", "",
+           static_cast<double>(fleet_detection_latency_runs));
+  w.family("flowsynth_fleet_availability",
+           "Fraction of chip-runs in service with no active fault.", "gauge");
+  w.sample("flowsynth_fleet_availability", "",
+           fleet_runs_possible > 0 ? static_cast<double>(fleet_runs_available) /
+                                         static_cast<double>(fleet_runs_possible)
+                                   : 0.0);
+
   w.family("flowsynth_race_arms_total", "Synthesis race arms by event.", "counter");
   w.sample("flowsynth_race_arms_total", "event=\"started\"",
            static_cast<double>(race_arms_started));
@@ -262,6 +352,7 @@ std::string MetricsSnapshot::to_prometheus() const {
   w.histogram("flowsynth_job_latency_seconds", "stage=\"synthesis\"", synthesis_latency);
   w.histogram("flowsynth_job_latency_seconds", "stage=\"total\"", total_latency);
   w.histogram("flowsynth_job_latency_seconds", "stage=\"reliability\"", reliability_latency);
+  w.histogram("flowsynth_job_latency_seconds", "stage=\"fleet\"", fleet_latency);
 
   w.family("flowsynth_solver_nodes_total", "Branch-and-bound nodes explored.", "counter");
   w.sample("flowsynth_solver_nodes_total", "", static_cast<double>(solver_nodes));

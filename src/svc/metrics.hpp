@@ -32,6 +32,25 @@ struct MetricsSnapshot {
   long race_arms_cancelled = 0;
   long reliability_jobs = 0;  ///< jobs that ran the reliability engine
 
+  // Closed-loop fleet counters, folded in by kFleet jobs (all zeros when no
+  // fleet ran).  Semantics are defined in docs/reliability.md: availability
+  // = runs_available / runs_possible, detection latency is summed here and
+  // averaged at serialization time.
+  long fleet_jobs = 0;
+  long fleet_chips = 0;
+  long fleet_assay_runs = 0;
+  long fleet_self_tests = 0;
+  long fleet_faults_occurred = 0;
+  long fleet_faults_detected = 0;
+  long fleet_faults_missed = 0;
+  long fleet_false_positives = 0;
+  long fleet_repairs_attempted = 0;
+  long fleet_repairs_succeeded = 0;
+  long fleet_chips_retired = 0;
+  long fleet_detection_latency_runs = 0;
+  long fleet_runs_available = 0;
+  long fleet_runs_possible = 0;
+
   double queue_seconds = 0.0;      ///< total time jobs spent queued
   double synthesis_seconds = 0.0;  ///< total time inside synthesize/race
   double total_seconds = 0.0;      ///< total end-to-end job time
@@ -43,6 +62,8 @@ struct MetricsSnapshot {
   obs::HistogramSnapshot total_latency;
   /// Time inside rel::analyze (reliability jobs only; empty otherwise).
   obs::HistogramSnapshot reliability_latency;
+  /// Time inside fleet::run_fleet (kFleet jobs only; empty otherwise).
+  obs::HistogramSnapshot fleet_latency;
 
   // MILP solver counters aggregated over every completed synthesis (zeros
   // when only the heuristic mapper ran).
@@ -119,11 +140,49 @@ class MetricsRegistry {
   void race_arm_started() { race_arms_started_.fetch_add(1, std::memory_order_relaxed); }
   void race_arm_cancelled() { race_arms_cancelled_.fetch_add(1, std::memory_order_relaxed); }
   void reliability_job() { reliability_jobs_.fetch_add(1, std::memory_order_relaxed); }
+  void fleet_job() { fleet_jobs_.fetch_add(1, std::memory_order_relaxed); }
 
   void add_queue_time(std::chrono::nanoseconds d) { queue_latency_.record(d); }
   void add_synthesis_time(std::chrono::nanoseconds d) { synthesis_latency_.record(d); }
   void add_total_time(std::chrono::nanoseconds d) { total_latency_.record(d); }
   void add_reliability_time(std::chrono::nanoseconds d) { reliability_latency_.record(d); }
+  void add_fleet_time(std::chrono::nanoseconds d) { fleet_latency_.record(d); }
+
+  /// One fleet run's aggregate outcome, as plain longs so svc does not
+  /// depend on the fleet headers (mirrors SolverCounters for the MILP).
+  struct FleetStats {
+    long chips = 0;
+    long assay_runs = 0;
+    long self_tests = 0;
+    long faults_occurred = 0;
+    long faults_detected = 0;
+    long faults_missed = 0;       ///< never diagnosed by end of horizon
+    long false_positives = 0;     ///< diagnosed cells with no real fault
+    long repairs_attempted = 0;
+    long repairs_succeeded = 0;
+    long chips_retired = 0;
+    long detection_latency_runs = 0;  ///< summed over detected faults
+    long runs_available = 0;          ///< chip-runs in service, fault-free
+    long runs_possible = 0;           ///< chips * horizon
+  };
+
+  /// Folds one fleet run's counters into the registry.
+  void record_fleet(const FleetStats& f) {
+    fleet_chips_.fetch_add(f.chips, std::memory_order_relaxed);
+    fleet_assay_runs_.fetch_add(f.assay_runs, std::memory_order_relaxed);
+    fleet_self_tests_.fetch_add(f.self_tests, std::memory_order_relaxed);
+    fleet_faults_occurred_.fetch_add(f.faults_occurred, std::memory_order_relaxed);
+    fleet_faults_detected_.fetch_add(f.faults_detected, std::memory_order_relaxed);
+    fleet_faults_missed_.fetch_add(f.faults_missed, std::memory_order_relaxed);
+    fleet_false_positives_.fetch_add(f.false_positives, std::memory_order_relaxed);
+    fleet_repairs_attempted_.fetch_add(f.repairs_attempted, std::memory_order_relaxed);
+    fleet_repairs_succeeded_.fetch_add(f.repairs_succeeded, std::memory_order_relaxed);
+    fleet_chips_retired_.fetch_add(f.chips_retired, std::memory_order_relaxed);
+    fleet_detection_latency_runs_.fetch_add(f.detection_latency_runs,
+                                            std::memory_order_relaxed);
+    fleet_runs_available_.fetch_add(f.runs_available, std::memory_order_relaxed);
+    fleet_runs_possible_.fetch_add(f.runs_possible, std::memory_order_relaxed);
+  }
 
   /// One synthesis run's MILP solver counters, as plain longs so svc does
   /// not depend on the ilp headers.  `basis`/`pricing` mirror
@@ -212,10 +271,25 @@ class MetricsRegistry {
   std::atomic<long> race_arms_started_{0};
   std::atomic<long> race_arms_cancelled_{0};
   std::atomic<long> reliability_jobs_{0};
+  std::atomic<long> fleet_jobs_{0};
+  std::atomic<long> fleet_chips_{0};
+  std::atomic<long> fleet_assay_runs_{0};
+  std::atomic<long> fleet_self_tests_{0};
+  std::atomic<long> fleet_faults_occurred_{0};
+  std::atomic<long> fleet_faults_detected_{0};
+  std::atomic<long> fleet_faults_missed_{0};
+  std::atomic<long> fleet_false_positives_{0};
+  std::atomic<long> fleet_repairs_attempted_{0};
+  std::atomic<long> fleet_repairs_succeeded_{0};
+  std::atomic<long> fleet_chips_retired_{0};
+  std::atomic<long> fleet_detection_latency_runs_{0};
+  std::atomic<long> fleet_runs_available_{0};
+  std::atomic<long> fleet_runs_possible_{0};
   obs::LatencyHistogram queue_latency_;
   obs::LatencyHistogram synthesis_latency_;
   obs::LatencyHistogram total_latency_;
   obs::LatencyHistogram reliability_latency_;
+  obs::LatencyHistogram fleet_latency_;
   std::atomic<long> solver_nodes_{0};
   std::atomic<long> solver_lp_iterations_{0};
   std::atomic<long> solver_primal_pivots_{0};

@@ -77,6 +77,15 @@ void mix_options(Hasher& h, const synth::SynthesisOptions& options) {
   h.mix(options.heuristic.sa_iterations);
   h.mix(options.heuristic.initial_temperature);
   h.mix(options.heuristic.final_temperature);
+  h.mix(options.heuristic.warm_start.has_value());
+  if (options.heuristic.warm_start.has_value()) {
+    for (const arch::DeviceInstance& device : *options.heuristic.warm_start) {
+      h.mix(device.type.width);
+      h.mix(device.type.height);
+      h.mix(device.origin.x);
+      h.mix(device.origin.y);
+    }
+  }
   h.mix(options.ilp.time_limit_seconds);
   h.mix(options.ilp.max_nodes);
   // The asynchronous parallel search proves the same optimum but may

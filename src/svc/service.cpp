@@ -179,6 +179,40 @@ JobResult BatchService::run_job(JobSpec& spec, Clock::time_point enqueued) {
   };
 
   try {
+    if (spec.kind == JobKind::kFleet) {
+      // Fleet jobs bypass scheduling, the cache and the mappers entirely:
+      // the runner owns the whole closed loop (simulation + its own private
+      // repair service) and reports back a document plus fold-in counters.
+      require(spec.fleet_runner != nullptr, "kFleet job without a fleet_runner");
+      metrics_.fleet_job();
+      notify(JobPhase::kStage, "fleet", nullptr);
+      CancelSource job_source(spec.options.cancel);
+      if (spec.deadline.has_value()) {
+        job_source.set_deadline_after(*spec.deadline);
+      }
+      obs::Span fleet_span("svc", "fleet " + spec.name);
+      MetricsRegistry::FleetStats stats;
+      const Clock::time_point fleet_started = Clock::now();
+      std::string document = spec.fleet_runner(job_source.token(), &stats);
+      metrics_.add_fleet_time(Clock::now() - fleet_started);
+      metrics_.record_fleet(stats);
+      if (fleet_span.active()) {
+        fleet_span.arg("chips", stats.chips);
+        fleet_span.arg("faults_detected", stats.faults_detected);
+        fleet_span.arg("repairs_succeeded", stats.repairs_succeeded);
+      }
+      out.document = std::make_shared<const std::string>(std::move(document));
+      out.winner = "fleet";
+      out.status = JobStatus::kDone;
+      metrics_.job_completed();
+      const Clock::time_point finished = Clock::now();
+      out.run_seconds = seconds_between(started, finished);
+      metrics_.add_total_time(finished - enqueued);
+      close_job_span();
+      notify(JobPhase::kFinished, nullptr, &out);
+      return out;
+    }
+
     // Scheduling is deterministic and cheap; it runs inside the worker so
     // the submitter never blocks on assay-sized work.
     notify(JobPhase::kStage, "schedule", nullptr);

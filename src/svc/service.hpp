@@ -68,7 +68,8 @@ const char* to_string(JobStatus status);
 
 enum class JobKind {
   kSynthesis,   ///< synthesize only (the original service contract)
-  kReliability  ///< synthesize (cache-aware), then run rel::analyze on it
+  kReliability, ///< synthesize (cache-aware), then run rel::analyze on it
+  kFleet        ///< run JobSpec::fleet_runner (closed-loop fleet simulation)
 };
 
 /// Scheduling class of a job.  Lower values run first: the service keeps
@@ -102,6 +103,16 @@ using JobObserver =
     std::function<void(std::uint64_t id, JobPhase phase, const char* stage,
                        const struct JobResult* result)>;
 
+/// Body of a kFleet job.  The service stays fleet-agnostic: the fleet layer
+/// (which links against svc) packages its simulation into this callable.
+/// The runner receives the job's armed CancelToken and a stats sink to fill
+/// (folded into the registry on success), and returns the report document
+/// published as JobResult::document.  It may run its own private
+/// BatchService for repairs but must never submit back into the service
+/// executing it (a pooled job waiting on pooled work deadlocks).
+using FleetRunner =
+    std::function<std::string(const CancelToken&, MetricsRegistry::FleetStats*)>;
+
 struct JobSpec {
   JobKind kind = JobKind::kSynthesis;
   /// Unique job id, echoed in JobResult and the observer calls.  0 lets
@@ -122,6 +133,10 @@ struct JobSpec {
   /// Monte Carlo estimator never borrows the service pool (a pooled job
   /// waiting on pooled trial blocks would deadlock, exactly like race()).
   rel::ReliabilityOptions reliability;
+  /// Body of a kFleet job (required for that kind, ignored otherwise).
+  /// kFleet jobs skip scheduling, the result cache and the mappers — the
+  /// runner owns the whole pipeline; `graph`/`options` are unused.
+  FleetRunner fleet_runner;
   /// Wall-clock budget; arms the job's CancelToken.
   std::optional<std::chrono::milliseconds> deadline;
   /// Distributed trace context this job belongs to (W3C traceparent at the
@@ -139,6 +154,9 @@ struct JobResult {
   std::shared_ptr<const synth::SynthesisResult> result;
   /// Set iff status == kDone and the job was kReliability.
   std::shared_ptr<const rel::ReliabilityReport> report;
+  /// Set iff status == kDone and the job was kFleet: the runner's report
+  /// document (JSON), served verbatim as the job result.
+  std::shared_ptr<const std::string> document;
   bool cache_hit = false;
   /// Which portfolio arm produced the result: "heuristic[seed]", "ilp",
   /// "cache", or "single" when racing was off.

@@ -42,7 +42,7 @@ class Mapper {
 
   std::optional<MappingOutcome> run() {
     options_.cancel.check("heuristic mapper");
-    bool constructed = greedy_construct();
+    bool constructed = adopt_warm_start() || greedy_construct();
     for (int retry = 0; !constructed && retry < options_.greedy_retries; ++retry) {
       options_.cancel.check("heuristic mapper restart loop");
       // Randomized restarts: grow the tie-break noise so successive
@@ -66,6 +66,26 @@ class Mapper {
   }
 
  private:
+  /// Adopts options_.warm_start as the initial placement when it is sized
+  /// for this problem and feasible; annealing refines it from there.
+  bool adopt_warm_start() {
+    if (!options_.warm_start.has_value()) return false;
+    const Placement& warm = *options_.warm_start;
+    if (static_cast<int>(warm.size()) != problem_.task_count()) return false;
+    try {
+      problem_.validate_placement(warm);
+    } catch (const std::exception&) {
+      return false;
+    }
+    placement_ = warm;
+    loads_.fill(0);
+    for (int i = 0; i < problem_.task_count(); ++i) {
+      apply_load(placement_[static_cast<std::size_t>(i)],
+                 problem_.task(i).pump_actuations, +1);
+    }
+    return true;
+  }
+
   /// Admissible instances for a task (delegates to the problem so the
   /// heuristic and the ILP share one candidate space), cached per task.
   const std::vector<DeviceInstance>& candidates(const MappingTask& task) {

@@ -31,6 +31,11 @@ struct HeuristicOptions {
   /// Cooperative cancellation, polled between greedy restarts and every few
   /// hundred annealing moves; `map_heuristic` throws CancelledError.
   CancelToken cancel;
+  /// Optional incumbent placement to start from (e.g. a minimally repaired
+  /// previous mapping during degraded re-synthesis).  Adopted instead of
+  /// greedy construction when it is feasible for this problem; annealing
+  /// then refines it.  Silently ignored when infeasible or wrongly sized.
+  std::optional<Placement> warm_start;
 };
 
 struct MappingOutcome {

@@ -389,6 +389,22 @@ TEST(Wire, RejectsUnknownKeys) {
                Error);
 }
 
+TEST(Wire, ParsesFleetSpec) {
+  const WireSpec wire = parse_wire_spec(
+      "{\"kind\":\"fleet\",\"assay\":\"pcr\",\"seed\":7,"
+      "\"fleet\":{\"chips\":3,\"cadence\":4,\"horizon\":12,\"max_repairs\":1}}");
+  EXPECT_EQ(svc::JobKind::kFleet, wire.spec.kind);
+  EXPECT_EQ(svc::JobPriority::kBatch, wire.spec.priority);  // long batch work
+  EXPECT_NE(nullptr, wire.spec.fleet_runner);
+  // Typos and nonsense bounds fail loudly, like every other wire field.
+  EXPECT_THROW(
+      parse_wire_spec("{\"kind\":\"fleet\",\"assay\":\"pcr\",\"fleet\":{\"chps\":3}}"),
+      Error);
+  EXPECT_THROW(
+      parse_wire_spec("{\"kind\":\"fleet\",\"assay\":\"pcr\",\"fleet\":{\"chips\":0}}"),
+      Error);
+}
+
 TEST(Wire, RequiresExactlyOneSource) {
   EXPECT_THROW(parse_wire_spec("{\"kind\":\"synthesis\"}"), Error);
   EXPECT_THROW(parse_wire_spec("{\"assay\":\"pcr\",\"dsl\":\"assay x {}\"}"), Error);
@@ -554,6 +570,38 @@ TEST_F(ServerTest, SubmitStreamsLifecycleAndResultMatchesCliDocument) {
       client().get("/v1/jobs/" + std::to_string(id2) + "/result");
   ASSERT_EQ(200, result2.status);
   EXPECT_EQ(result.body, result2.body);
+}
+
+TEST_F(ServerTest, FleetEndpointRunsClosedLoopJob) {
+  start();
+  // The dedicated route refuses non-fleet bodies.
+  EXPECT_EQ(400, client().post("/v1/fleet", "{\"assay\":\"pcr\"}").status);
+
+  const ClientResponse accepted = client().post(
+      "/v1/fleet",
+      "{\"kind\":\"fleet\",\"assay\":\"pcr\",\"seed\":2015,"
+      "\"fleet\":{\"chips\":3,\"cadence\":5,\"horizon\":20}}");
+  ASSERT_EQ(202, accepted.status) << accepted.body;
+  const auto id =
+      static_cast<std::uint64_t>(JsonValue::parse(accepted.body).at("id").as_int());
+  EXPECT_EQ("done", watch_terminal(id));
+
+  const ClientResponse result = client().get("/v1/jobs/" + std::to_string(id) + "/result");
+  ASSERT_EQ(200, result.status);
+  const JsonValue doc = JsonValue::parse(result.body);
+  EXPECT_EQ("flowsynth-fleet-v1", doc.at("format").as_string());
+  EXPECT_EQ(3, doc.at("chips").as_int());
+  EXPECT_GE(doc.at("faults").at("detected").as_int(), 0);
+  EXPECT_TRUE(doc.has("availability"));
+  EXPECT_TRUE(doc.has("mean_detection_latency_runs"));
+
+  // The fleet counters surface in both metrics flavors.
+  const JsonValue metrics = JsonValue::parse(client().get("/metrics").body);
+  EXPECT_EQ(1, metrics.at("service").at("fleet").at("jobs").as_int());
+  EXPECT_EQ(3, metrics.at("service").at("fleet").at("chips").as_int());
+  const ClientResponse prom = client().get("/metrics?format=prometheus");
+  EXPECT_NE(prom.body.find("flowsynth_fleet_jobs_total"), std::string::npos);
+  EXPECT_NE(prom.body.find("flowsynth_fleet_availability"), std::string::npos);
 }
 
 TEST_F(ServerTest, UnknownJobsAnswer404AndUnfinished409) {

@@ -7,6 +7,8 @@
 // Exits nonzero when, for any instance present in the baseline:
 //   - the instance is missing from the new file,
 //   - the objective differs (correctness, not perf — any drift fails), or
+//   - mttf_runs drifts beyond last-ulp libm variance (the Monte Carlo
+//     estimate is deterministic in the seed), or
 //   - wall_ms grew by more than --wall-tol (default +15%), or
 //     lp_iterations grew by more than --iter-tol (default +5%), or
 //   - p50_ms / p95_ms grew by more than --wall-tol, or req_per_sec shrank
@@ -155,6 +157,25 @@ int main(int argc, char** argv) {
           std::cout << "  FAIL " << name << " objective: " << base_obj << " != " << new_obj
                     << "\n";
           ++failures;
+        }
+      }
+      // The Monte-Carlo lifetime headline is deterministic in the seed;
+      // anything beyond relative last-ulp variance (pow/log differ across
+      // libm builds) means the estimator itself changed.
+      if (base_row.has("mttf_runs")) {
+        if (!new_row->has("mttf_runs")) {
+          std::cout << "  FAIL " << name << " mttf_runs: missing from "
+                    << options.new_path << "\n";
+          ++failures;
+        } else {
+          const double base_mttf = base_row.at("mttf_runs").as_number();
+          const double new_mttf = new_row->at("mttf_runs").as_number();
+          if (std::abs(new_mttf - base_mttf) >
+              1e-9 * std::max(1.0, std::abs(base_mttf))) {
+            std::cout << "  FAIL " << name << " mttf_runs: " << base_mttf
+                      << " != " << new_mttf << "\n";
+            ++failures;
+          }
         }
       }
       if (base_row.has("lp_iterations") && new_row->has("lp_iterations")) {

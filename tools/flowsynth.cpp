@@ -4,6 +4,7 @@
 //   flowsynth synth <assay-file|benchmark> [options]   run synthesis
 //   flowsynth schedule <assay-file|benchmark> [options] print the Gantt chart
 //   flowsynth reliability <assay|--in mapping.json> [options]  lifetime analysis
+//   flowsynth fleet <assay-file|benchmark> [options]     closed-loop fleet simulation
 //   flowsynth batch <spec|all> [options]                 concurrent batch sweep
 //   flowsynth client <verb> [options]                    talk to a flowsynthd
 //   flowsynth table1 [--jobs N]                          reproduce Table 1
@@ -41,6 +42,17 @@
 //   --report PATH    write the JSON report to PATH ("-" = stdout, the default)
 //   --timing         include timing fields (breaks bit-identical reruns)
 //
+// Options for fleet (plus --policy/--asap/--grid/--seed/--ilp for synthesis):
+//   --chips N        virtual chips in the fleet (default 100)
+//   --cadence N      self-test every N assay runs (default 25)
+//   --horizon N      assay runs per chip (default 200)
+//   --repair-workers N  workers of the private repair service (default 2)
+//   --max-repairs N  retire a chip past this many repairs (default 4)
+//   --degrade-threshold MS  closure latency flagged as degraded (default 8)
+//   --pump-life/--control-life/--shape  hidden Weibull wear model
+//   --report PATH    write the fleet JSON report ("-" = stdout, the default)
+//   --timing         include timing fields (breaks bit-identical reruns)
+//
 // Options for batch (spec = comma-separated benchmark names, or "all"):
 //   --jobs N         worker threads (default: hardware concurrency)
 //   --policies P     policy increments swept per benchmark (default 3)
@@ -60,7 +72,7 @@
 // the table + metrics for everything submitted so far are still printed.
 //
 // Client verbs (all take [--host H] [--port P], default 127.0.0.1:8080):
-//   flowsynth client submit <benchmark> [--kind synthesis|reliability]
+//   flowsynth client submit <benchmark> [--kind synthesis|reliability|fleet]
 //                    [--policy N] [--asap] [--seed S] [--grid N] [--ilp]
 //                    [--priority interactive|batch|background]
 //                    [--deadline-ms D] [--trials N] [--watch]
@@ -79,6 +91,7 @@
 #include <vector>
 
 #include "assay/benchmarks.hpp"
+#include "fleet/fleet.hpp"
 #include "net/client.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_context.hpp"
@@ -138,6 +151,14 @@ struct CliOptions {
   bool timing = false;
   bool reliability = false;  ///< batch: run jobs through the engine
 
+  // fleet
+  int chips = 100;
+  int cadence = 25;
+  int horizon = 200;
+  int repair_workers = 2;
+  int max_repairs = 4;
+  double degrade_threshold = 8.0;
+
   // batch / table1
   int jobs = 0;  ///< 0 = hardware concurrency (table1 defaults to 1)
   int policies = 3;
@@ -165,6 +186,12 @@ struct CliOptions {
       "                     [--inject-top K] [--compare-static] [--pump-life N]\n"
       "                     [--control-life N] [--shape K] [--report PATH|-]\n"
       "                     [--timing] [--policy N | --asap] [--grid N] [--ilp]\n"
+      "  flowsynth fleet    <assay-file|benchmark> [--chips N] [--cadence N]\n"
+      "                     [--horizon N] [--seed S] [--repair-workers N]\n"
+      "                     [--max-repairs N] [--degrade-threshold MS]\n"
+      "                     [--pump-life N] [--control-life N] [--shape K]\n"
+      "                     [--policy N | --asap] [--grid N] [--ilp]\n"
+      "                     [--report PATH|-] [--timing]\n"
       "  flowsynth batch    <benchmark[,benchmark...]|all> [--jobs N] [--policies P]\n"
       "                     [--repeat R] [--deadline-ms D] [--race] [--metrics PATH|-]\n"
       "                     [--seed S] [--grid N] [--cache N] [--queue N] [--reject]\n"
@@ -182,7 +209,7 @@ CliOptions parse_cli(int argc, char** argv) {
   options.command = argv[1];
   int i = 2;
   if (options.command == "synth" || options.command == "schedule" ||
-      options.command == "batch") {
+      options.command == "batch" || options.command == "fleet") {
     if (argc < 3) usage(options.command == "batch" ? "missing benchmark spec"
                                                    : "missing assay");
     options.target = argv[i++];
@@ -273,6 +300,18 @@ CliOptions parse_cli(int argc, char** argv) {
       options.timing = true;
     } else if (arg == "--reliability") {
       options.reliability = true;
+    } else if (arg == "--chips") {
+      options.chips = parse_int(next());
+    } else if (arg == "--cadence") {
+      options.cadence = parse_int(next());
+    } else if (arg == "--horizon") {
+      options.horizon = parse_int(next());
+    } else if (arg == "--repair-workers") {
+      options.repair_workers = parse_int(next());
+    } else if (arg == "--max-repairs") {
+      options.max_repairs = parse_int(next());
+    } else if (arg == "--degrade-threshold") {
+      options.degrade_threshold = parse_double(next());
     } else {
       usage("unknown option " + arg);
     }
@@ -444,6 +483,51 @@ int run_reliability(const CliOptions& cli) {
       std::cout << "; " << feasible << "/" << report.rounds.size() << " faults remapped";
     }
     std::cout << "\nreport:      " << cli.report_path << '\n';
+  }
+  return 0;
+}
+
+int run_fleet(const CliOptions& cli) {
+  const assay::SequencingGraph graph = load_target(cli.target);
+
+  fleet::FleetOptions options;
+  options.chips = cli.chips;
+  options.cadence = cli.cadence;
+  options.horizon = cli.horizon;
+  options.seed = cli.seed;
+  options.repair_workers = cli.repair_workers;
+  options.max_repairs_per_chip = cli.max_repairs;
+  options.diagnosis.latency_threshold_ms = cli.degrade_threshold;
+  options.chip.model.pump = {cli.pump_life, cli.shape};
+  options.chip.model.control = {cli.control_life, cli.shape};
+  options.policy_increments = cli.policy;
+  options.asap = cli.asap;
+  options.synthesis.grid_size = cli.grid;
+  options.synthesis.heuristic.seed = cli.seed;
+  if (cli.use_ilp) options.synthesis.mapper = synth::MapperKind::kIlp;
+  if (cli.time_limit_seconds.has_value()) {
+    options.synthesis.ilp.time_limit_seconds = *cli.time_limit_seconds;
+  }
+  options.synthesis.ilp.threads = cli.ilp_threads;
+  options.synthesis.ilp.lp.basis = cli.lp_basis;
+  options.synthesis.ilp.lp.pricing = cli.lp_pricing;
+
+  const fleet::FleetReport report = fleet::run_fleet(graph, options);
+  const std::string json = report.to_json(cli.timing);
+  if (cli.report_path == "-") {
+    std::cout << json;
+  } else {
+    std::ofstream out(cli.report_path);
+    check_input(static_cast<bool>(out), "cannot write report to " + cli.report_path);
+    out << json;
+    std::cout << "fleet '" << graph.name() << "': " << report.chips << " chips x "
+              << report.horizon << " runs, " << report.faults_occurred << " faults ("
+              << report.faults_detected << " detected, mean latency "
+              << format_fixed(report.mean_detection_latency_runs(), 1) << " runs), "
+              << report.repairs_succeeded << "/" << report.repairs_attempted
+              << " repairs, availability "
+              << format_fixed(100.0 * report.availability(), 2) << "%\n"
+              << "report:      " << cli.report_path << '\n';
   }
   return 0;
 }
@@ -653,7 +737,7 @@ int run_batch(const CliOptions& cli) {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr <<
       "usage: flowsynth client <verb> [--host H] [--port P] [--traceparent TP]\n"
-      "  submit <benchmark> [--kind synthesis|reliability] [--policy N] [--asap]\n"
+      "  submit <benchmark> [--kind synthesis|reliability|fleet] [--policy N] [--asap]\n"
       "         [--seed S] [--grid N] [--ilp] [--priority interactive|batch|background]\n"
       "         [--deadline-ms D] [--trials N] [--watch]\n"
       "  status <id>            print the job's status document\n"
@@ -851,6 +935,8 @@ int main(int argc, char** argv) {
       code = run_synth(cli);
     } else if (cli.command == "reliability") {
       code = run_reliability(cli);
+    } else if (cli.command == "fleet") {
+      code = run_fleet(cli);
     } else if (cli.command == "batch") {
       code = run_batch(cli);
     } else {
