@@ -185,8 +185,13 @@ void run(const std::string& name, const Model& model, const MilpOptions& options
       .add("nnz", model.nonzero_count())
       .add("status", status_name(result.status))
       .add("objective", result.objective)
-      .add("nodes", result.nodes)
+      .add("nodes", static_cast<long long>(result.nodes))
       .add("lp_iterations", static_cast<long long>(result.lp_iterations))
+      .add("cuts", static_cast<long long>(result.cuts.gomory_generated +
+                                          result.cuts.cover_generated))
+      .add("cuts_retained", static_cast<long long>(result.cuts.retained))
+      .add("cut_rounds", static_cast<long long>(result.cuts.rounds))
+      .add("arena_bytes", static_cast<long long>(result.arena_bytes))
       .add("ms_per_1k_iterations", ms_per_1k_iterations)
       .add("primal_pivots", static_cast<long long>(result.lp.primal_pivots))
       .add("dual_pivots", static_cast<long long>(result.lp.dual_pivots))
@@ -199,7 +204,7 @@ void run(const std::string& name, const Model& model, const MilpOptions& options
       .add("fill_in_ratio", result.lp.fill_in_ratio())
       .add("devex_resets", static_cast<long long>(result.lp.devex_resets))
       .add("threads", result.threads)
-      .add("steals", result.steals)
+      .add("steals", static_cast<long long>(result.steals))
       .add("idle_seconds", result.idle_seconds)
       .add("parallel_efficiency", result.parallel_efficiency)
       .add("wall_ms", wall_ms);
@@ -229,11 +234,22 @@ int main(int argc, char** argv) {
         std::cerr << "unknown pricing '" << argv[i] << "' (dantzig|devex)\n";
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--lp-cuts") == 0 && i + 1 < argc) {
+      ++i;
+      if (std::strcmp(argv[i], "on") == 0) {
+        options.cut_options.enabled = true;
+      } else if (std::strcmp(argv[i], "off") == 0) {
+        options.cut_options.enabled = false;
+      } else {
+        std::cerr << "unknown --lp-cuts '" << argv[i] << "' (on|off)\n";
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
       std::cerr << "usage: bench_ilp_solver [--threads N] [--basis dense|sparse]\n"
-                << "                        [--pricing dantzig|devex] [--out BENCH.json]\n";
+                << "                        [--pricing dantzig|devex] [--lp-cuts on|off]\n"
+                << "                        [--out BENCH.json]\n";
       return 2;
     }
   }
@@ -242,7 +258,8 @@ int main(int argc, char** argv) {
   writer.config()
       .add("threads", options.threads)
       .add("basis", to_string(options.lp.basis))
-      .add("pricing", to_string(options.lp.pricing));
+      .add("pricing", to_string(options.lp.pricing))
+      .add("lp_cuts", options.cut_options.enabled ? "on" : "off");
 
   run("knapsack_14", knapsack(14, 11), options, writer);
   run("knapsack_18", knapsack(18, 23), options, writer);

@@ -1,7 +1,9 @@
 #include "ilp/branch_and_bound.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
@@ -32,19 +34,125 @@ struct BoundChange {
   double upper = 0.0;
 };
 
-struct Chain {
-  BoundChange change;
-  std::shared_ptr<const Chain> parent;
+/// Arena for the bound-change chains.  The old representation heap-allocated
+/// one reference-counted `Chain` per branching decision (two mallocs per
+/// expanded node plus shared_ptr control blocks — the per-node malloc wall);
+/// here links live in geometrically-growing blocks indexed by a 32-bit id,
+/// retired links recycle through a free list, and ref counts are intrusive.
+///
+/// Thread safety: allocation and the free list are mutex-guarded, ref
+/// counts are atomic, and chain *reads* are lock-free — the block table is a
+/// fixed-size array (no reallocation, ever), a block pointer is written once
+/// under the allocation mutex before any id in it can be published, and ids
+/// travel between workers only through the node-pool mutexes, which gives
+/// readers the required happens-before edge.
+class ChainArena {
+ public:
+  static constexpr std::int32_t kNull = -1;
+
+  struct Link {
+    BoundChange change;
+    std::int32_t parent = kNull;
+    std::atomic<std::int32_t> refs{0};
+  };
+
+  /// Allocates a link holding `change` whose parent is `parent` (kNull for a
+  /// root-level decision).  The new link starts with one reference — the
+  /// caller's — and takes a reference on its parent.
+  std::int32_t make(const BoundChange& change, std::int32_t parent) {
+    std::int32_t id;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (!free_.empty()) {
+        id = free_.back();
+        free_.pop_back();
+      } else {
+        id = size_++;
+        const int b = block_of(id);
+        if (blocks_[static_cast<std::size_t>(b)] == nullptr) {
+          const std::size_t capacity = static_cast<std::size_t>(kBase) << b;
+          blocks_[static_cast<std::size_t>(b)] = std::make_unique<Link[]>(capacity);
+          bytes_ += static_cast<std::int64_t>(capacity * sizeof(Link));
+        }
+      }
+    }
+    // The id is private to this thread until it is published through a node
+    // queue, so the field writes need no lock.
+    Link& link = slot(id);
+    link.change = change;
+    link.parent = parent;
+    link.refs.store(1, std::memory_order_relaxed);
+    if (parent != kNull) acquire(parent);
+    return id;
+  }
+
+  void acquire(std::int32_t id) {
+    slot(id).refs.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Drops one reference; a link whose count reaches zero returns to the
+  /// free list and releases its parent in turn (iteratively, so deep chains
+  /// cannot overflow the stack).
+  void release(std::int32_t id) {
+    while (id != kNull) {
+      Link& link = slot(id);
+      if (link.refs.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+      const std::int32_t parent = link.parent;
+      {
+        std::lock_guard<std::mutex> lk(mutex_);
+        free_.push_back(id);
+      }
+      id = parent;
+    }
+  }
+
+  const BoundChange& change(std::int32_t id) const { return slot(id).change; }
+  std::int32_t parent(std::int32_t id) const { return slot(id).parent; }
+
+  /// High-water arena footprint (blocks are recycled, never returned).
+  std::int64_t bytes() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return bytes_;
+  }
+
+ private:
+  // Block b holds kBase << b links covering ids [kBase*(2^b - 1),
+  // kBase*(2^(b+1) - 1)); 21 blocks span the whole positive int32 range, so
+  // the pointer table is a fixed array and readers never race a vector
+  // reallocation.
+  static constexpr std::int32_t kBase = 1024;
+  static constexpr int kMaxBlocks = 21;
+
+  static int block_of(std::int32_t id) {
+    return std::bit_width(static_cast<std::uint32_t>(id) / kBase + 1u) - 1;
+  }
+
+  const Link& slot(std::int32_t id) const {
+    const int b = block_of(id);
+    const std::uint32_t first = static_cast<std::uint32_t>(kBase) * ((1u << b) - 1u);
+    return blocks_[static_cast<std::size_t>(b)][static_cast<std::uint32_t>(id) - first];
+  }
+  Link& slot(std::int32_t id) {
+    return const_cast<Link&>(static_cast<const ChainArena*>(this)->slot(id));
+  }
+
+  mutable std::mutex mutex_;
+  std::array<std::unique_ptr<Link[]>, kMaxBlocks> blocks_;
+  std::vector<std::int32_t> free_;
+  std::int32_t size_ = 0;
+  std::int64_t bytes_ = 0;
 };
 
+/// An open node is now a flat 40-byte record: the bound-change chain is a
+/// 32-bit arena id instead of a shared_ptr, so pushing / popping / stealing
+/// nodes moves trivially-copyable values with no ref-count traffic.
 struct Node {
   double bound_score = -kInfinity;  ///< parent LP bound, minimize sense
-  int depth = 0;
-  long seq = 0;  ///< creation order; newest-first on ties
-  std::shared_ptr<const Chain> changes;
-  // Branching bookkeeping for pseudocost updates.
-  int branch_var = -1;
   double branch_dist = 0.0;  ///< LP-value distance moved by the branch
+  std::int64_t seq = 0;      ///< creation order; newest-first on ties
+  std::int32_t chain = ChainArena::kNull;  ///< bound-change chain head
+  std::int32_t depth = 0;
+  int branch_var = -1;  ///< branching bookkeeping for pseudocost updates
   bool branch_up = false;
 };
 
@@ -78,6 +186,8 @@ class BranchAndBound {
     pc_down_count_.assign(static_cast<std::size_t>(n), 0);
     pc_up_sum_.assign(static_cast<std::size_t>(n), 0.0);
     pc_up_count_.assign(static_cast<std::size_t>(n), 0);
+    imp_down_sum_.assign(static_cast<std::size_t>(n), 0.0);
+    imp_up_sum_.assign(static_cast<std::size_t>(n), 0.0);
   }
 
   MilpResult run() {
@@ -92,13 +202,11 @@ class BranchAndBound {
     push_node(Node{});
     bool unbounded = false;
 
-    while (!open_.empty()) {
-      if (limits_exceeded()) {
-        limit_hit_ = true;
-        break;
-      }
-      Node node = pop_node();
-      if (pruned_by_bound(node.bound_score)) continue;
+    // The body runs as a function so a popped node's chain reference is
+    // dropped on every exit path (prune, infeasible, integral, branch).
+    enum class Step { kContinue, kUnbounded, kLimit };
+    auto process = [&](const Node& node) -> Step {
+      if (pruned_by_bound(node.bound_score)) return Step::kContinue;
       ++nodes_;
       if ((nodes_ & 0x7f) == 0) report_progress(false);
 
@@ -109,15 +217,13 @@ class BranchAndBound {
                                                  : solver.solve(cur_lower_, cur_upper_);
       lp_iterations_ += lp.iterations;
 
-      if (lp.status == LpStatus::kInfeasible || lp.status == LpStatus::kCutoff) continue;
-      if (lp.status == LpStatus::kUnbounded) {
-        unbounded = true;
-        break;
+      if (lp.status == LpStatus::kInfeasible || lp.status == LpStatus::kCutoff) {
+        return Step::kContinue;
       }
+      if (lp.status == LpStatus::kUnbounded) return Step::kUnbounded;
       if (lp.status == LpStatus::kIterationLimit) {
-        limit_hit_ = true;
         pending_bound_ = node.bound_score;
-        break;
+        return Step::kLimit;
       }
 
       const double node_score = min_score(lp.objective);
@@ -126,7 +232,7 @@ class BranchAndBound {
       } else {
         root_bound_score_ = node_score;
       }
-      if (pruned_by_bound(node_score)) continue;
+      if (pruned_by_bound(node_score)) return Step::kContinue;
 
       const int branch_var = select_branch_var(lp.values);
       if (branch_var == -1) {
@@ -137,13 +243,32 @@ class BranchAndBound {
           snapped[static_cast<std::size_t>(j)] = std::round(snapped[static_cast<std::size_t>(j)]);
         }
         if (model_.is_feasible(snapped)) offer_incumbent(std::move(snapped));
-        continue;
+        return Step::kContinue;
       }
 
       try_rounding(lp.values);
-      if (pruned_by_bound(node_score)) continue;
+      if (pruned_by_bound(node_score)) return Step::kContinue;
 
       branch(node, branch_var, lp.values, node_score);
+      return Step::kContinue;
+    };
+
+    while (!open_.empty()) {
+      if (limits_exceeded()) {
+        limit_hit_ = true;
+        break;
+      }
+      const Node node = pop_node();
+      const Step step = process(node);
+      arena_.release(node.chain);
+      if (step == Step::kUnbounded) {
+        unbounded = true;
+        break;
+      }
+      if (step == Step::kLimit) {
+        limit_hit_ = true;
+        break;
+      }
     }
 
     report_progress(true);  // close the counter tracks at their final values
@@ -152,6 +277,9 @@ class BranchAndBound {
     result.nodes = nodes_;
     result.lp_iterations = lp_iterations_;
     result.lp = solver.stats();
+    result.arena_bytes = arena_.bytes();
+    result.impact_branch_decisions = impact_decisions_;
+    result.pseudocost_branch_decisions = pseudocost_decisions_;
     if (unbounded && !incumbent_.has_value()) {
       result.status = MilpStatus::kUnbounded;
       return result;
@@ -270,13 +398,14 @@ class BranchAndBound {
     }
     touched_.clear();
     ++epoch_;
-    for (const Chain* link = node.changes.get(); link != nullptr; link = link->parent.get()) {
-      const int v = link->change.var;
+    for (std::int32_t id = node.chain; id != ChainArena::kNull; id = arena_.parent(id)) {
+      const BoundChange& change = arena_.change(id);
+      const int v = change.var;
       if (stamp_[static_cast<std::size_t>(v)] == epoch_) continue;  // deeper change wins
       stamp_[static_cast<std::size_t>(v)] = epoch_;
       touched_.push_back(v);
-      cur_lower_[static_cast<std::size_t>(v)] = link->change.lower;
-      cur_upper_[static_cast<std::size_t>(v)] = link->change.upper;
+      cur_lower_[static_cast<std::size_t>(v)] = change.lower;
+      cur_upper_[static_cast<std::size_t>(v)] = change.upper;
     }
   }
 
@@ -301,16 +430,26 @@ class BranchAndBound {
     return best;
   }
 
-  /// Pseudocost product rule over the fractional variables; averages stand
-  /// in for unobserved directions, and until any observation exists the
-  /// most-fractional variable is used.
-  int select_branch_var(const std::vector<double>& values) const {
-    const long total = pc_observations_down_ + pc_observations_up_;
+  /// Branching score over the fractional variables: the classic pseudocost
+  /// product rule, blended with impact estimates (absolute objective
+  /// degradation per branch).  A variable's own statistics are trusted only
+  /// after `branch_reliability` observations in that direction; the global
+  /// averages stand in below the threshold, and until any observation
+  /// exists at all the most-fractional variable is used.
+  int select_branch_var(const std::vector<double>& values) {
+    const std::int64_t total = pc_observations_down_ + pc_observations_up_;
     if (!options_.pseudocost_branching || total == 0) return most_fractional(values);
     const double avg_down =
         pc_observations_down_ > 0 ? pc_total_down_ / static_cast<double>(pc_observations_down_) : 1.0;
     const double avg_up =
         pc_observations_up_ > 0 ? pc_total_up_ / static_cast<double>(pc_observations_up_) : 1.0;
+    const double avg_imp_down =
+        pc_observations_down_ > 0 ? imp_total_down_ / static_cast<double>(pc_observations_down_) : 1.0;
+    const double avg_imp_up =
+        pc_observations_up_ > 0 ? imp_total_up_ / static_cast<double>(pc_observations_up_) : 1.0;
+    const std::int64_t reliability = std::max(options_.branch_reliability, 1);
+    const double iw =
+        options_.impact_branching ? std::clamp(options_.impact_weight, 0.0, 1.0) : 0.0;
     int best = -1;
     double best_score = -1.0;
     double best_distance_to_half = 1.0;
@@ -321,19 +460,33 @@ class BranchAndBound {
       const double frac = std::min(down_frac, 1.0 - down_frac);
       if (frac <= options_.integrality_tolerance) continue;
       const std::size_t sj = static_cast<std::size_t>(j);
-      const double pcd = pc_down_count_[sj] > 0
-                             ? pc_down_sum_[sj] / static_cast<double>(pc_down_count_[sj])
-                             : avg_down;
+      const bool down_reliable = pc_down_count_[sj] >= reliability;
+      const bool up_reliable = pc_up_count_[sj] >= reliability;
+      const double pcd =
+          down_reliable ? pc_down_sum_[sj] / static_cast<double>(pc_down_count_[sj]) : avg_down;
       const double pcu =
-          pc_up_count_[sj] > 0 ? pc_up_sum_[sj] / static_cast<double>(pc_up_count_[sj]) : avg_up;
-      const double score =
-          std::max(pcd * down_frac, 1e-6) * std::max(pcu * (1.0 - down_frac), 1e-6);
+          up_reliable ? pc_up_sum_[sj] / static_cast<double>(pc_up_count_[sj]) : avg_up;
+      const double impd =
+          down_reliable ? imp_down_sum_[sj] / static_cast<double>(pc_down_count_[sj]) : avg_imp_down;
+      const double impu =
+          up_reliable ? imp_up_sum_[sj] / static_cast<double>(pc_up_count_[sj]) : avg_imp_up;
+      const double est_down = (1.0 - iw) * pcd * down_frac + iw * impd;
+      const double est_up = (1.0 - iw) * pcu * (1.0 - down_frac) + iw * impu;
+      const double score = std::max(est_down, 1e-6) * std::max(est_up, 1e-6);
       const double distance_to_half = std::abs(frac - 0.5);
       if (score > best_score ||
           (score == best_score && distance_to_half < best_distance_to_half)) {
         best = j;
         best_score = score;
         best_distance_to_half = distance_to_half;
+      }
+    }
+    if (best != -1) {
+      const std::size_t sb = static_cast<std::size_t>(best);
+      if (iw > 0.0 && pc_down_count_[sb] >= reliability && pc_up_count_[sb] >= reliability) {
+        ++impact_decisions_;
+      } else {
+        ++pseudocost_decisions_;
       }
     }
     return best;
@@ -346,13 +499,17 @@ class BranchAndBound {
     const std::size_t v = static_cast<std::size_t>(node.branch_var);
     if (node.branch_up) {
       pc_up_sum_[v] += per_unit;
+      imp_up_sum_[v] += gain;
       ++pc_up_count_[v];
       pc_total_up_ += per_unit;
+      imp_total_up_ += gain;
       ++pc_observations_up_;
     } else {
       pc_down_sum_[v] += per_unit;
+      imp_down_sum_[v] += gain;
       ++pc_down_count_[v];
       pc_total_down_ += per_unit;
+      imp_total_down_ += gain;
       ++pc_observations_down_;
     }
   }
@@ -388,16 +545,15 @@ class BranchAndBound {
     auto push_down = [&] {
       if (!down_valid) return;
       down.seq = ++seq_;
-      down.changes = std::make_shared<const Chain>(
-          Chain{BoundChange{branch_var, cur_lower_[v], down_upper}, node.changes});
-      push_node(std::move(down));
+      down.chain =
+          arena_.make(BoundChange{branch_var, cur_lower_[v], down_upper}, node.chain);
+      push_node(down);
     };
     auto push_up = [&] {
       if (!up_valid) return;
       up.seq = ++seq_;
-      up.changes = std::make_shared<const Chain>(
-          Chain{BoundChange{branch_var, up_lower, cur_upper_[v]}, node.changes});
-      push_node(std::move(up));
+      up.chain = arena_.make(BoundChange{branch_var, up_lower, cur_upper_[v]}, node.chain);
+      push_node(up);
     };
     if (down_first) {
       push_up();
@@ -439,17 +595,21 @@ class BranchAndBound {
 
   std::vector<double> root_lower_, root_upper_;  ///< presolved root box
   std::vector<double> cur_lower_, cur_upper_;    ///< materialized node box
-  std::vector<long> stamp_;
+  std::vector<std::int64_t> stamp_;
   std::vector<int> touched_;
-  long epoch_ = 0;
+  std::int64_t epoch_ = 0;
 
+  ChainArena arena_;
   std::vector<Node> open_;
-  long seq_ = 0;
+  std::int64_t seq_ = 0;
 
   std::vector<double> pc_down_sum_, pc_up_sum_;
-  std::vector<long> pc_down_count_, pc_up_count_;
+  std::vector<double> imp_down_sum_, imp_up_sum_;
+  std::vector<std::int64_t> pc_down_count_, pc_up_count_;
   double pc_total_down_ = 0.0, pc_total_up_ = 0.0;
-  long pc_observations_down_ = 0, pc_observations_up_ = 0;
+  double imp_total_down_ = 0.0, imp_total_up_ = 0.0;
+  std::int64_t pc_observations_down_ = 0, pc_observations_up_ = 0;
+  std::int64_t impact_decisions_ = 0, pseudocost_decisions_ = 0;
 
   Clock::time_point last_counter_emit_{};  ///< epoch => first sample emits at once
   Clock::time_point last_heartbeat_{};
@@ -458,7 +618,7 @@ class BranchAndBound {
   double incumbent_score_ = kInfinity;
   double root_bound_score_ = -kInfinity;
   double pending_bound_ = kInfinity;  ///< bound of a node interrupted mid-solve
-  long nodes_ = 0;
+  std::int64_t nodes_ = 0;
   std::int64_t lp_iterations_ = 0;
   bool limit_hit_ = false;
 };
@@ -515,6 +675,8 @@ class ParallelBranchAndBound {
     pc_down_count_.assign(static_cast<std::size_t>(n), 0);
     pc_up_sum_.assign(static_cast<std::size_t>(n), 0.0);
     pc_up_count_.assign(static_cast<std::size_t>(n), 0);
+    imp_down_sum_.assign(static_cast<std::size_t>(n), 0.0);
+    imp_up_sum_.assign(static_cast<std::size_t>(n), 0.0);
     threads_ = std::clamp(options.threads, 1, 64);
     launched_ = threads_;
     workers_.reserve(static_cast<std::size_t>(threads_));
@@ -545,9 +707,9 @@ class ParallelBranchAndBound {
     const int index;
     LpSolver solver;  ///< private relaxation engine; warm starts stay local
     std::vector<double> cur_lower, cur_upper;  ///< materialized node box
-    std::vector<long> stamp;
+    std::vector<std::int64_t> stamp;
     std::vector<int> touched;
-    long epoch = 0;
+    std::int64_t epoch = 0;
     MilpWorkerStats stats;
     std::mutex local_mutex;  ///< guards `local` (async mode; stealable)
     std::vector<Node> local;  ///< private dive stack; back = newest
@@ -598,7 +760,7 @@ class ParallelBranchAndBound {
     return a.seq < b.seq;
   }
 
-  bool limits_exceeded(long processed) const {
+  bool limits_exceeded(std::int64_t processed) const {
     if (processed >= options_.max_nodes) return true;
     if (options_.time_limit_seconds > 0.0) {
       const double elapsed = std::chrono::duration<double>(Clock::now() - start_).count();
@@ -617,13 +779,14 @@ class ParallelBranchAndBound {
     }
     w.touched.clear();
     ++w.epoch;
-    for (const Chain* link = node.changes.get(); link != nullptr; link = link->parent.get()) {
-      const int v = link->change.var;
+    for (std::int32_t id = node.chain; id != ChainArena::kNull; id = arena_.parent(id)) {
+      const BoundChange& change = arena_.change(id);
+      const int v = change.var;
       if (w.stamp[static_cast<std::size_t>(v)] == w.epoch) continue;
       w.stamp[static_cast<std::size_t>(v)] = w.epoch;
       w.touched.push_back(v);
-      w.cur_lower[static_cast<std::size_t>(v)] = link->change.lower;
-      w.cur_upper[static_cast<std::size_t>(v)] = link->change.upper;
+      w.cur_lower[static_cast<std::size_t>(v)] = change.lower;
+      w.cur_upper[static_cast<std::size_t>(v)] = change.upper;
     }
   }
 
@@ -644,14 +807,23 @@ class ParallelBranchAndBound {
     return best;
   }
 
+  /// Same blended pseudocost + impact product rule as the serial solver,
+  /// under the shared statistics mutex.
   int select_branch_var(const std::vector<double>& values) {
     std::lock_guard<std::mutex> lk(pc_mutex_);
-    const long total = pc_observations_down_ + pc_observations_up_;
+    const std::int64_t total = pc_observations_down_ + pc_observations_up_;
     if (!options_.pseudocost_branching || total == 0) return most_fractional(values);
     const double avg_down =
         pc_observations_down_ > 0 ? pc_total_down_ / static_cast<double>(pc_observations_down_) : 1.0;
     const double avg_up =
         pc_observations_up_ > 0 ? pc_total_up_ / static_cast<double>(pc_observations_up_) : 1.0;
+    const double avg_imp_down =
+        pc_observations_down_ > 0 ? imp_total_down_ / static_cast<double>(pc_observations_down_) : 1.0;
+    const double avg_imp_up =
+        pc_observations_up_ > 0 ? imp_total_up_ / static_cast<double>(pc_observations_up_) : 1.0;
+    const std::int64_t reliability = std::max(options_.branch_reliability, 1);
+    const double iw =
+        options_.impact_branching ? std::clamp(options_.impact_weight, 0.0, 1.0) : 0.0;
     int best = -1;
     double best_score = -1.0;
     double best_distance_to_half = 1.0;
@@ -662,19 +834,33 @@ class ParallelBranchAndBound {
       const double frac = std::min(down_frac, 1.0 - down_frac);
       if (frac <= options_.integrality_tolerance) continue;
       const std::size_t sj = static_cast<std::size_t>(j);
-      const double pcd = pc_down_count_[sj] > 0
-                             ? pc_down_sum_[sj] / static_cast<double>(pc_down_count_[sj])
-                             : avg_down;
+      const bool down_reliable = pc_down_count_[sj] >= reliability;
+      const bool up_reliable = pc_up_count_[sj] >= reliability;
+      const double pcd =
+          down_reliable ? pc_down_sum_[sj] / static_cast<double>(pc_down_count_[sj]) : avg_down;
       const double pcu =
-          pc_up_count_[sj] > 0 ? pc_up_sum_[sj] / static_cast<double>(pc_up_count_[sj]) : avg_up;
-      const double score =
-          std::max(pcd * down_frac, 1e-6) * std::max(pcu * (1.0 - down_frac), 1e-6);
+          up_reliable ? pc_up_sum_[sj] / static_cast<double>(pc_up_count_[sj]) : avg_up;
+      const double impd =
+          down_reliable ? imp_down_sum_[sj] / static_cast<double>(pc_down_count_[sj]) : avg_imp_down;
+      const double impu =
+          up_reliable ? imp_up_sum_[sj] / static_cast<double>(pc_up_count_[sj]) : avg_imp_up;
+      const double est_down = (1.0 - iw) * pcd * down_frac + iw * impd;
+      const double est_up = (1.0 - iw) * pcu * (1.0 - down_frac) + iw * impu;
+      const double score = std::max(est_down, 1e-6) * std::max(est_up, 1e-6);
       const double distance_to_half = std::abs(frac - 0.5);
       if (score > best_score ||
           (score == best_score && distance_to_half < best_distance_to_half)) {
         best = j;
         best_score = score;
         best_distance_to_half = distance_to_half;
+      }
+    }
+    if (best != -1) {
+      const std::size_t sb = static_cast<std::size_t>(best);
+      if (iw > 0.0 && pc_down_count_[sb] >= reliability && pc_up_count_[sb] >= reliability) {
+        ++impact_decisions_;
+      } else {
+        ++pseudocost_decisions_;
       }
     }
     return best;
@@ -688,13 +874,17 @@ class ParallelBranchAndBound {
     std::lock_guard<std::mutex> lk(pc_mutex_);
     if (node.branch_up) {
       pc_up_sum_[v] += per_unit;
+      imp_up_sum_[v] += gain;
       ++pc_up_count_[v];
       pc_total_up_ += per_unit;
+      imp_total_up_ += gain;
       ++pc_observations_up_;
     } else {
       pc_down_sum_[v] += per_unit;
+      imp_down_sum_[v] += gain;
       ++pc_down_count_[v];
       pc_total_down_ += per_unit;
+      imp_total_down_ += gain;
       ++pc_observations_down_;
     }
   }
@@ -702,7 +892,7 @@ class ParallelBranchAndBound {
   /// Serial `branch` twin: emits children into `out.children` in the serial
   /// push order (nearer child last) using `w`'s materialized box.
   void emit_children(const Worker& w, NodeOutcome& out, int branch_var,
-                     const std::vector<double>& values) const {
+                     const std::vector<double>& values) {
     const std::size_t v = static_cast<std::size_t>(branch_var);
     const double value = values[v];
     const double floor_v = std::floor(value + options_.integrality_tolerance);
@@ -725,15 +915,15 @@ class ParallelBranchAndBound {
 
     auto emit_down = [&] {
       if (!down_valid) return;
-      down.changes = std::make_shared<const Chain>(
-          Chain{BoundChange{branch_var, w.cur_lower[v], down_upper}, out.node.changes});
-      out.children.push_back(std::move(down));
+      down.chain =
+          arena_.make(BoundChange{branch_var, w.cur_lower[v], down_upper}, out.node.chain);
+      out.children.push_back(down);
     };
     auto emit_up = [&] {
       if (!up_valid) return;
-      up.changes = std::make_shared<const Chain>(
-          Chain{BoundChange{branch_var, up_lower, w.cur_upper[v]}, out.node.changes});
-      out.children.push_back(std::move(up));
+      up.chain =
+          arena_.make(BoundChange{branch_var, up_lower, w.cur_upper[v]}, out.node.chain);
+      out.children.push_back(up);
     };
     if (down_first) {
       emit_up();
@@ -893,13 +1083,15 @@ class ParallelBranchAndBound {
         continue;
       }
       if (prunable(node->bound_score)) {
+        arena_.release(node->chain);
         retire_node();
         continue;
       }
-      const long count = nodes_.fetch_add(1, std::memory_order_relaxed) + 1;
+      const std::int64_t count = nodes_.fetch_add(1, std::memory_order_relaxed) + 1;
       ++w.stats.nodes;
-      NodeOutcome out = expand(w, std::move(*node), incumbent_score_.load(std::memory_order_relaxed));
+      NodeOutcome out = expand(w, *node, incumbent_score_.load(std::memory_order_relaxed));
       publish_async(w, out);
+      arena_.release(out.node.chain);  // children hold their own parent refs
       retire_node();
       if (w.index == 0 && (count & 0x7f) == 0) report_progress(false);
     }
@@ -940,7 +1132,8 @@ class ParallelBranchAndBound {
     for (Node& child : out.children) {
       child.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
     }
-    outstanding_.fetch_add(static_cast<long>(out.children.size()), std::memory_order_acq_rel);
+    outstanding_.fetch_add(static_cast<std::int64_t>(out.children.size()),
+                           std::memory_order_acq_rel);
     // The nearer child (serial push order puts it last) dives on w's own
     // stack; any sibling is published to the global heap.
     Node near = std::move(out.children.back());
@@ -1028,7 +1221,7 @@ class ParallelBranchAndBound {
     Worker& self = *workers_[0];
     obs::Span span("ilp", "bnb worker");
     if (span.active()) span.arg("worker", 0);
-    long processed = 0;
+    std::int64_t processed = 0;
     bool stop_all = false;
     while (!stop_all) {
       if (limits_exceeded(processed)) {
@@ -1043,7 +1236,10 @@ class ParallelBranchAndBound {
         }
         Node node = std::move(global_.back());
         global_.pop_back();
-        if (node.bound_score >= inc - options_.absolute_gap) continue;
+        if (node.bound_score >= inc - options_.absolute_gap) {
+          arena_.release(node.chain);
+          continue;
+        }
         batch_.push_back(std::move(node));
       }
       if (batch_.empty()) break;
@@ -1107,6 +1303,8 @@ class ParallelBranchAndBound {
             break;
           }
         }
+        arena_.release(out.node.chain);
+        out.node.chain = ChainArena::kNull;
       }
       if ((processed & 0x7f) < batch_size) report_progress(false);
     }
@@ -1124,7 +1322,7 @@ class ParallelBranchAndBound {
   void epoch_helper(Worker& w) {
     obs::Span span("ilp", "bnb worker");
     if (span.active()) span.arg("worker", w.index);
-    long seen = 0;
+    std::int64_t seen = 0;
     std::unique_lock<std::mutex> lk(epoch_mutex_);
     while (true) {
       const Clock::time_point idle_start = Clock::now();
@@ -1155,7 +1353,7 @@ class ParallelBranchAndBound {
     if (!tracing && !logging) return;
     const Clock::time_point now = Clock::now();
     const double inc = incumbent_score_.load(std::memory_order_relaxed);
-    const long open = outstanding_.load(std::memory_order_relaxed);
+    const std::int64_t open = outstanding_.load(std::memory_order_relaxed);
     if (tracing && (force || now - last_counter_emit_ >= std::chrono::milliseconds(20))) {
       last_counter_emit_ = now;
       obs::Tracer& tracer = obs::Tracer::instance();
@@ -1199,6 +1397,12 @@ class ParallelBranchAndBound {
       result.lp.accumulate(w.solver.stats());
       if (i < launched_) result.worker_stats.push_back(w.stats);
     }
+    result.arena_bytes = arena_.bytes();
+    {
+      std::lock_guard<std::mutex> lk(pc_mutex_);
+      result.impact_branch_decisions = impact_decisions_;
+      result.pseudocost_branch_decisions = pseudocost_decisions_;
+    }
     const double wall = std::chrono::duration<double>(Clock::now() - start_).count();
     if (wall > 0.0) {
       const double capacity = static_cast<double>(launched_) * wall;
@@ -1237,16 +1441,20 @@ class ParallelBranchAndBound {
   // mode: coordinator-owned, helpers never touch it.
   std::mutex pool_mutex_;
   std::condition_variable work_cv_;
+  ChainArena arena_;
   std::vector<Node> global_;
-  std::atomic<long> outstanding_{0};  ///< open + in-flight nodes; 0 = exhausted
-  std::atomic<long> seq_{0};
-  std::atomic<long> nodes_{0};
+  std::atomic<std::int64_t> outstanding_{0};  ///< open + in-flight nodes; 0 = exhausted
+  std::atomic<std::int64_t> seq_{0};
+  std::atomic<std::int64_t> nodes_{0};
 
-  std::mutex pc_mutex_;  ///< pseudocost table
+  std::mutex pc_mutex_;  ///< pseudocost + impact tables
   std::vector<double> pc_down_sum_, pc_up_sum_;
-  std::vector<long> pc_down_count_, pc_up_count_;
+  std::vector<double> imp_down_sum_, imp_up_sum_;
+  std::vector<std::int64_t> pc_down_count_, pc_up_count_;
   double pc_total_down_ = 0.0, pc_total_up_ = 0.0;
-  long pc_observations_down_ = 0, pc_observations_up_ = 0;
+  double imp_total_down_ = 0.0, imp_total_up_ = 0.0;
+  std::int64_t pc_observations_down_ = 0, pc_observations_up_ = 0;
+  std::int64_t impact_decisions_ = 0, pseudocost_decisions_ = 0;
 
   // Incumbent: the score is read lock-free on every pruning decision; the
   // vector itself only under the mutex.
@@ -1265,7 +1473,7 @@ class ParallelBranchAndBound {
   // outcomes_ slots are handed off through the generation bump / barrier).
   std::mutex epoch_mutex_;
   std::condition_variable epoch_cv_, epoch_done_cv_;
-  long generation_ = 0;
+  std::int64_t generation_ = 0;
   int batch_size_ = 0;
   int epoch_pending_ = 0;
   bool finished_ = false;
@@ -1301,15 +1509,61 @@ MilpResult solve_milp(const Model& model, const MilpOptions& options) {
     span.arg("constraints", model.constraint_count());
   }
   MilpResult result = [&] {
-    auto search = [&](const PresolveResult* reduced) {
+    auto run_tree = [&](const Model& m, const PresolveResult* reduced) {
       if (options.threads > 0) {
-        ParallelBranchAndBound solver(model, options, reduced ? &reduced->lower : nullptr,
+        ParallelBranchAndBound solver(m, options, reduced ? &reduced->lower : nullptr,
                                       reduced ? &reduced->upper : nullptr);
         return solver.run();
       }
-      BranchAndBound solver(model, options, reduced ? &reduced->lower : nullptr,
+      BranchAndBound solver(m, options, reduced ? &reduced->lower : nullptr,
                             reduced ? &reduced->upper : nullptr);
       return solver.run();
+    };
+    // Root cutting-plane loop: tighten the relaxation once under the root
+    // bound box, then run the tree search on the model extended by the
+    // retained cut rows.  The cuts are satisfied by every integer point of
+    // the box, so the search space — and the optimum — are unchanged; only
+    // the LP bound gets stronger.  The extension keeps the variable set
+    // intact, so presolved bound vectors still apply verbatim.
+    auto search = [&](const PresolveResult* reduced) {
+      if (!options.cut_options.enabled || !model.has_integer_variables()) {
+        return run_tree(model, reduced);
+      }
+      const int n = model.variable_count();
+      std::vector<double> lo, hi;
+      lo.reserve(static_cast<std::size_t>(n));
+      hi.reserve(static_cast<std::size_t>(n));
+      for (int j = 0; j < n; ++j) {
+        const Variable& v = model.variable(VarId{j});
+        double l = reduced ? reduced->lower[static_cast<std::size_t>(j)] : v.lower;
+        double h = reduced ? reduced->upper[static_cast<std::size_t>(j)] : v.upper;
+        if (v.type != VarType::kContinuous) {
+          l = std::isfinite(l) ? std::ceil(l - 1e-9) : l;
+          h = std::isfinite(h) ? std::floor(h + 1e-9) : h;
+        }
+        lo.push_back(l);
+        hi.push_back(h);
+      }
+      RootCutOutcome rc =
+          run_root_cut_loop(model, lo, hi, options.lp, options.cut_options, options.cancel);
+      MilpResult r;
+      if (rc.cuts.empty()) {
+        r = run_tree(model, reduced);
+      } else {
+        Model extended = model;
+        for (const Cut& cut : rc.cuts) {
+          LinearExpr expr;
+          for (std::size_t k = 0; k < cut.cols.size(); ++k) {
+            expr.add_term(VarId{cut.cols[k]}, cut.vals[k]);
+          }
+          extended.add_constraint(std::move(expr), Relation::kLessEqual, cut.rhs, "cut");
+        }
+        r = run_tree(extended, reduced);
+      }
+      r.cuts = rc.stats;
+      r.lp.accumulate(rc.lp);
+      r.lp_iterations += rc.lp_iterations;
+      return r;
     };
     if (options.presolve) {
       const PresolveResult reduced = presolve(model);
@@ -1332,6 +1586,7 @@ MilpResult solve_milp(const Model& model, const MilpOptions& options) {
     span.arg("status", status_name(result.status));
     span.arg("nodes", result.nodes);
     span.arg("lp_iterations", result.lp_iterations);
+    if (result.cuts.applied > 0) span.arg("cuts", result.cuts.applied);
     if (result.threads > 0) {
       span.arg("threads", result.threads);
       span.arg("steals", result.steals);

@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "ilp/cuts.hpp"
 #include "ilp/model.hpp"
 #include "ilp/simplex.hpp"
 #include "util/cancel.hpp"
@@ -48,8 +49,8 @@ enum class NodeOrder {
 
 /// Per-worker counters of one parallel search (empty for serial solves).
 struct MilpWorkerStats {
-  long nodes = 0;        ///< LP relaxations this worker solved
-  long steals = 0;       ///< nodes taken from another worker's local stack
+  std::int64_t nodes = 0;   ///< LP relaxations this worker solved
+  std::int64_t steals = 0;  ///< nodes taken from another worker's local stack
   std::int64_t lp_iterations = 0;
   double idle_seconds = 0.0;  ///< time spent without a node to expand
 };
@@ -59,7 +60,7 @@ struct MilpResult {
   std::vector<double> values;  ///< incumbent (model order); empty if none
   double objective = 0.0;      ///< incumbent objective, user sense
   double best_bound = 0.0;     ///< proven bound on the optimum, user sense
-  long nodes = 0;              ///< LP relaxations solved
+  std::int64_t nodes = 0;      ///< LP relaxations solved
   std::int64_t lp_iterations = 0;  ///< simplex iterations across all nodes
   /// LP engine counters for this solve: warm/cold solves, primal/dual
   /// pivots, bound flips, refactorizations, LU/eta telemetry.  For parallel
@@ -70,9 +71,21 @@ struct MilpResult {
   BasisKind lp_basis = BasisKind::kSparseLu;
   PricingRule lp_pricing = PricingRule::kDevex;
 
+  // ---- root cut loop + node-store + branching telemetry -----------------
+  /// Counters of the root cutting-plane loop (zeros when cuts are off; the
+  /// cut loop's LP work is folded into `lp` / `lp_iterations`).
+  CutStats cuts;
+  /// High-water footprint of the node/bound-chain arena.
+  std::int64_t arena_bytes = 0;
+  /// Branching decisions where the blended score was dominated by reliable
+  /// per-variable impact data vs. ones that fell back to pseudocosts /
+  /// global averages.
+  std::int64_t impact_branch_decisions = 0;
+  std::int64_t pseudocost_branch_decisions = 0;
+
   // ---- parallel-search telemetry (zeros / empty for the serial path) ----
-  int threads = 0;            ///< workers used; 0 = inline serial search
-  long steals = 0;            ///< total cross-worker node steals
+  int threads = 0;             ///< workers used; 0 = inline serial search
+  std::int64_t steals = 0;     ///< total cross-worker node steals
   double idle_seconds = 0.0;  ///< summed worker idle time
   /// busy_time / (threads * wall); 1.0 for the serial path.
   double parallel_efficiency = 1.0;
@@ -80,7 +93,7 @@ struct MilpResult {
 };
 
 struct MilpOptions {
-  long max_nodes = 2'000'000;
+  std::int64_t max_nodes = 2'000'000;
   double time_limit_seconds = 0.0;  ///< 0 = unlimited
   double integrality_tolerance = 1e-6;
   /// Stop when |incumbent - bound| <= gap (absolute, user sense).  The
@@ -97,6 +110,19 @@ struct MilpOptions {
   /// Branch on pseudocost product scores (observed bound gain per unit of
   /// fractionality); falls back to most-fractional until data exists.
   bool pseudocost_branching = true;
+  /// Blend impact estimates (absolute objective degradation per bound
+  /// change) into the pseudocost score; per-variable signals are trusted
+  /// only after `branch_reliability` observations in a direction, global
+  /// averages fill in before that.
+  bool impact_branching = true;
+  int branch_reliability = 2;
+  /// Weight of the impact term in the blended estimate (0 = pure per-unit
+  /// pseudocosts, 1 = pure absolute impact).
+  double impact_weight = 0.5;
+  /// Root cutting-plane loop (cuts.hpp): tighten the relaxation before the
+  /// tree search starts.  Off must give identical objectives, just more
+  /// nodes (the fuzz matrix and perf-smoke CI enforce that parity).
+  CutOptions cut_options;
   /// Optional warm-start point; must be feasible for the model.
   std::optional<std::vector<double>> initial_incumbent;
   /// Cooperative cancellation, polled once per node alongside the node and

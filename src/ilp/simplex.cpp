@@ -1064,6 +1064,114 @@ LpResult LpSolver::resolve(const std::vector<double>& lower, const std::vector<d
   return result;
 }
 
+// ---------------------------------------------------- cut-loop row support
+
+void LpSolver::tableau_row(int r, LpTableauRow* out) {
+  require(has_basis_ && r >= 0 && r < m_, "tableau_row requires an optimal basis");
+  out->basic_col = basis_[static_cast<std::size_t>(r)];
+  out->value = xb_[static_cast<std::size_t>(r)];
+  out->cols.clear();
+  out->alphas.clear();
+  gather_row(r, work_row_);
+  compute_pivot_row_alphas(work_row_);
+  for (const int j : alpha_touched_) {
+    if (basic_row_[static_cast<std::size_t>(j)] >= 0) continue;  // basic: alpha unused
+    const double alpha = work_alpha_[static_cast<std::size_t>(j)];
+    // Alphas at roundoff level contribute O(1e-12) to a cut coefficient; the
+    // generator's rhs safety margin absorbs that, so drop them here.
+    if (std::abs(alpha) <= 1e-12) continue;
+    out->cols.push_back(j);
+    out->alphas.push_back(alpha);
+  }
+}
+
+bool LpSolver::append_rows(const std::vector<LpCutRow>& rows) {
+  if (rows.empty()) return true;
+  require(has_basis_, "append_rows requires a solved basis");
+  const int added = static_cast<int>(rows.size());
+  const int old_total = total_columns();
+
+  // Grow the row-major mirror and rhs.  Entries are sorted by column so the
+  // per-row layout matches what the Model constructor would have produced.
+  for (const LpCutRow& row : rows) {
+    require(row.cols.size() == row.vals.size(), "cut row shape mismatch");
+    std::vector<std::pair<int, double>> entries;
+    entries.reserve(row.cols.size());
+    for (std::size_t k = 0; k < row.cols.size(); ++k) {
+      const int j = row.cols[k];
+      require(j >= 0 && j < n_, "cut row touches a non-structural column");
+      if (row.vals[k] != 0.0) entries.emplace_back(j, row.vals[k]);
+    }
+    std::sort(entries.begin(), entries.end());
+    for (const auto& [j, v] : entries) {
+      row_col_.push_back(j);
+      row_val_.push_back(v);
+    }
+    row_start_.push_back(static_cast<int>(row_col_.size()));
+    rhs_.push_back(row.rhs);
+  }
+  m_ += added;
+
+  // Rebuild the CSC columns from the mirror (row-sorted within each column
+  // because rows are scanned in order).
+  col_start_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (const int j : row_col_) ++col_start_[static_cast<std::size_t>(j) + 1];
+  for (int j = 0; j < n_; ++j) {
+    col_start_[static_cast<std::size_t>(j) + 1] += col_start_[static_cast<std::size_t>(j)];
+  }
+  std::vector<int> next(col_start_.begin(), col_start_.end() - 1);
+  std::vector<int> new_col_row(row_col_.size());
+  std::vector<double> new_col_val(row_val_.size());
+  for (int i = 0; i < m_; ++i) {
+    for (int idx = row_start_[static_cast<std::size_t>(i)]; idx < row_start_[static_cast<std::size_t>(i) + 1]; ++idx) {
+      const int j = row_col_[static_cast<std::size_t>(idx)];
+      const int at = next[static_cast<std::size_t>(j)]++;
+      new_col_row[static_cast<std::size_t>(at)] = i;
+      new_col_val[static_cast<std::size_t>(at)] = row_val_[static_cast<std::size_t>(idx)];
+    }
+  }
+  col_row_ = std::move(new_col_row);
+  col_val_ = std::move(new_col_val);
+
+  // Column-indexed state grows at the tail: old logical columns keep their
+  // indices (n_ + row), the new rows' logicals land after them.
+  const int total = total_columns();
+  lower_.resize(static_cast<std::size_t>(total), 0.0);
+  upper_.resize(static_cast<std::size_t>(total), kInfinity);
+  at_upper_.resize(static_cast<std::size_t>(total), 0);
+  basic_row_.resize(static_cast<std::size_t>(total), -1);
+  d_.resize(static_cast<std::size_t>(total), 0.0);
+  work_alpha_.resize(static_cast<std::size_t>(total), 0.0);
+  alpha_stamp_.resize(static_cast<std::size_t>(total), 0);
+  devex_w_.resize(static_cast<std::size_t>(total), 1.0);
+
+  // Row-indexed state.
+  xb_.resize(static_cast<std::size_t>(m_), 0.0);
+  work_col_.resize(static_cast<std::size_t>(m_), 0.0);
+  work_row_.resize(static_cast<std::size_t>(m_), 0.0);
+  work_rhs_.resize(static_cast<std::size_t>(m_), 0.0);
+  devex_row_w_.resize(static_cast<std::size_t>(m_), 1.0);
+  if (!sparse_basis()) {
+    binv_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_), 0.0);
+  }
+
+  // Each new slack enters the basis: the basis matrix becomes [[B,0],[C,I]],
+  // nonsingular whenever B was, and the new rows' duals start at zero so the
+  // existing reduced costs are unchanged.
+  for (int k = 0; k < added; ++k) {
+    const int j = old_total + k;
+    basis_.push_back(j);
+    basic_row_[static_cast<std::size_t>(j)] = (m_ - added) + k;
+  }
+  stats_.rows_appended += added;
+  in_phase2_ = true;  // refactor() refreshes the reduced costs too
+  if (!refactor()) {
+    has_basis_ = false;
+    return false;
+  }
+  return true;
+}
+
 LpResult solve_lp(const Model& model, const LpOptions& options,
                   const std::vector<double>* lower_override,
                   const std::vector<double>* upper_override) {

@@ -104,6 +104,7 @@ struct LpSolverStats {
   std::int64_t refactorizations = 0;
   std::int64_t warm_solves = 0;  ///< resolves served by the dual simplex
   std::int64_t cold_solves = 0;  ///< Phase 1 + Phase 2 runs (incl. fallbacks)
+  std::int64_t rows_appended = 0;  ///< cut rows grafted onto a warm basis
   // Sparse-LU basis telemetry (zero under BasisKind::kDense).
   std::int64_t lu_refactorizations = 0;  ///< Markowitz factorizations built
   std::int64_t eta_pivots = 0;           ///< basis changes absorbed as etas
@@ -127,6 +128,7 @@ struct LpSolverStats {
     refactorizations += other.refactorizations;
     warm_solves += other.warm_solves;
     cold_solves += other.cold_solves;
+    rows_appended += other.rows_appended;
     lu_refactorizations += other.lu_refactorizations;
     eta_pivots += other.eta_pivots;
     eta_nnz += other.eta_nnz;
@@ -136,11 +138,30 @@ struct LpSolverStats {
   }
 };
 
+/// One row appended to a live LP by the root cut loop: `sum(vals * x) <= rhs`
+/// over structural columns only (cut generators substitute slacks away).
+struct LpCutRow {
+  std::vector<int> cols;
+  std::vector<double> vals;
+  double rhs = 0.0;
+};
+
+/// Read-only view of one simplex tableau row at an optimal basis, used by
+/// the Gomory cut generator: `x_B(r) = value - sum(alphas * t)` where each
+/// t is the nonbasic column's displacement from its rest bound.
+struct LpTableauRow {
+  int basic_col = -1;   ///< basic column of row r (may be a logical)
+  double value = 0.0;   ///< x_B(r) with nonbasics at their rest bounds
+  std::vector<int> cols;       ///< nonbasic columns with a nonzero alpha
+  std::vector<double> alphas;  ///< e_r' B^{-1} A entries for those columns
+};
+
 /// Persistent bounded-variable revised simplex over one Model.
 ///
 /// The model must outlive the solver and must not change shape (variables,
 /// constraints, objective) after construction; only variable bounds vary
-/// between calls, which is exactly how branch and bound uses it.
+/// between calls — plus `append_rows`, which grafts extra `<=` rows (cutting
+/// planes) onto the warm basis without a cold restart.
 class LpSolver {
  public:
   explicit LpSolver(const Model& model, const LpOptions& options = {});
@@ -159,6 +180,33 @@ class LpSolver {
 
   const LpSolverStats& stats() const { return stats_; }
   bool has_basis() const { return has_basis_; }
+
+  // -- cut-generation support ----------------------------------------------
+  // Cheap structural accessors the root cut loop needs to read the optimal
+  // basis.  Columns in [structural_count(), structural_count()+row_count())
+  // are the logical (slack) columns, one per row in row order.
+  int row_count() const { return m_; }
+  int structural_count() const { return n_; }
+  bool column_is_logical(int j) const { return is_logical(j); }
+  int logical_row(int j) const { return j - n_; }
+  double column_lower(int j) const { return lower_[static_cast<std::size_t>(j)]; }
+  double column_upper(int j) const { return upper_[static_cast<std::size_t>(j)]; }
+  bool column_at_upper(int j) const { return at_upper_[static_cast<std::size_t>(j)] != 0; }
+  bool column_basic(int j) const { return basic_row_[static_cast<std::size_t>(j)] >= 0; }
+  int basic_column(int r) const { return basis_[static_cast<std::size_t>(r)]; }
+  double basic_value(int r) const { return xb_[static_cast<std::size_t>(r)]; }
+
+  /// Extracts tableau row `r` by one BTRAN through the current factors plus
+  /// a sparse pivot-row scatter.  Requires `has_basis()`.
+  void tableau_row(int r, LpTableauRow* out);
+
+  /// Appends `<=` rows to a solved LP without a cold restart: the CSR/CSC
+  /// mirrors grow, each new row gets a `>= 0` slack logical that enters the
+  /// basis (the basis matrix becomes [[B,0],[C,I]], nonsingular whenever B
+  /// was), and the representation refactorizes exactly once.  The next
+  /// `resolve` repairs primal feasibility with the dual simplex.  Returns
+  /// false (and drops the basis) if the refactorization fails.
+  bool append_rows(const std::vector<LpCutRow>& rows);
 
  private:
   // -- geometry helpers -----------------------------------------------------

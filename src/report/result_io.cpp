@@ -118,6 +118,14 @@ std::string stored_result_to_json(const StoredResult& stored) {
      << ", \"eta_pivots\": " << r.milp_lp.eta_pivots << ", \"eta_nnz\": " << r.milp_lp.eta_nnz
      << ", \"lu_fill_nnz\": " << r.milp_lp.lu_fill_nnz << ", \"lu_basis_nnz\": "
      << r.milp_lp.lu_basis_nnz << ", \"devex_resets\": " << r.milp_lp.devex_resets
+     << ", \"gomory_cuts\": " << r.milp_cuts.gomory_generated
+     << ", \"cover_cuts\": " << r.milp_cuts.cover_generated
+     << ", \"cuts_applied\": " << r.milp_cuts.applied
+     << ", \"cuts_retained\": " << r.milp_cuts.retained
+     << ", \"cut_rounds\": " << r.milp_cuts.rounds
+     << ", \"impact_branch_decisions\": " << r.milp_impact_branch_decisions
+     << ", \"pseudocost_branch_decisions\": " << r.milp_pseudocost_branch_decisions
+     << ", \"arena_bytes\": " << r.milp_arena_bytes
      << ", \"basis\": \"" << ilp::to_string(r.milp_basis) << "\", \"pricing\": \""
      << ilp::to_string(r.milp_pricing) << "\"}\n";
   os << "}\n";
@@ -209,6 +217,18 @@ StoredResult stored_result_from_json(const std::string& text) {
   if (solver.has("lu_fill_nnz")) r.milp_lp.lu_fill_nnz = solver.at("lu_fill_nnz").as_int();
   if (solver.has("lu_basis_nnz")) r.milp_lp.lu_basis_nnz = solver.at("lu_basis_nnz").as_int();
   if (solver.has("devex_resets")) r.milp_lp.devex_resets = solver.at("devex_resets").as_int();
+  // Root-cut / branching / node-store telemetry postdates the fields above;
+  // same lenient treatment.
+  if (solver.has("gomory_cuts")) r.milp_cuts.gomory_generated = solver.at("gomory_cuts").as_int();
+  if (solver.has("cover_cuts")) r.milp_cuts.cover_generated = solver.at("cover_cuts").as_int();
+  if (solver.has("cuts_applied")) r.milp_cuts.applied = solver.at("cuts_applied").as_int();
+  if (solver.has("cuts_retained")) r.milp_cuts.retained = solver.at("cuts_retained").as_int();
+  if (solver.has("cut_rounds")) r.milp_cuts.rounds = solver.at("cut_rounds").as_int();
+  if (solver.has("impact_branch_decisions"))
+    r.milp_impact_branch_decisions = solver.at("impact_branch_decisions").as_int();
+  if (solver.has("pseudocost_branch_decisions"))
+    r.milp_pseudocost_branch_decisions = solver.at("pseudocost_branch_decisions").as_int();
+  if (solver.has("arena_bytes")) r.milp_arena_bytes = solver.at("arena_bytes").as_int();
   if (solver.has("basis")) {
     check_input(ilp::basis_kind_from_string(solver.at("basis").as_string(), &r.milp_basis),
                 "unknown solver basis kind");

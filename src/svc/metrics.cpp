@@ -144,6 +144,16 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   s.solver_lu_fill_nnz = solver_lu_fill_nnz_.load(std::memory_order_relaxed);
   s.solver_lu_basis_nnz = solver_lu_basis_nnz_.load(std::memory_order_relaxed);
   s.solver_devex_resets = solver_devex_resets_.load(std::memory_order_relaxed);
+  s.solver_gomory_cuts = solver_gomory_cuts_.load(std::memory_order_relaxed);
+  s.solver_cover_cuts = solver_cover_cuts_.load(std::memory_order_relaxed);
+  s.solver_cuts_applied = solver_cuts_applied_.load(std::memory_order_relaxed);
+  s.solver_cuts_retained = solver_cuts_retained_.load(std::memory_order_relaxed);
+  s.solver_cut_rounds = solver_cut_rounds_.load(std::memory_order_relaxed);
+  s.solver_impact_branch_decisions =
+      solver_impact_branch_decisions_.load(std::memory_order_relaxed);
+  s.solver_pseudocost_branch_decisions =
+      solver_pseudocost_branch_decisions_.load(std::memory_order_relaxed);
+  s.solver_arena_bytes = solver_arena_bytes_.load(std::memory_order_relaxed);
   s.solver_basis = solver_basis_.load(std::memory_order_relaxed);
   s.solver_pricing = solver_pricing_.load(std::memory_order_relaxed);
   s.solver_threads = solver_threads_.load(std::memory_order_relaxed);
@@ -239,6 +249,14 @@ std::string MetricsSnapshot::to_json() const {
                      4)
      << ",\n"
      << "    \"devex_resets\": " << solver_devex_resets << ",\n"
+     << "    \"gomory_cuts\": " << solver_gomory_cuts << ",\n"
+     << "    \"cover_cuts\": " << solver_cover_cuts << ",\n"
+     << "    \"cuts_applied\": " << solver_cuts_applied << ",\n"
+     << "    \"cuts_retained\": " << solver_cuts_retained << ",\n"
+     << "    \"cut_rounds\": " << solver_cut_rounds << ",\n"
+     << "    \"impact_branch_decisions\": " << solver_impact_branch_decisions << ",\n"
+     << "    \"pseudocost_branch_decisions\": " << solver_pseudocost_branch_decisions << ",\n"
+     << "    \"arena_bytes\": " << solver_arena_bytes << ",\n"
      << "    \"basis\": \"" << basis_name(solver_basis) << "\",\n"
      << "    \"pricing\": \"" << pricing_name(solver_pricing) << "\",\n"
      << "    \"threads\": " << solver_threads << ",\n"

@@ -81,6 +81,15 @@ struct MetricsSnapshot {
   long solver_lu_fill_nnz = 0;
   long solver_lu_basis_nnz = 0;
   long solver_devex_resets = 0;
+  // Root cut loop + branching + node-store telemetry.
+  long solver_gomory_cuts = 0;
+  long solver_cover_cuts = 0;
+  long solver_cuts_applied = 0;
+  long solver_cuts_retained = 0;
+  long solver_cut_rounds = 0;
+  long solver_impact_branch_decisions = 0;
+  long solver_pseudocost_branch_decisions = 0;
+  long solver_arena_bytes = 0;  ///< max node-arena footprint of any one solve
   /// LP engine mode of the most recent solve: ilp::BasisKind/PricingRule as
   /// ints (0 = dense / dantzig, 1 = sparse_lu / devex), -1 before any solve.
   int solver_basis = -1;
@@ -201,6 +210,14 @@ class MetricsRegistry {
     long lu_fill_nnz = 0;
     long lu_basis_nnz = 0;
     long devex_resets = 0;
+    long gomory_cuts = 0;
+    long cover_cuts = 0;
+    long cuts_applied = 0;
+    long cuts_retained = 0;
+    long cut_rounds = 0;
+    long impact_branch_decisions = 0;
+    long pseudocost_branch_decisions = 0;
+    long arena_bytes = 0;
     int basis = -1;
     int pricing = -1;
   };
@@ -220,6 +237,20 @@ class MetricsRegistry {
     solver_lu_fill_nnz_.fetch_add(c.lu_fill_nnz, std::memory_order_relaxed);
     solver_lu_basis_nnz_.fetch_add(c.lu_basis_nnz, std::memory_order_relaxed);
     solver_devex_resets_.fetch_add(c.devex_resets, std::memory_order_relaxed);
+    solver_gomory_cuts_.fetch_add(c.gomory_cuts, std::memory_order_relaxed);
+    solver_cover_cuts_.fetch_add(c.cover_cuts, std::memory_order_relaxed);
+    solver_cuts_applied_.fetch_add(c.cuts_applied, std::memory_order_relaxed);
+    solver_cuts_retained_.fetch_add(c.cuts_retained, std::memory_order_relaxed);
+    solver_cut_rounds_.fetch_add(c.cut_rounds, std::memory_order_relaxed);
+    solver_impact_branch_decisions_.fetch_add(c.impact_branch_decisions,
+                                              std::memory_order_relaxed);
+    solver_pseudocost_branch_decisions_.fetch_add(c.pseudocost_branch_decisions,
+                                                  std::memory_order_relaxed);
+    long arena_seen = solver_arena_bytes_.load(std::memory_order_relaxed);
+    while (c.arena_bytes > arena_seen &&
+           !solver_arena_bytes_.compare_exchange_weak(arena_seen, c.arena_bytes,
+                                                      std::memory_order_relaxed)) {
+    }
     if (c.basis >= 0) solver_basis_.store(c.basis, std::memory_order_relaxed);
     if (c.pricing >= 0) solver_pricing_.store(c.pricing, std::memory_order_relaxed);
   }
@@ -303,6 +334,14 @@ class MetricsRegistry {
   std::atomic<long> solver_lu_fill_nnz_{0};
   std::atomic<long> solver_lu_basis_nnz_{0};
   std::atomic<long> solver_devex_resets_{0};
+  std::atomic<long> solver_gomory_cuts_{0};
+  std::atomic<long> solver_cover_cuts_{0};
+  std::atomic<long> solver_cuts_applied_{0};
+  std::atomic<long> solver_cuts_retained_{0};
+  std::atomic<long> solver_cut_rounds_{0};
+  std::atomic<long> solver_impact_branch_decisions_{0};
+  std::atomic<long> solver_pseudocost_branch_decisions_{0};
+  std::atomic<long> solver_arena_bytes_{0};
   std::atomic<int> solver_basis_{-1};
   std::atomic<int> solver_pricing_{-1};
   std::atomic<long> solver_threads_{0};

@@ -2,14 +2,20 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
 namespace fsyn::svc {
 
 namespace {
 
-/// Incremental FNV-1a over typed fields.  Field order defines the canonical
-/// serialization; a sentinel is mixed between variable-length sections so
-/// e.g. {1,2},{3} and {1},{2,3} hash differently.
+/// Hash over typed fields.  Field order defines the canonical serialization;
+/// a sentinel is mixed between variable-length sections so e.g. {1,2},{3}
+/// and {1},{2,3} hash differently.
+///
+/// Fields are buffered as 64-bit words and hashed in one batched pass in
+/// `value()` — the old implementation folded every word into FNV-1a one
+/// *byte* at a time (8 dependent multiplies per field), which showed up in
+/// service profiles once admission control started hashing every request.
 class Hasher {
  public:
   /// Integral fields (bools, ints, seeds) hash via their sign-extended
@@ -18,32 +24,45 @@ class Hasher {
   template <typename T>
     requires std::is_integral_v<T>
   void mix(T v) {
-    mix_word(static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+    words_.push_back(static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
   }
   void mix(double v) {
     std::uint64_t bits = 0;
     static_assert(sizeof(bits) == sizeof(v));
     std::memcpy(&bits, &v, sizeof(bits));
-    mix_word(bits);
+    words_.push_back(bits);
   }
   void mix(const std::string& s) {
-    mix_word(s.size());
-    for (const char c : s) mix_word(static_cast<unsigned char>(c));
-  }
-  /// Section separator for variable-length parts.
-  void section(std::uint64_t tag) { mix_word(0x9e3779b97f4a7c15ULL ^ tag); }
-
-  std::uint64_t value() const { return hash_; }
-
- private:
-  void mix_word(std::uint64_t v) {
-    for (int byte = 0; byte < 8; ++byte) {
-      hash_ ^= (v >> (8 * byte)) & 0xffULL;
-      hash_ *= 0x100000001b3ULL;
+    words_.push_back(s.size());
+    // Pack the bytes eight to a word instead of one word per character.
+    for (std::size_t i = 0; i < s.size(); i += 8) {
+      std::uint64_t word = 0;
+      const std::size_t chunk = std::min<std::size_t>(8, s.size() - i);
+      std::memcpy(&word, s.data() + i, chunk);
+      words_.push_back(word);
     }
   }
+  /// Section separator for variable-length parts.
+  void section(std::uint64_t tag) { words_.push_back(0x9e3779b97f4a7c15ULL ^ tag); }
 
-  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+  /// One pass over the buffered words: each word is avalanched
+  /// (splitmix64 finalizer) and folded into the running hash with the FNV
+  /// prime, so every input bit reaches every output bit without the
+  /// per-byte dependency chain of classic FNV-1a.
+  std::uint64_t value() const {
+    std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV offset basis
+    for (std::uint64_t word : words_) {
+      word += 0x9e3779b97f4a7c15ULL;
+      word = (word ^ (word >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      word = (word ^ (word >> 27)) * 0x94d049bb133111ebULL;
+      word ^= word >> 31;
+      hash = (hash ^ word) * 0x100000001b3ULL;  // FNV prime
+    }
+    return hash;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
 };
 
 void mix_graph(Hasher& h, const assay::SequencingGraph& graph) {
@@ -97,6 +116,16 @@ void mix_options(Hasher& h, const synth::SynthesisOptions& options) {
   // tie-break to a different optimal placement, like the thread settings.
   h.mix(static_cast<int>(options.ilp.lp.basis));
   h.mix(static_cast<int>(options.ilp.lp.pricing));
+  // Root cuts change the search trajectory, so they are result-affecting
+  // through optimal-placement tie-breaks too.
+  h.mix(options.ilp.cuts.enabled);
+  h.mix(options.ilp.cuts.max_rounds);
+  h.mix(options.ilp.cuts.max_cuts_per_round);
+  h.mix(options.ilp.cuts.max_pool_size);
+  h.mix(options.ilp.cuts.min_violation);
+  h.mix(options.ilp.cuts.max_parallelism);
+  h.mix(options.ilp.cuts.max_age);
+  h.mix(options.ilp.cuts.min_bound_improvement);
   h.mix(options.ilp.warm_start.has_value());
   if (options.ilp.warm_start.has_value()) {
     for (const arch::DeviceInstance& device : *options.ilp.warm_start) {

@@ -293,6 +293,16 @@ JobResult BatchService::run_job(JobSpec& spec, Clock::time_point enqueued) {
       counters.lu_fill_nnz = static_cast<long>(result.milp_lp.lu_fill_nnz);
       counters.lu_basis_nnz = static_cast<long>(result.milp_lp.lu_basis_nnz);
       counters.devex_resets = static_cast<long>(result.milp_lp.devex_resets);
+      counters.gomory_cuts = static_cast<long>(result.milp_cuts.gomory_generated);
+      counters.cover_cuts = static_cast<long>(result.milp_cuts.cover_generated);
+      counters.cuts_applied = static_cast<long>(result.milp_cuts.applied);
+      counters.cuts_retained = static_cast<long>(result.milp_cuts.retained);
+      counters.cut_rounds = static_cast<long>(result.milp_cuts.rounds);
+      counters.impact_branch_decisions =
+          static_cast<long>(result.milp_impact_branch_decisions);
+      counters.pseudocost_branch_decisions =
+          static_cast<long>(result.milp_pseudocost_branch_decisions);
+      counters.arena_bytes = static_cast<long>(result.milp_arena_bytes);
       if (result.milp_nodes > 0) {
         counters.basis = static_cast<int>(result.milp_basis);
         counters.pricing = static_cast<int>(result.milp_pricing);

@@ -177,6 +177,7 @@ std::optional<IlpMappingOutcome> map_ilp(const MappingProblem& problem,
   milp_options.deterministic = options.deterministic;
   milp_options.pool = options.pool;
   milp_options.lp = options.lp;
+  milp_options.cut_options = options.cuts;
   if (options.warm_start.has_value()) {
     const Placement& start = *options.warm_start;
     problem.validate_placement(start);
@@ -255,6 +256,10 @@ std::optional<IlpMappingOutcome> map_ilp(const MappingProblem& problem,
   outcome.lp = result.lp;
   outcome.lp_basis = result.lp_basis;
   outcome.lp_pricing = result.lp_pricing;
+  outcome.cuts = result.cuts;
+  outcome.arena_bytes = result.arena_bytes;
+  outcome.impact_branch_decisions = result.impact_branch_decisions;
+  outcome.pseudocost_branch_decisions = result.pseudocost_branch_decisions;
   outcome.threads = result.threads;
   outcome.steals = result.steals;
   outcome.idle_seconds = result.idle_seconds;

@@ -24,7 +24,7 @@ namespace fsyn::synth {
 
 struct IlpMapperOptions {
   double time_limit_seconds = 120.0;
-  long max_nodes = 500'000;
+  std::int64_t max_nodes = 500'000;
   /// Optional warm start (e.g. the heuristic mapper's placement); must be
   /// feasible for the problem.
   std::optional<Placement> warm_start;
@@ -40,6 +40,8 @@ struct IlpMapperOptions {
   /// LP engine configuration (basis representation, pricing rule, tolerances)
   /// forwarded to every per-node relaxation solver.
   ilp::LpOptions lp;
+  /// Root cutting-plane loop configuration (ilp::MilpOptions::cut_options).
+  ilp::CutOptions cuts;
 };
 
 struct IlpMappingOutcome {
@@ -48,14 +50,19 @@ struct IlpMappingOutcome {
   int max_pump_load_setting2 = 0;
   ilp::MilpStatus status = ilp::MilpStatus::kLimit;
   double best_bound = 0.0;  ///< proven lower bound on w
-  long nodes = 0;
+  std::int64_t nodes = 0;
   std::int64_t lp_iterations = 0;
   ilp::LpSolverStats lp;  ///< LP engine counters (warm/cold solves, pivots)
   ilp::BasisKind lp_basis = ilp::BasisKind::kSparseLu;      ///< echoed config
   ilp::PricingRule lp_pricing = ilp::PricingRule::kDevex;   ///< echoed config
+  // Root cut loop + node store + branching telemetry.
+  ilp::CutStats cuts;
+  std::int64_t arena_bytes = 0;
+  std::int64_t impact_branch_decisions = 0;
+  std::int64_t pseudocost_branch_decisions = 0;
   // Parallel-search telemetry (zeros for serial solves).
   int threads = 0;
-  long steals = 0;
+  std::int64_t steals = 0;
   double idle_seconds = 0.0;
   double parallel_efficiency = 1.0;
 };

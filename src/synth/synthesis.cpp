@@ -40,13 +40,17 @@ bool forbid_first_overfull_pair(MappingProblem& problem, const Placement& placem
 
 struct MappingAttempt {
   Placement placement;
-  long effort = 0;
+  std::int64_t effort = 0;
   int refinements = 0;
-  long milp_nodes = 0;
+  std::int64_t milp_nodes = 0;
   std::int64_t milp_lp_iterations = 0;
   ilp::LpSolverStats milp_lp;
+  ilp::CutStats milp_cuts;
+  std::int64_t milp_arena_bytes = 0;
+  std::int64_t milp_impact_branch_decisions = 0;
+  std::int64_t milp_pseudocost_branch_decisions = 0;
   int milp_threads = 0;
-  long milp_steals = 0;
+  std::int64_t milp_steals = 0;
   double milp_idle_seconds = 0.0;
 };
 
@@ -77,6 +81,10 @@ std::optional<MappingAttempt> run_mapper(MappingProblem& problem,
     attempt.milp_nodes += outcome->nodes;
     attempt.milp_lp_iterations += outcome->lp_iterations;
     attempt.milp_lp.accumulate(outcome->lp);
+    attempt.milp_cuts.accumulate(outcome->cuts);
+    attempt.milp_arena_bytes = std::max(attempt.milp_arena_bytes, outcome->arena_bytes);
+    attempt.milp_impact_branch_decisions += outcome->impact_branch_decisions;
+    attempt.milp_pseudocost_branch_decisions += outcome->pseudocost_branch_decisions;
     attempt.milp_threads = std::max(attempt.milp_threads, outcome->threads);
     attempt.milp_steals += outcome->steals;
     attempt.milp_idle_seconds += outcome->idle_seconds;
@@ -154,6 +162,10 @@ std::optional<SynthesisResult> attempt_on_size(const assay::SequencingGraph& gra
   result.milp_lp = attempt->milp_lp;
   result.milp_basis = options.ilp.lp.basis;
   result.milp_pricing = options.ilp.lp.pricing;
+  result.milp_cuts = attempt->milp_cuts;
+  result.milp_arena_bytes = attempt->milp_arena_bytes;
+  result.milp_impact_branch_decisions = attempt->milp_impact_branch_decisions;
+  result.milp_pseudocost_branch_decisions = attempt->milp_pseudocost_branch_decisions;
   result.milp_threads = attempt->milp_threads;
   result.milp_steals = attempt->milp_steals;
   result.milp_idle_seconds = attempt->milp_idle_seconds;

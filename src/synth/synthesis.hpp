@@ -87,22 +87,28 @@ struct SynthesisResult {
   int vs2_pump = 0;
   int valve_count = 0;    ///< #v after removing non-actuated virtual valves
 
-  long mapper_effort = 0;         ///< SA moves or B&B nodes
-  int refinement_iterations = 0;  ///< Algorithm-1 L4-L9 re-runs
+  std::int64_t mapper_effort = 0;  ///< SA moves or B&B nodes
+  int refinement_iterations = 0;   ///< Algorithm-1 L4-L9 re-runs
   int chip_growths = 0;
   double runtime_seconds = 0.0;
 
   // MILP solver counters (ILP mapper mode only; zeros for the heuristic),
   // accumulated over the refinement iterations of the winning attempt.
-  long milp_nodes = 0;
+  std::int64_t milp_nodes = 0;
   std::int64_t milp_lp_iterations = 0;
   ilp::LpSolverStats milp_lp;
   /// LP engine configuration the MILP ran with (echoed for telemetry).
   ilp::BasisKind milp_basis = ilp::BasisKind::kSparseLu;
   ilp::PricingRule milp_pricing = ilp::PricingRule::kDevex;
+  // Root cut loop + node store + branching telemetry, accumulated like the
+  // node counters.
+  ilp::CutStats milp_cuts;
+  std::int64_t milp_arena_bytes = 0;  ///< max over the attempt's solves
+  std::int64_t milp_impact_branch_decisions = 0;
+  std::int64_t milp_pseudocost_branch_decisions = 0;
   // Parallel-search telemetry (zeros when the search ran serially).
-  int milp_threads = 0;       ///< max workers used by any solve
-  long milp_steals = 0;       ///< summed cross-worker node steals
+  int milp_threads = 0;            ///< max workers used by any solve
+  std::int64_t milp_steals = 0;    ///< summed cross-worker node steals
   double milp_idle_seconds = 0.0;
 };
 

@@ -140,6 +140,13 @@ TEST_P(MilpFuzz, AllConfigurationsMatchEnumeration) {
   no_presolve.presolve = false;
   check_config(instance, best, no_presolve, "no-presolve");
 
+  // Root cuts must never change the optimum, only the tree size: the
+  // cuts-off run has to land on the same enumeration optimum as the
+  // default (cuts-on) run above.
+  MilpOptions no_cuts = defaults;
+  no_cuts.cut_options.enabled = false;
+  check_config(instance, best, no_cuts, "no-cuts");
+
   // The dense explicit-inverse basis is the reference implementation the
   // sparse LU must agree with; dantzig pricing is the reference for devex.
   MilpOptions dense = defaults;
@@ -165,6 +172,12 @@ TEST_P(MilpFuzz, AllConfigurationsMatchEnumeration) {
     check_config(instance, best, parallel_dense,
                  threads == 1 ? "parallel-1/dense"
                               : (threads == 2 ? "parallel-2/dense" : "parallel-4/dense"));
+
+    MilpOptions parallel_no_cuts = no_cuts;
+    parallel_no_cuts.threads = threads;
+    check_config(instance, best, parallel_no_cuts,
+                 threads == 1 ? "parallel-1/no-cuts"
+                              : (threads == 2 ? "parallel-2/no-cuts" : "parallel-4/no-cuts"));
   }
 
   MilpOptions lockstep = defaults;
@@ -210,6 +223,9 @@ TEST(ParallelBranchAndBound, TelemetryShape) {
   for (std::uint64_t seed = 0xF002; seed < 0xF002 + 64; ++seed) {
     FuzzInstance candidate = make_instance(seed);
     MilpOptions serial;
+    // Root cuts close most fuzz instances in a node or two; this test wants
+    // an actual tree so the worker counters have something to count.
+    serial.cut_options.enabled = false;
     s = solve_milp(candidate.model, serial);
     if (s.status == MilpStatus::kOptimal && s.nodes >= 4) {
       found = std::move(candidate);
@@ -226,6 +242,7 @@ TEST(ParallelBranchAndBound, TelemetryShape) {
 
   MilpOptions parallel;
   parallel.threads = 2;
+  parallel.cut_options.enabled = false;
   const MilpResult p = solve_milp(instance.model, parallel);
   EXPECT_EQ(p.threads, 2);
   ASSERT_EQ(p.worker_stats.size(), 2u);

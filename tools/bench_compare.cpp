@@ -10,7 +10,7 @@
 //   - mttf_runs drifts beyond last-ulp libm variance (the Monte Carlo
 //     estimate is deterministic in the seed), or
 //   - wall_ms grew by more than --wall-tol (default +15%), or
-//     lp_iterations grew by more than --iter-tol (default +5%), or
+//     lp_iterations or nodes grew by more than --iter-tol (default +5%), or
 //   - p50_ms / p95_ms grew by more than --wall-tol, or req_per_sec shrank
 //     by more than --wall-tol (server-bench rows).
 //
@@ -182,6 +182,17 @@ int main(int argc, char** argv) {
         if (!check_growth(name, "lp_iterations",
                           static_cast<double>(base_row.at("lp_iterations").as_int()),
                           static_cast<double>(new_row->at("lp_iterations").as_int()),
+                          options.iter_tol)) {
+          ++failures;
+        }
+      }
+      // Branch-and-bound tree size is deterministic for a fixed config, so
+      // node-count growth gates exactly like LP iteration growth.  Absent in
+      // pre-cut baselines — the check is keyed on the baseline having it.
+      if (base_row.has("nodes") && new_row->has("nodes")) {
+        if (!check_growth(name, "bnb_nodes",
+                          static_cast<double>(base_row.at("nodes").as_int()),
+                          static_cast<double>(new_row->at("nodes").as_int()),
                           options.iter_tol)) {
           ++failures;
         }

@@ -21,6 +21,8 @@
 //   --lp-basis B    LP basis representation: sparse (LU + eta updates, the
 //                   default) or dense (explicit inverse; debugging reference)
 //   --lp-pricing P  LP pricing rule: devex (the default) or dantzig
+//   --lp-cuts C     root cutting planes: on (Gomory + cover cuts tighten the
+//                   root relaxation, the default) or off (pure branch & bound)
 //   --json PATH     write the synthesis result as JSON
 //   --out PATH      write the mapping for later `reliability --in` runs
 //   --svg PATH      write an SVG rendering
@@ -130,6 +132,7 @@ struct CliOptions {
   int ilp_threads = 0;  ///< MILP search workers (0 = serial branch-and-bound)
   ilp::BasisKind lp_basis = ilp::BasisKind::kSparseLu;     ///< --lp-basis
   ilp::PricingRule lp_pricing = ilp::PricingRule::kDevex;  ///< --lp-pricing
+  bool lp_cuts = true;                                     ///< --lp-cuts
   std::string json_path;
   std::string svg_path;
   bool snapshots = false;
@@ -178,7 +181,7 @@ struct CliOptions {
       "  flowsynth synth    <assay-file|benchmark> [--policy N | --asap] [--grid N]\n"
       "                     [--seed S] [--ilp] [--time-limit S] [--ilp-threads N]\n"
       "                     [--lp-basis dense|sparse] [--lp-pricing dantzig|devex]\n"
-      "                     [--json PATH]\n"
+      "                     [--lp-cuts on|off] [--json PATH]\n"
       "                     [--svg PATH] [--snapshots] [--control] [--trace PATH]\n"
       "  flowsynth schedule <assay-file|benchmark> [--policy N | --asap]\n"
       "  flowsynth reliability <assay-file|benchmark | --in mapping.json>\n"
@@ -197,6 +200,7 @@ struct CliOptions {
       "                     [--seed S] [--grid N] [--cache N] [--queue N] [--reject]\n"
       "                     [--ilp-threads N]\n"
       "                     [--lp-basis dense|sparse] [--lp-pricing dantzig|devex]\n"
+      "                     [--lp-cuts on|off]\n"
       "                     [--trace PATH] [--reliability] [--trials N]\n"
       "  flowsynth table1   [--jobs N]\n"
       "  flowsynth list\n";
@@ -246,6 +250,15 @@ CliOptions parse_cli(int argc, char** argv) {
       const std::string value = next();
       if (!ilp::pricing_rule_from_string(value, &options.lp_pricing))
         usage("unknown LP pricing '" + value + "' (expected dantzig or devex)");
+    } else if (arg == "--lp-cuts") {
+      const std::string value = next();
+      if (value == "on") {
+        options.lp_cuts = true;
+      } else if (value == "off") {
+        options.lp_cuts = false;
+      } else {
+        usage("unknown --lp-cuts value '" + value + "' (expected on or off)");
+      }
     } else if (arg == "--json") {
       options.json_path = next();
     } else if (arg == "--svg") {
@@ -354,6 +367,7 @@ int run_synth(const CliOptions& cli) {
   options.ilp.threads = cli.ilp_threads;
   options.ilp.lp.basis = cli.lp_basis;
   options.ilp.lp.pricing = cli.lp_pricing;
+  options.ilp.cuts.enabled = cli.lp_cuts;
   const synth::SynthesisResult result = synth::synthesize(graph, schedule, options);
 
   std::cout << "chip:        " << result.chip_width << "x" << result.chip_height
@@ -419,6 +433,7 @@ int run_reliability(const CliOptions& cli) {
   synth_options.ilp.threads = cli.ilp_threads;
   synth_options.ilp.lp.basis = cli.lp_basis;
   synth_options.ilp.lp.pricing = cli.lp_pricing;
+  synth_options.ilp.cuts.enabled = cli.lp_cuts;
 
   if (!cli.in_path.empty()) {
     report::StoredResult stored = report::read_stored_result(cli.in_path);
@@ -511,6 +526,7 @@ int run_fleet(const CliOptions& cli) {
   options.synthesis.ilp.threads = cli.ilp_threads;
   options.synthesis.ilp.lp.basis = cli.lp_basis;
   options.synthesis.ilp.lp.pricing = cli.lp_pricing;
+  options.synthesis.ilp.cuts.enabled = cli.lp_cuts;
 
   const fleet::FleetReport report = fleet::run_fleet(graph, options);
   const std::string json = report.to_json(cli.timing);
@@ -655,6 +671,7 @@ int run_batch(const CliOptions& cli) {
         spec.options.ilp.threads = cli.ilp_threads;
         spec.options.ilp.lp.basis = cli.lp_basis;
         spec.options.ilp.lp.pricing = cli.lp_pricing;
+        spec.options.ilp.cuts.enabled = cli.lp_cuts;
         if (cli.deadline_ms.has_value()) {
           spec.deadline = std::chrono::milliseconds(*cli.deadline_ms);
         }
